@@ -1,0 +1,115 @@
+// Ablation: flow-based vs byte-based sample counting (paper §3.1, design
+// choice 2).
+//
+// The deployment counts flows instead of bytes to avoid counter overflows;
+// the justification is the strong flow/byte correlation (0.82 in their
+// traffic). This bench (a) measures that correlation in the synthetic
+// workload, and (b) runs the engine in both modes (byte-mode thresholds
+// rescaled by the mean flow size) to confirm classification quality does
+// not depend on the choice — plus how much larger the byte counters get.
+#include "bench_common.hpp"
+
+#include <unordered_map>
+
+#include "analysis/stats.hpp"
+#include "util/strings.hpp"
+
+using namespace ipd;
+
+namespace {
+
+struct Outcome {
+  double accuracy = 0.0;
+  double max_counter = 0.0;
+  std::uint64_t classified = 0;
+};
+
+Outcome run(core::CountMode mode, double mean_flow_bytes) {
+  auto setup = bench::make_setup(14000);
+  setup.params.count_mode = mode;
+  if (mode == core::CountMode::Bytes) {
+    // Same thresholds, expressed in bytes.
+    setup.params.ncidr_factor4 *= mean_flow_bytes;
+    setup.params.ncidr_factor6 *= mean_flow_bytes;
+    setup.params.ncidr_floor *= mean_flow_bytes;
+    setup.params.min_keep_samples *= mean_flow_bytes;
+  }
+  setup.engine = std::make_unique<core::IpdEngine>(setup.params);
+
+  analysis::ValidationRun validation(setup.gen->topology(), setup.gen->universe());
+  analysis::BinnedRunner runner(*setup.engine, &validation);
+  core::Snapshot last;
+  runner.on_snapshot = [&](util::Timestamp, const core::Snapshot& snap,
+                           const core::LpmTable&) { last = snap; };
+  const util::Timestamp t0 = bench::kDay1 + 19 * util::kSecondsPerHour;
+  bench::run_window(setup, runner, t0, t0 + 2 * util::kSecondsPerHour);
+
+  Outcome out;
+  int bins = 0;
+  for (const auto& bin : validation.bins()) {
+    if (bin.all.total == 0) continue;
+    out.accuracy += bin.all.accuracy();
+    ++bins;
+  }
+  if (bins) out.accuracy /= bins;
+  for (const auto& row : last) {
+    if (!row.classified) continue;
+    ++out.classified;
+    out.max_counter = std::max(out.max_counter, row.s_ipcount);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — flow-based vs byte-based counting (§3.1)",
+      "flow and byte counts correlate (paper: 0.82); classification quality "
+      "is equivalent, byte counters are orders of magnitude larger");
+
+  // (a) flow/byte correlation per /24, one peak hour of traffic.
+  auto setup = bench::make_setup(14000);
+  struct Agg {
+    double flows = 0, bytes = 0;
+  };
+  std::unordered_map<net::Prefix, Agg, net::PrefixHash> per24;
+  double mean_bytes = 0;
+  std::uint64_t n_flows = 0;
+  const util::Timestamp t0 = bench::kDay1 + 20 * util::kSecondsPerHour;
+  setup.gen->run(t0, t0 + util::kSecondsPerHour,
+                 [&](const netflow::FlowRecord& r) {
+                   if (!r.src_ip.is_v4()) return;
+                   auto& agg = per24[net::Prefix(r.src_ip, 24)];
+                   agg.flows += 1;
+                   agg.bytes += static_cast<double>(r.bytes);
+                   mean_bytes += static_cast<double>(r.bytes);
+                   ++n_flows;
+                 });
+  mean_bytes /= static_cast<double>(n_flows);
+  std::vector<double> flows, bytes;
+  for (const auto& [prefix, agg] : per24) {
+    (void)prefix;
+    flows.push_back(agg.flows);
+    bytes.push_back(agg.bytes);
+  }
+  const double correlation = analysis::pearson(flows, bytes);
+  bench::print_result("flow/byte correlation per /24", "0.82 (deployment)",
+                      util::format("%.2f", correlation));
+
+  // (b) engine quality in both modes.
+  const Outcome flow_mode = run(core::CountMode::Flows, mean_bytes);
+  const Outcome byte_mode = run(core::CountMode::Bytes, mean_bytes);
+  bench::print_result("accuracy flows vs bytes", "approximately equal",
+                      util::format("%.3f vs %.3f", flow_mode.accuracy,
+                                   byte_mode.accuracy));
+  bench::print_result("classified ranges flows vs bytes", "similar",
+                      util::format("%llu vs %llu",
+                                   static_cast<unsigned long long>(flow_mode.classified),
+                                   static_cast<unsigned long long>(byte_mode.classified)));
+  bench::print_result(
+      "largest range counter flows vs bytes",
+      "bytes ~3 orders of magnitude larger (overflow motivation)",
+      util::format("%.3g vs %.3g", flow_mode.max_counter, byte_mode.max_counter));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: joining of same-ingress sibling ranges on vs off.
+//
+// Joins are IPD's mechanism against partition fragmentation: without them
+// the trie only ever splits (until cidr_max), so the range count — and with
+// it stage-2 cycle time and memory — grows, while accuracy stays unchanged
+// (the same traffic is classified, just in more pieces). This isolates the
+// efficiency value of the join rule called out in DESIGN.md.
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+
+using namespace ipd;
+
+namespace {
+
+struct Outcome {
+  double accuracy = 0.0;
+  double mean_ranges = 0.0;
+  double mean_cycle_ms = 0.0;
+  double peak_memory_mb = 0.0;
+  std::uint64_t joins = 0;
+};
+
+Outcome run(bool enable_joins) {
+  auto setup = bench::make_setup(16000);
+  setup.params.enable_joins = enable_joins;
+  setup.engine = std::make_unique<core::IpdEngine>(setup.params);
+
+  analysis::ValidationRun validation(setup.gen->topology(), setup.gen->universe());
+  analysis::BinnedRunner runner(*setup.engine, &validation);
+  double sum_ranges = 0.0;
+  std::uint64_t snapshots = 0;
+  runner.on_snapshot = [&](util::Timestamp, const core::Snapshot& snap,
+                           const core::LpmTable&) {
+    sum_ranges += static_cast<double>(snap.size());
+    ++snapshots;
+  };
+  const util::Timestamp t0 = bench::kDay1 + 19 * util::kSecondsPerHour;
+  bench::run_window(setup, runner, t0, t0 + 3 * util::kSecondsPerHour);
+
+  Outcome out;
+  int bins = 0;
+  for (const auto& bin : validation.bins()) {
+    if (bin.all.total == 0) continue;
+    out.accuracy += bin.all.accuracy();
+    ++bins;
+  }
+  if (bins) out.accuracy /= bins;
+  out.mean_ranges = snapshots ? sum_ranges / static_cast<double>(snapshots) : 0;
+  double cycle_us = 0.0;
+  std::uint64_t peak = 0;
+  for (const auto& cycle : runner.cycles()) {
+    cycle_us += static_cast<double>(cycle.cycle_micros);
+    peak = std::max(peak, cycle.memory_bytes);
+  }
+  if (!runner.cycles().empty()) {
+    out.mean_cycle_ms = cycle_us / static_cast<double>(runner.cycles().size()) / 1000.0;
+  }
+  out.peak_memory_mb = static_cast<double>(peak) / (1024.0 * 1024.0);
+  out.joins = setup.engine->stats().total_joins;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — sibling-range joins on vs off",
+      "joins bound the partition size; accuracy is unaffected");
+
+  const Outcome with = run(true);
+  const Outcome without = run(false);
+
+  bench::print_result("joins performed (on)", ">0",
+                      util::format("%llu", static_cast<unsigned long long>(with.joins)));
+  bench::print_result("mean partition size on vs off", "off larger",
+                      util::format("%.0f vs %.0f", with.mean_ranges,
+                                   without.mean_ranges));
+  bench::print_result("mean cycle time on vs off (ms)", "off slower",
+                      util::format("%.2f vs %.2f", with.mean_cycle_ms,
+                                   without.mean_cycle_ms));
+  bench::print_result("peak memory on vs off (MB)", "off larger",
+                      util::format("%.1f vs %.1f", with.peak_memory_mb,
+                                   without.peak_memory_mb));
+  bench::print_result("accuracy on vs off", "approximately equal",
+                      util::format("%.3f vs %.3f", with.accuracy,
+                                   without.accuracy));
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace ipd::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("IPD_BENCH_SCALE")) {
+    const double scale = std::atof(env);
+    if (scale > 0.0) return scale;
+  }
+  return 1.0;
+}
+
+BenchSetup make_setup(std::uint64_t flows_per_minute, std::uint64_t seed) {
+  BenchSetup setup;
+  setup.scenario = workload::paper_default();
+  setup.scenario.flows_per_minute = static_cast<std::uint64_t>(
+      static_cast<double>(flows_per_minute) * bench_scale());
+  setup.scenario.seed = seed;
+  setup.gen = std::make_unique<workload::FlowGenerator>(setup.scenario);
+  setup.params = workload::scaled_params(setup.scenario);
+  setup.engine = std::make_unique<core::IpdEngine>(setup.params);
+  return setup;
+}
+
+void run_window(BenchSetup& setup, analysis::BinnedRunner& runner,
+                util::Timestamp t_start, util::Timestamp t_end,
+                util::Duration warmup) {
+  // Warm-up flows feed the engine directly (no validation buffering) so the
+  // partition is converged when the measured window starts.
+  setup.gen->run(t_start - warmup, t_start,
+                 [&](const netflow::FlowRecord& r) { setup.engine->ingest(r); });
+  // Run stage-2 cycles over the warm-up period.
+  for (util::Timestamp ts = t_start - warmup + setup.params.t; ts <= t_start;
+       ts += setup.params.t) {
+    setup.engine->run_cycle(ts);
+  }
+  setup.gen->run(t_start, t_end,
+                 [&](const netflow::FlowRecord& r) { runner.offer(r); });
+  runner.finish();
+}
+
+std::function<topology::RouterId(const net::Prefix&, std::size_t,
+                                 util::Timestamp)>
+make_ingress_oracle(const BenchSetup& setup) {
+  const workload::FlowGenerator* gen = setup.gen.get();
+  return [gen](const net::Prefix& prefix, std::size_t as_index,
+               util::Timestamp ts) {
+    const auto& mapper = gen->mapper(as_index, prefix.family());
+    // Announcement at/below unit granularity: resolve its base address
+    // through the covering unit's address-sliced assignment.
+    if (const auto* unit = mapper.find_unit(prefix.address())) {
+      return workload::AsMapper::link_for(
+                 mapper.effective_assignment(
+                     static_cast<std::size_t>(unit - &mapper.unit(0)), ts),
+                 unit->prefix, prefix.address())
+          .router;
+    }
+    // Coarse announcement: the heaviest active unit inside it dominates.
+    const workload::MappingUnit* best = nullptr;
+    for (std::size_t i = 0; i < mapper.unit_count(); ++i) {
+      const auto& unit = mapper.unit(i);
+      if (!prefix.contains(unit.prefix)) continue;
+      if (!best || unit.weight > best->weight) best = &unit;
+    }
+    if (best) return best->assign.primary.router;
+    return gen->universe().ases()[as_index].links.front().router;
+  };
+}
+
+void print_header(const std::string& figure, const std::string& claim) {
+  std::cout << "==============================================================\n"
+            << figure << "\n"
+            << "paper: " << claim << "\n"
+            << "==============================================================\n";
+}
+
+void print_result(const std::string& metric, const std::string& paper,
+                  const std::string& measured) {
+  std::printf("RESULT %-42s paper=%-18s measured=%s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace ipd::bench

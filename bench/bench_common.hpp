@@ -1,0 +1,65 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench binary:
+//   * builds the paper-default synthetic ISP scenario (optionally scaled
+//     through the IPD_BENCH_SCALE environment variable),
+//   * streams generated NetFlow through the IPD engine with the standard
+//     60 s cycle / 5 min snapshot cadence,
+//   * prints the paper figure's data series as CSV to stdout plus a short
+//     "paper vs measured" summary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "analysis/accuracy.hpp"
+#include "analysis/runner.hpp"
+#include "core/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace ipd::bench {
+
+/// Volume scale factor from IPD_BENCH_SCALE (default 1.0). Values > 1 run
+/// closer to deployment volume; < 1 run faster.
+double bench_scale();
+
+struct BenchSetup {
+  workload::ScenarioConfig scenario;
+  std::unique_ptr<workload::FlowGenerator> gen;
+  core::IpdParams params;
+  std::unique_ptr<core::IpdEngine> engine;
+};
+
+/// Paper-default scenario at bench scale. `flows_per_minute` is multiplied
+/// by bench_scale().
+BenchSetup make_setup(std::uint64_t flows_per_minute = 20000,
+                      std::uint64_t seed = 7);
+
+/// Simulation clock anchors: benches run on "day 1" so that warm-up can
+/// precede t_start without negative timestamps.
+inline constexpr util::Timestamp kDay1 = util::kSecondsPerDay;
+
+/// Stream [t_start - warmup, t_end) through `runner`, discarding validation
+/// for the warm-up window (the engine still learns from it).
+void run_window(BenchSetup& setup, analysis::BinnedRunner& runner,
+                util::Timestamp t_start, util::Timestamp t_end,
+                util::Duration warmup = 45 * util::kSecondsPerMinute);
+
+/// Ingress oracle for RIB generation: the dominant ingress router of a
+/// BGP announcement's address space, resolved through the workload's
+/// mapping units (the covering unit if the announcement is at/below unit
+/// granularity, else the heaviest unit inside it).
+std::function<topology::RouterId(const net::Prefix&, std::size_t,
+                                 util::Timestamp)>
+make_ingress_oracle(const BenchSetup& setup);
+
+/// Print a section header for the run log.
+void print_header(const std::string& figure, const std::string& claim);
+
+/// Print one "paper vs measured" summary line.
+void print_result(const std::string& metric, const std::string& paper,
+                  const std::string& measured);
+
+}  // namespace ipd::bench

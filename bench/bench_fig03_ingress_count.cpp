@@ -1,0 +1,115 @@
+// Figure 3: number of ingress routers per /24 prefix.
+// Paper: from BGP tables, only 20 % of prefixes have one next-hop router
+// and ~60 % have more than five — but from actual traffic, nearly 80 % of
+// prefixes enter through a single ingress point. (ALL / TOP5 / TOP20.)
+#include "bench_common.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "bgp/generator.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+using namespace ipd;
+
+namespace {
+
+struct PrefixAgg {
+  std::unordered_map<std::uint64_t, std::uint64_t> router_flows;  // router -> n
+  std::uint64_t total = 0;
+};
+
+void print_cdf(const std::string& name, const std::map<int, std::uint64_t>& hist) {
+  std::uint64_t total = 0;
+  for (const auto& [k, n] : hist) total += n;
+  if (total == 0) return;
+  util::CsvWriter csv(name, {"ingress_count", "cdf"});
+  std::uint64_t acc = 0;
+  for (const auto& [k, n] : hist) {
+    acc += n;
+    csv.row({util::CsvWriter::num(static_cast<std::int64_t>(k)),
+             util::CsvWriter::num(static_cast<double>(acc) / total, 4)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 3 — ingress router count per /24 (traffic) vs BGP next-hops",
+      "BGP: 20% one next hop, 60% more than five; traffic: ~80% single "
+      "ingress point");
+
+  auto setup = bench::make_setup(20000);
+  const auto& universe = setup.gen->universe();
+  analysis::OwnerIndex owners(universe);
+  std::vector<bool> top5(universe.ases().size()), top20(universe.ases().size());
+  for (const auto i : universe.top_indices(5)) top5[i] = true;
+  for (const auto i : universe.top_indices(20)) top20[i] = true;
+
+  // One peak hour of traffic, aggregated per /24 source prefix.
+  std::unordered_map<net::Prefix, PrefixAgg, net::PrefixHash> per24;
+  const util::Timestamp t0 = bench::kDay1 + 20 * util::kSecondsPerHour;
+  setup.gen->run(t0, t0 + 30 * util::kSecondsPerMinute,
+                 [&](const netflow::FlowRecord& r) {
+                   if (!r.src_ip.is_v4()) return;
+                   auto& agg = per24[net::Prefix(r.src_ip, 24)];
+                   ++agg.router_flows[r.ingress.router];
+                   ++agg.total;
+                 });
+
+  // Count "simultaneous ingress points": routers carrying >= 5 % of the
+  // prefix's flows (ignores stray noise, like the paper's q margin).
+  std::map<int, std::uint64_t> traffic_all, traffic_top5, traffic_top20;
+  for (const auto& [prefix, agg] : per24) {
+    if (agg.total < 20) continue;  // too little traffic to judge
+    int routers = 0;
+    for (const auto& [router, n] : agg.router_flows) {
+      (void)router;
+      if (static_cast<double>(n) >= 0.05 * static_cast<double>(agg.total)) {
+        ++routers;
+      }
+    }
+    if (routers == 0) continue;
+    ++traffic_all[routers];
+    const std::size_t owner = owners.owner(prefix.address());
+    if (owner == workload::Universe::npos) continue;
+    if (top5[owner]) ++traffic_top5[routers];
+    if (top20[owner]) ++traffic_top20[routers];
+  }
+
+  // BGP next-hop counts per announcement.
+  bgp::RibGenerator rib_gen(universe, bgp::RibGenConfig{});
+  std::map<int, std::uint64_t> bgp_all;
+  for (const auto& ann : rib_gen.announcements()) {
+    ++bgp_all[static_cast<int>(ann.next_hops.size())];
+  }
+
+  print_cdf("fig03_traffic_all", traffic_all);
+  print_cdf("fig03_traffic_top5", traffic_top5);
+  print_cdf("fig03_traffic_top20", traffic_top20);
+  print_cdf("fig03_bgp_next_hops", bgp_all);
+
+  const auto share = [](const std::map<int, std::uint64_t>& hist,
+                        const std::function<bool(int)>& pred) {
+    std::uint64_t total = 0, hit = 0;
+    for (const auto& [k, n] : hist) {
+      total += n;
+      if (pred(k)) hit += n;
+    }
+    return total ? static_cast<double>(hit) / total : 0.0;
+  };
+
+  bench::print_result("BGP prefixes with 1 next hop", "0.20",
+                      util::format("%.2f", share(bgp_all, [](int k) { return k == 1; })));
+  bench::print_result("BGP prefixes with >5 next hops", "0.60",
+                      util::format("%.2f", share(bgp_all, [](int k) { return k > 5; })));
+  bench::print_result("traffic /24s with single ingress (ALL)", "~0.80",
+                      util::format("%.2f", share(traffic_all, [](int k) { return k == 1; })));
+  bench::print_result("traffic /24s multi-ingress (TOP5)", "~0.30",
+                      util::format("%.2f", share(traffic_top5, [](int k) { return k > 1; })));
+  bench::print_result("traffic /24s multi-ingress (TOP20)", "~0.58",
+                      util::format("%.2f", share(traffic_top20, [](int k) { return k > 1; })));
+  return 0;
+}

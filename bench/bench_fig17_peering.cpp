@@ -1,0 +1,81 @@
+// Figure 17 / §5.6: possible violations of tier-1 peering agreements.
+// Paper: ~9 % of tier-1 ISP prefixes entered indirectly (over non-peering
+// links); the number of such instances grew by 50 % from Sep 2019 and
+// doubled by 2020 across the 16 monitored tier-1 peers.
+#include "bench_common.hpp"
+
+#include "analysis/rangestats.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+using namespace ipd;
+
+int main() {
+  bench::print_header(
+      "Figure 17 — tier-1 peering-agreement violations over time",
+      "~9% of tier-1 prefixes ingress indirectly; counts grow ~50% and then "
+      "double across the observation period");
+
+  auto setup = bench::make_setup(14000);
+  // Make the ramp pronounced inside the compressed observation window.
+  {
+    workload::ScenarioConfig scenario = setup.scenario;
+    scenario.violations.base_rate = 0.05;
+    scenario.violations.growth_per_day = 0.04;
+    scenario.violations.cap = 0.30;
+    setup.scenario = scenario;
+    setup.gen = std::make_unique<workload::FlowGenerator>(scenario);
+  }
+  const auto& universe = setup.gen->universe();
+  analysis::OwnerIndex owners(universe);
+  const auto n_tier1 = universe.tier1_indices().size();
+
+  const int n_days = std::max(8, static_cast<int>(20 * bench::bench_scale()));
+  util::CsvWriter csv("fig17_violations",
+                      {"day", "tier1_ranges", "violations", "violation_share",
+                       "per_tier1"});
+  std::uint64_t first_window = 0, last_window = 0;
+  double share_sum = 0;
+  for (int day = 0; day < n_days; ++day) {
+    const util::Timestamp prime =
+        bench::kDay1 + day * util::kSecondsPerDay + 20 * util::kSecondsPerHour;
+    core::IpdEngine engine(setup.params);
+    setup.gen->run(prime - 40 * 60, prime,
+                   [&](const netflow::FlowRecord& r) { engine.ingest(r); });
+    for (util::Timestamp ts = prime - 40 * 60 + setup.params.t; ts <= prime;
+         ts += setup.params.t) {
+      engine.run_cycle(ts);
+    }
+    const auto snapshot = core::take_snapshot(engine, prime, true);
+    const auto scan = analysis::scan_violations(snapshot, universe,
+                                                setup.gen->topology(), owners);
+    std::string per_tier1;
+    for (std::size_t i = 0; i < scan.violations_per_tier1.size(); ++i) {
+      if (i) per_tier1 += ' ';
+      per_tier1 += std::to_string(scan.violations_per_tier1[i]);
+    }
+    const double share =
+        scan.total_tier1_ranges
+            ? static_cast<double>(scan.total_violations) / scan.total_tier1_ranges
+            : 0.0;
+    csv.row({util::CsvWriter::num(static_cast<std::int64_t>(day)),
+             util::CsvWriter::num(scan.total_tier1_ranges),
+             util::CsvWriter::num(scan.total_violations),
+             util::CsvWriter::num(share, 4), per_tier1});
+    share_sum += share;
+    if (day < 3) first_window += scan.total_violations;
+    if (day >= n_days - 3) last_window += scan.total_violations;
+  }
+
+  bench::print_result("tier-1 peers monitored", "16",
+                      util::format("%zu", n_tier1));
+  bench::print_result("mean indirect-ingress share", "~0.09",
+                      util::format("%.2f", share_sum / n_days));
+  bench::print_result(
+      "violation growth (last vs first window)", ">= 1.5x, up to 2x",
+      util::format("%.1fx", first_window
+                                ? static_cast<double>(last_window) /
+                                      static_cast<double>(first_window)
+                                : 0.0));
+  return 0;
+}

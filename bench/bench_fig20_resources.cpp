@@ -1,0 +1,62 @@
+// Figure 20 / Appendix A: IPD runtime and resource consumption vs cidr_max.
+// Paper: both the iteration (stage-2 cycle) time and the average memory
+// usage grow exponentially with higher cidr_max values, since finer
+// classification multiplies the number of ranges to check.
+#include "bench_common.hpp"
+
+#include "analysis/paramstudy.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+using namespace ipd;
+
+int main() {
+  bench::print_header(
+      "Figure 20 — runtime and memory vs cidr_max",
+      "cycle time and memory grow exponentially with cidr_max");
+
+  // Shared trace, like the parameter study's setup.
+  workload::ScenarioConfig scenario = workload::small_test();
+  scenario.flows_per_minute = static_cast<std::uint64_t>(6000 * bench::bench_scale());
+  workload::FlowGenerator gen(scenario);
+  std::vector<netflow::FlowRecord> trace;
+  const util::Timestamp t0 = bench::kDay1 + 19 * util::kSecondsPerHour;
+  gen.run(t0, t0 + 45 * 60,
+          [&](const netflow::FlowRecord& r) { trace.push_back(r); });
+
+  const core::IpdParams base = workload::scaled_params(scenario);
+  util::CsvWriter csv("fig20_resources",
+                      {"cidr_max", "mean_cycle_ms", "peak_memory_mb",
+                       "mean_ranges", "classified"});
+  double first_ranges = 0, last_ranges = 0;
+  double first_mem = 0, last_mem = 0;
+  for (int cidr_max = 20; cidr_max <= 28; ++cidr_max) {
+    core::IpdParams params = base;
+    params.cidr_max4 = cidr_max;
+    params.cidr_max6 = 32 + (cidr_max - 20) * 2;
+    const auto metrics =
+        analysis::evaluate_params(trace, gen.topology(), gen.universe(), params);
+    csv.row({util::CsvWriter::num(static_cast<std::int64_t>(cidr_max)),
+             util::CsvWriter::num(metrics.mean_cycle_ms, 3),
+             util::CsvWriter::num(metrics.peak_memory_mb, 2),
+             util::CsvWriter::num(metrics.mean_ranges, 1),
+             util::CsvWriter::num(metrics.final_classified)});
+    if (cidr_max == 20) {
+      first_ranges = metrics.mean_ranges;
+      first_mem = metrics.peak_memory_mb;
+    }
+    if (cidr_max == 28) {
+      last_ranges = metrics.mean_ranges;
+      last_mem = metrics.peak_memory_mb;
+    }
+  }
+
+  bench::print_result("range count growth /20 -> /28", "exponential trend",
+                      util::format("%.1fx", first_ranges > 0
+                                                ? last_ranges / first_ranges
+                                                : 0.0));
+  bench::print_result("peak memory growth /20 -> /28", "grows with ranges",
+                      util::format("%.1fx", first_mem > 0 ? last_mem / first_mem
+                                                          : 0.0));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// §5.7 operational deployment: end-to-end resource requirements.
+// Paper: a single 48-core / 500 GB server handles ~3,000 routers — 4M flow
+// records/s on average, 6.5M/s peak — with ~30 cores of flow readers, a
+// single-core central IPD process, and ~120 GB total memory; stage 2 must
+// finish within each 60 s bucket.
+//
+// This bench drives the in-process collector (reader rings + statistical
+// time + single IPD thread) with NetFlow v5 datagrams from multiple
+// producer threads and reports sustained throughput, stage-2 cycle time
+// and estimated engine memory.
+#include "bench_common.hpp"
+
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "collector/collector.hpp"
+#include "netflow/v5.hpp"
+#include "util/strings.hpp"
+
+using namespace ipd;
+
+int main() {
+  bench::print_header(
+      "§5.7 — deployment resource requirements (collector end-to-end)",
+      "deployment: 4M flows/s avg (6.5M/s peak) on one server; single-core "
+      "IPD; stage 2 well within the 60 s bucket");
+
+  // Pre-generate one simulated hour of per-router v5 datagrams.
+  auto setup = bench::make_setup(30000);
+  constexpr std::size_t kSources = 4;
+  std::vector<std::vector<std::vector<std::uint8_t>>> wire(kSources);
+  std::vector<std::vector<netflow::FlowRecord>> per_source(kSources);
+  const util::Timestamp t0 = bench::kDay1 + 19 * util::kSecondsPerHour;
+  setup.gen->run(t0, t0 + util::kSecondsPerHour,
+                 [&](const netflow::FlowRecord& r) {
+                   if (!r.src_ip.is_v4()) return;
+                   per_source[r.ingress.router % kSources].push_back(r);
+                 });
+  std::uint64_t total_records = 0;
+  for (std::size_t s = 0; s < kSources; ++s) {
+    for (auto& packet : netflow::v5::from_flow_records(per_source[s])) {
+      wire[s].push_back(netflow::v5::encode(packet));
+    }
+    total_records += per_source[s].size();
+  }
+
+  collector::CollectorConfig config;
+  config.stat_time.activity_threshold = 1;
+  config.ring_capacity = 1 << 18;
+  collector::CollectorService service(setup.params, config, kSources);
+  service.start();
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::barrier sync(kSources);
+  std::vector<std::thread> readers;
+  for (std::size_t s = 0; s < kSources; ++s) {
+    readers.emplace_back([&, s] {
+      sync.arrive_and_wait();
+      // Producers pace in packet-index lockstep so no source races
+      // simulated minutes ahead (cf. collector drain fairness).
+      const std::size_t max_packets = wire[s].size();
+      for (std::size_t i = 0; i < max_packets; ++i) {
+        const auto& datagram = wire[s][i];
+        while (service.submit_datagram(s, static_cast<topology::RouterId>(s),
+                                       datagram) == 0) {
+          std::this_thread::yield();  // ring full: retry
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  service.stop();
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  const auto stats = service.stats();
+  bench::print_result("flow records pushed end-to-end", "-",
+                      util::format("%llu", static_cast<unsigned long long>(
+                                               total_records)));
+  bench::print_result(
+      "sustained throughput (datagram -> engine)", "4-6.5M flows/s (48-core server)",
+      util::format("%.2fM flows/s on %zu reader threads + 1 IPD thread",
+                   static_cast<double>(stats.flows_ingested) / wall_s / 1e6,
+                   kSources));
+  bench::print_result("flows dropped at rings", "lossy by design, should be ~0 here",
+                      util::format("%llu", static_cast<unsigned long long>(
+                                               stats.flows_dropped_ring)));
+
+  // Stage-2 budget: worst cycle vs the 60 s bucket.
+  double worst_cycle_ms = 0.0;
+  std::uint64_t mem = 0;
+  {
+    // Re-run the same hour single-threaded through a fresh engine to get
+    // per-cycle timings (the collector doesn't retain them).
+    core::IpdEngine engine(setup.params);
+    analysis::BinnedRunner runner(engine, nullptr);
+    std::vector<netflow::FlowRecord> merged;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      merged.insert(merged.end(), per_source[s].begin(), per_source[s].end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const netflow::FlowRecord& a,
+                        const netflow::FlowRecord& b) { return a.ts < b.ts; });
+    for (const auto& r : merged) runner.offer(r);
+    runner.finish();
+    for (const auto& cycle : runner.cycles()) {
+      worst_cycle_ms = std::max(worst_cycle_ms,
+                                static_cast<double>(cycle.cycle_micros) / 1000.0);
+      mem = std::max(mem, cycle.memory_bytes);
+    }
+  }
+  bench::print_result("worst stage-2 cycle", "<< 60 s bucket (single core)",
+                      util::format("%.1f ms", worst_cycle_ms));
+  bench::print_result("estimated engine memory", "120 GB at 3,000-router scale",
+                      util::format("%.1f MB at bench scale",
+                                   static_cast<double>(mem) / 1024.0 / 1024.0));
+  bench::print_result("snapshots published", ">= 12 (5-min cadence, 1 h)",
+                      util::format("%llu", static_cast<unsigned long long>(
+                                               stats.snapshots_published)));
+  return 0;
+}

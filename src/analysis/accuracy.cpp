@@ -1,0 +1,131 @@
+#include "analysis/accuracy.hpp"
+
+namespace ipd::analysis {
+
+OwnerIndex::OwnerIndex(const workload::Universe& universe)
+    : v4_(net::Family::V4), v6_(net::Family::V6) {
+  const auto& ases = universe.ases();
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    for (const auto& block : ases[i].blocks_v4) v4_.insert(block, i);
+    for (const auto& block : ases[i].blocks_v6) v6_.insert(block, i);
+  }
+}
+
+std::size_t OwnerIndex::owner(const net::IpAddress& ip) const noexcept {
+  const std::size_t* hit = (ip.is_v4() ? v4_ : v6_).lookup(ip);
+  return hit ? *hit : workload::Universe::npos;
+}
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::Correct: return "correct";
+    case Outcome::MissInterface: return "interface-miss";
+    case Outcome::MissRouter: return "router-miss";
+    case Outcome::MissPop: return "pop-miss";
+    case Outcome::Unmapped: return "unmapped";
+  }
+  return "?";
+}
+
+Outcome check_flow(const topology::Topology& topo, const core::LpmTable& table,
+                   const netflow::FlowRecord& record) {
+  const auto predicted = table.lookup(record.src_ip);
+  if (!predicted) return Outcome::Unmapped;
+  if (predicted->matches(record.ingress)) return Outcome::Correct;
+  if (predicted->router == record.ingress.router) return Outcome::MissInterface;
+  if (topo.pop_of(predicted->router) == topo.pop_of(record.ingress.router)) {
+    return Outcome::MissRouter;
+  }
+  return Outcome::MissPop;
+}
+
+void OutcomeCounts::add(Outcome outcome) noexcept {
+  ++total;
+  switch (outcome) {
+    case Outcome::Correct: ++correct; break;
+    case Outcome::MissInterface: ++miss_interface; break;
+    case Outcome::MissRouter: ++miss_router; break;
+    case Outcome::MissPop: ++miss_pop; break;
+    case Outcome::Unmapped: ++unmapped; break;
+  }
+}
+
+ValidationRun::ValidationRun(const topology::Topology& topo,
+                             const workload::Universe& universe,
+                             util::Duration bin_len)
+    : topo_(&topo), owners_(universe), bin_len_(bin_len) {
+  const auto& ases = universe.ases();
+  top5_mask_.assign(ases.size(), false);
+  top20_mask_.assign(ases.size(), false);
+  for (const auto i : universe.top_indices(5)) top5_mask_[i] = true;
+  for (const auto i : universe.top_indices(20)) top20_mask_[i] = true;
+}
+
+bool ValidationRun::is_top5(std::size_t as_index) const noexcept {
+  return as_index < top5_mask_.size() && top5_mask_[as_index];
+}
+
+bool ValidationRun::is_top20(std::size_t as_index) const noexcept {
+  return as_index < top20_mask_.size() && top20_mask_[as_index];
+}
+
+void ValidationRun::roll_bin(util::Timestamp bin_start) {
+  if (bin_open_) {
+    for (auto& [as, detail] : detail_) {
+      (void)as;
+      detail.miss_timeline.emplace_back(current_.bin_start,
+                                        detail.current_bin_misses);
+      detail.volume_timeline.emplace_back(current_.bin_start,
+                                          detail.current_bin_total);
+      detail.current_bin_misses = 0;
+      detail.current_bin_total = 0;
+    }
+    bins_.push_back(current_);
+  }
+  current_ = BinRow{};
+  current_.bin_start = bin_start;
+  bin_open_ = true;
+}
+
+void ValidationRun::observe(const core::LpmTable& table,
+                            const netflow::FlowRecord& record) {
+  const util::Timestamp bin = util::bucket_start(record.ts, bin_len_);
+  if (!bin_open_ || bin != current_.bin_start) roll_bin(bin);
+
+  const Outcome outcome = check_flow(*topo_, table, record);
+  current_.all.add(outcome);
+  current_.volume_flows += 1;
+  current_.volume_bytes += record.bytes;
+
+  const std::size_t as = owners_.owner(record.src_ip);
+  if (as == workload::Universe::npos) return;
+  if (top20_mask_[as]) current_.top20.add(outcome);
+  if (top5_mask_[as]) {
+    current_.top5.add(outcome);
+    auto& detail = detail_[as];
+    detail.counts.add(outcome);
+    detail.current_bin_total += 1;
+    if (outcome != Outcome::Correct) {
+      detail.distinct_miss_ips.insert(record.src_ip);
+      detail.current_bin_misses += 1;
+    }
+  }
+}
+
+void ValidationRun::finish() {
+  if (bin_open_) {
+    for (auto& [as, detail] : detail_) {
+      (void)as;
+      detail.miss_timeline.emplace_back(current_.bin_start,
+                                        detail.current_bin_misses);
+      detail.volume_timeline.emplace_back(current_.bin_start,
+                                          detail.current_bin_total);
+      detail.current_bin_misses = 0;
+      detail.current_bin_total = 0;
+    }
+    bins_.push_back(current_);
+    bin_open_ = false;
+  }
+}
+
+}  // namespace ipd::analysis

@@ -1,0 +1,127 @@
+// Validation of IPD output against ground truth (paper §5.1).
+//
+// The validator replays the same flow trace that fed the engine: per 5-min
+// bin it resolves each flow's source IP through the LPM table built from
+// the latest IPD snapshot and compares the predicted ingress with the
+// flow's actual ingress link. Misses follow the paper's taxonomy:
+//   interface miss — same router, different interface,
+//   router miss    — same PoP, different router,
+//   PoP miss       — different site,
+//   unmapped       — the address space carries no classified range.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lpm_table.hpp"
+#include "net/lpm_trie.hpp"
+#include "netflow/flow_record.hpp"
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+#include "workload/universe.hpp"
+
+namespace ipd::analysis {
+
+/// Fast source-IP -> owning-AS-index resolution.
+class OwnerIndex {
+ public:
+  explicit OwnerIndex(const workload::Universe& universe);
+
+  /// Index into universe.ases(), or Universe::npos.
+  std::size_t owner(const net::IpAddress& ip) const noexcept;
+
+ private:
+  net::LpmTrie<std::size_t> v4_;
+  net::LpmTrie<std::size_t> v6_;
+};
+
+enum class Outcome : std::uint8_t {
+  Correct,
+  MissInterface,
+  MissRouter,
+  MissPop,
+  Unmapped,
+};
+
+const char* to_string(Outcome outcome) noexcept;
+
+/// Per-flow check of a prediction table against ground truth.
+Outcome check_flow(const topology::Topology& topo, const core::LpmTable& table,
+                   const netflow::FlowRecord& record);
+
+/// Aggregated outcome counters.
+struct OutcomeCounts {
+  std::uint64_t total = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t miss_interface = 0;
+  std::uint64_t miss_router = 0;
+  std::uint64_t miss_pop = 0;
+  std::uint64_t unmapped = 0;
+
+  void add(Outcome outcome) noexcept;
+  double accuracy() const noexcept {
+    return total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  }
+  std::uint64_t misses() const noexcept { return total - correct; }
+};
+
+/// Accuracy evaluation over a binned run, for ALL / TOP20 / TOP5 and with
+/// per-AS miss detail for the TOP5 ASes (Figs. 6-8).
+class ValidationRun {
+ public:
+  ValidationRun(const topology::Topology& topo,
+                const workload::Universe& universe,
+                util::Duration bin_len = 300);
+
+  /// Process one flow against the current prediction table. Flows must
+  /// arrive in (roughly) increasing bin order; a new bin is opened
+  /// automatically.
+  void observe(const core::LpmTable& table, const netflow::FlowRecord& record);
+
+  /// Close the current bin (call once after the last flow).
+  void finish();
+
+  struct BinRow {
+    util::Timestamp bin_start = 0;
+    OutcomeCounts all, top20, top5;
+    std::uint64_t volume_flows = 0;
+    std::uint64_t volume_bytes = 0;
+  };
+
+  const std::vector<BinRow>& bins() const noexcept { return bins_; }
+
+  struct PerAsDetail {
+    OutcomeCounts counts;
+    std::unordered_set<net::IpAddress, net::IpAddressHash> distinct_miss_ips;
+    // (bin start, count) timelines: misses and total volume per bin.
+    std::vector<std::pair<util::Timestamp, std::uint64_t>> miss_timeline;
+    std::vector<std::pair<util::Timestamp, std::uint64_t>> volume_timeline;
+    std::uint64_t current_bin_misses = 0;
+    std::uint64_t current_bin_total = 0;
+  };
+
+  /// Detail per TOP5 AS, keyed by AS index.
+  const std::unordered_map<std::size_t, PerAsDetail>& top5_detail() const noexcept {
+    return detail_;
+  }
+
+  const OwnerIndex& owners() const noexcept { return owners_; }
+  bool is_top5(std::size_t as_index) const noexcept;
+  bool is_top20(std::size_t as_index) const noexcept;
+
+ private:
+  void roll_bin(util::Timestamp bin_start);
+
+  const topology::Topology* topo_;
+  OwnerIndex owners_;
+  std::vector<bool> top5_mask_, top20_mask_;
+  util::Duration bin_len_;
+  std::vector<BinRow> bins_;
+  BinRow current_;
+  bool bin_open_ = false;
+  std::unordered_map<std::size_t, PerAsDetail> detail_;
+};
+
+}  // namespace ipd::analysis

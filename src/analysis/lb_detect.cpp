@@ -1,0 +1,101 @@
+#include "analysis/lb_detect.hpp"
+
+#include <algorithm>
+
+namespace ipd::analysis {
+
+namespace {
+
+/// Aggregate a row's per-link breakdown by router, descending by count.
+std::vector<std::pair<topology::RouterId, double>> by_router(
+    const core::RangeOutput& row) {
+  std::vector<std::pair<topology::RouterId, double>> routers;
+  for (const auto& [link, count] : row.breakdown) {
+    bool found = false;
+    for (auto& [router, total] : routers) {
+      if (router == link.router) {
+        total += count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) routers.emplace_back(link.router, count);
+  }
+  std::sort(routers.begin(), routers.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return routers;
+}
+
+bool balanced_pair(const core::RangeOutput& row, const LbDetectConfig& config,
+                   LbCandidate& out) {
+  if (row.s_ipcount < config.min_samples) return false;
+  const auto routers = by_router(row);
+  if (routers.size() < 2) return false;
+  const double total = row.s_ipcount;
+  const double share_a = routers[0].second / total;
+  const double share_b = routers[1].second / total;
+  if (share_a + share_b < config.min_combined_share) return false;
+  if (share_a - share_b > config.balance_tolerance) return false;
+  out.range = row.range;
+  out.router_a = routers[0].first;
+  out.router_b = routers[1].first;
+  out.share_a = share_a;
+  out.share_b = share_b;
+  out.samples = total;
+  return true;
+}
+
+}  // namespace
+
+std::vector<LbCandidate> scan_router_lb(const core::Snapshot& snapshot,
+                                        const LbDetectConfig& config) {
+  std::vector<LbCandidate> out;
+  for (const auto& row : snapshot) {
+    // Classified rows are by definition dominated by one ingress; the
+    // interesting cases are the ranges IPD cannot classify.
+    if (row.classified) continue;
+    LbCandidate candidate;
+    if (balanced_pair(row, config, candidate)) out.push_back(candidate);
+  }
+  return out;
+}
+
+void LbDetector::observe(const core::Snapshot& snapshot) {
+  for (auto& [prefix, streak] : streaks_) {
+    (void)prefix;
+    streak.seen_this_round = false;
+  }
+  for (const auto& candidate : scan_router_lb(snapshot, config_)) {
+    auto& streak = streaks_[candidate.range];
+    // The same pair of routers must persist for the streak to grow.
+    if (streak.count > 0 && (streak.last.router_a != candidate.router_a ||
+                             streak.last.router_b != candidate.router_b)) {
+      streak.count = 0;
+    }
+    streak.last = candidate;
+    streak.count += 1;
+    streak.seen_this_round = true;
+  }
+  for (auto it = streaks_.begin(); it != streaks_.end();) {
+    it = it->second.seen_this_round ? std::next(it) : streaks_.erase(it);
+  }
+}
+
+std::vector<LbCandidate> LbDetector::confirmed() const {
+  std::vector<LbCandidate> out;
+  for (const auto& [prefix, streak] : streaks_) {
+    (void)prefix;
+    if (streak.count >= config_.min_persistence) {
+      LbCandidate candidate = streak.last;
+      candidate.persistence = streak.count;
+      out.push_back(candidate);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LbCandidate& a, const LbCandidate& b) {
+              return a.samples > b.samples;
+            });
+  return out;
+}
+
+}  // namespace ipd::analysis

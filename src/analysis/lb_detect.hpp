@@ -1,0 +1,72 @@
+// Router-level load-balancing detection — the paper's future-work
+// extension (§5.8, §7).
+//
+// IPD deliberately does not classify prefixes whose traffic a neighbor
+// balances over two routers ("we have intentionally not considered
+// router-level load balancing"); in the deployment such a case surfaced
+// once and caused unclassifiable prefixes. The paper suggests handling it
+// in future work. This detector provides the diagnostic half of that
+// extension without the quadratic (src, dst) state the paper warns about:
+// it scans snapshot rows for ranges whose per-ingress breakdown shows a
+// persistent near-even split across exactly two routers, so an operator
+// can see *why* a range stays unclassified and talk to the neighbor.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/output.hpp"
+#include "net/prefix.hpp"
+#include "topology/ids.hpp"
+
+namespace ipd::analysis {
+
+struct LbCandidate {
+  net::Prefix range;
+  topology::RouterId router_a = 0;
+  topology::RouterId router_b = 0;
+  double share_a = 0.0;
+  double share_b = 0.0;
+  double samples = 0.0;
+  /// Snapshots in a row this range has looked balanced (filled by
+  /// LbDetector; single-snapshot scans leave it at 1).
+  int persistence = 1;
+};
+
+struct LbDetectConfig {
+  double min_samples = 50.0;         // ignore thin ranges
+  double balance_tolerance = 0.15;   // | share_a - share_b | limit
+  double min_combined_share = 0.85;  // the two routers must dominate
+  int min_persistence = 3;           // snapshots in a row (LbDetector)
+};
+
+/// One-shot scan of a snapshot for balanced two-router ranges.
+std::vector<LbCandidate> scan_router_lb(const core::Snapshot& snapshot,
+                                        const LbDetectConfig& config = {});
+
+/// Stateful detector: feed successive snapshots; ranges that look balanced
+/// for `min_persistence` consecutive snapshots become confirmed findings
+/// (filters out transient ingress shifts mid-classification).
+class LbDetector {
+ public:
+  explicit LbDetector(LbDetectConfig config = {}) : config_(config) {}
+
+  void observe(const core::Snapshot& snapshot);
+
+  /// Currently confirmed candidates (persistence >= min_persistence).
+  std::vector<LbCandidate> confirmed() const;
+
+  std::size_t tracked() const noexcept { return streaks_.size(); }
+
+ private:
+  LbDetectConfig config_;
+  struct Streak {
+    LbCandidate last;
+    int count = 0;
+    bool seen_this_round = false;
+  };
+  std::unordered_map<net::Prefix, Streak, net::PrefixHash> streaks_;
+};
+
+}  // namespace ipd::analysis

@@ -1,0 +1,65 @@
+// Appendix-A parameter study driver: evaluates IPD parameter sets against a
+// shared captured trace using the paper's three metrics — accuracy,
+// stability duration (KS distance to the best-fitting reference
+// distribution), and resource consumption (cycle runtime, memory).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "netflow/flow_record.hpp"
+#include "topology/topology.hpp"
+#include "workload/universe.hpp"
+
+namespace ipd::analysis {
+
+struct ParamStudyMetrics {
+  core::IpdParams params;
+  double accuracy_all = 0.0;    // mean per-bin flow accuracy (ALL)
+  double accuracy_top5 = 0.0;
+  double ks_distance = 1.0;     // stability-CDF distance to best fit
+  double mean_stability_s = 0.0;
+  double mean_cycle_ms = 0.0;
+  double peak_memory_mb = 0.0;
+  double mean_ranges = 0.0;     // average partition size
+  std::uint64_t final_classified = 0;
+};
+
+/// Run one parameter set over a captured trace (records must be in time
+/// order; the same trace is reused for every set, like the paper's 25-hour
+/// capture). The first `accuracy_skip_bins` 5-minute bins are excluded
+/// from the accuracy averages (cold-start: the top-down partition deepens
+/// one level per cycle).
+ParamStudyMetrics evaluate_params(const std::vector<netflow::FlowRecord>& trace,
+                                  const topology::Topology& topo,
+                                  const workload::Universe& universe,
+                                  const core::IpdParams& params,
+                                  std::size_t accuracy_skip_bins = 0);
+
+/// Full factorial expansion over the Table-2 levels. v4/v6 levels are tied
+/// index-wise (the paper's "conditional parameter setting" to avoid
+/// confounding) — both factor lists must have equal length, likewise the
+/// cidr_max lists.
+std::vector<core::IpdParams> factorial_design(
+    const std::vector<double>& q_levels,
+    const std::vector<double>& ncidr4_levels,
+    const std::vector<double>& ncidr6_levels,
+    const std::vector<int>& cidrmax4_levels,
+    const std::vector<int>& cidrmax6_levels);
+
+/// The paper's Table-2 levels (bench-scaled n_cidr factors: the deployment
+/// factors 32..80 assume 32M flows/min; we scale by the trace volume while
+/// keeping the 4-level spread). `ncidr_floor` guards against single-sample
+/// classifications at simulation scale (0 = paper-faithful).
+std::vector<core::IpdParams> table2_design(double factor_scale = 1.0,
+                                           double ncidr_floor = 0.0);
+
+/// Group metric values by the level of one factor (for effect plots and
+/// ANOVA). `factor_of` extracts the factor level from a parameter set.
+std::vector<std::vector<double>> group_by_factor(
+    const std::vector<ParamStudyMetrics>& results,
+    const std::function<double(const core::IpdParams&)>& factor_of,
+    const std::function<double(const ParamStudyMetrics&)>& metric_of);
+
+}  // namespace ipd::analysis

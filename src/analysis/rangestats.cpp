@@ -1,0 +1,144 @@
+#include "analysis/rangestats.hpp"
+
+#include <algorithm>
+
+namespace ipd::analysis {
+
+std::vector<std::uint64_t> snapshot_mask_histogram(
+    const core::Snapshot& snapshot, net::Family family,
+    const std::function<bool(const core::RangeOutput&)>& keep) {
+  std::vector<std::uint64_t> hist(
+      static_cast<std::size_t>(net::family_width(family)) + 1, 0);
+  for (const auto& row : snapshot) {
+    if (!row.classified || row.range.family() != family) continue;
+    if (keep && !keep(row)) continue;
+    ++hist[static_cast<std::size_t>(row.range.length())];
+  }
+  return hist;
+}
+
+SpecificityCounts compare_specificity(const core::Snapshot& snapshot,
+                                      const bgp::Rib& rib) {
+  SpecificityCounts counts;
+  for (const auto& row : snapshot) {
+    if (!row.classified) continue;
+    const auto hit = rib.lookup_entry(row.range.address());
+    if (!hit) {
+      ++counts.unmatched;
+      continue;
+    }
+    const int bgp_len = hit->first.length();
+    if (row.range.length() > bgp_len) {
+      ++counts.ipd_more_specific;
+    } else if (row.range.length() == bgp_len) {
+      ++counts.exact;
+    } else {
+      ++counts.ipd_less_specific;
+    }
+  }
+  return counts;
+}
+
+SymmetryResult symmetry_ratio(
+    const core::Snapshot& snapshot, const bgp::Rib& rib,
+    const std::function<bool(const core::RangeOutput&)>& keep,
+    const std::function<net::IpAddress(const core::RangeOutput&)>& probe) {
+  SymmetryResult result;
+  for (const auto& row : snapshot) {
+    if (!row.classified) continue;
+    if (keep && !keep(row)) continue;
+    const bgp::RibEntry* entry =
+        rib.lookup(probe ? probe(row) : row.range.address());
+    if (!entry || entry->egress == topology::kInvalidRouter) continue;
+    ++result.compared;
+    if (entry->egress == row.ingress.router) ++result.symmetric;
+  }
+  return result;
+}
+
+ViolationScan scan_violations(const core::Snapshot& snapshot,
+                              const workload::Universe& universe,
+                              const topology::Topology& topo,
+                              const OwnerIndex& owners) {
+  ViolationScan scan;
+  const auto& tier1 = universe.tier1_indices();
+  scan.violations_per_tier1.assign(tier1.size(), 0);
+  for (const auto& row : snapshot) {
+    if (!row.classified) continue;
+    const std::size_t as_index = owners.owner(row.range.address());
+    const auto it = std::find(tier1.begin(), tier1.end(), as_index);
+    if (it == tier1.end()) continue;
+    ++scan.total_tier1_ranges;
+    const auto& as = universe.ases()[as_index];
+    // Violation: the dominant ingress link is not a direct peering link of
+    // this tier-1 AS (traffic arrives via a third party).
+    const topology::LinkId link = row.ingress.primary_link();
+    if (!topo.is_peering_link_to(link, as.asn)) {
+      ++scan.total_violations;
+      ++scan.violations_per_tier1[static_cast<std::size_t>(
+          std::distance(tier1.begin(), it))];
+    }
+  }
+  return scan;
+}
+
+std::vector<const core::RangeOutput*> select_elephants(
+    const core::Snapshot& snapshot, double fraction) {
+  std::vector<const core::RangeOutput*> rows;
+  for (const auto& row : snapshot) {
+    if (row.classified) rows.push_back(&row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const core::RangeOutput* a, const core::RangeOutput* b) {
+              return a->s_ipcount > b->s_ipcount;
+            });
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(rows.size())));
+  if (rows.size() > keep) rows.resize(keep);
+  return rows;
+}
+
+CompositionStats composition(const std::vector<const core::RangeOutput*>& rows,
+                             const workload::Universe& universe,
+                             const topology::Topology& topo,
+                             const OwnerIndex& owners) {
+  CompositionStats stats;
+  if (rows.empty()) return stats;
+  const auto top5 = universe.top_indices(5);
+  const auto top20 = universe.top_indices(20);
+  std::uint64_t pni = 0, in5 = 0, in20 = 0;
+  for (const auto* row : rows) {
+    const auto link = row->ingress.primary_link();
+    try {
+      if (topo.interface(link).type == topology::LinkType::Pni) ++pni;
+    } catch (const std::out_of_range&) {
+      // interface unknown (shouldn't happen; defensive)
+    }
+    const std::size_t as = owners.owner(row->range.address());
+    if (std::find(top5.begin(), top5.end(), as) != top5.end()) ++in5;
+    if (std::find(top20.begin(), top20.end(), as) != top20.end()) ++in20;
+  }
+  const auto n = static_cast<double>(rows.size());
+  stats.pni_share = pni / n;
+  stats.top5_share = in5 / n;
+  stats.top20_share = in20 / n;
+  return stats;
+}
+
+DaytimeAggregate aggregate_snapshot(
+    const core::Snapshot& snapshot, net::Family family,
+    const std::function<bool(const core::RangeOutput&)>& keep) {
+  DaytimeAggregate agg;
+  agg.prefixes_per_mask.assign(
+      static_cast<std::size_t>(net::family_width(family)) + 1, 0);
+  for (const auto& row : snapshot) {
+    if (!row.classified || row.range.family() != family) continue;
+    if (keep && !keep(row)) continue;
+    agg.mapped_address_space += row.range.address_count();
+    ++agg.prefixes_per_mask[static_cast<std::size_t>(row.range.length())];
+    ++agg.prefix_count;
+  }
+  return agg;
+}
+
+}  // namespace ipd::analysis

@@ -1,0 +1,102 @@
+// Snapshot-level statistics: range-size distributions (Fig. 9), IPD-vs-BGP
+// specificity (§5.2), path symmetry (Fig. 16), peering-violation detection
+// (§5.6, Fig. 17), elephant-range composition (§5.4) and per-daytime
+// aggregation (Figs. 11/12).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/accuracy.hpp"
+#include "bgp/rib.hpp"
+#include "core/output.hpp"
+#include "topology/topology.hpp"
+#include "workload/universe.hpp"
+
+namespace ipd::analysis {
+
+/// Histogram of classified range lengths (index = mask length); rows can be
+/// filtered (e.g. to an AS subset) with `keep`.
+std::vector<std::uint64_t> snapshot_mask_histogram(
+    const core::Snapshot& snapshot, net::Family family,
+    const std::function<bool(const core::RangeOutput&)>& keep = {});
+
+/// IPD-vs-BGP prefix specificity (§5.2).
+struct SpecificityCounts {
+  std::uint64_t ipd_more_specific = 0;
+  std::uint64_t exact = 0;
+  std::uint64_t ipd_less_specific = 0;
+  std::uint64_t unmatched = 0;  // no covering BGP announcement
+
+  std::uint64_t compared() const noexcept {
+    return ipd_more_specific + exact + ipd_less_specific;
+  }
+};
+
+SpecificityCounts compare_specificity(const core::Snapshot& snapshot,
+                                      const bgp::Rib& rib);
+
+/// Path-symmetry ratio (Fig. 16): fraction of classified ranges whose BGP
+/// egress router equals their detected ingress router.
+struct SymmetryResult {
+  std::uint64_t compared = 0;
+  std::uint64_t symmetric = 0;
+  double ratio() const noexcept {
+    return compared ? static_cast<double>(symmetric) / static_cast<double>(compared)
+                    : 0.0;
+  }
+};
+
+/// `probe` selects the address used for the RIB lookup of a range (default:
+/// the range's base address). Joined IPD ranges can be much coarser than
+/// their traffic sources; probing at a traffic-carrying address compares
+/// ingress and egress of the *same* traffic.
+SymmetryResult symmetry_ratio(
+    const core::Snapshot& snapshot, const bgp::Rib& rib,
+    const std::function<bool(const core::RangeOutput&)>& keep = {},
+    const std::function<net::IpAddress(const core::RangeOutput&)>& probe = {});
+
+/// Peering-violation scan (§5.6): classified ranges owned by a tier-1 peer
+/// whose ingress interface is not a peering link to that peer.
+struct ViolationScan {
+  // per tier-1 ordinal (index into universe.tier1_indices())
+  std::vector<std::uint64_t> violations_per_tier1;
+  std::uint64_t total_tier1_ranges = 0;
+  std::uint64_t total_violations = 0;
+};
+
+ViolationScan scan_violations(const core::Snapshot& snapshot,
+                              const workload::Universe& universe,
+                              const topology::Topology& topo,
+                              const OwnerIndex& owners);
+
+/// Elephant selection (§5.4): rows with the top `fraction` sample counters.
+std::vector<const core::RangeOutput*> select_elephants(
+    const core::Snapshot& snapshot, double fraction);
+
+/// Composition stats of a row subset (share on PNI links / in TOP-k ASes).
+struct CompositionStats {
+  double pni_share = 0.0;
+  double top5_share = 0.0;
+  double top20_share = 0.0;
+};
+
+CompositionStats composition(const std::vector<const core::RangeOutput*>& rows,
+                             const workload::Universe& universe,
+                             const topology::Topology& topo,
+                             const OwnerIndex& owners);
+
+/// Mapped address space and prefix counts per mask bucket, used for the
+/// daytime figures (11/12). `mask_bucket(len)` groups lengths for display.
+struct DaytimeAggregate {
+  double mapped_address_space = 0.0;             // sum of 2^host_bits
+  std::vector<std::uint64_t> prefixes_per_mask;  // index = mask length
+  std::uint64_t prefix_count = 0;
+};
+
+DaytimeAggregate aggregate_snapshot(
+    const core::Snapshot& snapshot, net::Family family,
+    const std::function<bool(const core::RangeOutput&)>& keep = {});
+
+}  // namespace ipd::analysis

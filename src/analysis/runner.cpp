@@ -1,0 +1,56 @@
+#include "analysis/runner.hpp"
+
+namespace ipd::analysis {
+
+BinnedRunner::BinnedRunner(core::IpdEngine& engine, ValidationRun* validation,
+                           RunnerConfig config)
+    : engine_(engine), validation_(validation), config_(config) {}
+
+void BinnedRunner::advance_to(util::Timestamp ts) {
+  const util::Duration t = engine_.params().t;
+  if (!started_) {
+    next_cycle_ = util::bucket_start(ts, t) + t;
+    next_snapshot_ = util::bucket_start(ts, config_.snapshot_len) +
+                     config_.snapshot_len;
+    started_ = true;
+    return;
+  }
+  while (next_cycle_ <= ts || next_snapshot_ <= ts) {
+    if (next_cycle_ <= next_snapshot_) {
+      const auto stats = engine_.run_cycle(next_cycle_);
+      if (config_.keep_cycle_stats) cycles_.push_back(stats);
+      next_cycle_ += t;
+    } else {
+      take_snapshot(next_snapshot_);
+      next_snapshot_ += config_.snapshot_len;
+    }
+  }
+}
+
+void BinnedRunner::take_snapshot(util::Timestamp ts) {
+  const core::Snapshot snapshot = core::take_snapshot(engine_, ts);
+  const core::LpmTable table = core::LpmTable::from_snapshot(snapshot);
+  if (validation_) {
+    for (const auto& record : bin_buffer_) validation_->observe(table, record);
+  }
+  bin_buffer_.clear();
+  if (on_snapshot) on_snapshot(ts, snapshot, table);
+  ++snapshots_;
+}
+
+void BinnedRunner::offer(const netflow::FlowRecord& record) {
+  advance_to(record.ts);
+  engine_.ingest(record);
+  if (validation_) bin_buffer_.push_back(record);
+}
+
+void BinnedRunner::finish() {
+  if (!started_) return;
+  // Run the trailing cycle and snapshot so the last bin is validated.
+  const auto stats = engine_.run_cycle(next_cycle_);
+  if (config_.keep_cycle_stats) cycles_.push_back(stats);
+  take_snapshot(next_snapshot_);
+  if (validation_) validation_->finish();
+}
+
+}  // namespace ipd::analysis

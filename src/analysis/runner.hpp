@@ -1,0 +1,63 @@
+// Binned engine runner: the deployment loop in reusable form.
+//
+// Streams flow records into an IpdEngine, fires stage-2 cycles every `t`
+// seconds of simulated time, and every `snapshot_len` (default 5 min, the
+// deployment's output cadence) takes a snapshot, rebuilds the LPM table and
+// validates the just-finished bin's flows against it — exactly the
+// validation methodology of §5.1.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/accuracy.hpp"
+#include "core/engine.hpp"
+#include "core/lpm_table.hpp"
+#include "core/output.hpp"
+
+namespace ipd::analysis {
+
+struct RunnerConfig {
+  util::Duration snapshot_len = 300;  // 5-minute output bins
+  bool keep_cycle_stats = true;
+};
+
+class BinnedRunner {
+ public:
+  /// `validation` may be null (no accuracy evaluation).
+  BinnedRunner(core::IpdEngine& engine, ValidationRun* validation,
+               RunnerConfig config = {});
+
+  /// Offer one record (must arrive in non-decreasing bin order).
+  void offer(const netflow::FlowRecord& record);
+
+  /// Flush: run final cycles, snapshot, and validate the last bin.
+  void finish();
+
+  /// Called after each snapshot with (snapshot time, snapshot, table).
+  std::function<void(util::Timestamp, const core::Snapshot&,
+                     const core::LpmTable&)>
+      on_snapshot;
+
+  const std::vector<core::CycleStats>& cycles() const noexcept {
+    return cycles_;
+  }
+
+  std::uint64_t snapshots_taken() const noexcept { return snapshots_; }
+
+ private:
+  void advance_to(util::Timestamp ts);
+  void take_snapshot(util::Timestamp ts);
+
+  core::IpdEngine& engine_;
+  ValidationRun* validation_;
+  RunnerConfig config_;
+  std::vector<core::CycleStats> cycles_;
+  std::vector<netflow::FlowRecord> bin_buffer_;
+  util::Timestamp next_cycle_ = 0;
+  util::Timestamp next_snapshot_ = 0;
+  bool started_ = false;
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace ipd::analysis

@@ -1,0 +1,154 @@
+#include "analysis/stability.hpp"
+
+#include <algorithm>
+
+namespace ipd::analysis {
+
+void StabilityTracker::observe(const core::Snapshot& snapshot) {
+  if (snapshot.empty()) return;
+  const util::Timestamp now = snapshot.front().ts;
+
+  for (const auto& row : snapshot) {
+    if (!row.classified) continue;
+    auto [it, inserted] = open_.try_emplace(row.range);
+    Stint& stint = it->second;
+    if (inserted) {
+      stint.ingress = row.ingress;
+      stint.since = now;
+    } else if (!(stint.ingress == row.ingress)) {
+      durations_.push_back(static_cast<double>(now - stint.since));
+      stint.ingress = row.ingress;
+      stint.since = now;
+    }
+    stint.last_seen = now;
+  }
+
+  // Ranges absent from this snapshot: their stint ended.
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (it->second.last_seen < now) {
+      durations_.push_back(
+          static_cast<double>(it->second.last_seen - it->second.since));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StabilityTracker::finish(util::Timestamp now) {
+  for (auto& [prefix, stint] : open_) {
+    (void)prefix;
+    durations_.push_back(static_cast<double>(now - stint.since));
+  }
+  open_.clear();
+}
+
+std::vector<double> StabilityTracker::durations_with_open(
+    util::Timestamp now) const {
+  std::vector<double> out = durations_;
+  for (const auto& [prefix, stint] : open_) {
+    (void)prefix;
+    out.push_back(static_cast<double>(now - stint.since));
+  }
+  return out;
+}
+
+void MonotonicCounterTracker::observe(const core::Snapshot& snapshot) {
+  if (snapshot.empty()) return;
+  const util::Timestamp now = snapshot.front().ts;
+
+  for (const auto& row : snapshot) {
+    if (!row.classified) continue;
+    auto [it, inserted] = state_.try_emplace(row.range);
+    State& state = it->second;
+    if (inserted) {
+      state.increase_since = now;
+    } else if (row.s_ipcount < state.last_count) {
+      // Counter shrank (decay or drop/reclassify): monotonic phase over.
+      const double duration = static_cast<double>(state.last_seen - state.increase_since);
+      durations_.push_back(duration);
+      closed_.emplace_back(state.peak_count, duration);
+      state.increase_since = now;
+      state.peak_count = 0.0;
+    }
+    state.last_count = row.s_ipcount;
+    state.peak_count = std::max(state.peak_count, row.s_ipcount);
+    state.last_seen = now;
+  }
+
+  for (auto it = state_.begin(); it != state_.end();) {
+    State& state = it->second;
+    if (state.last_seen < now) {
+      const double duration =
+          static_cast<double>(state.last_seen - state.increase_since);
+      durations_.push_back(duration);
+      closed_.emplace_back(state.peak_count, duration);
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MonotonicCounterTracker::finish(util::Timestamp now) {
+  for (auto& [prefix, state] : state_) {
+    (void)prefix;
+    const double duration = static_cast<double>(now - state.increase_since);
+    durations_.push_back(duration);
+    closed_.emplace_back(state.peak_count, duration);
+  }
+  state_.clear();
+}
+
+std::vector<double> MonotonicCounterTracker::elephant_durations(
+    double fraction) const {
+  if (closed_.empty()) return {};
+  auto sorted = closed_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(sorted.size())));
+  std::vector<double> out;
+  out.reserve(keep);
+  for (std::size_t i = 0; i < keep && i < sorted.size(); ++i) {
+    out.push_back(sorted[i].second);
+  }
+  return out;
+}
+
+LongitudinalShare compare_snapshots(const core::Snapshot& t1,
+                                    const core::LpmTable& t2,
+                                    int samples_per_range, net::Family family) {
+  LongitudinalShare share;
+  double total_weight = 0.0, matching = 0.0, stable = 0.0;
+  for (const auto& row : t1) {
+    if (!row.classified || row.range.family() != family) continue;
+    const double weight = row.range.address_count();
+    const double per_sample = weight / samples_per_range;
+    for (int k = 0; k < samples_per_range; ++k) {
+      // Strided representatives: the k-th of `samples_per_range` equal
+      // sub-slices of the range.
+      const int probe_len =
+          std::min(row.range.width(),
+                   row.range.length() + 8);  // probe at /len+8 granularity
+      const std::uint64_t slots =
+          1ULL << std::min(probe_len - row.range.length(), 62);
+      const std::uint64_t idx =
+          (static_cast<std::uint64_t>(k) * slots) / samples_per_range;
+      const net::IpAddress probe =
+          row.range.nth_subprefix(idx, probe_len).address();
+      total_weight += per_sample;
+      const auto hit = t2.lookup(probe);
+      if (!hit) continue;
+      matching += per_sample;
+      if (*hit == row.ingress) stable += per_sample;
+    }
+  }
+  if (total_weight > 0.0) {
+    share.matching = matching / total_weight;
+    share.stable = stable / total_weight;
+  }
+  return share;
+}
+
+}  // namespace ipd::analysis

@@ -1,0 +1,82 @@
+// Ingress-mapping stability analyses (paper §2 Fig. 2, §5.3, §5.4 Fig. 15).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lpm_table.hpp"
+#include "core/output.hpp"
+#include "net/prefix.hpp"
+#include "util/time.hpp"
+
+namespace ipd::analysis {
+
+/// Tracks, across a sequence of snapshots, how long each prefix stays
+/// classified to the same ingress ("stability duration per prefix on a
+/// link", Fig. 2). Feed snapshots in time order; closed stints accumulate.
+class StabilityTracker {
+ public:
+  void observe(const core::Snapshot& snapshot);
+
+  /// Close all open stints at `now` and add them to the durations.
+  void finish(util::Timestamp now);
+
+  /// Closed stint durations in seconds.
+  const std::vector<double>& durations() const noexcept { return durations_; }
+
+  /// Durations including still-open stints evaluated at `now`.
+  std::vector<double> durations_with_open(util::Timestamp now) const;
+
+ private:
+  struct Stint {
+    core::IngressId ingress;
+    util::Timestamp since = 0;
+    util::Timestamp last_seen = 0;
+  };
+  std::unordered_map<net::Prefix, Stint, net::PrefixHash> open_;
+  std::vector<double> durations_;
+};
+
+/// Tracks how long each range's sample counter increases monotonically —
+/// the paper's §5.4 definition of elephant-range stability.
+class MonotonicCounterTracker {
+ public:
+  void observe(const core::Snapshot& snapshot);
+  void finish(util::Timestamp now);
+
+  const std::vector<double>& durations() const noexcept { return durations_; }
+
+  /// Stints of the ranges whose *final* counter value is in the top
+  /// `fraction` (elephant selection); pass the accumulated per-prefix data.
+  std::vector<double> elephant_durations(double fraction) const;
+
+ private:
+  struct State {
+    double last_count = 0.0;
+    util::Timestamp increase_since = 0;
+    util::Timestamp last_seen = 0;
+    double peak_count = 0.0;
+  };
+  std::unordered_map<net::Prefix, State, net::PrefixHash> state_;
+  std::vector<double> durations_;
+  std::vector<std::pair<double, double>> closed_;  // (peak count, duration)
+};
+
+/// Longitudinal comparison (Fig. 10): how much of the address space mapped
+/// at t1 is still mapped (matching) / mapped to the same ingress (stable)
+/// at t2. Shares are weighted by covered address count; each t1 range is
+/// probed with `samples_per_range` strided representative addresses. The
+/// comparison is per address family (v6 ranges would otherwise dominate
+/// the weighting by sheer address count).
+struct LongitudinalShare {
+  double matching = 0.0;
+  double stable = 0.0;
+};
+
+LongitudinalShare compare_snapshots(const core::Snapshot& t1,
+                                    const core::LpmTable& t2,
+                                    int samples_per_range = 4,
+                                    net::Family family = net::Family::V4);
+
+}  // namespace ipd::analysis

@@ -1,0 +1,147 @@
+#include "bgp/generator.hpp"
+
+#include <algorithm>
+
+namespace ipd::bgp {
+
+RibGenerator::RibGenerator(const workload::Universe& universe,
+                           RibGenConfig config)
+    : universe_(&universe), config_(config) {
+  util::Rng rng(config_.seed);
+  const auto& ases = universe.ases();
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    for (const auto& block : ases[i].blocks_v4) {
+      announce_block(block, i, rng);
+    }
+    if (config_.announce_v6) {
+      for (const auto& block : ases[i].blocks_v6) {
+        announcements_.push_back(
+            Announcement{block, i, draw_next_hops(ases[i], rng)});
+        // A few more-specific /48s, as common in practice.
+        const std::uint64_t n48 = 2 + rng.below(3);
+        for (std::uint64_t k = 0; k < n48; ++k) {
+          announcements_.push_back(
+              Announcement{block.nth_subprefix(rng.below(1ULL << 16), 48), i,
+                           draw_next_hops(ases[i], rng)});
+        }
+      }
+    }
+  }
+}
+
+void RibGenerator::announce_block(const net::Prefix& block,
+                                  std::size_t as_index, util::Rng& rng) {
+  // Recursive carve: at each level the AS either announces the aggregate or
+  // deaggregates further; everything reaching /24 is announced as /24.
+  // Stop probabilities shape the mask histogram towards the paper's Fig. 9
+  // BGP curve (>50 % /24s, 5-10 % each for /20../23).
+  const int len = block.length();
+  if (len >= 24) {
+    announcements_.push_back(
+        Announcement{block, as_index, draw_next_hops(universe_->ases()[as_index], rng)});
+    return;
+  }
+  double stop_prob = 0.0;
+  if (len >= 22) {
+    stop_prob = 0.22;
+  } else if (len >= 20) {
+    stop_prob = 0.16;
+  } else if (len >= 16) {
+    stop_prob = 0.08;
+  } else {
+    stop_prob = 0.02;
+  }
+  if (rng.chance(stop_prob)) {
+    announcements_.push_back(
+        Announcement{block, as_index, draw_next_hops(universe_->ases()[as_index], rng)});
+    return;
+  }
+  announce_block(block.child(0), as_index, rng);
+  announce_block(block.child(1), as_index, rng);
+}
+
+std::vector<topology::RouterId> RibGenerator::draw_next_hops(
+    const workload::AsInfo& as, util::Rng& rng) const {
+  // Next-hop count distribution (Fig. 3, dotted): 20 % one, ~20 % two to
+  // five, 60 % more than five.
+  const double u = rng.uniform();
+  std::size_t n;
+  if (u < 0.20) {
+    n = 1;
+  } else if (u < 0.27) {
+    n = 2;
+  } else if (u < 0.34) {
+    n = 3;
+  } else if (u < 0.37) {
+    n = 4;
+  } else if (u < 0.40) {
+    n = 5;
+  } else {
+    n = 6 + rng.below(7);
+  }
+
+  // Candidates: the AS's own attachment routers first, then routers seen
+  // anywhere in the universe (paths via intermediate ASes).
+  std::vector<topology::RouterId> hops;
+  for (const auto& link : as.links) {
+    if (std::find(hops.begin(), hops.end(), link.router) == hops.end()) {
+      hops.push_back(link.router);
+    }
+  }
+  std::vector<topology::RouterId> pool;
+  for (const auto& other : universe_->ases()) {
+    for (const auto& link : other.links) pool.push_back(link.router);
+  }
+  int attempts = 0;
+  while (hops.size() < n && ++attempts < 400) {
+    const auto r = pool[rng.below(pool.size())];
+    if (std::find(hops.begin(), hops.end(), r) == hops.end()) hops.push_back(r);
+  }
+  if (hops.size() > n) hops.resize(n);
+  return hops;
+}
+
+double RibGenerator::symmetry_for(const workload::AsInfo& as) const noexcept {
+  switch (as.cls) {
+    case workload::AsClass::Tier1:
+      return config_.symmetry_tier1;
+    case workload::AsClass::Cdn:
+    case workload::AsClass::Cloud:
+      return config_.symmetry_hypergiant;
+    default:
+      return config_.symmetry_other;
+  }
+}
+
+Rib RibGenerator::snapshot(util::Timestamp ts, const IngressOracle& oracle) const {
+  util::Rng rng(config_.seed ^ (static_cast<std::uint64_t>(ts) * 0x9e3779b97f4a7c15ULL));
+  Rib rib;
+  const auto& ases = universe_->ases();
+  for (const auto& ann : announcements_) {
+    const auto& as = ases[ann.as_index];
+    RibEntry entry;
+    entry.origin = as.asn;
+    entry.next_hops = ann.next_hops;
+    const topology::RouterId ingress = oracle(ann.prefix, ann.as_index, ts);
+    if (rng.chance(symmetry_for(as)) && ingress != topology::kInvalidRouter) {
+      entry.egress = ingress;
+    } else {
+      // Asymmetric: leave via a different attachment router when possible.
+      topology::RouterId other = topology::kInvalidRouter;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto cand = as.links[rng.below(as.links.size())].router;
+        if (cand != ingress) {
+          other = cand;
+          break;
+        }
+      }
+      entry.egress = other != topology::kInvalidRouter
+                         ? other
+                         : (ann.next_hops.empty() ? ingress : ann.next_hops.front());
+    }
+    rib.add(ann.prefix, std::move(entry));
+  }
+  return rib;
+}
+
+}  // namespace ipd::bgp

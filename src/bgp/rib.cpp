@@ -1,0 +1,15 @@
+#include "bgp/rib.hpp"
+
+namespace ipd::bgp {
+
+std::vector<std::uint64_t> Rib::mask_histogram(net::Family family) const {
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(family_width(family)) + 1,
+                                  0);
+  const auto& trie = family == net::Family::V4 ? v4_ : v6_;
+  trie.visit([&hist](const net::Prefix& prefix, const RibEntry&) {
+    ++hist[static_cast<std::size_t>(prefix.length())];
+  });
+  return hist;
+}
+
+}  // namespace ipd::bgp

@@ -1,0 +1,65 @@
+// BGP Routing Information Base substrate.
+//
+// The paper uses periodic BGP table dumps to (a) contrast the number of
+// announced next-hops with actual ingress points (Fig. 3), (b) compare IPD
+// range specificity with BGP prefixes (§5.2, Fig. 9), and (c) derive egress
+// routers for the path-asymmetry study (§5.5, Fig. 16). This RIB stores,
+// per announced prefix, the candidate next-hop border routers and the
+// best-path egress router.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/lpm_trie.hpp"
+#include "topology/ids.hpp"
+
+namespace ipd::bgp {
+
+struct RibEntry {
+  topology::AsNumber origin = 0;
+  std::vector<topology::RouterId> next_hops;  // possible ingress routers
+  topology::RouterId egress = topology::kInvalidRouter;  // best-path egress
+};
+
+class Rib {
+ public:
+  Rib() : v4_(net::Family::V4), v6_(net::Family::V6) {}
+
+  void add(const net::Prefix& prefix, RibEntry entry) {
+    (prefix.family() == net::Family::V4 ? v4_ : v6_).insert(prefix,
+                                                            std::move(entry));
+  }
+
+  /// Longest-prefix match.
+  const RibEntry* lookup(const net::IpAddress& ip) const {
+    return (ip.is_v4() ? v4_ : v6_).lookup(ip);
+  }
+
+  /// Longest-prefix match returning the matched announcement too.
+  std::optional<std::pair<net::Prefix, const RibEntry*>> lookup_entry(
+      const net::IpAddress& ip) const {
+    return (ip.is_v4() ? v4_ : v6_).lookup_entry(ip);
+  }
+
+  const RibEntry* exact(const net::Prefix& prefix) const {
+    return (prefix.family() == net::Family::V4 ? v4_ : v6_).exact(prefix);
+  }
+
+  void visit(const std::function<void(const net::Prefix&, const RibEntry&)>& fn) const {
+    v4_.visit(fn);
+    v6_.visit(fn);
+  }
+
+  std::size_t size() const noexcept { return v4_.size() + v6_.size(); }
+
+  /// Histogram of announced prefix lengths (index = mask length).
+  std::vector<std::uint64_t> mask_histogram(net::Family family) const;
+
+ private:
+  net::LpmTrie<RibEntry> v4_;
+  net::LpmTrie<RibEntry> v6_;
+};
+
+}  // namespace ipd::bgp

@@ -1,0 +1,169 @@
+#include "collector/collector.hpp"
+
+#include <chrono>
+
+namespace ipd::collector {
+
+CollectorService::CollectorService(core::IpdParams params,
+                                   CollectorConfig config,
+                                   std::size_t n_sources)
+    : config_(config), engine_(std::make_unique<core::IpdEngine>(params)) {
+  if (n_sources == 0) {
+    throw std::invalid_argument("CollectorService: need at least one source");
+  }
+  rings_.reserve(n_sources);
+  for (std::size_t i = 0; i < n_sources; ++i) {
+    rings_.push_back(
+        std::make_unique<SpscRing<netflow::FlowRecord>>(config_.ring_capacity));
+  }
+  ipfix_parsers_.resize(n_sources);
+  // Statistical time sits between the rings and the engine: drifted or
+  // implausible router timestamps are normalized/discarded before they can
+  // disturb the engine's data clock.
+  config_.stat_time.bucket_len = params.t;
+  stat_time_ = std::make_unique<netflow::StatisticalTime>(
+      config_.stat_time, [this](const netflow::FlowRecord& record) {
+        engine_->ingest(record);
+        // Advance the data clock: stage 2 runs on data time, not wall time.
+        if (!clock_started_) {
+          next_cycle_ = util::bucket_start(record.ts, engine_->params().t) +
+                        engine_->params().t;
+          next_snapshot_ =
+              util::bucket_start(record.ts, config_.snapshot_len) +
+              config_.snapshot_len;
+          clock_started_ = true;
+        }
+        while (record.ts >= next_cycle_) {
+          engine_->run_cycle(next_cycle_);
+          next_cycle_ += engine_->params().t;
+        }
+        while (record.ts >= next_snapshot_) {
+          publish(next_snapshot_);
+          next_snapshot_ += config_.snapshot_len;
+        }
+      });
+  table_ = std::make_shared<const core::LpmTable>();
+}
+
+CollectorService::~CollectorService() { stop(); }
+
+std::size_t CollectorService::submit_datagram(
+    std::size_t source, topology::RouterId exporter,
+    std::span<const std::uint8_t> bytes) {
+  datagrams_in_.fetch_add(1, std::memory_order_relaxed);
+  if (bytes.size() >= 2) {
+    const std::uint16_t version =
+        static_cast<std::uint16_t>((bytes[0] << 8) | bytes[1]);
+    if (version == netflow::ipfix::kVersion) {
+      std::vector<netflow::FlowRecord> records;
+      if (!ipfix_parsers_.at(source).parse(bytes, exporter, records)) {
+        datagrams_malformed_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      return submit_records(source, records);
+    }
+    if (version == netflow::v5::kVersion) {
+      if (const auto packet = netflow::v5::decode(bytes)) {
+        return submit_records(source,
+                              netflow::v5::to_flow_records(*packet, exporter));
+      }
+    }
+  }
+  datagrams_malformed_.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+std::size_t CollectorService::submit_records(
+    std::size_t source, std::span<const netflow::FlowRecord> records) {
+  auto& ring = *rings_.at(source);
+  std::size_t accepted = 0;
+  for (const auto& record : records) {
+    if (ring.try_push(record)) {
+      ++accepted;
+    } else {
+      flows_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  flows_enqueued_.fetch_add(accepted, std::memory_order_relaxed);
+  return accepted;
+}
+
+void CollectorService::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  ipd_thread_ = std::thread([this] { ipd_loop(); });
+}
+
+void CollectorService::stop() {
+  if (!running_.exchange(false)) return;
+  if (ipd_thread_.joinable()) ipd_thread_.join();
+  // Final drain on the caller's thread: rings may still hold records.
+  bool any_left = true;
+  while (any_left) {
+    drain_once();
+    any_left = false;
+    for (const auto& ring : rings_) any_left |= !ring->empty();
+  }
+  stat_time_->flush();
+  if (clock_started_) publish(next_snapshot_);
+}
+
+void CollectorService::drain_once() {
+  for (auto& ring : rings_) {
+    ring->consume(
+        [this](netflow::FlowRecord& record) { stat_time_->offer(record); },
+        config_.drain_batch);
+  }
+}
+
+void CollectorService::ipd_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    bool any = false;
+    for (auto& ring : rings_) {
+      const std::size_t n = ring->consume(
+          [this](netflow::FlowRecord& record) { stat_time_->offer(record); },
+          config_.drain_batch);
+      any |= n > 0;
+    }
+    if (!any) {
+      // Idle: yield briefly rather than spin at 100 %.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void CollectorService::publish(util::Timestamp ts) {
+  auto snapshot = core::take_snapshot(*engine_, ts);
+  auto table = std::make_shared<const core::LpmTable>(
+      core::LpmTable::from_snapshot(snapshot));
+  {
+    const std::lock_guard<std::mutex> lock(publish_mutex_);
+    table_ = std::move(table);
+    snapshot_ = std::move(snapshot);
+  }
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const core::LpmTable> CollectorService::current_table() const {
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  return table_;
+}
+
+core::Snapshot CollectorService::latest_snapshot() const {
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  return snapshot_;
+}
+
+CollectorStats CollectorService::stats() const {
+  CollectorStats stats;
+  stats.datagrams_in = datagrams_in_.load();
+  stats.datagrams_malformed = datagrams_malformed_.load();
+  stats.flows_enqueued = flows_enqueued_.load();
+  stats.flows_dropped_ring = flows_dropped_.load();
+  stats.flows_ingested = engine_->stats().flows_ingested;
+  stats.cycles_run = engine_->stats().cycles_run;
+  stats.snapshots_published = snapshots_.load();
+  return stats;
+}
+
+}  // namespace ipd::collector

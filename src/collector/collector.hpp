@@ -1,0 +1,137 @@
+// The collector tier: NetFlow datagrams in, a single IPD engine out.
+//
+// Mirrors the deployment architecture of §5.7: "the machine receives and
+// processes live 300 billion flow records per day ... processes that
+// handle incoming flow data and a single-core process that executes the
+// central part of the IPD". Here:
+//
+//   reader threads (one per configured source)
+//     -> parse NetFlow v5 datagrams, stamp the exporter router
+//     -> per-reader SPSC ring
+//   IPD thread
+//     -> drains all rings, runs statistical-time pre-processing,
+//        ingests into the engine, fires stage-2 cycles on data time
+//
+// Datagram loss (full rings, malformed packets) is counted, never blocks:
+// flow export is lossy by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "collector/spsc_ring.hpp"
+#include "core/engine.hpp"
+#include "core/lpm_table.hpp"
+#include "core/output.hpp"
+#include "netflow/ipfix.hpp"
+#include "netflow/statistical_time.hpp"
+#include "netflow/v5.hpp"
+
+namespace ipd::collector {
+
+struct CollectorConfig {
+  std::size_t ring_capacity = 1 << 16;  // per reader, in flow records
+  netflow::StatisticalTimeConfig stat_time;
+  util::Duration snapshot_len = 300;  // publish an LPM table every 5 min
+  // Records per ring per drain round. Small enough that no source can race
+  // minutes ahead of the others in data time — the statistical-time skew
+  // filter would otherwise discard the laggards' records as implausible.
+  std::size_t drain_batch = 256;
+};
+
+struct CollectorStats {
+  std::uint64_t datagrams_in = 0;
+  std::uint64_t datagrams_malformed = 0;
+  std::uint64_t flows_enqueued = 0;
+  std::uint64_t flows_dropped_ring = 0;
+  std::uint64_t flows_ingested = 0;
+  std::uint64_t cycles_run = 0;
+  std::uint64_t snapshots_published = 0;
+};
+
+/// Owns the engine and the reader/IPD threads.
+///
+/// Sources push raw datagram bytes via `submit_datagram` (thread-safe per
+/// source id; a real deployment would call it from a UDP socket loop).
+/// The IPD thread runs until stop(). Consumers read the latest published
+/// LPM table with `current_table()` — published tables are immutable
+/// snapshots behind a shared_ptr, so lookups never block ingestion.
+class CollectorService {
+ public:
+  CollectorService(core::IpdParams params, CollectorConfig config,
+                   std::size_t n_sources);
+  ~CollectorService();
+
+  CollectorService(const CollectorService&) = delete;
+  CollectorService& operator=(const CollectorService&) = delete;
+
+  /// Feed one export datagram from source `source` (0..n_sources-1),
+  /// emitted by border router `exporter`. The protocol is auto-detected
+  /// from the version field: NetFlow v5 or IPFIX (templates are tracked
+  /// per source). Thread-safe for distinct sources; each source must be
+  /// fed from a single thread (SPSC). Returns the number of flow records
+  /// accepted into the ring.
+  std::size_t submit_datagram(std::size_t source, topology::RouterId exporter,
+                              std::span<const std::uint8_t> bytes);
+
+  /// Same entry point for already-parsed records (internal feeds).
+  std::size_t submit_records(std::size_t source,
+                             std::span<const netflow::FlowRecord> records);
+
+  /// Start the IPD thread.
+  void start();
+
+  /// Drain everything still queued, then stop the IPD thread.
+  void stop();
+
+  /// The most recently published lookup table (never null after the first
+  /// snapshot; empty table before that).
+  std::shared_ptr<const core::LpmTable> current_table() const;
+
+  /// Latest snapshot of all ranges (copy; for dashboards/tests).
+  core::Snapshot latest_snapshot() const;
+
+  /// Monitoring counters. Engine-side counters are written only by the IPD
+  /// thread; concurrent reads are monotone approximations intended for
+  /// dashboards, not for synchronization.
+  CollectorStats stats() const;
+
+  const core::IpdEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  void ipd_loop();
+  void drain_once();
+  void publish(util::Timestamp ts);
+
+  CollectorConfig config_;
+  std::unique_ptr<core::IpdEngine> engine_;
+  std::vector<std::unique_ptr<SpscRing<netflow::FlowRecord>>> rings_;
+  std::vector<netflow::ipfix::Parser> ipfix_parsers_;  // one per source
+  std::unique_ptr<netflow::StatisticalTime> stat_time_;
+
+  std::thread ipd_thread_;
+  std::atomic<bool> running_{false};
+
+  // Published results (RCU-style: swap a shared_ptr under a light mutex).
+  mutable std::mutex publish_mutex_;
+  std::shared_ptr<const core::LpmTable> table_;
+  core::Snapshot snapshot_;
+
+  // Stats: per-reader counters are plain atomics.
+  std::atomic<std::uint64_t> datagrams_in_{0};
+  std::atomic<std::uint64_t> datagrams_malformed_{0};
+  std::atomic<std::uint64_t> flows_enqueued_{0};
+  std::atomic<std::uint64_t> flows_dropped_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+
+  util::Timestamp next_cycle_ = 0;
+  util::Timestamp next_snapshot_ = 0;
+  bool clock_started_ = false;
+};
+
+}  // namespace ipd::collector

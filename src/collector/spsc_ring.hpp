@@ -1,0 +1,74 @@
+// Bounded single-producer/single-consumer ring buffer.
+//
+// One ring connects each flow-reader thread to the central IPD thread,
+// mirroring the deployment's process layout (§5.7: per-router reader
+// processes around a single-core IPD mapper). Lock-free: one atomic index
+// per side, acquire/release pairing, power-of-two capacity.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace ipd::collector {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity - 1.
+  explicit SpscRing(std::size_t capacity) {
+    if (capacity < 2) throw std::invalid_argument("SpscRing: capacity < 2");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false when full (caller counts the drop or
+  /// retries; flow export is lossy by nature).
+  bool try_push(const T& value) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = value;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = buffer_[tail];
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: drain up to `max` elements via `fn(T&)`.
+  template <typename Fn>
+  std::size_t consume(Fn&& fn, std::size_t max) noexcept {
+    std::size_t n = 0;
+    T value;
+    while (n < max && try_pop(value)) {
+      fn(value);
+      ++n;
+    }
+    return n;
+  }
+
+  bool empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return mask_; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ipd::collector

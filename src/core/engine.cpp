@@ -1,0 +1,156 @@
+#include "core/engine.hpp"
+
+#include <chrono>
+
+namespace ipd::core {
+
+IpdEngine::IpdEngine(IpdParams params)
+    : params_(params), trie4_(net::Family::V4), trie6_(net::Family::V6) {
+  params_.validate();
+}
+
+void IpdEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
+                       topology::LinkId ingress, std::uint64_t weight) noexcept {
+  IpdTrie& trie = src_ip.is_v4() ? trie4_ : trie6_;
+  const net::IpAddress masked = src_ip.masked(params_.cidr_max(src_ip.family()));
+  trie.locate(masked).add_sample(ts, masked, ingress, weight);
+  ++stats_.flows_ingested;
+}
+
+std::optional<IngressId> IpdEngine::find_prevalent(
+    const IngressCounts& counts) const {
+  const double total = counts.total();
+  if (total <= 0.0) return std::nullopt;
+
+  const topology::LinkId top = counts.top_link();
+  if (counts.count_for(top) / total >= params_.q) return IngressId(top);
+
+  if (!params_.enable_bundles) return std::nullopt;
+
+  // Bundle check: one router's interfaces jointly prevalent. The top link's
+  // router is the only candidate that can reach q if the top link alone
+  // cannot (any other router has an even smaller maximum share only when
+  // its aggregate is larger — so scan all routers to be exact).
+  for (const topology::RouterId router : counts.routers()) {
+    const double router_count = counts.count_for_router(router);
+    if (router_count / total < params_.q) continue;
+    const auto ifaces = counts.router_interfaces(router);
+    std::vector<topology::InterfaceIndex> members;
+    for (const auto& [iface, c] : ifaces) {
+      if (c >= params_.bundle_member_min_share * router_count) {
+        members.push_back(iface);
+      }
+    }
+    if (members.size() >= 2) return IngressId(router, std::move(members));
+    // A single qualifying member means the rest of the router's traffic is
+    // spread over below-threshold interfaces; treat as that single link.
+    if (members.size() == 1) {
+      return IngressId(topology::LinkId{router, members.front()});
+    }
+  }
+  return std::nullopt;
+}
+
+CycleStats IpdEngine::run_cycle(util::Timestamp now) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CycleStats out;
+  out.now = now;
+  cycle_family(trie4_, now, out);
+  cycle_family(trie6_, now, out);
+
+  // Partition census after all structural changes.
+  for (const net::Family family : {net::Family::V4, net::Family::V6}) {
+    const IpdTrie& trie = this->trie(family);
+    trie.for_each_leaf([&out](const RangeNode& leaf) {
+      ++out.ranges_total;
+      if (leaf.state() == RangeNode::State::Classified) {
+        ++out.ranges_classified;
+      } else {
+        ++out.ranges_monitoring;
+        out.tracked_ips += leaf.ips().size();
+      }
+    });
+    out.memory_bytes += trie.memory_bytes();
+  }
+
+  out.cycle_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  ++stats_.cycles_run;
+  stats_.total_classifications += out.classifications;
+  stats_.total_splits += out.splits;
+  stats_.total_joins += out.joins;
+  stats_.total_drops += out.drops;
+  return out;
+}
+
+void IpdEngine::cycle_family(IpdTrie& trie, util::Timestamp now,
+                             CycleStats& out) {
+  trie.post_order([this, &trie, now, &out](RangeNode& node) {
+    if (node.state() == RangeNode::State::Internal) {
+      // Children were processed first: join same-ingress classified
+      // siblings, fold away empty monitoring siblings.
+      if (params_.enable_joins && trie.join_children(node)) {
+        ++out.joins;
+      } else if (trie.compact_children(node)) {
+        ++out.compactions;
+      }
+      return;
+    }
+    handle_leaf(trie, node, now, out);
+  });
+}
+
+void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
+                            CycleStats& out) {
+  const net::Family family = trie.family();
+
+  if (node.state() == RangeNode::State::Classified) {
+    // Quiet classified ranges decay; once the counters are negligible —
+    // or the range has been quiet for too long — it is dropped so stale
+    // mappings disappear quickly.
+    const util::Duration age = now - node.last_update();
+    if (age > params_.e) {
+      node.counts().scale(params_.decay_factor(age));
+      const double floor = std::max(
+          params_.min_keep_samples,
+          params_.drop_below_ncidr_fraction *
+              params_.n_cidr(family, node.prefix().length()));
+      if (node.counts().total() < floor || age > params_.drop_after) {
+        node.reset_to_monitoring();
+        ++out.drops;
+        return;
+      }
+    }
+    // "if prevalent ingress still valid (s_ingress >= q) then keep".
+    if (node.counts().share_of(node.ingress()) < params_.q) {
+      node.reset_to_monitoring();
+      ++out.drops;
+    }
+    return;
+  }
+
+  // Monitoring leaf: expire per-IP state older than e seconds.
+  node.expire_before(now - params_.e);
+
+  const int len = node.prefix().length();
+  const double n_cidr = params_.n_cidr(family, len);
+  if (node.counts().total() < n_cidr) return;  // not enough data yet
+
+  if (const auto prevalent = find_prevalent(node.counts())) {
+    node.classify(*prevalent, now);
+    ++out.classifications;
+    return;
+  }
+
+  if (len < params_.cidr_max(family)) {
+    if (trie.split(node)) ++out.splits;
+    return;
+  }
+  // At cidr_max with no prevalent ingress ("try to join", Alg. 1 line 15):
+  // nothing to do here — the range keeps monitoring; the join/compaction
+  // pass above merges it with its sibling once either classifies or both
+  // drain empty.
+}
+
+}  // namespace ipd::core

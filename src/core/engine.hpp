@@ -1,0 +1,98 @@
+// The IPD engine: both stages of Algorithm 1.
+//
+// Stage 1 (ingest): every flow's source IP is masked to cidr_max and added,
+// with its ingress link, to the leaf range covering it.
+//
+// Stage 2 (run_cycle, every t seconds): per range —
+//   * expire per-IP state older than e; decay quiet classified ranges,
+//   * unclassified ranges with enough samples (n_cidr) are classified if a
+//     single ingress (or an interface bundle on one router) carries a share
+//     >= q, otherwise split until cidr_max,
+//   * classified ranges whose prevalent ingress is no longer valid are
+//     dropped,
+//   * sibling ranges classified to the same ingress are joined.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "core/params.hpp"
+#include "core/trie.hpp"
+#include "netflow/flow_record.hpp"
+
+namespace ipd::core {
+
+/// Counters describing one stage-2 cycle.
+struct CycleStats {
+  util::Timestamp now = 0;
+  std::uint64_t classifications = 0;  // monitoring -> classified
+  std::uint64_t splits = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t drops = 0;        // classified -> dropped (invalid/decayed)
+  std::uint64_t compactions = 0;  // empty siblings folded into parent
+  std::uint64_t ranges_total = 0;
+  std::uint64_t ranges_classified = 0;
+  std::uint64_t ranges_monitoring = 0;
+  std::uint64_t tracked_ips = 0;      // per-IP entries held (stage-1 state)
+  std::uint64_t memory_bytes = 0;     // estimated heap usage of both tries
+  std::int64_t cycle_micros = 0;      // wall-clock stage-2 runtime
+};
+
+/// Lifetime counters.
+struct EngineStats {
+  std::uint64_t flows_ingested = 0;
+  std::uint64_t cycles_run = 0;
+  std::uint64_t total_classifications = 0;
+  std::uint64_t total_splits = 0;
+  std::uint64_t total_joins = 0;
+  std::uint64_t total_drops = 0;
+};
+
+class IpdEngine {
+ public:
+  explicit IpdEngine(IpdParams params);
+
+  const IpdParams& params() const noexcept { return params_; }
+
+  /// Stage 1: add one sample of `weight` (1 flow, or its byte count when
+  /// count_mode is Bytes). Hot path.
+  void ingest(util::Timestamp ts, const net::IpAddress& src_ip,
+              topology::LinkId ingress, std::uint64_t weight = 1) noexcept;
+
+  void ingest(const netflow::FlowRecord& record) noexcept {
+    ingest(record.ts, record.src_ip, record.ingress,
+           params_.count_mode == CountMode::Bytes
+               ? std::max<std::uint64_t>(record.bytes, 1)
+               : 1);
+  }
+
+  /// Stage 2: one classification cycle at simulated time `now`.
+  CycleStats run_cycle(util::Timestamp now);
+
+  const IpdTrie& trie(net::Family family) const noexcept {
+    return family == net::Family::V4 ? trie4_ : trie6_;
+  }
+  IpdTrie& trie(net::Family family) noexcept {
+    return family == net::Family::V4 ? trie4_ : trie6_;
+  }
+
+  const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Dominance test used by stage 2; exposed for tests. Returns the
+  /// classified ingress if `counts` has a single prevalent ingress point
+  /// (share >= q), possibly a bundle of interfaces on one router.
+  std::optional<IngressId> find_prevalent(const IngressCounts& counts) const;
+
+ private:
+  void cycle_family(IpdTrie& trie, util::Timestamp now, CycleStats& out);
+  void handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
+                   CycleStats& out);
+
+  IpdParams params_;
+  IpdTrie trie4_;
+  IpdTrie trie6_;
+  EngineStats stats_;
+};
+
+}  // namespace ipd::core

@@ -1,0 +1,119 @@
+#include "core/ingress.hpp"
+
+namespace ipd::core {
+
+std::string IngressId::to_string() const {
+  std::string out = "R" + std::to_string(router) + ".";
+  if (ifaces.size() == 1) {
+    out += std::to_string(ifaces.front());
+    return out;
+  }
+  out += '{';
+  for (std::size_t i = 0; i < ifaces.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(ifaces[i]);
+  }
+  out += '}';
+  return out;
+}
+
+void IngressCounts::add(topology::LinkId link, double n) noexcept {
+  total_ += n;
+  for (auto& [l, c] : entries_) {
+    if (l == link) {
+      c += n;
+      return;
+    }
+  }
+  entries_.emplace_back(link, n);
+}
+
+double IngressCounts::count_for(topology::LinkId link) const noexcept {
+  for (const auto& [l, c] : entries_) {
+    if (l == link) return c;
+  }
+  return 0.0;
+}
+
+double IngressCounts::count_for(const IngressId& ingress) const noexcept {
+  double sum = 0.0;
+  for (const auto& [l, c] : entries_) {
+    if (ingress.matches(l)) sum += c;
+  }
+  return sum;
+}
+
+topology::LinkId IngressCounts::top_link() const noexcept {
+  topology::LinkId best{};
+  double best_count = -1.0;
+  for (const auto& [l, c] : entries_) {
+    if (c > best_count) {
+      best = l;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+std::vector<topology::RouterId> IngressCounts::routers() const {
+  std::vector<topology::RouterId> out;
+  for (const auto& [l, c] : entries_) {
+    (void)c;
+    bool seen = false;
+    for (const auto r : out) {
+      if (r == l.router) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(l.router);
+  }
+  return out;
+}
+
+double IngressCounts::count_for_router(topology::RouterId router) const noexcept {
+  double sum = 0.0;
+  for (const auto& [l, c] : entries_) {
+    if (l.router == router) sum += c;
+  }
+  return sum;
+}
+
+std::vector<std::pair<topology::InterfaceIndex, double>>
+IngressCounts::router_interfaces(topology::RouterId router) const {
+  std::vector<std::pair<topology::InterfaceIndex, double>> out;
+  for (const auto& [l, c] : entries_) {
+    if (l.router == router) out.emplace_back(l.iface, c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void IngressCounts::scale(double factor) noexcept {
+  constexpr double kEps = 1e-6;
+  total_ = 0.0;
+  std::size_t kept = 0;
+  for (auto& entry : entries_) {
+    entry.second *= factor;
+    if (entry.second > kEps) {
+      entries_[kept++] = entry;
+      total_ += entry.second;
+    }
+  }
+  entries_.resize(kept);
+}
+
+void IngressCounts::merge(const IngressCounts& other) noexcept {
+  for (const auto& [l, c] : other.entries_) add(l, c);
+}
+
+std::vector<std::pair<topology::LinkId, double>> IngressCounts::sorted_entries()
+    const {
+  auto out = entries_;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace ipd::core

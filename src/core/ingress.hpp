@@ -1,0 +1,119 @@
+// Ingress identity and per-ingress sample accounting.
+//
+// Stage 1 counts flows per physical link (router, interface). Stage 2
+// classifies a range to an IngressId: either a single link or a *bundle* —
+// several interfaces of one router over which traffic is evenly balanced
+// and which the ISP treats as one logical ingress.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace ipd::core {
+
+/// A classified ingress point: one router plus one or more interfaces.
+struct IngressId {
+  topology::RouterId router = topology::kInvalidRouter;
+  std::vector<topology::InterfaceIndex> ifaces;  // sorted, unique, size >= 1
+
+  IngressId() = default;
+
+  explicit IngressId(topology::LinkId link)
+      : router(link.router), ifaces{link.iface} {}
+
+  IngressId(topology::RouterId r, std::vector<topology::InterfaceIndex> set)
+      : router(r), ifaces(std::move(set)) {
+    std::sort(ifaces.begin(), ifaces.end());
+    ifaces.erase(std::unique(ifaces.begin(), ifaces.end()), ifaces.end());
+  }
+
+  bool valid() const noexcept { return router != topology::kInvalidRouter; }
+  bool is_bundle() const noexcept { return ifaces.size() > 1; }
+
+  /// True if traffic on `link` counts as entering through this ingress.
+  bool matches(topology::LinkId link) const noexcept {
+    return link.router == router &&
+           std::binary_search(ifaces.begin(), ifaces.end(), link.iface);
+  }
+
+  /// Representative physical link (lowest interface index).
+  topology::LinkId primary_link() const noexcept {
+    return topology::LinkId{router, ifaces.empty() ? topology::InterfaceIndex{0}
+                                                   : ifaces.front()};
+  }
+
+  friend bool operator==(const IngressId&, const IngressId&) = default;
+
+  /// Compact rendering, e.g. "R30.1" or "R30.{1,2}" for bundles.
+  std::string to_string() const;
+};
+
+/// Per-ingress-link sample counters for one IPD range.
+///
+/// Counts are doubles because the decay function shrinks them
+/// multiplicatively. The container is a flat vector: ranges see only a
+/// handful of distinct ingress links, so linear scans beat hashing.
+class IngressCounts {
+ public:
+  void add(topology::LinkId link, double n = 1.0) noexcept;
+
+  double total() const noexcept { return total_; }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t distinct_links() const noexcept { return entries_.size(); }
+
+  double count_for(topology::LinkId link) const noexcept;
+
+  /// Combined count over every interface of `ingress`.
+  double count_for(const IngressId& ingress) const noexcept;
+
+  /// Share of `ingress` in the total; 0 if no samples.
+  double share_of(const IngressId& ingress) const noexcept {
+    return total_ > 0.0 ? count_for(ingress) / total_ : 0.0;
+  }
+
+  /// The link with the highest count. Precondition: !empty().
+  topology::LinkId top_link() const noexcept;
+
+  /// Distinct routers present.
+  std::vector<topology::RouterId> routers() const;
+
+  /// Combined count of all interfaces on `router`.
+  double count_for_router(topology::RouterId router) const noexcept;
+
+  /// Interfaces of `router` with their counts, descending by count.
+  std::vector<std::pair<topology::InterfaceIndex, double>> router_interfaces(
+      topology::RouterId router) const;
+
+  /// Multiply every counter by `factor` (decay); drops entries below eps.
+  void scale(double factor) noexcept;
+
+  /// Merge another range's counters into this one (used by joins).
+  void merge(const IngressCounts& other) noexcept;
+
+  void clear() noexcept {
+    entries_.clear();
+    total_ = 0.0;
+  }
+
+  /// Entries sorted descending by count (for output breakdowns).
+  std::vector<std::pair<topology::LinkId, double>> sorted_entries() const;
+
+  const std::vector<std::pair<topology::LinkId, double>>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Rough heap footprint in bytes (for the resource-consumption metric).
+  std::size_t memory_bytes() const noexcept {
+    return entries_.capacity() * sizeof(entries_[0]);
+  }
+
+ private:
+  std::vector<std::pair<topology::LinkId, double>> entries_;
+  double total_ = 0.0;
+};
+
+}  // namespace ipd::core

@@ -1,0 +1,32 @@
+#include "core/lpm_table.hpp"
+
+namespace ipd::core {
+
+LpmTable LpmTable::from_snapshot(const Snapshot& snapshot) {
+  LpmTable table;
+  for (const auto& row : snapshot) {
+    if (row.classified) table.insert(row.range, row.ingress);
+  }
+  return table;
+}
+
+void LpmTable::insert(const net::Prefix& prefix, const IngressId& ingress) {
+  (prefix.family() == net::Family::V4 ? trie4_ : trie6_).insert(prefix, ingress);
+}
+
+std::optional<IngressId> LpmTable::lookup(const net::IpAddress& ip) const {
+  const auto& trie = ip.is_v4() ? trie4_ : trie6_;
+  const IngressId* hit = trie.lookup(ip);
+  if (!hit) return std::nullopt;
+  return *hit;
+}
+
+std::optional<std::pair<net::Prefix, IngressId>> LpmTable::lookup_entry(
+    const net::IpAddress& ip) const {
+  const auto& trie = ip.is_v4() ? trie4_ : trie6_;
+  const auto hit = trie.lookup_entry(ip);
+  if (!hit) return std::nullopt;
+  return std::make_pair(hit->first, *hit->second);
+}
+
+}  // namespace ipd::core

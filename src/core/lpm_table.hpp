@@ -1,0 +1,42 @@
+// Longest-prefix-match lookup table over IPD output.
+//
+// Validation and downstream consumers (traffic engineering, dashboards)
+// resolve an arbitrary IP to its detected ingress point via this table,
+// rebuilt from each (5-minute) snapshot as in §5.1 of the paper.
+#pragma once
+
+#include <optional>
+
+#include "core/output.hpp"
+#include "net/lpm_trie.hpp"
+
+namespace ipd::core {
+
+class LpmTable {
+ public:
+  LpmTable() : trie4_(net::Family::V4), trie6_(net::Family::V6) {}
+
+  /// Build from the classified rows of a snapshot.
+  static LpmTable from_snapshot(const Snapshot& snapshot);
+
+  void insert(const net::Prefix& prefix, const IngressId& ingress);
+
+  /// Detected ingress for `ip`, or nullopt if unmapped address space.
+  std::optional<IngressId> lookup(const net::IpAddress& ip) const;
+
+  /// Detected ingress plus the matching IPD prefix.
+  std::optional<std::pair<net::Prefix, IngressId>> lookup_entry(
+      const net::IpAddress& ip) const;
+
+  std::size_t size() const noexcept { return trie4_.size() + trie6_.size(); }
+
+  const net::LpmTrie<IngressId>& trie(net::Family family) const noexcept {
+    return family == net::Family::V4 ? trie4_ : trie6_;
+  }
+
+ private:
+  net::LpmTrie<IngressId> trie4_;
+  net::LpmTrie<IngressId> trie6_;
+};
+
+}  // namespace ipd::core

@@ -1,0 +1,31 @@
+#include "core/params.hpp"
+
+namespace ipd::core {
+
+void IpdParams::validate() const {
+  if (cidr_max4 < 1 || cidr_max4 > 32) {
+    throw std::invalid_argument("cidr_max4 out of [1,32]");
+  }
+  if (cidr_max6 < 1 || cidr_max6 > 64) {
+    throw std::invalid_argument("cidr_max6 out of [1,64]");
+  }
+  if (ncidr_factor4 <= 0.0 || ncidr_factor6 <= 0.0) {
+    throw std::invalid_argument("n_cidr factors must be positive");
+  }
+  // q <= 0.5 permits two simultaneously 'dominant' ingress points; the
+  // paper's factor screening marks such configurations as failing.
+  if (q <= 0.5 || q > 1.0) {
+    throw std::invalid_argument("q must be in (0.5, 1.0]");
+  }
+  if (t <= 0) throw std::invalid_argument("t must be positive");
+  if (e < t) throw std::invalid_argument("e must be >= t");
+  if (bundle_member_min_share <= 0.0 || bundle_member_min_share > 0.5) {
+    throw std::invalid_argument("bundle_member_min_share out of (0, 0.5]");
+  }
+  if (drop_below_ncidr_fraction < 0.0 || drop_below_ncidr_fraction >= 1.0) {
+    throw std::invalid_argument("drop_below_ncidr_fraction out of [0, 1)");
+  }
+  if (drop_after < e) throw std::invalid_argument("drop_after must be >= e");
+}
+
+}  // namespace ipd::core

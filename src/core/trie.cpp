@@ -1,0 +1,204 @@
+#include "core/trie.hpp"
+
+#include <cassert>
+
+namespace ipd::core {
+
+void RangeNode::add_sample(util::Timestamp ts, const net::IpAddress& masked_ip,
+                           topology::LinkId link, std::uint64_t n) {
+  assert(state_ != State::Internal);
+  counts_.add(link, static_cast<double>(n));
+  if (ts > last_update_) last_update_ = ts;
+  if (state_ == State::Monitoring) {
+    auto& entry = ips_[masked_ip];
+    if (ts > entry.last_seen) entry.last_seen = ts;
+    entry.add(link, n);
+  }
+}
+
+void RangeNode::expire_before(util::Timestamp cutoff) {
+  if (state_ != State::Monitoring || ips_.empty()) return;
+  bool removed = false;
+  for (auto it = ips_.begin(); it != ips_.end();) {
+    if (it->second.last_seen < cutoff) {
+      it = ips_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (!removed) return;
+  // Rebuild aggregates from the surviving per-IP detail so that the
+  // aggregate counters never drift from their source of truth.
+  counts_.clear();
+  for (const auto& [ip, entry] : ips_) {
+    (void)ip;
+    for (const auto& [link, c] : entry.counts) {
+      counts_.add(link, static_cast<double>(c));
+    }
+  }
+}
+
+void RangeNode::classify(const IngressId& ingress, util::Timestamp now) {
+  assert(state_ == State::Monitoring);
+  ingress_ = ingress;
+  state_ = State::Classified;
+  classified_at_ = now;
+  // "Once a prevalent ingress is found, all state is removed for efficiency
+  // reasons, and only the total number of samples, the counters for the
+  // respective ingresses, and the last timestamp are retained."
+  ips_.clear();
+  ips_.rehash(0);
+}
+
+void RangeNode::reset_to_monitoring() {
+  state_ = State::Monitoring;
+  ingress_ = IngressId{};
+  classified_at_ = 0;
+  ips_.clear();
+  ips_.rehash(0);
+  counts_.clear();
+}
+
+std::size_t RangeNode::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(RangeNode) + counts_.memory_bytes();
+  // unordered_map footprint: buckets + one heap node per entry.
+  bytes += ips_.bucket_count() * sizeof(void*);
+  for (const auto& [ip, entry] : ips_) {
+    (void)ip;
+    bytes += sizeof(net::IpAddress) + sizeof(IpEntry) + 2 * sizeof(void*);
+    bytes += entry.counts.capacity() * sizeof(entry.counts[0]);
+  }
+  return bytes;
+}
+
+IpdTrie::IpdTrie(net::Family family)
+    : family_(family),
+      root_(std::make_unique<RangeNode>(net::Prefix::root(family))) {}
+
+RangeNode& IpdTrie::locate(const net::IpAddress& ip) noexcept {
+  RangeNode* node = root_.get();
+  int depth = 0;
+  while (node->state_ == RangeNode::State::Internal) {
+    node = ip.bit(depth) ? node->child1_.get() : node->child0_.get();
+    ++depth;
+  }
+  return *node;
+}
+
+bool IpdTrie::split(RangeNode& node) {
+  if (node.state_ != RangeNode::State::Monitoring) return false;
+  const int len = node.prefix_.length();
+  if (len >= node.prefix_.width()) return false;
+
+  node.child0_ = std::make_unique<RangeNode>(node.prefix_.child(0), &node);
+  node.child1_ = std::make_unique<RangeNode>(node.prefix_.child(1), &node);
+  nodes_ += 2;
+  leaves_ += 1;  // one leaf becomes two
+
+  for (auto& [ip, entry] : node.ips_) {
+    RangeNode& child = ip.bit(len) ? *node.child1_ : *node.child0_;
+    for (const auto& [link, c] : entry.counts) {
+      child.counts_.add(link, static_cast<double>(c));
+    }
+    if (entry.last_seen > child.last_update_) child.last_update_ = entry.last_seen;
+    child.ips_.emplace(ip, std::move(entry));
+  }
+  node.state_ = RangeNode::State::Internal;
+  node.ips_.clear();
+  node.ips_.rehash(0);
+  node.counts_.clear();
+  node.last_update_ = 0;
+  return true;
+}
+
+bool IpdTrie::join_children(RangeNode& parent) {
+  RangeNode* a = parent.child0_.get();
+  RangeNode* b = parent.child1_.get();
+  if (!a || !b) return false;
+  if (a->state_ != RangeNode::State::Classified ||
+      b->state_ != RangeNode::State::Classified) {
+    return false;
+  }
+  if (!(a->ingress_ == b->ingress_)) return false;
+
+  parent.state_ = RangeNode::State::Classified;
+  parent.ingress_ = a->ingress_;
+  parent.counts_ = a->counts_;
+  parent.counts_.merge(b->counts_);
+  parent.last_update_ = std::max(a->last_update_, b->last_update_);
+  parent.classified_at_ = std::min(a->classified_at_, b->classified_at_);
+  parent.child0_.reset();
+  parent.child1_.reset();
+  nodes_ -= 2;
+  leaves_ -= 1;
+  return true;
+}
+
+bool IpdTrie::compact_children(RangeNode& parent) {
+  RangeNode* a = parent.child0_.get();
+  RangeNode* b = parent.child1_.get();
+  if (!a || !b) return false;
+  const auto empty_monitoring = [](const RangeNode& n) {
+    return n.state_ == RangeNode::State::Monitoring && n.ips_.empty() &&
+           n.counts_.empty();
+  };
+  if (!empty_monitoring(*a) || !empty_monitoring(*b)) return false;
+  parent.state_ = RangeNode::State::Monitoring;
+  parent.last_update_ = 0;
+  parent.child0_.reset();
+  parent.child1_.reset();
+  nodes_ -= 2;
+  leaves_ -= 1;
+  return true;
+}
+
+void IpdTrie::for_each_leaf(const std::function<void(RangeNode&)>& fn) {
+  visit_leaves(*root_, fn);
+}
+
+void IpdTrie::for_each_leaf(const std::function<void(const RangeNode&)>& fn) const {
+  const_cast<IpdTrie*>(this)->visit_leaves(
+      *root_, [&fn](RangeNode& n) { fn(static_cast<const RangeNode&>(n)); });
+}
+
+void IpdTrie::post_order(const std::function<void(RangeNode&)>& fn) {
+  visit_post(*root_, fn);
+}
+
+void IpdTrie::visit_leaves(RangeNode& node,
+                           const std::function<void(RangeNode&)>& fn) {
+  if (node.state_ == RangeNode::State::Internal) {
+    visit_leaves(*node.child0_, fn);
+    visit_leaves(*node.child1_, fn);
+    return;
+  }
+  fn(node);
+}
+
+void IpdTrie::visit_post(RangeNode& node,
+                         const std::function<void(RangeNode&)>& fn) {
+  if (node.state_ == RangeNode::State::Internal) {
+    // Children first; they may themselves split (their new children are
+    // intentionally not visited in this pass).
+    visit_post(*node.child0_, fn);
+    visit_post(*node.child1_, fn);
+  }
+  fn(node);
+}
+
+std::size_t IpdTrie::memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  // Walk iteratively to avoid std::function overhead in a hot-ish metric.
+  std::vector<const RangeNode*> stack{root_.get()};
+  while (!stack.empty()) {
+    const RangeNode* n = stack.back();
+    stack.pop_back();
+    bytes += n->memory_bytes();
+    if (n->child(0)) stack.push_back(n->child(0));
+    if (n->child(1)) stack.push_back(n->child(1));
+  }
+  return bytes;
+}
+
+}  // namespace ipd::core

@@ -1,0 +1,156 @@
+// Dynamic IPD range trie.
+//
+// The IP address space is a binary tree whose leaves form a disjoint
+// partition into *IPD ranges* (paper §3.2). Leaves are either
+//   Monitoring  — not yet classified; per-masked-IP detail state is kept so
+//                 that splits redistribute samples exactly and per-IP
+//                 expiry (parameter e) works as described, or
+//   Classified  — a prevalent ingress was found; detail state is dropped
+//                 and only aggregate per-ingress counters remain.
+// Interior nodes carry no state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ingress.hpp"
+#include "net/ip_address.hpp"
+#include "net/prefix.hpp"
+#include "util/time.hpp"
+
+namespace ipd::core {
+
+/// Per-masked-source-IP state inside a Monitoring range.
+struct IpEntry {
+  util::Timestamp last_seen = 0;
+  std::uint64_t total = 0;
+  // Per-ingress flow counts; nearly always one or two links.
+  std::vector<std::pair<topology::LinkId, std::uint64_t>> counts;
+
+  void add(topology::LinkId link, std::uint64_t n = 1) {
+    total += n;
+    for (auto& [l, c] : counts) {
+      if (l == link) {
+        c += n;
+        return;
+      }
+    }
+    counts.emplace_back(link, n);
+  }
+};
+
+class RangeNode {
+ public:
+  enum class State : std::uint8_t { Monitoring, Classified, Internal };
+
+  explicit RangeNode(net::Prefix prefix, RangeNode* parent = nullptr)
+      : prefix_(prefix), parent_(parent) {}
+
+  const net::Prefix& prefix() const noexcept { return prefix_; }
+  State state() const noexcept { return state_; }
+  bool is_leaf() const noexcept { return state_ != State::Internal; }
+  RangeNode* parent() const noexcept { return parent_; }
+  RangeNode* child(int bit) const noexcept {
+    return bit ? child1_.get() : child0_.get();
+  }
+
+  /// Aggregate per-ingress counters (valid for leaves).
+  const IngressCounts& counts() const noexcept { return counts_; }
+  IngressCounts& counts() noexcept { return counts_; }
+
+  /// Classified ingress; valid() only in Classified state.
+  const IngressId& ingress() const noexcept { return ingress_; }
+
+  util::Timestamp last_update() const noexcept { return last_update_; }
+  util::Timestamp classified_at() const noexcept { return classified_at_; }
+
+  const std::unordered_map<net::IpAddress, IpEntry, net::IpAddressHash>& ips()
+      const noexcept {
+    return ips_;
+  }
+
+  /// Record one sample (stage 1). Leaf only.
+  void add_sample(util::Timestamp ts, const net::IpAddress& masked_ip,
+                  topology::LinkId link, std::uint64_t n = 1);
+
+  /// Remove per-IP entries older than `cutoff` and rebuild the aggregate
+  /// counters from what survives. Monitoring leaves only.
+  void expire_before(util::Timestamp cutoff);
+
+  /// Move to Classified: drop per-IP detail, keep aggregates.
+  void classify(const IngressId& ingress, util::Timestamp now);
+
+  /// Drop a classification (or all state): back to empty Monitoring.
+  void reset_to_monitoring();
+
+  /// Rough heap usage of this node's state in bytes.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  friend class IpdTrie;
+
+  net::Prefix prefix_;
+  RangeNode* parent_ = nullptr;
+  std::unique_ptr<RangeNode> child0_, child1_;
+  State state_ = State::Monitoring;
+
+  std::unordered_map<net::IpAddress, IpEntry, net::IpAddressHash> ips_;
+  IngressCounts counts_;
+  IngressId ingress_;
+  util::Timestamp last_update_ = 0;
+  util::Timestamp classified_at_ = 0;
+};
+
+/// One address family's partition of the address space.
+class IpdTrie {
+ public:
+  explicit IpdTrie(net::Family family);
+
+  net::Family family() const noexcept { return family_; }
+  const RangeNode& root() const noexcept { return *root_; }
+  RangeNode& root() noexcept { return *root_; }
+
+  /// The leaf range currently covering `ip` (always exists).
+  RangeNode& locate(const net::IpAddress& ip) noexcept;
+
+  /// Split a Monitoring leaf into its two children, redistributing the
+  /// per-IP detail by the next address bit. Returns false if the node is
+  /// not splittable (not a Monitoring leaf, or already at full width).
+  bool split(RangeNode& node);
+
+  /// Join `parent`'s two children into `parent` if both are Classified
+  /// leaves with the same ingress. Returns true on join.
+  bool join_children(RangeNode& parent);
+
+  /// Collapse two empty Monitoring leaf children into the parent.
+  bool compact_children(RangeNode& parent);
+
+  /// Visit every leaf (the current partition), in address order.
+  void for_each_leaf(const std::function<void(RangeNode&)>& fn);
+  void for_each_leaf(const std::function<void(const RangeNode&)>& fn) const;
+
+  /// Post-order visit of every node (children before parents). The visitor
+  /// may split the visited node; freshly created children are not visited
+  /// in the same pass.
+  void post_order(const std::function<void(RangeNode&)>& fn);
+
+  std::size_t leaf_count() const noexcept { return leaves_; }
+  std::size_t node_count() const noexcept { return nodes_; }
+
+  /// Rough total heap usage in bytes.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  void visit_leaves(RangeNode& node, const std::function<void(RangeNode&)>& fn);
+  void visit_post(RangeNode& node, const std::function<void(RangeNode&)>& fn);
+
+  net::Family family_;
+  std::unique_ptr<RangeNode> root_;
+  std::size_t leaves_ = 1;
+  std::size_t nodes_ = 1;
+};
+
+}  // namespace ipd::core

@@ -1,0 +1,128 @@
+#include "net/ip_address.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ipd::net {
+
+namespace {
+
+IpAddress parse_v4(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) {
+    throw std::invalid_argument("bad IPv4 address: " + std::string(text));
+  }
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    const std::uint64_t octet = util::parse_uint(part, 255);
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return IpAddress::v4(value);
+}
+
+std::uint16_t parse_hextet(std::string_view s) {
+  if (s.empty() || s.size() > 4) {
+    throw std::invalid_argument("bad IPv6 group: " + std::string(s));
+  }
+  std::uint32_t value = 0;
+  for (const char c : s) {
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<std::uint32_t>(c - 'A' + 10);
+    else throw std::invalid_argument("bad IPv6 digit: " + std::string(s));
+    value = (value << 4) | digit;
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+IpAddress parse_v6(std::string_view text) {
+  // Split on "::" first (at most one occurrence), then on ':'.
+  std::array<std::uint16_t, 8> groups{};
+  const std::size_t dc = text.find("::");
+  std::vector<std::string_view> head, tail;
+  if (dc == std::string_view::npos) {
+    head = util::split(text, ':');
+    if (head.size() != 8) {
+      throw std::invalid_argument("bad IPv6 address: " + std::string(text));
+    }
+  } else {
+    const std::string_view left = text.substr(0, dc);
+    const std::string_view right = text.substr(dc + 2);
+    if (right.find("::") != std::string_view::npos) {
+      throw std::invalid_argument("multiple '::' in IPv6: " + std::string(text));
+    }
+    if (!left.empty()) head = util::split(left, ':');
+    if (!right.empty()) tail = util::split(right, ':');
+    if (head.size() + tail.size() > 7) {
+      throw std::invalid_argument("bad IPv6 address: " + std::string(text));
+    }
+  }
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = parse_hextet(head[i]);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = parse_hextet(tail[i]);
+  }
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<std::size_t>(i)];
+  return IpAddress::v6(hi, lo);
+}
+
+}  // namespace
+
+IpAddress IpAddress::from_string(std::string_view text) {
+  text = util::trim(text);
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    const std::uint32_t v = v4_value();
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xff,
+                  (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff);
+    return buf;
+  }
+  std::array<std::uint16_t, 8> groups;
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+    groups[static_cast<std::size_t>(i + 4)] =
+        static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+  }
+  // Find the longest run of zero groups (length >= 2) for '::' compression.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace ipd::net

@@ -1,0 +1,141 @@
+// Unified IPv4/IPv6 address value type.
+//
+// Addresses are stored as a 128-bit big-endian integer (hi/lo 64-bit words);
+// IPv4 addresses occupy the low 32 bits with hi == 0 and a family tag.
+// Bit positions are counted from the most significant bit of the family's
+// address width (bit 0 of 1.0.0.0/8 is 0), matching CIDR prefix semantics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace ipd::net {
+
+enum class Family : std::uint8_t { V4 = 4, V6 = 6 };
+
+/// Address width in bits for a family (32 or 128).
+constexpr int family_width(Family f) noexcept {
+  return f == Family::V4 ? 32 : 128;
+}
+
+class IpAddress {
+ public:
+  /// Default: IPv4 0.0.0.0.
+  constexpr IpAddress() noexcept = default;
+
+  /// Construct an IPv4 address from its 32-bit host-order value.
+  static constexpr IpAddress v4(std::uint32_t value) noexcept {
+    return IpAddress(Family::V4, 0, value);
+  }
+
+  /// Construct an IPv6 address from its high/low 64-bit words.
+  static constexpr IpAddress v6(std::uint64_t hi, std::uint64_t lo) noexcept {
+    return IpAddress(Family::V6, hi, lo);
+  }
+
+  /// Parse dotted-quad IPv4 or RFC 4291 IPv6 (with `::` compression).
+  /// Throws std::invalid_argument on malformed input.
+  static IpAddress from_string(std::string_view text);
+
+  constexpr Family family() const noexcept { return family_; }
+  constexpr bool is_v4() const noexcept { return family_ == Family::V4; }
+  constexpr int width() const noexcept { return family_width(family_); }
+
+  /// 32-bit value of an IPv4 address. Precondition: is_v4().
+  constexpr std::uint32_t v4_value() const noexcept {
+    return static_cast<std::uint32_t>(lo_);
+  }
+
+  constexpr std::uint64_t hi() const noexcept { return hi_; }
+  constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  /// Bit `i` counted from the most significant bit (i in [0, width())).
+  constexpr bool bit(int i) const noexcept {
+    if (family_ == Family::V4) {
+      return (lo_ >> (31 - i)) & 1ULL;
+    }
+    return i < 64 ? (hi_ >> (63 - i)) & 1ULL : (lo_ >> (127 - i)) & 1ULL;
+  }
+
+  /// Copy with bit `i` set to `value`.
+  constexpr IpAddress with_bit(int i, bool value) const noexcept {
+    IpAddress out = *this;
+    if (family_ == Family::V4) {
+      const std::uint64_t m = 1ULL << (31 - i);
+      out.lo_ = value ? (lo_ | m) : (lo_ & ~m);
+    } else if (i < 64) {
+      const std::uint64_t m = 1ULL << (63 - i);
+      out.hi_ = value ? (hi_ | m) : (hi_ & ~m);
+    } else {
+      const std::uint64_t m = 1ULL << (127 - i);
+      out.lo_ = value ? (lo_ | m) : (lo_ & ~m);
+    }
+    return out;
+  }
+
+  /// Copy with all bits below prefix length `len` cleared (network address).
+  constexpr IpAddress masked(int len) const noexcept {
+    IpAddress out = *this;
+    if (family_ == Family::V4) {
+      out.lo_ = len == 0 ? 0 : (lo_ & (~0ULL << (32 - len)) & 0xffffffffULL);
+    } else if (len <= 64) {
+      out.hi_ = len == 0 ? 0 : (hi_ & (~0ULL << (64 - len)));
+      out.lo_ = 0;
+    } else {
+      out.lo_ = len == 128 ? lo_ : (lo_ & (~0ULL << (128 - len)));
+    }
+    return out;
+  }
+
+  /// Address + offset within the family's integer space (wraps around).
+  constexpr IpAddress offset(std::uint64_t delta) const noexcept {
+    IpAddress out = *this;
+    if (family_ == Family::V4) {
+      out.lo_ = (lo_ + delta) & 0xffffffffULL;
+    } else {
+      const std::uint64_t new_lo = lo_ + delta;
+      out.lo_ = new_lo;
+      if (new_lo < lo_) out.hi_ = hi_ + 1;  // carry
+    }
+    return out;
+  }
+
+  /// Dotted-quad or compressed-hex textual form.
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const IpAddress&, const IpAddress&) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(const IpAddress& a,
+                                                    const IpAddress& b) noexcept {
+    if (a.family_ != b.family_) return a.family_ <=> b.family_;
+    if (a.hi_ != b.hi_) return a.hi_ <=> b.hi_;
+    return a.lo_ <=> b.lo_;
+  }
+
+  /// Stable 64-bit hash (for unordered containers).
+  constexpr std::uint64_t hash() const noexcept {
+    std::uint64_t h = hi_ * 0x9e3779b97f4a7c15ULL;
+    h ^= (lo_ + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    h ^= static_cast<std::uint64_t>(family_) << 1;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return h ^ (h >> 31);
+  }
+
+ private:
+  constexpr IpAddress(Family f, std::uint64_t hi, std::uint64_t lo) noexcept
+      : family_(f), hi_(hi), lo_(lo) {}
+
+  Family family_ = Family::V4;
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+struct IpAddressHash {
+  std::size_t operator()(const IpAddress& a) const noexcept {
+    return static_cast<std::size_t>(a.hash());
+  }
+};
+
+}  // namespace ipd::net

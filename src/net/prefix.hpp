@@ -1,0 +1,101 @@
+// CIDR prefix value type.
+//
+// A Prefix is a canonical (network address, length) pair: host bits are
+// always zero. IPD ranges, BGP announcements and LPM keys are all Prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/ip_address.hpp"
+
+namespace ipd::net {
+
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0.
+  constexpr Prefix() noexcept = default;
+
+  /// Canonicalizes by masking host bits. Throws if len is out of range for
+  /// the address family.
+  Prefix(const IpAddress& addr, int len);
+
+  /// Parse "a.b.c.d/len" or "hex::/len". Throws on malformed input.
+  static Prefix from_string(std::string_view text);
+
+  /// Root of an address family's space (0.0.0.0/0 or ::/0).
+  static constexpr Prefix root(Family f) noexcept {
+    Prefix p;
+    p.addr_ = f == Family::V4 ? IpAddress::v4(0) : IpAddress::v6(0, 0);
+    p.len_ = 0;
+    return p;
+  }
+
+  constexpr const IpAddress& address() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return len_; }
+  constexpr Family family() const noexcept { return addr_.family(); }
+  constexpr int width() const noexcept { return addr_.width(); }
+
+  /// Number of host bits (width - length).
+  constexpr int host_bits() const noexcept { return width() - len_; }
+
+  /// Number of addresses covered, as a double (exact up to 2^53).
+  double address_count() const noexcept;
+
+  constexpr bool contains(const IpAddress& ip) const noexcept {
+    if (ip.family() != family()) return false;
+    return ip.masked(len_) == addr_;
+  }
+
+  constexpr bool contains(const Prefix& other) const noexcept {
+    if (other.family() != family() || other.len_ < len_) return false;
+    return other.addr_.masked(len_) == addr_;
+  }
+
+  /// Enclosing prefix one bit shorter. Precondition: length() > 0.
+  Prefix parent() const noexcept;
+
+  /// The other half of the parent. Precondition: length() > 0.
+  Prefix sibling() const noexcept;
+
+  /// Child with the next bit cleared (0) or set (1).
+  /// Precondition: length() < width().
+  Prefix child(int bit) const noexcept;
+
+  /// The idx-th subprefix of length `sub_len` inside this prefix (idx
+  /// counts in address order). Preconditions: length() <= sub_len <=
+  /// width(), idx < 2^(sub_len - length()) (and the gap is <= 64 bits).
+  Prefix nth_subprefix(std::uint64_t idx, int sub_len) const noexcept;
+
+  /// True if this prefix is the 1-child of its parent.
+  constexpr bool is_high_child() const noexcept {
+    return len_ > 0 && addr_.bit(len_ - 1);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(const Prefix& a,
+                                                    const Prefix& b) noexcept {
+    if (const auto c = a.addr_ <=> b.addr_; c != 0) return c;
+    return a.len_ <=> b.len_;
+  }
+
+  constexpr std::uint64_t hash() const noexcept {
+    return addr_.hash() * 31 + static_cast<std::uint64_t>(len_);
+  }
+
+ private:
+  IpAddress addr_{};
+  int len_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept {
+    return static_cast<std::size_t>(p.hash());
+  }
+};
+
+}  // namespace ipd::net

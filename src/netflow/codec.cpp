@@ -1,0 +1,116 @@
+#include "netflow/codec.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ipd::netflow {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  // Host order is fine for an on-disk format consumed by the same build;
+  // we nevertheless write through memcpy to avoid aliasing issues.
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.write(buf, sizeof(T));
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) return false;
+  std::memcpy(&value, buf, sizeof(T));
+  return true;
+}
+
+void put_ip(std::ostream& out, const net::IpAddress& ip) {
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(ip.family()));
+  if (ip.is_v4()) {
+    put<std::uint32_t>(out, ip.v4_value());
+  } else {
+    put<std::uint64_t>(out, ip.hi());
+    put<std::uint64_t>(out, ip.lo());
+  }
+}
+
+bool get_ip(std::istream& in, net::IpAddress& ip) {
+  std::uint8_t family = 0;
+  if (!get(in, family)) return false;
+  if (family == static_cast<std::uint8_t>(net::Family::V4)) {
+    std::uint32_t v = 0;
+    if (!get(in, v)) return false;
+    ip = net::IpAddress::v4(v);
+    return true;
+  }
+  if (family == static_cast<std::uint8_t>(net::Family::V6)) {
+    std::uint64_t hi = 0, lo = 0;
+    if (!get(in, hi) || !get(in, lo)) return false;
+    ip = net::IpAddress::v6(hi, lo);
+    return true;
+  }
+  throw std::runtime_error("trace: bad address family tag");
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(out) {
+  put<std::uint32_t>(out_, kTraceMagic);
+  put<std::uint16_t>(out_, kTraceVersion);
+}
+
+void TraceWriter::write(const FlowRecord& record) {
+  put<std::int64_t>(out_, record.ts);
+  put_ip(out_, record.src_ip);
+  put_ip(out_, record.dst_ip);
+  put<std::uint32_t>(out_, record.packets);
+  put<std::uint64_t>(out_, record.bytes);
+  put<std::uint32_t>(out_, record.ingress.router);
+  put<std::uint16_t>(out_, record.ingress.iface);
+  ++count_;
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(in) {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  if (!get(in_, magic) || magic != kTraceMagic) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  if (!get(in_, version) || version != kTraceVersion) {
+    throw std::runtime_error("trace: unsupported version");
+  }
+}
+
+std::optional<FlowRecord> TraceReader::read() {
+  FlowRecord r;
+  if (!get(in_, r.ts)) return std::nullopt;  // clean EOF boundary
+  if (!get_ip(in_, r.src_ip) || !get_ip(in_, r.dst_ip) ||
+      !get(in_, r.packets) || !get(in_, r.bytes) ||
+      !get(in_, r.ingress.router) || !get(in_, r.ingress.iface)) {
+    throw std::runtime_error("trace: truncated record");
+  }
+  ++count_;
+  return r;
+}
+
+void write_trace_file(const std::string& path, const std::vector<FlowRecord>& records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  TraceWriter writer(out);
+  for (const auto& r : records) writer.write(r);
+}
+
+std::vector<FlowRecord> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  TraceReader reader(in);
+  std::vector<FlowRecord> out;
+  while (auto r = reader.read()) out.push_back(*r);
+  return out;
+}
+
+}  // namespace ipd::netflow

@@ -1,0 +1,28 @@
+// Sampled flow-level record, the sole input of the IPD algorithm.
+//
+// Matches the fields the paper's deployment keeps after anonymization:
+// timestamp, source IP (the generator emits /28-aligned hosts where the
+// scenario wants paper-like privacy aggregation), the ingress link on which
+// the flow was observed, plus packet/byte counters for workload realism.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip_address.hpp"
+#include "topology/ids.hpp"
+#include "util/time.hpp"
+
+namespace ipd::netflow {
+
+struct FlowRecord {
+  util::Timestamp ts = 0;       // export timestamp (may carry clock drift)
+  net::IpAddress src_ip;        // remote sender
+  net::IpAddress dst_ip;        // destination inside the ISP (or beyond)
+  std::uint32_t packets = 1;    // sampled packet count
+  std::uint64_t bytes = 0;      // sampled byte count
+  topology::LinkId ingress;     // border router + interface of observation
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+}  // namespace ipd::netflow

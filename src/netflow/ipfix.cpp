@@ -1,0 +1,311 @@
+#include "netflow/ipfix.hpp"
+
+#include <algorithm>
+
+namespace ipd::netflow::ipfix {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+  put32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint32_t>(get16(in, at)) << 16) | get16(in, at + 2);
+}
+
+std::uint64_t get64(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint64_t>(get32(in, at)) << 32) | get32(in, at + 4);
+}
+
+std::uint64_t template_key(std::uint32_t domain, std::uint16_t id) {
+  return (static_cast<std::uint64_t>(domain) << 16) | id;
+}
+
+void append_template_record(std::vector<std::uint8_t>& out, const Template& t) {
+  put16(out, t.template_id);
+  put16(out, static_cast<std::uint16_t>(t.fields.size()));
+  for (const auto& f : t.fields) {
+    put16(out, f.id);
+    put16(out, f.length);
+  }
+}
+
+void append_record(std::vector<std::uint8_t>& out, const FlowRecord& flow,
+                   bool v6) {
+  if (v6) {
+    put64(out, flow.src_ip.hi());
+    put64(out, flow.src_ip.lo());
+    if (flow.dst_ip.is_v4()) {
+      put64(out, 0);
+      put64(out, flow.dst_ip.v4_value());
+    } else {
+      put64(out, flow.dst_ip.hi());
+      put64(out, flow.dst_ip.lo());
+    }
+  } else {
+    put32(out, flow.src_ip.v4_value());
+    put32(out, flow.dst_ip.is_v4() ? flow.dst_ip.v4_value() : 0);
+  }
+  put32(out, flow.ingress.iface);
+  put64(out, flow.bytes);
+  put64(out, flow.packets);
+  put32(out, static_cast<std::uint32_t>(flow.ts));
+}
+
+}  // namespace
+
+Template v4_flow_template() {
+  return Template{256,
+                  {{kIeSourceIPv4Address, 4},
+                   {kIeDestinationIPv4Address, 4},
+                   {kIeIngressInterface, 4},
+                   {kIeOctetDeltaCount, 8},
+                   {kIePacketDeltaCount, 8},
+                   {kIeFlowStartSeconds, 4}}};
+}
+
+Template v6_flow_template() {
+  return Template{257,
+                  {{kIeSourceIPv6Address, 16},
+                   {kIeDestinationIPv6Address, 16},
+                   {kIeIngressInterface, 4},
+                   {kIeOctetDeltaCount, 8},
+                   {kIePacketDeltaCount, 8},
+                   {kIeFlowStartSeconds, 4}}};
+}
+
+Exporter::Exporter(std::uint32_t observation_domain,
+                   std::uint32_t template_refresh)
+    : domain_(observation_domain),
+      template_refresh_(std::max<std::uint32_t>(template_refresh, 1)) {}
+
+std::vector<std::vector<std::uint8_t>> Exporter::export_flows(
+    std::span<const FlowRecord> records, std::uint32_t export_time) {
+  std::vector<std::vector<std::uint8_t>> messages;
+
+  std::vector<const FlowRecord*> v4, v6;
+  for (const auto& r : records) {
+    (r.src_ip.is_v4() ? v4 : v6).push_back(&r);
+  }
+
+  std::vector<std::uint8_t> msg;
+  const auto begin_message = [&] {
+    msg.clear();
+    put16(msg, kVersion);
+    put16(msg, 0);  // length backpatched
+    put32(msg, export_time);
+    put32(msg, sequence_);
+    put32(msg, domain_);
+  };
+  const auto end_message = [&] {
+    msg[2] = static_cast<std::uint8_t>(msg.size() >> 8);
+    msg[3] = static_cast<std::uint8_t>(msg.size());
+    messages.push_back(msg);
+  };
+
+  begin_message();
+  if (!templates_sent_ || messages_since_templates_ >= template_refresh_) {
+    // Template set: header (id=2, length) + both templates.
+    std::vector<std::uint8_t> set;
+    append_template_record(set, v4_flow_template());
+    append_template_record(set, v6_flow_template());
+    put16(msg, kTemplateSetId);
+    put16(msg, static_cast<std::uint16_t>(set.size() + 4));
+    msg.insert(msg.end(), set.begin(), set.end());
+    templates_sent_ = true;
+    messages_since_templates_ = 0;
+  }
+
+  const auto append_data_set = [&](const std::vector<const FlowRecord*>& flows,
+                                   const Template& tmpl, bool is_v6) {
+    if (flows.empty()) return;
+    std::vector<std::uint8_t> set;
+    for (const auto* flow : flows) {
+      append_record(set, *flow, is_v6);
+      sequence_ += 1;  // IPFIX sequence counts data records
+    }
+    put16(msg, tmpl.template_id);
+    put16(msg, static_cast<std::uint16_t>(set.size() + 4));
+    msg.insert(msg.end(), set.begin(), set.end());
+  };
+  append_data_set(v4, v4_flow_template(), false);
+  append_data_set(v6, v6_flow_template(), true);
+  end_message();
+  ++messages_since_templates_;
+  return messages;
+}
+
+const Template* Parser::find_template(std::uint32_t domain,
+                                      std::uint16_t id) const {
+  const auto it = templates_.find(template_key(domain, id));
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+bool Parser::parse(std::span<const std::uint8_t> bytes,
+                   topology::RouterId exporter_router,
+                   std::vector<FlowRecord>& out) {
+  ++stats_.messages;
+  if (bytes.size() < kMessageHeaderBytes || get16(bytes, 0) != kVersion) {
+    ++stats_.malformed;
+    return false;
+  }
+  const std::uint16_t length = get16(bytes, 2);
+  if (length != bytes.size()) {
+    ++stats_.malformed;
+    return false;
+  }
+  const std::uint32_t export_time = get32(bytes, 4);
+  const std::uint32_t domain = get32(bytes, 12);
+
+  std::size_t at = kMessageHeaderBytes;
+  while (at + 4 <= bytes.size()) {
+    const std::uint16_t set_id = get16(bytes, at);
+    const std::uint16_t set_len = get16(bytes, at + 2);
+    if (set_len < 4 || at + set_len > bytes.size()) {
+      ++stats_.malformed;
+      return false;
+    }
+    const auto body = bytes.subspan(at + 4, set_len - 4);
+    if (set_id == kTemplateSetId) {
+      if (!parse_template_set(body, domain)) {
+        ++stats_.malformed;
+        return false;
+      }
+    } else if (set_id >= kMinDataSetId) {
+      if (!parse_data_set(body, domain, set_id, export_time, exporter_router,
+                          out)) {
+        ++stats_.malformed;
+        return false;
+      }
+    }
+    // Other set ids (options templates etc.) are skipped.
+    at += set_len;
+  }
+  if (at != bytes.size()) {
+    ++stats_.malformed;
+    return false;
+  }
+  return true;
+}
+
+bool Parser::parse_template_set(std::span<const std::uint8_t> body,
+                                std::uint32_t domain) {
+  std::size_t at = 0;
+  while (at + 4 <= body.size()) {
+    Template tmpl;
+    tmpl.template_id = get16(body, at);
+    const std::uint16_t field_count = get16(body, at + 2);
+    at += 4;
+    if (tmpl.template_id < kMinDataSetId) return false;
+    if (at + 4u * field_count > body.size()) return false;
+    bool supported = true;
+    for (std::uint16_t f = 0; f < field_count; ++f) {
+      FieldSpec spec{get16(body, at), get16(body, at + 2)};
+      at += 4;
+      if (spec.id & 0x8000u) {
+        // Enterprise-specific element: 4 more bytes of enterprise number;
+        // not supported — skip the template entirely.
+        if (at + 4 > body.size()) return false;
+        at += 4;
+        supported = false;
+        continue;
+      }
+      if (spec.length == 0xFFFF || spec.length == 0) supported = false;
+      tmpl.fields.push_back(spec);
+    }
+    if (!supported) {
+      ++stats_.unsupported_fields;
+      continue;
+    }
+    templates_[template_key(domain, tmpl.template_id)] = std::move(tmpl);
+    ++stats_.templates_learned;
+  }
+  return true;
+}
+
+bool Parser::parse_data_set(std::span<const std::uint8_t> body,
+                            std::uint32_t domain, std::uint16_t set_id,
+                            std::uint32_t export_time,
+                            topology::RouterId exporter_router,
+                            std::vector<FlowRecord>& out) {
+  const Template* tmpl = find_template(domain, set_id);
+  if (!tmpl) {
+    // RFC-conformant: data for unknown templates must be tolerated (the
+    // template announcement may simply not have arrived yet over UDP).
+    ++stats_.data_without_template;
+    return true;
+  }
+  const std::size_t stride = tmpl->record_bytes();
+  if (stride == 0) return false;
+  std::size_t at = 0;
+  // Trailing padding shorter than one record is allowed.
+  while (at + stride <= body.size()) {
+    FlowRecord flow;
+    flow.ts = export_time;
+    flow.ingress.router = exporter_router;
+    for (const auto& field : tmpl->fields) {
+      const auto value = body.subspan(at, field.length);
+      switch (field.id) {
+        case kIeSourceIPv4Address:
+          if (field.length == 4) flow.src_ip = net::IpAddress::v4(get32(value, 0));
+          break;
+        case kIeDestinationIPv4Address:
+          if (field.length == 4) flow.dst_ip = net::IpAddress::v4(get32(value, 0));
+          break;
+        case kIeSourceIPv6Address:
+          if (field.length == 16) {
+            flow.src_ip = net::IpAddress::v6(get64(value, 0), get64(value, 8));
+          }
+          break;
+        case kIeDestinationIPv6Address:
+          if (field.length == 16) {
+            flow.dst_ip = net::IpAddress::v6(get64(value, 0), get64(value, 8));
+          }
+          break;
+        case kIeIngressInterface:
+          if (field.length == 4) {
+            flow.ingress.iface =
+                static_cast<topology::InterfaceIndex>(get32(value, 0));
+          }
+          break;
+        case kIeOctetDeltaCount:
+          if (field.length == 8) flow.bytes = get64(value, 0);
+          break;
+        case kIePacketDeltaCount:
+          if (field.length == 8) {
+            flow.packets = static_cast<std::uint32_t>(get64(value, 0));
+          }
+          break;
+        case kIeFlowStartSeconds:
+          if (field.length == 4) {
+            flow.ts = static_cast<util::Timestamp>(get32(value, 0));
+          }
+          break;
+        default:
+          break;  // unknown element: skipped by length
+      }
+      at += field.length;
+    }
+    out.push_back(flow);
+    ++stats_.records;
+  }
+  return true;
+}
+
+}  // namespace ipd::netflow::ipfix

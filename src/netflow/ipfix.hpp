@@ -1,0 +1,121 @@
+// IPFIX (RFC 7011) export/collection, template-based.
+//
+// The paper's input is "Netflow or IPFIX"; unlike NetFlow v5, IPFIX is
+// template-driven and carries IPv6. This implements the subset a flow
+// collector for IPD needs:
+//   * message header (version 10), template sets (set id 2), data sets,
+//   * a template cache per (observation domain, template id),
+//   * decoding of unknown information elements by skipping their length,
+//   * built-in v4/v6 flow templates for the exporter side.
+// Variable-length and enterprise-specific elements are out of scope and
+// rejected cleanly at template-parse time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netflow/flow_record.hpp"
+
+namespace ipd::netflow::ipfix {
+
+inline constexpr std::uint16_t kVersion = 10;
+inline constexpr std::size_t kMessageHeaderBytes = 16;
+inline constexpr std::uint16_t kTemplateSetId = 2;
+inline constexpr std::uint16_t kMinDataSetId = 256;
+
+// Information element ids (IANA).
+inline constexpr std::uint16_t kIeOctetDeltaCount = 1;
+inline constexpr std::uint16_t kIePacketDeltaCount = 2;
+inline constexpr std::uint16_t kIeSourceIPv4Address = 8;
+inline constexpr std::uint16_t kIeIngressInterface = 10;
+inline constexpr std::uint16_t kIeDestinationIPv4Address = 12;
+inline constexpr std::uint16_t kIeSourceIPv6Address = 27;
+inline constexpr std::uint16_t kIeDestinationIPv6Address = 28;
+inline constexpr std::uint16_t kIeFlowStartSeconds = 150;
+
+struct FieldSpec {
+  std::uint16_t id = 0;
+  std::uint16_t length = 0;
+
+  friend bool operator==(const FieldSpec&, const FieldSpec&) = default;
+};
+
+struct Template {
+  std::uint16_t template_id = 0;
+  std::vector<FieldSpec> fields;
+
+  std::size_t record_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : fields) n += f.length;
+    return n;
+  }
+
+  friend bool operator==(const Template&, const Template&) = default;
+};
+
+/// The exporter's built-in templates.
+Template v4_flow_template();  // id 256
+Template v6_flow_template();  // id 257
+
+/// Builds IPFIX messages from flow records. The first message of a session
+/// (and every `template_refresh` messages) carries the template set, as
+/// IPFIX-over-UDP exporters must re-announce templates periodically.
+class Exporter {
+ public:
+  explicit Exporter(std::uint32_t observation_domain,
+                    std::uint32_t template_refresh = 32);
+
+  /// Pack records (both families allowed; they are split into per-template
+  /// data sets) into one or more messages. `export_time` is the message
+  /// export timestamp (epoch seconds).
+  std::vector<std::vector<std::uint8_t>> export_flows(
+      std::span<const FlowRecord> records, std::uint32_t export_time);
+
+  std::uint32_t sequence() const noexcept { return sequence_; }
+
+ private:
+  std::uint32_t domain_;
+  std::uint32_t template_refresh_;
+  std::uint32_t messages_since_templates_ = 0;
+  bool templates_sent_ = false;
+  std::uint32_t sequence_ = 0;
+};
+
+struct ParserStats {
+  std::uint64_t messages = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t templates_learned = 0;
+  std::uint64_t records = 0;
+  std::uint64_t data_without_template = 0;
+  std::uint64_t unsupported_fields = 0;  // templates rejected (var-len etc.)
+};
+
+/// Stateful collector-side parser; one per transport session (source).
+class Parser {
+ public:
+  /// Parse one message. Decoded flows are appended to `out` with
+  /// `exporter_router` stamped as the ingress router. Returns false when
+  /// the message is malformed (templates learned so far are kept).
+  bool parse(std::span<const std::uint8_t> bytes,
+             topology::RouterId exporter_router, std::vector<FlowRecord>& out);
+
+  const ParserStats& stats() const noexcept { return stats_; }
+
+  /// Template lookup (exposed for tests).
+  const Template* find_template(std::uint32_t domain, std::uint16_t id) const;
+
+ private:
+  bool parse_template_set(std::span<const std::uint8_t> body, std::uint32_t domain);
+  bool parse_data_set(std::span<const std::uint8_t> body, std::uint32_t domain,
+                      std::uint16_t set_id, std::uint32_t export_time,
+                      topology::RouterId exporter_router,
+                      std::vector<FlowRecord>& out);
+
+  std::unordered_map<std::uint64_t, Template> templates_;
+  ParserStats stats_;
+};
+
+}  // namespace ipd::netflow::ipfix

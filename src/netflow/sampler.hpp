@@ -1,0 +1,71 @@
+// Packet sampling models.
+//
+// Routers export 1-out-of-n sampled flows (the paper: n = 1,000..10,000;
+// "unsampled data is never available"). The workload generator thins its
+// packet stream through one of these samplers per router.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ipd::netflow {
+
+/// Random sampling: each packet kept independently with probability 1/n.
+class RandomSampler {
+ public:
+  explicit RandomSampler(std::uint32_t rate, std::uint64_t seed = 1)
+      : rate_(rate), rng_(seed) {
+    if (rate == 0) throw std::invalid_argument("RandomSampler: rate 0");
+  }
+
+  std::uint32_t rate() const noexcept { return rate_; }
+
+  bool keep() noexcept { return rng_.below(rate_) == 0; }
+
+  /// Number kept out of `packets` offered (binomial thinning, sampled
+  /// exactly for small counts, normal-approximated for large ones).
+  std::uint64_t keep_count(std::uint64_t packets) noexcept {
+    if (packets < 64) {
+      std::uint64_t kept = 0;
+      for (std::uint64_t i = 0; i < packets; ++i) kept += keep() ? 1 : 0;
+      return kept;
+    }
+    const double p = 1.0 / rate_;
+    const double mean = static_cast<double>(packets) * p;
+    const double sd = std::sqrt(mean * (1.0 - p));
+    const double v = rng_.normal(mean, sd);
+    if (v <= 0.0) return 0;
+    const auto kept = static_cast<std::uint64_t>(v + 0.5);
+    return kept > packets ? packets : kept;
+  }
+
+ private:
+  std::uint32_t rate_;
+  util::Rng rng_;
+};
+
+/// Systematic (deterministic) sampling: every n-th packet.
+class SystematicSampler {
+ public:
+  explicit SystematicSampler(std::uint32_t rate) : rate_(rate) {
+    if (rate == 0) throw std::invalid_argument("SystematicSampler: rate 0");
+  }
+
+  std::uint32_t rate() const noexcept { return rate_; }
+
+  bool keep() noexcept {
+    if (++counter_ >= rate_) {
+      counter_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::uint32_t rate_;
+  std::uint32_t counter_ = 0;
+};
+
+}  // namespace ipd::netflow

@@ -1,0 +1,61 @@
+#include "netflow/statistical_time.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ipd::netflow {
+
+StatisticalTime::StatisticalTime(StatisticalTimeConfig config, Sink sink)
+    : config_(config), sink_(std::move(sink)) {
+  if (config_.bucket_len <= 0) {
+    throw std::invalid_argument("StatisticalTime: bucket_len must be > 0");
+  }
+  if (!sink_) throw std::invalid_argument("StatisticalTime: null sink");
+}
+
+void StatisticalTime::offer(const FlowRecord& record) {
+  ++stats_.records_in;
+  if (!have_watermark_) {
+    watermark_ = record.ts;
+    have_watermark_ = true;
+  }
+  // Records far from the plausible window are discarded outright; records
+  // moderately ahead advance the watermark (the bulk of traffic defines
+  // what "now" means — a single broken clock cannot drag it).
+  if (record.ts > watermark_) {
+    if (record.ts - watermark_ > config_.max_skew) {
+      ++stats_.dropped_skew;
+      return;
+    }
+    watermark_ = record.ts;
+  } else if (watermark_ - record.ts > config_.max_skew) {
+    ++stats_.dropped_skew;
+    return;
+  }
+  pending_[util::bucket_index(record.ts, config_.bucket_len)].push_back(record);
+  seal_up_to(util::bucket_index(watermark_, config_.bucket_len) -
+             config_.settle_buckets);
+}
+
+void StatisticalTime::flush() {
+  seal_up_to(pending_.empty() ? 0 : pending_.rbegin()->first + 1);
+}
+
+void StatisticalTime::seal_up_to(std::int64_t bucket_exclusive) {
+  while (!pending_.empty() && pending_.begin()->first < bucket_exclusive) {
+    auto node = pending_.extract(pending_.begin());
+    auto& records = node.mapped();
+    if (records.size() >= config_.activity_threshold) {
+      ++stats_.buckets_emitted;
+      for (const auto& r : records) {
+        sink_(r);
+        ++stats_.records_out;
+      }
+    } else {
+      ++stats_.buckets_discarded;
+      stats_.dropped_inactive += records.size();
+    }
+  }
+}
+
+}  // namespace ipd::netflow

@@ -1,0 +1,74 @@
+// "Statistical time" pre-processing (paper §3.1).
+//
+// Router clocks drift, so the pipeline does not trust raw export
+// timestamps. Instead it segments traffic into uniform time buckets and
+// infers event ordering from the bulk of the data: buckets that do not
+// meet an activity threshold are discarded, and records falling outside
+// the currently plausible time range are dropped. "This method might
+// exclude some data but ensures consistency despite clock drifts."
+//
+// The implementation is streaming: records are staged per bucket; once the
+// stream's watermark has moved `settle_buckets` past a bucket, that bucket
+// is either emitted (normalized to the bucket start) or discarded.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "netflow/flow_record.hpp"
+#include "util/time.hpp"
+
+namespace ipd::netflow {
+
+struct StatisticalTimeConfig {
+  util::Duration bucket_len = 60;     // uniform bucket size (= IPD's t)
+  std::uint64_t activity_threshold = 10;  // min records for a bucket to count
+  util::Duration max_skew = 300;      // drop records further than this from
+                                      // the current stream watermark
+  int settle_buckets = 2;             // buckets to wait before sealing one
+};
+
+struct StatisticalTimeStats {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t dropped_skew = 0;      // outside plausible window
+  std::uint64_t dropped_inactive = 0;  // in a below-threshold bucket
+  std::uint64_t buckets_emitted = 0;
+  std::uint64_t buckets_discarded = 0;
+};
+
+/// Streaming pre-processor. Feed records (roughly ordered, drift allowed),
+/// receive cleaned records via the sink; call flush() at end of stream.
+class StatisticalTime {
+ public:
+  using Sink = std::function<void(const FlowRecord&)>;
+
+  StatisticalTime(StatisticalTimeConfig config, Sink sink);
+
+  /// Offer one record. May synchronously emit older, now-settled buckets.
+  void offer(const FlowRecord& record);
+
+  /// Seal and emit/discard all pending buckets.
+  void flush();
+
+  const StatisticalTimeStats& stats() const noexcept { return stats_; }
+
+  /// Current watermark: the largest plausible time seen so far.
+  util::Timestamp watermark() const noexcept { return watermark_; }
+
+ private:
+  void seal_up_to(std::int64_t bucket_exclusive);
+
+  StatisticalTimeConfig config_;
+  Sink sink_;
+  StatisticalTimeStats stats_;
+  // Pending buckets keyed by bucket index; records stored with raw ts.
+  std::map<std::int64_t, std::vector<FlowRecord>> pending_;
+  util::Timestamp watermark_ = 0;
+  bool have_watermark_ = false;
+};
+
+}  // namespace ipd::netflow

@@ -1,0 +1,69 @@
+#include "netflow/text_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ipd::netflow {
+
+std::string format_csv_line(const FlowRecord& record) {
+  return util::format(
+      "%lld,%s,%s,%u,%llu,%u,%u", static_cast<long long>(record.ts),
+      record.src_ip.to_string().c_str(), record.dst_ip.to_string().c_str(),
+      record.packets, static_cast<unsigned long long>(record.bytes),
+      record.ingress.router, record.ingress.iface);
+}
+
+void write_csv(std::ostream& out, std::span<const FlowRecord> records) {
+  out << kCsvHeader << '\n';
+  for (const auto& record : records) {
+    out << format_csv_line(record) << '\n';
+  }
+}
+
+FlowRecord parse_csv_line(std::string_view line) {
+  const auto fields = util::split(line, ',');
+  if (fields.size() != 7) {
+    throw std::invalid_argument("expected 7 CSV fields, got " +
+                                std::to_string(fields.size()));
+  }
+  FlowRecord record;
+  record.ts = static_cast<util::Timestamp>(
+      util::parse_uint(util::trim(fields[0]), ~0ull >> 1));
+  record.src_ip = net::IpAddress::from_string(fields[1]);
+  record.dst_ip = net::IpAddress::from_string(fields[2]);
+  record.packets = static_cast<std::uint32_t>(
+      util::parse_uint(util::trim(fields[3]), 0xFFFFFFFFull));
+  record.bytes = util::parse_uint(util::trim(fields[4]), ~0ull);
+  record.ingress.router = static_cast<topology::RouterId>(
+      util::parse_uint(util::trim(fields[5]), 0xFFFFFFFEull));
+  record.ingress.iface = static_cast<topology::InterfaceIndex>(
+      util::parse_uint(util::trim(fields[6]), 0xFFFFull));
+  return record;
+}
+
+CsvReadResult read_csv(std::istream& in, bool strict) {
+  CsvReadResult result;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (line_no == 1 && trimmed == kCsvHeader) continue;
+    try {
+      result.records.push_back(parse_csv_line(trimmed));
+    } catch (const std::invalid_argument& e) {
+      if (strict) {
+        throw std::runtime_error("CSV line " + std::to_string(line_no) + ": " +
+                                 e.what());
+      }
+      ++result.lines_skipped;
+    }
+  }
+  return result;
+}
+
+}  // namespace ipd::netflow

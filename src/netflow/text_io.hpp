@@ -1,0 +1,43 @@
+// Plain-text (CSV) flow I/O for interop.
+//
+// Columns: ts,src_ip,dst_ip,packets,bytes,router,iface
+// Anything a spreadsheet, awk pipeline, or another collector can produce
+// can feed IPD through this reader; the writer is the inverse. Robust
+// parsing with per-line error reporting (strict) or skipping (lenient).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netflow/flow_record.hpp"
+
+namespace ipd::netflow {
+
+inline constexpr const char* kCsvHeader =
+    "ts,src_ip,dst_ip,packets,bytes,router,iface";
+
+/// Write records as CSV (with header).
+void write_csv(std::ostream& out, std::span<const FlowRecord> records);
+
+struct CsvReadResult {
+  std::vector<FlowRecord> records;
+  std::uint64_t lines_skipped = 0;  // lenient mode only
+};
+
+/// Read CSV flows. Accepts an optional header line, blank lines and
+/// '#' comments. In strict mode (default) a malformed line throws
+/// std::runtime_error naming the line number; in lenient mode it is
+/// counted and skipped.
+CsvReadResult read_csv(std::istream& in, bool strict = true);
+
+/// Parse a single CSV line (no header/comment handling).
+/// Throws std::invalid_argument on malformed input.
+FlowRecord parse_csv_line(std::string_view line);
+
+/// Format a single record as a CSV line (no trailing newline).
+std::string format_csv_line(const FlowRecord& record);
+
+}  // namespace ipd::netflow

@@ -1,0 +1,90 @@
+// NetFlow v5 export datagram codec (wire format).
+//
+// The deployment's border routers export NetFlow/IPFIX; the collector tier
+// parses the datagrams and forwards (ts, src_ip, ingress) tuples to IPD.
+// This implements the classic v5 wire format: a 24-byte header followed by
+// up to 30 fixed 48-byte flow records, all fields big-endian. v5 is
+// IPv4-only; v6 flows travel through the internal codec (codec.hpp) or
+// IPFIX in real deployments.
+//
+// Field semantics follow the Cisco spec; fields IPD does not consume
+// (AS numbers, TCP flags, ...) are carried faithfully so the codec is
+// usable as a general substrate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netflow/flow_record.hpp"
+
+namespace ipd::netflow::v5 {
+
+inline constexpr std::uint16_t kVersion = 5;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::size_t kRecordBytes = 48;
+inline constexpr std::size_t kMaxRecordsPerPacket = 30;
+
+struct Header {
+  std::uint16_t version = kVersion;
+  std::uint16_t count = 0;          // records in this packet (1..30)
+  std::uint32_t sys_uptime_ms = 0;  // router uptime at export
+  std::uint32_t unix_secs = 0;      // export wall-clock seconds
+  std::uint32_t unix_nsecs = 0;
+  std::uint32_t flow_sequence = 0;  // total flows seen (for loss detection)
+  std::uint8_t engine_type = 0;
+  std::uint8_t engine_id = 0;
+  std::uint16_t sampling = 0;  // 2-bit mode + 14-bit interval
+};
+
+struct Record {
+  std::uint32_t src_addr = 0;  // host byte order here; big-endian on wire
+  std::uint32_t dst_addr = 0;
+  std::uint32_t next_hop = 0;
+  std::uint16_t input_snmp = 0;  // ingress interface index (IPD's link)
+  std::uint16_t output_snmp = 0;
+  std::uint32_t packets = 0;
+  std::uint32_t octets = 0;
+  std::uint32_t first_ms = 0;  // sysuptime at flow start
+  std::uint32_t last_ms = 0;   // sysuptime at flow end
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint8_t protocol = 0;
+  std::uint8_t tos = 0;
+  std::uint16_t src_as = 0;
+  std::uint16_t dst_as = 0;
+  std::uint8_t src_mask = 0;
+  std::uint8_t dst_mask = 0;
+};
+
+struct Packet {
+  Header header;
+  std::vector<Record> records;
+};
+
+/// Serialize to wire bytes. Throws std::invalid_argument if the record
+/// count is 0, exceeds kMaxRecordsPerPacket, or disagrees with header.count
+/// (header.count == 0 auto-fills).
+std::vector<std::uint8_t> encode(const Packet& packet);
+
+/// Parse wire bytes. Returns nullopt for anything malformed (wrong version,
+/// truncated buffer, count/size mismatch) — collectors must tolerate
+/// garbage datagrams without throwing on the fast path.
+std::optional<Packet> decode(std::span<const std::uint8_t> bytes);
+
+/// Convenience bridge: build FlowRecords for IPD from a decoded packet.
+/// `exporter_router` identifies the emitting border router; the ingress
+/// interface comes from each record's input_snmp. Timestamps use the
+/// export wall clock (unix_secs), i.e. any router clock error is carried
+/// through — exactly what the statistical-time pre-processing exists for.
+std::vector<FlowRecord> to_flow_records(const Packet& packet,
+                                        topology::RouterId exporter_router);
+
+/// Convenience bridge: pack FlowRecords (all from one router, IPv4 only)
+/// into v5 packets of at most kMaxRecordsPerPacket records.
+std::vector<Packet> from_flow_records(std::span<const FlowRecord> records,
+                                      std::uint32_t first_sequence = 0);
+
+}  // namespace ipd::netflow::v5

@@ -1,0 +1,27 @@
+#include "topology/builder.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ipd::topology {
+
+Topology build_skeleton(const BuilderConfig& config) {
+  if (config.n_countries <= 0 || config.n_pops < config.n_countries ||
+      config.routers_per_pop <= 0) {
+    throw std::invalid_argument("build_skeleton: invalid config");
+  }
+  Topology topo;
+  for (int p = 0; p < config.n_pops; ++p) {
+    // Round-robin PoPs over countries so every country has at least one.
+    const int country = p % config.n_countries;
+    const PopId pop = topo.add_pop(util::format("POP%d", p + 1),
+                                   util::format("C%d", country + 1));
+    for (int r = 0; r < config.routers_per_pop; ++r) {
+      topo.add_router(pop);
+    }
+  }
+  return topo;
+}
+
+}  // namespace ipd::topology

@@ -1,0 +1,22 @@
+// Synthetic ISP topology construction.
+//
+// Builds a tier-1-style footprint: `n_pops` sites spread over `n_countries`
+// countries, each with several border routers. Interfaces are added later
+// by the workload module when peer ASes are attached.
+#pragma once
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ipd::topology {
+
+struct BuilderConfig {
+  int n_countries = 6;
+  int n_pops = 12;
+  int routers_per_pop = 5;
+};
+
+/// Deterministically construct the PoP/router skeleton.
+Topology build_skeleton(const BuilderConfig& config);
+
+}  // namespace ipd::topology

@@ -1,0 +1,61 @@
+// Strongly-typed identifiers for the ISP topology model.
+//
+// A traffic ingress point is identified by (border router, interface); the
+// paper renders these as "C2-R30.1" (country 2, router 30, interface 1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ipd::topology {
+
+/// Point of Presence (a site in one country/metro).
+using PopId = std::uint32_t;
+
+/// Border router index, global across the ISP.
+using RouterId = std::uint32_t;
+
+/// Interface index local to a router.
+using InterfaceIndex = std::uint16_t;
+
+/// Autonomous system number of a peer/origin network.
+using AsNumber = std::uint32_t;
+
+inline constexpr RouterId kInvalidRouter = ~RouterId{0};
+
+/// A single traffic ingress link: one interface on one border router.
+struct LinkId {
+  RouterId router = kInvalidRouter;
+  InterfaceIndex iface = 0;
+
+  friend constexpr bool operator==(const LinkId&, const LinkId&) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(const LinkId&,
+                                                    const LinkId&) noexcept = default;
+
+  constexpr bool valid() const noexcept { return router != kInvalidRouter; }
+
+  constexpr std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(router) << 16) | iface;
+  }
+};
+
+struct LinkIdHash {
+  std::size_t operator()(const LinkId& l) const noexcept {
+    std::uint64_t h = l.key() * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+/// How the ISP classifies the interconnection behind an interface.
+enum class LinkType : std::uint8_t {
+  Pni,            // private network interconnect (direct, settlement-free)
+  PublicPeering,  // via an IXP fabric
+  Transit,        // paid upstream/downstream transit
+  Customer,       // customer access aggregation
+};
+
+const char* to_string(LinkType type) noexcept;
+
+}  // namespace ipd::topology

@@ -1,0 +1,80 @@
+#include "topology/topology.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ipd::topology {
+
+const char* to_string(LinkType type) noexcept {
+  switch (type) {
+    case LinkType::Pni: return "PNI";
+    case LinkType::PublicPeering: return "public-peering";
+    case LinkType::Transit: return "transit";
+    case LinkType::Customer: return "customer";
+  }
+  return "?";
+}
+
+PopId Topology::add_pop(std::string name, std::string country) {
+  const PopId id = static_cast<PopId>(pops_.size());
+  pops_.push_back(Pop{id, std::move(name), std::move(country)});
+  return id;
+}
+
+RouterId Topology::add_router(PopId pop, std::string name) {
+  if (pop >= pops_.size()) throw std::out_of_range("add_router: unknown pop");
+  const RouterId id = static_cast<RouterId>(routers_.size());
+  if (name.empty()) name = "R" + std::to_string(id);
+  routers_.push_back(Router{id, pop, std::move(name)});
+  return id;
+}
+
+LinkId Topology::add_interface(RouterId router, LinkType type, AsNumber peer_as) {
+  if (router >= routers_.size()) {
+    throw std::out_of_range("add_interface: unknown router");
+  }
+  if (iface_count_.size() <= router) iface_count_.resize(routers_.size(), 0);
+  const LinkId link{router, iface_count_[router]++};
+  interface_index_[link.key()] = interfaces_.size();
+  interfaces_.push_back(Interface{link, type, peer_as});
+  if (peer_as != 0) by_as_[peer_as].push_back(link);
+  return link;
+}
+
+const Interface& Topology::interface(LinkId link) const {
+  const auto it = interface_index_.find(link.key());
+  if (it == interface_index_.end()) {
+    throw std::out_of_range("unknown interface " + link_name(link));
+  }
+  return interfaces_[it->second];
+}
+
+std::vector<LinkId> Topology::interfaces_of_router(RouterId router) const {
+  std::vector<LinkId> out;
+  for (const auto& intf : interfaces_) {
+    if (intf.id.router == router) out.push_back(intf.id);
+  }
+  return out;
+}
+
+const std::vector<LinkId>& Topology::interfaces_of_as(AsNumber as) const {
+  const auto it = by_as_.find(as);
+  return it == by_as_.end() ? empty_ : it->second;
+}
+
+std::string Topology::link_name(LinkId link) const {
+  if (link.router < routers_.size()) {
+    const auto& r = routers_[link.router];
+    return pops_[r.pop].country + "-" + r.name + "." + std::to_string(link.iface);
+  }
+  return util::format("R%u.%u", link.router, link.iface);
+}
+
+bool Topology::is_peering_link_to(LinkId link, AsNumber as) const {
+  const auto& intf = interface(link);
+  return intf.peer_as == as &&
+         (intf.type == LinkType::Pni || intf.type == LinkType::PublicPeering);
+}
+
+}  // namespace ipd::topology

@@ -1,0 +1,87 @@
+// ISP topology model: PoPs (sites in countries), border routers, and the
+// interconnection interfaces through which external traffic ingresses.
+//
+// The model is intentionally flat — IPD never needs the internal (core)
+// topology, only the identity and location of ingress links.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace ipd::topology {
+
+struct Pop {
+  PopId id = 0;
+  std::string name;     // e.g. "FRA1"
+  std::string country;  // e.g. "C2"
+};
+
+struct Router {
+  RouterId id = 0;
+  PopId pop = 0;
+  std::string name;  // e.g. "R30"
+};
+
+struct Interface {
+  LinkId id;
+  LinkType type = LinkType::Transit;
+  AsNumber peer_as = 0;  // AS on the far side of the link (0 = unset)
+};
+
+/// Container for the ISP's border infrastructure.
+///
+/// Build with add_pop/add_router/add_interface; all accessors are O(1)
+/// except the per-AS interface listing which is precomputed on insert.
+class Topology {
+ public:
+  PopId add_pop(std::string name, std::string country);
+  RouterId add_router(PopId pop, std::string name = {});
+  LinkId add_interface(RouterId router, LinkType type, AsNumber peer_as);
+
+  std::size_t pop_count() const noexcept { return pops_.size(); }
+  std::size_t router_count() const noexcept { return routers_.size(); }
+  std::size_t interface_count() const noexcept { return interfaces_.size(); }
+
+  const Pop& pop(PopId id) const { return pops_.at(id); }
+  const Router& router(RouterId id) const { return routers_.at(id); }
+
+  PopId pop_of(RouterId router) const { return routers_.at(router).pop; }
+  const std::string& country_of(RouterId router) const {
+    return pops_.at(routers_.at(router).pop).country;
+  }
+
+  /// Interface metadata for a link. Throws std::out_of_range if unknown.
+  const Interface& interface(LinkId link) const;
+
+  /// All interfaces on one router.
+  std::vector<LinkId> interfaces_of_router(RouterId router) const;
+
+  /// All interfaces facing a given peer AS (any router), in creation order.
+  const std::vector<LinkId>& interfaces_of_as(AsNumber as) const;
+
+  /// All interfaces of the ISP.
+  const std::vector<Interface>& interfaces() const noexcept { return interfaces_; }
+  const std::vector<Router>& routers() const noexcept { return routers_; }
+  const std::vector<Pop>& pops() const noexcept { return pops_; }
+
+  /// Paper-style rendering, e.g. "C2-R30.1".
+  std::string link_name(LinkId link) const;
+
+  /// True if `link` is a direct peering link (PNI or public peering) to `as`.
+  bool is_peering_link_to(LinkId link, AsNumber as) const;
+
+ private:
+  std::vector<Pop> pops_;
+  std::vector<Router> routers_;
+  std::vector<InterfaceIndex> iface_count_;  // next interface index per router
+  std::vector<Interface> interfaces_;
+  std::unordered_map<std::uint64_t, std::size_t> interface_index_;
+  std::unordered_map<AsNumber, std::vector<LinkId>> by_as_;
+  std::vector<LinkId> empty_;
+};
+
+}  // namespace ipd::topology

@@ -1,0 +1,57 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ipd::util {
+
+namespace {
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ',';
+    out += parts[i];
+  }
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::string name, std::vector<std::string> columns,
+                     const std::string& path)
+    : name_(std::move(name)), columns_(columns.size()) {
+  if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+  const std::string header = join(columns);
+  std::cout << "# " << name_ << '\n' << header << '\n';
+  if (!path.empty()) {
+    file_.open(path);
+    if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    file_ << header << '\n';
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  std::cout << "# end " << name_ << " (" << rows_ << " rows)\n";
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch for " + name_);
+  }
+  const std::string line = join(values);
+  std::cout << line << '\n';
+  if (file_.is_open()) file_ << line << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string CsvWriter::num(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace ipd::util

@@ -1,0 +1,44 @@
+// Series/CSV emission for benchmark harnesses.
+//
+// Every figure-reproducing bench prints its data series to stdout (so the
+// run log is self-contained) and can optionally mirror them to a CSV file
+// for plotting.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipd::util {
+
+/// Writes rows of a named table as CSV to stdout and (optionally) a file.
+class CsvWriter {
+ public:
+  /// `path` may be empty to write to stdout only.
+  CsvWriter(std::string name, std::vector<std::string> columns,
+            const std::string& path = {});
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one row; `values.size()` must equal the column count.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 6);
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::string name_;
+  std::size_t columns_;
+  std::ofstream file_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ipd::util

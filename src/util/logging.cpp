@@ -1,0 +1,30 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace ipd::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace ipd::util

@@ -1,0 +1,25 @@
+// Minimal leveled logging.
+//
+// Benches and examples use this for human-readable progress lines; the
+// library itself logs only at Warn and above so hot paths stay quiet.
+#pragma once
+
+#include <string>
+
+namespace ipd::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Set the global minimum level (default: Info).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a log line "[LEVEL] message" to stderr if `level` passes the filter.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::Info, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::Warn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::Error, m); }
+
+}  // namespace ipd::util

@@ -1,0 +1,53 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ipd::util {
+
+std::size_t Rng::weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("DiscreteSampler: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("DiscreteSampler: non-positive total weight");
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("DiscreteSampler: negative weight");
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+}
+
+double DiscreteSampler::probability(std::size_t i) const noexcept {
+  if (i >= cumulative_.size()) return 0.0;
+  return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+std::vector<double> zipf_weights(std::size_t n, double s) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return w;
+}
+
+}  // namespace ipd::util

@@ -1,0 +1,162 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component of the workload generator draws from an `Rng`
+// seeded explicitly; two runs with the same seed produce identical traces.
+// The generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ipd::util {
+
+/// splitmix64 step; used to expand a single seed into a full state vector.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions used by the workload
+/// generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double normal() noexcept {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Normal variate with mean/stddev.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal variate parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Pareto variate with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Sample an index from a non-empty span of non-negative weights.
+  std::size_t weighted(std::span<const double> weights) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Precomputed discrete distribution for repeated weighted sampling.
+/// Builds a cumulative table once; each draw is a binary search.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Number of categories.
+  std::size_t size() const noexcept { return cumulative_.size(); }
+
+  /// Draw a category index.
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability mass of category i.
+  double probability(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> cumulative_;  // normalized, strictly increasing to 1.0
+};
+
+/// Zipf-like weights: weight(i) = 1 / (i+1)^s for i in [0, n).
+std::vector<double> zipf_weights(std::size_t n, double s);
+
+}  // namespace ipd::util

@@ -1,0 +1,69 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ipd::util {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::uint64_t parse_uint(std::string_view s, std::uint64_t max_value) {
+  if (s.empty()) throw std::invalid_argument("parse_uint: empty input");
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("parse_uint: non-digit in '" + std::string(s) + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (max_value - digit) / 10) {
+      throw std::invalid_argument("parse_uint: overflow in '" + std::string(s) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace ipd::util

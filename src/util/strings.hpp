@@ -1,0 +1,26 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipd::util {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Parse a non-negative integer; throws std::invalid_argument on bad input
+/// or overflow beyond `max_value`.
+std::uint64_t parse_uint(std::string_view s, std::uint64_t max_value);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ipd::util

@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <stdexcept>
+
+namespace ipd::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::row(std::vector<std::string> values) {
+  if (values.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(values));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += r[c];
+      if (c + 1 < r.size()) out.append(width[c] - r[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void TextTable::print() const { std::cout << render(); }
+
+}  // namespace ipd::util

@@ -1,0 +1,30 @@
+// Aligned plain-text table printer used by benches to mirror the paper's
+// tables (e.g. Table 3 raw IPD output) in the run log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ipd::util {
+
+/// Collects rows and prints them with column-aligned padding.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> values);
+
+  /// Render the full table (header, separator, rows).
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  std::size_t size() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ipd::util

@@ -1,0 +1,62 @@
+// Simulation time primitives.
+//
+// All IPD logic runs on simulated Unix timestamps (seconds). Wall-clock time
+// never feeds algorithm decisions so that every run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ipd::util {
+
+/// Unix timestamp in seconds (simulated time).
+using Timestamp = std::int64_t;
+
+/// Duration in seconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kSecondsPerMinute = 60;
+inline constexpr Duration kSecondsPerHour = 3600;
+inline constexpr Duration kSecondsPerDay = 86400;
+
+/// Index of the time bucket of length `bucket_len` containing `ts`.
+constexpr std::int64_t bucket_index(Timestamp ts, Duration bucket_len) noexcept {
+  return ts / bucket_len;
+}
+
+/// Start of the bucket of length `bucket_len` containing `ts`.
+constexpr Timestamp bucket_start(Timestamp ts, Duration bucket_len) noexcept {
+  return (ts / bucket_len) * bucket_len;
+}
+
+/// Hour of day [0,24) for a timestamp (UTC, no DST — simulation only).
+constexpr int hour_of_day(Timestamp ts) noexcept {
+  return static_cast<int>((ts % kSecondsPerDay) / kSecondsPerHour);
+}
+
+/// Second within the current day [0, 86400).
+constexpr int second_of_day(Timestamp ts) noexcept {
+  return static_cast<int>(ts % kSecondsPerDay);
+}
+
+/// Day index since epoch.
+constexpr std::int64_t day_index(Timestamp ts) noexcept {
+  return ts / kSecondsPerDay;
+}
+
+/// Format a timestamp as "D+HH:MM:SS" (simulation days since epoch).
+inline std::string format_sim_time(Timestamp ts) {
+  const auto day = ts / kSecondsPerDay;
+  const auto rem = ts % kSecondsPerDay;
+  const auto h = rem / 3600;
+  const auto m = (rem % 3600) / 60;
+  const auto s = rem % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld+%02lld:%02lld:%02lld",
+                static_cast<long long>(day), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace ipd::util

@@ -1,0 +1,42 @@
+#include "workload/diurnal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipd::workload {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+DiurnalCurve::DiurnalCurve(double min_fraction, double peak_hour,
+                           double phase_shift_h)
+    : min_fraction_(min_fraction),
+      peak_hour_(peak_hour),
+      phase_shift_h_(phase_shift_h) {
+  if (min_fraction <= 0.0 || min_fraction > 1.0) {
+    throw std::invalid_argument("DiurnalCurve: min_fraction out of (0,1]");
+  }
+}
+
+double DiurnalCurve::factor_at_hour(double hour) const noexcept {
+  // Base shape: cosine anchored at the peak hour plus a weaker second
+  // harmonic that flattens the evening plateau and deepens the morning
+  // trough — the classic eyeball traffic profile.
+  const double x = 2.0 * kPi * (hour - peak_hour_ - phase_shift_h_) / 24.0;
+  double shape = 0.8 * std::cos(x) + 0.2 * std::cos(2.0 * x);
+  // shape is in [-something, 1.0]; normalize to [0, 1].
+  // Minimum of 0.8cos(x)+0.2cos(2x) is -0.6 (at x = pi).
+  constexpr double kShapeMin = -0.6;
+  double normalized = (shape - kShapeMin) / (1.0 - kShapeMin);
+  if (normalized < 0.0) normalized = 0.0;
+  return min_fraction_ + (1.0 - min_fraction_) * normalized;
+}
+
+double DiurnalCurve::factor(util::Timestamp ts) const noexcept {
+  const double hour =
+      static_cast<double>(util::second_of_day(ts)) / util::kSecondsPerHour;
+  return factor_at_hour(hour);
+}
+
+}  // namespace ipd::workload

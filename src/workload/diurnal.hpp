@@ -1,0 +1,37 @@
+// Diurnal traffic volume model.
+//
+// Eyeball-ISP ingress volume follows a strong daily pattern with the busy
+// hour in the evening (the paper's ISP peaks at 8 PM local time) and the
+// minimum in the early morning (~5-6 AM). The curve is a smooth mixture of
+// two harmonics; per-AS phase shifts de-synchronize CDNs slightly.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace ipd::workload {
+
+class DiurnalCurve {
+ public:
+  /// `min_fraction`: volume at the daily minimum relative to the peak
+  /// (e.g. 0.35 = nightly trough at 35 % of prime time).
+  /// `peak_hour`: hour of day of the maximum (default 20 = 8 PM).
+  /// `phase_shift_h`: additional per-AS shift in hours.
+  explicit DiurnalCurve(double min_fraction = 0.35, double peak_hour = 20.0,
+                        double phase_shift_h = 0.0);
+
+  /// Relative volume in (0, 1]; equals 1.0 at the peak hour.
+  double factor(util::Timestamp ts) const noexcept;
+
+  /// Same, by fractional hour of day.
+  double factor_at_hour(double hour) const noexcept;
+
+  double min_fraction() const noexcept { return min_fraction_; }
+  double peak_hour() const noexcept { return peak_hour_; }
+
+ private:
+  double min_fraction_;
+  double peak_hour_;
+  double phase_shift_h_;
+};
+
+}  // namespace ipd::workload

@@ -1,0 +1,305 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ipd::workload {
+
+FlowGenerator::FlowGenerator(ScenarioConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      topo_(topology::build_skeleton(config_.topo)),
+      universe_([&] {
+        UniverseConfig uc = config_.universe;
+        uc.seed = config_.seed * 77 + 1;
+        return build_universe(topo_, uc);
+      }()),
+      curve_(0.35, 20.0, 0.0) {
+  const auto& ases = universe_.ases();
+
+  // Bundle attachment: give the chosen top AS a second parallel interface
+  // on the router of its first link.
+  if (config_.bundle_as_rank >= 0) {
+    const auto top = universe_.top_indices(5);
+    if (static_cast<std::size_t>(config_.bundle_as_rank) < top.size()) {
+      const std::size_t as_index = top[static_cast<std::size_t>(config_.bundle_as_rank)];
+      auto& as = universe_.ases()[as_index];
+      const topology::LinkId a = as.links.front();
+      const auto& intf = topo_.interface(a);
+      const topology::LinkId b = topo_.add_interface(a.router, intf.type, as.asn);
+      as.links.push_back(b);
+      bundles_.push_back(BundleAttachment{as_index, a, b});
+    }
+  }
+
+  // Resolve per-AS anomaly state (may add interfaces, so do this before
+  // caching interface counts).
+  lb_.resize(ases.size());
+  pop_divert_prob_.assign(ases.size(), 0.0);
+  far_link_.assign(ases.size(), topology::LinkId{});
+
+  for (const auto& lb : config_.load_balancers) {
+    if (lb.as_index >= ases.size()) continue;
+    auto& as = universe_.ases()[lb.as_index];
+    // Balance over two routers in the same PoP: reuse the first link's
+    // router and attach a second interface on a sibling router.
+    const topology::RouterId r1 = as.links.front().router;
+    const topology::PopId pop = topo_.pop_of(r1);
+    topology::RouterId r2 = topology::kInvalidRouter;
+    for (const auto& router : topo_.routers()) {
+      if (router.pop == pop && router.id != r1) {
+        r2 = router.id;
+        break;
+      }
+    }
+    if (r2 == topology::kInvalidRouter) continue;
+    LbState state;
+    state.active = true;
+    state.unit = lb.unit_index;
+    state.start = lb.start;
+    state.end = lb.end;
+    state.a = as.links.front();
+    state.b = topo_.add_interface(r2, topo_.interface(state.a).type, as.asn);
+    as.links.push_back(state.b);
+    lb_[lb.as_index] = state;
+  }
+
+  for (const auto& divert : config_.pop_diverts) {
+    if (divert.as_index >= ases.size()) continue;
+    auto& as = universe_.ases()[divert.as_index];
+    pop_divert_prob_[divert.as_index] = divert.peak_prob;
+    // Far link: an AS link whose router sits in a different country than
+    // the first link; create one if the AS has none.
+    const std::string& home = topo_.country_of(as.links.front().router);
+    topology::LinkId far{};
+    for (const auto& link : as.links) {
+      if (topo_.country_of(link.router) != home) {
+        far = link;
+        break;
+      }
+    }
+    if (!far.valid()) {
+      for (const auto& router : topo_.routers()) {
+        if (topo_.country_of(router.id) != home) {
+          far = topo_.add_interface(router.id, topo_.interface(as.links.front()).type,
+                                    as.asn);
+          as.links.push_back(far);
+          break;
+        }
+      }
+    }
+    far_link_[divert.as_index] = far;
+  }
+
+  // Tier-1 leak links: each tier-1 AS leaks via some transit interface of
+  // another network (traffic arrives "through third parties", §5.6).
+  std::vector<topology::LinkId> transit_links;
+  for (const auto& intf : topo_.interfaces()) {
+    if (intf.type == topology::LinkType::Transit) transit_links.push_back(intf.id);
+  }
+  for (std::size_t i = 0; i < universe_.tier1_indices().size(); ++i) {
+    if (transit_links.empty()) break;
+    leak_links_.push_back(transit_links[i % transit_links.size()]);
+  }
+
+  // Mappers (after all links exist).
+  mappers4_.reserve(ases.size());
+  mappers6_.reserve(ases.size());
+  as_curves_.reserve(ases.size());
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    const auto& as = universe_.ases()[i];
+    mappers4_.push_back(std::make_unique<AsMapper>(as, net::Family::V4,
+                                                   config_.seed * 1009 + i * 2));
+    mappers6_.push_back(std::make_unique<AsMapper>(as, net::Family::V6,
+                                                   config_.seed * 1009 + i * 2 + 1));
+    as_curves_.emplace_back(0.35, 20.0, as.diurnal_phase_h);
+  }
+
+  byte_scale_.reserve(ases.size());
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    byte_scale_.push_back(rng_.lognormal(0.0, 0.9));
+  }
+
+  // Interface-count cache and the all-links list (for spoofed noise).
+  router_iface_count_.assign(topo_.router_count(), 0);
+  for (const auto& intf : topo_.interfaces()) {
+    all_links_.push_back(intf.id);
+    router_iface_count_[intf.id.router] =
+        std::max<std::uint16_t>(router_iface_count_[intf.id.router],
+                                static_cast<std::uint16_t>(intf.id.iface + 1));
+  }
+}
+
+const AsMapper& FlowGenerator::mapper(std::size_t as_index,
+                                      net::Family family) const {
+  const auto& mappers = family == net::Family::V4 ? mappers4_ : mappers6_;
+  return *mappers.at(as_index);
+}
+
+double FlowGenerator::violation_rate(util::Timestamp ts) const noexcept {
+  const auto& ramp = config_.violations;
+  const double days = static_cast<double>(ts) / util::kSecondsPerDay;
+  const double rate = ramp.base_rate * std::pow(1.0 + ramp.growth_per_day, days);
+  return std::min(rate, ramp.cap);
+}
+
+topology::LinkId FlowGenerator::leak_link(std::size_t tier1_ordinal) const {
+  return leak_links_.at(tier1_ordinal);
+}
+
+void FlowGenerator::advance_to(util::Timestamp ts) {
+  for (auto& m : mappers4_) m->advance_to(ts);
+  for (auto& m : mappers6_) m->advance_to(ts);
+}
+
+void FlowGenerator::run(util::Timestamp t_start, util::Timestamp t_end,
+                        const Sink& sink) {
+  for (util::Timestamp minute = t_start; minute < t_end;
+       minute += util::kSecondsPerMinute) {
+    generate_minute(minute, sink);
+  }
+}
+
+void FlowGenerator::generate_minute(util::Timestamp minute_start,
+                                    const Sink& sink) {
+  advance_to(minute_start);
+
+  const double total_weight = universe_.total_weight();
+  const double peak_rate = static_cast<double>(config_.flows_per_minute);
+
+  // Background noise: cold, spread-out space that never accumulates enough
+  // samples to classify (the unmappable tail of the real Internet).
+  const double g = curve_.factor(minute_start);
+  const double n_background = peak_rate * g * config_.background_share;
+  const auto emit_count = [this](double expected) {
+    const auto base = static_cast<std::uint64_t>(expected);
+    return base + (rng_.chance(expected - static_cast<double>(base)) ? 1 : 0);
+  };
+  const std::uint64_t nb = emit_count(n_background);
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    emit_background_flow(minute_start + static_cast<util::Timestamp>(rng_.below(60)),
+                         sink);
+  }
+
+  // Per-AS traffic, modulated by each AS's own (phase-shifted) curve.
+  const double as_budget = peak_rate * (1.0 - config_.background_share);
+  for (std::size_t i = 0; i < universe_.ases().size(); ++i) {
+    const double share = universe_.ases()[i].weight / total_weight;
+    const double expected = as_budget * share * as_curves_[i].factor(minute_start);
+    const std::uint64_t n = emit_count(expected);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      emit_as_flow(i, minute_start + static_cast<util::Timestamp>(rng_.below(60)),
+                   sink);
+    }
+  }
+}
+
+net::IpAddress FlowGenerator::random_host(const net::Prefix& prefix) {
+  const int host_bits = std::min(prefix.host_bits(), 62);
+  return prefix.address().offset(rng_.below(1ULL << host_bits));
+}
+
+netflow::FlowRecord FlowGenerator::make_record(util::Timestamp ts,
+                                               net::IpAddress src,
+                                               topology::LinkId link,
+                                               double byte_scale) {
+  netflow::FlowRecord r;
+  r.ts = ts;
+  r.src_ip = src;
+  // Destination: an address inside the ISP's own aggregation space.
+  r.dst_ip = net::IpAddress::v4(
+      0x0A000000u | static_cast<std::uint32_t>(rng_.below(1u << 24)));
+  r.packets = static_cast<std::uint32_t>(1 + rng_.below(4));
+  r.bytes = static_cast<std::uint64_t>(
+      static_cast<double>(r.packets) * (100 + rng_.below(1300)) * byte_scale);
+  if (r.bytes == 0) r.bytes = 40;
+  r.ingress = link;
+  ++flows_emitted_;
+  return r;
+}
+
+void FlowGenerator::emit_background_flow(util::Timestamp ts, const Sink& sink) {
+  // Random host in 128.0.0.0/2 — far away from all allocated AS blocks.
+  const auto src = net::IpAddress::v4(
+      0x80000000u | static_cast<std::uint32_t>(rng_.below(1u << 30)));
+  const auto link = all_links_[rng_.below(all_links_.size())];
+  sink(make_record(ts, src, link));
+}
+
+void FlowGenerator::emit_as_flow(std::size_t as_index, util::Timestamp ts,
+                                 const Sink& sink) {
+  const bool v6 = config_.v6_share > 0.0 && rng_.chance(config_.v6_share);
+  const AsMapper& mapper = v6 ? *mappers6_[as_index] : *mappers4_[as_index];
+  const std::size_t unit_index = mapper.sample_unit(rng_);
+  const net::IpAddress src = random_host(mapper.unit(unit_index).prefix);
+
+  topology::LinkId link;
+  if (config_.spoof_share > 0.0 && rng_.chance(config_.spoof_share)) {
+    // Spoofed/abnormal: enters via a random interface.
+    link = all_links_[rng_.below(all_links_.size())];
+  } else {
+    link = mapper.resolve(unit_index, src, ts);
+    link = apply_anomalies(as_index, unit_index, link, ts);
+  }
+  sink(make_record(ts, src, link, byte_scale_[as_index]));
+}
+
+topology::LinkId FlowGenerator::apply_anomalies(std::size_t as_index,
+                                                std::size_t unit_index,
+                                                topology::LinkId link,
+                                                util::Timestamp ts) {
+  // Router-level load balancing of one designated unit (AS3 pattern:
+  // "precisely two routers at the same PoP ... in roughly equal
+  // proportions" — IPD by design cannot classify this).
+  const LbState& lb = lb_[as_index];
+  if (lb.active && unit_index == lb.unit && ts >= lb.start && ts < lb.end) {
+    return rng_.chance(0.5) ? lb.a : lb.b;
+  }
+
+  // Diurnal PoP diversion (CDN mapping artifact; miss rate tracks demand).
+  if (pop_divert_prob_[as_index] > 0.0 && far_link_[as_index].valid()) {
+    const double demand = as_curves_[as_index].factor(ts);
+    if (rng_.chance(pop_divert_prob_[as_index] * demand * demand)) {
+      return far_link_[as_index];
+    }
+  }
+
+  // Tier-1 peering violation: as the violation rate ramps up, more whole
+  // *units* of the peer's address space arrive via a third party (the
+  // paper detects prefixes whose dominant ingress is a non-peering link,
+  // so the leak must be per-prefix, not per-flow noise).
+  const auto& tier1 = universe_.tier1_indices();
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    if (tier1[i] == as_index && i < leak_links_.size()) {
+      std::uint64_t h = as_index * 2654435761ULL + unit_index * 40503ULL + 11;
+      const double u = static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+      if (u < violation_rate(ts)) return leak_links_[i];
+      break;
+    }
+  }
+
+  // Bundle: traffic to member A spreads evenly over both members.
+  for (const auto& bundle : bundles_) {
+    if (bundle.as_index == as_index && (link == bundle.a || link == bundle.b)) {
+      link = rng_.chance(0.5) ? bundle.a : bundle.b;
+      break;
+    }
+  }
+
+  // Router maintenance: shift to another interface of the same router.
+  for (const auto& ev : config_.maintenances) {
+    if (link.router == ev.router && ts >= ev.start && ts < ev.end) {
+      const std::uint16_t count = router_iface_count_[link.router];
+      if (count >= 2) {
+        const std::uint16_t shift = count >= 4 ? 2 : 1;
+        link.iface = static_cast<topology::InterfaceIndex>(
+            (link.iface + shift) % count);
+      }
+      break;
+    }
+  }
+  return link;
+}
+
+}  // namespace ipd::workload

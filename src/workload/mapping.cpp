@@ -1,0 +1,242 @@
+#include "workload/mapping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ipd::workload {
+
+namespace {
+
+net::Prefix super_prefix(const net::Prefix& unit, const AsInfo& as,
+                         net::Family family) {
+  const int super_len = family == net::Family::V4
+                            ? as.super_len
+                            : std::max(as.unit_len6 - 4, 32);
+  if (unit.length() <= super_len) return unit;
+  return net::Prefix(unit.address(), super_len);
+}
+
+std::vector<double> unit_weights(std::size_t n, double exponent) {
+  // Zipf-skewed weights within an AS. Hypergiants concentrate volume in a
+  // few hot, sticky units (their prefixes classify easily and stay put —
+  // the paper's TOP5 accuracy is the highest); the transit tail spreads
+  // volume thinly so much of it stays below the n_cidr rate threshold.
+  return util::zipf_weights(n, exponent);
+}
+
+}  // namespace
+
+namespace {
+
+/// Unit capacity of an AS's blocks at `unit_len` granularity, capped so
+/// dedup retries stay cheap even after many retire/redraw cycles.
+std::size_t unit_capacity(const std::vector<net::Prefix>& blocks, int unit_len) {
+  double capacity = 0.0;
+  for (const auto& block : blocks) {
+    if (block.length() > unit_len) continue;
+    capacity += std::exp2(std::min(unit_len - block.length(), 40));
+  }
+  return static_cast<std::size_t>(std::min(capacity, 1e7));
+}
+
+}  // namespace
+
+AsMapper::AsMapper(const AsInfo& as, net::Family family, std::uint64_t seed)
+    : as_(&as),
+      family_(family),
+      unit_len_(family == net::Family::V4 ? as.unit_len : as.unit_len6),
+      rng_(seed),
+      curve_(0.35, 20.0, as.diurnal_phase_h),
+      unit_sampler_(std::vector<double>{1.0}) {
+  if (as.links.empty()) {
+    throw std::invalid_argument("AsMapper: AS has no attachment links");
+  }
+  const auto& blocks = family == net::Family::V4 ? as.blocks_v4 : as.blocks_v6;
+  if (blocks.empty()) {
+    throw std::invalid_argument("AsMapper: AS has no blocks for family");
+  }
+  // Never ask for more units than the address space can hold (keep a
+  // quarter of the slots free so retire/redraw always finds fresh space).
+  const std::size_t capacity = unit_capacity(blocks, unit_len_);
+  // IPv6 carries a small share of the traffic; concentrate it in fewer
+  // units so per-unit rates stay in the classifiable regime.
+  const std::size_t requested =
+      family == net::Family::V6
+          ? std::max<std::size_t>(4, static_cast<std::size_t>(as.n_units) / 8)
+          : static_cast<std::size_t>(std::max(1, as.n_units));
+  const auto n_units =
+      std::max<std::size_t>(1, std::min(requested, capacity * 3 / 4));
+  const auto weights = unit_weights(n_units, as.unit_weight_exponent);
+  unit_sampler_ = util::DiscreteSampler(weights);
+  link_weights_ = util::zipf_weights(as.links.size(), as.link_concentration);
+  max_unit_weight_ = weights.front();
+  // "Hot" = the top decile of units by weight; these get single fat pipes.
+  hot_weight_threshold_ = weights[weights.size() / 10];
+  units_.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    MappingUnit unit;
+    unit.prefix = draw_unit_prefix();
+    unit.weight = weights[i];
+    unit.assign = draw_assignment(0, weights[i]);
+    unit.next_remap = static_cast<util::Timestamp>(
+        rng_.exponential(static_cast<double>(remap_interval(unit))));
+    units_.push_back(std::move(unit));
+  }
+  rebuild_super_index();
+  // Second pass: correlate initial assignments within each super prefix.
+  for (auto& unit : units_) apply_spatial_correlation(unit);
+}
+
+void AsMapper::rebuild_super_index() {
+  super_heaviest_.clear();
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    const auto super = super_prefix(units_[i].prefix, *as_, family_);
+    const auto it = super_heaviest_.find(super);
+    if (it == super_heaviest_.end() ||
+        units_[i].weight > units_[it->second].weight) {
+      super_heaviest_[super] = i;
+    }
+  }
+}
+
+net::Prefix AsMapper::draw_unit_prefix() {
+  const auto& blocks = family_ == net::Family::V4 ? as_->blocks_v4 : as_->blocks_v6;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const auto& block = blocks[rng_.below(blocks.size())];
+    if (block.length() > unit_len_) continue;
+    const int gap = std::min(unit_len_ - block.length(), 62);
+    const std::uint64_t slots = 1ULL << gap;
+    const net::Prefix candidate =
+        block.nth_subprefix(rng_.below(slots), unit_len_);
+    auto [it, inserted] = used_prefixes_.emplace(candidate, true);
+    (void)it;
+    if (inserted) return candidate;
+  }
+  throw std::runtime_error("AsMapper: unit space exhausted for " + as_->name);
+}
+
+LinkAssignment AsMapper::draw_assignment(util::Timestamp ts, double unit_weight) {
+  LinkAssignment assign;
+  assign.assigned_at = ts;
+  const auto& links = as_->links;
+  assign.primary = links[rng_.weighted(link_weights_)];
+  // Sub-allocated multi-ingress segments are common by *count* but rare on
+  // the hottest units (those get one fat pipe): multi-ingress prefixes are
+  // numerous (paper Fig. 3) without dominating the traffic volume.
+  const double mi_prob =
+      as_->multi_ingress_prob *
+      (unit_weight >= hot_weight_threshold_ ? 0.2 : 1.0);
+  if (links.size() > 1 && rng_.chance(mi_prob)) {
+    // Quantized to eighths: sub-allocation boundaries fall on /27 (for /24
+    // units) so IPD can isolate them within cidr_max.
+    assign.primary_share = static_cast<double>(5 + rng_.below(3)) / 8.0;
+    const std::size_t n_sec = 1 + rng_.below(std::min<std::size_t>(2, links.size() - 1));
+    for (std::size_t k = 0; k < n_sec * 8 && assign.secondaries.size() < n_sec; ++k) {
+      const auto cand = links[rng_.weighted(link_weights_)];
+      if (cand == assign.primary) continue;
+      if (std::find(assign.secondaries.begin(), assign.secondaries.end(), cand) ==
+          assign.secondaries.end()) {
+        assign.secondaries.push_back(cand);
+      }
+    }
+    if (assign.secondaries.empty()) assign.primary_share = 1.0;
+  }
+  return assign;
+}
+
+util::Duration AsMapper::remap_interval(const MappingUnit& unit) const {
+  // Base interval from the AS's churn rate; hot units are far stickier than
+  // tail units (flow-weighted accuracy stays high while many small ranges
+  // churn — §2 and Fig. 2 of the paper).
+  const double base =
+      static_cast<double>(util::kSecondsPerDay) / std::max(0.01, as_->churn_base);
+  // Hot units are elephant-stable (the paper's §5.4: months), the tail
+  // churns in minutes-to-hours and dominates Fig. 2's short stints.
+  const double rel = unit.weight / max_unit_weight_;
+  const double stickiness = 0.35 + 48.0 * rel * std::sqrt(rel);
+  return static_cast<util::Duration>(std::max(120.0, base * stickiness));
+}
+
+void AsMapper::remap_unit(MappingUnit& unit, util::Timestamp ts) {
+  // Occasionally the AS stops using this segment and activates another one
+  // (address-space reallocation; drives the longitudinal "matching" decay
+  // of Fig. 10). The retired segment becomes reusable later.
+  if (rng_.chance(0.03)) {
+    used_prefixes_.erase(unit.prefix);
+    unit.prefix = draw_unit_prefix();
+    rebuild_super_index();
+  }
+  unit.assign = draw_assignment(ts, unit.weight);
+  apply_spatial_correlation(unit);
+  unit.remap_count += 1;
+  total_remaps_ += 1;
+}
+
+void AsMapper::apply_spatial_correlation(MappingUnit& unit) {
+  if (!rng_.chance(as_->spatial_correlation)) return;
+  const auto it = super_heaviest_.find(super_prefix(unit.prefix, *as_, family_));
+  if (it == super_heaviest_.end()) return;
+  const MappingUnit& anchor = units_[it->second];
+  if (&anchor == &unit) return;
+  unit.assign.primary = anchor.assign.primary;
+  // The anchor's primary must not double as one of this unit's secondaries.
+  auto& secondaries = unit.assign.secondaries;
+  secondaries.erase(
+      std::remove(secondaries.begin(), secondaries.end(), unit.assign.primary),
+      secondaries.end());
+  if (secondaries.empty()) unit.assign.primary_share = 1.0;
+}
+
+void AsMapper::advance_to(util::Timestamp ts) {
+  for (auto& unit : units_) {
+    while (unit.next_remap <= ts) {
+      remap_unit(unit, unit.next_remap);
+      const auto interval = remap_interval(unit);
+      unit.next_remap += static_cast<util::Timestamp>(
+          std::max(60.0, rng_.exponential(static_cast<double>(interval))));
+    }
+  }
+}
+
+bool AsMapper::consolidated_at(util::Timestamp ts) const noexcept {
+  return as_->consolidates_at_night &&
+         curve_.factor(ts) < kConsolidateThreshold;
+}
+
+const LinkAssignment& AsMapper::effective_assignment(std::size_t i,
+                                                     util::Timestamp ts) const {
+  const MappingUnit& unit = units_.at(i);
+  if (consolidated_at(ts)) {
+    const auto it =
+        super_heaviest_.find(super_prefix(unit.prefix, *as_, family_));
+    if (it != super_heaviest_.end()) return units_[it->second].assign;
+  }
+  return unit.assign;
+}
+
+topology::LinkId AsMapper::link_for(const LinkAssignment& assign,
+                                    const net::Prefix& unit,
+                                    const net::IpAddress& src) noexcept {
+  if (assign.secondaries.empty()) return assign.primary;
+  // Position of src within the unit, at 1/64 granularity: the next six
+  // address bits below the unit prefix.
+  const int len = unit.length();
+  int slot = 0;
+  for (int j = 0; j < 6 && len + j < unit.width(); ++j) {
+    slot = (slot << 1) | (src.bit(len + j) ? 1 : 0);
+  }
+  const double frac = static_cast<double>(slot) / 64.0;
+  if (frac < assign.primary_share) return assign.primary;
+  const double rest = 1.0 - assign.primary_share;
+  auto index = static_cast<std::size_t>((frac - assign.primary_share) / rest *
+                                        static_cast<double>(assign.secondaries.size()));
+  if (index >= assign.secondaries.size()) index = assign.secondaries.size() - 1;
+  return assign.secondaries[index];
+}
+
+topology::LinkId AsMapper::resolve(std::size_t i, const net::IpAddress& src,
+                                   util::Timestamp ts) const {
+  return link_for(effective_assignment(i, ts), units_.at(i).prefix, src);
+}
+
+}  // namespace ipd::workload

@@ -1,0 +1,132 @@
+// Per-AS ingress mapping model ("user-server mapping" seen from the ISP).
+//
+// Each AS maps *units* of its address space (e.g. /24s, CDN data centers
+// down to /28) to attachment links. Assignments churn over time (CDN server
+// selection, demand shifts, BGP adjustments) — the root cause of the paper's
+// ingress-point dynamics (§2, §5.3). CDN-class ASes additionally
+// *consolidate* at low demand: sibling units fall back to one super-unit
+// assignment, so the ISP sees fewer, larger ingress ranges at night
+// (Figs. 11/12).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "topology/ids.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/universe.hpp"
+
+namespace ipd::workload {
+
+/// Where one mapping unit's traffic currently enters the ISP.
+///
+/// Multi-ingress units are split by *address sub-range*, as real CDNs
+/// sub-allocate a segment across data centers: the first `primary_share`
+/// of the unit's addresses use the primary link, the rest map onto the
+/// secondaries. This is what makes fine cidr_max values (/28) necessary —
+/// IPD can classify the sub-ranges individually, while the /24 aggregate
+/// has several simultaneous ingress points (paper Figs. 3/4).
+struct LinkAssignment {
+  topology::LinkId primary;
+  double primary_share = 1.0;  // address fraction mapped to the primary
+  std::vector<topology::LinkId> secondaries;
+  util::Timestamp assigned_at = 0;
+};
+
+struct MappingUnit {
+  net::Prefix prefix;
+  double weight = 1.0;
+  LinkAssignment assign;
+  util::Timestamp next_remap = 0;
+  std::uint64_t remap_count = 0;
+};
+
+/// Mapping state of one AS for one address family.
+class AsMapper {
+ public:
+  /// Builds `as.n_units` hot units from the AS's blocks. Deterministic for
+  /// a given seed. The unit count is capped by available space.
+  AsMapper(const AsInfo& as, net::Family family, std::uint64_t seed);
+
+  const AsInfo& info() const noexcept { return *as_; }
+  net::Family family() const noexcept { return family_; }
+
+  std::size_t unit_count() const noexcept { return units_.size(); }
+  const MappingUnit& unit(std::size_t i) const { return units_.at(i); }
+
+  /// Advance simulated time: fire due remap timers (possibly many after a
+  /// long jump). Unit retirement moves a unit to fresh address space.
+  void advance_to(util::Timestamp ts);
+
+  /// Pick a unit index by traffic weight.
+  std::size_t sample_unit(util::Rng& rng) const {
+    return unit_sampler_.sample(rng);
+  }
+
+  /// Whether demand-based consolidation is active at `ts` (CDN night mode).
+  bool consolidated_at(util::Timestamp ts) const noexcept;
+
+  /// The assignment governing unit `i` at `ts` (unit- or super-level).
+  const LinkAssignment& effective_assignment(std::size_t i,
+                                             util::Timestamp ts) const;
+
+  /// Resolve a flow from `src` (inside unit `i`) at `ts` to its ingress
+  /// link, by the address-sliced assignment.
+  topology::LinkId resolve(std::size_t i, const net::IpAddress& src,
+                           util::Timestamp ts) const;
+
+  /// The link assigned to address `src` under `assign` within `unit`.
+  static topology::LinkId link_for(const LinkAssignment& assign,
+                                   const net::Prefix& unit,
+                                   const net::IpAddress& src) noexcept;
+
+  /// The link carrying the bulk of unit `i`'s traffic at `ts`.
+  topology::LinkId dominant_link(std::size_t i, util::Timestamp ts) const {
+    return effective_assignment(i, ts).primary;
+  }
+
+  /// The active unit covering `ip`, or nullptr (linear scan; analysis use).
+  const MappingUnit* find_unit(const net::IpAddress& ip) const noexcept {
+    for (const auto& unit : units_) {
+      if (unit.prefix.contains(ip)) return &unit;
+    }
+    return nullptr;
+  }
+
+  std::uint64_t total_remaps() const noexcept { return total_remaps_; }
+
+  /// Fraction of demand below which a consolidating AS switches to
+  /// super-unit granularity.
+  static constexpr double kConsolidateThreshold = 0.55;
+
+ private:
+  LinkAssignment draw_assignment(util::Timestamp ts, double unit_weight);
+  void remap_unit(MappingUnit& unit, util::Timestamp ts);
+  util::Duration remap_interval(const MappingUnit& unit) const;
+  net::Prefix draw_unit_prefix();
+  void rebuild_super_index();
+  void apply_spatial_correlation(MappingUnit& unit);
+
+  const AsInfo* as_;
+  net::Family family_;
+  int unit_len_;
+  util::Rng rng_;
+  DiurnalCurve curve_;
+  std::vector<MappingUnit> units_;
+  // Consolidation: per super prefix, the index of its heaviest member unit;
+  // at low demand all sibling units adopt that unit's assignment (the CDN
+  // serves the region from its main data center), so IPD joins the
+  // siblings into larger ranges instead of relearning new ingresses.
+  std::unordered_map<net::Prefix, std::size_t, net::PrefixHash> super_heaviest_;
+  std::unordered_map<net::Prefix, bool, net::PrefixHash> used_prefixes_;
+  util::DiscreteSampler unit_sampler_;
+  double hot_weight_threshold_ = 1.0;
+  std::vector<double> link_weights_;  // per-AS attachment preference
+  double max_unit_weight_ = 1.0;
+  std::uint64_t total_remaps_ = 0;
+};
+
+}  // namespace ipd::workload

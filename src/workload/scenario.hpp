@@ -1,0 +1,92 @@
+// Scenario configuration: everything that defines one simulated deployment
+// (topology size, AS universe, traffic volume, anomaly events), plus the
+// presets used by the benches.
+//
+// Anomaly events reproduce the miss causes of §5.1.2:
+//   * maintenance windows  — traffic of a router shifts to other interfaces
+//     of the same router (AS1's interface misses),
+//   * router load balancing — one hot unit is balanced 50/50 over two
+//     routers in the same PoP (AS3's router misses; IPD by design cannot
+//     classify this),
+//   * PoP diversion — a CDN maps a slice of users to a far-away site with
+//     probability that follows its demand curve (AS3/AS4's diurnal PoP
+//     misses),
+//   * peering-violation ramp — tier-1 traffic leaks over non-peering links
+//     at a rate that grows over the run (§5.6, Fig. 17).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "topology/builder.hpp"
+#include "util/time.hpp"
+#include "workload/universe.hpp"
+
+namespace ipd::workload {
+
+struct MaintenanceEvent {
+  topology::RouterId router = 0;
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+};
+
+struct LoadBalanceAnomaly {
+  std::size_t as_index = 0;   // AS with a router-balanced unit
+  std::size_t unit_index = 5;  // which unit (by heat rank) is balanced
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+};
+
+struct PopDivertAnomaly {
+  std::size_t as_index = 0;
+  double peak_prob = 0.02;  // divert probability at the demand peak
+};
+
+struct ViolationRamp {
+  double base_rate = 0.04;       // leaked fraction of tier-1 traffic at t0
+  double growth_per_day = 0.02;  // multiplicative growth per simulated day
+  double cap = 0.25;
+};
+
+struct ScenarioConfig {
+  topology::BuilderConfig topo;
+  UniverseConfig universe;
+
+  std::uint64_t flows_per_minute = 60000;  // at the diurnal peak
+  double background_share = 0.075;  // flows from cold, unmappable space
+  double spoof_share = 0.01;        // flows from AS space via a random link
+  double v6_share = 0.06;           // IPv6 fraction of AS traffic
+
+  // Which of the TOP5 ASes receives a bundle attachment (two parallel
+  // interfaces on one router, evenly balanced). <0 disables.
+  int bundle_as_rank = 0;
+
+  std::vector<MaintenanceEvent> maintenances;
+  std::vector<LoadBalanceAnomaly> load_balancers;
+  std::vector<PopDivertAnomaly> pop_diverts;
+  ViolationRamp violations;
+
+  std::uint64_t seed = 7;
+};
+
+/// Presets.
+/// The default scenario mirrors the paper's deployment shape at bench scale.
+ScenarioConfig paper_default();
+
+/// A small, fast scenario for unit/integration tests.
+ScenarioConfig small_test();
+
+/// IPD parameters scaled to a scenario's traffic volume.
+///
+/// IPD's top-down partitioning requires the /0 range to accumulate
+/// n_cidr(0) = factor * 2^(bits/2) samples within the expiry window e; the
+/// deployment's factor 64 assumes ~32M flows/min. This helper rescales the
+/// n_cidr factors so the standing sample count at the root exceeds its
+/// threshold by `root_margin` at the scenario's peak rate — preserving the
+/// deployment's operating regime at simulation scale. A small n_cidr floor
+/// keeps /28 leaves from classifying on single-digit sample counts.
+core::IpdParams scaled_params(const ScenarioConfig& scenario,
+                              double root_margin = 3.0);
+
+}  // namespace ipd::workload

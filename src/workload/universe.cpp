@@ -1,0 +1,247 @@
+#include "workload/universe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ipd::workload {
+
+const char* to_string(AsClass cls) noexcept {
+  switch (cls) {
+    case AsClass::Cdn: return "cdn";
+    case AsClass::Cloud: return "cloud";
+    case AsClass::Tier1: return "tier1";
+    case AsClass::Transit: return "transit";
+    case AsClass::Enterprise: return "enterprise";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> Universe::top_indices(std::size_t k) const {
+  std::vector<std::size_t> idx(ases_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+    return ases_[a].weight > ases_[b].weight;
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+std::size_t Universe::owner_of(const net::IpAddress& ip) const noexcept {
+  for (std::size_t i = 0; i < ases_.size(); ++i) {
+    const auto& blocks =
+        ip.is_v4() ? ases_[i].blocks_v4 : ases_[i].blocks_v6;
+    for (const auto& block : blocks) {
+      if (block.contains(ip)) return i;
+    }
+  }
+  return npos;
+}
+
+double Universe::total_weight() const noexcept {
+  double total = 0.0;
+  for (const auto& as : ases_) total += as.weight;
+  return total;
+}
+
+double tune_zipf_exponent(std::size_t n, double target_top5) {
+  if (n < 5) throw std::invalid_argument("tune_zipf_exponent: n < 5");
+  const auto top5_share = [n](double s) {
+    double top = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = 1.0 / std::pow(static_cast<double>(i + 1), s);
+      total += w;
+      if (i < 5) top += w;
+    }
+    return top / total;
+  };
+  double lo = 0.01, hi = 4.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (top5_share(mid) < target_top5) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+/// Sequential, alignment-respecting IPv4 block allocator starting at
+/// 1.0.0.0 (space below is left for the ISP's own ranges).
+class V4Allocator {
+ public:
+  net::Prefix allocate(int len) {
+    const std::uint64_t size = 1ULL << (32 - len);
+    cursor_ = (cursor_ + size - 1) / size * size;  // align up
+    if (cursor_ + size > 0xE0000000ULL) {          // stay below 224/3
+      throw std::runtime_error("V4Allocator: address space exhausted");
+    }
+    const auto addr = net::IpAddress::v4(static_cast<std::uint32_t>(cursor_));
+    cursor_ += size;
+    return net::Prefix(addr, len);
+  }
+
+ private:
+  std::uint64_t cursor_ = 0x01000000ULL;  // 1.0.0.0
+};
+
+}  // namespace
+
+Universe build_universe(topology::Topology& topo, const UniverseConfig& config) {
+  if (config.n_ases < 20) {
+    throw std::invalid_argument("build_universe: need at least 20 ASes");
+  }
+  util::Rng rng(config.seed);
+  Universe uni;
+
+  const double s = tune_zipf_exponent(static_cast<std::size_t>(config.n_ases),
+                                      config.zipf_target_top5);
+  const auto weights = util::zipf_weights(
+      static_cast<std::size_t>(config.n_ases), s);
+
+  V4Allocator alloc;
+  std::uint64_t v6_counter = 0x2a00;
+
+  const auto n_routers = static_cast<std::uint32_t>(topo.router_count());
+  if (n_routers == 0) throw std::invalid_argument("build_universe: empty topology");
+
+  const auto attach = [&](AsInfo& as, int n_links, topology::LinkType type) {
+    // Spread attachments over distinct routers (and thereby PoPs).
+    std::vector<topology::RouterId> routers;
+    int attempts = 0;
+    while (routers.size() < static_cast<std::size_t>(n_links)) {
+      const auto r = static_cast<topology::RouterId>(rng.below(n_routers));
+      // Prefer distinct routers; fall back to duplicates if the topology is
+      // smaller than the requested attachment count.
+      if (std::find(routers.begin(), routers.end(), r) == routers.end() ||
+          ++attempts > 100) {
+        routers.push_back(r);
+      }
+    }
+    for (const auto r : routers) {
+      as.links.push_back(topo.add_interface(r, type, as.asn));
+    }
+  };
+
+  for (int i = 0; i < config.n_ases; ++i) {
+    AsInfo as;
+    as.asn = static_cast<topology::AsNumber>(64500 + i);
+    as.name = util::format("AS%d", i + 1);
+    as.weight = weights[static_cast<std::size_t>(i)];
+
+    const bool hypergiant = i < config.hypergiant_count;
+    if (hypergiant) {
+      as.cls = (i % 2 == 0) ? AsClass::Cdn : AsClass::Cloud;
+    } else if (i < config.n_ases * 2 / 3) {
+      as.cls = AsClass::Transit;
+    } else {
+      as.cls = AsClass::Enterprise;
+    }
+
+    // Address space: heavier ASes own more/larger blocks.
+    const int n_blocks = hypergiant ? 3 : (i < 20 ? 2 : 1);
+    for (int b = 0; b < n_blocks; ++b) {
+      const int len = hypergiant ? static_cast<int>(13 + rng.below(3))   // /13../15
+                                 : static_cast<int>(15 + rng.below(4));  // /15../18
+      as.blocks_v4.push_back(alloc.allocate(len));
+    }
+    as.blocks_v6.push_back(net::Prefix(
+        net::IpAddress::v6((v6_counter++ << 48), 0), 32));
+
+    // Mapping behaviour by class.
+    switch (as.cls) {
+      case AsClass::Cdn:
+        as.unit_len = 24;
+        as.super_len = 20;
+        as.n_units = 192;
+        as.unit_weight_exponent = 1.0;  // hot, sticky head units
+        as.churn_base = 6.0;  // remaps/unit/day -> minutes-to-hours stints
+        as.multi_ingress_prob = 0.25;
+        as.consolidates_at_night = true;
+        as.link_concentration = 1.5;  // a main PNI per region, several more
+        break;
+      case AsClass::Cloud:
+        as.unit_len = 24;
+        as.super_len = 19;
+        as.n_units = 128;
+        as.unit_weight_exponent = 1.0;
+        as.churn_base = 4.0;
+        as.multi_ingress_prob = 0.2;
+        as.consolidates_at_night = true;
+        as.link_concentration = 1.5;
+        break;
+      case AsClass::Enterprise:
+        as.unit_len = 22;
+        as.super_len = 18;
+        as.n_units = 24;
+        as.unit_weight_exponent = 0.4;
+        as.churn_base = 0.2;
+        as.multi_ingress_prob = 0.1;
+        as.link_concentration = 1.5;
+        break;
+      case AsClass::Transit:
+      default:
+        as.unit_len = 24;
+        as.super_len = 19;
+        as.n_units = 96;               // thin spread: some of the tail stays
+        as.unit_weight_exponent = 0.3; // below the classification threshold
+        as.churn_base = 3.0;
+        // Multi-homed transit reach: several simultaneous entry points are
+        // the norm (the paper's TOP20 see multiple ingresses in 58% of
+        // cases vs 30% for TOP5).
+        as.multi_ingress_prob = 0.45;
+        as.link_concentration = 2.0;
+        break;
+    }
+    as.n_units = std::max(
+        8, static_cast<int>(static_cast<double>(as.n_units) * config.unit_scale));
+    as.diurnal_phase_h = rng.uniform(-2.0, 2.0);
+
+    const int n_links = hypergiant ? static_cast<int>(6 + rng.below(5))
+                                   : static_cast<int>(2 + rng.below(4));
+    attach(as, n_links,
+           hypergiant ? topology::LinkType::Pni
+                      : (rng.chance(0.5) ? topology::LinkType::Transit
+                                         : topology::LinkType::PublicPeering));
+
+    uni.ases_.push_back(std::move(as));
+  }
+
+  // Tier-1 peers: stable PNI attachments, moderate weight (below top 5).
+  for (int i = 0; i < config.n_tier1; ++i) {
+    AsInfo as;
+    as.asn = static_cast<topology::AsNumber>(65100 + i);
+    as.name = util::format("T1-%d", i + 1);
+    as.cls = AsClass::Tier1;
+    // Meaningful but mid-tail traffic: tier-1 peers hand over lots of
+    // volume in aggregate yet sit below the content hypergiants (and
+    // mostly below the TOP20) individually.
+    as.weight = weights[std::min<std::size_t>(24 + (static_cast<std::size_t>(i) % 12),
+                                              weights.size() - 1)] *
+                rng.uniform(0.7, 1.1);
+    as.blocks_v4.push_back(alloc.allocate(static_cast<int>(14 + rng.below(3))));
+    as.blocks_v6.push_back(net::Prefix(
+        net::IpAddress::v6((v6_counter++ << 48), 0), 32));
+    as.unit_len = 22;
+    as.super_len = 18;
+    as.n_units = std::max(
+        8, static_cast<int>(32.0 * config.unit_scale));
+    as.churn_base = 0.5;
+    as.multi_ingress_prob = 0.1;
+    as.link_concentration = 3.0;  // nearly single-homed handover
+    as.diurnal_phase_h = rng.uniform(-1.0, 1.0);
+    attach(as, static_cast<int>(3 + rng.below(3)), topology::LinkType::Pni);
+    uni.tier1_.push_back(uni.ases_.size());
+    uni.ases_.push_back(std::move(as));
+  }
+
+  return uni;
+}
+
+}  // namespace ipd::workload

@@ -1,0 +1,113 @@
+// The AS universe: who sends traffic into the ISP, from which address
+// space, and over which attachment links.
+//
+// The generator reproduces the traffic concentration the paper reports:
+// the top 5 ASes carry ~52 % and the top 20 ~80 % of total ingress volume.
+// Hypergiants (CDN/cloud) attach over PNIs at several PoPs; tier-1 peers
+// attach over PNIs; the long tail arrives over transit/public peering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ipd::workload {
+
+enum class AsClass : std::uint8_t {
+  Cdn,         // hypergiant content network, fine-grained dynamic mapping
+  Cloud,       // hypergiant cloud, coarser but still dynamic
+  Tier1,       // settlement-free peer (peering-violation experiment)
+  Transit,     // everything reached via upstreams; long tail
+  Enterprise,  // stable, low-churn sources
+};
+
+const char* to_string(AsClass cls) noexcept;
+
+struct AsInfo {
+  topology::AsNumber asn = 0;
+  std::string name;
+  AsClass cls = AsClass::Transit;
+  double weight = 0.0;  // relative traffic volume
+
+  std::vector<net::Prefix> blocks_v4;  // owned/announced address space
+  std::vector<net::Prefix> blocks_v6;
+
+  std::vector<topology::LinkId> links;  // attachment interfaces at the ISP
+
+  // Mapping model knobs (see mapping.hpp).
+  int unit_len = 24;        // granularity of one mapping decision (IPv4)
+  int super_len = 20;       // consolidation granularity at low demand
+  int unit_len6 = 48;       // IPv6 unit granularity
+  int n_units = 64;         // active (hot) mapping units
+  double unit_weight_exponent = 0.5;  // Zipf skew of traffic across units
+  // Zipf skew of *link* choice across the AS's attachments: real networks
+  // hand over most prefixes on their main interconnects (hot-potato-
+  // consistent with their BGP best paths), so per-unit assignments are
+  // concentrated rather than uniform. Higher = more concentrated.
+  double link_concentration = 1.0;
+  // Probability that a (re)assigned unit adopts the primary link of its
+  // super-prefix's heaviest unit: neighboring subnets of real networks are
+  // served from the same place far more often than independent draws would
+  // produce (regional CDN mappings, per-PoP aggregation). This is what
+  // lets IPD classify coarse ranges (the paper sees ranges up to /7).
+  double spatial_correlation = 0.5;
+  double churn_base = 0.5;  // expected remaps per unit per simulated day
+  double multi_ingress_prob = 0.2;  // unit has secondary ingress links
+  bool consolidates_at_night = false;  // CDN-style demand-based granularity
+  double diurnal_phase_h = 0.0;
+};
+
+struct UniverseConfig {
+  int n_ases = 40;
+  int n_tier1 = 16;          // additional tier-1 peers (after the n_ases)
+  double zipf_target_top5 = 0.52;
+  double zipf_target_top20 = 0.80;
+  int hypergiant_count = 6;  // of the n_ases, how many are CDN/cloud
+  double v6_share = 0.08;    // fraction of flows that are IPv6
+  // Scales every AS's active-unit count. Small scenarios use < 1 so that
+  // per-unit flow rates stay in the same regime as the deployment's
+  // (units whose rate clears n_cidr/e classify; a thin tail does not).
+  double unit_scale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// The full sender universe plus the ISP's attachment fabric.
+class Universe {
+ public:
+  const std::vector<AsInfo>& ases() const noexcept { return ases_; }
+  std::vector<AsInfo>& ases() noexcept { return ases_; }
+
+  /// Indices (into ases()) of the tier-1 peers.
+  const std::vector<std::size_t>& tier1_indices() const noexcept {
+    return tier1_;
+  }
+
+  /// Indices of the top-k ASes by weight.
+  std::vector<std::size_t> top_indices(std::size_t k) const;
+
+  /// The AS owning `ip` (by block containment), or npos.
+  std::size_t owner_of(const net::IpAddress& ip) const noexcept;
+
+  double total_weight() const noexcept;
+
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+ private:
+  friend Universe build_universe(topology::Topology& topo,
+                                 const UniverseConfig& config);
+  std::vector<AsInfo> ases_;
+  std::vector<std::size_t> tier1_;
+};
+
+/// Find the Zipf exponent s such that top-5/top-20 weight shares best match
+/// the targets (bisection on the top-5 share; n >= 20).
+double tune_zipf_exponent(std::size_t n, double target_top5);
+
+/// Build the universe and attach every AS to the topology (creates the
+/// ISP-side interfaces). Deterministic given config.seed.
+Universe build_universe(topology::Topology& topo, const UniverseConfig& config);
+
+}  // namespace ipd::workload

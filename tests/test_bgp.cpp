@@ -1,0 +1,175 @@
+#include "bgp/generator.hpp"
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "topology/builder.hpp"
+
+namespace ipd::bgp {
+namespace {
+
+TEST(Rib, AddAndLpmLookup) {
+  Rib rib;
+  rib.add(net::Prefix::from_string("10.0.0.0/8"), RibEntry{100, {1, 2}, 1});
+  rib.add(net::Prefix::from_string("10.1.0.0/16"), RibEntry{100, {3}, 3});
+
+  const auto* hit = rib.lookup(net::IpAddress::from_string("10.1.2.3"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->egress, 3u);
+  EXPECT_EQ(rib.lookup(net::IpAddress::from_string("11.0.0.1")), nullptr);
+  EXPECT_EQ(rib.size(), 2u);
+}
+
+TEST(Rib, LookupEntryAndExact) {
+  Rib rib;
+  rib.add(net::Prefix::from_string("10.0.0.0/8"), RibEntry{100, {1}, 1});
+  const auto hit = rib.lookup_entry(net::IpAddress::from_string("10.9.9.9"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first.to_string(), "10.0.0.0/8");
+  EXPECT_NE(rib.exact(net::Prefix::from_string("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(rib.exact(net::Prefix::from_string("10.0.0.0/9")), nullptr);
+}
+
+TEST(Rib, MaskHistogram) {
+  Rib rib;
+  rib.add(net::Prefix::from_string("10.0.0.0/24"), RibEntry{});
+  rib.add(net::Prefix::from_string("10.0.1.0/24"), RibEntry{});
+  rib.add(net::Prefix::from_string("10.1.0.0/16"), RibEntry{});
+  const auto hist = rib.mask_histogram(net::Family::V4);
+  EXPECT_EQ(hist[24], 2u);
+  EXPECT_EQ(hist[16], 1u);
+  EXPECT_EQ(hist[8], 0u);
+}
+
+class RibGenTest : public ::testing::Test {
+ protected:
+  RibGenTest() : topo_(topology::build_skeleton({})) {
+    workload::UniverseConfig config;
+    config.seed = 21;
+    universe_ = workload::build_universe(topo_, config);
+    gen_ = std::make_unique<RibGenerator>(universe_, RibGenConfig{});
+  }
+
+  topology::Topology topo_;
+  workload::Universe universe_;
+  std::unique_ptr<RibGenerator> gen_;
+};
+
+TEST_F(RibGenTest, AnnouncementsCoverAllBlocks) {
+  // Every v4 block of every AS must be fully covered by announcements.
+  for (const auto& as : universe_.ases()) {
+    for (const auto& block : as.blocks_v4) {
+      double covered = 0.0;
+      for (const auto& ann : gen_->announcements()) {
+        if (block.contains(ann.prefix)) covered += ann.prefix.address_count();
+      }
+      EXPECT_DOUBLE_EQ(covered, block.address_count()) << block.to_string();
+    }
+  }
+}
+
+TEST_F(RibGenTest, MaskMixResemblesPaperBgpCurve) {
+  std::uint64_t total = 0, at24 = 0, mid = 0;
+  for (const auto& ann : gen_->announcements()) {
+    if (ann.prefix.family() != net::Family::V4) continue;
+    ++total;
+    if (ann.prefix.length() == 24) ++at24;
+    if (ann.prefix.length() >= 20 && ann.prefix.length() <= 23) ++mid;
+  }
+  ASSERT_GT(total, 1000u);
+  // Paper Fig. 9: /24 announcements are >50 % of the total.
+  EXPECT_GT(static_cast<double>(at24) / static_cast<double>(total), 0.5);
+  EXPECT_GT(static_cast<double>(mid) / static_cast<double>(total), 0.1);
+}
+
+TEST_F(RibGenTest, NextHopDistributionMatchesFig3) {
+  std::uint64_t total = 0, one = 0, over5 = 0;
+  for (const auto& ann : gen_->announcements()) {
+    ++total;
+    if (ann.next_hops.size() == 1) ++one;
+    if (ann.next_hops.size() > 5) ++over5;
+  }
+  // Paper: ~20 % one next hop, ~60 % more than five.
+  EXPECT_NEAR(static_cast<double>(one) / static_cast<double>(total), 0.20, 0.05);
+  EXPECT_NEAR(static_cast<double>(over5) / static_cast<double>(total), 0.60, 0.07);
+}
+
+TEST_F(RibGenTest, SnapshotEgressFollowsSymmetryModel) {
+  // Oracle: a fixed "ingress" router per AS.
+  const IngressOracle oracle = [&](const net::Prefix&, std::size_t as_index,
+                                   util::Timestamp) {
+    return universe_.ases()[as_index].links.front().router;
+  };
+  const Rib rib = gen_->snapshot(0, oracle);
+  EXPECT_EQ(rib.size(), gen_->announcements().size());
+
+  std::uint64_t tier1_total = 0, tier1_sym = 0, other_total = 0, other_sym = 0;
+  for (const auto& ann : gen_->announcements()) {
+    const auto* entry = rib.exact(ann.prefix);
+    ASSERT_NE(entry, nullptr);
+    const auto home = universe_.ases()[ann.as_index].links.front().router;
+    const bool tier1 =
+        universe_.ases()[ann.as_index].cls == workload::AsClass::Tier1;
+    if (tier1) {
+      ++tier1_total;
+      tier1_sym += entry->egress == home ? 1 : 0;
+    } else {
+      ++other_total;
+      other_sym += entry->egress == home ? 1 : 0;
+    }
+  }
+  ASSERT_GT(tier1_total, 20u);
+  const double tier1_ratio =
+      static_cast<double>(tier1_sym) / static_cast<double>(tier1_total);
+  const double other_ratio =
+      static_cast<double>(other_sym) / static_cast<double>(other_total);
+  // With a fixed-home oracle, measured ratios sit near the configured
+  // per-class probabilities (plus a small chance of accidental matches on
+  // the asymmetric draws) — and tier-1 must be the most symmetric.
+  const bgp::RibGenConfig config;
+  EXPECT_GT(tier1_ratio, config.symmetry_tier1 - 0.05);
+  EXPECT_GT(other_ratio, config.symmetry_other - 0.08);
+  EXPECT_GT(tier1_ratio, other_ratio);
+}
+
+TEST_F(RibGenTest, SnapshotsDifferAcrossTime) {
+  const IngressOracle oracle = [&](const net::Prefix&, std::size_t as_index,
+                                   util::Timestamp) {
+    return universe_.ases()[as_index].links.front().router;
+  };
+  const Rib a = gen_->snapshot(0, oracle);
+  const Rib b = gen_->snapshot(86400, oracle);
+  std::uint64_t differing = 0;
+  for (const auto& ann : gen_->announcements()) {
+    if (a.exact(ann.prefix)->egress != b.exact(ann.prefix)->egress) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST_F(RibGenTest, V6Announced) {
+  bool saw_v6 = false;
+  for (const auto& ann : gen_->announcements()) {
+    saw_v6 |= ann.prefix.family() == net::Family::V6;
+  }
+  EXPECT_TRUE(saw_v6);
+}
+
+TEST_F(RibGenTest, SymmetryConfigPerClass) {
+  const RibGenConfig config;
+  for (const auto& as : universe_.ases()) {
+    const double p = gen_->symmetry_for(as);
+    if (as.cls == workload::AsClass::Tier1) {
+      EXPECT_DOUBLE_EQ(p, config.symmetry_tier1);
+    } else if (as.cls == workload::AsClass::Cdn ||
+               as.cls == workload::AsClass::Cloud) {
+      EXPECT_DOUBLE_EQ(p, config.symmetry_hypergiant);
+    } else {
+      EXPECT_DOUBLE_EQ(p, config.symmetry_other);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipd::bgp

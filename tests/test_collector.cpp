@@ -1,0 +1,227 @@
+#include "collector/collector.hpp"
+#include "collector/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ipd::collector {
+namespace {
+
+TEST(SpscRing, PushPopOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullRingRejects) {
+  SpscRing<int> ring(4);  // usable slots: capacity-1 after rounding
+  std::size_t pushed = 0;
+  while (ring.try_push(1)) ++pushed;
+  EXPECT_EQ(pushed, ring.capacity());
+  int out;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(2));  // space freed
+}
+
+TEST(SpscRing, CapacityRoundsUp) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 7u);  // 8 slots, 7 usable
+  EXPECT_THROW(SpscRing<int>(1), std::invalid_argument);
+}
+
+TEST(SpscRing, ConsumeBatch) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.try_push(i);
+  int sum = 0;
+  EXPECT_EQ(ring.consume([&sum](int& v) { sum += v; }, 4), 4u);
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3);
+  EXPECT_EQ(ring.consume([&sum](int& v) { sum += v; }, 100), 6u);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  SpscRing<std::uint64_t> ring(1024);
+  constexpr std::uint64_t kN = 200000;
+  std::uint64_t sum_consumed = 0, n_consumed = 0;
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (n_consumed < kN) {
+      if (ring.try_pop(v)) {
+        sum_consumed += v;
+        ++n_consumed;
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kN; ++i) {
+    while (!ring.try_push(i)) {
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(n_consumed, kN);
+  EXPECT_EQ(sum_consumed, kN * (kN + 1) / 2);
+}
+
+core::IpdParams tiny_params() {
+  core::IpdParams params;
+  params.ncidr_factor4 = 0.001;
+  params.ncidr_factor6 = 1e-7;
+  return params;
+}
+
+std::vector<netflow::FlowRecord> make_flows(util::Timestamp ts, int n,
+                                            topology::LinkId link,
+                                            std::uint32_t base) {
+  std::vector<netflow::FlowRecord> flows(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& f = flows[static_cast<std::size_t>(i)];
+    f.ts = ts + i % 60;
+    f.src_ip = net::IpAddress::v4(base + (static_cast<std::uint32_t>(i) << 8));
+    f.ingress = link;
+  }
+  return flows;
+}
+
+TEST(Collector, EndToEndViaDatagrams) {
+  CollectorConfig config;
+  config.stat_time.activity_threshold = 1;
+  CollectorService service(tiny_params(), config, /*n_sources=*/2);
+  service.start();
+
+  // Router 5 exports traffic of 10/8 on interface 2, router 9 exports
+  // 20/8 traffic on interface 0 — as v5 datagrams over two sources.
+  for (int minute = 0; minute < 8; ++minute) {
+    const util::Timestamp ts = 1000000 + minute * 60;
+    auto flows_a = make_flows(ts, 60, {5, 2}, 0x0A000000u);
+    auto flows_b = make_flows(ts, 60, {9, 0}, 0x14000000u);
+    for (auto& packet : netflow::v5::from_flow_records(flows_a)) {
+      packet.header.unix_secs = static_cast<std::uint32_t>(ts);
+      const auto bytes = netflow::v5::encode(packet);
+      service.submit_datagram(0, 5, bytes);
+    }
+    for (auto& packet : netflow::v5::from_flow_records(flows_b)) {
+      packet.header.unix_secs = static_cast<std::uint32_t>(ts);
+      const auto bytes = netflow::v5::encode(packet);
+      service.submit_datagram(1, 9, bytes);
+    }
+  }
+  service.stop();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.datagrams_malformed, 0u);
+  EXPECT_GT(stats.flows_ingested, 800u);
+  EXPECT_GT(stats.cycles_run, 5u);
+  EXPECT_GE(stats.snapshots_published, 1u);
+
+  const auto table = service.current_table();
+  ASSERT_NE(table, nullptr);
+  const auto hit_a = table->lookup(net::IpAddress::from_string("10.1.2.3"));
+  ASSERT_TRUE(hit_a.has_value());
+  EXPECT_TRUE(hit_a->matches(topology::LinkId{5, 2}));
+  const auto hit_b = table->lookup(net::IpAddress::from_string("20.1.2.3"));
+  ASSERT_TRUE(hit_b.has_value());
+  EXPECT_TRUE(hit_b->matches(topology::LinkId{9, 0}));
+}
+
+TEST(Collector, IpfixDatagramsAutoDetected) {
+  CollectorConfig config;
+  config.stat_time.activity_threshold = 1;
+  CollectorService service(tiny_params(), config, 1);
+  service.start();
+
+  netflow::ipfix::Exporter exporter(/*observation_domain=*/7);
+  for (int minute = 0; minute < 6; ++minute) {
+    const util::Timestamp ts = 5000000 + minute * 60;
+    const auto flows = make_flows(ts, 80, {4, 1}, 0x0A000000u);
+    for (const auto& msg : exporter.export_flows(
+             flows, static_cast<std::uint32_t>(ts))) {
+      service.submit_datagram(0, 4, msg);
+    }
+  }
+  service.stop();
+
+  EXPECT_EQ(service.stats().datagrams_malformed, 0u);
+  EXPECT_GT(service.stats().flows_ingested, 400u);
+  const auto hit =
+      service.current_table()->lookup(net::IpAddress::from_string("10.0.9.9"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->matches(topology::LinkId{4, 1}));
+}
+
+TEST(Collector, MalformedDatagramsAreCountedNotFatal) {
+  CollectorService service(tiny_params(), CollectorConfig{}, 1);
+  const std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5};
+  EXPECT_EQ(service.submit_datagram(0, 1, garbage), 0u);
+  EXPECT_EQ(service.stats().datagrams_malformed, 1u);
+}
+
+TEST(Collector, RingOverflowCountsDrops) {
+  CollectorConfig config;
+  config.ring_capacity = 16;
+  CollectorService service(tiny_params(), config, 1);
+  // Not started: nothing drains the ring, so most of this must drop.
+  const auto flows = make_flows(1000, 500, {1, 0}, 0x0A000000u);
+  const std::size_t accepted = service.submit_records(0, flows);
+  EXPECT_LT(accepted, flows.size());
+  EXPECT_EQ(service.stats().flows_dropped_ring, flows.size() - accepted);
+}
+
+TEST(Collector, ConcurrentSourcesStress) {
+  CollectorConfig config;
+  config.stat_time.activity_threshold = 1;
+  constexpr std::size_t kSources = 4;
+  CollectorService service(tiny_params(), config, kSources);
+  service.start();
+
+  std::vector<std::thread> producers;
+  std::atomic<std::uint64_t> total_accepted{0};
+  for (std::size_t s = 0; s < kSources; ++s) {
+    producers.emplace_back([&, s] {
+      for (int minute = 0; minute < 6; ++minute) {
+        const util::Timestamp ts = 2000000 + minute * 60;
+        const auto flows =
+            make_flows(ts, 300, {static_cast<topology::RouterId>(s), 0},
+                       0x0A000000u + static_cast<std::uint32_t>(s) * 0x01000000u);
+        std::size_t accepted = 0;
+        // Producers retry on ring pressure (bounded).
+        for (int attempt = 0; attempt < 100 && accepted < flows.size(); ++attempt) {
+          accepted += service.submit_records(
+              s, std::span(flows).subspan(accepted));
+        }
+        total_accepted.fetch_add(accepted);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  service.stop();
+
+  EXPECT_GT(service.stats().flows_ingested, total_accepted.load() * 9 / 10);
+  EXPECT_GE(service.stats().snapshots_published, 1u);
+}
+
+TEST(Collector, RejectsZeroSources) {
+  EXPECT_THROW(CollectorService(tiny_params(), CollectorConfig{}, 0),
+               std::invalid_argument);
+}
+
+TEST(Collector, StatisticalTimeFiltersBrokenClocks) {
+  CollectorConfig config;
+  config.stat_time.activity_threshold = 1;
+  config.stat_time.max_skew = 120;
+  CollectorService service(tiny_params(), config, 1);
+  service.start();
+  auto flows = make_flows(3000000, 200, {1, 0}, 0x0A000000u);
+  // One record with a wildly wrong clock.
+  flows[50].ts = 3000000 + 86400;
+  service.submit_records(0, flows);
+  service.stop();
+  EXPECT_EQ(service.stats().flows_ingested, flows.size() - 1);
+}
+
+}  // namespace
+}  // namespace ipd::collector

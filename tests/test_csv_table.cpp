@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ipd::util {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRowsToFile) {
+  const std::string path = testing::TempDir() + "/ipd_csv_test.csv";
+  {
+    CsvWriter csv("test-series", {"x", "y"}, path);
+    csv.row({"1", "2"});
+    csv.row({CsvWriter::num(3.5, 1), CsvWriter::num(std::int64_t{-4})});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,y");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "3.5,-4");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  CsvWriter csv("bad", {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, RejectsEmptyColumns) {
+  EXPECT_THROW(CsvWriter("x", {}), std::invalid_argument);
+}
+
+TEST(CsvWriter, NumFormatsPrecision) {
+  EXPECT_EQ(CsvWriter::num(0.123456789, 3), "0.123");
+  EXPECT_EQ(CsvWriter::num(std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "v"});
+  table.row({"a", "1"});
+  table.row({"long-name", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name       v"), std::string::npos);
+  EXPECT_NE(out.find("long-name  22"), std::string::npos);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(TextTable, RejectsBadRows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.row({"x"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipd::util

@@ -1,0 +1,61 @@
+#include "workload/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace ipd::workload {
+namespace {
+
+TEST(Diurnal, PeakAtConfiguredHour) {
+  const DiurnalCurve curve(0.35, 20.0);
+  const double peak = curve.factor_at_hour(20.0);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_LE(curve.factor_at_hour(h), peak + 1e-9);
+  }
+  EXPECT_NEAR(peak, 1.0, 1e-6);
+}
+
+TEST(Diurnal, TroughInEarlyMorning) {
+  const DiurnalCurve curve(0.35, 20.0);
+  double min_val = 2.0;
+  double min_hour = -1;
+  for (double h = 0; h < 24; h += 0.25) {
+    if (curve.factor_at_hour(h) < min_val) {
+      min_val = curve.factor_at_hour(h);
+      min_hour = h;
+    }
+  }
+  EXPECT_GE(min_hour, 3.0);
+  EXPECT_LE(min_hour, 9.0);
+  EXPECT_NEAR(min_val, 0.35, 0.05);
+}
+
+TEST(Diurnal, BoundedByMinFractionAndOne) {
+  const DiurnalCurve curve(0.5, 20.0);
+  for (double h = 0; h < 24; h += 0.1) {
+    const double f = curve.factor_at_hour(h);
+    EXPECT_GE(f, 0.5 - 1e-9);
+    EXPECT_LE(f, 1.0 + 1e-9);
+  }
+}
+
+TEST(Diurnal, PhaseShiftMovesPeak) {
+  const DiurnalCurve shifted(0.35, 20.0, 3.0);
+  EXPECT_NEAR(shifted.factor_at_hour(23.0), 1.0, 1e-6);
+}
+
+TEST(Diurnal, TimestampWrapsDaily) {
+  const DiurnalCurve curve(0.35, 20.0);
+  const util::Timestamp t = 20 * util::kSecondsPerHour;
+  EXPECT_DOUBLE_EQ(curve.factor(t), curve.factor(t + util::kSecondsPerDay));
+  EXPECT_NEAR(curve.factor(t), 1.0, 1e-6);
+}
+
+TEST(Diurnal, RejectsBadMinFraction) {
+  EXPECT_THROW(DiurnalCurve(0.0, 20.0), std::invalid_argument);
+  EXPECT_THROW(DiurnalCurve(1.5, 20.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipd::workload

@@ -1,0 +1,296 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/output.hpp"
+
+namespace ipd::core {
+namespace {
+
+using net::Family;
+using net::IpAddress;
+using net::Prefix;
+using topology::LinkId;
+
+/// Small thresholds so tests can classify with few samples:
+/// IPv4 /0 needs ~66 samples, /1 ~46, /16 ~0.26.
+IpdParams tiny_params() {
+  IpdParams params;
+  params.ncidr_factor4 = 0.001;
+  params.ncidr_factor6 = 1e-7;  // v6 /0 needs ~430 (64-bit effective span)
+  return params;
+}
+
+/// Feed n samples spread over a prefix from one link.
+void feed(IpdEngine& engine, const Prefix& prefix, LinkId link, int n,
+          util::Timestamp ts, std::uint32_t salt = 0) {
+  const double count = prefix.address_count();
+  const std::uint64_t span =
+      count >= 9e18 ? (1ULL << 62) : static_cast<std::uint64_t>(count);
+  for (int i = 0; i < n; ++i) {
+    const auto ip = prefix.address().offset(
+        (static_cast<std::uint64_t>(i) * 1315423911u + salt) % span);
+    engine.ingest(ts, ip, link);
+  }
+}
+
+TEST(Engine, RejectsInvalidParams) {
+  IpdParams params;
+  params.q = 0.3;
+  EXPECT_THROW(IpdEngine{params}, std::invalid_argument);
+}
+
+TEST(Engine, SingleDominantIngressClassifiesRoot) {
+  IpdEngine engine(tiny_params());
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 100, 30);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.classifications, 1u);
+  EXPECT_EQ(engine.trie(Family::V4).root().state(), RangeNode::State::Classified);
+  EXPECT_TRUE(engine.trie(Family::V4).root().ingress().matches(LinkId{1, 0}));
+}
+
+TEST(Engine, MixedIngressSplitsInsteadOfClassifying) {
+  IpdEngine engine(tiny_params());
+  // Low half from link 1, high half from link 2 — like Fig. 5.
+  feed(engine, Prefix::from_string("0.0.0.0/1"), LinkId{1, 0}, 50, 30);
+  feed(engine, Prefix::from_string("128.0.0.0/1"), LinkId{2, 0}, 50, 30);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_GE(stats.splits, 1u);
+  EXPECT_EQ(stats.classifications, 0u);
+
+  // Next cycle: both halves now classify (data survives the split).
+  const auto stats2 = engine.run_cycle(120);
+  EXPECT_EQ(stats2.classifications, 2u);
+  EXPECT_EQ(stats2.ranges_classified, 2u);
+}
+
+TEST(Engine, InsufficientSamplesDoNothing) {
+  IpdParams params;  // default factor 64: root needs ~4.2M samples
+  IpdEngine engine(params);
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 1000, 30);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.classifications, 0u);
+  EXPECT_EQ(stats.splits, 0u);
+}
+
+TEST(Engine, QToleratesNoiseBelowThreshold) {
+  auto params = tiny_params();
+  params.q = 0.9;
+  IpdEngine engine(params);
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 95, 30);
+  feed(engine, Prefix::root(Family::V4), LinkId{2, 0}, 5, 30, /*salt=*/7);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.classifications, 1u);
+  EXPECT_TRUE(engine.trie(Family::V4).root().ingress().matches(LinkId{1, 0}));
+}
+
+TEST(Engine, NoiseAboveThresholdPreventsClassification) {
+  auto params = tiny_params();
+  params.q = 0.95;
+  IpdEngine engine(params);
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 80, 30);
+  feed(engine, Prefix::root(Family::V4), LinkId{2, 0}, 20, 30, /*salt=*/7);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.classifications, 0u);
+  EXPECT_GE(stats.splits, 1u);
+}
+
+TEST(Engine, SplitStopsAtCidrMax) {
+  auto params = tiny_params();
+  params.cidr_max4 = 4;  // tiny depth for the test
+  IpdEngine engine(params);
+  // Two links alternating per address: never classifiable at any depth.
+  for (int i = 0; i < 4096; ++i) {
+    const auto ip = IpAddress::v4(static_cast<std::uint32_t>(i) << 20);
+    engine.ingest(30, ip, (i % 2) ? LinkId{1, 0} : LinkId{2, 0});
+  }
+  for (int cycle = 1; cycle <= 10; ++cycle) {
+    engine.run_cycle(cycle * 60);
+  }
+  int max_len = 0;
+  engine.trie(Family::V4).for_each_leaf([&max_len](const RangeNode& leaf) {
+    max_len = std::max(max_len, leaf.prefix().length());
+  });
+  EXPECT_LE(max_len, 4);
+}
+
+TEST(Engine, MaskingToCidrMaxAggregatesHosts) {
+  auto params = tiny_params();
+  IpdEngine engine(params);
+  // Two hosts in the same /28 must land in the same per-IP entry.
+  engine.ingest(10, IpAddress::from_string("10.0.0.1"), LinkId{1, 0});
+  engine.ingest(10, IpAddress::from_string("10.0.0.14"), LinkId{1, 0});
+  EXPECT_EQ(engine.trie(Family::V4).root().ips().size(), 1u);
+  engine.ingest(10, IpAddress::from_string("10.0.0.17"), LinkId{1, 0});
+  EXPECT_EQ(engine.trie(Family::V4).root().ips().size(), 2u);
+}
+
+TEST(Engine, ClassifiedRangeKeepsAccumulating) {
+  IpdEngine engine(tiny_params());
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 100, 30);
+  engine.run_cycle(60);
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 50, 90);
+  const auto& root = engine.trie(Family::V4).root();
+  EXPECT_DOUBLE_EQ(root.counts().total(), 150.0);
+  EXPECT_TRUE(root.ips().empty());  // no per-IP state once classified
+}
+
+TEST(Engine, IngressShiftInvalidatesClassification) {
+  IpdEngine engine(tiny_params());
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 100, 30);
+  engine.run_cycle(60);
+  // Traffic shifts to link 2; once link 1's share drops below q the range
+  // is dropped and re-learned at the new ingress.
+  feed(engine, Prefix::root(Family::V4), LinkId{2, 0}, 3000, 90);
+  const auto stats = engine.run_cycle(120);
+  EXPECT_EQ(stats.drops, 1u);
+  feed(engine, Prefix::root(Family::V4), LinkId{2, 0}, 100, 130);
+  engine.run_cycle(180);
+  EXPECT_EQ(engine.trie(Family::V4).root().state(), RangeNode::State::Classified);
+  EXPECT_TRUE(engine.trie(Family::V4).root().ingress().matches(LinkId{2, 0}));
+}
+
+TEST(Engine, QuietClassifiedRangeDecaysAndDrops) {
+  IpdEngine engine(tiny_params());
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 100, 30);
+  engine.run_cycle(60);
+  ASSERT_EQ(engine.trie(Family::V4).root().state(), RangeNode::State::Classified);
+
+  // No traffic. Decay sets in after e seconds and shrinks counters fast:
+  // 100 * 0.1-ish per cycle -> below min_keep within a few cycles.
+  util::Timestamp now = 120;
+  bool dropped = false;
+  for (int i = 0; i < 12 && !dropped; ++i) {
+    now += 60;
+    dropped = engine.run_cycle(now).drops > 0;
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(engine.trie(Family::V4).root().state(), RangeNode::State::Monitoring);
+}
+
+TEST(Engine, MonitoringStateExpiresAfterE) {
+  IpdEngine engine(IpdParams{});  // huge thresholds: stays monitoring
+  engine.ingest(10, IpAddress::from_string("10.0.0.1"), LinkId{1, 0});
+  engine.run_cycle(60);
+  EXPECT_EQ(engine.trie(Family::V4).root().ips().size(), 1u);
+  engine.run_cycle(300);  // 10s+120s < 300: expired
+  EXPECT_TRUE(engine.trie(Family::V4).root().ips().empty());
+  EXPECT_TRUE(engine.trie(Family::V4).root().counts().empty());
+}
+
+TEST(Engine, SiblingRangesJoinAfterClassification) {
+  IpdEngine engine(tiny_params());
+  // First make the root split by feeding two links...
+  feed(engine, Prefix::from_string("0.0.0.0/1"), LinkId{1, 0}, 60, 30);
+  feed(engine, Prefix::from_string("128.0.0.0/1"), LinkId{2, 0}, 60, 30);
+  engine.run_cycle(60);  // split
+  // ...now both halves shift to the same link; fresh source IPs (salt) so
+  // the old link-2 per-IP entries expire (e = 120 s). Both halves then
+  // classify to link 1 and join in the same cycle.
+  feed(engine, Prefix::from_string("0.0.0.0/1"), LinkId{1, 0}, 200, 90, 50);
+  feed(engine, Prefix::from_string("128.0.0.0/1"), LinkId{1, 0}, 200, 90, 50);
+  const auto stats = engine.run_cycle(180);
+  EXPECT_EQ(stats.classifications, 2u);
+  EXPECT_GE(stats.joins, 1u);
+  EXPECT_EQ(engine.trie(Family::V4).root().state(), RangeNode::State::Classified);
+}
+
+TEST(Engine, BundleDetection) {
+  auto params = tiny_params();
+  params.enable_bundles = true;
+  IpdEngine engine(params);
+  // Two interfaces of router 7 split traffic evenly; a third router adds
+  // a little noise.
+  feed(engine, Prefix::root(Family::V4), LinkId{7, 0}, 49, 30);
+  feed(engine, Prefix::root(Family::V4), LinkId{7, 1}, 49, 30, /*salt=*/3);
+  feed(engine, Prefix::root(Family::V4), LinkId{8, 0}, 2, 30, /*salt=*/9);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.classifications, 1u);
+  const auto& ingress = engine.trie(Family::V4).root().ingress();
+  EXPECT_TRUE(ingress.is_bundle());
+  EXPECT_EQ(ingress.router, 7u);
+  EXPECT_TRUE(ingress.matches(LinkId{7, 0}));
+  EXPECT_TRUE(ingress.matches(LinkId{7, 1}));
+}
+
+TEST(Engine, BundlesCanBeDisabled) {
+  auto params = tiny_params();
+  params.enable_bundles = false;
+  IpdEngine engine(params);
+  feed(engine, Prefix::root(Family::V4), LinkId{7, 0}, 50, 30);
+  feed(engine, Prefix::root(Family::V4), LinkId{7, 1}, 50, 30, /*salt=*/3);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.classifications, 0u);
+}
+
+TEST(Engine, FindPrevalentSingleLink) {
+  IpdEngine engine(tiny_params());
+  IngressCounts counts;
+  counts.add(LinkId{1, 0}, 96);
+  counts.add(LinkId{2, 0}, 4);
+  const auto result = engine.find_prevalent(counts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->is_bundle());
+  EXPECT_TRUE(result->matches(LinkId{1, 0}));
+}
+
+TEST(Engine, FindPrevalentNoneOnEvenSplit) {
+  IpdEngine engine(tiny_params());
+  IngressCounts counts;
+  counts.add(LinkId{1, 0}, 50);
+  counts.add(LinkId{2, 0}, 50);
+  EXPECT_FALSE(engine.find_prevalent(counts).has_value());
+}
+
+TEST(Engine, FindPrevalentEmptyCounts) {
+  IpdEngine engine(tiny_params());
+  EXPECT_FALSE(engine.find_prevalent(IngressCounts{}).has_value());
+}
+
+TEST(Engine, BundleIgnoresMinorInterfaces) {
+  auto params = tiny_params();
+  params.bundle_member_min_share = 0.10;
+  IpdEngine engine(params);
+  IngressCounts counts;
+  counts.add(LinkId{7, 0}, 50);
+  counts.add(LinkId{7, 1}, 46);
+  counts.add(LinkId{7, 2}, 4);  // below 10 % of the router's traffic
+  const auto result = engine.find_prevalent(counts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->is_bundle());
+  EXPECT_EQ(result->ifaces.size(), 2u);
+  EXPECT_FALSE(result->matches(LinkId{7, 2}));
+}
+
+TEST(Engine, V4AndV6AreIndependent) {
+  IpdEngine engine(tiny_params());
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 100, 30);
+  feed(engine, Prefix::from_string("2a00::/16"), LinkId{2, 0}, 4000, 30);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.classifications, 2u);
+  EXPECT_TRUE(engine.trie(Family::V4).root().ingress().matches(LinkId{1, 0}));
+  EXPECT_TRUE(engine.trie(Family::V6).root().ingress().matches(LinkId{2, 0}));
+}
+
+TEST(Engine, StatsAccumulateAcrossCycles) {
+  IpdEngine engine(tiny_params());
+  feed(engine, Prefix::root(Family::V4), LinkId{1, 0}, 100, 30);
+  engine.run_cycle(60);
+  engine.run_cycle(120);
+  EXPECT_EQ(engine.stats().cycles_run, 2u);
+  EXPECT_EQ(engine.stats().flows_ingested, 100u);
+  EXPECT_EQ(engine.stats().total_classifications, 1u);
+}
+
+TEST(Engine, CycleStatsCensusConsistent) {
+  IpdEngine engine(tiny_params());
+  feed(engine, Prefix::from_string("0.0.0.0/1"), LinkId{1, 0}, 50, 30);
+  feed(engine, Prefix::from_string("128.0.0.0/1"), LinkId{2, 0}, 50, 30);
+  const auto stats = engine.run_cycle(60);
+  EXPECT_EQ(stats.ranges_total, stats.ranges_classified + stats.ranges_monitoring);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_GE(stats.cycle_micros, 0);
+}
+
+}  // namespace
+}  // namespace ipd::core

@@ -1,0 +1,110 @@
+#include "netflow/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace ipd::netflow {
+namespace {
+
+FlowRecord sample_record() {
+  FlowRecord r;
+  r.ts = 1605571200;
+  r.src_ip = net::IpAddress::from_string("203.0.113.9");
+  r.dst_ip = net::IpAddress::from_string("10.1.2.3");
+  r.packets = 3;
+  r.bytes = 4242;
+  r.ingress = topology::LinkId{30, 1};
+  return r;
+}
+
+TEST(Codec, RoundTripV4) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  const auto original = sample_record();
+  writer.write(original);
+  EXPECT_EQ(writer.records_written(), 1u);
+
+  TraceReader reader(buf);
+  const auto restored = reader.read();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, original);
+  EXPECT_FALSE(reader.read().has_value());
+  EXPECT_EQ(reader.records_read(), 1u);
+}
+
+TEST(Codec, RoundTripV6) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  auto r = sample_record();
+  r.src_ip = net::IpAddress::from_string("2001:db8::42");
+  writer.write(r);
+  TraceReader reader(buf);
+  const auto restored = reader.read();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->src_ip.to_string(), "2001:db8::42");
+}
+
+TEST(Codec, ManyRecordsPreserveOrder) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  for (int i = 0; i < 1000; ++i) {
+    auto r = sample_record();
+    r.ts = i;
+    r.src_ip = net::IpAddress::v4(static_cast<std::uint32_t>(i * 7919));
+    writer.write(r);
+  }
+  TraceReader reader(buf);
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = reader.read();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->ts, i);
+  }
+  EXPECT_FALSE(reader.read().has_value());
+}
+
+TEST(Codec, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "not a trace";
+  EXPECT_THROW(TraceReader reader(buf), std::runtime_error);
+}
+
+TEST(Codec, RejectsTruncatedRecord) {
+  std::stringstream buf;
+  TraceWriter writer(buf);
+  writer.write(sample_record());
+  std::string data = buf.str();
+  data.resize(data.size() - 3);  // chop mid-record
+  std::stringstream cut(data);
+  TraceReader reader(cut);
+  EXPECT_THROW(reader.read(), std::runtime_error);
+}
+
+TEST(Codec, EmptyTraceIsValid) {
+  std::stringstream buf;
+  { TraceWriter writer(buf); }
+  TraceReader reader(buf);
+  EXPECT_FALSE(reader.read().has_value());
+}
+
+TEST(Codec, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/ipd_trace_test.bin";
+  std::vector<FlowRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    auto r = sample_record();
+    r.ts = 100 + i;
+    records.push_back(r);
+  }
+  write_trace_file(path, records);
+  const auto restored = read_trace_file(path);
+  EXPECT_EQ(restored, records);
+  std::remove(path.c_str());
+}
+
+TEST(Codec, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/nope.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ipd::netflow

@@ -1,0 +1,123 @@
+#include "core/ingress.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::core {
+namespace {
+
+using topology::LinkId;
+
+TEST(IngressId, SingleLink) {
+  const IngressId ingress(LinkId{5, 2});
+  EXPECT_TRUE(ingress.valid());
+  EXPECT_FALSE(ingress.is_bundle());
+  EXPECT_TRUE(ingress.matches(LinkId{5, 2}));
+  EXPECT_FALSE(ingress.matches(LinkId{5, 3}));
+  EXPECT_FALSE(ingress.matches(LinkId{6, 2}));
+  EXPECT_EQ(ingress.primary_link(), (LinkId{5, 2}));
+  EXPECT_EQ(ingress.to_string(), "R5.2");
+}
+
+TEST(IngressId, BundleMatchesAllMembers) {
+  const IngressId bundle(7, {3, 1});
+  EXPECT_TRUE(bundle.is_bundle());
+  EXPECT_TRUE(bundle.matches(LinkId{7, 1}));
+  EXPECT_TRUE(bundle.matches(LinkId{7, 3}));
+  EXPECT_FALSE(bundle.matches(LinkId{7, 2}));
+  EXPECT_EQ(bundle.primary_link(), (LinkId{7, 1}));  // lowest iface
+  EXPECT_EQ(bundle.to_string(), "R7.{1,3}");
+}
+
+TEST(IngressId, ConstructionSortsAndDedupes) {
+  const IngressId bundle(1, {4, 2, 4, 2});
+  EXPECT_EQ(bundle.ifaces, (std::vector<topology::InterfaceIndex>{2, 4}));
+}
+
+TEST(IngressId, DefaultIsInvalid) {
+  const IngressId none;
+  EXPECT_FALSE(none.valid());
+}
+
+TEST(IngressCounts, AddAndTotals) {
+  IngressCounts counts;
+  EXPECT_TRUE(counts.empty());
+  counts.add(LinkId{1, 0}, 10);
+  counts.add(LinkId{1, 1}, 5);
+  counts.add(LinkId{1, 0}, 2);
+  EXPECT_DOUBLE_EQ(counts.total(), 17.0);
+  EXPECT_EQ(counts.distinct_links(), 2u);
+  EXPECT_DOUBLE_EQ(counts.count_for(LinkId{1, 0}), 12.0);
+  EXPECT_DOUBLE_EQ(counts.count_for(LinkId{9, 9}), 0.0);
+}
+
+TEST(IngressCounts, TopLinkAndShares) {
+  IngressCounts counts;
+  counts.add(LinkId{1, 0}, 80);
+  counts.add(LinkId{2, 0}, 20);
+  EXPECT_EQ(counts.top_link(), (LinkId{1, 0}));
+  EXPECT_DOUBLE_EQ(counts.share_of(IngressId(LinkId{1, 0})), 0.8);
+  EXPECT_DOUBLE_EQ(counts.share_of(IngressId(LinkId{2, 0})), 0.2);
+}
+
+TEST(IngressCounts, BundleAggregation) {
+  IngressCounts counts;
+  counts.add(LinkId{1, 0}, 40);
+  counts.add(LinkId{1, 1}, 45);
+  counts.add(LinkId{2, 0}, 15);
+  const IngressId bundle(1, {0, 1});
+  EXPECT_DOUBLE_EQ(counts.count_for(bundle), 85.0);
+  EXPECT_DOUBLE_EQ(counts.share_of(bundle), 0.85);
+  EXPECT_DOUBLE_EQ(counts.count_for_router(1), 85.0);
+  EXPECT_EQ(counts.routers().size(), 2u);
+}
+
+TEST(IngressCounts, RouterInterfacesSortedByCount) {
+  IngressCounts counts;
+  counts.add(LinkId{1, 0}, 5);
+  counts.add(LinkId{1, 1}, 50);
+  counts.add(LinkId{2, 0}, 100);
+  const auto ifaces = counts.router_interfaces(1);
+  ASSERT_EQ(ifaces.size(), 2u);
+  EXPECT_EQ(ifaces[0].first, 1);
+  EXPECT_EQ(ifaces[1].first, 0);
+}
+
+TEST(IngressCounts, ScaleShrinksAndPrunes) {
+  IngressCounts counts;
+  counts.add(LinkId{1, 0}, 100);
+  counts.add(LinkId{2, 0}, 1e-8);
+  counts.scale(0.5);
+  EXPECT_DOUBLE_EQ(counts.count_for(LinkId{1, 0}), 50.0);
+  EXPECT_EQ(counts.distinct_links(), 1u);  // tiny entry pruned
+  EXPECT_DOUBLE_EQ(counts.total(), 50.0);
+}
+
+TEST(IngressCounts, MergeAccumulates) {
+  IngressCounts a, b;
+  a.add(LinkId{1, 0}, 10);
+  b.add(LinkId{1, 0}, 5);
+  b.add(LinkId{2, 0}, 3);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total(), 18.0);
+  EXPECT_DOUBLE_EQ(a.count_for(LinkId{1, 0}), 15.0);
+}
+
+TEST(IngressCounts, SortedEntriesDescending) {
+  IngressCounts counts;
+  counts.add(LinkId{1, 0}, 1);
+  counts.add(LinkId{2, 0}, 3);
+  counts.add(LinkId{3, 0}, 2);
+  const auto sorted = counts.sorted_entries();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(sorted[1].second, 2.0);
+  EXPECT_DOUBLE_EQ(sorted[2].second, 1.0);
+}
+
+TEST(IngressCounts, ShareOfEmptyIsZero) {
+  const IngressCounts counts;
+  EXPECT_DOUBLE_EQ(counts.share_of(IngressId(LinkId{1, 0})), 0.0);
+}
+
+}  // namespace
+}  // namespace ipd::core

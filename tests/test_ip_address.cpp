@@ -1,0 +1,120 @@
+#include "net/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::net {
+namespace {
+
+TEST(IpAddress, V4RoundTrip) {
+  const auto ip = IpAddress::from_string("192.168.1.42");
+  EXPECT_TRUE(ip.is_v4());
+  EXPECT_EQ(ip.v4_value(), 0xC0A8012Au);
+  EXPECT_EQ(ip.to_string(), "192.168.1.42");
+}
+
+TEST(IpAddress, V4Extremes) {
+  EXPECT_EQ(IpAddress::from_string("0.0.0.0").v4_value(), 0u);
+  EXPECT_EQ(IpAddress::from_string("255.255.255.255").v4_value(), 0xFFFFFFFFu);
+}
+
+TEST(IpAddress, V4RejectsMalformed) {
+  EXPECT_THROW(IpAddress::from_string("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string("1.2.3.256"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string(""), std::invalid_argument);
+}
+
+TEST(IpAddress, V6RoundTripFull) {
+  const auto ip = IpAddress::from_string("2001:db8:0:1:2:3:4:5");
+  EXPECT_FALSE(ip.is_v4());
+  EXPECT_EQ(ip.to_string(), "2001:db8:0:1:2:3:4:5");
+}
+
+TEST(IpAddress, V6Compression) {
+  EXPECT_EQ(IpAddress::from_string("2001:db8::1").to_string(), "2001:db8::1");
+  EXPECT_EQ(IpAddress::from_string("::1").to_string(), "::1");
+  EXPECT_EQ(IpAddress::from_string("::").to_string(), "::");
+  EXPECT_EQ(IpAddress::from_string("1::").to_string(), "1::");
+  EXPECT_EQ(IpAddress::from_string("1:0:0:2::3").to_string(), "1:0:0:2::3");
+}
+
+TEST(IpAddress, V6CompressesLongestRun) {
+  // Two zero runs: the longer one gets '::'.
+  const auto ip = IpAddress::v6(0x0001000000000002ULL, 0x0000000000000003ULL);
+  EXPECT_EQ(ip.to_string(), "1:0:0:2::3");
+}
+
+TEST(IpAddress, V6RejectsMalformed) {
+  EXPECT_THROW(IpAddress::from_string("1:2"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string("::1::2"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string("1:2:3:4:5:6:7:8:9"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string("g::1"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::from_string("12345::"), std::invalid_argument);
+}
+
+TEST(IpAddress, BitIndexingFromMsb) {
+  const auto ip = IpAddress::v4(0x80000001u);
+  EXPECT_TRUE(ip.bit(0));
+  EXPECT_FALSE(ip.bit(1));
+  EXPECT_TRUE(ip.bit(31));
+
+  const auto ip6 = IpAddress::v6(0x8000000000000000ULL, 0x1ULL);
+  EXPECT_TRUE(ip6.bit(0));
+  EXPECT_FALSE(ip6.bit(63));
+  EXPECT_FALSE(ip6.bit(64));
+  EXPECT_TRUE(ip6.bit(127));
+}
+
+TEST(IpAddress, WithBit) {
+  auto ip = IpAddress::v4(0);
+  ip = ip.with_bit(0, true);
+  EXPECT_EQ(ip.v4_value(), 0x80000000u);
+  ip = ip.with_bit(0, false);
+  EXPECT_EQ(ip.v4_value(), 0u);
+
+  auto ip6 = IpAddress::v6(0, 0);
+  ip6 = ip6.with_bit(64, true);
+  EXPECT_EQ(ip6.lo(), 0x8000000000000000ULL);
+  ip6 = ip6.with_bit(63, true);
+  EXPECT_EQ(ip6.hi(), 1ULL);
+}
+
+TEST(IpAddress, MaskedClearsHostBits) {
+  const auto ip = IpAddress::from_string("10.1.2.3");
+  EXPECT_EQ(ip.masked(8).to_string(), "10.0.0.0");
+  EXPECT_EQ(ip.masked(24).to_string(), "10.1.2.0");
+  EXPECT_EQ(ip.masked(32).to_string(), "10.1.2.3");
+  EXPECT_EQ(ip.masked(0).to_string(), "0.0.0.0");
+
+  const auto ip6 = IpAddress::from_string("2001:db8:aaaa:bbbb:cccc::1");
+  EXPECT_EQ(ip6.masked(48).to_string(), "2001:db8:aaaa::");
+  EXPECT_EQ(ip6.masked(64).to_string(), "2001:db8:aaaa:bbbb::");
+  EXPECT_EQ(ip6.masked(80).to_string(), "2001:db8:aaaa:bbbb:cccc::");
+  EXPECT_EQ(ip6.masked(128), ip6);
+}
+
+TEST(IpAddress, OffsetArithmetic) {
+  const auto ip = IpAddress::from_string("10.0.0.255");
+  EXPECT_EQ(ip.offset(1).to_string(), "10.0.1.0");
+  // v4 wraps within 32 bits.
+  EXPECT_EQ(IpAddress::from_string("255.255.255.255").offset(1).to_string(),
+            "0.0.0.0");
+  // v6 carry propagates into the high word.
+  const auto ip6 = IpAddress::v6(0, ~0ULL);
+  EXPECT_EQ(ip6.offset(1).hi(), 1ULL);
+  EXPECT_EQ(ip6.offset(1).lo(), 0ULL);
+}
+
+TEST(IpAddress, OrderingFamilyFirst) {
+  EXPECT_LT(IpAddress::v4(0xFFFFFFFFu), IpAddress::v6(0, 0));
+  EXPECT_LT(IpAddress::v4(1), IpAddress::v4(2));
+  EXPECT_LT(IpAddress::v6(0, 5), IpAddress::v6(1, 0));
+}
+
+TEST(IpAddress, HashDistinguishesFamilies) {
+  EXPECT_NE(IpAddress::v4(42).hash(), IpAddress::v6(0, 42).hash());
+}
+
+}  // namespace
+}  // namespace ipd::net

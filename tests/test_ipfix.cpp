@@ -1,0 +1,235 @@
+#include "netflow/ipfix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::netflow::ipfix {
+namespace {
+
+std::vector<FlowRecord> mixed_flows() {
+  std::vector<FlowRecord> flows;
+  for (int i = 0; i < 5; ++i) {
+    FlowRecord f;
+    f.ts = 1605571200 + i;
+    f.src_ip = net::IpAddress::v4(0xCB007100u + static_cast<std::uint32_t>(i));
+    f.dst_ip = net::IpAddress::v4(0x0A000001u);
+    f.packets = 3;
+    f.bytes = 1500 + static_cast<std::uint64_t>(i);
+    f.ingress = topology::LinkId{0, static_cast<topology::InterfaceIndex>(i)};
+    flows.push_back(f);
+  }
+  for (int i = 0; i < 3; ++i) {
+    FlowRecord f;
+    f.ts = 1605571300 + i;
+    f.src_ip = net::IpAddress::v6(0x2a00000000000000ULL,
+                                  static_cast<std::uint64_t>(i));
+    f.dst_ip = net::IpAddress::v6(0x2a01000000000000ULL, 9);
+    f.packets = 1;
+    f.bytes = 80;
+    f.ingress = topology::LinkId{0, 7};
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+TEST(Ipfix, TemplatesAreWellFormed) {
+  const auto v4 = v4_flow_template();
+  EXPECT_EQ(v4.template_id, 256);
+  EXPECT_EQ(v4.record_bytes(), 4u + 4 + 4 + 8 + 8 + 4);
+  const auto v6 = v6_flow_template();
+  EXPECT_EQ(v6.template_id, 257);
+  EXPECT_EQ(v6.record_bytes(), 16u + 16 + 4 + 8 + 8 + 4);
+}
+
+TEST(Ipfix, ExportParseRoundTrip) {
+  Exporter exporter(/*observation_domain=*/42);
+  const auto flows = mixed_flows();
+  const auto messages = exporter.export_flows(flows, /*export_time=*/999);
+  ASSERT_EQ(messages.size(), 1u);
+
+  Parser parser;
+  std::vector<FlowRecord> restored;
+  ASSERT_TRUE(parser.parse(messages[0], /*exporter_router=*/9, restored));
+  ASSERT_EQ(restored.size(), flows.size());
+  EXPECT_EQ(parser.stats().templates_learned, 2u);
+  EXPECT_EQ(parser.stats().records, flows.size());
+
+  // v4 records first, then v6 (exporter splits per template).
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(restored[i].src_ip, flows[i].src_ip);
+    EXPECT_EQ(restored[i].dst_ip, flows[i].dst_ip);
+    EXPECT_EQ(restored[i].bytes, flows[i].bytes);
+    EXPECT_EQ(restored[i].packets, flows[i].packets);
+    EXPECT_EQ(restored[i].ts, flows[i].ts);  // flowStartSeconds wins
+    EXPECT_EQ(restored[i].ingress.router, 9u);
+    EXPECT_EQ(restored[i].ingress.iface, flows[i].ingress.iface);
+  }
+  for (std::size_t i = 5; i < 8; ++i) {
+    EXPECT_EQ(restored[i].src_ip, flows[i].src_ip);
+    EXPECT_EQ(restored[i].dst_ip, flows[i].dst_ip);
+    EXPECT_FALSE(restored[i].src_ip.is_v4());
+  }
+}
+
+TEST(Ipfix, SequenceCountsDataRecords) {
+  Exporter exporter(1);
+  const auto flows = mixed_flows();
+  exporter.export_flows(flows, 100);
+  EXPECT_EQ(exporter.sequence(), flows.size());
+}
+
+TEST(Ipfix, TemplatesOnlyInFirstAndRefreshMessages) {
+  Exporter exporter(1, /*template_refresh=*/2);
+  const auto flows = mixed_flows();
+  const auto m1 = exporter.export_flows(flows, 1)[0];
+  const auto m2 = exporter.export_flows(flows, 2)[0];
+  const auto m3 = exporter.export_flows(flows, 3)[0];
+  EXPECT_GT(m1.size(), m2.size());  // m1 carries the template set
+  EXPECT_EQ(m3.size(), m1.size());  // refresh after 2 messages
+
+  // A parser that only sees the template-less message tolerates the data
+  // (RFC: templates may not have arrived yet over UDP) but decodes nothing.
+  Parser parser;
+  std::vector<FlowRecord> out;
+  ASSERT_TRUE(parser.parse(m2, 1, out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(parser.stats().data_without_template, 0u);
+  // Once the template arrives, decoding works.
+  ASSERT_TRUE(parser.parse(m1, 1, out));
+  EXPECT_EQ(out.size(), flows.size());
+}
+
+TEST(Ipfix, TemplatesAreScopedPerDomain) {
+  Exporter exporter_a(1), exporter_b(2);
+  const auto flows = mixed_flows();
+  const auto ma = exporter_a.export_flows(flows, 1)[0];
+  Parser parser;
+  std::vector<FlowRecord> out;
+  ASSERT_TRUE(parser.parse(ma, 1, out));
+  EXPECT_NE(parser.find_template(1, 256), nullptr);
+  EXPECT_EQ(parser.find_template(2, 256), nullptr);
+}
+
+TEST(Ipfix, MalformedMessagesRejected) {
+  Parser parser;
+  std::vector<FlowRecord> out;
+  // Too short.
+  std::vector<std::uint8_t> tiny{0, 10, 0, 4};
+  EXPECT_FALSE(parser.parse(tiny, 1, out));
+  // Wrong version.
+  Exporter exporter(1);
+  auto msg = exporter.export_flows(mixed_flows(), 1)[0];
+  auto bad = msg;
+  bad[1] = 9;
+  EXPECT_FALSE(parser.parse(bad, 1, out));
+  // Length field disagrees with the buffer.
+  bad = msg;
+  bad[3] = static_cast<std::uint8_t>(bad[3] + 1);
+  EXPECT_FALSE(parser.parse(bad, 1, out));
+  // Truncated set.
+  bad = msg;
+  bad.resize(bad.size() - 5);
+  bad[2] = static_cast<std::uint8_t>(bad.size() >> 8);
+  bad[3] = static_cast<std::uint8_t>(bad.size());
+  EXPECT_FALSE(parser.parse(bad, 1, out));
+  EXPECT_GE(parser.stats().malformed, 4u);
+}
+
+TEST(Ipfix, UnknownElementsAreSkippedByLength) {
+  // Hand-build a template with an extra unknown element (id 999, 2 bytes)
+  // in the middle; the parser must still extract the known fields.
+  std::vector<std::uint8_t> msg;
+  const auto put16v = [&](std::uint16_t v) {
+    msg.push_back(static_cast<std::uint8_t>(v >> 8));
+    msg.push_back(static_cast<std::uint8_t>(v));
+  };
+  const auto put32v = [&](std::uint32_t v) {
+    put16v(static_cast<std::uint16_t>(v >> 16));
+    put16v(static_cast<std::uint16_t>(v));
+  };
+  put16v(kVersion);
+  put16v(0);  // length, patched below
+  put32v(777);  // export time
+  put32v(0);    // sequence
+  put32v(5);    // domain
+  // Template set: id 300 with [srcV4(4), unknown999(2), ingress(4)].
+  put16v(kTemplateSetId);
+  put16v(4 + 4 + 3 * 4);
+  put16v(300);
+  put16v(3);
+  put16v(kIeSourceIPv4Address);
+  put16v(4);
+  put16v(999);
+  put16v(2);
+  put16v(kIeIngressInterface);
+  put16v(4);
+  // Data set: one record.
+  put16v(300);
+  put16v(4 + 10);
+  put32v(0x0B0C0D0Eu);  // src
+  put16v(0xBEEF);       // unknown
+  put32v(3);            // ingress iface
+  msg[2] = static_cast<std::uint8_t>(msg.size() >> 8);
+  msg[3] = static_cast<std::uint8_t>(msg.size());
+
+  Parser parser;
+  std::vector<FlowRecord> out;
+  ASSERT_TRUE(parser.parse(msg, 4, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].src_ip.to_string(), "11.12.13.14");
+  EXPECT_EQ(out[0].ingress.iface, 3);
+  EXPECT_EQ(out[0].ts, 777);  // falls back to export time
+}
+
+TEST(Ipfix, EnterpriseTemplatesRejectedCleanly) {
+  std::vector<std::uint8_t> msg;
+  const auto put16v = [&](std::uint16_t v) {
+    msg.push_back(static_cast<std::uint8_t>(v >> 8));
+    msg.push_back(static_cast<std::uint8_t>(v));
+  };
+  const auto put32v = [&](std::uint32_t v) {
+    put16v(static_cast<std::uint16_t>(v >> 16));
+    put16v(static_cast<std::uint16_t>(v));
+  };
+  put16v(kVersion);
+  put16v(0);
+  put32v(1);
+  put32v(0);
+  put32v(5);
+  put16v(kTemplateSetId);
+  put16v(4 + 4 + 4 + 4);  // one field with enterprise bit + enterprise id
+  put16v(300);
+  put16v(1);
+  put16v(0x8001);  // enterprise bit set
+  put16v(4);
+  put32v(12345);  // enterprise number
+  msg[2] = static_cast<std::uint8_t>(msg.size() >> 8);
+  msg[3] = static_cast<std::uint8_t>(msg.size());
+
+  Parser parser;
+  std::vector<FlowRecord> out;
+  ASSERT_TRUE(parser.parse(msg, 1, out));
+  EXPECT_EQ(parser.find_template(5, 300), nullptr);
+  EXPECT_EQ(parser.stats().unsupported_fields, 1u);
+}
+
+TEST(Ipfix, V6EndToEndThroughWire) {
+  Exporter exporter(1);
+  std::vector<FlowRecord> flows(1);
+  flows[0].ts = 500;
+  flows[0].src_ip = net::IpAddress::from_string("2a00:1:2:3::42");
+  flows[0].dst_ip = net::IpAddress::from_string("2a01::1");
+  flows[0].bytes = 123456789012ull;  // > 32 bit, needs the 64-bit IE
+  flows[0].packets = 77;
+  flows[0].ingress = topology::LinkId{3, 9};
+  const auto msg = exporter.export_flows(flows, 500)[0];
+  Parser parser;
+  std::vector<FlowRecord> out;
+  ASSERT_TRUE(parser.parse(msg, 3, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].src_ip.to_string(), "2a00:1:2:3::42");
+  EXPECT_EQ(out[0].bytes, 123456789012ull);
+  EXPECT_EQ(out[0].ingress.iface, 9);
+}
+
+}  // namespace
+}  // namespace ipd::netflow::ipfix

@@ -1,0 +1,126 @@
+#include "analysis/lb_detect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::analysis {
+namespace {
+
+using core::RangeOutput;
+using core::Snapshot;
+using net::Prefix;
+using topology::LinkId;
+
+RangeOutput monitoring_row(const std::string& prefix,
+                           std::vector<std::pair<LinkId, double>> breakdown) {
+  RangeOutput row;
+  row.ts = 0;
+  row.classified = false;
+  row.range = Prefix::from_string(prefix);
+  double total = 0.0;
+  for (const auto& [link, count] : breakdown) total += count;
+  row.s_ipcount = total;
+  row.breakdown = std::move(breakdown);
+  return row;
+}
+
+TEST(ScanRouterLb, FindsBalancedTwoRouterRange) {
+  Snapshot snapshot{monitoring_row(
+      "10.0.0.0/24", {{LinkId{1, 0}, 100.0}, {LinkId{2, 0}, 95.0}})};
+  const auto found = scan_router_lb(snapshot);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].router_a, 1u);
+  EXPECT_EQ(found[0].router_b, 2u);
+  EXPECT_NEAR(found[0].share_a, 100.0 / 195.0, 1e-9);
+}
+
+TEST(ScanRouterLb, AggregatesInterfacesPerRouter) {
+  // Two interfaces of router 1 vs one of router 2: router totals 100/98.
+  Snapshot snapshot{monitoring_row("10.0.0.0/24", {{LinkId{1, 0}, 60.0},
+                                                   {LinkId{1, 1}, 40.0},
+                                                   {LinkId{2, 0}, 98.0}})};
+  const auto found = scan_router_lb(snapshot);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_DOUBLE_EQ(found[0].samples, 198.0);
+}
+
+TEST(ScanRouterLb, IgnoresImbalancedRanges) {
+  Snapshot snapshot{monitoring_row(
+      "10.0.0.0/24", {{LinkId{1, 0}, 160.0}, {LinkId{2, 0}, 40.0}})};
+  EXPECT_TRUE(scan_router_lb(snapshot).empty());
+}
+
+TEST(ScanRouterLb, IgnoresThinAndClassifiedRanges) {
+  Snapshot snapshot;
+  snapshot.push_back(monitoring_row(
+      "10.0.0.0/24", {{LinkId{1, 0}, 10.0}, {LinkId{2, 0}, 9.0}}));  // thin
+  auto classified = monitoring_row(
+      "10.0.1.0/24", {{LinkId{1, 0}, 100.0}, {LinkId{2, 0}, 95.0}});
+  classified.classified = true;  // classified rows are skipped
+  snapshot.push_back(classified);
+  EXPECT_TRUE(scan_router_lb(snapshot).empty());
+}
+
+TEST(ScanRouterLb, IgnoresThreeWayNoise) {
+  // Two routers balanced but a third carries 30 %: combined share too low.
+  Snapshot snapshot{monitoring_row("10.0.0.0/24", {{LinkId{1, 0}, 70.0},
+                                                   {LinkId{2, 0}, 65.0},
+                                                   {LinkId{3, 0}, 60.0}})};
+  EXPECT_TRUE(scan_router_lb(snapshot).empty());
+}
+
+TEST(LbDetector, ConfirmsAfterPersistence) {
+  LbDetectConfig config;
+  config.min_persistence = 3;
+  LbDetector detector(config);
+  const Snapshot snapshot{monitoring_row(
+      "10.0.0.0/24", {{LinkId{1, 0}, 100.0}, {LinkId{2, 0}, 95.0}})};
+  detector.observe(snapshot);
+  detector.observe(snapshot);
+  EXPECT_TRUE(detector.confirmed().empty());
+  detector.observe(snapshot);
+  const auto confirmed = detector.confirmed();
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].persistence, 3);
+}
+
+TEST(LbDetector, StreakResetsWhenRoutersChange) {
+  LbDetectConfig config;
+  config.min_persistence = 2;
+  LbDetector detector(config);
+  detector.observe({monitoring_row(
+      "10.0.0.0/24", {{LinkId{1, 0}, 100.0}, {LinkId{2, 0}, 95.0}})});
+  // Same range, different router pair: not persistent balancing.
+  detector.observe({monitoring_row(
+      "10.0.0.0/24", {{LinkId{3, 0}, 100.0}, {LinkId{4, 0}, 95.0}})});
+  EXPECT_TRUE(detector.confirmed().empty());
+}
+
+TEST(LbDetector, ForgetsRangesThatDisappear) {
+  LbDetectConfig config;
+  config.min_persistence = 2;
+  LbDetector detector(config);
+  const Snapshot balanced{monitoring_row(
+      "10.0.0.0/24", {{LinkId{1, 0}, 100.0}, {LinkId{2, 0}, 95.0}})};
+  detector.observe(balanced);
+  EXPECT_EQ(detector.tracked(), 1u);
+  detector.observe({});  // range gone
+  EXPECT_EQ(detector.tracked(), 0u);
+  detector.observe(balanced);
+  EXPECT_TRUE(detector.confirmed().empty());  // streak restarted
+}
+
+TEST(LbDetector, ConfirmedSortedBySamples) {
+  LbDetectConfig config;
+  config.min_persistence = 1;
+  LbDetector detector(config);
+  detector.observe({monitoring_row("10.0.0.0/24", {{LinkId{1, 0}, 60.0},
+                                                   {LinkId{2, 0}, 55.0}}),
+                    monitoring_row("10.0.1.0/24", {{LinkId{1, 0}, 600.0},
+                                                   {LinkId{2, 0}, 550.0}})});
+  const auto confirmed = detector.confirmed();
+  ASSERT_EQ(confirmed.size(), 2u);
+  EXPECT_GT(confirmed[0].samples, confirmed[1].samples);
+}
+
+}  // namespace
+}  // namespace ipd::analysis

@@ -1,0 +1,127 @@
+// Randomized differential test: the LPM trie against a naive reference
+// (linear scan over stored prefixes). Any divergence in lookup results
+// across thousands of random insert/erase/lookup operations fails.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "net/lpm_trie.hpp"
+#include "util/rng.hpp"
+
+namespace ipd::net {
+namespace {
+
+/// Naive reference: stores prefixes in a map, answers LPM by scanning.
+class ReferenceLpm {
+ public:
+  void insert(const Prefix& prefix, int value) { entries_[prefix] = value; }
+  bool erase(const Prefix& prefix) { return entries_.erase(prefix) > 0; }
+
+  std::optional<int> lookup(const IpAddress& ip) const {
+    int best_len = -1;
+    int best_value = 0;
+    for (const auto& [prefix, value] : entries_) {
+      if (prefix.contains(ip) && prefix.length() > best_len) {
+        best_len = prefix.length();
+        best_value = value;
+      }
+    }
+    if (best_len < 0) return std::nullopt;
+    return best_value;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<Prefix, int> entries_;
+};
+
+struct FuzzParam {
+  std::uint64_t seed;
+  Family family;
+  int max_len;
+};
+
+class LpmFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+IpAddress random_address(util::Rng& rng, Family family) {
+  if (family == Family::V4) {
+    return IpAddress::v4(static_cast<std::uint32_t>(rng()));
+  }
+  return IpAddress::v6(rng(), rng());
+}
+
+TEST_P(LpmFuzz, MatchesReferenceUnderRandomOps) {
+  const auto param = GetParam();
+  util::Rng rng(param.seed);
+  LpmTrie<int> trie(param.family);
+  ReferenceLpm reference;
+  int next_value = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.5) {
+      // Insert a random prefix (clustered lengths to force overlaps).
+      const int len = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(param.max_len + 1)));
+      const Prefix prefix(random_address(rng, param.family), len);
+      trie.insert(prefix, next_value);
+      reference.insert(prefix, next_value);
+      ++next_value;
+    } else if (dice < 0.65 && reference.size() > 0) {
+      // Erase a random (possibly absent) prefix.
+      const int len = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(param.max_len + 1)));
+      const Prefix prefix(random_address(rng, param.family), len);
+      EXPECT_EQ(trie.erase(prefix), reference.erase(prefix));
+    } else {
+      // Lookup a random address.
+      const IpAddress probe = random_address(rng, param.family);
+      const int* got = trie.lookup(probe);
+      const auto want = reference.lookup(probe);
+      ASSERT_EQ(got != nullptr, want.has_value())
+          << "op " << op << " probe " << probe.to_string();
+      if (got) {
+        EXPECT_EQ(*got, *want);
+      }
+    }
+    if (op % 500 == 0) {
+      EXPECT_EQ(trie.size(), reference.size());
+    }
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  // Final exhaustive-ish check: probe addresses derived from stored
+  // prefixes (boundary addresses are the interesting ones).
+  trie.visit([&](const Prefix& prefix, const int&) {
+    for (const auto& probe :
+         {prefix.address(), prefix.address().offset(1),
+          prefix.address().offset(static_cast<std::uint64_t>(
+              std::min(prefix.address_count() - 1, 1e18)))}) {
+      const int* got = trie.lookup(probe);
+      const auto want = reference.lookup(probe);
+      ASSERT_EQ(got != nullptr, want.has_value()) << probe.to_string();
+      if (got) {
+        EXPECT_EQ(*got, *want);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFamilies, LpmFuzz,
+    ::testing::Values(FuzzParam{1, Family::V4, 12},   // dense overlaps
+                      FuzzParam{2, Family::V4, 24},
+                      FuzzParam{3, Family::V4, 32},
+                      FuzzParam{4, Family::V6, 48},
+                      FuzzParam{5, Family::V6, 64},
+                      FuzzParam{6, Family::V6, 128}),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return std::string(info.param.family == Family::V4 ? "v4" : "v6") +
+             "_len" + std::to_string(info.param.max_len) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace ipd::net

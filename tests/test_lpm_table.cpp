@@ -1,0 +1,83 @@
+#include "core/lpm_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::core {
+namespace {
+
+using net::Family;
+using net::IpAddress;
+using net::Prefix;
+using topology::LinkId;
+
+RangeOutput make_row(const std::string& prefix, LinkId link, bool classified = true) {
+  RangeOutput row;
+  row.ts = 1;
+  row.classified = classified;
+  row.range = Prefix::from_string(prefix);
+  row.ingress = IngressId(link);
+  row.s_ingress = 1.0;
+  row.s_ipcount = 100;
+  return row;
+}
+
+TEST(LpmTable, BuildsFromClassifiedRowsOnly) {
+  Snapshot snapshot;
+  snapshot.push_back(make_row("10.0.0.0/8", LinkId{1, 0}));
+  snapshot.push_back(make_row("20.0.0.0/8", LinkId{2, 0}, /*classified=*/false));
+  const auto table = LpmTable::from_snapshot(snapshot);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.lookup(IpAddress::from_string("10.1.1.1")).has_value());
+  EXPECT_FALSE(table.lookup(IpAddress::from_string("20.1.1.1")).has_value());
+}
+
+TEST(LpmTable, LongestMatchWins) {
+  Snapshot snapshot;
+  snapshot.push_back(make_row("10.0.0.0/8", LinkId{1, 0}));
+  snapshot.push_back(make_row("10.1.0.0/16", LinkId{2, 0}));
+  const auto table = LpmTable::from_snapshot(snapshot);
+  EXPECT_TRUE(table.lookup(IpAddress::from_string("10.1.2.3"))->matches(LinkId{2, 0}));
+  EXPECT_TRUE(table.lookup(IpAddress::from_string("10.2.2.3"))->matches(LinkId{1, 0}));
+}
+
+TEST(LpmTable, LookupEntryReturnsPrefix) {
+  Snapshot snapshot;
+  snapshot.push_back(make_row("10.1.0.0/16", LinkId{2, 0}));
+  const auto table = LpmTable::from_snapshot(snapshot);
+  const auto hit = table.lookup_entry(IpAddress::from_string("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first.to_string(), "10.1.0.0/16");
+  EXPECT_TRUE(hit->second.matches(LinkId{2, 0}));
+}
+
+TEST(LpmTable, HandlesBothFamilies) {
+  LpmTable table;
+  table.insert(Prefix::from_string("10.0.0.0/8"), IngressId(LinkId{1, 0}));
+  table.insert(Prefix::from_string("2a00::/32"), IngressId(LinkId{2, 0}));
+  EXPECT_TRUE(table.lookup(IpAddress::from_string("10.0.0.1")).has_value());
+  EXPECT_TRUE(table.lookup(IpAddress::from_string("2a00::1")).has_value());
+  EXPECT_FALSE(table.lookup(IpAddress::from_string("2a01::1")).has_value());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(LpmTable, BundleIngressSurvivesRoundTrip) {
+  Snapshot snapshot;
+  auto row = make_row("10.0.0.0/8", LinkId{7, 0});
+  row.ingress = IngressId(7, {0, 1});
+  snapshot.push_back(row);
+  const auto table = LpmTable::from_snapshot(snapshot);
+  const auto hit = table.lookup(IpAddress::from_string("10.5.5.5"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->is_bundle());
+  EXPECT_TRUE(hit->matches(LinkId{7, 1}));
+}
+
+TEST(LpmTable, EmptyTable) {
+  const LpmTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(IpAddress::from_string("1.1.1.1")).has_value());
+  EXPECT_FALSE(table.lookup_entry(IpAddress::from_string("1.1.1.1")).has_value());
+}
+
+}  // namespace
+}  // namespace ipd::core

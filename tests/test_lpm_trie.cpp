@@ -1,0 +1,116 @@
+#include "net/lpm_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ipd::net {
+namespace {
+
+TEST(LpmTrie, ExactInsertAndLookup) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.exact(Prefix::from_string("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.exact(Prefix::from_string("10.0.0.0/8")), 1);
+  EXPECT_EQ(trie.exact(Prefix::from_string("10.0.0.0/9")), nullptr);
+}
+
+TEST(LpmTrie, LongestPrefixWins) {
+  LpmTrie<std::string> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), "eight");
+  trie.insert(Prefix::from_string("10.1.0.0/16"), "sixteen");
+  trie.insert(Prefix::from_string("10.1.2.0/24"), "twentyfour");
+
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("10.1.2.3")), "twentyfour");
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("10.1.9.9")), "sixteen");
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("10.9.9.9")), "eight");
+  EXPECT_EQ(trie.lookup(IpAddress::from_string("11.0.0.1")), nullptr);
+}
+
+TEST(LpmTrie, DefaultRouteMatchesAll) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::root(Family::V4), 7);
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("203.0.113.1")), 7);
+}
+
+TEST(LpmTrie, LookupEntryReturnsMatchedPrefix) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), 1);
+  trie.insert(Prefix::from_string("10.1.0.0/16"), 2);
+  const auto hit = trie.lookup_entry(IpAddress::from_string("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(*hit->second, 2);
+  EXPECT_FALSE(trie.lookup_entry(IpAddress::from_string("99.0.0.1")).has_value());
+}
+
+TEST(LpmTrie, OverwriteKeepsSize) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), 1);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("10.0.0.1")), 2);
+}
+
+TEST(LpmTrie, EraseRemovesOnlyTarget) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), 1);
+  trie.insert(Prefix::from_string("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.erase(Prefix::from_string("10.1.0.0/16")));
+  EXPECT_FALSE(trie.erase(Prefix::from_string("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("10.1.2.3")), 1);
+}
+
+TEST(LpmTrie, VisitEnumeratesAllEntries) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), 1);
+  trie.insert(Prefix::from_string("10.128.0.0/9"), 2);
+  trie.insert(Prefix::from_string("192.168.0.0/16"), 3);
+  int sum = 0;
+  std::size_t n = 0;
+  trie.visit([&](const Prefix& p, const int& v) {
+    sum += v;
+    ++n;
+    EXPECT_EQ(p, p.address().masked(p.length()) == p.address() ? p : p);
+  });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(LpmTrie, FamilyMismatchRejected) {
+  LpmTrie<int> trie(Family::V4);
+  EXPECT_THROW(trie.insert(Prefix::from_string("2001:db8::/32"), 1),
+               std::invalid_argument);
+  EXPECT_EQ(trie.lookup(IpAddress::from_string("2001:db8::1")), nullptr);
+}
+
+TEST(LpmTrie, V6DeepPrefixes) {
+  LpmTrie<int> trie(Family::V6);
+  trie.insert(Prefix::from_string("2001:db8::/32"), 1);
+  trie.insert(Prefix::from_string("2001:db8:1::/48"), 2);
+  trie.insert(Prefix::from_string("2001:db8:1:2::/64"), 3);
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("2001:db8:1:2::99")), 3);
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("2001:db8:1:3::99")), 2);
+  EXPECT_EQ(*trie.lookup(IpAddress::from_string("2001:db8:ffff::1")), 1);
+}
+
+TEST(LpmTrie, ClearEmptiesEverything) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.0/8"), 1);
+  trie.insert(Prefix::root(Family::V4), 2);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.lookup(IpAddress::from_string("10.0.0.1")), nullptr);
+}
+
+TEST(LpmTrie, HostRouteMatchesSingleAddress) {
+  LpmTrie<int> trie(Family::V4);
+  trie.insert(Prefix::from_string("10.0.0.5/32"), 1);
+  EXPECT_NE(trie.lookup(IpAddress::from_string("10.0.0.5")), nullptr);
+  EXPECT_EQ(trie.lookup(IpAddress::from_string("10.0.0.6")), nullptr);
+}
+
+}  // namespace
+}  // namespace ipd::net

@@ -1,0 +1,190 @@
+#include "workload/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/builder.hpp"
+
+namespace ipd::workload {
+namespace {
+
+class MappingTest : public ::testing::Test {
+ protected:
+  MappingTest() : topo_(topology::build_skeleton({})) {
+    UniverseConfig config;
+    config.seed = 3;
+    universe_ = build_universe(topo_, config);
+  }
+
+  const AsInfo& cdn() const {
+    for (const auto& as : universe_.ases()) {
+      if (as.cls == AsClass::Cdn) return as;
+    }
+    throw std::logic_error("no CDN in universe");
+  }
+
+  topology::Topology topo_;
+  Universe universe_;
+};
+
+TEST_F(MappingTest, UnitsLiveInsideAsBlocks) {
+  const AsMapper mapper(cdn(), net::Family::V4, 42);
+  EXPECT_EQ(mapper.unit_count(), static_cast<std::size_t>(cdn().n_units));
+  for (std::size_t i = 0; i < mapper.unit_count(); ++i) {
+    const auto& unit = mapper.unit(i);
+    EXPECT_EQ(unit.prefix.length(), cdn().unit_len);
+    bool inside = false;
+    for (const auto& block : cdn().blocks_v4) {
+      inside |= block.contains(unit.prefix);
+    }
+    EXPECT_TRUE(inside) << unit.prefix.to_string();
+  }
+}
+
+TEST_F(MappingTest, UnitsAreDistinct) {
+  const AsMapper mapper(cdn(), net::Family::V4, 42);
+  std::set<net::Prefix> prefixes;
+  for (std::size_t i = 0; i < mapper.unit_count(); ++i) {
+    prefixes.insert(mapper.unit(i).prefix);
+  }
+  EXPECT_EQ(prefixes.size(), mapper.unit_count());
+}
+
+TEST_F(MappingTest, AssignmentsUseAsLinks) {
+  const AsMapper mapper(cdn(), net::Family::V4, 42);
+  const auto& links = cdn().links;
+  for (std::size_t i = 0; i < mapper.unit_count(); ++i) {
+    const auto& assign = mapper.unit(i).assign;
+    EXPECT_NE(std::find(links.begin(), links.end(), assign.primary), links.end());
+    for (const auto& sec : assign.secondaries) {
+      EXPECT_NE(std::find(links.begin(), links.end(), sec), links.end());
+      EXPECT_NE(sec, assign.primary);
+    }
+    if (!assign.secondaries.empty()) {
+      EXPECT_GT(assign.primary_share, 0.5);
+      EXPECT_LT(assign.primary_share, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(assign.primary_share, 1.0);
+    }
+  }
+}
+
+TEST_F(MappingTest, AdvanceFiresRemaps) {
+  AsMapper mapper(cdn(), net::Family::V4, 42);
+  EXPECT_EQ(mapper.total_remaps(), 0u);
+  mapper.advance_to(3 * util::kSecondsPerDay);
+  // A CDN with churn_base ~18/day must have remapped many units in 3 days.
+  EXPECT_GT(mapper.total_remaps(), 50u);
+}
+
+TEST_F(MappingTest, HotUnitsStickierThanTailUnits) {
+  AsMapper mapper(cdn(), net::Family::V4, 42);
+  mapper.advance_to(5 * util::kSecondsPerDay);
+  // Hottest unit (index 0) should remap far less often than tail units.
+  const auto hot = mapper.unit(0).remap_count;
+  std::uint64_t tail_total = 0;
+  const std::size_t n = mapper.unit_count();
+  for (std::size_t i = n - 10; i < n; ++i) tail_total += mapper.unit(i).remap_count;
+  EXPECT_LT(hot * 10, tail_total + 10);
+}
+
+TEST_F(MappingTest, ResolveSlicesUnitByAddress) {
+  AsMapper mapper(cdn(), net::Family::V4, 42);
+  util::Rng rng(1);
+  // Probe at the demand peak where consolidation is off, using the
+  // effective assignment. Find a multi-ingress unit.
+  const util::Timestamp peak =
+      static_cast<util::Timestamp>((20.0 + cdn().diurnal_phase_h) * 3600.0);
+  for (std::size_t i = 0; i < mapper.unit_count(); ++i) {
+    const auto& assign = mapper.effective_assignment(i, peak);
+    if (assign.secondaries.empty()) continue;
+    const auto& unit = mapper.unit(i).prefix;
+    // Uniform random hosts: primary fraction ~ primary_share ...
+    int primary_hits = 0;
+    const int n = 20000;
+    const auto span = static_cast<std::uint64_t>(unit.address_count());
+    for (int k = 0; k < n; ++k) {
+      const auto src = unit.address().offset(rng.below(span));
+      if (mapper.resolve(i, src, peak) == assign.primary) ++primary_hits;
+    }
+    EXPECT_NEAR(primary_hits / static_cast<double>(n), assign.primary_share, 0.02);
+    // ... and the slicing is deterministic per address.
+    const auto probe = unit.address().offset(3);
+    EXPECT_EQ(mapper.resolve(i, probe, peak), mapper.resolve(i, probe, peak));
+    // The first address maps to the primary, the last to a secondary.
+    EXPECT_EQ(mapper.resolve(i, unit.address(), peak), assign.primary);
+    EXPECT_NE(mapper.resolve(i, unit.address().offset(span - 1), peak),
+              assign.primary);
+    return;
+  }
+  GTEST_SKIP() << "no multi-ingress unit in this seed";
+}
+
+TEST_F(MappingTest, ConsolidationOnlyAtNightForCdn) {
+  const AsMapper mapper(cdn(), net::Family::V4, 42);
+  // 8 PM (peak): never consolidated; 5 AM (trough): consolidated for a
+  // consolidating CDN (modulo the AS's phase shift, probe several hours).
+  bool any_night = false;
+  for (int h = 2; h <= 8; ++h) {
+    any_night |= mapper.consolidated_at(h * util::kSecondsPerHour);
+  }
+  EXPECT_TRUE(any_night);
+  EXPECT_FALSE(mapper.consolidated_at(20 * util::kSecondsPerHour));
+}
+
+TEST_F(MappingTest, ConsolidatedSiblingsShareAssignment) {
+  const AsMapper mapper(cdn(), net::Family::V4, 42);
+  util::Timestamp night = 5 * util::kSecondsPerHour;
+  if (!mapper.consolidated_at(night)) {
+    night = 4 * util::kSecondsPerHour;
+  }
+  if (!mapper.consolidated_at(night)) GTEST_SKIP() << "phase shift too large";
+  // Units under the same super prefix resolve to the same assignment.
+  for (std::size_t i = 0; i < mapper.unit_count(); ++i) {
+    for (std::size_t j = i + 1; j < mapper.unit_count(); ++j) {
+      const auto super_i =
+          net::Prefix(mapper.unit(i).prefix.address(), cdn().super_len);
+      const auto super_j =
+          net::Prefix(mapper.unit(j).prefix.address(), cdn().super_len);
+      if (super_i == super_j) {
+        EXPECT_EQ(mapper.effective_assignment(i, night).primary,
+                  mapper.effective_assignment(j, night).primary);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no sibling units in this seed";
+}
+
+TEST_F(MappingTest, FindUnitLocatesCoveringUnit) {
+  const AsMapper mapper(cdn(), net::Family::V4, 42);
+  const auto& unit = mapper.unit(3);
+  const auto* found = mapper.find_unit(unit.prefix.address().offset(5));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->prefix, unit.prefix);
+  EXPECT_EQ(mapper.find_unit(net::IpAddress::from_string("249.0.0.1")), nullptr);
+}
+
+TEST_F(MappingTest, V6UnitsUseV6Blocks) {
+  const AsMapper mapper(cdn(), net::Family::V6, 42);
+  EXPECT_GT(mapper.unit_count(), 0u);
+  for (std::size_t i = 0; i < mapper.unit_count(); ++i) {
+    EXPECT_EQ(mapper.unit(i).prefix.family(), net::Family::V6);
+    EXPECT_EQ(mapper.unit(i).prefix.length(), cdn().unit_len6);
+  }
+}
+
+TEST_F(MappingTest, DeterministicForSeed) {
+  AsMapper a(cdn(), net::Family::V4, 9);
+  AsMapper b(cdn(), net::Family::V4, 9);
+  a.advance_to(util::kSecondsPerDay);
+  b.advance_to(util::kSecondsPerDay);
+  for (std::size_t i = 0; i < a.unit_count(); ++i) {
+    EXPECT_EQ(a.unit(i).prefix, b.unit(i).prefix);
+    EXPECT_EQ(a.unit(i).assign.primary, b.unit(i).assign.primary);
+  }
+}
+
+}  // namespace
+}  // namespace ipd::workload

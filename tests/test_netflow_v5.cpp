@@ -1,0 +1,193 @@
+#include "netflow/v5.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::netflow::v5 {
+namespace {
+
+Record sample_record() {
+  Record r;
+  r.src_addr = 0xCB007109;  // 203.0.113.9
+  r.dst_addr = 0x0A010203;
+  r.next_hop = 0x0A0000FE;
+  r.input_snmp = 7;
+  r.output_snmp = 3;
+  r.packets = 42;
+  r.octets = 61234;
+  r.first_ms = 1000;
+  r.last_ms = 2000;
+  r.src_port = 443;
+  r.dst_port = 51515;
+  r.tcp_flags = 0x18;
+  r.protocol = 6;
+  r.tos = 0;
+  r.src_as = 64500;
+  r.dst_as = 64501;
+  r.src_mask = 24;
+  r.dst_mask = 16;
+  return r;
+}
+
+Packet sample_packet(std::size_t n_records = 3) {
+  Packet p;
+  p.header.sys_uptime_ms = 123456;
+  p.header.unix_secs = 1605571200;
+  p.header.unix_nsecs = 789;
+  p.header.flow_sequence = 1000;
+  p.header.engine_type = 1;
+  p.header.engine_id = 2;
+  p.header.sampling = (1 << 14) | 1000;  // mode 1, interval 1000
+  for (std::size_t i = 0; i < n_records; ++i) {
+    auto r = sample_record();
+    r.src_addr += static_cast<std::uint32_t>(i);
+    p.records.push_back(r);
+  }
+  return p;
+}
+
+TEST(V5, WireSizeIsExact) {
+  const auto bytes = encode(sample_packet(3));
+  EXPECT_EQ(bytes.size(), kHeaderBytes + 3 * kRecordBytes);
+}
+
+TEST(V5, RoundTripPreservesEverything) {
+  const Packet original = sample_packet(5);
+  const auto decoded = decode(encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.count, 5);
+  EXPECT_EQ(decoded->header.sys_uptime_ms, original.header.sys_uptime_ms);
+  EXPECT_EQ(decoded->header.unix_secs, original.header.unix_secs);
+  EXPECT_EQ(decoded->header.unix_nsecs, original.header.unix_nsecs);
+  EXPECT_EQ(decoded->header.flow_sequence, original.header.flow_sequence);
+  EXPECT_EQ(decoded->header.engine_type, original.header.engine_type);
+  EXPECT_EQ(decoded->header.engine_id, original.header.engine_id);
+  EXPECT_EQ(decoded->header.sampling, original.header.sampling);
+  ASSERT_EQ(decoded->records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Record& a = original.records[i];
+    const Record& b = decoded->records[i];
+    EXPECT_EQ(b.src_addr, a.src_addr);
+    EXPECT_EQ(b.dst_addr, a.dst_addr);
+    EXPECT_EQ(b.next_hop, a.next_hop);
+    EXPECT_EQ(b.input_snmp, a.input_snmp);
+    EXPECT_EQ(b.output_snmp, a.output_snmp);
+    EXPECT_EQ(b.packets, a.packets);
+    EXPECT_EQ(b.octets, a.octets);
+    EXPECT_EQ(b.first_ms, a.first_ms);
+    EXPECT_EQ(b.last_ms, a.last_ms);
+    EXPECT_EQ(b.src_port, a.src_port);
+    EXPECT_EQ(b.dst_port, a.dst_port);
+    EXPECT_EQ(b.tcp_flags, a.tcp_flags);
+    EXPECT_EQ(b.protocol, a.protocol);
+    EXPECT_EQ(b.src_as, a.src_as);
+    EXPECT_EQ(b.dst_as, a.dst_as);
+    EXPECT_EQ(b.src_mask, a.src_mask);
+    EXPECT_EQ(b.dst_mask, a.dst_mask);
+  }
+}
+
+TEST(V5, BigEndianOnTheWire) {
+  const auto bytes = encode(sample_packet(1));
+  EXPECT_EQ(bytes[0], 0x00);  // version 5, network order
+  EXPECT_EQ(bytes[1], 0x05);
+  EXPECT_EQ(bytes[2], 0x00);  // count 1
+  EXPECT_EQ(bytes[3], 0x01);
+  // src_addr = 203.0.113.9 at offset 24
+  EXPECT_EQ(bytes[24], 203);
+  EXPECT_EQ(bytes[25], 0);
+  EXPECT_EQ(bytes[26], 113);
+  EXPECT_EQ(bytes[27], 9);
+}
+
+TEST(V5, EncodeRejectsBadCounts) {
+  Packet p = sample_packet(1);
+  p.records.clear();
+  EXPECT_THROW(encode(p), std::invalid_argument);
+  p = sample_packet(kMaxRecordsPerPacket);
+  p.records.push_back(sample_record());
+  EXPECT_THROW(encode(p), std::invalid_argument);
+  p = sample_packet(2);
+  p.header.count = 5;  // disagrees with records.size()
+  EXPECT_THROW(encode(p), std::invalid_argument);
+}
+
+TEST(V5, DecodeRejectsMalformed) {
+  const auto good = encode(sample_packet(2));
+  // Truncated.
+  EXPECT_FALSE(decode(std::span(good.data(), good.size() - 1)).has_value());
+  // Wrong version.
+  auto bad = good;
+  bad[1] = 9;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Count beyond 30.
+  bad = good;
+  bad[3] = 31;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Count/size mismatch.
+  bad = good;
+  bad[3] = 1;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Empty buffer.
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(V5, ToFlowRecordsMapsFields) {
+  const Packet packet = sample_packet(2);
+  const auto flows = to_flow_records(packet, /*exporter_router=*/30);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].ts, 1605571200);
+  EXPECT_EQ(flows[0].src_ip.to_string(), "203.0.113.9");
+  EXPECT_EQ(flows[0].ingress.router, 30u);
+  EXPECT_EQ(flows[0].ingress.iface, 7);
+  EXPECT_EQ(flows[0].bytes, 61234u);
+}
+
+TEST(V5, FromFlowRecordsSplitsIntoPackets) {
+  std::vector<FlowRecord> flows(75);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].ts = 1000;
+    flows[i].src_ip = net::IpAddress::v4(static_cast<std::uint32_t>(i));
+    flows[i].ingress = topology::LinkId{1, 2};
+  }
+  const auto packets = from_flow_records(flows, /*first_sequence=*/500);
+  ASSERT_EQ(packets.size(), 3u);  // 30 + 30 + 15
+  EXPECT_EQ(packets[0].records.size(), 30u);
+  EXPECT_EQ(packets[2].records.size(), 15u);
+  EXPECT_EQ(packets[0].header.flow_sequence, 500u);
+  EXPECT_EQ(packets[1].header.flow_sequence, 530u);
+  EXPECT_EQ(packets[2].header.flow_sequence, 560u);
+}
+
+TEST(V5, FromFlowRecordsRejectsV6) {
+  std::vector<FlowRecord> flows(1);
+  flows[0].src_ip = net::IpAddress::from_string("2a00::1");
+  EXPECT_THROW(from_flow_records(flows), std::invalid_argument);
+}
+
+TEST(V5, FullPipelineRoundTrip) {
+  // FlowRecords -> v5 packets -> wire -> decode -> FlowRecords.
+  std::vector<FlowRecord> flows(40);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].ts = 2000;
+    flows[i].src_ip = net::IpAddress::v4(0x0B000000u + static_cast<std::uint32_t>(i));
+    flows[i].ingress = topology::LinkId{9, 4};
+    flows[i].packets = 2;
+    flows[i].bytes = 900;
+  }
+  std::vector<FlowRecord> restored;
+  for (const auto& packet : from_flow_records(flows)) {
+    const auto decoded = decode(encode(packet));
+    ASSERT_TRUE(decoded.has_value());
+    const auto batch = to_flow_records(*decoded, 9);
+    restored.insert(restored.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(restored.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(restored[i].src_ip, flows[i].src_ip);
+    EXPECT_EQ(restored[i].ingress, flows[i].ingress);
+    EXPECT_EQ(restored[i].ts, flows[i].ts);
+  }
+}
+
+}  // namespace
+}  // namespace ipd::netflow::v5

@@ -1,0 +1,149 @@
+#include "core/output.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "topology/topology.hpp"
+
+namespace ipd::core {
+namespace {
+
+using net::Family;
+using net::IpAddress;
+using net::Prefix;
+using topology::LinkId;
+
+IpdParams tiny_params() {
+  IpdParams params;
+  params.ncidr_factor4 = 0.001;
+  params.ncidr_factor6 = 1e-7;
+  return params;
+}
+
+void feed_block(IpdEngine& engine, const Prefix& prefix, LinkId link, int n,
+                util::Timestamp ts) {
+  for (int i = 0; i < n; ++i) {
+    engine.ingest(ts, prefix.address().offset(static_cast<std::uint64_t>(i) << 4),
+                  link);
+  }
+}
+
+TEST(Output, SnapshotContainsClassifiedRows) {
+  IpdEngine engine(tiny_params());
+  feed_block(engine, Prefix::root(Family::V4), LinkId{3, 1}, 100, 30);
+  engine.run_cycle(60);
+  const auto snapshot = take_snapshot(engine, 60);
+  ASSERT_EQ(snapshot.size(), 1u);
+  const auto& row = snapshot.front();
+  EXPECT_TRUE(row.classified);
+  EXPECT_EQ(row.ts, 60);
+  EXPECT_DOUBLE_EQ(row.s_ipcount, 100.0);
+  EXPECT_DOUBLE_EQ(row.s_ingress, 1.0);
+  EXPECT_EQ(row.range, Prefix::root(Family::V4));
+  EXPECT_TRUE(row.ingress.matches(LinkId{3, 1}));
+  ASSERT_EQ(row.breakdown.size(), 1u);
+  EXPECT_EQ(row.breakdown.front().first, (LinkId{3, 1}));
+}
+
+TEST(Output, MonitoringRowsIncludedUnlessFiltered) {
+  IpdEngine engine(IpdParams{});  // default thresholds: stays monitoring
+  feed_block(engine, Prefix::root(Family::V4), LinkId{1, 0}, 10, 30);
+  engine.run_cycle(60);
+  EXPECT_EQ(take_snapshot(engine, 60).size(), 1u);
+  EXPECT_TRUE(take_snapshot(engine, 60, /*classified_only=*/true).empty());
+}
+
+TEST(Output, IdleMonitoringRangesSkipped) {
+  IpdEngine engine(IpdParams{});
+  engine.run_cycle(60);
+  EXPECT_TRUE(take_snapshot(engine, 60).empty());
+}
+
+TEST(Output, ConfidenceReflectsBreakdown) {
+  IpdEngine engine(tiny_params());
+  // 97 : 3 split -> confidence ~0.97 on the dominant link.
+  feed_block(engine, Prefix::root(Family::V4), LinkId{1, 0}, 97, 30);
+  for (int i = 0; i < 3; ++i) {
+    engine.ingest(30, IpAddress::v4(0x0F000000u + (static_cast<std::uint32_t>(i) << 8)),
+                  LinkId{2, 0});
+  }
+  engine.run_cycle(60);
+  const auto snapshot = take_snapshot(engine, 60);
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_TRUE(snapshot.front().classified);
+  EXPECT_NEAR(snapshot.front().s_ingress, 0.97, 1e-9);
+  EXPECT_EQ(snapshot.front().breakdown.size(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.front().breakdown[0].second, 97.0);
+}
+
+TEST(Output, FormatRowMatchesTable3Shape) {
+  RangeOutput row;
+  row.ts = 1605571200;
+  row.classified = true;
+  row.s_ingress = 0.997;
+  row.s_ipcount = 4812701;
+  row.n_cidr = 6144;
+  row.range = Prefix::from_string("1.2.0.0/16");
+  row.ingress = IngressId(LinkId{2, 4});
+  row.breakdown = {{LinkId{2, 4}, 4798963.0}, {LinkId{3, 54}, 12220.0}};
+
+  const std::string line = format_row(row);
+  EXPECT_EQ(line,
+            "1605571200 4 0.997 4812701 6144 1.2.0.0/16 "
+            "R2.4(R2.4=4798963,R3.54=12220)");
+}
+
+TEST(Output, FormatRowUsesTopologyNames) {
+  topology::Topology topo;
+  const auto pop = topo.add_pop("X", "C2");
+  const auto r = topo.add_router(pop, "R2");
+  const auto link = topo.add_interface(r, topology::LinkType::Pni, 1);
+
+  RangeOutput row;
+  row.ts = 10;
+  row.classified = true;
+  row.s_ingress = 1.0;
+  row.s_ipcount = 5;
+  row.n_cidr = 1;
+  row.range = Prefix::from_string("10.0.0.0/8");
+  row.ingress = IngressId(link);
+  row.breakdown = {{link, 5.0}};
+
+  const std::string line = format_row(row, &topo);
+  EXPECT_NE(line.find("C2-R2.0(C2-R2.0=5)"), std::string::npos);
+}
+
+TEST(Output, FormatRowBundle) {
+  RangeOutput row;
+  row.ts = 1;
+  row.classified = true;
+  row.s_ingress = 0.99;
+  row.s_ipcount = 10;
+  row.n_cidr = 2;
+  row.range = Prefix::from_string("10.0.0.0/24");
+  row.ingress = IngressId(7, {0, 1});
+  row.breakdown = {{LinkId{7, 0}, 5.0}, {LinkId{7, 1}, 5.0}};
+  const std::string line = format_row(row);
+  EXPECT_NE(line.find("R7.{0,1}("), std::string::npos);
+}
+
+TEST(Output, SnapshotCoversBothFamilies) {
+  IpdEngine engine(tiny_params());
+  feed_block(engine, Prefix::root(Family::V4), LinkId{1, 0}, 100, 30);
+  for (int i = 0; i < 500; ++i) {
+    engine.ingest(30, IpAddress::v6(0x2a00ULL << 48, static_cast<std::uint64_t>(i)),
+                  LinkId{2, 0});
+  }
+  engine.run_cycle(60);
+  const auto snapshot = take_snapshot(engine, 60);
+  bool saw4 = false, saw6 = false;
+  for (const auto& row : snapshot) {
+    saw4 |= row.range.family() == Family::V4;
+    saw6 |= row.range.family() == Family::V6;
+  }
+  EXPECT_TRUE(saw4);
+  EXPECT_TRUE(saw6);
+}
+
+}  // namespace
+}  // namespace ipd::core

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/output.hpp"
+
+namespace ipd::core {
+namespace {
+
+using net::Prefix;
+using topology::LinkId;
+
+RangeOutput sample_row() {
+  RangeOutput row;
+  row.ts = 1605571200;
+  row.classified = true;
+  row.s_ingress = 0.997;
+  row.s_ipcount = 4812701;
+  row.n_cidr = 6144;
+  row.range = Prefix::from_string("1.2.0.0/16");
+  row.ingress = IngressId(LinkId{2, 4});
+  row.breakdown = {{LinkId{2, 4}, 4798963.0}, {LinkId{3, 54}, 12220.0}};
+  return row;
+}
+
+TEST(ParseRow, RoundTripsFormatRow) {
+  const auto original = sample_row();
+  const auto restored = parse_row(format_row(original));
+  EXPECT_EQ(restored.ts, original.ts);
+  EXPECT_EQ(restored.range, original.range);
+  EXPECT_NEAR(restored.s_ingress, original.s_ingress, 1e-3);
+  EXPECT_DOUBLE_EQ(restored.s_ipcount, original.s_ipcount);
+  EXPECT_DOUBLE_EQ(restored.n_cidr, original.n_cidr);
+  EXPECT_EQ(restored.ingress, original.ingress);
+  ASSERT_EQ(restored.breakdown.size(), 2u);
+  EXPECT_EQ(restored.breakdown[0].first, original.breakdown[0].first);
+  EXPECT_DOUBLE_EQ(restored.breakdown[1].second, original.breakdown[1].second);
+  EXPECT_TRUE(restored.classified);  // s_ingress 0.997 >= q_hint 0.95
+}
+
+TEST(ParseRow, PaperExampleLine) {
+  // A line with the exact shape of the paper's Table 3 (raw ids).
+  const auto row = parse_row(
+      "1605571200 4 0.510 29996 96 10.0.65.32/28 "
+      "R1.1(R1.1=15305,R11.10=14691)");
+  EXPECT_EQ(row.range.to_string(), "10.0.65.32/28");
+  EXPECT_FALSE(row.classified);  // 0.510 < 0.95: monitoring candidate
+  EXPECT_TRUE(row.ingress.matches(LinkId{1, 1}));
+  EXPECT_EQ(row.breakdown.size(), 2u);
+}
+
+TEST(ParseRow, BundleRoundTrip) {
+  RangeOutput row = sample_row();
+  row.ingress = IngressId(7, {0, 3});
+  row.breakdown = {{LinkId{7, 0}, 50.0}, {LinkId{7, 3}, 48.0}};
+  const auto restored = parse_row(format_row(row));
+  EXPECT_TRUE(restored.ingress.is_bundle());
+  EXPECT_TRUE(restored.ingress.matches(LinkId{7, 3}));
+  EXPECT_FALSE(restored.ingress.matches(LinkId{7, 1}));
+}
+
+TEST(ParseRow, V6RoundTrip) {
+  RangeOutput row = sample_row();
+  row.range = Prefix::from_string("2a00:1::/48");
+  const auto restored = parse_row(format_row(row));
+  EXPECT_EQ(restored.range.to_string(), "2a00:1::/48");
+  EXPECT_EQ(restored.range.family(), net::Family::V6);
+}
+
+TEST(ParseRow, UnclassifiedDashIngress) {
+  RangeOutput row = sample_row();
+  row.classified = false;
+  row.ingress = IngressId{};
+  row.breakdown.clear();
+  row.s_ingress = 0.0;
+  const auto restored = parse_row(format_row(row));
+  EXPECT_FALSE(restored.classified);
+  EXPECT_FALSE(restored.ingress.valid());
+  EXPECT_TRUE(restored.breakdown.empty());
+}
+
+TEST(ParseRow, QHintControlsClassifiedFlag) {
+  const auto line =
+      "100 4 0.700 500 96 10.0.0.0/24 R1.0(R1.0=350,R2.0=150)";
+  EXPECT_FALSE(parse_row(line, 0.95).classified);
+  EXPECT_TRUE(parse_row(line, 0.65).classified);
+}
+
+TEST(ParseRow, RejectsMalformedInput) {
+  EXPECT_THROW(parse_row(""), std::invalid_argument);
+  EXPECT_THROW(parse_row("1 4 0.9 10 5 10.0.0.0/24"), std::invalid_argument);
+  EXPECT_THROW(parse_row("x 4 0.9 10 5 10.0.0.0/24 R1.0(R1.0=10)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_row("1 6 0.9 10 5 10.0.0.0/24 R1.0(R1.0=10)"),
+               std::invalid_argument);  // family tag mismatch
+  EXPECT_THROW(parse_row("1 4 0.9 10 5 10.0.0.0/24 R1.0[R1.0=10]"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_row("1 4 0.9 10 5 10.0.0.0/24 R1.0(R1.0:10)"),
+               std::invalid_argument);
+}
+
+TEST(ParseRow, ToleratesSurroundingWhitespace) {
+  const auto row = parse_row("  100 4 1.000 10 5 10.0.0.0/24 R1.0(R1.0=10)\n");
+  EXPECT_EQ(row.ts, 100);
+}
+
+}  // namespace
+}  // namespace ipd::core

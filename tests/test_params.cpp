@@ -1,0 +1,97 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ipd::core {
+namespace {
+
+TEST(Params, DefaultsMatchPaperTable1) {
+  const IpdParams params;
+  EXPECT_EQ(params.cidr_max4, 28);
+  EXPECT_EQ(params.cidr_max6, 48);
+  EXPECT_DOUBLE_EQ(params.ncidr_factor4, 64.0);
+  EXPECT_DOUBLE_EQ(params.ncidr_factor6, 24.0);
+  EXPECT_DOUBLE_EQ(params.q, 0.95);
+  EXPECT_EQ(params.t, 60);
+  EXPECT_EQ(params.e, 120);
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(Params, NCidrLawMatchesPaperExamples) {
+  // Paper Table 3 used factor 24 for IPv4:
+  //   /28 -> 96, /26 -> 192, /23 -> 543, /16 -> 6144.
+  IpdParams params;
+  params.ncidr_factor4 = 24.0;
+  EXPECT_NEAR(params.n_cidr(net::Family::V4, 28), 96.0, 0.5);
+  EXPECT_NEAR(params.n_cidr(net::Family::V4, 26), 192.0, 0.5);
+  EXPECT_NEAR(params.n_cidr(net::Family::V4, 23), 543.0, 1.0);
+  EXPECT_NEAR(params.n_cidr(net::Family::V4, 16), 6144.0, 1.0);
+}
+
+TEST(Params, NCidrGrowsForLargerRanges) {
+  const IpdParams params;
+  double prev = 0.0;
+  for (int len = 28; len >= 0; --len) {
+    const double n = params.n_cidr(net::Family::V4, len);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+  // /0 with factor 64: 64 * 2^16 = 4194304.
+  EXPECT_NEAR(params.n_cidr(net::Family::V4, 0), 64.0 * 65536.0, 1.0);
+}
+
+TEST(Params, NCidrV6UsesEffective64BitSpan) {
+  const IpdParams params;
+  // /48 with factor 24: 24 * sqrt(2^16) = 6144.
+  EXPECT_NEAR(params.n_cidr(net::Family::V6, 48), 6144.0, 1.0);
+}
+
+TEST(Params, DecayFactorShape) {
+  const IpdParams params;  // t = 60
+  // age 0: 1 - 0.9 = 0.1 (fast initial shrink)
+  EXPECT_NEAR(params.decay_factor(0), 0.1, 1e-12);
+  // age = t: 1 - 0.45 = 0.55
+  EXPECT_NEAR(params.decay_factor(60), 0.55, 1e-12);
+  // age -> inf: -> 1 (slowing shrink)
+  EXPECT_GT(params.decay_factor(6000), 0.98);
+  // monotone increasing in age
+  double prev = 0.0;
+  for (util::Duration age = 0; age < 1000; age += 60) {
+    const double f = params.decay_factor(age);
+    EXPECT_GT(f, prev);
+    EXPECT_LT(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(Params, ValidationRejectsBadValues) {
+  const auto invalid = [](auto mutate) {
+    IpdParams params;
+    mutate(params);
+    EXPECT_THROW(params.validate(), std::invalid_argument);
+  };
+  invalid([](IpdParams& p) { p.cidr_max4 = 0; });
+  invalid([](IpdParams& p) { p.cidr_max4 = 33; });
+  invalid([](IpdParams& p) { p.cidr_max6 = 65; });
+  invalid([](IpdParams& p) { p.ncidr_factor4 = 0.0; });
+  invalid([](IpdParams& p) { p.q = 0.5; });  // paper: q <= 0.5 is ambiguous
+  invalid([](IpdParams& p) { p.q = 1.01; });
+  invalid([](IpdParams& p) { p.t = 0; });
+  invalid([](IpdParams& p) { p.e = 30; });  // e < t
+  invalid([](IpdParams& p) { p.bundle_member_min_share = 0.0; });
+}
+
+TEST(Params, AccessorsDispatchOnFamily) {
+  IpdParams params;
+  params.cidr_max4 = 26;
+  params.cidr_max6 = 44;
+  EXPECT_EQ(params.cidr_max(net::Family::V4), 26);
+  EXPECT_EQ(params.cidr_max(net::Family::V6), 44);
+  EXPECT_DOUBLE_EQ(params.ncidr_factor(net::Family::V4), 64.0);
+  EXPECT_DOUBLE_EQ(params.ncidr_factor(net::Family::V6), 24.0);
+}
+
+}  // namespace
+}  // namespace ipd::core

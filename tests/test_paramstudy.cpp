@@ -1,0 +1,118 @@
+#include "analysis/paramstudy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.hpp"
+
+namespace ipd::analysis {
+namespace {
+
+TEST(FactorialDesign, ExpandsAllCombinations) {
+  const auto design = factorial_design({0.8, 0.95}, {1.0, 2.0}, {0.5, 1.0},
+                                       {24, 28}, {40, 48});
+  EXPECT_EQ(design.size(), 2u * 2u * 2u);
+  std::set<std::tuple<double, double, int>> combos;
+  for (const auto& params : design) {
+    combos.insert({params.q, params.ncidr_factor4, params.cidr_max4});
+    // v4/v6 levels are tied index-wise.
+    if (params.ncidr_factor4 == 1.0) {
+      EXPECT_DOUBLE_EQ(params.ncidr_factor6, 0.5);
+    }
+    if (params.cidr_max4 == 24) {
+      EXPECT_EQ(params.cidr_max6, 40);
+    }
+  }
+  EXPECT_EQ(combos.size(), 8u);
+}
+
+TEST(FactorialDesign, RejectsUnpairedLevels) {
+  EXPECT_THROW(factorial_design({0.9}, {1.0, 2.0}, {0.5}, {24}, {40}),
+               std::invalid_argument);
+  EXPECT_THROW(factorial_design({0.9}, {1.0}, {0.5}, {24, 28}, {40}),
+               std::invalid_argument);
+}
+
+TEST(Table2Design, MatchesPaperShape) {
+  const auto design = table2_design();
+  // 5 q levels x 4 factor pairs x 9 cidr_max pairs = 180 sets.
+  EXPECT_EQ(design.size(), 180u);
+  std::set<double> qs;
+  std::set<int> maxes;
+  for (const auto& params : design) {
+    qs.insert(params.q);
+    maxes.insert(params.cidr_max4);
+  }
+  EXPECT_EQ(qs.size(), 5u);
+  EXPECT_EQ(maxes.size(), 9u);
+}
+
+TEST(Table2Design, FactorScaleApplies) {
+  const auto design = table2_design(0.5);
+  bool saw_32 = false;
+  for (const auto& params : design) {
+    saw_32 |= params.ncidr_factor4 == 16.0;  // 32 * 0.5
+  }
+  EXPECT_TRUE(saw_32);
+}
+
+TEST(GroupByFactor, GroupsMetricValues) {
+  std::vector<ParamStudyMetrics> results(4);
+  results[0].params.q = 0.8;
+  results[0].accuracy_all = 0.9;
+  results[1].params.q = 0.8;
+  results[1].accuracy_all = 0.92;
+  results[2].params.q = 0.95;
+  results[2].accuracy_all = 0.91;
+  results[3].params.q = 0.95;
+  results[3].accuracy_all = 0.89;
+  const auto groups = group_by_factor(
+      results, [](const core::IpdParams& p) { return p.q; },
+      [](const ParamStudyMetrics& m) { return m.accuracy_all; });
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[1].size(), 2u);
+}
+
+TEST(EvaluateParams, ProducesSaneMetricsOnSmallTrace) {
+  workload::ScenarioConfig scenario = workload::small_test();
+  scenario.flows_per_minute = 3000;
+  workload::FlowGenerator gen(scenario);
+  std::vector<netflow::FlowRecord> trace;
+  gen.run(0, 35 * 60, [&](const netflow::FlowRecord& r) { trace.push_back(r); });
+
+  const core::IpdParams params = workload::scaled_params(scenario);
+  const auto metrics =
+      evaluate_params(trace, gen.topology(), gen.universe(), params);
+
+  EXPECT_GT(metrics.accuracy_all, 0.15);  // includes the cold-start bins
+  EXPECT_LE(metrics.accuracy_all, 1.0);
+  EXPECT_GT(metrics.final_classified, 0u);
+  EXPECT_GT(metrics.peak_memory_mb, 0.0);
+  EXPECT_GE(metrics.mean_cycle_ms, 0.0);
+  EXPECT_GT(metrics.mean_ranges, 0.0);
+  EXPECT_LE(metrics.ks_distance, 1.0);
+}
+
+TEST(EvaluateParams, HigherCidrMaxMoreRanges) {
+  workload::ScenarioConfig scenario = workload::small_test();
+  scenario.flows_per_minute = 3000;
+  workload::FlowGenerator gen(scenario);
+  std::vector<netflow::FlowRecord> trace;
+  gen.run(0, 40 * 60, [&](const netflow::FlowRecord& r) { trace.push_back(r); });
+
+  core::IpdParams shallow = workload::scaled_params(scenario);
+  shallow.cidr_max4 = 14;
+  core::IpdParams deep = shallow;
+  deep.cidr_max4 = 28;
+
+  const auto m_shallow = evaluate_params(trace, gen.topology(), gen.universe(), shallow);
+  const auto m_deep = evaluate_params(trace, gen.topology(), gen.universe(), deep);
+  // A /14-capped partition cannot track per-/24 mapping units; the deep
+  // configuration ends with a finer (larger) partition.
+  EXPECT_GT(m_deep.mean_ranges, m_shallow.mean_ranges);
+}
+
+}  // namespace
+}  // namespace ipd::analysis

@@ -1,0 +1,104 @@
+#include "net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::net {
+namespace {
+
+TEST(Prefix, RoundTripAndCanonicalization) {
+  const auto p = Prefix::from_string("10.1.2.3/16");
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");  // host bits cleared
+  EXPECT_EQ(p.length(), 16);
+  EXPECT_EQ(p.family(), Family::V4);
+}
+
+TEST(Prefix, V6RoundTrip) {
+  const auto p = Prefix::from_string("2001:db8::/32");
+  EXPECT_EQ(p.to_string(), "2001:db8::/32");
+  EXPECT_EQ(p.width(), 128);
+}
+
+TEST(Prefix, RejectsMalformed) {
+  EXPECT_THROW(Prefix::from_string("10.0.0.0"), std::invalid_argument);
+  EXPECT_THROW(Prefix::from_string("10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW(Prefix::from_string("::/129"), std::invalid_argument);
+  EXPECT_THROW(Prefix(IpAddress::v4(0), -1), std::invalid_argument);
+  EXPECT_THROW(Prefix(IpAddress::v4(0), 33), std::invalid_argument);
+}
+
+TEST(Prefix, ContainsIp) {
+  const auto p = Prefix::from_string("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(IpAddress::from_string("10.1.255.255")));
+  EXPECT_FALSE(p.contains(IpAddress::from_string("10.2.0.0")));
+  EXPECT_FALSE(p.contains(IpAddress::from_string("2001:db8::1")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const auto p = Prefix::from_string("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Prefix::from_string("10.1.0.0/16")));
+  EXPECT_TRUE(p.contains(p));
+  EXPECT_FALSE(p.contains(Prefix::from_string("0.0.0.0/0")));
+  EXPECT_FALSE(p.contains(Prefix::from_string("11.0.0.0/16")));
+}
+
+TEST(Prefix, RootCoversEverything) {
+  const auto root = Prefix::root(Family::V4);
+  EXPECT_EQ(root.to_string(), "0.0.0.0/0");
+  EXPECT_TRUE(root.contains(IpAddress::from_string("255.1.2.3")));
+  const auto root6 = Prefix::root(Family::V6);
+  EXPECT_TRUE(root6.contains(IpAddress::from_string("ffff::1")));
+}
+
+TEST(Prefix, FamilyTree) {
+  const auto p = Prefix::from_string("10.128.0.0/9");
+  EXPECT_EQ(p.parent().to_string(), "10.0.0.0/8");
+  EXPECT_EQ(p.sibling().to_string(), "10.0.0.0/9");
+  EXPECT_EQ(p.sibling().sibling(), p);
+  EXPECT_EQ(p.child(0).to_string(), "10.128.0.0/10");
+  EXPECT_EQ(p.child(1).to_string(), "10.192.0.0/10");
+  EXPECT_TRUE(p.is_high_child());
+  EXPECT_FALSE(p.sibling().is_high_child());
+}
+
+TEST(Prefix, ChildrenPartitionParent) {
+  const auto p = Prefix::from_string("192.168.0.0/16");
+  const auto c0 = p.child(0);
+  const auto c1 = p.child(1);
+  EXPECT_EQ(c0.parent(), p);
+  EXPECT_EQ(c1.parent(), p);
+  EXPECT_EQ(c0.sibling(), c1);
+  EXPECT_TRUE(p.contains(c0));
+  EXPECT_TRUE(p.contains(c1));
+  EXPECT_FALSE(c0.contains(c1));
+}
+
+TEST(Prefix, AddressCount) {
+  EXPECT_DOUBLE_EQ(Prefix::from_string("10.0.0.0/24").address_count(), 256.0);
+  EXPECT_DOUBLE_EQ(Prefix::from_string("10.0.0.0/32").address_count(), 1.0);
+  EXPECT_DOUBLE_EQ(Prefix::root(Family::V4).address_count(), 4294967296.0);
+}
+
+TEST(Prefix, NthSubprefix) {
+  const auto block = Prefix::from_string("10.0.0.0/8");
+  EXPECT_EQ(block.nth_subprefix(0, 16).to_string(), "10.0.0.0/16");
+  EXPECT_EQ(block.nth_subprefix(1, 16).to_string(), "10.1.0.0/16");
+  EXPECT_EQ(block.nth_subprefix(255, 16).to_string(), "10.255.0.0/16");
+  // Degenerate: sub_len == length.
+  EXPECT_EQ(block.nth_subprefix(0, 8), block);
+}
+
+TEST(Prefix, NthSubprefixV6) {
+  const auto block = Prefix::from_string("2001:db8::/32");
+  EXPECT_EQ(block.nth_subprefix(1, 48).to_string(), "2001:db8:1::/48");
+  EXPECT_EQ(block.nth_subprefix(0xffff, 48).to_string(), "2001:db8:ffff::/48");
+}
+
+TEST(Prefix, OrderingAndHash) {
+  const auto a = Prefix::from_string("10.0.0.0/8");
+  const auto b = Prefix::from_string("10.0.0.0/9");
+  EXPECT_LT(a, b);  // same address, shorter first
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace ipd::net

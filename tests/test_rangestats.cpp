@@ -1,0 +1,179 @@
+#include "analysis/rangestats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builder.hpp"
+
+namespace ipd::analysis {
+namespace {
+
+using core::IngressId;
+using core::RangeOutput;
+using core::Snapshot;
+using net::Prefix;
+using topology::LinkId;
+
+RangeOutput row(const std::string& prefix, LinkId link, double count = 100.0,
+                bool classified = true) {
+  RangeOutput r;
+  r.ts = 0;
+  r.classified = classified;
+  r.range = Prefix::from_string(prefix);
+  r.ingress = IngressId(link);
+  r.s_ipcount = count;
+  return r;
+}
+
+TEST(MaskHistogram, CountsClassifiedByLength) {
+  Snapshot snapshot{row("10.0.0.0/24", LinkId{1, 0}),
+                    row("10.0.1.0/24", LinkId{1, 0}),
+                    row("10.1.0.0/16", LinkId{1, 0}),
+                    row("10.2.0.0/16", LinkId{1, 0}, 1.0, /*classified=*/false)};
+  const auto hist = snapshot_mask_histogram(snapshot, net::Family::V4);
+  EXPECT_EQ(hist[24], 2u);
+  EXPECT_EQ(hist[16], 1u);  // the unclassified /16 is not counted
+}
+
+TEST(MaskHistogram, FilterApplies) {
+  Snapshot snapshot{row("10.0.0.0/24", LinkId{1, 0}, 500),
+                    row("10.0.1.0/24", LinkId{1, 0}, 5)};
+  const auto hist = snapshot_mask_histogram(
+      snapshot, net::Family::V4,
+      [](const RangeOutput& r) { return r.s_ipcount > 100; });
+  EXPECT_EQ(hist[24], 1u);
+}
+
+TEST(Specificity, ClassifiesRelations) {
+  bgp::Rib rib;
+  rib.add(Prefix::from_string("10.0.0.0/16"), bgp::RibEntry{});
+  rib.add(Prefix::from_string("20.0.0.0/24"), bgp::RibEntry{});
+  rib.add(Prefix::from_string("30.0.0.0/20"), bgp::RibEntry{});
+
+  Snapshot snapshot{
+      row("10.0.128.0/24", LinkId{1, 0}),  // more specific than BGP /16
+      row("20.0.0.0/24", LinkId{1, 0}),    // exact
+      row("30.0.0.0/18", LinkId{1, 0}),    // less specific... but LPM of the
+                                           // range address finds /20 -> IPD
+                                           // /18 < 20 => less specific
+      row("99.0.0.0/24", LinkId{1, 0}),    // unmatched
+  };
+  const auto counts = compare_specificity(snapshot, rib);
+  EXPECT_EQ(counts.ipd_more_specific, 1u);
+  EXPECT_EQ(counts.exact, 1u);
+  EXPECT_EQ(counts.ipd_less_specific, 1u);
+  EXPECT_EQ(counts.unmatched, 1u);
+  EXPECT_EQ(counts.compared(), 3u);
+}
+
+TEST(Symmetry, ComparesIngressAndEgressRouters) {
+  bgp::Rib rib;
+  rib.add(Prefix::from_string("10.0.0.0/16"), bgp::RibEntry{0, {1}, 1});
+  rib.add(Prefix::from_string("20.0.0.0/16"), bgp::RibEntry{0, {2}, 9});
+
+  Snapshot snapshot{row("10.0.0.0/24", LinkId{1, 0}),   // symmetric
+                    row("20.0.0.0/24", LinkId{2, 0})};  // egress 9 != 2
+  const auto result = symmetry_ratio(snapshot, rib);
+  EXPECT_EQ(result.compared, 2u);
+  EXPECT_EQ(result.symmetric, 1u);
+  EXPECT_DOUBLE_EQ(result.ratio(), 0.5);
+}
+
+TEST(Symmetry, FilterRestrictsRows) {
+  bgp::Rib rib;
+  rib.add(Prefix::from_string("10.0.0.0/16"), bgp::RibEntry{0, {1}, 1});
+  Snapshot snapshot{row("10.0.0.0/24", LinkId{1, 0}, 5.0),
+                    row("10.0.1.0/24", LinkId{1, 0}, 500.0)};
+  const auto result = symmetry_ratio(snapshot, rib, [](const RangeOutput& r) {
+    return r.s_ipcount > 100.0;
+  });
+  EXPECT_EQ(result.compared, 1u);
+}
+
+class ViolationTest : public ::testing::Test {
+ protected:
+  ViolationTest() : topo_(topology::build_skeleton({})) {
+    workload::UniverseConfig config;
+    config.seed = 17;
+    universe_ = workload::build_universe(topo_, config);
+  }
+  topology::Topology topo_;
+  workload::Universe universe_;
+};
+
+TEST_F(ViolationTest, DetectsNonPeeringIngress) {
+  const OwnerIndex owners(universe_);
+  const auto& tier1 = universe_.tier1_indices();
+  ASSERT_GE(tier1.size(), 2u);
+  const auto& as_ok = universe_.ases()[tier1[0]];
+  const auto& as_bad = universe_.ases()[tier1[1]];
+
+  // A transit link somewhere in the topology (not a peering link of the AS).
+  topology::LinkId transit{};
+  for (const auto& intf : topo_.interfaces()) {
+    if (intf.type == topology::LinkType::Transit) {
+      transit = intf.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(transit.valid());
+
+  Snapshot snapshot;
+  // Range of tier1[0] entering via its own PNI: fine.
+  auto good = row(as_ok.blocks_v4.front().to_string(), as_ok.links.front());
+  snapshot.push_back(good);
+  // Range of tier1[1] entering via a transit link: violation.
+  auto bad = row(as_bad.blocks_v4.front().to_string(), transit);
+  snapshot.push_back(bad);
+  // A non-tier1 range via transit: irrelevant.
+  const auto& normal = universe_.ases()[0];
+  snapshot.push_back(row(normal.blocks_v4.front().to_string(), transit));
+
+  const auto scan = scan_violations(snapshot, universe_, topo_, owners);
+  EXPECT_EQ(scan.total_tier1_ranges, 2u);
+  EXPECT_EQ(scan.total_violations, 1u);
+  EXPECT_EQ(scan.violations_per_tier1[0], 0u);
+  EXPECT_EQ(scan.violations_per_tier1[1], 1u);
+}
+
+TEST(Elephants, SelectsTopFractionBySamples) {
+  Snapshot snapshot;
+  for (int i = 0; i < 100; ++i) {
+    snapshot.push_back(row("10." + std::to_string(i) + ".0.0/16", LinkId{1, 0},
+                           static_cast<double>(i + 1)));
+  }
+  const auto elephants = select_elephants(snapshot, 0.01);
+  ASSERT_EQ(elephants.size(), 1u);
+  EXPECT_DOUBLE_EQ(elephants[0]->s_ipcount, 100.0);
+
+  const auto top10 = select_elephants(snapshot, 0.10);
+  EXPECT_EQ(top10.size(), 10u);
+  EXPECT_DOUBLE_EQ(top10.back()->s_ipcount, 91.0);
+}
+
+TEST_F(ViolationTest, CompositionStats) {
+  const OwnerIndex owners(universe_);
+  const auto top5 = universe_.top_indices(5);
+  const auto& hyper = universe_.ases()[top5[0]];  // hypergiant, PNI links
+
+  Snapshot snapshot;
+  snapshot.push_back(row(hyper.blocks_v4.front().to_string(), hyper.links.front()));
+  std::vector<const RangeOutput*> rows{&snapshot[0]};
+  const auto stats = composition(rows, universe_, topo_, owners);
+  EXPECT_DOUBLE_EQ(stats.pni_share, 1.0);
+  EXPECT_DOUBLE_EQ(stats.top5_share, 1.0);
+  EXPECT_DOUBLE_EQ(stats.top20_share, 1.0);
+}
+
+TEST(DaytimeAggregate, SumsSpaceAndPrefixes) {
+  Snapshot snapshot{row("10.0.0.0/24", LinkId{1, 0}),
+                    row("10.1.0.0/16", LinkId{1, 0}),
+                    row("99.0.0.0/16", LinkId{1, 0}, 1.0, false)};
+  const auto agg = aggregate_snapshot(snapshot, net::Family::V4);
+  EXPECT_DOUBLE_EQ(agg.mapped_address_space, 256.0 + 65536.0);
+  EXPECT_EQ(agg.prefix_count, 2u);
+  EXPECT_EQ(agg.prefixes_per_mask[24], 1u);
+  EXPECT_EQ(agg.prefixes_per_mask[16], 1u);
+}
+
+}  // namespace
+}  // namespace ipd::analysis

@@ -1,0 +1,147 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ipd::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 1.5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedSamplingFollowsWeights) {
+  Rng rng(15);
+  const std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 40000; ++i) {
+    if (rng.weighted(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / 40000.0, 0.75, 0.02);
+}
+
+TEST(DiscreteSampler, MatchesProbabilities) {
+  const std::vector<double> weights{2.0, 1.0, 1.0};
+  DiscreteSampler sampler(weights);
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_NEAR(sampler.probability(0), 0.5, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.25, 1e-12);
+
+  Rng rng(16);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / 40000.0, 0.5, 0.02);
+  EXPECT_NEAR(counts[1] / 40000.0, 0.25, 0.02);
+}
+
+TEST(DiscreteSampler, RejectsDegenerateInput) {
+  const auto make = [](const std::vector<double>& w) { return DiscreteSampler(w); };
+  EXPECT_THROW(make({}), std::invalid_argument);
+  EXPECT_THROW(make({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(make({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ZipfWeights, DecreasingAndNormalizable) {
+  const auto w = zipf_weights(10, 1.0);
+  ASSERT_EQ(w.size(), 10u);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+}  // namespace
+}  // namespace ipd::util

@@ -1,0 +1,67 @@
+#include "netflow/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::netflow {
+namespace {
+
+TEST(RandomSampler, RateOneKeepsEverything) {
+  RandomSampler sampler(1, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.keep());
+}
+
+TEST(RandomSampler, ApproximatesRate) {
+  RandomSampler sampler(100, 42);
+  int kept = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) kept += sampler.keep() ? 1 : 0;
+  EXPECT_NEAR(kept / static_cast<double>(n), 0.01, 0.002);
+}
+
+TEST(RandomSampler, RejectsZeroRate) {
+  EXPECT_THROW(RandomSampler(0), std::invalid_argument);
+}
+
+TEST(RandomSampler, KeepCountSmallExact) {
+  RandomSampler sampler(2, 7);
+  // Binomial thinning of 10 packets at 1/2: result in [0, 10].
+  for (int i = 0; i < 100; ++i) {
+    const auto kept = sampler.keep_count(10);
+    EXPECT_LE(kept, 10u);
+  }
+}
+
+TEST(RandomSampler, KeepCountLargeApproximation) {
+  RandomSampler sampler(1000, 7);
+  // 1e6 packets at 1/1000: expect ~1000 +- a few sigma (sigma ~ 31.6).
+  double sum = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    const auto kept = sampler.keep_count(1000000);
+    EXPECT_LT(kept, 1400u);
+    sum += static_cast<double>(kept);
+  }
+  EXPECT_NEAR(sum / reps, 1000.0, 30.0);
+}
+
+TEST(SystematicSampler, ExactPeriod) {
+  SystematicSampler sampler(5);
+  int kept = 0;
+  for (int i = 0; i < 50; ++i) kept += sampler.keep() ? 1 : 0;
+  EXPECT_EQ(kept, 10);
+}
+
+TEST(SystematicSampler, FirstKeepAfterRatePackets) {
+  SystematicSampler sampler(3);
+  EXPECT_FALSE(sampler.keep());
+  EXPECT_FALSE(sampler.keep());
+  EXPECT_TRUE(sampler.keep());
+  EXPECT_FALSE(sampler.keep());
+}
+
+TEST(SystematicSampler, RejectsZeroRate) {
+  EXPECT_THROW(SystematicSampler(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipd::netflow

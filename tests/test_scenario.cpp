@@ -1,0 +1,70 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::workload {
+namespace {
+
+TEST(Presets, PaperDefaultShape) {
+  const ScenarioConfig config = paper_default();
+  EXPECT_EQ(config.universe.n_ases, 40);
+  EXPECT_EQ(config.universe.n_tier1, 16);  // the paper monitors 16 tier-1s
+  EXPECT_EQ(config.universe.hypergiant_count, 6);
+  EXPECT_GT(config.flows_per_minute, 0u);
+  EXPECT_FALSE(config.load_balancers.empty());
+  EXPECT_FALSE(config.pop_diverts.empty());
+  EXPECT_GE(config.bundle_as_rank, 0);
+}
+
+TEST(Presets, SmallTestIsSmaller) {
+  const ScenarioConfig small = small_test();
+  const ScenarioConfig big = paper_default();
+  EXPECT_LT(small.flows_per_minute, big.flows_per_minute);
+  EXPECT_LT(small.universe.n_ases, big.universe.n_ases);
+  EXPECT_LT(small.universe.unit_scale, 1.01);
+}
+
+TEST(ScaledParams, RootThresholdBelowStandingSamples) {
+  // The whole point of the scaling: the v4 root must be splittable — its
+  // n_cidr threshold must sit below the standing sample count rate*e.
+  for (const std::uint64_t fpm : {2000ull, 8000ull, 60000ull, 500000ull}) {
+    ScenarioConfig scenario = paper_default();
+    scenario.flows_per_minute = fpm;
+    const core::IpdParams params = scaled_params(scenario);
+    const double standing =
+        static_cast<double>(fpm) / 60.0 * static_cast<double>(params.e);
+    EXPECT_LT(params.n_cidr(net::Family::V4, 0), standing)
+        << "fpm=" << fpm;
+    EXPECT_NO_THROW(params.validate());
+  }
+}
+
+TEST(ScaledParams, ScalesLinearlyWithVolume) {
+  ScenarioConfig a = paper_default(), b = paper_default();
+  a.flows_per_minute = 10000;
+  b.flows_per_minute = 20000;
+  const auto pa = scaled_params(a), pb = scaled_params(b);
+  EXPECT_NEAR(pb.ncidr_factor4 / pa.ncidr_factor4, 2.0, 1e-6);
+}
+
+TEST(ScaledParams, KeepsFloorAndDefaults) {
+  const core::IpdParams params = scaled_params(paper_default());
+  EXPECT_GT(params.ncidr_floor, 0.0);
+  // Table-1 structure unchanged: only the factors are rescaled.
+  EXPECT_EQ(params.cidr_max4, 28);
+  EXPECT_EQ(params.cidr_max6, 48);
+  EXPECT_DOUBLE_EQ(params.q, 0.95);
+  EXPECT_EQ(params.t, 60);
+  EXPECT_EQ(params.e, 120);
+}
+
+TEST(ScaledParams, MarginParameterTightensThreshold) {
+  const ScenarioConfig scenario = paper_default();
+  const auto loose = scaled_params(scenario, 1.2);
+  const auto tight = scaled_params(scenario, 3.0);
+  // Larger margin -> smaller factor -> lower thresholds.
+  EXPECT_LT(tight.ncidr_factor4, loose.ncidr_factor4);
+}
+
+}  // namespace
+}  // namespace ipd::workload

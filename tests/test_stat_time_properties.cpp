@@ -1,0 +1,103 @@
+// Property sweeps for the statistical-time pre-processing: across bucket
+// lengths, thresholds and drift severities, the invariants must hold:
+// conservation (in = out + dropped), bucket-ordered emission, and no
+// emission from below-threshold buckets.
+#include <gtest/gtest.h>
+
+#include "netflow/clock_drift.hpp"
+#include "netflow/statistical_time.hpp"
+#include "util/rng.hpp"
+
+namespace ipd::netflow {
+namespace {
+
+struct SweepParam {
+  util::Duration bucket_len;
+  std::uint64_t activity_threshold;
+  util::Duration max_skew;
+  double broken_clock_prob;
+};
+
+class StatTimeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(StatTimeSweep, InvariantsHoldUnderDriftedTraffic) {
+  const auto param = GetParam();
+  StatisticalTimeConfig config;
+  config.bucket_len = param.bucket_len;
+  config.activity_threshold = param.activity_threshold;
+  config.max_skew = param.max_skew;
+
+  std::vector<FlowRecord> emitted;
+  StatisticalTime st(config,
+                     [&](const FlowRecord& r) { emitted.push_back(r); });
+
+  ClockDriftConfig drift_config;
+  drift_config.broken_clock_prob = param.broken_clock_prob;
+  drift_config.offset_stddev_s = 1.5;
+  drift_config.jitter_stddev_s = 0.5;
+  ClockDriftModel drift(drift_config, 17);
+
+  util::Rng rng(99);
+  const util::Timestamp t0 = 100000;
+  for (int step = 0; step < 4000; ++step) {
+    FlowRecord r;
+    const util::Timestamp true_ts =
+        t0 + step / 4;  // ~4 records per true second
+    r.ts = drift.apply(static_cast<topology::RouterId>(rng.below(20)), true_ts);
+    r.src_ip = net::IpAddress::v4(static_cast<std::uint32_t>(rng()));
+    r.ingress = topology::LinkId{1, 0};
+    st.offer(r);
+  }
+  st.flush();
+
+  const auto& stats = st.stats();
+  // Conservation.
+  EXPECT_EQ(stats.records_in, 4000u);
+  EXPECT_EQ(stats.records_out + stats.dropped_skew + stats.dropped_inactive,
+            stats.records_in);
+  EXPECT_EQ(stats.records_out, emitted.size());
+
+  // Emission is bucket-ordered (non-decreasing bucket index).
+  std::int64_t last_bucket = -1;
+  for (const auto& r : emitted) {
+    const auto bucket = util::bucket_index(r.ts, config.bucket_len);
+    EXPECT_GE(bucket, last_bucket);
+    last_bucket = std::max(last_bucket, bucket);
+  }
+
+  // Every emitted bucket met the activity threshold.
+  std::map<std::int64_t, std::uint64_t> per_bucket;
+  for (const auto& r : emitted) {
+    ++per_bucket[util::bucket_index(r.ts, config.bucket_len)];
+  }
+  for (const auto& [bucket, n] : per_bucket) {
+    (void)bucket;
+    EXPECT_GE(n, config.activity_threshold);
+  }
+
+  // With healthy clocks almost everything survives; with broken clocks the
+  // skew filter must have removed something.
+  if (param.broken_clock_prob == 0.0) {
+    EXPECT_GT(stats.records_out, stats.records_in * 9 / 10);
+  } else {
+    EXPECT_GT(stats.dropped_skew, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StatTimeSweep,
+    ::testing::Values(SweepParam{60, 1, 300, 0.0},
+                      SweepParam{60, 10, 300, 0.0},
+                      SweepParam{60, 10, 120, 0.15},
+                      SweepParam{30, 5, 150, 0.1},
+                      SweepParam{300, 50, 600, 0.0},
+                      SweepParam{10, 2, 60, 0.2}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "bucket" + std::to_string(info.param.bucket_len) + "_thr" +
+             std::to_string(info.param.activity_threshold) + "_skew" +
+             std::to_string(info.param.max_skew) + "_broken" +
+             std::to_string(static_cast<int>(info.param.broken_clock_prob * 100));
+    });
+
+}  // namespace
+}  // namespace ipd::netflow

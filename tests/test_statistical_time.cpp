@@ -1,0 +1,181 @@
+#include "netflow/statistical_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netflow/clock_drift.hpp"
+
+namespace ipd::netflow {
+namespace {
+
+FlowRecord rec(util::Timestamp ts) {
+  FlowRecord r;
+  r.ts = ts;
+  r.src_ip = net::IpAddress::v4(static_cast<std::uint32_t>(ts));
+  r.ingress = topology::LinkId{1, 0};
+  return r;
+}
+
+TEST(StatisticalTime, EmitsActiveBucketsInOrder) {
+  std::vector<FlowRecord> out;
+  StatisticalTimeConfig config;
+  config.bucket_len = 60;
+  config.activity_threshold = 2;
+  StatisticalTime st(config, [&](const FlowRecord& r) { out.push_back(r); });
+
+  // Two active buckets, slightly out of order inside each.
+  st.offer(rec(10));
+  st.offer(rec(5));
+  st.offer(rec(70));
+  st.offer(rec(75));
+  st.flush();
+
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].ts, 10);  // bucket 0 first, original intra-bucket order
+  EXPECT_EQ(out[1].ts, 5);
+  EXPECT_EQ(out[2].ts, 70);
+  EXPECT_EQ(st.stats().buckets_emitted, 2u);
+}
+
+TEST(StatisticalTime, DiscardsInactiveBuckets) {
+  std::vector<FlowRecord> out;
+  StatisticalTimeConfig config;
+  config.bucket_len = 60;
+  config.activity_threshold = 3;
+  StatisticalTime st(config, [&](const FlowRecord& r) { out.push_back(r); });
+
+  st.offer(rec(5));   // bucket 0: only 1 record -> discarded
+  st.offer(rec(70));
+  st.offer(rec(71));
+  st.offer(rec(72));  // bucket 1: 3 records -> emitted
+  st.flush();
+
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(st.stats().dropped_inactive, 1u);
+  EXPECT_EQ(st.stats().buckets_discarded, 1u);
+}
+
+TEST(StatisticalTime, DropsRecordsFarFromWatermark) {
+  std::vector<FlowRecord> out;
+  StatisticalTimeConfig config;
+  config.bucket_len = 60;
+  config.activity_threshold = 1;
+  config.max_skew = 300;
+  StatisticalTime st(config, [&](const FlowRecord& r) { out.push_back(r); });
+
+  st.offer(rec(1000));
+  st.offer(rec(1000 + 3600));  // a broken clock, way in the future
+  st.offer(rec(1000 - 3600));  // and way in the past
+  st.offer(rec(1010));
+  st.flush();
+
+  EXPECT_EQ(st.stats().dropped_skew, 2u);
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(StatisticalTime, WatermarkAdvancesWithPlausibleRecords) {
+  StatisticalTimeConfig config;
+  config.max_skew = 300;
+  StatisticalTime st(config, [](const FlowRecord&) {});
+  st.offer(rec(100));
+  EXPECT_EQ(st.watermark(), 100);
+  st.offer(rec(250));
+  EXPECT_EQ(st.watermark(), 250);
+  st.offer(rec(200));  // older but plausible: watermark unchanged
+  EXPECT_EQ(st.watermark(), 250);
+  EXPECT_EQ(st.stats().dropped_skew, 0u);
+}
+
+TEST(StatisticalTime, SealsOnlySettledBuckets) {
+  std::vector<FlowRecord> out;
+  StatisticalTimeConfig config;
+  config.bucket_len = 60;
+  config.activity_threshold = 1;
+  config.settle_buckets = 2;
+  config.max_skew = 600;
+  StatisticalTime st(config, [&](const FlowRecord& r) { out.push_back(r); });
+
+  st.offer(rec(10));
+  st.offer(rec(70));
+  EXPECT_TRUE(out.empty());  // nothing settled yet
+  st.offer(rec(200));        // watermark bucket 3: bucket 0 seals
+  EXPECT_EQ(out.size(), 1u);
+  st.flush();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(StatisticalTime, StatsBalance) {
+  StatisticalTimeConfig config;
+  config.bucket_len = 60;
+  config.activity_threshold = 2;
+  StatisticalTime st(config, [](const FlowRecord&) {});
+  for (int i = 0; i < 100; ++i) st.offer(rec(i * 17 % 240));
+  st.flush();
+  const auto& s = st.stats();
+  EXPECT_EQ(s.records_in, 100u);
+  EXPECT_EQ(s.records_out + s.dropped_skew + s.dropped_inactive, 100u);
+}
+
+TEST(StatisticalTime, RejectsBadConfig) {
+  StatisticalTimeConfig config;
+  config.bucket_len = 0;
+  EXPECT_THROW(StatisticalTime(config, [](const FlowRecord&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(StatisticalTime(StatisticalTimeConfig{}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ClockDrift, ConstantPerRouterOffset) {
+  ClockDriftConfig config;
+  config.jitter_stddev_s = 0.0;
+  ClockDriftModel model(config, 99);
+  const auto a1 = model.apply(7, 1000);
+  const auto a2 = model.apply(7, 2000);
+  EXPECT_EQ(a2 - a1, 1000);  // same offset both times
+}
+
+TEST(ClockDrift, BrokenClocksAreFarOff) {
+  ClockDriftConfig config;
+  config.broken_clock_prob = 1.0;  // every router broken
+  config.jitter_stddev_s = 0.0;
+  ClockDriftModel model(config, 1);
+  EXPECT_TRUE(model.is_broken(3));
+  const auto drifted = model.apply(3, 10000);
+  EXPECT_GT(std::abs(drifted - 10000), 1000);
+}
+
+TEST(ClockDrift, EndToEndWithStatisticalTime) {
+  // Drifted export timestamps from a broken router are filtered out while
+  // healthy routers' records survive.
+  ClockDriftConfig drift_config;
+  drift_config.broken_clock_prob = 0.0;
+  drift_config.offset_stddev_s = 1.0;
+  drift_config.jitter_stddev_s = 0.2;
+  ClockDriftModel drift(drift_config, 5);
+
+  StatisticalTimeConfig st_config;
+  st_config.bucket_len = 60;
+  st_config.activity_threshold = 5;
+  st_config.max_skew = 120;
+  std::uint64_t emitted = 0;
+  StatisticalTime st(st_config, [&](const FlowRecord&) { ++emitted; });
+
+  for (int minute = 0; minute < 5; ++minute) {
+    for (int i = 0; i < 50; ++i) {
+      auto r = rec(minute * 60 + i);
+      r.ts = drift.apply(static_cast<topology::RouterId>(i % 10), r.ts);
+      st.offer(r);
+    }
+    // one wildly-off record per minute
+    auto bad = rec(minute * 60 + 30);
+    bad.ts += 7200;
+    st.offer(bad);
+  }
+  st.flush();
+  EXPECT_EQ(st.stats().dropped_skew, 5u);
+  EXPECT_GT(emitted, 200u);
+}
+
+}  // namespace
+}  // namespace ipd::netflow

@@ -1,0 +1,70 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(starts_with("foo", ""));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(ParseUint, ParsesValues) {
+  EXPECT_EQ(parse_uint("0", 255), 0u);
+  EXPECT_EQ(parse_uint("255", 255), 255u);
+  EXPECT_EQ(parse_uint("12345", 1u << 20), 12345u);
+}
+
+TEST(ParseUint, RejectsBadInput) {
+  EXPECT_THROW(parse_uint("", 255), std::invalid_argument);
+  EXPECT_THROW(parse_uint("12a", 255), std::invalid_argument);
+  EXPECT_THROW(parse_uint("-1", 255), std::invalid_argument);
+  EXPECT_THROW(parse_uint("256", 255), std::invalid_argument);
+  EXPECT_THROW(parse_uint("99999999999999999999999", ~0ULL),
+               std::invalid_argument);
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace ipd::util

@@ -1,0 +1,88 @@
+#include "netflow/text_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ipd::netflow {
+namespace {
+
+FlowRecord sample() {
+  FlowRecord r;
+  r.ts = 1605571200;
+  r.src_ip = net::IpAddress::from_string("203.0.113.9");
+  r.dst_ip = net::IpAddress::from_string("10.1.2.3");
+  r.packets = 3;
+  r.bytes = 4242;
+  r.ingress = topology::LinkId{30, 1};
+  return r;
+}
+
+TEST(TextIo, FormatLine) {
+  EXPECT_EQ(format_csv_line(sample()),
+            "1605571200,203.0.113.9,10.1.2.3,3,4242,30,1");
+}
+
+TEST(TextIo, RoundTrip) {
+  std::vector<FlowRecord> records{sample()};
+  auto v6 = sample();
+  v6.src_ip = net::IpAddress::from_string("2a00:1::42");
+  records.push_back(v6);
+
+  std::stringstream buf;
+  write_csv(buf, records);
+  const auto result = read_csv(buf);
+  EXPECT_EQ(result.records, records);
+  EXPECT_EQ(result.lines_skipped, 0u);
+}
+
+TEST(TextIo, ToleratesHeaderCommentsAndBlankLines) {
+  std::stringstream in(std::string(kCsvHeader) +
+                       "\n\n# a comment\n"
+                       "100,1.2.3.4,10.0.0.1,1,64,5,0\n");
+  const auto result = read_csv(in);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].ts, 100);
+  EXPECT_EQ(result.records[0].ingress.router, 5u);
+}
+
+TEST(TextIo, StrictModeNamesTheLine) {
+  std::stringstream in("100,1.2.3.4,10.0.0.1,1,64,5,0\nnot,a,flow\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextIo, LenientModeSkipsAndCounts) {
+  std::stringstream in(
+      "100,1.2.3.4,10.0.0.1,1,64,5,0\n"
+      "garbage\n"
+      "101,1.2.3.5,10.0.0.1,1,64,5,0\n"
+      "102,999.2.3.5,10.0.0.1,1,64,5,0\n");
+  const auto result = read_csv(in, /*strict=*/false);
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.lines_skipped, 2u);
+}
+
+TEST(TextIo, ParseLineRejectsBadFields) {
+  EXPECT_THROW(parse_csv_line(""), std::invalid_argument);
+  EXPECT_THROW(parse_csv_line("1,2,3"), std::invalid_argument);
+  EXPECT_THROW(parse_csv_line("x,1.2.3.4,10.0.0.1,1,64,5,0"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_csv_line("1,bad-ip,10.0.0.1,1,64,5,0"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_csv_line("1,1.2.3.4,10.0.0.1,1,64,5,99999"),
+               std::invalid_argument);
+}
+
+TEST(TextIo, WhitespaceAroundNumericFieldsAccepted) {
+  const auto r = parse_csv_line("100, 1.2.3.4 ,10.0.0.1, 2 , 128 , 5 , 1 ");
+  EXPECT_EQ(r.packets, 2u);
+  EXPECT_EQ(r.bytes, 128u);
+}
+
+}  // namespace
+}  // namespace ipd::netflow

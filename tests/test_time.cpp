@@ -1,0 +1,40 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::util {
+namespace {
+
+TEST(Time, BucketIndexAndStart) {
+  EXPECT_EQ(bucket_index(0, 60), 0);
+  EXPECT_EQ(bucket_index(59, 60), 0);
+  EXPECT_EQ(bucket_index(60, 60), 1);
+  EXPECT_EQ(bucket_start(119, 60), 60);
+  EXPECT_EQ(bucket_start(120, 60), 120);
+}
+
+TEST(Time, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(3600), 1);
+  EXPECT_EQ(hour_of_day(kSecondsPerDay - 1), 23);
+  EXPECT_EQ(hour_of_day(kSecondsPerDay + 3600), 1);
+}
+
+TEST(Time, SecondOfDayWrapsDaily) {
+  EXPECT_EQ(second_of_day(5), 5);
+  EXPECT_EQ(second_of_day(kSecondsPerDay + 5), 5);
+}
+
+TEST(Time, DayIndex) {
+  EXPECT_EQ(day_index(0), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay), 1);
+}
+
+TEST(Time, FormatSimTime) {
+  EXPECT_EQ(format_sim_time(0), "0+00:00:00");
+  EXPECT_EQ(format_sim_time(kSecondsPerDay + 3661), "1+01:01:01");
+}
+
+}  // namespace
+}  // namespace ipd::util

@@ -1,0 +1,126 @@
+#include "topology/builder.hpp"
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::topology {
+namespace {
+
+TEST(Topology, BuildAndLookup) {
+  Topology topo;
+  const PopId fra = topo.add_pop("FRA1", "C1");
+  const PopId nyc = topo.add_pop("NYC1", "C2");
+  const RouterId r0 = topo.add_router(fra, "R0");
+  const RouterId r1 = topo.add_router(nyc, "R1");
+
+  EXPECT_EQ(topo.pop_count(), 2u);
+  EXPECT_EQ(topo.router_count(), 2u);
+  EXPECT_EQ(topo.pop_of(r0), fra);
+  EXPECT_EQ(topo.country_of(r1), "C2");
+}
+
+TEST(Topology, InterfaceIndicesArePerRouter) {
+  Topology topo;
+  const PopId pop = topo.add_pop("X", "C1");
+  const RouterId r0 = topo.add_router(pop);
+  const RouterId r1 = topo.add_router(pop);
+  const LinkId a = topo.add_interface(r0, LinkType::Pni, 100);
+  const LinkId b = topo.add_interface(r0, LinkType::Transit, 200);
+  const LinkId c = topo.add_interface(r1, LinkType::Pni, 100);
+  EXPECT_EQ(a.iface, 0);
+  EXPECT_EQ(b.iface, 1);
+  EXPECT_EQ(c.iface, 0);
+  EXPECT_EQ(topo.interface_count(), 3u);
+}
+
+TEST(Topology, InterfaceMetadata) {
+  Topology topo;
+  const auto pop = topo.add_pop("X", "C1");
+  const auto r = topo.add_router(pop);
+  const auto link = topo.add_interface(r, LinkType::PublicPeering, 64500);
+  const auto& intf = topo.interface(link);
+  EXPECT_EQ(intf.type, LinkType::PublicPeering);
+  EXPECT_EQ(intf.peer_as, 64500u);
+  EXPECT_THROW(topo.interface(LinkId{r, 99}), std::out_of_range);
+}
+
+TEST(Topology, InterfacesOfAsAndRouter) {
+  Topology topo;
+  const auto pop = topo.add_pop("X", "C1");
+  const auto r0 = topo.add_router(pop);
+  const auto r1 = topo.add_router(pop);
+  topo.add_interface(r0, LinkType::Pni, 111);
+  topo.add_interface(r1, LinkType::Pni, 111);
+  topo.add_interface(r0, LinkType::Transit, 222);
+
+  EXPECT_EQ(topo.interfaces_of_as(111).size(), 2u);
+  EXPECT_EQ(topo.interfaces_of_as(222).size(), 1u);
+  EXPECT_TRUE(topo.interfaces_of_as(999).empty());
+  EXPECT_EQ(topo.interfaces_of_router(r0).size(), 2u);
+}
+
+TEST(Topology, LinkNameMatchesPaperStyle) {
+  Topology topo;
+  const auto pop = topo.add_pop("FRA1", "C2");
+  const auto r = topo.add_router(pop, "R30");
+  const auto link = topo.add_interface(r, LinkType::Pni, 1);
+  EXPECT_EQ(topo.link_name(link), "C2-R30.0");
+}
+
+TEST(Topology, PeeringLinkClassification) {
+  Topology topo;
+  const auto pop = topo.add_pop("X", "C1");
+  const auto r = topo.add_router(pop);
+  const auto pni = topo.add_interface(r, LinkType::Pni, 100);
+  const auto ixp = topo.add_interface(r, LinkType::PublicPeering, 100);
+  const auto transit = topo.add_interface(r, LinkType::Transit, 100);
+  const auto other_as = topo.add_interface(r, LinkType::Pni, 200);
+
+  EXPECT_TRUE(topo.is_peering_link_to(pni, 100));
+  EXPECT_TRUE(topo.is_peering_link_to(ixp, 100));
+  EXPECT_FALSE(topo.is_peering_link_to(transit, 100));
+  EXPECT_FALSE(topo.is_peering_link_to(other_as, 100));
+}
+
+TEST(Topology, InvalidReferencesThrow) {
+  Topology topo;
+  EXPECT_THROW(topo.add_router(0), std::out_of_range);
+  const auto pop = topo.add_pop("X", "C1");
+  (void)pop;
+  EXPECT_THROW(topo.add_interface(5, LinkType::Pni, 1), std::out_of_range);
+}
+
+TEST(Builder, SkeletonShape) {
+  BuilderConfig config;
+  config.n_countries = 3;
+  config.n_pops = 6;
+  config.routers_per_pop = 4;
+  const Topology topo = build_skeleton(config);
+  EXPECT_EQ(topo.pop_count(), 6u);
+  EXPECT_EQ(topo.router_count(), 24u);
+  EXPECT_EQ(topo.interface_count(), 0u);
+
+  // Every country is populated.
+  std::set<std::string> countries;
+  for (const auto& pop : topo.pops()) countries.insert(pop.country);
+  EXPECT_EQ(countries.size(), 3u);
+}
+
+TEST(Builder, RejectsInvalidConfig) {
+  BuilderConfig config;
+  config.n_pops = 1;
+  config.n_countries = 3;
+  EXPECT_THROW(build_skeleton(config), std::invalid_argument);
+}
+
+TEST(LinkIdOps, KeysAndOrdering) {
+  const LinkId a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(LinkId{}.valid());
+}
+
+}  // namespace
+}  // namespace ipd::topology

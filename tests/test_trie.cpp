@@ -1,0 +1,228 @@
+#include "core/trie.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipd::core {
+namespace {
+
+using net::Family;
+using net::IpAddress;
+using net::Prefix;
+using topology::LinkId;
+
+TEST(IpdTrie, StartsAsSingleMonitoringRoot) {
+  IpdTrie trie(Family::V4);
+  EXPECT_EQ(trie.leaf_count(), 1u);
+  EXPECT_EQ(trie.node_count(), 1u);
+  EXPECT_EQ(trie.root().state(), RangeNode::State::Monitoring);
+  EXPECT_EQ(trie.root().prefix(), Prefix::root(Family::V4));
+}
+
+TEST(IpdTrie, LocateFindsRootInitially) {
+  IpdTrie trie(Family::V4);
+  auto& leaf = trie.locate(IpAddress::from_string("1.2.3.4"));
+  EXPECT_EQ(&leaf, &trie.root());
+}
+
+TEST(RangeNode, AddSampleTracksIpsAndCounts) {
+  IpdTrie trie(Family::V4);
+  auto& root = trie.root();
+  const auto ip = IpAddress::from_string("10.0.0.0");
+  root.add_sample(100, ip, LinkId{1, 0});
+  root.add_sample(110, ip, LinkId{1, 0});
+  root.add_sample(120, ip, LinkId{2, 0});
+
+  EXPECT_DOUBLE_EQ(root.counts().total(), 3.0);
+  EXPECT_EQ(root.ips().size(), 1u);
+  const auto& entry = root.ips().begin()->second;
+  EXPECT_EQ(entry.total, 3u);
+  EXPECT_EQ(entry.last_seen, 120);
+  EXPECT_EQ(root.last_update(), 120);
+}
+
+TEST(RangeNode, ExpireRemovesStaleIpsAndRebuildsCounts) {
+  IpdTrie trie(Family::V4);
+  auto& root = trie.root();
+  root.add_sample(100, IpAddress::from_string("10.0.0.0"), LinkId{1, 0});
+  root.add_sample(300, IpAddress::from_string("10.0.1.0"), LinkId{2, 0});
+  root.add_sample(300, IpAddress::from_string("10.0.1.0"), LinkId{2, 0});
+
+  root.expire_before(200);
+  EXPECT_EQ(root.ips().size(), 1u);
+  EXPECT_DOUBLE_EQ(root.counts().total(), 2.0);
+  EXPECT_DOUBLE_EQ(root.counts().count_for(LinkId{1, 0}), 0.0);
+}
+
+TEST(RangeNode, ClassifyDropsDetailKeepsAggregates) {
+  IpdTrie trie(Family::V4);
+  auto& root = trie.root();
+  for (int i = 0; i < 10; ++i) {
+    root.add_sample(100 + i, IpAddress::v4(static_cast<std::uint32_t>(i << 8)),
+                    LinkId{1, 0});
+  }
+  root.classify(IngressId(LinkId{1, 0}), 200);
+  EXPECT_EQ(root.state(), RangeNode::State::Classified);
+  EXPECT_TRUE(root.ips().empty());
+  EXPECT_DOUBLE_EQ(root.counts().total(), 10.0);
+  EXPECT_EQ(root.classified_at(), 200);
+  EXPECT_TRUE(root.ingress().matches(LinkId{1, 0}));
+}
+
+TEST(RangeNode, ResetToMonitoringClearsEverything) {
+  IpdTrie trie(Family::V4);
+  auto& root = trie.root();
+  root.add_sample(100, IpAddress::v4(1), LinkId{1, 0});
+  root.classify(IngressId(LinkId{1, 0}), 100);
+  root.reset_to_monitoring();
+  EXPECT_EQ(root.state(), RangeNode::State::Monitoring);
+  EXPECT_FALSE(root.ingress().valid());
+  EXPECT_TRUE(root.counts().empty());
+}
+
+TEST(IpdTrie, SplitRedistributesByBit) {
+  IpdTrie trie(Family::V4);
+  auto& root = trie.root();
+  // 0.x -> low half; 128.x -> high half.
+  root.add_sample(100, IpAddress::from_string("1.0.0.0"), LinkId{1, 0});
+  root.add_sample(100, IpAddress::from_string("200.0.0.0"), LinkId{2, 0});
+  root.add_sample(105, IpAddress::from_string("201.0.0.0"), LinkId{2, 0});
+
+  ASSERT_TRUE(trie.split(root));
+  EXPECT_EQ(root.state(), RangeNode::State::Internal);
+  EXPECT_EQ(trie.leaf_count(), 2u);
+  EXPECT_EQ(trie.node_count(), 3u);
+
+  const auto& low = *root.child(0);
+  const auto& high = *root.child(1);
+  EXPECT_EQ(low.prefix().to_string(), "0.0.0.0/1");
+  EXPECT_EQ(high.prefix().to_string(), "128.0.0.0/1");
+  EXPECT_EQ(low.ips().size(), 1u);
+  EXPECT_EQ(high.ips().size(), 2u);
+  EXPECT_DOUBLE_EQ(low.counts().total(), 1.0);
+  EXPECT_DOUBLE_EQ(high.counts().total(), 2.0);
+  EXPECT_EQ(high.last_update(), 105);
+}
+
+TEST(IpdTrie, LocateDescendsAfterSplit) {
+  IpdTrie trie(Family::V4);
+  trie.root().add_sample(1, IpAddress::from_string("1.0.0.0"), LinkId{1, 0});
+  ASSERT_TRUE(trie.split(trie.root()));
+  auto& leaf = trie.locate(IpAddress::from_string("200.0.0.0"));
+  EXPECT_EQ(leaf.prefix().to_string(), "128.0.0.0/1");
+}
+
+TEST(IpdTrie, SplitRejectsNonMonitoring) {
+  IpdTrie trie(Family::V4);
+  trie.root().classify(IngressId(LinkId{1, 0}), 10);
+  EXPECT_FALSE(trie.split(trie.root()));
+}
+
+TEST(IpdTrie, SplitRejectsHostRoutes) {
+  IpdTrie trie(Family::V4);
+  // Descend to /32 by splitting along 0.0.0.0.
+  RangeNode* node = &trie.root();
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(trie.split(*node));
+    node = node->child(0);
+  }
+  EXPECT_FALSE(trie.split(*node));
+  EXPECT_EQ(node->prefix().length(), 32);
+}
+
+TEST(IpdTrie, JoinMergesSameIngressSiblings) {
+  IpdTrie trie(Family::V4);
+  auto& root = trie.root();
+  ASSERT_TRUE(trie.split(root));
+  auto& low = *root.child(0);
+  auto& high = *root.child(1);
+  low.add_sample(50, IpAddress::from_string("1.0.0.0"), LinkId{1, 0});
+  high.add_sample(60, IpAddress::from_string("200.0.0.0"), LinkId{1, 0});
+  low.classify(IngressId(LinkId{1, 0}), 100);
+  high.classify(IngressId(LinkId{1, 0}), 110);
+
+  ASSERT_TRUE(trie.join_children(root));
+  EXPECT_EQ(root.state(), RangeNode::State::Classified);
+  EXPECT_EQ(trie.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(root.counts().total(), 2.0);
+  EXPECT_EQ(root.last_update(), 60);
+  EXPECT_EQ(root.classified_at(), 100);  // earliest child classification
+}
+
+TEST(IpdTrie, JoinRejectsDifferentIngress) {
+  IpdTrie trie(Family::V4);
+  auto& root = trie.root();
+  ASSERT_TRUE(trie.split(root));
+  root.child(0)->classify(IngressId(LinkId{1, 0}), 100);
+  root.child(1)->classify(IngressId(LinkId{2, 0}), 100);
+  EXPECT_FALSE(trie.join_children(root));
+  EXPECT_EQ(root.state(), RangeNode::State::Internal);
+}
+
+TEST(IpdTrie, JoinRejectsMonitoringChildren) {
+  IpdTrie trie(Family::V4);
+  ASSERT_TRUE(trie.split(trie.root()));
+  EXPECT_FALSE(trie.join_children(trie.root()));
+}
+
+TEST(IpdTrie, CompactFoldsEmptyMonitoringSiblings) {
+  IpdTrie trie(Family::V4);
+  ASSERT_TRUE(trie.split(trie.root()));
+  EXPECT_TRUE(trie.compact_children(trie.root()));
+  EXPECT_EQ(trie.leaf_count(), 1u);
+  EXPECT_EQ(trie.root().state(), RangeNode::State::Monitoring);
+}
+
+TEST(IpdTrie, CompactRejectsNonEmptyChildren) {
+  IpdTrie trie(Family::V4);
+  ASSERT_TRUE(trie.split(trie.root()));
+  trie.root().child(0)->add_sample(1, IpAddress::v4(0), LinkId{1, 0});
+  EXPECT_FALSE(trie.compact_children(trie.root()));
+}
+
+TEST(IpdTrie, ForEachLeafVisitsPartitionInAddressOrder) {
+  IpdTrie trie(Family::V4);
+  ASSERT_TRUE(trie.split(trie.root()));
+  ASSERT_TRUE(trie.split(*trie.root().child(0)));
+  std::vector<std::string> seen;
+  trie.for_each_leaf([&seen](RangeNode& leaf) {
+    seen.push_back(leaf.prefix().to_string());
+  });
+  const std::vector<std::string> expected{"0.0.0.0/2", "64.0.0.0/2",
+                                          "128.0.0.0/1"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(IpdTrie, PostOrderVisitsChildrenBeforeParents) {
+  IpdTrie trie(Family::V4);
+  ASSERT_TRUE(trie.split(trie.root()));
+  std::vector<std::string> order;
+  trie.post_order([&order](RangeNode& node) {
+    order.push_back(node.prefix().to_string());
+  });
+  const std::vector<std::string> expected{"0.0.0.0/1", "128.0.0.0/1",
+                                          "0.0.0.0/0"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(IpdTrie, MemoryEstimateGrowsWithState) {
+  IpdTrie trie(Family::V4);
+  const auto empty_bytes = trie.memory_bytes();
+  for (int i = 0; i < 1000; ++i) {
+    trie.root().add_sample(1, IpAddress::v4(static_cast<std::uint32_t>(i << 4)),
+                           LinkId{1, 0});
+  }
+  EXPECT_GT(trie.memory_bytes(), empty_bytes + 1000 * sizeof(IpEntry));
+}
+
+TEST(IpdTrie, V6Works) {
+  IpdTrie trie(Family::V6);
+  auto& leaf = trie.locate(IpAddress::from_string("2001:db8::1"));
+  leaf.add_sample(1, IpAddress::from_string("2001:db8::"), LinkId{1, 0});
+  ASSERT_TRUE(trie.split(trie.root()));
+  auto& after = trie.locate(IpAddress::from_string("2001:db8::1"));
+  EXPECT_EQ(after.prefix().to_string(), "::/1");
+  EXPECT_EQ(after.ips().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ipd::core

@@ -1,0 +1,147 @@
+#include "workload/universe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/builder.hpp"
+
+namespace ipd::workload {
+namespace {
+
+class UniverseTest : public ::testing::Test {
+ protected:
+  UniverseTest() : topo_(topology::build_skeleton({})) {
+    config_.seed = 11;
+    universe_ = build_universe(topo_, config_);
+  }
+
+  topology::Topology topo_;
+  UniverseConfig config_;
+  Universe universe_;
+};
+
+TEST_F(UniverseTest, AsCountsMatchConfig) {
+  EXPECT_EQ(universe_.ases().size(),
+            static_cast<std::size_t>(config_.n_ases + config_.n_tier1));
+  EXPECT_EQ(universe_.tier1_indices().size(),
+            static_cast<std::size_t>(config_.n_tier1));
+}
+
+TEST_F(UniverseTest, TrafficConcentrationMatchesPaper) {
+  // Top 5 of the main ASes should carry about 52 % and top 20 about 80 %
+  // of the non-tier1 weight (the paper's TOP5/TOP20 shares).
+  double total = 0.0, top5 = 0.0, top20 = 0.0;
+  std::vector<double> weights;
+  for (int i = 0; i < config_.n_ases; ++i) {
+    weights.push_back(universe_.ases()[static_cast<std::size_t>(i)].weight);
+  }
+  std::sort(weights.rbegin(), weights.rend());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    if (i < 5) top5 += weights[i];
+    if (i < 20) top20 += weights[i];
+  }
+  EXPECT_NEAR(top5 / total, 0.52, 0.03);
+  EXPECT_NEAR(top20 / total, 0.80, 0.06);
+}
+
+TEST_F(UniverseTest, BlocksAreDisjoint) {
+  std::vector<net::Prefix> blocks;
+  for (const auto& as : universe_.ases()) {
+    for (const auto& b : as.blocks_v4) blocks.push_back(b);
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].contains(blocks[j]))
+          << blocks[i].to_string() << " contains " << blocks[j].to_string();
+      EXPECT_FALSE(blocks[j].contains(blocks[i]));
+    }
+  }
+}
+
+TEST_F(UniverseTest, EveryAsIsAttached) {
+  for (const auto& as : universe_.ases()) {
+    EXPECT_FALSE(as.links.empty()) << as.name;
+    for (const auto& link : as.links) {
+      EXPECT_EQ(topo_.interface(link).peer_as, as.asn);
+    }
+  }
+}
+
+TEST_F(UniverseTest, HypergiantsUsePniAndManyLinks) {
+  int checked = 0;
+  for (int i = 0; i < config_.hypergiant_count; ++i) {
+    const auto& as = universe_.ases()[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(as.cls == AsClass::Cdn || as.cls == AsClass::Cloud);
+    EXPECT_GE(as.links.size(), 6u);
+    for (const auto& link : as.links) {
+      EXPECT_EQ(topo_.interface(link).type, topology::LinkType::Pni);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, config_.hypergiant_count);
+}
+
+TEST_F(UniverseTest, Tier1PeersUsePni) {
+  for (const auto idx : universe_.tier1_indices()) {
+    const auto& as = universe_.ases()[idx];
+    EXPECT_EQ(as.cls, AsClass::Tier1);
+    for (const auto& link : as.links) {
+      EXPECT_EQ(topo_.interface(link).type, topology::LinkType::Pni);
+    }
+  }
+}
+
+TEST_F(UniverseTest, OwnerOfResolvesBlocks) {
+  const auto& as0 = universe_.ases()[0];
+  const auto probe = as0.blocks_v4.front().address().offset(12345);
+  EXPECT_EQ(universe_.owner_of(probe), 0u);
+  EXPECT_EQ(universe_.owner_of(net::IpAddress::from_string("250.250.250.250")),
+            Universe::npos);
+}
+
+TEST_F(UniverseTest, TopIndicesSortedByWeight) {
+  const auto top = universe_.top_indices(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(universe_.ases()[top[i - 1]].weight,
+              universe_.ases()[top[i]].weight);
+  }
+}
+
+TEST_F(UniverseTest, DeterministicForSameSeed) {
+  topology::Topology topo2 = topology::build_skeleton({});
+  const Universe uni2 = build_universe(topo2, config_);
+  ASSERT_EQ(uni2.ases().size(), universe_.ases().size());
+  for (std::size_t i = 0; i < uni2.ases().size(); ++i) {
+    EXPECT_EQ(uni2.ases()[i].blocks_v4, universe_.ases()[i].blocks_v4);
+    EXPECT_EQ(uni2.ases()[i].links, universe_.ases()[i].links);
+  }
+}
+
+TEST(TuneZipf, HitsTop5Target) {
+  const double s = tune_zipf_exponent(40, 0.52);
+  const auto weights = util::zipf_weights(40, s);
+  double total = 0.0, top5 = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    if (i < 5) top5 += weights[i];
+  }
+  EXPECT_NEAR(top5 / total, 0.52, 0.005);
+}
+
+TEST(TuneZipf, RejectsTinyUniverse) {
+  EXPECT_THROW(tune_zipf_exponent(3, 0.5), std::invalid_argument);
+}
+
+TEST(UniverseConfigValidation, RejectsTooFewAses) {
+  topology::Topology topo = topology::build_skeleton({});
+  UniverseConfig config;
+  config.n_ases = 10;
+  EXPECT_THROW(build_universe(topo, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipd::workload

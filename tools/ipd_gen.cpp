@@ -1,0 +1,60 @@
+// ipd_gen — generate a synthetic NetFlow trace file.
+//
+// Usage: ipd_gen <out.trace> [minutes=60] [flows_per_minute=20000] [seed=7]
+//
+// Writes a binary trace (see netflow/codec.hpp) from the paper-default
+// synthetic ISP scenario, starting at simulated day 1, 18:00. The file can
+// be replayed with ipd_replay or consumed programmatically via TraceReader.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "netflow/codec.hpp"
+#include "util/time.hpp"
+#include "workload/generator.hpp"
+
+using namespace ipd;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <out.trace> [minutes=60] [flows_per_minute=20000] "
+                 "[seed=7]\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  const long minutes = argc > 2 ? std::atol(argv[2]) : 60;
+  const long fpm = argc > 3 ? std::atol(argv[3]) : 20000;
+  const long seed = argc > 4 ? std::atol(argv[4]) : 7;
+  if (minutes <= 0 || fpm <= 0) {
+    std::fprintf(stderr, "minutes and flows_per_minute must be positive\n");
+    return 2;
+  }
+
+  workload::ScenarioConfig scenario = workload::paper_default();
+  scenario.flows_per_minute = static_cast<std::uint64_t>(fpm);
+  scenario.seed = static_cast<std::uint64_t>(seed);
+  workload::FlowGenerator gen(scenario);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  netflow::TraceWriter writer(out);
+  const util::Timestamp t0 = util::kSecondsPerDay + 18 * util::kSecondsPerHour;
+  gen.run(t0, t0 + minutes * util::kSecondsPerMinute,
+          [&](const netflow::FlowRecord& r) { writer.write(r); });
+
+  std::printf("wrote %llu flow records (%ld simulated minutes, seed %ld) to %s\n",
+              static_cast<unsigned long long>(writer.records_written()), minutes,
+              seed, path);
+  std::printf("topology: %zu pops, %zu border routers, %zu ingress interfaces\n",
+              gen.topology().pop_count(), gen.topology().router_count(),
+              gen.topology().interface_count());
+  std::printf("universe: %zu ASes (%zu tier-1 peers)\n",
+              gen.universe().ases().size(),
+              gen.universe().tier1_indices().size());
+  return 0;
+}
