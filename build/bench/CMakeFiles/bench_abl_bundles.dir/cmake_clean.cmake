@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_bundles.dir/bench_abl_bundles.cpp.o"
+  "CMakeFiles/bench_abl_bundles.dir/bench_abl_bundles.cpp.o.d"
+  "bench_abl_bundles"
+  "bench_abl_bundles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_bundles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

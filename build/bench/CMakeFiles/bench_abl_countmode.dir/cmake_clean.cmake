@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_countmode.dir/bench_abl_countmode.cpp.o"
+  "CMakeFiles/bench_abl_countmode.dir/bench_abl_countmode.cpp.o.d"
+  "bench_abl_countmode"
+  "bench_abl_countmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_countmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_joins.dir/bench_abl_joins.cpp.o"
+  "CMakeFiles/bench_abl_joins.dir/bench_abl_joins.cpp.o.d"
+  "bench_abl_joins"
+  "bench_abl_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appA_param_study.dir/bench_appA_param_study.cpp.o"
+  "CMakeFiles/bench_appA_param_study.dir/bench_appA_param_study.cpp.o.d"
+  "bench_appA_param_study"
+  "bench_appA_param_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appA_param_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

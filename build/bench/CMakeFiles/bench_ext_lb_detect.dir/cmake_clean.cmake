@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lb_detect.dir/bench_ext_lb_detect.cpp.o"
+  "CMakeFiles/bench_ext_lb_detect.dir/bench_ext_lb_detect.cpp.o.d"
+  "bench_ext_lb_detect"
+  "bench_ext_lb_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lb_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

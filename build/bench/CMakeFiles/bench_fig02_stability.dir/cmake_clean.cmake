@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_stability.dir/bench_fig02_stability.cpp.o"
+  "CMakeFiles/bench_fig02_stability.dir/bench_fig02_stability.cpp.o.d"
+  "bench_fig02_stability"
+  "bench_fig02_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

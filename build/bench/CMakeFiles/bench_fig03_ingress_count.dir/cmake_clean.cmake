@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_ingress_count.dir/bench_fig03_ingress_count.cpp.o"
+  "CMakeFiles/bench_fig03_ingress_count.dir/bench_fig03_ingress_count.cpp.o.d"
+  "bench_fig03_ingress_count"
+  "bench_fig03_ingress_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_ingress_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_traffic_share.dir/bench_fig04_traffic_share.cpp.o"
+  "CMakeFiles/bench_fig04_traffic_share.dir/bench_fig04_traffic_share.cpp.o.d"
+  "bench_fig04_traffic_share"
+  "bench_fig04_traffic_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_traffic_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

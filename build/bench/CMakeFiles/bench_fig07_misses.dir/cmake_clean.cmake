@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_misses.dir/bench_fig07_misses.cpp.o"
+  "CMakeFiles/bench_fig07_misses.dir/bench_fig07_misses.cpp.o.d"
+  "bench_fig07_misses"
+  "bench_fig07_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_miss_timeline.dir/bench_fig08_miss_timeline.cpp.o"
+  "CMakeFiles/bench_fig08_miss_timeline.dir/bench_fig08_miss_timeline.cpp.o.d"
+  "bench_fig08_miss_timeline"
+  "bench_fig08_miss_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_miss_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_range_sizes.dir/bench_fig09_range_sizes.cpp.o"
+  "CMakeFiles/bench_fig09_range_sizes.dir/bench_fig09_range_sizes.cpp.o.d"
+  "bench_fig09_range_sizes"
+  "bench_fig09_range_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_range_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_longitudinal.dir/bench_fig10_longitudinal.cpp.o"
+  "CMakeFiles/bench_fig10_longitudinal.dir/bench_fig10_longitudinal.cpp.o.d"
+  "bench_fig10_longitudinal"
+  "bench_fig10_longitudinal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

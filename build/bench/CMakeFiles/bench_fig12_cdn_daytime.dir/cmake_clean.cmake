@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cdn_daytime.dir/bench_fig12_cdn_daytime.cpp.o"
+  "CMakeFiles/bench_fig12_cdn_daytime.dir/bench_fig12_cdn_daytime.cpp.o.d"
+  "bench_fig12_cdn_daytime"
+  "bench_fig12_cdn_daytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cdn_daytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_prefix_detail.dir/bench_fig14_prefix_detail.cpp.o"
+  "CMakeFiles/bench_fig14_prefix_detail.dir/bench_fig14_prefix_detail.cpp.o.d"
+  "bench_fig14_prefix_detail"
+  "bench_fig14_prefix_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_prefix_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_elephants.dir/bench_fig15_elephants.cpp.o"
+  "CMakeFiles/bench_fig15_elephants.dir/bench_fig15_elephants.cpp.o.d"
+  "bench_fig15_elephants"
+  "bench_fig15_elephants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_elephants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_symmetry.dir/bench_fig16_symmetry.cpp.o"
+  "CMakeFiles/bench_fig16_symmetry.dir/bench_fig16_symmetry.cpp.o.d"
+  "bench_fig16_symmetry"
+  "bench_fig16_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

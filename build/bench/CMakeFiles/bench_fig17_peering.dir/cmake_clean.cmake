@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_peering.dir/bench_fig17_peering.cpp.o"
+  "CMakeFiles/bench_fig17_peering.dir/bench_fig17_peering.cpp.o.d"
+  "bench_fig17_peering"
+  "bench_fig17_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

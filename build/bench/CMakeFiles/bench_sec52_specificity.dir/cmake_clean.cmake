@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_specificity.dir/bench_sec52_specificity.cpp.o"
+  "CMakeFiles/bench_sec52_specificity.dir/bench_sec52_specificity.cpp.o.d"
+  "bench_sec52_specificity"
+  "bench_sec52_specificity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_specificity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec57_deployment.dir/bench_sec57_deployment.cpp.o"
+  "CMakeFiles/bench_sec57_deployment.dir/bench_sec57_deployment.cpp.o.d"
+  "bench_sec57_deployment"
+  "bench_sec57_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec57_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

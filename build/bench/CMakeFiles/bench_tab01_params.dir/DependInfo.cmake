@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab01_params.cpp" "bench/CMakeFiles/bench_tab01_params.dir/bench_tab01_params.cpp.o" "gcc" "bench/CMakeFiles/bench_tab01_params.dir/bench_tab01_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ipd_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ipd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/ipd_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ipd_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ipd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/ipd_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ipd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

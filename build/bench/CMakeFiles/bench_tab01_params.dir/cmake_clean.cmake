@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_params.dir/bench_tab01_params.cpp.o"
+  "CMakeFiles/bench_tab01_params.dir/bench_tab01_params.cpp.o.d"
+  "bench_tab01_params"
+  "bench_tab01_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

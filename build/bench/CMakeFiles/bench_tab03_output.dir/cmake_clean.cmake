@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_output.dir/bench_tab03_output.cpp.o"
+  "CMakeFiles/bench_tab03_output.dir/bench_tab03_output.cpp.o.d"
+  "bench_tab03_output"
+  "bench_tab03_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

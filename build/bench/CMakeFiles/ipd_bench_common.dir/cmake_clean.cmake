@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ipd_bench_common.dir/bench_common.cpp.o.d"
+  "libipd_bench_common.a"
+  "libipd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

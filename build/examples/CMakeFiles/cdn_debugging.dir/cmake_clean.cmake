@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_debugging.dir/cdn_debugging.cpp.o"
+  "CMakeFiles/cdn_debugging.dir/cdn_debugging.cpp.o.d"
+  "cdn_debugging"
+  "cdn_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

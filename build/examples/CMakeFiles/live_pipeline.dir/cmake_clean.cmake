@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_pipeline.dir/live_pipeline.cpp.o"
+  "CMakeFiles/live_pipeline.dir/live_pipeline.cpp.o.d"
+  "live_pipeline"
+  "live_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_internet.dir/mini_internet.cpp.o"
+  "CMakeFiles/mini_internet.dir/mini_internet.cpp.o.d"
+  "mini_internet"
+  "mini_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

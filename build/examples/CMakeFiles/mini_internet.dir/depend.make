@@ -1,0 +1,2 @@
+# Empty dependencies file for mini_internet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_monitor.dir/peering_monitor.cpp.o"
+  "CMakeFiles/peering_monitor.dir/peering_monitor.cpp.o.d"
+  "peering_monitor"
+  "peering_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_engineering.dir/traffic_engineering.cpp.o"
+  "CMakeFiles/traffic_engineering.dir/traffic_engineering.cpp.o.d"
+  "traffic_engineering"
+  "traffic_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/accuracy.cpp" "src/analysis/CMakeFiles/ipd_analysis.dir/accuracy.cpp.o" "gcc" "src/analysis/CMakeFiles/ipd_analysis.dir/accuracy.cpp.o.d"
+  "/root/repo/src/analysis/lb_detect.cpp" "src/analysis/CMakeFiles/ipd_analysis.dir/lb_detect.cpp.o" "gcc" "src/analysis/CMakeFiles/ipd_analysis.dir/lb_detect.cpp.o.d"
+  "/root/repo/src/analysis/paramstudy.cpp" "src/analysis/CMakeFiles/ipd_analysis.dir/paramstudy.cpp.o" "gcc" "src/analysis/CMakeFiles/ipd_analysis.dir/paramstudy.cpp.o.d"
+  "/root/repo/src/analysis/rangestats.cpp" "src/analysis/CMakeFiles/ipd_analysis.dir/rangestats.cpp.o" "gcc" "src/analysis/CMakeFiles/ipd_analysis.dir/rangestats.cpp.o.d"
+  "/root/repo/src/analysis/runner.cpp" "src/analysis/CMakeFiles/ipd_analysis.dir/runner.cpp.o" "gcc" "src/analysis/CMakeFiles/ipd_analysis.dir/runner.cpp.o.d"
+  "/root/repo/src/analysis/stability.cpp" "src/analysis/CMakeFiles/ipd_analysis.dir/stability.cpp.o" "gcc" "src/analysis/CMakeFiles/ipd_analysis.dir/stability.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/ipd_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/ipd_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ipd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ipd_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ipd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/ipd_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ipd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipd_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

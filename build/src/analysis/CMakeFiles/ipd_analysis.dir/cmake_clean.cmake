@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_analysis.dir/accuracy.cpp.o"
+  "CMakeFiles/ipd_analysis.dir/accuracy.cpp.o.d"
+  "CMakeFiles/ipd_analysis.dir/lb_detect.cpp.o"
+  "CMakeFiles/ipd_analysis.dir/lb_detect.cpp.o.d"
+  "CMakeFiles/ipd_analysis.dir/paramstudy.cpp.o"
+  "CMakeFiles/ipd_analysis.dir/paramstudy.cpp.o.d"
+  "CMakeFiles/ipd_analysis.dir/rangestats.cpp.o"
+  "CMakeFiles/ipd_analysis.dir/rangestats.cpp.o.d"
+  "CMakeFiles/ipd_analysis.dir/runner.cpp.o"
+  "CMakeFiles/ipd_analysis.dir/runner.cpp.o.d"
+  "CMakeFiles/ipd_analysis.dir/stability.cpp.o"
+  "CMakeFiles/ipd_analysis.dir/stability.cpp.o.d"
+  "CMakeFiles/ipd_analysis.dir/stats.cpp.o"
+  "CMakeFiles/ipd_analysis.dir/stats.cpp.o.d"
+  "libipd_analysis.a"
+  "libipd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

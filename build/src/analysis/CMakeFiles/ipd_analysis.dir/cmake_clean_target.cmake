@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipd_analysis.a"
+)

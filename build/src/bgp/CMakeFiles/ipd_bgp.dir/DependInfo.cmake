@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/generator.cpp" "src/bgp/CMakeFiles/ipd_bgp.dir/generator.cpp.o" "gcc" "src/bgp/CMakeFiles/ipd_bgp.dir/generator.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/ipd_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/ipd_bgp.dir/rib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ipd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ipd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ipd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/ipd_netflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

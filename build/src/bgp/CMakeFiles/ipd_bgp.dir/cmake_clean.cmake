@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_bgp.dir/generator.cpp.o"
+  "CMakeFiles/ipd_bgp.dir/generator.cpp.o.d"
+  "CMakeFiles/ipd_bgp.dir/rib.cpp.o"
+  "CMakeFiles/ipd_bgp.dir/rib.cpp.o.d"
+  "libipd_bgp.a"
+  "libipd_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_collector.dir/collector.cpp.o"
+  "CMakeFiles/ipd_collector.dir/collector.cpp.o.d"
+  "libipd_collector.a"
+  "libipd_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

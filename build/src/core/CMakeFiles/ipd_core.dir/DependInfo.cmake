@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/ipd_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/ipd_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/ingress.cpp" "src/core/CMakeFiles/ipd_core.dir/ingress.cpp.o" "gcc" "src/core/CMakeFiles/ipd_core.dir/ingress.cpp.o.d"
+  "/root/repo/src/core/lpm_table.cpp" "src/core/CMakeFiles/ipd_core.dir/lpm_table.cpp.o" "gcc" "src/core/CMakeFiles/ipd_core.dir/lpm_table.cpp.o.d"
+  "/root/repo/src/core/output.cpp" "src/core/CMakeFiles/ipd_core.dir/output.cpp.o" "gcc" "src/core/CMakeFiles/ipd_core.dir/output.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/ipd_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/ipd_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/trie.cpp" "src/core/CMakeFiles/ipd_core.dir/trie.cpp.o" "gcc" "src/core/CMakeFiles/ipd_core.dir/trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ipd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/ipd_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ipd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_core.dir/engine.cpp.o"
+  "CMakeFiles/ipd_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ipd_core.dir/ingress.cpp.o"
+  "CMakeFiles/ipd_core.dir/ingress.cpp.o.d"
+  "CMakeFiles/ipd_core.dir/lpm_table.cpp.o"
+  "CMakeFiles/ipd_core.dir/lpm_table.cpp.o.d"
+  "CMakeFiles/ipd_core.dir/output.cpp.o"
+  "CMakeFiles/ipd_core.dir/output.cpp.o.d"
+  "CMakeFiles/ipd_core.dir/params.cpp.o"
+  "CMakeFiles/ipd_core.dir/params.cpp.o.d"
+  "CMakeFiles/ipd_core.dir/trie.cpp.o"
+  "CMakeFiles/ipd_core.dir/trie.cpp.o.d"
+  "libipd_core.a"
+  "libipd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

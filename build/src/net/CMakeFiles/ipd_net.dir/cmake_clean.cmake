@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_net.dir/ip_address.cpp.o"
+  "CMakeFiles/ipd_net.dir/ip_address.cpp.o.d"
+  "CMakeFiles/ipd_net.dir/prefix.cpp.o"
+  "CMakeFiles/ipd_net.dir/prefix.cpp.o.d"
+  "libipd_net.a"
+  "libipd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

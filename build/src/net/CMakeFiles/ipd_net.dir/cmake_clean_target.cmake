@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipd_net.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netflow/codec.cpp" "src/netflow/CMakeFiles/ipd_netflow.dir/codec.cpp.o" "gcc" "src/netflow/CMakeFiles/ipd_netflow.dir/codec.cpp.o.d"
+  "/root/repo/src/netflow/ipfix.cpp" "src/netflow/CMakeFiles/ipd_netflow.dir/ipfix.cpp.o" "gcc" "src/netflow/CMakeFiles/ipd_netflow.dir/ipfix.cpp.o.d"
+  "/root/repo/src/netflow/statistical_time.cpp" "src/netflow/CMakeFiles/ipd_netflow.dir/statistical_time.cpp.o" "gcc" "src/netflow/CMakeFiles/ipd_netflow.dir/statistical_time.cpp.o.d"
+  "/root/repo/src/netflow/text_io.cpp" "src/netflow/CMakeFiles/ipd_netflow.dir/text_io.cpp.o" "gcc" "src/netflow/CMakeFiles/ipd_netflow.dir/text_io.cpp.o.d"
+  "/root/repo/src/netflow/v5.cpp" "src/netflow/CMakeFiles/ipd_netflow.dir/v5.cpp.o" "gcc" "src/netflow/CMakeFiles/ipd_netflow.dir/v5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ipd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ipd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_netflow.dir/codec.cpp.o"
+  "CMakeFiles/ipd_netflow.dir/codec.cpp.o.d"
+  "CMakeFiles/ipd_netflow.dir/ipfix.cpp.o"
+  "CMakeFiles/ipd_netflow.dir/ipfix.cpp.o.d"
+  "CMakeFiles/ipd_netflow.dir/statistical_time.cpp.o"
+  "CMakeFiles/ipd_netflow.dir/statistical_time.cpp.o.d"
+  "CMakeFiles/ipd_netflow.dir/text_io.cpp.o"
+  "CMakeFiles/ipd_netflow.dir/text_io.cpp.o.d"
+  "CMakeFiles/ipd_netflow.dir/v5.cpp.o"
+  "CMakeFiles/ipd_netflow.dir/v5.cpp.o.d"
+  "libipd_netflow.a"
+  "libipd_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ipd_netflow.
+# This may be replaced when dependencies are built.

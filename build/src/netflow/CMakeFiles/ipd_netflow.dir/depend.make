@@ -1,0 +1,2 @@
+# Empty dependencies file for ipd_netflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_topology.dir/builder.cpp.o"
+  "CMakeFiles/ipd_topology.dir/builder.cpp.o.d"
+  "CMakeFiles/ipd_topology.dir/topology.cpp.o"
+  "CMakeFiles/ipd_topology.dir/topology.cpp.o.d"
+  "libipd_topology.a"
+  "libipd_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

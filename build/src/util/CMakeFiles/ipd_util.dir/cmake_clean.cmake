@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_util.dir/csv.cpp.o"
+  "CMakeFiles/ipd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ipd_util.dir/logging.cpp.o"
+  "CMakeFiles/ipd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ipd_util.dir/rng.cpp.o"
+  "CMakeFiles/ipd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ipd_util.dir/strings.cpp.o"
+  "CMakeFiles/ipd_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ipd_util.dir/table.cpp.o"
+  "CMakeFiles/ipd_util.dir/table.cpp.o.d"
+  "libipd_util.a"
+  "libipd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/ipd_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/ipd_workload.dir/generator.cpp.o"
+  "CMakeFiles/ipd_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ipd_workload.dir/mapping.cpp.o"
+  "CMakeFiles/ipd_workload.dir/mapping.cpp.o.d"
+  "CMakeFiles/ipd_workload.dir/scenario.cpp.o"
+  "CMakeFiles/ipd_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/ipd_workload.dir/universe.cpp.o"
+  "CMakeFiles/ipd_workload.dir/universe.cpp.o.d"
+  "libipd_workload.a"
+  "libipd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

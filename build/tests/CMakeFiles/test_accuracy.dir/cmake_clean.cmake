@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy.dir/test_accuracy.cpp.o"
+  "CMakeFiles/test_accuracy.dir/test_accuracy.cpp.o.d"
+  "test_accuracy"
+  "test_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

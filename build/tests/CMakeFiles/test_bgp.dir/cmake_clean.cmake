@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp.dir/test_bgp.cpp.o"
+  "CMakeFiles/test_bgp.dir/test_bgp.cpp.o.d"
+  "test_bgp"
+  "test_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

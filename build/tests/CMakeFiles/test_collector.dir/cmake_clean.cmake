@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collector.dir/test_collector.cpp.o"
+  "CMakeFiles/test_collector.dir/test_collector.cpp.o.d"
+  "test_collector"
+  "test_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

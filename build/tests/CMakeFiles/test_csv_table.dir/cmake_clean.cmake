@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_table.dir/test_csv_table.cpp.o"
+  "CMakeFiles/test_csv_table.dir/test_csv_table.cpp.o.d"
+  "test_csv_table"
+  "test_csv_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

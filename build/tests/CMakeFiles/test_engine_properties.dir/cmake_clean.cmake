@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_properties.dir/test_engine_properties.cpp.o"
+  "CMakeFiles/test_engine_properties.dir/test_engine_properties.cpp.o.d"
+  "test_engine_properties"
+  "test_engine_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

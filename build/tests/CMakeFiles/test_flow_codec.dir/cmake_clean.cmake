@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_codec.dir/test_flow_codec.cpp.o"
+  "CMakeFiles/test_flow_codec.dir/test_flow_codec.cpp.o.d"
+  "test_flow_codec"
+  "test_flow_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

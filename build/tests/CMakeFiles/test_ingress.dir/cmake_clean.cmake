@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ingress.dir/test_ingress.cpp.o"
+  "CMakeFiles/test_ingress.dir/test_ingress.cpp.o.d"
+  "test_ingress"
+  "test_ingress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ingress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipfix.dir/test_ipfix.cpp.o"
+  "CMakeFiles/test_ipfix.dir/test_ipfix.cpp.o.d"
+  "test_ipfix"
+  "test_ipfix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

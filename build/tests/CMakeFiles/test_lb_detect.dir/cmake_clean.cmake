@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_detect.dir/test_lb_detect.cpp.o"
+  "CMakeFiles/test_lb_detect.dir/test_lb_detect.cpp.o.d"
+  "test_lb_detect"
+  "test_lb_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

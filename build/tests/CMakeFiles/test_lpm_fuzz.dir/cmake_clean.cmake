@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpm_fuzz.dir/test_lpm_fuzz.cpp.o"
+  "CMakeFiles/test_lpm_fuzz.dir/test_lpm_fuzz.cpp.o.d"
+  "test_lpm_fuzz"
+  "test_lpm_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpm_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpm_trie.dir/test_lpm_trie.cpp.o"
+  "CMakeFiles/test_lpm_trie.dir/test_lpm_trie.cpp.o.d"
+  "test_lpm_trie"
+  "test_lpm_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpm_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netflow_v5.dir/test_netflow_v5.cpp.o"
+  "CMakeFiles/test_netflow_v5.dir/test_netflow_v5.cpp.o.d"
+  "test_netflow_v5"
+  "test_netflow_v5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netflow_v5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

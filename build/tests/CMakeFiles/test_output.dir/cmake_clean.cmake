@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output.dir/test_output.cpp.o"
+  "CMakeFiles/test_output.dir/test_output.cpp.o.d"
+  "test_output"
+  "test_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

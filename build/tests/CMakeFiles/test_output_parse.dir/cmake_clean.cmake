@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output_parse.dir/test_output_parse.cpp.o"
+  "CMakeFiles/test_output_parse.dir/test_output_parse.cpp.o.d"
+  "test_output_parse"
+  "test_output_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

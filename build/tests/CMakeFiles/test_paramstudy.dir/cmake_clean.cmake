@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paramstudy.dir/test_paramstudy.cpp.o"
+  "CMakeFiles/test_paramstudy.dir/test_paramstudy.cpp.o.d"
+  "test_paramstudy"
+  "test_paramstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paramstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix.dir/test_prefix.cpp.o"
+  "CMakeFiles/test_prefix.dir/test_prefix.cpp.o.d"
+  "test_prefix"
+  "test_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

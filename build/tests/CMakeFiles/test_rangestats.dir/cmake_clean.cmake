@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rangestats.dir/test_rangestats.cpp.o"
+  "CMakeFiles/test_rangestats.dir/test_rangestats.cpp.o.d"
+  "test_rangestats"
+  "test_rangestats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rangestats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampler.dir/test_sampler.cpp.o"
+  "CMakeFiles/test_sampler.dir/test_sampler.cpp.o.d"
+  "test_sampler"
+  "test_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stability.dir/test_stability.cpp.o"
+  "CMakeFiles/test_stability.dir/test_stability.cpp.o.d"
+  "test_stability"
+  "test_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

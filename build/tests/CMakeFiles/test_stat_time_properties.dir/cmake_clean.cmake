@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stat_time_properties.dir/test_stat_time_properties.cpp.o"
+  "CMakeFiles/test_stat_time_properties.dir/test_stat_time_properties.cpp.o.d"
+  "test_stat_time_properties"
+  "test_stat_time_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stat_time_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statistical_time.dir/test_statistical_time.cpp.o"
+  "CMakeFiles/test_statistical_time.dir/test_statistical_time.cpp.o.d"
+  "test_statistical_time"
+  "test_statistical_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statistical_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_io.dir/test_text_io.cpp.o"
+  "CMakeFiles/test_text_io.dir/test_text_io.cpp.o.d"
+  "test_text_io"
+  "test_text_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trie.dir/test_trie.cpp.o"
+  "CMakeFiles/test_trie.dir/test_trie.cpp.o.d"
+  "test_trie"
+  "test_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_universe.dir/test_universe.cpp.o"
+  "CMakeFiles/test_universe.dir/test_universe.cpp.o.d"
+  "test_universe"
+  "test_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

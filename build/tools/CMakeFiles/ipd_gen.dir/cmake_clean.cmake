@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_gen.dir/ipd_gen.cpp.o"
+  "CMakeFiles/ipd_gen.dir/ipd_gen.cpp.o.d"
+  "ipd_gen"
+  "ipd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipd_replay.dir/ipd_replay.cpp.o"
+  "CMakeFiles/ipd_replay.dir/ipd_replay.cpp.o.d"
+  "ipd_replay"
+  "ipd_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipd_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
