@@ -25,9 +25,13 @@ int main() {
           [&](const netflow::FlowRecord& r) { trace.push_back(r); });
 
   const core::IpdParams base = workload::scaled_params(scenario);
+  // Cycle timing, the per-phase breakdown and the memory totals all come
+  // from the metrics subsystem (engine histograms + honest CycleStats).
   util::CsvWriter csv("fig20_resources",
-                      {"cidr_max", "mean_cycle_ms", "peak_memory_mb",
-                       "mean_ranges", "classified"});
+                      {"cidr_max", "mean_cycle_ms", "p95_cycle_ms",
+                       "expire_ms", "classify_ms", "split_ms", "join_ms",
+                       "compact_ms", "peak_memory_mb", "mean_ranges",
+                       "classified"});
   double first_ranges = 0, last_ranges = 0;
   double first_mem = 0, last_mem = 0;
   for (int cidr_max = 20; cidr_max <= 28; ++cidr_max) {
@@ -36,8 +40,17 @@ int main() {
     params.cidr_max6 = 32 + (cidr_max - 20) * 2;
     const auto metrics =
         analysis::evaluate_params(trace, gen.topology(), gen.universe(), params);
+    const auto phase_ms = [&metrics](core::CyclePhase p) {
+      return metrics.mean_phase_ms[static_cast<std::size_t>(p)];
+    };
     csv.row({util::CsvWriter::num(static_cast<std::int64_t>(cidr_max)),
              util::CsvWriter::num(metrics.mean_cycle_ms, 3),
+             util::CsvWriter::num(metrics.p95_cycle_ms, 3),
+             util::CsvWriter::num(phase_ms(core::CyclePhase::Expire), 3),
+             util::CsvWriter::num(phase_ms(core::CyclePhase::Classify), 3),
+             util::CsvWriter::num(phase_ms(core::CyclePhase::Split), 3),
+             util::CsvWriter::num(phase_ms(core::CyclePhase::Join), 3),
+             util::CsvWriter::num(phase_ms(core::CyclePhase::Compact), 3),
              util::CsvWriter::num(metrics.peak_memory_mb, 2),
              util::CsvWriter::num(metrics.mean_ranges, 1),
              util::CsvWriter::num(metrics.final_classified)});

@@ -68,6 +68,49 @@ void BM_Stage1Ingest(benchmark::State& state) {
 }
 BENCHMARK(BM_Stage1Ingest);
 
+/// Same ingest path with a metrics registry attached — the per-flow cost
+/// of the observability layer (budget: < 2% of BM_Stage1Ingest).
+void BM_Stage1IngestWithMetrics(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  obs::MetricsRegistry registry;
+  core::IpdEngine engine(micro_params());
+  engine.attach_metrics(registry);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    engine.ingest(trace[i]);
+    if (++i == trace.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flows/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Stage1IngestWithMetrics);
+
+/// Stage-2 cycle with per-phase timers active.
+void BM_Stage2CycleWithMetrics(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  core::IpdEngine engine(micro_params());
+  engine.attach_metrics(registry);
+  const auto& trace = shared_trace();
+  for (const auto& r : trace) engine.ingest(r);
+  util::Timestamp now = bench::kDay1 + 21 * util::kSecondsPerHour;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 20000 && i < trace.size(); ++k, ++i) {
+      auto r = trace[i];
+      r.ts = now;
+      engine.ingest(r);
+    }
+    if (i >= trace.size()) i = 0;
+    now += 60;
+    const auto stats = engine.run_cycle(now);
+    benchmark::DoNotOptimize(stats.ranges_total);
+    state.counters["ranges"] = static_cast<double>(stats.ranges_total);
+  }
+}
+BENCHMARK(BM_Stage2CycleWithMetrics)->Unit(benchmark::kMillisecond);
+
 void BM_Stage2Cycle(benchmark::State& state) {
   core::IpdEngine engine(micro_params());
   const auto& trace = shared_trace();

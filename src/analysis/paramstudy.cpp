@@ -7,6 +7,7 @@
 #include "analysis/runner.hpp"
 #include "analysis/stability.hpp"
 #include "analysis/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace ipd::analysis {
 
@@ -19,6 +20,10 @@ ParamStudyMetrics evaluate_params(const std::vector<netflow::FlowRecord>& trace,
   metrics.params = params;
 
   core::IpdEngine engine(params);
+  // The resource metrics below (cycle time percentiles, per-phase
+  // breakdown, honest memory totals) come from the metrics subsystem.
+  obs::MetricsRegistry registry;
+  engine.attach_metrics(registry);
   ValidationRun validation(topo, universe);
   BinnedRunner runner(engine, &validation);
   StabilityTracker stability;
@@ -65,14 +70,22 @@ ParamStudyMetrics evaluate_params(const std::vector<netflow::FlowRecord>& trace,
   // Resources.
   double cycle_us = 0.0;
   std::uint64_t peak_mem = 0;
+  std::array<double, core::kNumCyclePhases> phase_us{};
   for (const auto& cycle : runner.cycles()) {
     cycle_us += static_cast<double>(cycle.cycle_micros);
     peak_mem = std::max(peak_mem, cycle.memory_bytes);
+    for (std::size_t p = 0; p < core::kNumCyclePhases; ++p) {
+      phase_us[p] += static_cast<double>(cycle.phase_micros[p]);
+    }
   }
   if (!runner.cycles().empty()) {
-    metrics.mean_cycle_ms =
-        cycle_us / static_cast<double>(runner.cycles().size()) / 1000.0;
+    const auto n = static_cast<double>(runner.cycles().size());
+    metrics.mean_cycle_ms = cycle_us / n / 1000.0;
+    for (std::size_t p = 0; p < core::kNumCyclePhases; ++p) {
+      metrics.mean_phase_ms[p] = phase_us[p] / n / 1000.0;
+    }
   }
+  metrics.p95_cycle_ms = engine.metrics()->cycle_seconds->quantile(0.95) * 1e3;
   metrics.peak_memory_mb = static_cast<double>(peak_mem) / (1024.0 * 1024.0);
   metrics.mean_ranges = n_snapshots ? sum_ranges / static_cast<double>(n_snapshots) : 0.0;
   metrics.final_classified = final_classified;

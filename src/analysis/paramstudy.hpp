@@ -4,9 +4,11 @@
 // distribution), and resource consumption (cycle runtime, memory).
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/params.hpp"
 #include "netflow/flow_record.hpp"
 #include "topology/topology.hpp"
@@ -21,7 +23,10 @@ struct ParamStudyMetrics {
   double ks_distance = 1.0;     // stability-CDF distance to best fit
   double mean_stability_s = 0.0;
   double mean_cycle_ms = 0.0;
-  double peak_memory_mb = 0.0;
+  double p95_cycle_ms = 0.0;    // from the cycle-time histogram
+  // Mean stage-2 wall time per phase, indexed by core::CyclePhase.
+  std::array<double, core::kNumCyclePhases> mean_phase_ms{};
+  double peak_memory_mb = 0.0;  // tries + metrics registry + bin buffer
   double mean_ranges = 0.0;     // average partition size
   std::uint64_t final_classified = 0;
 };

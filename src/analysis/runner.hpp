@@ -5,6 +5,10 @@
 // deployment's output cadence) takes a snapshot, rebuilds the LPM table and
 // validates the just-finished bin's flows against it — exactly the
 // validation methodology of §5.1.
+//
+// When the engine has a metrics registry attached, the runner fires the
+// `on_metrics` hook once per bin (right after `on_snapshot`), so callers
+// can flush a Prometheus/JSON snapshot at the deployment's output cadence.
 #pragma once
 
 #include <functional>
@@ -14,6 +18,7 @@
 #include "core/engine.hpp"
 #include "core/lpm_table.hpp"
 #include "core/output.hpp"
+#include "obs/metrics.hpp"
 
 namespace ipd::analysis {
 
@@ -39,6 +44,11 @@ class BinnedRunner {
                      const core::LpmTable&)>
       on_snapshot;
 
+  /// Called after each snapshot (every `snapshot_len` bin) with the
+  /// engine's metrics registry — only when one is attached. The runner's
+  /// own gauges (bin buffer depth, snapshot count) are updated first.
+  std::function<void(util::Timestamp, const obs::MetricsRegistry&)> on_metrics;
+
   const std::vector<core::CycleStats>& cycles() const noexcept {
     return cycles_;
   }
@@ -48,6 +58,8 @@ class BinnedRunner {
  private:
   void advance_to(util::Timestamp ts);
   void take_snapshot(util::Timestamp ts);
+  void run_one_cycle(util::Timestamp ts);
+  std::uint64_t bin_buffer_bytes() const noexcept;
 
   core::IpdEngine& engine_;
   ValidationRun* validation_;

@@ -1,6 +1,9 @@
 #include "collector/collector.hpp"
 
 #include <chrono>
+#include <string>
+
+#include "util/logging.hpp"
 
 namespace ipd::collector {
 
@@ -17,6 +20,29 @@ CollectorService::CollectorService(core::IpdParams params,
         std::make_unique<SpscRing<netflow::FlowRecord>>(config_.ring_capacity));
   }
   ipfix_parsers_.resize(n_sources);
+  source_metrics_.resize(n_sources);
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *config_.metrics;
+    engine_->attach_metrics(registry);
+    for (std::size_t i = 0; i < n_sources; ++i) {
+      const obs::Labels source{{"source", std::to_string(i)}};
+      source_metrics_[i].ring_depth = &registry.gauge(
+          "ipd_ring_depth", "Flow records queued in the reader ring", source);
+      source_metrics_[i].ring_dropped = &registry.counter(
+          "ipd_ring_dropped_total", "Flow records dropped on a full ring",
+          source);
+      source_metrics_[i].flows_enqueued = &registry.counter(
+          "ipd_ring_enqueued_total", "Flow records accepted into the ring",
+          source);
+    }
+    datagrams_ok_metric_ = &registry.counter(
+        "ipd_datagrams_total", "Export datagrams received", {{"result", "ok"}});
+    datagrams_malformed_metric_ =
+        &registry.counter("ipd_datagrams_total", "Export datagrams received",
+                          {{"result", "malformed"}});
+    snapshots_metric_ = &registry.counter("ipd_snapshots_published_total",
+                                          "LPM tables published");
+  }
   // Statistical time sits between the rings and the engine: drifted or
   // implausible router timestamps are normalized/discarded before they can
   // disturb the engine's data clock.
@@ -58,33 +84,67 @@ std::size_t CollectorService::submit_datagram(
       std::vector<netflow::FlowRecord> records;
       if (!ipfix_parsers_.at(source).parse(bytes, exporter, records)) {
         datagrams_malformed_.fetch_add(1, std::memory_order_relaxed);
+        if (datagrams_malformed_metric_) datagrams_malformed_metric_->inc();
+        if (!source_metrics_.at(source).malformed_warned) {
+          source_metrics_[source].malformed_warned = true;
+          util::log_warn("collector: malformed IPFIX datagram (counting "
+                         "further ones silently)",
+                         {{"source", source},
+                          {"exporter", exporter},
+                          {"bytes", bytes.size()}});
+        }
         return 0;
       }
+      if (datagrams_ok_metric_) datagrams_ok_metric_->inc();
       return submit_records(source, records);
     }
     if (version == netflow::v5::kVersion) {
       if (const auto packet = netflow::v5::decode(bytes)) {
+        if (datagrams_ok_metric_) datagrams_ok_metric_->inc();
         return submit_records(source,
                               netflow::v5::to_flow_records(*packet, exporter));
       }
     }
   }
   datagrams_malformed_.fetch_add(1, std::memory_order_relaxed);
+  if (datagrams_malformed_metric_) datagrams_malformed_metric_->inc();
+  if (!source_metrics_.at(source).malformed_warned) {
+    source_metrics_[source].malformed_warned = true;
+    util::log_warn(
+        "collector: undecodable export datagram (counting further ones "
+        "silently)",
+        {{"source", source}, {"exporter", exporter}, {"bytes", bytes.size()}});
+  }
   return 0;
 }
 
 std::size_t CollectorService::submit_records(
     std::size_t source, std::span<const netflow::FlowRecord> records) {
   auto& ring = *rings_.at(source);
+  SourceMetrics& sm = source_metrics_.at(source);
   std::size_t accepted = 0;
+  std::size_t dropped = 0;
   for (const auto& record : records) {
     if (ring.try_push(record)) {
       ++accepted;
     } else {
-      flows_dropped_.fetch_add(1, std::memory_order_relaxed);
+      ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    flows_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+    if (sm.ring_dropped) sm.ring_dropped->inc(dropped);
+    if (!sm.drop_warned) {
+      sm.drop_warned = true;
+      util::log_warn("collector: ring full, dropping flow records (flow "
+                     "export is lossy; counting further drops silently)",
+                     {{"source", source},
+                      {"dropped", dropped},
+                      {"capacity", ring.capacity()}});
     }
   }
   flows_enqueued_.fetch_add(accepted, std::memory_order_relaxed);
+  if (sm.flows_enqueued) sm.flows_enqueued->inc(accepted);
   return accepted;
 }
 
@@ -105,6 +165,7 @@ void CollectorService::stop() {
     for (const auto& ring : rings_) any_left |= !ring->empty();
   }
   stat_time_->flush();
+  update_ring_gauges();
   if (clock_started_) publish(next_snapshot_);
 }
 
@@ -113,6 +174,13 @@ void CollectorService::drain_once() {
     ring->consume(
         [this](netflow::FlowRecord& record) { stat_time_->offer(record); },
         config_.drain_batch);
+  }
+}
+
+void CollectorService::update_ring_gauges() {
+  if (config_.metrics == nullptr) return;
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    source_metrics_[i].ring_depth->set(static_cast<double>(rings_[i]->size()));
   }
 }
 
@@ -125,6 +193,7 @@ void CollectorService::ipd_loop() {
           config_.drain_batch);
       any |= n > 0;
     }
+    update_ring_gauges();
     if (!any) {
       // Idle: yield briefly rather than spin at 100 %.
       std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -142,6 +211,7 @@ void CollectorService::publish(util::Timestamp ts) {
     snapshot_ = std::move(snapshot);
   }
   snapshots_.fetch_add(1, std::memory_order_relaxed);
+  if (snapshots_metric_) snapshots_metric_->inc();
 }
 
 std::shared_ptr<const core::LpmTable> CollectorService::current_table() const {

@@ -31,6 +31,7 @@
 #include "netflow/ipfix.hpp"
 #include "netflow/statistical_time.hpp"
 #include "netflow/v5.hpp"
+#include "obs/metrics.hpp"
 
 namespace ipd::collector {
 
@@ -42,6 +43,10 @@ struct CollectorConfig {
   // minutes ahead of the others in data time — the statistical-time skew
   // filter would otherwise discard the laggards' records as implausible.
   std::size_t drain_batch = 256;
+  // Optional metrics sink (must outlive the service). The engine is
+  // attached to it, and the collector adds per-source ring depth/drop
+  // series plus datagram counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CollectorStats {
@@ -104,13 +109,27 @@ class CollectorService {
   const core::IpdEngine& engine() const noexcept { return *engine_; }
 
  private:
+  /// Per-source metric handles (null when no registry is configured).
+  struct SourceMetrics {
+    obs::Gauge* ring_depth = nullptr;
+    obs::Counter* ring_dropped = nullptr;
+    obs::Counter* flows_enqueued = nullptr;
+    bool drop_warned = false;       // warn once per source, count thereafter
+    bool malformed_warned = false;  // likewise for undecodable datagrams
+  };
+
   void ipd_loop();
   void drain_once();
   void publish(util::Timestamp ts);
+  void update_ring_gauges();
 
   CollectorConfig config_;
   std::unique_ptr<core::IpdEngine> engine_;
   std::vector<std::unique_ptr<SpscRing<netflow::FlowRecord>>> rings_;
+  std::vector<SourceMetrics> source_metrics_;
+  obs::Counter* datagrams_ok_metric_ = nullptr;
+  obs::Counter* datagrams_malformed_metric_ = nullptr;
+  obs::Counter* snapshots_metric_ = nullptr;
   std::vector<netflow::ipfix::Parser> ipfix_parsers_;  // one per source
   std::unique_ptr<netflow::StatisticalTime> stat_time_;
 

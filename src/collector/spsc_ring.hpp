@@ -62,6 +62,13 @@ class SpscRing {
            head_.load(std::memory_order_acquire);
   }
 
+  /// Approximate occupancy (racy by nature; for monitoring gauges).
+  std::size_t size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
   std::size_t capacity() const noexcept { return mask_; }
 
  private:

@@ -1,20 +1,149 @@
 #include "core/engine.hpp"
 
 #include <chrono>
+#include <string>
 
 namespace ipd::core {
+
+namespace {
+
+constexpr std::array<CyclePhase, kNumCyclePhases> kAllPhases = {
+    CyclePhase::Expire, CyclePhase::Classify, CyclePhase::Split,
+    CyclePhase::Join, CyclePhase::Compact};
+
+/// The event counted under each phase's `ipd_cycle_events_total` series.
+constexpr std::array<const char*, kNumCyclePhases> kPhaseEvent = {
+    "drop", "classification", "split", "join", "compaction"};
+
+constexpr int family_index(net::Family family) noexcept {
+  return family == net::Family::V4 ? 0 : 1;
+}
+
+constexpr const char* family_label(int index) noexcept {
+  return index == 0 ? "v4" : "v6";
+}
+
+inline std::int64_t phase_now(bool enabled) noexcept {
+  return enabled ? obs::monotonic_ns() : 0;
+}
+
+}  // namespace
+
+const char* to_string(CyclePhase phase) noexcept {
+  switch (phase) {
+    case CyclePhase::Expire: return "expire";
+    case CyclePhase::Classify: return "classify";
+    case CyclePhase::Split: return "split";
+    case CyclePhase::Join: return "join";
+    case CyclePhase::Compact: return "compact";
+  }
+  return "?";
+}
+
+EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
+    : registry_(&registry) {
+  for (int f = 0; f < 2; ++f) {
+    const obs::Labels family{{"family", family_label(f)}};
+    ingest_flows[f] = &registry.counter(
+        "ipd_ingest_flows_total", "Flow records ingested (stage 1)", family);
+    ingest_weight[f] = &registry.counter(
+        "ipd_ingest_weight_total",
+        "Sample weight ingested (flows, or bytes in byte mode)", family);
+    trie_nodes[f] = &registry.gauge("ipd_trie_nodes",
+                                    "Nodes in the range trie", family);
+    trie_leaves[f] = &registry.gauge(
+        "ipd_trie_leaves", "Leaves (current IPD ranges) in the trie", family);
+    trie_memory[f] = &registry.gauge(
+        "ipd_trie_memory_bytes", "Estimated heap usage of the trie", family);
+  }
+  // Cycle wall time spans sub-millisecond toy runs to multi-second
+  // deployment cycles (paper Fig. 20): exponential buckets 100 µs .. ~27 min.
+  cycle_seconds = &registry.histogram(
+      "ipd_cycle_seconds", "Stage-2 cycle wall time",
+      obs::Histogram::exponential_bounds(1e-4, 2.0, 24));
+  for (const CyclePhase phase : kAllPhases) {
+    const auto i = static_cast<std::size_t>(phase);
+    phase_seconds[i] = &registry.histogram(
+        "ipd_cycle_phase_seconds", "Stage-2 wall time by phase",
+        obs::Histogram::exponential_bounds(1e-5, 2.0, 24),
+        {{"phase", to_string(phase)}});
+    events[i] = &registry.counter("ipd_cycle_events_total",
+                                  "Structural events applied by stage 2",
+                                  {{"event", kPhaseEvent[i]}});
+  }
+  cycles_total =
+      &registry.counter("ipd_cycles_total", "Stage-2 cycles executed");
+  ranges_classified = &registry.gauge(
+      "ipd_ranges", "Leaf ranges by state", {{"state", "classified"}});
+  ranges_monitoring = &registry.gauge(
+      "ipd_ranges", "Leaf ranges by state", {{"state", "monitoring"}});
+  tracked_ips = &registry.gauge(
+      "ipd_tracked_ips", "Per-IP entries held by monitoring ranges");
+  memory_bytes = &registry.gauge(
+      "ipd_memory_bytes",
+      "Estimated total heap usage (tries + metrics registry)");
+}
+
+obs::Counter& EngineMetrics::link_counter(topology::LinkId link) {
+  auto [it, inserted] = link_counters_.try_emplace(link.key(), nullptr);
+  if (inserted) {
+    it->second = &registry_->counter(
+        "ipd_ingest_link_flows_total", "Flow records ingested per ingress link",
+        {{"router", std::to_string(link.router)},
+         {"iface", std::to_string(link.iface)}});
+  }
+  return *it->second;
+}
+
+void EngineMetrics::evict_link_slot(LinkSlot& slot, std::uint64_t new_tag) {
+  if (slot.tag != 0) link_overflow_[slot.tag - 1] += slot.count;
+  slot.tag = new_tag;
+  slot.count = 1;
+}
+
+void EngineMetrics::flush_ingest() {
+  for (int f = 0; f < 2; ++f) {
+    if (pending_flows_[f] != 0) {
+      ingest_flows[f]->inc(pending_flows_[f]);
+      ingest_weight[f]->inc(pending_weight_[f]);
+      pending_flows_[f] = 0;
+      pending_weight_[f] = 0;
+    }
+  }
+  for (LinkSlot& slot : link_cache_) {
+    if (slot.tag == 0) continue;
+    const topology::LinkId link{
+        static_cast<topology::RouterId>((slot.tag - 1) >> 16),
+        static_cast<topology::InterfaceIndex>((slot.tag - 1) & 0xffff)};
+    link_counter(link).inc(slot.count);
+    slot.tag = 0;
+    slot.count = 0;
+  }
+  for (const auto& [key, count] : link_overflow_) {
+    const topology::LinkId link{static_cast<topology::RouterId>(key >> 16),
+                                static_cast<topology::InterfaceIndex>(key & 0xffff)};
+    link_counter(link).inc(count);
+  }
+  link_overflow_.clear();
+}
 
 IpdEngine::IpdEngine(IpdParams params)
     : params_(params), trie4_(net::Family::V4), trie6_(net::Family::V6) {
   params_.validate();
 }
 
+void IpdEngine::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = std::make_unique<EngineMetrics>(registry);
+}
+
 void IpdEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
                        topology::LinkId ingress, std::uint64_t weight) noexcept {
+  if (metrics_) metrics_->prefetch_ingest(ingress);
   IpdTrie& trie = src_ip.is_v4() ? trie4_ : trie6_;
   const net::IpAddress masked = src_ip.masked(params_.cidr_max(src_ip.family()));
   trie.locate(masked).add_sample(ts, masked, ingress, weight);
   ++stats_.flows_ingested;
+  if (metrics_) metrics_->record_ingest(src_ip.family(), ingress, weight);
 }
 
 std::optional<IngressId> IpdEngine::find_prevalent(
@@ -55,8 +184,9 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   const auto t0 = std::chrono::steady_clock::now();
   CycleStats out;
   out.now = now;
-  cycle_family(trie4_, now, out);
-  cycle_family(trie6_, now, out);
+  PhaseAccum phases{metrics_ != nullptr, {}};
+  cycle_family(trie4_, now, out, phases);
+  cycle_family(trie6_, now, out, phases);
 
   // Partition census after all structural changes.
   for (const net::Family family : {net::Family::V4, net::Family::V6}) {
@@ -72,7 +202,13 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
     });
     out.memory_bytes += trie.memory_bytes();
   }
+  // Honest resource accounting: the metrics layer itself occupies heap.
+  // (The runner additionally adds its validation bin buffer.)
+  if (metrics_) out.memory_bytes += metrics_->registry().memory_bytes();
 
+  for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+    out.phase_micros[i] = phases.ns[i] / 1000;
+  }
   out.cycle_micros = std::chrono::duration_cast<std::chrono::microseconds>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
@@ -81,34 +217,84 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   stats_.total_splits += out.splits;
   stats_.total_joins += out.joins;
   stats_.total_drops += out.drops;
+  if (metrics_) publish_cycle_metrics(out, phases);
   return out;
 }
 
+void IpdEngine::publish_cycle_metrics(const CycleStats& out,
+                                      const PhaseAccum& phases) {
+  EngineMetrics& m = *metrics_;
+  m.flush_ingest();
+  m.cycles_total->inc();
+  m.cycle_seconds->observe(static_cast<double>(out.cycle_micros) * 1e-6);
+  for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+    m.phase_seconds[i]->observe(static_cast<double>(phases.ns[i]) * 1e-9);
+  }
+  m.events[static_cast<std::size_t>(CyclePhase::Expire)]->inc(out.drops);
+  m.events[static_cast<std::size_t>(CyclePhase::Classify)]->inc(
+      out.classifications);
+  m.events[static_cast<std::size_t>(CyclePhase::Split)]->inc(out.splits);
+  m.events[static_cast<std::size_t>(CyclePhase::Join)]->inc(out.joins);
+  m.events[static_cast<std::size_t>(CyclePhase::Compact)]->inc(
+      out.compactions);
+  for (const net::Family family : {net::Family::V4, net::Family::V6}) {
+    const IpdTrie& trie = this->trie(family);
+    const int f = family_index(family);
+    m.trie_nodes[f]->set(static_cast<double>(trie.node_count()));
+    m.trie_leaves[f]->set(static_cast<double>(trie.leaf_count()));
+    m.trie_memory[f]->set(static_cast<double>(trie.memory_bytes()));
+  }
+  m.ranges_classified->set(static_cast<double>(out.ranges_classified));
+  m.ranges_monitoring->set(static_cast<double>(out.ranges_monitoring));
+  m.tracked_ips->set(static_cast<double>(out.tracked_ips));
+  m.memory_bytes->set(static_cast<double>(out.memory_bytes));
+}
+
 void IpdEngine::cycle_family(IpdTrie& trie, util::Timestamp now,
-                             CycleStats& out) {
-  trie.post_order([this, &trie, now, &out](RangeNode& node) {
+                             CycleStats& out, PhaseAccum& phases) {
+  trie.post_order([this, &trie, now, &out, &phases](RangeNode& node) {
     if (node.state() == RangeNode::State::Internal) {
       // Children were processed first: join same-ingress classified
       // siblings, fold away empty monitoring siblings.
+      std::int64_t t = phase_now(phases.enabled);
       if (params_.enable_joins && trie.join_children(node)) {
         ++out.joins;
-      } else if (trie.compact_children(node)) {
-        ++out.compactions;
+        if (phases.enabled) {
+          phases.ns[static_cast<std::size_t>(CyclePhase::Join)] +=
+              obs::monotonic_ns() - t;
+        }
+        return;
+      }
+      if (phases.enabled) {
+        const std::int64_t t2 = obs::monotonic_ns();
+        phases.ns[static_cast<std::size_t>(CyclePhase::Join)] += t2 - t;
+        t = t2;
+      }
+      if (trie.compact_children(node)) ++out.compactions;
+      if (phases.enabled) {
+        phases.ns[static_cast<std::size_t>(CyclePhase::Compact)] +=
+            obs::monotonic_ns() - t;
       }
       return;
     }
-    handle_leaf(trie, node, now, out);
+    handle_leaf(trie, node, now, out, phases);
   });
 }
 
 void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
-                            CycleStats& out) {
+                            CycleStats& out, PhaseAccum& phases) {
   const net::Family family = trie.family();
+  const auto charge = [&phases](CyclePhase phase, std::int64_t t0) {
+    if (phases.enabled) {
+      phases.ns[static_cast<std::size_t>(phase)] += obs::monotonic_ns() - t0;
+    }
+  };
 
   if (node.state() == RangeNode::State::Classified) {
     // Quiet classified ranges decay; once the counters are negligible —
     // or the range has been quiet for too long — it is dropped so stale
     // mappings disappear quickly.
+    const std::int64_t t0 = phase_now(phases.enabled);
     const util::Duration age = now - node.last_update();
     if (age > params_.e) {
       node.counts().scale(params_.decay_factor(age));
@@ -119,6 +305,7 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
       if (node.counts().total() < floor || age > params_.drop_after) {
         node.reset_to_monitoring();
         ++out.drops;
+        charge(CyclePhase::Expire, t0);
         return;
       }
     }
@@ -127,24 +314,32 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
       node.reset_to_monitoring();
       ++out.drops;
     }
+    charge(CyclePhase::Expire, t0);
     return;
   }
 
   // Monitoring leaf: expire per-IP state older than e seconds.
+  std::int64_t t0 = phase_now(phases.enabled);
   node.expire_before(now - params_.e);
+  charge(CyclePhase::Expire, t0);
 
   const int len = node.prefix().length();
   const double n_cidr = params_.n_cidr(family, len);
   if (node.counts().total() < n_cidr) return;  // not enough data yet
 
+  t0 = phase_now(phases.enabled);
   if (const auto prevalent = find_prevalent(node.counts())) {
     node.classify(*prevalent, now);
     ++out.classifications;
+    charge(CyclePhase::Classify, t0);
     return;
   }
+  charge(CyclePhase::Classify, t0);
 
   if (len < params_.cidr_max(family)) {
+    t0 = phase_now(phases.enabled);
     if (trie.split(node)) ++out.splits;
+    charge(CyclePhase::Split, t0);
     return;
   }
   // At cidr_max with no prevalent ingress ("try to join", Alg. 1 line 15):

@@ -11,17 +11,39 @@
 //   * classified ranges whose prevalent ingress is no longer valid are
 //     dropped,
 //   * sibling ranges classified to the same ingress are joined.
+//
+// Observability: attach_metrics() hooks the engine into an
+// obs::MetricsRegistry — per-family/per-ingress-link ingest counters,
+// per-phase stage-2 timing histograms, trie size/memory gauges. With no
+// registry attached the hot paths carry a single null check and nothing
+// else; phase timing is only measured while metrics are attached.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "core/params.hpp"
 #include "core/trie.hpp"
 #include "netflow/flow_record.hpp"
+#include "obs/metrics.hpp"
 
 namespace ipd::core {
+
+/// The distinct kinds of stage-2 work, timed separately per cycle.
+enum class CyclePhase : std::uint8_t {
+  Expire = 0,  // per-IP expiry + decay/drop of quiet classified ranges
+  Classify,    // dominance test + classification
+  Split,       // splitting undecided ranges
+  Join,        // joining same-ingress classified siblings
+  Compact,     // folding empty sibling pairs into their parent
+};
+inline constexpr std::size_t kNumCyclePhases = 5;
+
+const char* to_string(CyclePhase phase) noexcept;
 
 /// Counters describing one stage-2 cycle.
 struct CycleStats {
@@ -35,8 +57,12 @@ struct CycleStats {
   std::uint64_t ranges_classified = 0;
   std::uint64_t ranges_monitoring = 0;
   std::uint64_t tracked_ips = 0;      // per-IP entries held (stage-1 state)
-  std::uint64_t memory_bytes = 0;     // estimated heap usage of both tries
+  std::uint64_t memory_bytes = 0;     // estimated heap: tries + metrics
+                                      // registry (+ bin buffer, see runner)
   std::int64_t cycle_micros = 0;      // wall-clock stage-2 runtime
+  // Per-phase wall time, indexed by CyclePhase. Only populated while
+  // metrics are attached (timing every leaf visit is not free).
+  std::array<std::int64_t, kNumCyclePhases> phase_micros{};
 };
 
 /// Lifetime counters.
@@ -49,11 +75,111 @@ struct EngineStats {
   std::uint64_t total_drops = 0;
 };
 
+/// Stable handles into a MetricsRegistry for everything the engine exports.
+/// Construction registers the full metric surface; updating is relaxed
+/// atomics only. Kept public so the runner/collector layers can share the
+/// same registry and naming conventions (see README "Observability").
+///
+/// Ingest counters are *delta-buffered*: record_ingest() only bumps plain
+/// (single-writer — stage 1 runs on one thread, §5.7) integers plus a
+/// direct-mapped per-link slot, and flush_ingest() publishes the deltas to
+/// the registry at every stage-2 cycle. This keeps the per-flow cost to a
+/// few adds, well inside the < 2% ingest budget; the registry trails live
+/// ingest by at most one cycle (t = 60 s of data time).
+class EngineMetrics {
+ public:
+  explicit EngineMetrics(obs::MetricsRegistry& registry);
+
+  obs::MetricsRegistry& registry() noexcept { return *registry_; }
+  const obs::MetricsRegistry& registry() const noexcept { return *registry_; }
+
+  /// Hot path (stage 1), step 1: start pulling the link's cache slot into
+  /// L1 while the caller does the (much larger) trie work. The slot array
+  /// is too big to stay cache-resident next to the trie's working set, so
+  /// without this the slot access eats an L2 round trip per flow.
+  void prefetch_ingest(topology::LinkId link) const noexcept {
+    __builtin_prefetch(&link_cache_[slot_index(link)], 1, 3);
+  }
+
+  /// Hot path (stage 1), step 2: buffer one ingested sample.
+  void record_ingest(net::Family family, topology::LinkId link,
+                     std::uint64_t weight) noexcept {
+    const int f = family == net::Family::V4 ? 0 : 1;
+    ++pending_flows_[f];
+    pending_weight_[f] += weight;
+    const std::uint64_t tag = link.key() + 1;  // 0 = empty slot
+    LinkSlot& slot = link_cache_[slot_index(link)];
+    if (slot.tag == tag) {
+      ++slot.count;
+      return;
+    }
+    evict_link_slot(slot, tag);
+  }
+
+  /// Publish buffered ingest deltas into the registry (called from
+  /// run_cycle; cheap enough to call ad hoc before scraping).
+  void flush_ingest();
+
+  /// Per-ingress-link ingest counter, created on first use.
+  obs::Counter& link_counter(topology::LinkId link);
+
+  // Hot-path handles, indexed by family (0 = v4, 1 = v6) / CyclePhase.
+  std::array<obs::Counter*, 2> ingest_flows{};
+  std::array<obs::Counter*, 2> ingest_weight{};
+  obs::Histogram* cycle_seconds = nullptr;
+  std::array<obs::Histogram*, kNumCyclePhases> phase_seconds{};
+  obs::Counter* cycles_total = nullptr;
+  std::array<obs::Counter*, kNumCyclePhases> events{};  // by phase outcome
+  std::array<obs::Gauge*, 2> trie_nodes{};
+  std::array<obs::Gauge*, 2> trie_leaves{};
+  std::array<obs::Gauge*, 2> trie_memory{};
+  obs::Gauge* ranges_classified = nullptr;
+  obs::Gauge* ranges_monitoring = nullptr;
+  obs::Gauge* tracked_ips = nullptr;
+  obs::Gauge* memory_bytes = nullptr;
+
+ private:
+  struct LinkSlot {
+    std::uint64_t tag = 0;  // link.key() + 1; 0 = empty
+    std::uint64_t count = 0;
+  };
+  // 4096 slots (64 KiB) keeps the expected number of colliding hot-link
+  // pairs near zero even for a deployment-scale set of ~1000 links; only
+  // the hot slots occupy cache.
+  static constexpr std::size_t kLinkCacheBits = 12;
+  static constexpr std::size_t kLinkCacheShift = 64 - kLinkCacheBits;
+
+  static constexpr std::size_t slot_index(topology::LinkId link) noexcept {
+    return (link.key() * 0x9e3779b97f4a7c15ULL) >> kLinkCacheShift;
+  }
+
+  void evict_link_slot(LinkSlot& slot, std::uint64_t new_tag);
+
+  obs::MetricsRegistry* registry_;
+  std::unordered_map<std::uint64_t, obs::Counter*> link_counters_;
+
+  // Single-writer ingest delta buffers (see class comment).
+  std::array<std::uint64_t, 2> pending_flows_{};
+  std::array<std::uint64_t, 2> pending_weight_{};
+  std::array<LinkSlot, std::size_t{1} << kLinkCacheBits> link_cache_{};
+  std::unordered_map<std::uint64_t, std::uint64_t> link_overflow_;
+};
+
 class IpdEngine {
  public:
   explicit IpdEngine(IpdParams params);
 
   const IpdParams& params() const noexcept { return params_; }
+
+  /// Export metrics into `registry` from now on (replaces any previous
+  /// attachment). The registry must outlive the engine.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+  /// The attached registry, or nullptr.
+  obs::MetricsRegistry* metrics_registry() const noexcept {
+    return metrics_ ? &metrics_->registry() : nullptr;
+  }
+  EngineMetrics* metrics() noexcept { return metrics_.get(); }
 
   /// Stage 1: add one sample of `weight` (1 flow, or its byte count when
   /// count_mode is Bytes). Hot path.
@@ -85,14 +211,24 @@ class IpdEngine {
   std::optional<IngressId> find_prevalent(const IngressCounts& counts) const;
 
  private:
-  void cycle_family(IpdTrie& trie, util::Timestamp now, CycleStats& out);
+  /// Per-cycle phase-time accumulator (nanoseconds); timing is skipped
+  /// entirely when metrics are not attached.
+  struct PhaseAccum {
+    bool enabled = false;
+    std::array<std::int64_t, kNumCyclePhases> ns{};
+  };
+
+  void cycle_family(IpdTrie& trie, util::Timestamp now, CycleStats& out,
+                    PhaseAccum& phases);
   void handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
-                   CycleStats& out);
+                   CycleStats& out, PhaseAccum& phases);
+  void publish_cycle_metrics(const CycleStats& out, const PhaseAccum& phases);
 
   IpdParams params_;
   IpdTrie trie4_;
   IpdTrie trie6_;
   EngineStats stats_;
+  std::unique_ptr<EngineMetrics> metrics_;
 };
 
 }  // namespace ipd::core

@@ -1,0 +1,143 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace ipd::obs {
+
+namespace {
+
+/// Escape a label value per the exposition format (backslash, quote, \n).
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` or "" for an empty set; `extra` appends one more
+/// pair (used for the histogram `le` label).
+std::string prom_labels(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += prom_escape(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += prom_escape(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return util::format("%lld", static_cast<long long>(v));
+  }
+  return util::format("%.17g", v);
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& family : registry.collect()) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " ";
+    out += to_string(family.type);
+    out += '\n';
+    for (const auto& sample : family.samples) {
+      if (family.type == MetricType::Histogram) {
+        for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+          out += family.name + "_bucket" +
+                 prom_labels(sample.labels, "le", format_value(sample.bounds[i])) +
+                 " " + util::format("%llu", static_cast<unsigned long long>(
+                                                sample.cumulative[i])) +
+                 "\n";
+        }
+        out += family.name + "_bucket" +
+               prom_labels(sample.labels, "le", "+Inf") + " " +
+               util::format("%llu",
+                            static_cast<unsigned long long>(sample.count)) +
+               "\n";
+        out += family.name + "_sum" + prom_labels(sample.labels) + " " +
+               format_value(sample.sum) + "\n";
+        out += family.name + "_count" + prom_labels(sample.labels) + " " +
+               util::format("%llu",
+                            static_cast<unsigned long long>(sample.count)) +
+               "\n";
+      } else {
+        out += family.name + prom_labels(sample.labels) + " " +
+               format_value(sample.value) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json_line(const MetricsRegistry& registry, util::Timestamp ts) {
+  std::string out = "{\"ts\":" + util::format("%lld", static_cast<long long>(ts)) +
+                    ",\"metrics\":[";
+  bool first_metric = true;
+  for (const auto& family : registry.collect()) {
+    for (const auto& sample : family.samples) {
+      if (!first_metric) out += ',';
+      first_metric = false;
+      out += "{\"name\":\"" + util::json_escape(family.name) + "\",\"type\":\"";
+      out += to_string(family.type);
+      out += "\",\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : sample.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        out += "\"" + util::json_escape(k) + "\":\"" + util::json_escape(v) + "\"";
+      }
+      out += '}';
+      if (family.type == MetricType::Histogram) {
+        out += ",\"count\":" +
+               util::format("%llu",
+                            static_cast<unsigned long long>(sample.count));
+        out += ",\"sum\":" + format_value(sample.sum);
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+          if (i) out += ',';
+          out += "{\"le\":" + format_value(sample.bounds[i]) + ",\"n\":" +
+                 util::format("%llu", static_cast<unsigned long long>(
+                                          sample.cumulative[i])) +
+                 "}";
+        }
+        out += ']';
+      } else {
+        out += ",\"value\":" + format_value(sample.value);
+      }
+      out += '}';
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace ipd::obs

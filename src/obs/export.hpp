@@ -1,0 +1,30 @@
+// Exporters over a MetricsRegistry.
+//
+//   to_prometheus  — the text exposition format (version 0.0.4): one
+//                    # HELP / # TYPE header per family, histogram bucket
+//                    series with cumulative `le` labels plus _sum/_count.
+//   to_json_line   — one JSON object per call ("JSON lines"): a timestamp
+//                    plus every sample flattened to {name, labels, value}.
+//                    Appending one line per 5-minute bin gives a
+//                    time-series file any script can replay.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace ipd::obs {
+
+/// Render the whole registry in Prometheus text exposition format.
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Render the whole registry as a single JSON object (one line, trailing
+/// newline) stamped with simulated time `ts`.
+std::string to_json_line(const MetricsRegistry& registry, util::Timestamp ts);
+
+/// Format a metric value the way Prometheus expects ("+Inf", integers
+/// without exponent, shortest round-trip doubles otherwise).
+std::string format_value(double v);
+
+}  // namespace ipd::obs

@@ -1,12 +1,40 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
+
+#include "util/strings.hpp"
 
 namespace ipd::util {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::Info};
+std::atomic<LogFormat> g_format{LogFormat::Text};
+std::once_flag g_env_once;
+
+// The sink is guarded by a mutex: log lines are rare (the library logs at
+// Warn and above only) and interleaved output is worse than a lock.
+std::mutex g_sink_mutex;
+LogSink g_sink;
+
+/// True if `value` needs quoting in text output to stay one token.
+bool needs_quotes(std::string_view value) noexcept {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void default_sink(const LogRecord& record) {
+  std::cerr << format_log_line(record, g_format.load()) << '\n';
+}
+
+}  // namespace
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -17,14 +45,89 @@ const char* level_name(LogLevel level) noexcept {
   }
   return "?";
 }
-}  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  return std::nullopt;
+}
+
+std::string LogField::format_double(double v) { return format("%g", v); }
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
-void log(LogLevel level, const std::string& message) {
+std::optional<LogLevel> init_log_level_from_env() {
+  const char* env = std::getenv("IPD_LOG_LEVEL");
+  if (env == nullptr) return std::nullopt;
+  const auto level = parse_log_level(env);
+  if (level) g_level.store(*level);
+  return level;
+}
+
+void set_log_format(LogFormat format) noexcept { g_format.store(format); }
+LogFormat log_format() noexcept { return g_format.load(); }
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+std::string format_log_line(const LogRecord& record, LogFormat format) {
+  if (format == LogFormat::Json) {
+    std::string out = "{\"level\":\"";
+    out += level_name(record.level);
+    out += "\",\"msg\":\"" + json_escape(record.message) + "\"";
+    for (const auto& field : record.fields) {
+      out += ",\"" + json_escape(field.key) + "\":";
+      if (field.quoted) {
+        out += "\"" + json_escape(field.value) + "\"";
+      } else {
+        out += field.value;
+      }
+    }
+    out += '}';
+    return out;
+  }
+  std::string out = "[";
+  out += level_name(record.level);
+  out += "] ";
+  out += record.message;
+  for (const auto& field : record.fields) {
+    out += ' ';
+    out += field.key;
+    out += '=';
+    if (field.quoted && needs_quotes(field.value)) {
+      out += '"';
+      for (const char c : field.value) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c == '\n' ? ' ' : c;
+      }
+      out += '"';
+    } else {
+      out += field.value;
+    }
+  }
+  return out;
+}
+
+void log(LogLevel level, std::string_view message, const LogFields& fields) {
+  std::call_once(g_env_once, [] { init_log_level_from_env(); });
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  const LogRecord record{level, message, fields};
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(record);
+  } else {
+    default_sink(record);
+  }
 }
 
 }  // namespace ipd::util

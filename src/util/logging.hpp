@@ -1,25 +1,105 @@
-// Minimal leveled logging.
+// Structured leveled logging.
 //
+// Log lines carry a message plus typed key=value fields; the default sink
+// renders them as text ("[WARN] ring full source=3 dropped=17") or as one
+// JSON object per line, and tests/daemons can install their own sink.
 // Benches and examples use this for human-readable progress lines; the
 // library itself logs only at Warn and above so hot paths stay quiet.
+//
+// The minimum level defaults to Info and can be overridden at startup with
+// the IPD_LOG_LEVEL environment variable (debug|info|warn|error, applied
+// on first use or via init_log_level_from_env()).
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
 
 namespace ipd::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
 
-/// Set the global minimum level (default: Info).
+const char* level_name(LogLevel level) noexcept;
+
+/// Parse "debug" / "info" / "warn(ing)" / "error" (case-insensitive).
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
+/// One key=value pair. Numeric values are formatted on construction so the
+/// sink only ever sees strings.
+struct LogField {
+  std::string key;
+  std::string value;
+  bool quoted;  // string-valued fields are quoted in JSON output
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)), quoted(true) {}
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+  template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  LogField(std::string k, T v) : key(std::move(k)), quoted(false) {
+    if constexpr (std::is_floating_point_v<T>) {
+      value = format_double(static_cast<double>(v));
+    } else if constexpr (std::is_signed_v<T>) {
+      value = std::to_string(static_cast<long long>(v));
+    } else {
+      value = std::to_string(static_cast<unsigned long long>(v));
+    }
+  }
+
+ private:
+  static std::string format_double(double v);
+};
+
+using LogFields = std::vector<LogField>;
+
+struct LogRecord {
+  LogLevel level;
+  std::string_view message;
+  const LogFields& fields;
+};
+
+/// Set the global minimum level (default: Info, or IPD_LOG_LEVEL).
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit a log line "[LEVEL] message" to stderr if `level` passes the filter.
-void log(LogLevel level, const std::string& message);
+/// Re-read IPD_LOG_LEVEL. Returns the level applied, if any. Called
+/// automatically before the first log line is emitted.
+std::optional<LogLevel> init_log_level_from_env();
 
-inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }
-inline void log_info(const std::string& m) { log(LogLevel::Info, m); }
-inline void log_warn(const std::string& m) { log(LogLevel::Warn, m); }
-inline void log_error(const std::string& m) { log(LogLevel::Error, m); }
+enum class LogFormat { Text, Json };
+
+/// Output format of the default stderr sink (default: Text).
+void set_log_format(LogFormat format) noexcept;
+LogFormat log_format() noexcept;
+
+/// Replace the sink (nullptr restores the default stderr sink). The sink
+/// is invoked only for records passing the level filter.
+using LogSink = std::function<void(const LogRecord&)>;
+void set_log_sink(LogSink sink);
+
+/// Render a record the way the default sink would.
+std::string format_log_line(const LogRecord& record, LogFormat format);
+
+/// Emit one record if `level` passes the filter.
+void log(LogLevel level, std::string_view message, const LogFields& fields = {});
+
+inline void log_debug(std::string_view m, const LogFields& f = {}) {
+  log(LogLevel::Debug, m, f);
+}
+inline void log_info(std::string_view m, const LogFields& f = {}) {
+  log(LogLevel::Info, m, f);
+}
+inline void log_warn(std::string_view m, const LogFields& f = {}) {
+  log(LogLevel::Warn, m, f);
+}
+inline void log_error(std::string_view m, const LogFields& f = {}) {
+  log(LogLevel::Error, m, f);
+}
 
 }  // namespace ipd::util

@@ -23,4 +23,8 @@ std::uint64_t parse_uint(std::string_view s, std::uint64_t max_value);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escape `s` for use inside a double-quoted JSON string (quotes,
+/// backslashes, control characters; input is treated as raw bytes).
+std::string json_escape(std::string_view s);
+
 }  // namespace ipd::util

@@ -1,0 +1,146 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace ipd::util {
+namespace {
+
+/// Captures records into a vector and restores all global logging state
+/// (sink, level, format) on destruction so tests stay independent.
+class CaptureSink {
+ public:
+  CaptureSink() {
+    set_log_sink([this](const LogRecord& record) {
+      Entry e;
+      e.level = record.level;
+      e.message = std::string(record.message);
+      for (const auto& f : record.fields) e.fields.push_back(f);
+      entries.push_back(std::move(e));
+    });
+  }
+  ~CaptureSink() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::Info);
+    set_log_format(LogFormat::Text);
+  }
+
+  struct Entry {
+    LogLevel level;
+    std::string message;
+    LogFields fields;
+  };
+  std::vector<Entry> entries;
+};
+
+TEST(LogLevelParse, AcceptsKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(LogLevelNames, RoundTrip) {
+  for (const auto level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                           LogLevel::Error}) {
+    EXPECT_EQ(parse_log_level(level_name(level)), level);
+  }
+}
+
+TEST(Logging, SinkReceivesMessageAndFields) {
+  CaptureSink sink;
+  log_warn("ring full", {{"source", 3}, {"dropped", 17u}, {"fatal", false}});
+  ASSERT_EQ(sink.entries.size(), 1u);
+  const auto& e = sink.entries[0];
+  EXPECT_EQ(e.level, LogLevel::Warn);
+  EXPECT_EQ(e.message, "ring full");
+  ASSERT_EQ(e.fields.size(), 3u);
+  EXPECT_EQ(e.fields[0].key, "source");
+  EXPECT_EQ(e.fields[0].value, "3");
+  EXPECT_FALSE(e.fields[0].quoted);
+  EXPECT_EQ(e.fields[1].value, "17");
+  EXPECT_EQ(e.fields[2].value, "false");
+}
+
+TEST(Logging, LevelFilterSuppressesBelowMinimum) {
+  CaptureSink sink;
+  set_log_level(LogLevel::Warn);
+  log_debug("hidden");
+  log_info("hidden");
+  log_warn("shown");
+  log_error("shown");
+  ASSERT_EQ(sink.entries.size(), 2u);
+  EXPECT_EQ(sink.entries[0].level, LogLevel::Warn);
+  EXPECT_EQ(sink.entries[1].level, LogLevel::Error);
+
+  set_log_level(LogLevel::Debug);
+  log_debug("now visible");
+  EXPECT_EQ(sink.entries.size(), 3u);
+}
+
+TEST(Logging, EnvVariableControlsLevel) {
+  CaptureSink sink;
+  ASSERT_EQ(setenv("IPD_LOG_LEVEL", "error", 1), 0);
+  EXPECT_EQ(init_log_level_from_env(), LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  log_warn("hidden");
+  log_error("shown");
+  ASSERT_EQ(sink.entries.size(), 1u);
+  EXPECT_EQ(sink.entries[0].message, "shown");
+
+  // Unparseable values leave the level untouched.
+  ASSERT_EQ(setenv("IPD_LOG_LEVEL", "loud", 1), 0);
+  EXPECT_EQ(init_log_level_from_env(), std::nullopt);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+
+  ASSERT_EQ(unsetenv("IPD_LOG_LEVEL"), 0);
+  EXPECT_EQ(init_log_level_from_env(), std::nullopt);
+}
+
+TEST(LogFormatting, TextLineQuotesOnlyWhenNeeded) {
+  const LogFields fields{{"file", "/tmp/a b.prom"}, {"n", 42}, {"ok", true}};
+  const LogRecord record{LogLevel::Info, "wrote metrics", fields};
+  EXPECT_EQ(format_log_line(record, LogFormat::Text),
+            "[INFO] wrote metrics file=\"/tmp/a b.prom\" n=42 ok=true");
+
+  const LogFields bare{{"source", "udp0"}};
+  const LogRecord record2{LogLevel::Error, "decode failed", bare};
+  EXPECT_EQ(format_log_line(record2, LogFormat::Json),
+            "{\"level\":\"ERROR\",\"msg\":\"decode failed\","
+            "\"source\":\"udp0\"}");
+}
+
+TEST(LogFormatting, JsonEscapesAndTypes) {
+  const LogFields fields{{"path", "a\"b\\c\nd"}, {"count", 7}, {"up", false}};
+  const LogRecord record{LogLevel::Warn, "odd \"msg\"", fields};
+  EXPECT_EQ(format_log_line(record, LogFormat::Json),
+            "{\"level\":\"WARN\",\"msg\":\"odd \\\"msg\\\"\","
+            "\"path\":\"a\\\"b\\\\c\\nd\",\"count\":7,\"up\":false}");
+}
+
+TEST(LogFormatting, FloatFieldsUseCompactForm) {
+  const LogField f("ratio", 0.25);
+  EXPECT_EQ(f.value, "0.25");
+  EXPECT_FALSE(f.quoted);
+  const LogField g("whole", 3.0);
+  EXPECT_EQ(std::stod(g.value), 3.0);
+}
+
+TEST(Logging, NullSinkRestoresDefault) {
+  // Installing then clearing a sink must not lose records or crash; the
+  // default stderr sink takes over again (not capturable, so just smoke).
+  {
+    CaptureSink sink;
+    log_info("captured");
+    EXPECT_EQ(sink.entries.size(), 1u);
+  }
+  EXPECT_NO_THROW(log_info("to stderr"));
+}
+
+}  // namespace
+}  // namespace ipd::util

@@ -1,6 +1,11 @@
 // ipd_replay — run IPD over a recorded trace file.
 //
-// Usage: ipd_replay <in.trace> [ncidr_factor4=auto] [q=0.95]
+// Usage: ipd_replay [flags] <in.trace> [ncidr_factor4=auto] [q=0.95]
+//
+//   --metrics-out=<file>    write a Prometheus text-exposition snapshot of
+//                           the full metrics registry after the replay
+//   --metrics-jsonl=<file>  append one JSON metrics line per 5-minute bin
+//   --log-json              emit structured log lines as JSON
 //
 // Streams the trace through an IpdEngine with the standard 60 s cycle /
 // 5 min snapshot cadence and prints per-snapshot partition statistics plus
@@ -9,23 +14,55 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/runner.hpp"
 #include "core/output.hpp"
 #include "netflow/codec.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 using namespace ipd;
 
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--metrics-out=<file>] [--metrics-jsonl=<file>] "
+               "[--log-json] <in.trace> [ncidr_factor4=auto] [q=0.95]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <in.trace> [ncidr_factor4=auto] [q=0.95]\n",
-                 argv[0]);
-    return 2;
+  std::string metrics_out;
+  std::string metrics_jsonl;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (util::starts_with(arg, "--metrics-out=")) {
+      metrics_out = arg.substr(14);
+    } else if (util::starts_with(arg, "--metrics-jsonl=")) {
+      metrics_jsonl = arg.substr(16);
+    } else if (arg == "--log-json") {
+      util::set_log_format(util::LogFormat::Json);
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "unknown flag %s\n", std::string(arg).c_str());
+      return usage(argv[0]);
+    } else {
+      positional.emplace_back(arg);
+    }
   }
-  std::ifstream in(argv[1], std::ios::binary);
+  if (positional.empty()) return usage(argv[0]);
+
+  std::ifstream in(positional[0], std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", positional[0].c_str());
     return 1;
   }
   netflow::TraceReader reader(in);
@@ -45,8 +82,8 @@ int main(int argc, char** argv) {
   const double fpm = static_cast<double>(records.size()) / span_min;
 
   core::IpdParams params;
-  if (argc > 2 && std::atof(argv[2]) > 0.0) {
-    params.ncidr_factor4 = std::atof(argv[2]);
+  if (positional.size() > 1 && std::atof(positional[1].c_str()) > 0.0) {
+    params.ncidr_factor4 = std::atof(positional[1].c_str());
     params.ncidr_factor6 = params.ncidr_factor4 * 24.0 / 64.0;
   } else {
     // Same scaling rule as workload::scaled_params, from the trace itself.
@@ -55,14 +92,28 @@ int main(int argc, char** argv) {
     params.ncidr_factor6 = std::max(params.ncidr_factor4 * 1e-5, 1e-9);
     params.ncidr_floor = 6.0;
   }
-  if (argc > 3) params.q = std::atof(argv[3]);
+  if (positional.size() > 2) params.q = std::atof(positional[2].c_str());
   params.validate();
 
-  std::printf("replaying %zu records (%.0f flows/min) with ncidr_factor4=%g "
-              "q=%.3f\n",
-              records.size(), fpm, params.ncidr_factor4, params.q);
+  util::log_info("replaying trace",
+                 {{"records", records.size()},
+                  {"flows_per_min", fpm},
+                  {"ncidr_factor4", params.ncidr_factor4},
+                  {"q", params.q}});
 
+  obs::MetricsRegistry registry;
   core::IpdEngine engine(params);
+  engine.attach_metrics(registry);
+
+  std::ofstream jsonl;
+  if (!metrics_jsonl.empty()) {
+    jsonl.open(metrics_jsonl, std::ios::app);
+    if (!jsonl) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_jsonl.c_str());
+      return 1;
+    }
+  }
+
   analysis::BinnedRunner runner(engine, nullptr);
   core::Snapshot last;
   runner.on_snapshot = [&](util::Timestamp ts, const core::Snapshot& snap,
@@ -73,6 +124,10 @@ int main(int argc, char** argv) {
                 util::format_sim_time(ts).c_str(), snap.size(),
                 static_cast<unsigned long long>(classified), table.size());
     last = snap;
+  };
+  runner.on_metrics = [&](util::Timestamp ts,
+                          const obs::MetricsRegistry& reg) {
+    if (jsonl.is_open()) jsonl << obs::to_json_line(reg, ts);
   };
   for (const auto& r : records) runner.offer(r);
   runner.finish();
@@ -90,5 +145,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.total_splits),
               static_cast<unsigned long long>(stats.total_joins),
               static_cast<unsigned long long>(stats.total_drops));
+
+  const auto* cycle_hist = engine.metrics()->cycle_seconds;
+  std::printf("cycle time p50=%.3f ms p95=%.3f ms p99=%.3f ms (n=%llu)\n",
+              cycle_hist->quantile(0.50) * 1e3,
+              cycle_hist->quantile(0.95) * 1e3,
+              cycle_hist->quantile(0.99) * 1e3,
+              static_cast<unsigned long long>(cycle_hist->count()));
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << obs::to_prometheus(registry);
+    util::log_info("wrote metrics snapshot",
+                   {{"file", metrics_out},
+                    {"families", registry.family_count()},
+                    {"instruments", registry.instrument_count()}});
+  }
   return 0;
 }
