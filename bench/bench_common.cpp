@@ -2,9 +2,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 namespace ipd::bench {
+
+void write_json_report(const std::string& name, const std::string& json) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("IPD_BENCH_JSON_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << json << '\n';
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
 
 double bench_scale() {
   if (const char* env = std::getenv("IPD_BENCH_SCALE")) {

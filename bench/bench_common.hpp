@@ -55,6 +55,12 @@ std::function<topology::RouterId(const net::Prefix&, std::size_t,
                                  util::Timestamp)>
 make_ingress_oracle(const BenchSetup& setup);
 
+/// Write a machine-readable benchmark report. `json` must be a complete
+/// JSON document; it lands in "BENCH_<name>.json" in the current directory
+/// (or under $IPD_BENCH_JSON_DIR when set) so CI can collect the files as
+/// artifacts. Prints the path written.
+void write_json_report(const std::string& name, const std::string& json);
+
 /// Print a section header for the run log.
 void print_header(const std::string& figure, const std::string& claim);
 

@@ -4,6 +4,8 @@
 // classification multiplies the number of ranges to check.
 #include "bench_common.hpp"
 
+#include <chrono>
+
 #include "analysis/paramstudy.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -34,15 +36,39 @@ int main() {
                        "classified"});
   double first_ranges = 0, last_ranges = 0;
   double first_mem = 0, last_mem = 0;
+  // Machine-readable twin of the CSV for CI artifacts (BENCH_fig20.json).
+  std::string json = util::format(
+      "{\"bench\":\"fig20_resources\",\"trace_records\":%zu,\"rows\":[",
+      trace.size());
   for (int cidr_max = 20; cidr_max <= 28; ++cidr_max) {
     core::IpdParams params = base;
     params.cidr_max4 = cidr_max;
     params.cidr_max6 = 32 + (cidr_max - 20) * 2;
+    const auto wall0 = std::chrono::steady_clock::now();
     const auto metrics =
         analysis::evaluate_params(trace, gen.topology(), gen.universe(), params);
+    const double wall_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
     const auto phase_ms = [&metrics](core::CyclePhase p) {
       return metrics.mean_phase_ms[static_cast<std::size_t>(p)];
     };
+    if (cidr_max != 20) json += ',';
+    json += util::format(
+        "{\"cidr_max\":%d,\"throughput_flows_per_s\":%.6g,"
+        "\"mean_cycle_ms\":%.6g,\"p95_cycle_ms\":%.6g,"
+        "\"phase_ms\":{\"expire\":%.6g,\"classify\":%.6g,\"split\":%.6g,"
+        "\"join\":%.6g,\"compact\":%.6g},"
+        "\"peak_memory_mb\":%.6g,\"mean_ranges\":%.6g,\"classified\":%llu}",
+        cidr_max,
+        wall_s > 0.0 ? static_cast<double>(trace.size()) / wall_s : 0.0,
+        metrics.mean_cycle_ms, metrics.p95_cycle_ms,
+        phase_ms(core::CyclePhase::Expire), phase_ms(core::CyclePhase::Classify),
+        phase_ms(core::CyclePhase::Split), phase_ms(core::CyclePhase::Join),
+        phase_ms(core::CyclePhase::Compact), metrics.peak_memory_mb,
+        metrics.mean_ranges,
+        static_cast<unsigned long long>(metrics.final_classified));
     csv.row({util::CsvWriter::num(static_cast<std::int64_t>(cidr_max)),
              util::CsvWriter::num(metrics.mean_cycle_ms, 3),
              util::CsvWriter::num(metrics.p95_cycle_ms, 3),
@@ -63,6 +89,9 @@ int main() {
       last_mem = metrics.peak_memory_mb;
     }
   }
+
+  json += "]}";
+  bench::write_json_report("fig20", json);
 
   bench::print_result("range count growth /20 -> /28", "exponential trend",
                       util::format("%.1fx", first_ranges > 0

@@ -1,0 +1,119 @@
+// Observability overhead on the stage-1 ingest path.
+//
+// The decision log and the tracer are stage-2-only by design: the per-flow
+// ingest path must not grow by more than 3% when both are attached (the
+// acceptance budget; the metrics registry separately holds a < 2% budget,
+// see bench_micro_engine). This bench measures stage-1 throughput in three
+// configurations — bare engine, +metrics, +metrics+tracer+decision-log —
+// and writes the result as BENCH_obs_overhead.json for CI.
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "core/decision_log.hpp"
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
+using namespace ipd;
+
+namespace {
+
+std::vector<netflow::FlowRecord> make_trace() {
+  workload::ScenarioConfig scenario = workload::small_test();
+  scenario.flows_per_minute =
+      static_cast<std::uint64_t>(50000 * bench::bench_scale());
+  workload::FlowGenerator gen(scenario);
+  std::vector<netflow::FlowRecord> out;
+  const util::Timestamp t0 = bench::kDay1 + 20 * util::kSecondsPerHour;
+  gen.run(t0, t0 + 10 * 60,
+          [&](const netflow::FlowRecord& r) { out.push_back(r); });
+  return out;
+}
+
+core::IpdParams bench_params() {
+  workload::ScenarioConfig scenario = workload::small_test();
+  scenario.flows_per_minute = 50000;
+  return workload::scaled_params(scenario);
+}
+
+/// Flows/s for `passes` round-robin passes over the trace; best of
+/// `rounds` fresh engines (min wall time) to shed scheduler noise.
+template <typename Attach>
+double measure(const std::vector<netflow::FlowRecord>& trace, int rounds,
+               int passes, Attach&& attach) {
+  double best = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    core::IpdEngine engine(bench_params());
+    attach(engine);
+    // Warm pass: fault in the trie and caches outside the timed window.
+    for (const auto& r : trace) engine.ingest(r);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int p = 0; p < passes; ++p) {
+      for (const auto& r : trace) engine.ingest(r);
+    }
+    const double s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    const double rate =
+        s > 0.0 ? static_cast<double>(trace.size()) * passes / s : 0.0;
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Stage-1 observability overhead",
+      "tracing + decision log add <= 3% to the per-flow ingest cost");
+
+  const auto trace = make_trace();
+  const int rounds = 3;
+  const int passes = 4;
+
+  const double bare =
+      measure(trace, rounds, passes, [](core::IpdEngine&) {});
+
+  obs::MetricsRegistry registry;
+  const double with_metrics =
+      measure(trace, rounds, passes,
+              [&](core::IpdEngine& e) { e.attach_metrics(registry); });
+
+  obs::MetricsRegistry registry_full;
+  core::DecisionLog decision_log;
+  obs::Tracer tracer;
+  const double full_obs = measure(trace, rounds, passes, [&](core::IpdEngine& e) {
+    e.attach_metrics(registry_full);
+    e.attach_decision_log(decision_log);
+    e.attach_tracer(tracer);
+  });
+
+  const double overhead_vs_metrics =
+      with_metrics > 0.0 ? (with_metrics - full_obs) / with_metrics * 100.0
+                         : 0.0;
+  const double overhead_vs_bare =
+      bare > 0.0 ? (bare - full_obs) / bare * 100.0 : 0.0;
+
+  std::printf("stage-1 throughput (best of %d rounds, %d passes):\n", rounds,
+              passes);
+  std::printf("  bare engine               %12.0f flows/s\n", bare);
+  std::printf("  + metrics                 %12.0f flows/s\n", with_metrics);
+  std::printf("  + tracer + decision log   %12.0f flows/s\n", full_obs);
+  bench::print_result(
+      "tracing+decision-log overhead vs metrics-only", "<= 3%",
+      util::format("%.2f%%", overhead_vs_metrics));
+
+  bench::write_json_report(
+      "obs_overhead",
+      util::format(
+          "{\"bench\":\"obs_overhead\",\"trace_records\":%zu,"
+          "\"rounds\":%d,\"passes\":%d,"
+          "\"throughput_flows_per_s\":{\"bare\":%.6g,\"metrics\":%.6g,"
+          "\"full_observability\":%.6g},"
+          "\"overhead_pct\":{\"tracing_decision_log_vs_metrics\":%.4g,"
+          "\"full_vs_bare\":%.4g},\"budget_pct\":3.0}",
+          trace.size(), rounds, passes, bare, with_metrics, full_obs,
+          overhead_vs_metrics, overhead_vs_bare));
+  return 0;
+}

@@ -1,0 +1,253 @@
+#include "analysis/introspection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/decision_log.hpp"
+#include "core/output.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
+namespace ipd::analysis {
+
+namespace {
+
+/// Parse an optional numeric query parameter; invalid input throws (the
+/// caller maps it to a 400).
+std::size_t uint_param(const obs::HttpRequest& request, std::string_view key,
+                       std::size_t fallback, std::size_t max_value) {
+  const auto raw = request.query_param(key);
+  if (!raw) return fallback;
+  return static_cast<std::size_t>(util::parse_uint(*raw, max_value));
+}
+
+std::string range_row_json(const core::RangeOutput& row) {
+  std::string out = util::format(
+      "{\"range\":\"%s\",\"state\":\"%s\",\"s_ingress\":%.6g,"
+      "\"s_ipcount\":%.6g,\"n_cidr\":%.6g",
+      row.range.to_string().c_str(),
+      row.classified ? "classified" : "monitoring", row.s_ingress,
+      row.s_ipcount, row.n_cidr);
+  if (row.ingress.valid()) {
+    out += ",\"ingress\":\"" + util::json_escape(row.ingress.to_string()) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+obs::HttpResponse bad_request(const std::string& what) {
+  return obs::HttpResponse::json(
+      "{\"error\":\"" + util::json_escape(what) + "\"}", 400);
+}
+
+obs::HttpResponse not_attached(const char* what) {
+  return obs::HttpResponse::json(
+      util::format("{\"error\":\"no %s attached\"}", what), 503);
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(core::IpdEngine& engine,
+                                         std::mutex& engine_mutex,
+                                         IntrospectionConfig config)
+    : engine_(engine), engine_mutex_(engine_mutex), config_(config) {
+  server_.handle("/", [this](const obs::HttpRequest& r) {
+    return handle_index(r);
+  });
+  server_.handle("/healthz", [this](const obs::HttpRequest& r) {
+    return handle_healthz(r);
+  });
+  server_.handle("/metrics", [this](const obs::HttpRequest& r) {
+    return handle_metrics(r);
+  });
+  server_.handle("/ranges", [this](const obs::HttpRequest& r) {
+    return handle_ranges(r);
+  });
+  server_.handle("/explain", [this](const obs::HttpRequest& r) {
+    return handle_explain(r);
+  });
+  server_.handle("/decisions", [this](const obs::HttpRequest& r) {
+    return handle_decisions(r);
+  });
+  server_.handle("/trace", [this](const obs::HttpRequest& r) {
+    return handle_trace(r);
+  });
+}
+
+bool IntrospectionServer::start(std::uint16_t port, std::string* error) {
+  return server_.start(port, error);
+}
+
+obs::HttpResponse IntrospectionServer::handle_index(const obs::HttpRequest&) {
+  return obs::HttpResponse::json(
+      "{\"endpoints\":[\"/healthz\",\"/metrics\",\"/ranges\","
+      "\"/explain?ip=A.B.C.D\",\"/decisions\",\"/trace\"]}");
+}
+
+obs::HttpResponse IntrospectionServer::handle_healthz(const obs::HttpRequest&) {
+  core::EngineStats stats;
+  {
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    stats = engine_.stats();
+  }
+  return obs::HttpResponse::json(util::format(
+      "{\"status\":\"ok\",\"flows_ingested\":%llu,\"cycles_run\":%llu,"
+      "\"requests_served\":%llu}",
+      static_cast<unsigned long long>(stats.flows_ingested),
+      static_cast<unsigned long long>(stats.cycles_run),
+      static_cast<unsigned long long>(requests_served())));
+}
+
+obs::HttpResponse IntrospectionServer::handle_metrics(const obs::HttpRequest&) {
+  const obs::MetricsRegistry* registry = engine_.metrics_registry();
+  if (registry == nullptr) return not_attached("metrics registry");
+  // flush_ingest() publishes the delta-buffered stage-1 counters so a
+  // scrape between cycles is not up to one cycle stale.
+  std::string body;
+  {
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    if (engine_.metrics() != nullptr) engine_.metrics()->flush_ingest();
+    body = obs::to_prometheus(*registry);
+  }
+  obs::HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+obs::HttpResponse IntrospectionServer::handle_ranges(
+    const obs::HttpRequest& request) {
+  std::size_t offset = 0;
+  std::size_t limit = 0;
+  bool classified_only = false;
+  try {
+    offset = uint_param(request, "offset", 0, SIZE_MAX / 2);
+    limit = uint_param(request, "limit", config_.default_page,
+                       SIZE_MAX / 2);
+    classified_only = uint_param(request, "classified", 0, 1) != 0;
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  limit = std::min(limit, config_.max_page);
+
+  core::Snapshot snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    snapshot = core::take_snapshot(engine_, 0, classified_only);
+  }
+  const std::size_t total = snapshot.size();
+  const std::size_t begin = std::min(offset, total);
+  const std::size_t end = std::min(begin + limit, total);
+
+  std::string body = util::format(
+      "{\"total\":%zu,\"offset\":%zu,\"limit\":%zu,\"ranges\":[", total,
+      offset, limit);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i != begin) body += ',';
+    body += range_row_json(snapshot[i]);
+  }
+  body += "]}";
+  return obs::HttpResponse::json(std::move(body));
+}
+
+obs::HttpResponse IntrospectionServer::handle_explain(
+    const obs::HttpRequest& request) {
+  const auto ip_text = request.query_param("ip");
+  if (!ip_text) return bad_request("missing required query parameter: ip");
+  net::IpAddress ip;
+  try {
+    ip = net::IpAddress::from_string(*ip_text);
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+
+  std::string body;
+  {
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    const core::RangeNode& leaf = engine_.trie(ip.family()).locate(ip);
+    const core::IpdParams& params = engine_.params();
+    const double n_cidr =
+        params.n_cidr(ip.family(), leaf.prefix().length());
+    const double total = leaf.counts().total();
+    double share = 0.0;
+    std::string ingress;
+    if (leaf.state() == core::RangeNode::State::Classified) {
+      share = leaf.counts().share_of(leaf.ingress());
+      ingress = leaf.ingress().to_string();
+    } else if (total > 0.0) {
+      const topology::LinkId top = leaf.counts().top_link();
+      share = leaf.counts().count_for(top) / total;
+      ingress = core::IngressId(top).to_string();
+    }
+    body = util::format(
+        "{\"ip\":\"%s\",\"range\":\"%s\",\"state\":\"%s\",\"samples\":%.6g,"
+        "\"share\":%.6g,\"last_update\":%lld",
+        ip.to_string().c_str(), leaf.prefix().to_string().c_str(),
+        leaf.state() == core::RangeNode::State::Classified ? "classified"
+                                                           : "monitoring",
+        total, share, static_cast<long long>(leaf.last_update()));
+    if (!ingress.empty()) {
+      body += ",\"ingress\":\"" + util::json_escape(ingress) + "\"";
+    }
+    body += util::format(
+        ",\"thresholds\":{\"n_cidr\":%.6g,\"q\":%.6g,\"t\":%lld,\"e\":%lld}",
+        n_cidr, params.q, static_cast<long long>(params.t),
+        static_cast<long long>(params.e));
+  }
+
+  body += ",\"events\":[";
+  if (const core::DecisionLog* log = engine_.decision_log()) {
+    const auto events = log->events_covering(ip);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i != 0) body += ',';
+      body += core::to_json(events[i]);
+    }
+    body += util::format("],\"events_held\":%zu}", events.size());
+  } else {
+    body += "],\"events_held\":0}";
+  }
+  return obs::HttpResponse::json(std::move(body));
+}
+
+obs::HttpResponse IntrospectionServer::handle_decisions(
+    const obs::HttpRequest& request) {
+  const core::DecisionLog* log = engine_.decision_log();
+  if (log == nullptr) return not_attached("decision log");
+  std::size_t limit = 0;
+  try {
+    limit = uint_param(request, "limit", config_.default_page, SIZE_MAX / 2);
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  auto events = log->snapshot();
+  if (events.size() > limit) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(limit));
+  }
+  std::string body = util::format(
+      "{\"total_recorded\":%llu,\"dropped\":%llu,\"events\":[",
+      static_cast<unsigned long long>(log->total_recorded()),
+      static_cast<unsigned long long>(log->dropped()));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) body += ',';
+    body += core::to_json(events[i]);
+  }
+  body += "]}";
+  return obs::HttpResponse::json(std::move(body));
+}
+
+obs::HttpResponse IntrospectionServer::handle_trace(
+    const obs::HttpRequest& request) {
+  const obs::Tracer* tracer = engine_.tracer();
+  if (tracer == nullptr) return not_attached("tracer");
+  std::size_t limit = 0;
+  try {
+    limit = uint_param(request, "limit", config_.trace_tail, SIZE_MAX / 2);
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  return obs::HttpResponse::json(tracer->to_json(limit));
+}
+
+}  // namespace ipd::analysis

@@ -1,0 +1,70 @@
+// Live introspection endpoints over a running engine.
+//
+// Binds the embedded HTTP server (obs::HttpServer) to one IpdEngine and
+// its attached observability surfaces:
+//
+//   GET /            endpoint index (JSON)
+//   GET /healthz     liveness + basic engine counters
+//   GET /metrics     Prometheus text exposition of the attached registry
+//   GET /ranges      paginated JSON dump of the current range partition
+//   GET /explain?ip= covering range for an address + its decision history
+//   GET /decisions   tail of the decision audit trail
+//   GET /trace       flight-recorder tail as Chrome trace-event JSON
+//
+// The engine is shared with the ingest thread: every handler takes
+// `engine_mutex` around engine access, and the ingest side must hold the
+// same mutex around offer()/run_cycle() batches. The decision log and
+// tracer are internally synchronized and are read without the engine
+// mutex, so /trace and /decisions never stall ingest.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/engine.hpp"
+#include "obs/http_server.hpp"
+
+namespace ipd::analysis {
+
+struct IntrospectionConfig {
+  std::size_t default_page = 100;  // /ranges rows per page by default
+  std::size_t max_page = 1000;     // /ranges hard cap on `limit`
+  std::size_t trace_tail = 4096;   // /trace events by default
+};
+
+class IntrospectionServer {
+ public:
+  /// `engine` and `engine_mutex` must outlive the server. The metrics
+  /// registry, decision log and tracer are discovered through the engine's
+  /// attachments at request time — attaching them before or after
+  /// construction both work.
+  IntrospectionServer(core::IpdEngine& engine, std::mutex& engine_mutex,
+                      IntrospectionConfig config = {});
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and serve until stop().
+  bool start(std::uint16_t port, std::string* error = nullptr);
+  void stop() { server_.stop(); }
+
+  bool running() const noexcept { return server_.running(); }
+  std::uint16_t port() const noexcept { return server_.port(); }
+  std::uint64_t requests_served() const noexcept {
+    return server_.requests_served();
+  }
+
+ private:
+  obs::HttpResponse handle_index(const obs::HttpRequest& request);
+  obs::HttpResponse handle_healthz(const obs::HttpRequest& request);
+  obs::HttpResponse handle_metrics(const obs::HttpRequest& request);
+  obs::HttpResponse handle_ranges(const obs::HttpRequest& request);
+  obs::HttpResponse handle_explain(const obs::HttpRequest& request);
+  obs::HttpResponse handle_decisions(const obs::HttpRequest& request);
+  obs::HttpResponse handle_trace(const obs::HttpRequest& request);
+
+  core::IpdEngine& engine_;
+  std::mutex& engine_mutex_;
+  IntrospectionConfig config_;
+  obs::HttpServer server_;
+};
+
+}  // namespace ipd::analysis

@@ -11,6 +11,14 @@ std::uint64_t BinnedRunner::bin_buffer_bytes() const noexcept {
 }
 
 void BinnedRunner::run_one_cycle(util::Timestamp ts) {
+  // Close the stage-1 batch span before stage 2 runs: one span per cycle's
+  // worth of ingest, never one per flow.
+  if (obs::Tracer* tracer = engine_.tracer(); tracer && batch_flows_ > 0) {
+    tracer->span("stage1.batch", batch_start_us_,
+                 tracer->now_us() - batch_start_us_,
+                 {{"flows", static_cast<double>(batch_flows_)}});
+    batch_flows_ = 0;
+  }
   auto stats = engine_.run_cycle(ts);
   // The validation bin buffer is part of the deployment loop's working set;
   // count it so Fig.-20-style memory numbers are honest.
@@ -39,8 +47,10 @@ void BinnedRunner::advance_to(util::Timestamp ts) {
 }
 
 void BinnedRunner::take_snapshot(util::Timestamp ts) {
+  obs::SpanTimer span(engine_.tracer(), "snapshot");
   const core::Snapshot snapshot = core::take_snapshot(engine_, ts);
   const core::LpmTable table = core::LpmTable::from_snapshot(snapshot);
+  span.set_args({{"ranges", static_cast<double>(snapshot.size())}});
   if (validation_) {
     for (const auto& record : bin_buffer_) validation_->observe(table, record);
   }
@@ -62,6 +72,9 @@ void BinnedRunner::take_snapshot(util::Timestamp ts) {
 
 void BinnedRunner::offer(const netflow::FlowRecord& record) {
   advance_to(record.ts);
+  if (engine_.tracer() != nullptr && batch_flows_++ == 0) {
+    batch_start_us_ = engine_.tracer()->now_us();
+  }
   engine_.ingest(record);
   if (validation_) bin_buffer_.push_back(record);
 }

@@ -70,6 +70,9 @@ class BinnedRunner {
   util::Timestamp next_snapshot_ = 0;
   bool started_ = false;
   std::uint64_t snapshots_ = 0;
+  // Stage-1 batch span state (only maintained while a tracer is attached).
+  std::int64_t batch_start_us_ = 0;
+  std::uint64_t batch_flows_ = 0;
 };
 
 }  // namespace ipd::analysis

@@ -10,7 +10,11 @@ namespace ipd::collector {
 CollectorService::CollectorService(core::IpdParams params,
                                    CollectorConfig config,
                                    std::size_t n_sources)
-    : config_(config), engine_(std::make_unique<core::IpdEngine>(params)) {
+    : config_(config),
+      engine_(std::make_unique<core::IpdEngine>(params)),
+      // Count-constructed in place: SourceMetrics holds atomics (LogSite)
+      // and is therefore not movable, which rules out resize().
+      source_metrics_(n_sources) {
   if (n_sources == 0) {
     throw std::invalid_argument("CollectorService: need at least one source");
   }
@@ -20,7 +24,6 @@ CollectorService::CollectorService(core::IpdParams params,
         std::make_unique<SpscRing<netflow::FlowRecord>>(config_.ring_capacity));
   }
   ipfix_parsers_.resize(n_sources);
-  source_metrics_.resize(n_sources);
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& registry = *config_.metrics;
     engine_->attach_metrics(registry);
@@ -85,14 +88,12 @@ std::size_t CollectorService::submit_datagram(
       if (!ipfix_parsers_.at(source).parse(bytes, exporter, records)) {
         datagrams_malformed_.fetch_add(1, std::memory_order_relaxed);
         if (datagrams_malformed_metric_) datagrams_malformed_metric_->inc();
-        if (!source_metrics_.at(source).malformed_warned) {
-          source_metrics_[source].malformed_warned = true;
-          util::log_warn("collector: malformed IPFIX datagram (counting "
-                         "further ones silently)",
-                         {{"source", source},
-                          {"exporter", exporter},
-                          {"bytes", bytes.size()}});
-        }
+        util::log_limited(source_metrics_.at(source).malformed_warn_site, 1,
+                          util::LogLevel::Warn,
+                          "collector: malformed IPFIX datagram",
+                          {{"source", source},
+                           {"exporter", exporter},
+                           {"bytes", bytes.size()}});
         return 0;
       }
       if (datagrams_ok_metric_) datagrams_ok_metric_->inc();
@@ -108,13 +109,10 @@ std::size_t CollectorService::submit_datagram(
   }
   datagrams_malformed_.fetch_add(1, std::memory_order_relaxed);
   if (datagrams_malformed_metric_) datagrams_malformed_metric_->inc();
-  if (!source_metrics_.at(source).malformed_warned) {
-    source_metrics_[source].malformed_warned = true;
-    util::log_warn(
-        "collector: undecodable export datagram (counting further ones "
-        "silently)",
-        {{"source", source}, {"exporter", exporter}, {"bytes", bytes.size()}});
-  }
+  util::log_limited(
+      source_metrics_.at(source).malformed_warn_site, 1, util::LogLevel::Warn,
+      "collector: undecodable export datagram",
+      {{"source", source}, {"exporter", exporter}, {"bytes", bytes.size()}});
   return 0;
 }
 
@@ -134,14 +132,12 @@ std::size_t CollectorService::submit_records(
   if (dropped > 0) {
     flows_dropped_.fetch_add(dropped, std::memory_order_relaxed);
     if (sm.ring_dropped) sm.ring_dropped->inc(dropped);
-    if (!sm.drop_warned) {
-      sm.drop_warned = true;
-      util::log_warn("collector: ring full, dropping flow records (flow "
-                     "export is lossy; counting further drops silently)",
-                     {{"source", source},
-                      {"dropped", dropped},
-                      {"capacity", ring.capacity()}});
-    }
+    util::log_limited(sm.drop_warn_site, 1, util::LogLevel::Warn,
+                      "collector: ring full, dropping flow records (flow "
+                      "export is lossy)",
+                      {{"source", source},
+                       {"dropped", dropped},
+                       {"capacity", ring.capacity()}});
   }
   flows_enqueued_.fetch_add(accepted, std::memory_order_relaxed);
   if (sm.flows_enqueued) sm.flows_enqueued->inc(accepted);

@@ -32,6 +32,7 @@
 #include "netflow/statistical_time.hpp"
 #include "netflow/v5.hpp"
 #include "obs/metrics.hpp"
+#include "util/logging.hpp"
 
 namespace ipd::collector {
 
@@ -114,8 +115,10 @@ class CollectorService {
     obs::Gauge* ring_depth = nullptr;
     obs::Counter* ring_dropped = nullptr;
     obs::Counter* flows_enqueued = nullptr;
-    bool drop_warned = false;       // warn once per source, count thereafter
-    bool malformed_warned = false;  // likewise for undecodable datagrams
+    // Warn once per source, thread-safely; further records count into
+    // log_dropped_total / ipd_log_dropped_total instead of vanishing.
+    util::LogSite drop_warn_site;
+    util::LogSite malformed_warn_site;
   };
 
   void ipd_loop();

@@ -1,0 +1,117 @@
+#include "core/decision_log.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace ipd::core {
+
+const char* to_string(DecisionKind kind) noexcept {
+  switch (kind) {
+    case DecisionKind::Classify: return "classify";
+    case DecisionKind::Split: return "split";
+    case DecisionKind::Join: return "join";
+    case DecisionKind::Demote: return "demote";
+    case DecisionKind::Expire: return "expire";
+    case DecisionKind::Compact: return "compact";
+  }
+  return "?";
+}
+
+std::string to_json(const DecisionEvent& event) {
+  std::string out = util::format(
+      "{\"seq\":%llu,\"ts\":%lld,\"kind\":\"%s\",\"range\":\"%s\","
+      "\"samples\":%.6g,\"threshold\":%.6g,\"share\":%.6g,\"q\":%.6g,"
+      "\"age_s\":%lld",
+      static_cast<unsigned long long>(event.seq),
+      static_cast<long long>(event.ts), to_string(event.kind),
+      event.prefix.to_string().c_str(), event.samples, event.threshold,
+      event.share, event.q, static_cast<long long>(event.age));
+  if (event.ingress.valid()) {
+    out += ",\"ingress\":\"" + util::json_escape(event.ingress.to_string()) +
+           "\"";
+  }
+  out += ",\"reason\":\"" + util::json_escape(event.reason) + "\"}";
+  return out;
+}
+
+DecisionLog::DecisionLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void DecisionLog::record(DecisionEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  event.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[static_cast<std::size_t>(event.seq % capacity_)] = std::move(event);
+  }
+}
+
+std::size_t DecisionLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t DecisionLog::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t DecisionLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - ring_.size();
+}
+
+template <typename Pred>
+std::vector<DecisionEvent> DecisionLog::filtered(Pred&& pred) const {
+  std::vector<DecisionEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const DecisionEvent& event : ring_) {
+      if (pred(event)) out.push_back(event);
+    }
+  }
+  // The ring is a rotating window: slot order is not age order once it has
+  // wrapped. Sequence numbers are, always.
+  std::sort(out.begin(), out.end(),
+            [](const DecisionEvent& a, const DecisionEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<DecisionEvent> DecisionLog::snapshot() const {
+  return filtered([](const DecisionEvent&) { return true; });
+}
+
+std::vector<DecisionEvent> DecisionLog::events_covering(
+    const net::IpAddress& ip) const {
+  return filtered(
+      [&ip](const DecisionEvent& event) { return event.prefix.contains(ip); });
+}
+
+std::vector<DecisionEvent> DecisionLog::events_within(
+    const net::Prefix& within) const {
+  return filtered([&within](const DecisionEvent& event) {
+    return within.contains(event.prefix);
+  });
+}
+
+std::size_t DecisionLog::memory_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = sizeof(DecisionLog) + ring_.capacity() * sizeof(DecisionEvent);
+  for (const DecisionEvent& event : ring_) {
+    bytes += event.ingress.ifaces.capacity() * sizeof(topology::InterfaceIndex);
+  }
+  return bytes;
+}
+
+void DecisionLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+}  // namespace ipd::core

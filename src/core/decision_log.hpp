@@ -1,0 +1,116 @@
+// Decision audit trail for the stage-2 lifecycle loop.
+//
+// Every structural decision the engine takes about a range — classify,
+// split, join, demote (classified back to monitoring), expire (a monitoring
+// range draining empty), compact — is recorded with the *numbers that drove
+// it*: observed samples vs. the n_cidr threshold, the dominant-ingress
+// share vs. q, and the quiet age feeding the decay rule. Operators can then
+// ask "why was 203.0.113.0/25 split?" against a live process instead of
+// re-deriving the answer from aggregate counters.
+//
+// Storage is a bounded ring: record() overwrites the oldest event once the
+// ring is full, and overwritten events are counted (dropped()), never
+// silently lost. Decisions only happen in stage 2 (once per cycle per
+// range, at most), so a mutex per record is cheap; the stage-1 ingest path
+// never touches the log. Reason strings must be string literals — events
+// store the pointer, not a copy, so the ring never allocates for them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ingress.hpp"
+#include "net/prefix.hpp"
+#include "util/time.hpp"
+
+namespace ipd::core {
+
+/// The range lifecycle transitions of Algorithm 1, stage 2.
+enum class DecisionKind : std::uint8_t {
+  Classify,  // monitoring -> classified: share >= q with samples >= n_cidr
+  Split,     // monitoring split: samples >= n_cidr but no prevalent ingress
+  Join,      // classified siblings with the same ingress merged into parent
+  Demote,    // classified -> monitoring: decayed away or share fell below q
+  Expire,    // monitoring range drained empty by per-IP expiry (e)
+  Compact,   // two empty monitoring siblings folded into their parent
+};
+
+const char* to_string(DecisionKind kind) noexcept;
+
+/// One recorded decision with its quantitative reason. Field semantics per
+/// kind are documented in DESIGN.md §6c ("Decision audit trail"); briefly:
+///   samples    total sample count of the range when the decision fired
+///   threshold  the bound it was tested against (n_cidr for classify/split,
+///              the decayed-drop floor for demote-by-decay, 0 otherwise)
+///   share      dominant-ingress share at decision time (vs. q)
+///   q          the configured dominance threshold
+///   age        seconds since the range last saw traffic (decay/demote)
+struct DecisionEvent {
+  std::uint64_t seq = 0;  // global sequence number, stamped by record()
+  util::Timestamp ts = 0;  // simulated time of the stage-2 cycle
+  DecisionKind kind = DecisionKind::Classify;
+  net::Prefix prefix;  // the range the decision applied to
+  double samples = 0.0;
+  double threshold = 0.0;
+  double share = 0.0;
+  double q = 0.0;
+  util::Duration age = 0;
+  IngressId ingress;        // classify/join: the winner; demote: the loser
+  const char* reason = "";  // static human-readable rule, e.g. "share >= q"
+};
+
+/// Render one event as a JSON object (used by /explain and tests).
+std::string to_json(const DecisionEvent& event);
+
+class DecisionLog {
+ public:
+  explicit DecisionLog(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  /// Record one event (stamps `seq`). Overwrites the oldest entry when
+  /// full. Thread-safe.
+  void record(DecisionEvent event);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Events currently held (<= capacity()).
+  std::size_t size() const;
+
+  /// Events ever recorded.
+  std::uint64_t total_recorded() const;
+
+  /// Events overwritten by the ring (total_recorded() - size()).
+  std::uint64_t dropped() const;
+
+  /// All held events, oldest first.
+  std::vector<DecisionEvent> snapshot() const;
+
+  /// Held events whose range covers `ip` (the decision history of every
+  /// ancestor of the current covering leaf, plus the leaf itself), oldest
+  /// first. Cross-family events never match.
+  std::vector<DecisionEvent> events_covering(const net::IpAddress& ip) const;
+
+  /// Held events whose range is contained in `within` (drill-down view),
+  /// oldest first.
+  std::vector<DecisionEvent> events_within(const net::Prefix& within) const;
+
+  /// Rough heap usage (ring slots + bundle interface vectors).
+  std::size_t memory_bytes() const;
+
+  /// Drop all held events (total_recorded keeps counting).
+  void clear();
+
+ private:
+  template <typename Pred>
+  std::vector<DecisionEvent> filtered(Pred&& pred) const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<DecisionEvent> ring_;  // capacity_ slots once saturated
+  std::uint64_t next_seq_ = 0;       // == total recorded
+};
+
+}  // namespace ipd::core

@@ -15,6 +15,16 @@ constexpr std::array<CyclePhase, kNumCyclePhases> kAllPhases = {
 constexpr std::array<const char*, kNumCyclePhases> kPhaseEvent = {
     "drop", "classification", "split", "join", "compaction"};
 
+/// Span names for the per-phase tracer output (string literals: the
+/// flight-recorder ring stores the pointers).
+constexpr std::array<const char*, kNumCyclePhases> kPhaseSpan = {
+    "stage2.expire", "stage2.classify", "stage2.split", "stage2.join",
+    "stage2.compact"};
+
+/// Trace-event lane for stage-2 work ("tid" in the Chrome trace model;
+/// stage-1 batches use lane 1, see BinnedRunner).
+constexpr std::uint32_t kStage2Lane = 2;
+
 constexpr int family_index(net::Family family) noexcept {
   return family == net::Family::V4 ? 0 : 1;
 }
@@ -182,9 +192,10 @@ std::optional<IngressId> IpdEngine::find_prevalent(
 
 CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t trace_t0 = tracer_ ? tracer_->now_us() : 0;
   CycleStats out;
   out.now = now;
-  PhaseAccum phases{metrics_ != nullptr, {}};
+  PhaseAccum phases{metrics_ != nullptr || tracer_ != nullptr, {}};
   cycle_family(trie4_, now, out, phases);
   cycle_family(trie6_, now, out, phases);
 
@@ -202,9 +213,11 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
     });
     out.memory_bytes += trie.memory_bytes();
   }
-  // Honest resource accounting: the metrics layer itself occupies heap.
-  // (The runner additionally adds its validation bin buffer.)
+  // Honest resource accounting: the observability layers themselves occupy
+  // heap. (The runner additionally adds its validation bin buffer.)
   if (metrics_) out.memory_bytes += metrics_->registry().memory_bytes();
+  if (decision_log_) out.memory_bytes += decision_log_->memory_bytes();
+  if (tracer_) out.memory_bytes += tracer_->memory_bytes();
 
   for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
     out.phase_micros[i] = phases.ns[i] / 1000;
@@ -218,6 +231,23 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   stats_.total_joins += out.joins;
   stats_.total_drops += out.drops;
   if (metrics_) publish_cycle_metrics(out, phases);
+  if (tracer_) {
+    // Phase time is accumulated across the whole tree walk, not contiguous
+    // intervals — lay the accumulated durations end to end from the cycle
+    // start so they render as a breakdown nested under the cycle span.
+    std::int64_t cursor = trace_t0;
+    for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+      const std::int64_t dur = phases.ns[i] / 1000;
+      tracer_->span(kPhaseSpan[i], cursor, dur, {}, kStage2Lane);
+      cursor += dur;
+    }
+    tracer_->span("stage2.cycle", trace_t0, tracer_->now_us() - trace_t0,
+                  {{"classifications", static_cast<double>(out.classifications)},
+                   {"splits", static_cast<double>(out.splits)},
+                   {"joins", static_cast<double>(out.joins)},
+                   {"drops", static_cast<double>(out.drops)}},
+                  kStage2Lane);
+  }
   return out;
 }
 
@@ -259,6 +289,18 @@ void IpdEngine::cycle_family(IpdTrie& trie, util::Timestamp now,
       std::int64_t t = phase_now(phases.enabled);
       if (params_.enable_joins && trie.join_children(node)) {
         ++out.joins;
+        if (decision_log_) {
+          DecisionEvent event;
+          event.ts = now;
+          event.kind = DecisionKind::Join;
+          event.prefix = node.prefix();
+          event.samples = node.counts().total();
+          event.share = node.counts().share_of(node.ingress());
+          event.q = params_.q;
+          event.ingress = node.ingress();
+          event.reason = "sibling ranges classified to the same ingress";
+          decision_log_->record(std::move(event));
+        }
         if (phases.enabled) {
           phases.ns[static_cast<std::size_t>(CyclePhase::Join)] +=
               obs::monotonic_ns() - t;
@@ -270,7 +312,17 @@ void IpdEngine::cycle_family(IpdTrie& trie, util::Timestamp now,
         phases.ns[static_cast<std::size_t>(CyclePhase::Join)] += t2 - t;
         t = t2;
       }
-      if (trie.compact_children(node)) ++out.compactions;
+      if (trie.compact_children(node)) {
+        ++out.compactions;
+        if (decision_log_) {
+          DecisionEvent event;
+          event.ts = now;
+          event.kind = DecisionKind::Compact;
+          event.prefix = node.prefix();
+          event.reason = "both monitoring children drained empty";
+          decision_log_->record(std::move(event));
+        }
+      }
       if (phases.enabled) {
         phases.ns[static_cast<std::size_t>(CyclePhase::Compact)] +=
             obs::monotonic_ns() - t;
@@ -290,6 +342,25 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
     }
   };
 
+  const auto record_decision = [this, &node, now](
+                                   DecisionKind kind, double samples,
+                                   double threshold, double share,
+                                   util::Duration age, const IngressId& ingress,
+                                   const char* reason) {
+    DecisionEvent event;
+    event.ts = now;
+    event.kind = kind;
+    event.prefix = node.prefix();
+    event.samples = samples;
+    event.threshold = threshold;
+    event.share = share;
+    event.q = params_.q;
+    event.age = age;
+    event.ingress = ingress;
+    event.reason = reason;
+    decision_log_->record(std::move(event));
+  };
+
   if (node.state() == RangeNode::State::Classified) {
     // Quiet classified ranges decay; once the counters are negligible —
     // or the range has been quiet for too long — it is dropped so stale
@@ -303,6 +374,14 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
           params_.drop_below_ncidr_fraction *
               params_.n_cidr(family, node.prefix().length()));
       if (node.counts().total() < floor || age > params_.drop_after) {
+        if (decision_log_) {
+          record_decision(DecisionKind::Demote, node.counts().total(), floor,
+                          node.counts().share_of(node.ingress()), age,
+                          node.ingress(),
+                          node.counts().total() < floor
+                              ? "decayed counters fell below the drop floor"
+                              : "quiet longer than drop_after");
+        }
         node.reset_to_monitoring();
         ++out.drops;
         charge(CyclePhase::Expire, t0);
@@ -311,6 +390,11 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
     }
     // "if prevalent ingress still valid (s_ingress >= q) then keep".
     if (node.counts().share_of(node.ingress()) < params_.q) {
+      if (decision_log_) {
+        record_decision(DecisionKind::Demote, node.counts().total(), 0.0,
+                        node.counts().share_of(node.ingress()), age,
+                        node.ingress(), "dominant-ingress share fell below q");
+      }
       node.reset_to_monitoring();
       ++out.drops;
     }
@@ -320,7 +404,12 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
 
   // Monitoring leaf: expire per-IP state older than e seconds.
   std::int64_t t0 = phase_now(phases.enabled);
+  const std::size_t ips_before = decision_log_ ? node.ips().size() : 0;
   node.expire_before(now - params_.e);
+  if (decision_log_ && ips_before > 0 && node.ips().empty()) {
+    record_decision(DecisionKind::Expire, 0.0, 0.0, 0.0, params_.e,
+                    IngressId{}, "all per-IP state older than e; range empty");
+  }
   charge(CyclePhase::Expire, t0);
 
   const int len = node.prefix().length();
@@ -329,6 +418,11 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
 
   t0 = phase_now(phases.enabled);
   if (const auto prevalent = find_prevalent(node.counts())) {
+    if (decision_log_) {
+      record_decision(DecisionKind::Classify, node.counts().total(), n_cidr,
+                      node.counts().share_of(*prevalent), 0, *prevalent,
+                      "dominant-ingress share >= q with samples >= n_cidr");
+    }
     node.classify(*prevalent, now);
     ++out.classifications;
     charge(CyclePhase::Classify, t0);
@@ -338,7 +432,19 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
 
   if (len < params_.cidr_max(family)) {
     t0 = phase_now(phases.enabled);
-    if (trie.split(node)) ++out.splits;
+    const double samples = node.counts().total();
+    const double top_share =
+        samples > 0.0
+            ? node.counts().count_for(node.counts().top_link()) / samples
+            : 0.0;
+    if (trie.split(node)) {
+      ++out.splits;
+      if (decision_log_) {
+        record_decision(DecisionKind::Split, samples, n_cidr, top_share, 0,
+                        IngressId{},
+                        "samples >= n_cidr but no prevalent ingress");
+      }
+    }
     charge(CyclePhase::Split, t0);
     return;
   }

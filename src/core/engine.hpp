@@ -16,7 +16,12 @@
 // obs::MetricsRegistry — per-family/per-ingress-link ingest counters,
 // per-phase stage-2 timing histograms, trie size/memory gauges. With no
 // registry attached the hot paths carry a single null check and nothing
-// else; phase timing is only measured while metrics are attached.
+// else; phase timing is only measured while metrics or a tracer are
+// attached. attach_decision_log() additionally records every structural
+// stage-2 decision (classify/split/join/demote/expire/compact) with the
+// numbers that drove it; attach_tracer() emits per-cycle and per-phase
+// spans into a flight-recorder ring. Both are stage-2 only — the stage-1
+// ingest path never touches them.
 #pragma once
 
 #include <algorithm>
@@ -26,10 +31,12 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/decision_log.hpp"
 #include "core/params.hpp"
 #include "core/trie.hpp"
 #include "netflow/flow_record.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ipd::core {
 
@@ -181,6 +188,17 @@ class IpdEngine {
   }
   EngineMetrics* metrics() noexcept { return metrics_.get(); }
 
+  /// Record every stage-2 structural decision into `log` from now on (the
+  /// log must outlive the engine; pass by reference — detach by attaching
+  /// a different log or destroying the engine first).
+  void attach_decision_log(DecisionLog& log) noexcept { decision_log_ = &log; }
+  DecisionLog* decision_log() const noexcept { return decision_log_; }
+
+  /// Emit per-cycle/per-phase spans into `tracer` from now on (same
+  /// lifetime contract as the decision log).
+  void attach_tracer(obs::Tracer& tracer) noexcept { tracer_ = &tracer; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Stage 1: add one sample of `weight` (1 flow, or its byte count when
   /// count_mode is Bytes). Hot path.
   void ingest(util::Timestamp ts, const net::IpAddress& src_ip,
@@ -212,7 +230,7 @@ class IpdEngine {
 
  private:
   /// Per-cycle phase-time accumulator (nanoseconds); timing is skipped
-  /// entirely when metrics are not attached.
+  /// entirely when neither metrics nor a tracer are attached.
   struct PhaseAccum {
     bool enabled = false;
     std::array<std::int64_t, kNumCyclePhases> ns{};
@@ -229,6 +247,8 @@ class IpdEngine {
   IpdTrie trie6_;
   EngineStats stats_;
   std::unique_ptr<EngineMetrics> metrics_;
+  DecisionLog* decision_log_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ipd::core

@@ -1,0 +1,334 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ipd::obs {
+
+namespace {
+
+/// Hex digit value, or -1.
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool valid_token(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c <= ' ' || c == 0x7f) return false;
+  }
+  return true;
+}
+
+/// Read from `fd` until the request head is complete, the peer closes, a
+/// cap is hit, or `timeout_ms` passes without progress.
+HttpParse read_request(int fd, HttpRequest& request, int timeout_ms) {
+  std::string buffer;
+  char chunk[2048];
+  while (true) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) return HttpParse::Incomplete;  // timeout or error
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return HttpParse::Incomplete;  // peer closed mid-request
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    const HttpParse result = parse_http_request(buffer, request);
+    if (result != HttpParse::Incomplete) return result;
+    if (buffer.size() > kMaxHttpRequestBytes) return HttpParse::TooLarge;
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::query_param(
+    std::string_view key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> HttpRequest::header(std::string_view key) const {
+  for (const auto& [k, v] : headers) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && hex_value(s[i + 1]) >= 0 &&
+               hex_value(s[i + 2]) >= 0) {
+      out += static_cast<char>(hex_value(s[i + 1]) * 16 + hex_value(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query_string) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (query_string.empty()) return out;
+  for (const std::string_view pair : util::split(query_string, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      out.emplace_back(url_decode(pair), "");
+    } else {
+      out.emplace_back(url_decode(pair.substr(0, eq)),
+                       url_decode(pair.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
+HttpParse parse_http_request(std::string_view data, HttpRequest& out,
+                             std::size_t max_bytes) {
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return data.size() > max_bytes ? HttpParse::TooLarge : HttpParse::Incomplete;
+  }
+  if (head_end + 4 > max_bytes) return HttpParse::TooLarge;
+
+  const std::string_view head = data.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "METHOD SP target SP HTTP/x.y" — exactly three space-separated tokens.
+  const auto parts = util::split(request_line, ' ');
+  if (parts.size() != 3) return HttpParse::Malformed;
+  const std::string_view method = parts[0];
+  const std::string_view target = parts[1];
+  const std::string_view version = parts[2];
+  if (!valid_token(method) || !valid_token(target)) return HttpParse::Malformed;
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return HttpParse::Malformed;
+  }
+  if (target[0] != '/') return HttpParse::Malformed;
+
+  out = HttpRequest{};
+  out.method = std::string(method);
+  out.version = std::string(version);
+  const std::size_t qmark = target.find('?');
+  out.path = url_decode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    out.query_string = std::string(target.substr(qmark + 1));
+    out.query = parse_query(out.query_string);
+  }
+
+  // Header lines: "Key: value" (no obs-fold support; a lone colon-less
+  // line is malformed).
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return HttpParse::Malformed;
+    }
+    const std::string_view key = util::trim(line.substr(0, colon));
+    if (!valid_token(key)) return HttpParse::Malformed;
+    out.headers.emplace_back(to_lower(key),
+                             std::string(util::trim(line.substr(colon + 1))));
+  }
+  return HttpParse::Ok;
+}
+
+HttpResponse HttpResponse::json(std::string body, int status) {
+  HttpResponse out;
+  out.status = status;
+  out.content_type = "application/json";
+  out.body = std::move(body);
+  return out;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse out;
+  out.status = status;
+  out.body = std::move(body);
+  return out;
+}
+
+const char* http_status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string render_http_response(const HttpResponse& response) {
+  std::string out = util::format("HTTP/1.1 %d %s\r\n", response.status,
+                                 http_status_text(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += util::format("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool HttpServer::start(std::uint16_t port, std::string* error) {
+  if (running_.load()) {
+    if (error) *error = "server already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = util::format("socket: %s", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (error) {
+      *error = util::format("bind 127.0.0.1:%u: %s",
+                            static_cast<unsigned>(port), std::strerror(errno));
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    if (error) *error = util::format("listen: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::serve_loop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // Short poll timeout so stop() is honored promptly.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (!running_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    return HttpResponse::text(405, "only GET is supported\n");
+  }
+  for (const auto& [path, handler] : handlers_) {
+    if (path == request.path) {
+      try {
+        return handler(request);
+      } catch (const std::exception& e) {
+        return HttpResponse::text(
+            500, util::format("handler error: %s\n", e.what()));
+      } catch (...) {
+        return HttpResponse::text(500, "handler error\n");
+      }
+    }
+  }
+  return HttpResponse::text(404, "no such endpoint\n");
+}
+
+void HttpServer::handle_connection(int fd) {
+  HttpRequest request;
+  const HttpParse parsed = read_request(fd, request, /*timeout_ms=*/5000);
+  HttpResponse response;
+  switch (parsed) {
+    case HttpParse::Ok:
+      response = dispatch(request);
+      break;
+    case HttpParse::TooLarge:
+      response = HttpResponse::text(431, "request too large\n");
+      break;
+    case HttpParse::Malformed:
+      response = HttpResponse::text(400, "malformed request\n");
+      break;
+    case HttpParse::Incomplete:
+      // Timeout or peer hangup mid-request: best-effort 408, then close.
+      response = HttpResponse::text(408, "incomplete request\n");
+      break;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string wire = render_http_response(response);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace ipd::obs

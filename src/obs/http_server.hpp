@@ -1,0 +1,116 @@
+// Minimal embedded HTTP/1.1 server (dependency-free, POSIX sockets).
+//
+// Purpose-built for the live introspection endpoints: GET-only, exact-path
+// routing, bounded request size, one response per connection (Connection:
+// close). One background thread accepts and serves connections serially —
+// scrapes and operator curls are rare and cheap, and serial handling keeps
+// every handler data race impossible to cause from the network side.
+//
+// The request parser and response renderer are exposed as pure functions
+// so tests can cover the protocol edge cases (malformed request lines,
+// oversized headers, percent-decoding) without opening sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace ipd::obs {
+
+/// Hard cap on the bytes of one request head; longer requests get 431.
+inline constexpr std::size_t kMaxHttpRequestBytes = 16 * 1024;
+
+struct HttpRequest {
+  std::string method;        // "GET"
+  std::string path;          // percent-decoded, e.g. "/explain"
+  std::string query_string;  // raw, e.g. "ip=1.2.3.4&limit=10"
+  std::string version;       // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> query;    // decoded
+  std::vector<std::pair<std::string, std::string>> headers;  // keys lowered
+
+  /// First value of a query parameter, if present.
+  std::optional<std::string> query_param(std::string_view key) const;
+  /// First value of a header (lower-case key), if present.
+  std::optional<std::string> header(std::string_view key) const;
+};
+
+enum class HttpParse : std::uint8_t {
+  Ok,          // complete request head parsed
+  Incomplete,  // need more bytes (no terminating CRLFCRLF yet)
+  Malformed,   // syntactically invalid — respond 400
+  TooLarge,    // head exceeds the byte cap — respond 431
+};
+
+/// Parse one request head (request line + headers, terminated by an empty
+/// line). Request bodies are not supported (GET-only server).
+HttpParse parse_http_request(std::string_view data, HttpRequest& out,
+                             std::size_t max_bytes = kMaxHttpRequestBytes);
+
+/// Percent-decode (+ is a space). Invalid escapes are kept verbatim.
+std::string url_decode(std::string_view s);
+
+/// Split a raw query string into decoded key/value pairs.
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query_string);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse json(std::string body, int status = 200);
+  static HttpResponse text(int status, std::string body);
+};
+
+const char* http_status_text(int status) noexcept;
+
+/// Serialize status line + headers + body (what goes on the wire).
+std::string render_http_response(const HttpResponse& response);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register the handler for an exact path. Must be called before
+  /// start(). Handler exceptions become 500 responses.
+  void handle(std::string path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral, see port()) and start the
+  /// serving thread. Returns false with `*error` set on failure.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+
+  /// Stop the serving thread and close the socket. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+  std::uint16_t port() const noexcept { return port_; }
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace ipd::obs

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "util/logging.hpp"
+
 namespace ipd::obs {
 
 const char* to_string(MetricType type) noexcept {
@@ -251,6 +253,51 @@ ScopedTimer::ScopedTimer(Histogram* hist) noexcept : hist_(hist) {
 ScopedTimer::~ScopedTimer() {
   if (hist_ == nullptr) return;
   hist_->observe(static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+}
+
+// ------------------------------------------------- Logging drop-rate bridge
+
+namespace {
+
+// One counter per util::LogLevel; atomics because the hook can fire from
+// any thread while bind/unbind runs on another.
+std::atomic<Counter*> g_log_drop_counters[4] = {};
+
+void log_drop_hook(util::LogLevel level) {
+  auto i = static_cast<std::size_t>(level);
+  if (i >= 4) i = 3;
+  if (Counter* counter =
+          g_log_drop_counters[i].load(std::memory_order_acquire)) {
+    counter->inc();
+  }
+}
+
+}  // namespace
+
+void bind_log_drop_metrics(MetricsRegistry& registry) {
+  constexpr util::LogLevel kLevels[] = {
+      util::LogLevel::Debug, util::LogLevel::Info, util::LogLevel::Warn,
+      util::LogLevel::Error};
+  for (const util::LogLevel level : kLevels) {
+    Counter& counter = registry.counter(
+        "ipd_log_dropped_total",
+        "Log records suppressed by warn-once/rate-limited sites",
+        {{"level", util::level_name(level)}});
+    // Seed with drops recorded before the bridge existed so the series
+    // never under-reports.
+    const std::uint64_t already = util::log_dropped_total(level);
+    if (already > counter.value()) counter.inc(already - counter.value());
+    g_log_drop_counters[static_cast<std::size_t>(level)].store(
+        &counter, std::memory_order_release);
+  }
+  util::set_log_drop_hook(&log_drop_hook);
+}
+
+void unbind_log_drop_metrics() noexcept {
+  util::set_log_drop_hook(nullptr);
+  for (auto& slot : g_log_drop_counters) {
+    slot.store(nullptr, std::memory_order_release);
+  }
 }
 
 }  // namespace ipd::obs

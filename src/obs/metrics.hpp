@@ -184,4 +184,12 @@ class ScopedTimer {
 /// Monotonic clock in nanoseconds (exposed for phase accumulators).
 std::int64_t monotonic_ns() noexcept;
 
+/// Bridge util::logging's rate-limit drop accounting into `registry`:
+/// registers `ipd_log_dropped_total{level=...}` counters (seeded with the
+/// drops recorded so far) and installs the logging drop hook to keep them
+/// live. Process-global — one registry at a time, and it must outlive the
+/// binding; call unbind_log_drop_metrics() before destroying it.
+void bind_log_drop_metrics(MetricsRegistry& registry);
+void unbind_log_drop_metrics() noexcept;
+
 }  // namespace ipd::obs

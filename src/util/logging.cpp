@@ -21,6 +21,16 @@ std::once_flag g_env_once;
 std::mutex g_sink_mutex;
 LogSink g_sink;
 
+// Rate-limit drop accounting. Plain function pointer so the hot suppressed
+// path stays lock-free.
+std::atomic<std::uint64_t> g_dropped_by_level[4] = {};
+std::atomic<LogDropHook> g_drop_hook{nullptr};
+
+constexpr std::size_t level_index(LogLevel level) noexcept {
+  const auto i = static_cast<std::size_t>(level);
+  return i < 4 ? i : 3;
+}
+
 /// True if `value` needs quoting in text output to stay one token.
 bool needs_quotes(std::string_view value) noexcept {
   if (value.empty()) return true;
@@ -128,6 +138,54 @@ void log(LogLevel level, std::string_view message, const LogFields& fields) {
   } else {
     default_sink(record);
   }
+}
+
+bool log_site_should_emit(LogSite& site, std::uint64_t limit,
+                          LogLevel level) noexcept {
+  // Claim an emission slot optimistically; on overshoot, return the claim
+  // and count the record as suppressed instead. fetch_add keeps racing
+  // threads from both deciding "I am the last permitted record".
+  if (site.emitted.fetch_add(1, std::memory_order_relaxed) < limit) {
+    return true;
+  }
+  site.emitted.fetch_sub(1, std::memory_order_relaxed);
+  site.suppressed.fetch_add(1, std::memory_order_relaxed);
+  g_dropped_by_level[level_index(level)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (const LogDropHook hook = g_drop_hook.load(std::memory_order_acquire)) {
+    hook(level);
+  }
+  return false;
+}
+
+void log_limited(LogSite& site, std::uint64_t limit, LogLevel level,
+                 std::string_view message, const LogFields& fields) {
+  if (!log_site_should_emit(site, limit, level)) return;
+  if (site.emitted.load(std::memory_order_relaxed) >= limit) {
+    // Last permitted record: flag that this site goes quiet now.
+    LogFields annotated = fields;
+    annotated.emplace_back("further_suppressed", true);
+    log(level, message, annotated);
+    return;
+  }
+  log(level, message, fields);
+}
+
+std::uint64_t log_dropped_total() noexcept {
+  std::uint64_t total = 0;
+  for (const auto& counter : g_dropped_by_level) {
+    total += counter.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t log_dropped_total(LogLevel level) noexcept {
+  return g_dropped_by_level[level_index(level)].load(
+      std::memory_order_relaxed);
+}
+
+void set_log_drop_hook(LogDropHook hook) noexcept {
+  g_drop_hook.store(hook, std::memory_order_release);
 }
 
 }  // namespace ipd::util

@@ -11,6 +11,7 @@
 // on first use or via init_log_level_from_env()).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -101,5 +102,46 @@ inline void log_warn(std::string_view m, const LogFields& f = {}) {
 inline void log_error(std::string_view m, const LogFields& f = {}) {
   log(LogLevel::Error, m, f);
 }
+
+// --- Warn-once / rate-limited sites -----------------------------------
+//
+// A LogSite is the per-call-site (or per-source) state of a rate-limited
+// log statement. All members are atomics, so concurrent emitters are safe
+// (the old pattern — a plain `bool warned` flipped from several threads —
+// was a data race). Suppressed records are never silently lost: every one
+// counts into the site's `suppressed`, the process-wide
+// log_dropped_total(), and the drop hook (which obs bridges into the
+// metrics registry as `ipd_log_dropped_total`).
+
+struct LogSite {
+  std::atomic<std::uint64_t> emitted{0};
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+/// Decide whether this call may emit through `site` (fewer than `limit`
+/// emitted so far). On refusal the record is counted as dropped at
+/// `level`. Use directly when building the log fields is itself costly:
+///   if (util::log_site_should_emit(site, 1, LogLevel::Warn))
+///     util::log_warn("...", {expensive fields});
+bool log_site_should_emit(LogSite& site, std::uint64_t limit,
+                          LogLevel level) noexcept;
+
+/// Emit at most `limit` records through `site`; the rest are counted as
+/// dropped. The final permitted record carries `further_suppressed=true`
+/// so readers know the site goes quiet from here on.
+void log_limited(LogSite& site, std::uint64_t limit, LogLevel level,
+                 std::string_view message, const LogFields& fields = {});
+
+/// Records suppressed by rate-limited sites, process-wide.
+std::uint64_t log_dropped_total() noexcept;
+
+/// Per-level breakdown of log_dropped_total() (indexed by LogLevel).
+std::uint64_t log_dropped_total(LogLevel level) noexcept;
+
+/// Hook fired each time a site suppresses a record, with its level. Used
+/// by the obs layer to feed a metrics counter; must be cheap and
+/// thread-safe (it can fire from hot paths). nullptr clears it.
+using LogDropHook = void (*)(LogLevel level);
+void set_log_drop_hook(LogDropHook hook) noexcept;
 
 }  // namespace ipd::util

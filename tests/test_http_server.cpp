@@ -1,0 +1,249 @@
+// Embedded HTTP server: request parsing (Ok/Incomplete/Malformed/TooLarge),
+// percent-decoding, query parsing, response rendering, and a live-socket
+// integration pass (routing, 404/405, oversized and malformed requests must
+// produce 4xx without crashing the serving thread).
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace ipd::obs {
+namespace {
+
+// ------------------------------------------------------------ pure parsing
+
+TEST(HttpParseTest, ParsesRequestLineQueryAndHeaders) {
+  HttpRequest req;
+  const std::string_view data =
+      "GET /explain?ip=10.0.0.1&limit=5 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "User-Agent: curl/8.0\r\n"
+      "\r\n";
+  ASSERT_EQ(parse_http_request(data, req), HttpParse::Ok);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/explain");
+  EXPECT_EQ(req.query_string, "ip=10.0.0.1&limit=5");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_TRUE(req.query_param("ip").has_value());
+  EXPECT_EQ(*req.query_param("ip"), "10.0.0.1");
+  EXPECT_EQ(*req.query_param("limit"), "5");
+  EXPECT_FALSE(req.query_param("missing").has_value());
+  ASSERT_TRUE(req.header("host").has_value());
+  EXPECT_EQ(*req.header("host"), "localhost");
+  ASSERT_TRUE(req.header("user-agent").has_value());  // keys lowered
+}
+
+TEST(HttpParseTest, IncompleteUntilBlankLine) {
+  HttpRequest req;
+  EXPECT_EQ(parse_http_request("GET / HTTP/1.1\r\n", req),
+            HttpParse::Incomplete);
+  EXPECT_EQ(parse_http_request("GET / HTTP/1.1\r\nHost: x\r\n", req),
+            HttpParse::Incomplete);
+  EXPECT_EQ(parse_http_request("", req), HttpParse::Incomplete);
+  EXPECT_EQ(parse_http_request("GET / HTTP/1.1\r\n\r\n", req), HttpParse::Ok);
+}
+
+TEST(HttpParseTest, MalformedRequestLines) {
+  HttpRequest req;
+  // Missing version.
+  EXPECT_EQ(parse_http_request("GET /\r\n\r\n", req), HttpParse::Malformed);
+  // Not HTTP at all.
+  EXPECT_EQ(parse_http_request("hello world\r\n\r\n", req),
+            HttpParse::Malformed);
+  // Empty request line.
+  EXPECT_EQ(parse_http_request("\r\n\r\n", req), HttpParse::Malformed);
+  // Path must be absolute.
+  EXPECT_EQ(parse_http_request("GET metrics HTTP/1.1\r\n\r\n", req),
+            HttpParse::Malformed);
+}
+
+TEST(HttpParseTest, OversizedHeadIsTooLarge) {
+  HttpRequest req;
+  std::string data = "GET / HTTP/1.1\r\nX-Pad: ";
+  data.append(kMaxHttpRequestBytes, 'a');
+  data += "\r\n\r\n";
+  EXPECT_EQ(parse_http_request(data, req), HttpParse::TooLarge);
+  // An incomplete head that has already blown the cap is also TooLarge —
+  // the server must not buffer unboundedly waiting for CRLFCRLF.
+  std::string unterminated(kMaxHttpRequestBytes + 1, 'a');
+  EXPECT_EQ(parse_http_request(unterminated, req), HttpParse::TooLarge);
+}
+
+TEST(HttpParseTest, UrlDecode) {
+  EXPECT_EQ(url_decode("a%20b"), "a b");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_decode("%2Fpath%2f"), "/path/");
+  EXPECT_EQ(url_decode("plain"), "plain");
+  // Invalid escapes are kept verbatim, never crash.
+  EXPECT_EQ(url_decode("bad%zz"), "bad%zz");
+  EXPECT_EQ(url_decode("trunc%2"), "trunc%2");
+  EXPECT_EQ(url_decode("%"), "%");
+}
+
+TEST(HttpParseTest, ParseQuery) {
+  const auto q = parse_query("ip=10.0.0.1&empty=&flag&a%20key=v%26al");
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q[0].first, "ip");
+  EXPECT_EQ(q[0].second, "10.0.0.1");
+  EXPECT_EQ(q[1].first, "empty");
+  EXPECT_EQ(q[1].second, "");
+  EXPECT_EQ(q[2].first, "flag");
+  EXPECT_EQ(q[2].second, "");
+  EXPECT_EQ(q[3].first, "a key");
+  EXPECT_EQ(q[3].second, "v&al");
+}
+
+TEST(HttpResponseTest, RenderIncludesStatusHeadersAndBody) {
+  const std::string wire =
+      render_http_response(HttpResponse::json("{\"ok\":true}"));
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+
+  const std::string err =
+      render_http_response(HttpResponse::text(404, "not found\n"));
+  EXPECT_NE(err.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+}
+
+// ------------------------------------------------------------- live socket
+
+/// Connect to 127.0.0.1:port, send `request` raw, read the full response.
+std::string roundtrip(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.handle("/ping", [](const HttpRequest&) {
+      return HttpResponse::json("{\"pong\":true}");
+    });
+    server_.handle("/echo", [](const HttpRequest& req) {
+      return HttpResponse::json(
+          "{\"q\":\"" + req.query_string + "\"}");
+    });
+    server_.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+      throw std::runtime_error("handler exploded");
+    });
+    std::string error;
+    ASSERT_TRUE(server_.start(0, &error)) << error;  // ephemeral port
+    ASSERT_NE(server_.port(), 0);
+  }
+
+  void TearDown() override { server_.stop(); }
+
+  HttpServer server_;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredPath) {
+  const std::string response =
+      roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("{\"pong\":true}"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, QueryStringReachesHandler) {
+  const std::string response = roundtrip(
+      server_.port(), "GET /echo?a=1&b=2 HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("{\"q\":\"a=1&b=2\"}"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  const std::string response =
+      roundtrip(server_.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, NonGetIs405) {
+  const std::string response = roundtrip(
+      server_.port(), "POST /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedRequestIs400AndServerSurvives) {
+  const std::string response =
+      roundtrip(server_.port(), "this is not http\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  // The serving thread must still be alive and answering.
+  const std::string after =
+      roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, OversizedRequestIs431AndServerSurvives) {
+  std::string request = "GET /ping HTTP/1.1\r\nX-Pad: ";
+  request.append(kMaxHttpRequestBytes, 'a');
+  request += "\r\n\r\n";
+  const std::string response = roundtrip(server_.port(), request);
+  EXPECT_NE(response.find("HTTP/1.1 431"), std::string::npos);
+  const std::string after =
+      roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, HandlerExceptionIs500AndServerSurvives) {
+  const std::string response =
+      roundtrip(server_.port(), "GET /boom HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos);
+  const std::string after =
+      roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, CountsRequests) {
+  const std::uint64_t before = server_.requests_served();
+  roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  roundtrip(server_.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_GE(server_.requests_served(), before + 2);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndFreesThePort) {
+  const std::uint16_t port = server_.port();
+  server_.stop();
+  server_.stop();
+  EXPECT_FALSE(server_.running());
+  // The port can be rebound immediately (SO_REUSEADDR on the listener).
+  HttpServer second;
+  second.handle("/ping", [](const HttpRequest&) {
+    return HttpResponse::text(200, "ok");
+  });
+  std::string error;
+  ASSERT_TRUE(second.start(port, &error)) << error;
+  second.stop();
+}
+
+}  // namespace
+}  // namespace ipd::obs

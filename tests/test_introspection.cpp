@@ -1,0 +1,240 @@
+// Introspection endpoints against a live engine: /healthz, /metrics,
+// /ranges pagination, /explain (covering range + decision history +
+// thresholds), /decisions, /trace, and the 4xx paths.
+#include "analysis/introspection.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <string>
+
+#include "core/decision_log.hpp"
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ipd::analysis {
+namespace {
+
+using ::ipd::testing::JsonChecker;
+
+/// GET `target` from the local server; returns the full wire response.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// The response body (after the blank line).
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+class IntrospectionTest : public ::testing::Test {
+ protected:
+  IntrospectionTest() : engine_(make_params()), server_(engine_, mutex_) {}
+
+  static core::IpdParams make_params() {
+    core::IpdParams params;
+    params.ncidr_factor4 = 0.001;  // classify quickly on tiny traffic
+    params.ncidr_factor6 = 1e-7;
+    return params;
+  }
+
+  void SetUp() override {
+    engine_.attach_metrics(registry_);
+    engine_.attach_decision_log(decision_log_);
+    engine_.attach_tracer(tracer_);
+    // Two ingresses in disjoint halves: the root splits, then each side
+    // classifies — so the partition has several ranges and the decision
+    // log has split + classify history.
+    feed("10.0.0.1", {1, 1}, 60);
+    feed("10.0.0.2", {1, 1}, 60);
+    feed("200.0.0.1", {2, 1}, 60);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      engine_.run_cycle(60);
+      engine_.run_cycle(120);
+    }
+    std::string error;
+    ASSERT_TRUE(server_.start(0, &error)) << error;  // ephemeral port
+  }
+
+  void TearDown() override { server_.stop(); }
+
+  void feed(const char* ip, topology::LinkId link, int n) {
+    const net::IpAddress addr = net::IpAddress::from_string(ip);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int i = 0; i < n; ++i) engine_.ingest(30, addr, link, 1);
+  }
+
+  obs::MetricsRegistry registry_;
+  core::DecisionLog decision_log_;
+  obs::Tracer tracer_;
+  core::IpdEngine engine_;
+  std::mutex mutex_;
+  IntrospectionServer server_;
+};
+
+TEST_F(IntrospectionTest, HealthzReportsEngineCounters) {
+  const std::string response = http_get(server_.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"flows_ingested\""), std::string::npos);
+  EXPECT_NE(body.find("\"cycles_run\""), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, MetricsIsPrometheusExposition) {
+  const std::string response = http_get(server_.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(body.find("ipd_ingest_flows_total"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, RangesPaginates) {
+  const std::string all = body_of(http_get(server_.port(), "/ranges"));
+  EXPECT_TRUE(JsonChecker(all).valid()) << all;
+  EXPECT_NE(all.find("\"total\":"), std::string::npos);
+  EXPECT_NE(all.find("\"ranges\":["), std::string::npos);
+
+  // limit=1 returns exactly one row; offset=1 returns a different one.
+  const std::string page1 =
+      body_of(http_get(server_.port(), "/ranges?limit=1"));
+  EXPECT_TRUE(JsonChecker(page1).valid()) << page1;
+  EXPECT_NE(page1.find("\"limit\":1"), std::string::npos);
+  const std::string page2 =
+      body_of(http_get(server_.port(), "/ranges?limit=1&offset=1"));
+  EXPECT_TRUE(JsonChecker(page2).valid()) << page2;
+  EXPECT_NE(page2.find("\"offset\":1"), std::string::npos);
+  EXPECT_NE(page1, page2);
+
+  // Beyond-the-end offset yields an empty page, not an error.
+  const std::string beyond =
+      body_of(http_get(server_.port(), "/ranges?offset=100000"));
+  EXPECT_TRUE(JsonChecker(beyond).valid()) << beyond;
+  EXPECT_NE(beyond.find("\"ranges\":[]"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, RangesRejectsBadPagination) {
+  const std::string response =
+      http_get(server_.port(), "/ranges?limit=banana");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, ExplainReturnsCoveringRangeAndHistory) {
+  const std::string response =
+      http_get(server_.port(), "/explain?ip=10.0.0.1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"ip\":\"10.0.0.1\""), std::string::npos);
+  EXPECT_NE(body.find("\"range\":"), std::string::npos);
+  // The paper's stage-2 thresholds the decisions were tested against.
+  EXPECT_NE(body.find("\"thresholds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"n_cidr\":"), std::string::npos);
+  EXPECT_NE(body.find("\"q\":0.95"), std::string::npos);
+  // At least one lifecycle event with its quantitative reason.
+  EXPECT_NE(body.find("\"events\":["), std::string::npos);
+  EXPECT_NE(body.find("\"kind\":"), std::string::npos);
+  EXPECT_NE(body.find("\"reason\":"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, ExplainRejectsMissingOrBadIp) {
+  EXPECT_NE(http_get(server_.port(), "/explain").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(
+      http_get(server_.port(), "/explain?ip=not-an-ip").find("HTTP/1.1 400"),
+      std::string::npos);
+}
+
+TEST_F(IntrospectionTest, DecisionsReturnsTail) {
+  const std::string body = body_of(http_get(server_.port(), "/decisions"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"total_recorded\":"), std::string::npos);
+  EXPECT_NE(body.find("\"events\":["), std::string::npos);
+  // The seeded workload split the root, so history is non-empty.
+  EXPECT_NE(body.find("\"kind\":\"split\""), std::string::npos);
+
+  const std::string limited =
+      body_of(http_get(server_.port(), "/decisions?limit=1"));
+  EXPECT_TRUE(JsonChecker(limited).valid()) << limited;
+}
+
+TEST_F(IntrospectionTest, TraceIsChromeTraceEventJson) {
+  const std::string body = body_of(http_get(server_.port(), "/trace"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(body.find("stage2.cycle"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, IndexListsEndpoints) {
+  const std::string body = body_of(http_get(server_.port(), "/"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("/explain"), std::string::npos);
+  EXPECT_NE(body.find("/metrics"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, UnknownPathIs404) {
+  EXPECT_NE(http_get(server_.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+}
+
+// Without a decision log or tracer attached, /decisions and /trace degrade
+// to 503 instead of crashing.
+TEST(IntrospectionBare, MissingAttachmentsAre503) {
+  core::IpdParams params;
+  core::IpdEngine engine(params);
+  std::mutex mutex;
+  IntrospectionServer server(engine, mutex);
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;
+  EXPECT_NE(http_get(server.port(), "/decisions").find("HTTP/1.1 503"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/trace").find("HTTP/1.1 503"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/metrics").find("HTTP/1.1 503"),
+            std::string::npos);
+  // /healthz and /ranges work from the engine alone.
+  EXPECT_NE(http_get(server.port(), "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/ranges").find("HTTP/1.1 200"),
+            std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ipd::analysis

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 namespace ipd::util {
@@ -129,6 +131,93 @@ TEST(LogFormatting, FloatFieldsUseCompactForm) {
   EXPECT_FALSE(f.quoted);
   const LogField g("whole", 3.0);
   EXPECT_EQ(std::stod(g.value), 3.0);
+}
+
+TEST(LogLimited, EmitsUpToLimitThenCountsDrops) {
+  CaptureSink sink;
+  LogSite site;
+  const std::uint64_t dropped_before = log_dropped_total();
+  for (int i = 0; i < 5; ++i) {
+    log_limited(site, 2, LogLevel::Warn, "limited", {{"i", i}});
+  }
+  ASSERT_EQ(sink.entries.size(), 2u);
+  EXPECT_EQ(site.emitted.load(), 2u);
+  EXPECT_EQ(site.suppressed.load(), 3u);
+  EXPECT_EQ(log_dropped_total() - dropped_before, 3u);
+  // The final permitted record is marked so readers know the site goes
+  // quiet from here on.
+  const auto& last = sink.entries[1].fields;
+  ASSERT_FALSE(last.empty());
+  EXPECT_EQ(last.back().key, "further_suppressed");
+  EXPECT_EQ(last.back().value, "true");
+  // The first record is not marked.
+  for (const auto& f : sink.entries[0].fields) {
+    EXPECT_NE(f.key, "further_suppressed");
+  }
+}
+
+TEST(LogLimited, PerLevelDropCounters) {
+  CaptureSink sink;
+  LogSite warn_site;
+  LogSite error_site;
+  const std::uint64_t warn_before = log_dropped_total(LogLevel::Warn);
+  const std::uint64_t error_before = log_dropped_total(LogLevel::Error);
+  for (int i = 0; i < 3; ++i) {
+    log_limited(warn_site, 1, LogLevel::Warn, "w");
+    log_limited(error_site, 1, LogLevel::Error, "e");
+  }
+  EXPECT_EQ(log_dropped_total(LogLevel::Warn) - warn_before, 2u);
+  EXPECT_EQ(log_dropped_total(LogLevel::Error) - error_before, 2u);
+}
+
+TEST(LogLimited, ShouldEmitSkipsFieldConstruction) {
+  CaptureSink sink;
+  LogSite site;
+  EXPECT_TRUE(log_site_should_emit(site, 1, LogLevel::Warn));
+  EXPECT_FALSE(log_site_should_emit(site, 1, LogLevel::Warn));
+  EXPECT_EQ(site.emitted.load(), 1u);
+  EXPECT_EQ(site.suppressed.load(), 1u);
+}
+
+TEST(LogLimited, DropHookFiresPerSuppressedRecord) {
+  CaptureSink sink;
+  static std::atomic<int> hook_hits{0};
+  hook_hits = 0;
+  set_log_drop_hook([](LogLevel) { ++hook_hits; });
+  LogSite site;
+  for (int i = 0; i < 4; ++i) {
+    log_limited(site, 1, LogLevel::Warn, "hooked");
+  }
+  set_log_drop_hook(nullptr);
+  EXPECT_EQ(hook_hits.load(), 3);
+}
+
+TEST(LogLimited, ConcurrentEmittersNeverExceedTheLimit) {
+  // The historical bug this API replaces: a plain `bool warned` flipped
+  // from several threads (a data race, and emit counts were unbounded).
+  // Under contention the site must emit exactly `limit` records and
+  // account for every suppressed one.
+  constexpr std::uint64_t kLimit = 8;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+
+  std::atomic<int> emitted{0};
+  set_log_sink([&emitted](const LogRecord&) { ++emitted; });
+  LogSite site;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&site] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log_limited(site, kLimit, LogLevel::Warn, "contended");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  set_log_sink(nullptr);
+
+  EXPECT_EQ(emitted.load(), static_cast<int>(kLimit));
+  EXPECT_EQ(site.emitted.load(), kLimit);
+  EXPECT_EQ(site.suppressed.load(), kThreads * kPerThread - kLimit);
 }
 
 TEST(Logging, NullSinkRestoresDefault) {

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/engine.hpp"
+#include "json_check.hpp"
 
 namespace ipd::obs {
 namespace {
@@ -204,133 +205,7 @@ void expect_valid_histogram(const PromExposition& exposition,
       << name << ": +Inf bucket must equal _count";
 }
 
-/// Strict JSON syntax walker (objects, arrays, strings with escapes,
-/// numbers, literals). Returns false on the first violation.
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') return ++pos_, true;
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == '}') return ++pos_, true;
-      return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') return ++pos_, true;
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == ']') return ++pos_, true;
-      return false;
-    }
-  }
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') return ++pos_, true;
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      if (c == '\\') {
-        if (pos_ + 1 >= text_.size()) return false;
-        const char esc = text_[pos_ + 1];
-        if (esc == 'u') {
-          if (pos_ + 5 >= text_.size()) return false;
-          for (int k = 2; k <= 5; ++k) {
-            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + k]))) {
-              return false;
-            }
-          }
-          pos_ += 6;
-          continue;
-        }
-        if (std::string_view("\"\\/bfnrt").find(esc) == std::string_view::npos) {
-          return false;
-        }
-        pos_ += 2;
-        continue;
-      }
-      ++pos_;
-    }
-    return false;
-  }
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    try {
-      std::size_t used = 0;
-      (void)std::stod(std::string(text_.substr(start, pos_ - start)), &used);
-      return used == pos_ - start;
-    } catch (const std::exception&) {
-      return false;
-    }
-  }
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+using ::ipd::testing::JsonChecker;
 
 TEST(FormatValue, PrometheusConventions) {
   EXPECT_EQ(format_value(std::numeric_limits<double>::infinity()), "+Inf");

@@ -1,0 +1,148 @@
+// Flight-recorder tracer: ring overwrite, span/instant recording, RAII
+// SpanTimer, Chrome trace-event JSON shape (Perfetto-loadable), and the
+// crash-dump path.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "json_check.hpp"
+
+namespace ipd::obs {
+namespace {
+
+using ::ipd::testing::JsonChecker;
+
+TEST(Tracer, RecordsSpansAndInstants) {
+  Tracer tracer(16);
+  tracer.span("phase.a", 100, 50, {{"items", 3.0}});
+  tracer.instant("marker", {{"n", 1.0}});
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+  const auto events = tracer.tail(10);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "phase.a");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].ts_us, 100);
+  EXPECT_EQ(events[0].dur_us, 50);
+  ASSERT_EQ(events[0].nargs, 1);
+  EXPECT_STREQ(events[0].args[0].key, "items");
+  EXPECT_DOUBLE_EQ(events[0].args[0].value, 3.0);
+  EXPECT_EQ(events[1].phase, 'i');
+}
+
+TEST(Tracer, RingOverwritesOldest) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.span("e", i, 1);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.tail(10);
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and exactly the newest four survive.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].ts_us, 6 + i);
+  }
+}
+
+TEST(Tracer, TailLimitsFromTheNewestEnd) {
+  Tracer tracer(8);
+  for (int i = 0; i < 5; ++i) tracer.span("e", i, 1);
+  const auto events = tracer.tail(2);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts_us, 3);
+  EXPECT_EQ(events[1].ts_us, 4);
+}
+
+TEST(Tracer, ToJsonIsValidTraceEventFormat) {
+  Tracer tracer(16);
+  tracer.span("stage2.cycle", 1000, 250,
+              {{"classifications", 2.0}, {"splits", 1.0}});
+  tracer.instant("snapshot");
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // The Chrome/Perfetto trace-event envelope and required per-event keys.
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage2.cycle\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+  EXPECT_NE(json.find("\"classifications\":2"), std::string::npos);
+}
+
+TEST(Tracer, EmptyTracerStillProducesValidJson) {
+  Tracer tracer(4);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(Tracer, SpanTimerRecordsOnDestruction) {
+  Tracer tracer(8);
+  {
+    SpanTimer span(&tracer, "scoped.work");
+    span.set_args({{"ranges", 17.0}});
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  const auto events = tracer.tail(1);
+  EXPECT_STREQ(events[0].name, "scoped.work");
+  EXPECT_EQ(events[0].phase, 'X');
+  ASSERT_EQ(events[0].nargs, 1);
+  EXPECT_DOUBLE_EQ(events[0].args[0].value, 17.0);
+}
+
+TEST(Tracer, SpanTimerWithNullTracerIsNoop) {
+  SpanTimer span(nullptr, "nothing");
+  span.set_args({{"x", 1.0}});
+  SUCCEED();  // must not crash
+}
+
+TEST(Tracer, CrashDumpWritesParseableFile) {
+  const std::string path = ::testing::TempDir() + "ipd_trace_crash_test.json";
+  Tracer tracer(8);
+  tracer.span("before.crash", 10, 5, {});
+  tracer.dump_for_crash(path.c_str(), 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("before.crash"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, EngineCycleEmitsPhaseSpans) {
+  core::IpdParams params;
+  params.ncidr_factor4 = 0.001;
+  core::IpdEngine engine(params);
+  Tracer tracer;
+  engine.attach_tracer(tracer);
+  const net::IpAddress ip = net::IpAddress::from_string("10.0.0.1");
+  for (int i = 0; i < 50; ++i) engine.ingest(30, ip, {1, 1}, 1);
+  engine.run_cycle(60);
+
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // One span per stage-2 phase plus the enclosing cycle span.
+  for (const char* name :
+       {"stage2.expire", "stage2.classify", "stage2.split", "stage2.join",
+        "stage2.compact", "stage2.cycle"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""),
+              std::string::npos)
+        << "missing span " << name;
+  }
+}
+
+}  // namespace
+}  // namespace ipd::obs

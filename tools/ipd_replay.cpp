@@ -6,22 +6,40 @@
 //                           the full metrics registry after the replay
 //   --metrics-jsonl=<file>  append one JSON metrics line per 5-minute bin
 //   --log-json              emit structured log lines as JSON
+//   --http-port=<port>      serve the live introspection endpoints
+//                           (/healthz /metrics /ranges /explain /decisions
+//                           /trace) on 127.0.0.1:<port> while replaying
+//                           (0 picks an ephemeral port, printed on start)
+//   --trace-out=<file>      attach the flight-recorder tracer; write the
+//                           Chrome trace-event JSON to <file> at exit and
+//                           to <file>.crash on a fatal signal
+//   --decision-log[=N]      record stage-2 decisions into a ring of N
+//                           events (default 8192); surfaced by /explain
+//                           and /decisions
+//   --linger=<seconds>      keep serving HTTP for this long after the
+//                           replay finishes (for scrapes / smoke tests)
 //
 // Streams the trace through an IpdEngine with the standard 60 s cycle /
 // 5 min snapshot cadence and prints per-snapshot partition statistics plus
 // the final classified ranges in the paper's Table-3 format.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "analysis/introspection.hpp"
 #include "analysis/runner.hpp"
+#include "core/decision_log.hpp"
 #include "core/output.hpp"
 #include "netflow/codec.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -32,7 +50,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics-out=<file>] [--metrics-jsonl=<file>] "
-               "[--log-json] <in.trace> [ncidr_factor4=auto] [q=0.95]\n",
+               "[--log-json] [--http-port=<port>] [--trace-out=<file>] "
+               "[--decision-log[=N]] [--linger=<seconds>] "
+               "<in.trace> [ncidr_factor4=auto] [q=0.95]\n",
                argv0);
   return 2;
 }
@@ -42,6 +62,12 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string metrics_jsonl;
+  std::string trace_out;
+  bool http_enabled = false;
+  std::uint16_t http_port = 0;
+  bool decision_log_enabled = false;
+  std::size_t decision_log_capacity = core::DecisionLog::kDefaultCapacity;
+  long linger_s = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -51,6 +77,19 @@ int main(int argc, char** argv) {
       metrics_jsonl = arg.substr(16);
     } else if (arg == "--log-json") {
       util::set_log_format(util::LogFormat::Json);
+    } else if (util::starts_with(arg, "--http-port=")) {
+      http_enabled = true;
+      http_port = static_cast<std::uint16_t>(
+          util::parse_uint(arg.substr(12), 65535));
+    } else if (util::starts_with(arg, "--trace-out=")) {
+      trace_out = arg.substr(12);
+    } else if (arg == "--decision-log") {
+      decision_log_enabled = true;
+    } else if (util::starts_with(arg, "--decision-log=")) {
+      decision_log_enabled = true;
+      decision_log_capacity = util::parse_uint(arg.substr(15), SIZE_MAX / 2);
+    } else if (util::starts_with(arg, "--linger=")) {
+      linger_s = static_cast<long>(util::parse_uint(arg.substr(9), 86400));
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "unknown flag %s\n", std::string(arg).c_str());
       return usage(argv[0]);
@@ -104,6 +143,34 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   core::IpdEngine engine(params);
   engine.attach_metrics(registry);
+  obs::bind_log_drop_metrics(registry);
+
+  core::DecisionLog decision_log(decision_log_capacity);
+  if (decision_log_enabled) engine.attach_decision_log(decision_log);
+
+  obs::Tracer tracer;
+  if (!trace_out.empty()) {
+    engine.attach_tracer(tracer);
+    tracer.install_crash_handler(trace_out + ".crash");
+  }
+
+  // The introspection handlers and the replay loop share the engine under
+  // this mutex; the loop takes it in batches so endpoint latency stays low
+  // without a per-flow lock.
+  std::mutex engine_mutex;
+  analysis::IntrospectionServer introspection(engine, engine_mutex);
+  if (http_enabled) {
+    std::string error;
+    if (!introspection.start(http_port, &error)) {
+      std::fprintf(stderr, "cannot start http server: %s\n", error.c_str());
+      return 1;
+    }
+    util::log_info("introspection server listening",
+                   {{"addr", "127.0.0.1"}, {"port", introspection.port()}});
+    std::printf("http: listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(introspection.port()));
+    std::fflush(stdout);
+  }
 
   std::ofstream jsonl;
   if (!metrics_jsonl.empty()) {
@@ -129,8 +196,16 @@ int main(int argc, char** argv) {
                           const obs::MetricsRegistry& reg) {
     if (jsonl.is_open()) jsonl << obs::to_json_line(reg, ts);
   };
-  for (const auto& r : records) runner.offer(r);
-  runner.finish();
+  constexpr std::size_t kIngestBatch = 4096;
+  for (std::size_t i = 0; i < records.size(); i += kIngestBatch) {
+    const std::size_t end = std::min(i + kIngestBatch, records.size());
+    const std::lock_guard<std::mutex> lock(engine_mutex);
+    for (std::size_t j = i; j < end; ++j) runner.offer(records[j]);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(engine_mutex);
+    runner.finish();
+  }
 
   std::printf("\nfinal classified ranges (Table-3 format):\n");
   for (const auto& row : last) {
@@ -165,5 +240,33 @@ int main(int argc, char** argv) {
                     {"families", registry.family_count()},
                     {"instruments", registry.instrument_count()}});
   }
+
+  if (decision_log_enabled) {
+    std::printf("decision log: %llu recorded, %zu held, %llu overwritten\n",
+                static_cast<unsigned long long>(decision_log.total_recorded()),
+                decision_log.size(),
+                static_cast<unsigned long long>(decision_log.dropped()));
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << tracer.to_json();
+    util::log_info("wrote flight-recorder trace",
+                   {{"file", trace_out},
+                    {"events", tracer.size()},
+                    {"overwritten", tracer.dropped()}});
+  }
+
+  if (http_enabled && linger_s > 0) {
+    std::printf("lingering for %lds (http on 127.0.0.1:%u)\n", linger_s,
+                static_cast<unsigned>(introspection.port()));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_s));
+  }
+  introspection.stop();
+  obs::unbind_log_drop_metrics();
   return 0;
 }
