@@ -1,16 +1,21 @@
-// Observability overhead on the stage-1 ingest path.
+// Observability overhead on the stage-1 ingest path and end to end.
 //
 // The decision log and the tracer are stage-2-only by design: the per-flow
 // ingest path must not grow by more than 3% when both are attached (the
 // acceptance budget; the metrics registry separately holds a < 2% budget,
 // see bench_micro_engine). This bench measures stage-1 throughput in three
 // configurations — bare engine, +metrics, +metrics+tracer+decision-log —
-// and writes the result as BENCH_obs_overhead.json for CI.
+// and additionally the *end-to-end* cost (ingest + cycle path at the
+// standard 60 s cycle / 5 min snapshot cadence) of the embedded TSDB +
+// health-rule evaluation on top of full observability, under the same
+// <= 3% budget. Results land in BENCH_obs_overhead.json for CI.
 #include "bench_common.hpp"
 
 #include <chrono>
 
+#include "analysis/health.hpp"
 #include "core/decision_log.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 
@@ -61,6 +66,44 @@ double measure(const std::vector<netflow::FlowRecord>& trace, int rounds,
   return best;
 }
 
+/// End-to-end flows/s: the trace replayed in simulated-time order with
+/// run_cycle every t seconds and a snapshot hook every 5 minutes — the
+/// runner's loop shape. Best of `rounds` fresh engines.
+template <typename Attach, typename Snapshot>
+double measure_e2e(const std::vector<netflow::FlowRecord>& trace, int rounds,
+                   Attach&& attach, Snapshot&& snapshot) {
+  const core::IpdParams params = bench_params();
+  const util::Duration snap_every = 5 * util::kSecondsPerMinute;
+  double best = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    core::IpdEngine engine(params);
+    attach(engine);
+    const auto t0 = std::chrono::steady_clock::now();
+    util::Timestamp next_cycle = trace.front().ts + params.t;
+    util::Timestamp next_snap = trace.front().ts + snap_every;
+    for (const auto& r : trace) {
+      while (r.ts >= next_cycle) {
+        engine.run_cycle(next_cycle);
+        next_cycle += params.t;
+      }
+      while (r.ts >= next_snap) {
+        snapshot(engine, next_snap);
+        next_snap += snap_every;
+      }
+      engine.ingest(r);
+    }
+    engine.run_cycle(next_cycle);
+    snapshot(engine, next_snap);
+    const double s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    const double rate =
+        s > 0.0 ? static_cast<double>(trace.size()) / s : 0.0;
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
 }  // namespace
 
 int main() {
@@ -95,6 +138,53 @@ int main() {
   const double overhead_vs_bare =
       bare > 0.0 ? (bare - full_obs) / bare * 100.0 : 0.0;
 
+  // End to end: full observability with and without the TSDB + health
+  // engine riding the 5-minute snapshot hook and the engine's cycle-delta
+  // log. The delta is what PR 3 added to the steady-state loop.
+  obs::MetricsRegistry registry_a;
+  core::DecisionLog log_a;
+  obs::Tracer tracer_a;
+  const double e2e_base = measure_e2e(
+      trace, rounds,
+      [&](core::IpdEngine& e) {
+        e.attach_metrics(registry_a);
+        e.attach_decision_log(log_a);
+        e.attach_tracer(tracer_a);
+      },
+      [&](core::IpdEngine& e, util::Timestamp) {
+        if (e.metrics() != nullptr) e.metrics()->flush_ingest();
+      });
+
+  obs::MetricsRegistry registry_b;
+  core::DecisionLog log_b;
+  obs::Tracer tracer_b;
+  core::CycleDeltaLog cycle_deltas;
+  // Fresh store + health engine per round: each round replays the same
+  // simulated timestamps, which a shared store would reject as stale.
+  std::unique_ptr<obs::TimeSeriesStore> timeseries;
+  std::unique_ptr<analysis::HealthEngine> health;
+  const double e2e_health = measure_e2e(
+      trace, rounds,
+      [&](core::IpdEngine& e) {
+        timeseries = std::make_unique<obs::TimeSeriesStore>();
+        health = std::make_unique<analysis::HealthEngine>(*timeseries);
+        health->install_default_rules(bench_params());
+        health->attach_cycle_deltas(cycle_deltas);
+        health->bind_metrics(registry_b);
+        e.attach_metrics(registry_b);
+        e.attach_decision_log(log_b);
+        e.attach_tracer(tracer_b);
+        e.attach_cycle_deltas(cycle_deltas);
+      },
+      [&](core::IpdEngine& e, util::Timestamp ts) {
+        if (e.metrics() != nullptr) e.metrics()->flush_ingest();
+        timeseries->ingest(registry_b, ts);
+        health->evaluate(ts);
+      });
+
+  const double overhead_e2e =
+      e2e_base > 0.0 ? (e2e_base - e2e_health) / e2e_base * 100.0 : 0.0;
+
   std::printf("stage-1 throughput (best of %d rounds, %d passes):\n", rounds,
               passes);
   std::printf("  bare engine               %12.0f flows/s\n", bare);
@@ -104,16 +194,26 @@ int main() {
       "tracing+decision-log overhead vs metrics-only", "<= 3%",
       util::format("%.2f%%", overhead_vs_metrics));
 
+  std::printf("end-to-end throughput (ingest + cycles, best of %d rounds):\n",
+              rounds);
+  std::printf("  full observability        %12.0f flows/s\n", e2e_base);
+  std::printf("  + TSDB + health engine    %12.0f flows/s\n", e2e_health);
+  bench::print_result("TSDB+health end-to-end overhead", "<= 3%",
+                      util::format("%.2f%%", overhead_e2e));
+
   bench::write_json_report(
       "obs_overhead",
       util::format(
           "{\"bench\":\"obs_overhead\",\"trace_records\":%zu,"
           "\"rounds\":%d,\"passes\":%d,"
           "\"throughput_flows_per_s\":{\"bare\":%.6g,\"metrics\":%.6g,"
-          "\"full_observability\":%.6g},"
+          "\"full_observability\":%.6g,\"e2e_full_obs\":%.6g,"
+          "\"e2e_tsdb_health\":%.6g},"
           "\"overhead_pct\":{\"tracing_decision_log_vs_metrics\":%.4g,"
-          "\"full_vs_bare\":%.4g},\"budget_pct\":3.0}",
+          "\"full_vs_bare\":%.4g,\"tsdb_health_e2e\":%.4g},"
+          "\"budget_pct\":3.0}",
           trace.size(), rounds, passes, bare, with_metrics, full_obs,
-          overhead_vs_metrics, overhead_vs_bare));
+          e2e_base, e2e_health, overhead_vs_metrics, overhead_vs_bare,
+          overhead_e2e));
   return 0;
 }

@@ -1,0 +1,194 @@
+// Health/SLO engine: declarative rule evaluation over the embedded TSDB.
+//
+// PR 1/2 left the system observable but not self-judging: counters,
+// decision history and live endpoints, with "is this deployment healthy?"
+// still an operator exercise. The health engine closes that loop. It
+// evaluates a declarative rule table against the windowed history held by
+// obs::TimeSeriesStore (plus the engine's per-cycle demotion/
+// re-classification deltas) and produces:
+//
+//   * per-component states — ok / degraded / unhealthy — with reasons,
+//   * typed alert events carrying the same "quantities compared"
+//     discipline as the decision log: observed value vs. threshold,
+//     evaluation window, first/last seen, resolved-at.
+//
+// Built-in rules (install_default_rules) watch the paper's operational
+// failure modes: an ingress shift on a classified range (Figs. 13/14 —
+// the range's prevalent ingress vanishes and the range later re-classifies
+// elsewhere), a mass-demotion burst, stage-2 cycle duration overrunning
+// the t = 60 s budget (§5.7), collector ring drops, and accuracy
+// regressing against its own trailing window.
+//
+// Threading: evaluate() is called from the runner's on_metrics hook (once
+// per 5-minute bin, after the TSDB ingest) or ad hoc from tests at cycle
+// granularity. All state is behind one internal mutex, so the /health and
+// /alerts handlers read without the engine mutex. The on_alert callback is
+// invoked *outside* the lock, after the evaluation pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "util/time.hpp"
+
+namespace ipd::analysis {
+
+enum class HealthState : std::uint8_t { Ok = 0, Degraded = 1, Unhealthy = 2 };
+enum class AlertSeverity : std::uint8_t { Warning, Critical };
+
+const char* to_string(HealthState state) noexcept;
+const char* to_string(AlertSeverity severity) noexcept;
+
+/// One typed alert with the quantities that drove it. An alert is live
+/// while resolved_at == 0; resolution keeps the record (moved into the
+/// recent ring) with resolved_at stamped.
+struct Alert {
+  std::uint64_t id = 0;  // global sequence, stamped on raise
+  std::string rule;
+  std::string component;
+  std::string subject;  // what fired: a range prefix, a label set, or ""
+  AlertSeverity severity = AlertSeverity::Warning;
+  double observed = 0.0;   // the measured quantity
+  double threshold = 0.0;  // the bound it was compared against
+  std::size_t window_points = 0;   // evaluation window (TSDB points)
+  util::Timestamp first_seen = 0;  // simulated time
+  util::Timestamp last_seen = 0;
+  util::Timestamp resolved_at = 0;  // 0 = active
+  const char* reason = "";          // static rule description
+  std::string detail;               // instance specifics, e.g. "was R10.1"
+};
+
+/// Render one alert as a JSON object (used by /alerts and --alerts-out).
+std::string to_json(const Alert& alert);
+
+/// A declarative threshold rule over TSDB series. The rule applies to
+/// every series of family `series` whose labels contain `labels` as a
+/// subset (empty = all), so one rule covers e.g. every collector source.
+struct ThresholdRule {
+  /// How the observed value is derived from the series window.
+  enum class Agg : std::uint8_t {
+    Last,       // newest point
+    Mean,       // mean over the window
+    Max,        // max over the window
+    Delta,      // newest - oldest (counter increase over the window)
+    DeltaRatio, // delta(series) / delta(ratio_series): per-event average
+    DropVsTrailingMean,  // mean(window minus newest) - newest: regression
+  };
+  enum class Cmp : std::uint8_t { GreaterThan, LessThan };
+
+  std::string name;
+  std::string component;
+  AlertSeverity severity = AlertSeverity::Warning;
+  std::string series;
+  obs::Labels labels;         // subset match against series labels
+  std::string ratio_series;   // denominator family for Agg::DeltaRatio
+  Agg agg = Agg::Last;
+  Cmp cmp = Cmp::GreaterThan;
+  double threshold = 0.0;
+  std::size_t window_points = 3;
+  std::size_t clear_after = 1;  // clean evaluations before auto-resolve
+  const char* reason = "";
+};
+
+struct HealthConfig {
+  std::size_t recent_capacity = 256;  // resolved-alert ring
+  double cycle_budget_s = 60.0;       // stage-2 must finish inside t
+  double demotion_burst = 16.0;       // demotes per window => burst
+  double accuracy_drop = 0.05;        // absolute drop vs trailing mean
+  std::size_t window_points = 6;      // default rule window
+};
+
+class HealthEngine {
+ public:
+  /// `store` must outlive the engine; it is read-only from here.
+  explicit HealthEngine(const obs::TimeSeriesStore& store,
+                        HealthConfig config = {});
+  HealthEngine(const HealthEngine&) = delete;
+  HealthEngine& operator=(const HealthEngine&) = delete;
+
+  void add_rule(ThresholdRule rule);
+
+  /// Install the standard rule set, thresholds derived from `params`
+  /// (cycle budget from t, shift-share threshold from q) and the config.
+  void install_default_rules(const core::IpdParams& params);
+
+  /// Consume per-cycle demotion/re-classification deltas from `log` (the
+  /// engine's attached CycleDeltaLog) for the ingress-shift rule. The log
+  /// must outlive the health engine.
+  void attach_cycle_deltas(core::CycleDeltaLog& log);
+
+  /// Publish ipd_health_state{component=...} and ipd_alerts_active gauges
+  /// into `registry` on every evaluation. The registry must outlive the
+  /// binding.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+  /// One evaluation pass at simulated time `ts`. Call after the TSDB
+  /// ingest for the same instant (the runner's on_metrics hook), or per
+  /// cycle for finer alert latency.
+  void evaluate(util::Timestamp ts);
+
+  /// Fired after each evaluation pass, outside the internal lock, once
+  /// per raised alert (resolved_at == 0) and once per resolution
+  /// (resolved_at != 0).
+  std::function<void(const Alert&)> on_alert;
+
+  struct ComponentStatus {
+    std::string name;
+    HealthState state = HealthState::Ok;
+    std::string reason;  // "ok", or the most severe active alert's rule
+  };
+
+  HealthState overall() const;
+  std::vector<ComponentStatus> components() const;
+  std::vector<Alert> active_alerts() const;   // oldest first
+  std::vector<Alert> recent_alerts() const;   // resolved ring, oldest first
+
+  std::uint64_t alerts_raised() const;
+  std::uint64_t alerts_resolved() const;
+  std::uint64_t evaluations() const;
+  std::size_t rule_count() const;
+
+ private:
+  struct ActiveEntry {
+    Alert alert;
+    std::size_t clear_streak = 0;
+  };
+
+  void raise_or_refresh(const std::string& key, Alert alert,
+                        std::vector<Alert>& fired);
+  void resolve(const std::string& key, util::Timestamp ts, std::string detail,
+               std::vector<Alert>& fired);
+  void note_component(const std::string& component);
+  void evaluate_threshold_rules(util::Timestamp ts, std::vector<Alert>& fired);
+  void evaluate_shift_rule(util::Timestamp ts, std::vector<Alert>& fired);
+  void publish_metrics();
+
+  const obs::TimeSeriesStore* store_;
+  HealthConfig config_;
+  core::CycleDeltaLog* cycle_deltas_ = nullptr;
+  obs::MetricsRegistry* registry_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::vector<ThresholdRule> rules_;
+  std::vector<std::string> component_names_;  // registration order
+  std::unordered_map<std::string, ActiveEntry> active_;  // key: rule|subject
+  std::vector<Alert> recent_;                            // bounded ring
+  std::uint64_t next_id_ = 1;
+  std::uint64_t raised_ = 0;
+  std::uint64_t resolved_ = 0;
+  std::uint64_t evaluations_ = 0;
+  bool shift_rule_enabled_ = false;
+  double shift_q_ = 0.95;  // the q the shift alert reports as threshold
+  // Last known classified ingress per range (prefix string -> ingress),
+  // feeding the "was X" / "re-classified via Y" alert detail.
+  std::unordered_map<std::string, core::IngressId> last_ingress_;
+};
+
+}  // namespace ipd::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/health.hpp"
 #include "core/decision_log.hpp"
 #include "core/output.hpp"
 #include "obs/export.hpp"
@@ -73,6 +74,15 @@ IntrospectionServer::IntrospectionServer(core::IpdEngine& engine,
   server_.handle("/trace", [this](const obs::HttpRequest& r) {
     return handle_trace(r);
   });
+  server_.handle("/health", [this](const obs::HttpRequest& r) {
+    return handle_health(r);
+  });
+  server_.handle("/alerts", [this](const obs::HttpRequest& r) {
+    return handle_alerts(r);
+  });
+  server_.handle("/timeseries", [this](const obs::HttpRequest& r) {
+    return handle_timeseries(r);
+  });
 }
 
 bool IntrospectionServer::start(std::uint16_t port, std::string* error) {
@@ -82,7 +92,8 @@ bool IntrospectionServer::start(std::uint16_t port, std::string* error) {
 obs::HttpResponse IntrospectionServer::handle_index(const obs::HttpRequest&) {
   return obs::HttpResponse::json(
       "{\"endpoints\":[\"/healthz\",\"/metrics\",\"/ranges\","
-      "\"/explain?ip=A.B.C.D\",\"/decisions\",\"/trace\"]}");
+      "\"/explain?ip=A.B.C.D\",\"/decisions\",\"/trace\",\"/health\","
+      "\"/alerts\",\"/timeseries?name=<metric>&from=<ts>\"]}");
 }
 
 obs::HttpResponse IntrospectionServer::handle_healthz(const obs::HttpRequest&) {
@@ -248,6 +259,101 @@ obs::HttpResponse IntrospectionServer::handle_trace(
     return bad_request(e.what());
   }
   return obs::HttpResponse::json(tracer->to_json(limit));
+}
+
+obs::HttpResponse IntrospectionServer::handle_health(const obs::HttpRequest&) {
+  if (health_ == nullptr) return not_attached("health engine");
+  std::string body = util::format(
+      "{\"status\":\"%s\",\"alerts_active\":%zu,\"alerts_raised\":%llu,"
+      "\"alerts_resolved\":%llu,\"evaluations\":%llu,\"components\":[",
+      to_string(health_->overall()), health_->active_alerts().size(),
+      static_cast<unsigned long long>(health_->alerts_raised()),
+      static_cast<unsigned long long>(health_->alerts_resolved()),
+      static_cast<unsigned long long>(health_->evaluations()));
+  const auto components = health_->components();
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (i != 0) body += ',';
+    body += util::format(
+        "{\"name\":\"%s\",\"state\":\"%s\",\"reason\":\"%s\"}",
+        util::json_escape(components[i].name).c_str(),
+        to_string(components[i].state),
+        util::json_escape(components[i].reason).c_str());
+  }
+  body += "]}";
+  return obs::HttpResponse::json(std::move(body));
+}
+
+obs::HttpResponse IntrospectionServer::handle_alerts(
+    const obs::HttpRequest& request) {
+  if (health_ == nullptr) return not_attached("health engine");
+  std::size_t limit = 0;
+  try {
+    limit = uint_param(request, "limit", config_.default_page, SIZE_MAX / 2);
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  const auto render = [limit](const std::vector<Alert>& alerts) {
+    std::string out = "[";
+    const std::size_t begin =
+        alerts.size() > limit ? alerts.size() - limit : 0;
+    for (std::size_t i = begin; i < alerts.size(); ++i) {
+      if (i != begin) out += ',';
+      out += to_json(alerts[i]);
+    }
+    out += ']';
+    return out;
+  };
+  std::string body = util::format(
+      "{\"raised\":%llu,\"resolved\":%llu,\"active\":",
+      static_cast<unsigned long long>(health_->alerts_raised()),
+      static_cast<unsigned long long>(health_->alerts_resolved()));
+  body += render(health_->active_alerts());
+  body += ",\"recent\":";
+  body += render(health_->recent_alerts());
+  body += '}';
+  return obs::HttpResponse::json(std::move(body));
+}
+
+obs::HttpResponse IntrospectionServer::handle_timeseries(
+    const obs::HttpRequest& request) {
+  if (timeseries_ == nullptr) return not_attached("time-series store");
+  const auto name = request.query_param("name");
+  if (!name) return bad_request("missing required query parameter: name");
+  util::Timestamp from = 0;
+  try {
+    from = static_cast<util::Timestamp>(
+        uint_param(request, "from", 0, static_cast<std::size_t>(INT64_MAX)));
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  const auto series = timeseries_->series_named(*name);
+  if (series.empty()) {
+    return obs::HttpResponse::json(
+        "{\"error\":\"no such series: " + util::json_escape(*name) + "\"}",
+        404);
+  }
+  std::string body = util::format("{\"name\":\"%s\",\"series\":[",
+                                  util::json_escape(*name).c_str());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i != 0) body += ',';
+    body += "{\"labels\":{";
+    for (std::size_t j = 0; j < series[i].labels.size(); ++j) {
+      if (j != 0) body += ',';
+      body += "\"" + util::json_escape(series[i].labels[j].first) +
+              "\":\"" + util::json_escape(series[i].labels[j].second) + "\"";
+    }
+    body += "},\"points\":[";
+    const auto points = timeseries_->points(series[i].id, from);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j != 0) body += ',';
+      body += util::format("[%lld,%.9g]",
+                           static_cast<long long>(points[j].ts),
+                           points[j].value);
+    }
+    body += "]}";
+  }
+  body += "]}";
+  return obs::HttpResponse::json(std::move(body));
 }
 
 }  // namespace ipd::analysis

@@ -10,12 +10,16 @@
 //   GET /explain?ip= covering range for an address + its decision history
 //   GET /decisions   tail of the decision audit trail
 //   GET /trace       flight-recorder tail as Chrome trace-event JSON
+//   GET /health      component states + reasons from the health engine
+//   GET /alerts      active alerts + recent resolved ring
+//   GET /timeseries  ?name=&from= — TSDB series as JSON for dashboards
 //
 // The engine is shared with the ingest thread: every handler takes
 // `engine_mutex` around engine access, and the ingest side must hold the
-// same mutex around offer()/run_cycle() batches. The decision log and
-// tracer are internally synchronized and are read without the engine
-// mutex, so /trace and /decisions never stall ingest.
+// same mutex around offer()/run_cycle() batches. The decision log, tracer,
+// time-series store and health engine are internally synchronized and are
+// read without the engine mutex, so /trace /decisions /health /alerts
+// /timeseries never stall ingest.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +28,11 @@
 
 #include "core/engine.hpp"
 #include "obs/http_server.hpp"
+#include "obs/timeseries.hpp"
 
 namespace ipd::analysis {
+
+class HealthEngine;
 
 struct IntrospectionConfig {
   std::size_t default_page = 100;  // /ranges rows per page by default
@@ -41,6 +48,17 @@ class IntrospectionServer {
   /// construction both work.
   IntrospectionServer(core::IpdEngine& engine, std::mutex& engine_mutex,
                       IntrospectionConfig config = {});
+
+  /// Serve /health and /alerts from `health` (must outlive the server;
+  /// internally synchronized — handlers bypass the engine mutex).
+  void attach_health(const HealthEngine& health) noexcept {
+    health_ = &health;
+  }
+
+  /// Serve /timeseries from `store` (same lifetime/locking contract).
+  void attach_timeseries(const obs::TimeSeriesStore& store) noexcept {
+    timeseries_ = &store;
+  }
 
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and serve until stop().
   bool start(std::uint16_t port, std::string* error = nullptr);
@@ -60,10 +78,15 @@ class IntrospectionServer {
   obs::HttpResponse handle_explain(const obs::HttpRequest& request);
   obs::HttpResponse handle_decisions(const obs::HttpRequest& request);
   obs::HttpResponse handle_trace(const obs::HttpRequest& request);
+  obs::HttpResponse handle_health(const obs::HttpRequest& request);
+  obs::HttpResponse handle_alerts(const obs::HttpRequest& request);
+  obs::HttpResponse handle_timeseries(const obs::HttpRequest& request);
 
   core::IpdEngine& engine_;
   std::mutex& engine_mutex_;
   IntrospectionConfig config_;
+  const HealthEngine* health_ = nullptr;
+  const obs::TimeSeriesStore* timeseries_ = nullptr;
   obs::HttpServer server_;
 };
 

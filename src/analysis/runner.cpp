@@ -66,6 +66,22 @@ void BinnedRunner::take_snapshot(util::Timestamp ts) {
         ->counter("ipd_runner_snapshots_total",
                   "Snapshots (5-minute output bins) taken")
         .inc();
+    // Per-bin validation accuracy (last *closed* bin — the current bin
+    // stays open until its successor's first record arrives). Feeds the
+    // health engine's accuracy-regression rule via the TSDB.
+    if (validation_ != nullptr && !validation_->bins().empty()) {
+      const auto& bin = validation_->bins().back();
+      registry
+          ->gauge("ipd_validation_accuracy",
+                  "Share of validated flows mapped to the correct ingress "
+                  "(last closed bin, ALL ASes)")
+          .set(bin.all.accuracy());
+      registry
+          ->gauge("ipd_validation_miss_rate",
+                  "Share of validated flows mapped incorrectly or unmapped "
+                  "(last closed bin, ALL ASes)")
+          .set(bin.all.total ? 1.0 - bin.all.accuracy() : 0.0);
+    }
     if (on_metrics) on_metrics(ts, *registry);
   }
 }

@@ -137,6 +137,38 @@ void EngineMetrics::flush_ingest() {
   link_overflow_.clear();
 }
 
+void CycleDeltaLog::push(RangeTransition transition) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (items_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  items_.push_back(std::move(transition));
+}
+
+std::vector<RangeTransition> CycleDeltaLog::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RangeTransition> out;
+  out.swap(items_);
+  return out;
+}
+
+std::size_t CycleDeltaLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+std::uint64_t CycleDeltaLog::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t CycleDeltaLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 IpdEngine::IpdEngine(IpdParams params)
     : params_(params), trie4_(net::Family::V4), trie6_(net::Family::V6) {
   params_.validate();
@@ -361,6 +393,20 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
     decision_log_->record(std::move(event));
   };
 
+  const auto record_transition = [this, &node, now](
+                                     RangeTransition::Kind kind,
+                                     const IngressId& ingress, double share,
+                                     double samples) {
+    RangeTransition t;
+    t.ts = now;
+    t.kind = kind;
+    t.prefix = node.prefix();
+    t.ingress = ingress;
+    t.share = share;
+    t.samples = samples;
+    cycle_deltas_->push(std::move(t));
+  };
+
   if (node.state() == RangeNode::State::Classified) {
     // Quiet classified ranges decay; once the counters are negligible —
     // or the range has been quiet for too long — it is dropped so stale
@@ -382,6 +428,11 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
                               ? "decayed counters fell below the drop floor"
                               : "quiet longer than drop_after");
         }
+        if (cycle_deltas_) {
+          record_transition(RangeTransition::Kind::Demote, node.ingress(),
+                            node.counts().share_of(node.ingress()),
+                            node.counts().total());
+        }
         node.reset_to_monitoring();
         ++out.drops;
         charge(CyclePhase::Expire, t0);
@@ -394,6 +445,11 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
         record_decision(DecisionKind::Demote, node.counts().total(), 0.0,
                         node.counts().share_of(node.ingress()), age,
                         node.ingress(), "dominant-ingress share fell below q");
+      }
+      if (cycle_deltas_) {
+        record_transition(RangeTransition::Kind::Demote, node.ingress(),
+                          node.counts().share_of(node.ingress()),
+                          node.counts().total());
       }
       node.reset_to_monitoring();
       ++out.drops;
@@ -422,6 +478,11 @@ void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
       record_decision(DecisionKind::Classify, node.counts().total(), n_cidr,
                       node.counts().share_of(*prevalent), 0, *prevalent,
                       "dominant-ingress share >= q with samples >= n_cidr");
+    }
+    if (cycle_deltas_) {
+      record_transition(RangeTransition::Kind::Classify, *prevalent,
+                        node.counts().share_of(*prevalent),
+                        node.counts().total());
     }
     node.classify(*prevalent, now);
     ++out.classifications;

@@ -28,8 +28,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/decision_log.hpp"
 #include "core/params.hpp"
@@ -70,6 +72,47 @@ struct CycleStats {
   // Per-phase wall time, indexed by CyclePhase. Only populated while
   // metrics are attached (timing every leaf visit is not free).
   std::array<std::int64_t, kNumCyclePhases> phase_micros{};
+};
+
+/// One stage-2 structural transition relevant to ingress-shift detection:
+/// a classified range losing its prevalent ingress (Demote) or a range
+/// (re-)gaining one (Classify), with the quantities at decision time.
+struct RangeTransition {
+  enum class Kind : std::uint8_t { Demote, Classify };
+  util::Timestamp ts = 0;
+  Kind kind = Kind::Demote;
+  net::Prefix prefix;
+  IngressId ingress;     // Demote: the lost ingress; Classify: the new one
+  double share = 0.0;    // dominant-ingress share at decision time
+  double samples = 0.0;  // range sample total at decision time
+};
+
+/// Accumulating sink for per-cycle demotion/re-classification deltas.
+/// The engine appends while one is attached; a consumer (the health
+/// engine's shift rule) drains at its own cadence. Bounded: beyond
+/// `capacity` the newest transitions are dropped and counted, so a
+/// misbehaving cycle cannot grow the buffer without bound. Stage-2 only —
+/// the ingest path never touches it.
+class CycleDeltaLog {
+ public:
+  explicit CycleDeltaLog(std::size_t capacity = 65536)
+      : capacity_(capacity) {}
+
+  void push(RangeTransition transition);
+
+  /// Consume-and-clear all buffered transitions, oldest first.
+  std::vector<RangeTransition> drain();
+
+  std::size_t size() const;
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RangeTransition> items_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Lifetime counters.
@@ -199,6 +242,14 @@ class IpdEngine {
   void attach_tracer(obs::Tracer& tracer) noexcept { tracer_ = &tracer; }
   obs::Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Append every stage-2 demotion/classification transition into `log`
+  /// from now on (same lifetime contract as the decision log). Consumed by
+  /// the health engine's ingress-shift rule.
+  void attach_cycle_deltas(CycleDeltaLog& log) noexcept {
+    cycle_deltas_ = &log;
+  }
+  CycleDeltaLog* cycle_deltas() const noexcept { return cycle_deltas_; }
+
   /// Stage 1: add one sample of `weight` (1 flow, or its byte count when
   /// count_mode is Bytes). Hot path.
   void ingest(util::Timestamp ts, const net::IpAddress& src_ip,
@@ -249,6 +300,7 @@ class IpdEngine {
   std::unique_ptr<EngineMetrics> metrics_;
   DecisionLog* decision_log_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  CycleDeltaLog* cycle_deltas_ = nullptr;
 };
 
 }  // namespace ipd::core

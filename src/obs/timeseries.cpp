@@ -1,0 +1,198 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+
+namespace ipd::obs {
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesConfig config) : config_(config) {
+  if (config_.points_per_series == 0) config_.points_per_series = 1;
+}
+
+std::string TimeSeriesStore::series_key(std::string_view name,
+                                        const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+TimeSeriesStore::SeriesId TimeSeriesStore::open(std::string_view name,
+                                                Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = series_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) return it->second;
+  if (series_.size() >= config_.max_series) {
+    ++rejected_capacity_;
+    return kInvalidSeries;
+  }
+  Series s;
+  s.name = std::string(name);
+  s.labels = std::move(labels);
+  s.ring.resize(config_.points_per_series);
+  const auto id = static_cast<SeriesId>(series_.size());
+  series_.push_back(std::move(s));
+  index_.emplace(key, id);
+  return id;
+}
+
+TimeSeriesStore::SeriesId TimeSeriesStore::find(std::string_view name,
+                                                const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string key = series_key(name, sorted);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? kInvalidSeries : it->second;
+}
+
+bool TimeSeriesStore::append(SeriesId id, util::Timestamp ts, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= series_.size()) {
+    ++rejected_out_of_order_;
+    return false;
+  }
+  Series& s = series_[id];
+  if (s.size > 0 && ts <= s.last_ts) {
+    ++rejected_out_of_order_;
+    return false;
+  }
+  const std::size_t cap = s.ring.size();
+  if (s.size == cap) {
+    // Ring full: the slot at head is the oldest point — overwrite it.
+    // This is the retention policy: capacity × cadence = window.
+    s.ring[s.head] = {ts, value};
+    s.head = (s.head + 1) % cap;
+  } else {
+    s.ring[(s.head + s.size) % cap] = {ts, value};
+    ++s.size;
+  }
+  s.last_ts = ts;
+  ++points_appended_;
+  return true;
+}
+
+std::size_t TimeSeriesStore::ingest(const MetricsRegistry& registry,
+                                    util::Timestamp ts) {
+  std::size_t appended = 0;
+  for (const FamilySnapshot& family : registry.collect()) {
+    for (const SampleSnapshot& sample : family.samples) {
+      if (family.type == MetricType::Histogram) {
+        const SeriesId sum = open(family.name + "_sum", sample.labels);
+        const SeriesId count = open(family.name + "_count", sample.labels);
+        if (append(sum, ts, sample.sum)) ++appended;
+        if (append(count, ts, static_cast<double>(sample.count))) ++appended;
+      } else {
+        const SeriesId id = open(family.name, sample.labels);
+        if (append(id, ts, sample.value)) ++appended;
+      }
+    }
+  }
+  return appended;
+}
+
+std::vector<TsPoint> TimeSeriesStore::points(SeriesId id,
+                                             util::Timestamp from) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TsPoint> out;
+  if (id >= series_.size()) return out;
+  const Series& s = series_[id];
+  out.reserve(s.size);
+  for (std::size_t i = 0; i < s.size; ++i) {
+    const TsPoint& p = s.ring[(s.head + i) % s.ring.size()];
+    if (p.ts >= from) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<TsWindow> TimeSeriesStore::window(
+    SeriesId id, std::size_t window_points) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= series_.size() || window_points == 0) return std::nullopt;
+  const Series& s = series_[id];
+  if (s.size == 0) return std::nullopt;
+  const std::size_t n = std::min(window_points, s.size);
+  TsWindow w;
+  w.points = n;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TsPoint& p = s.ring[(s.head + s.size - n + i) % s.ring.size()];
+    if (i == 0) {
+      w.first = p.value;
+      w.first_ts = p.ts;
+      w.min = w.max = p.value;
+    } else {
+      w.min = std::min(w.min, p.value);
+      w.max = std::max(w.max, p.value);
+    }
+    w.last = p.value;
+    w.last_ts = p.ts;
+    sum += p.value;
+  }
+  w.mean = sum / static_cast<double>(n);
+  return w;
+}
+
+std::vector<TimeSeriesStore::SeriesInfo> TimeSeriesStore::series_named(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesInfo> out;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const Series& s = series_[i];
+    if (s.name != name) continue;
+    out.push_back({static_cast<SeriesId>(i), s.name, s.labels, s.size,
+                   s.size ? s.last_ts : 0});
+  }
+  return out;
+}
+
+std::vector<TimeSeriesStore::SeriesInfo> TimeSeriesStore::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesInfo> out;
+  out.reserve(series_.size());
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const Series& s = series_[i];
+    out.push_back({static_cast<SeriesId>(i), s.name, s.labels, s.size,
+                   s.size ? s.last_ts : 0});
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::uint64_t TimeSeriesStore::points_appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return points_appended_;
+}
+
+std::uint64_t TimeSeriesStore::rejected_out_of_order() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_out_of_order_;
+}
+
+std::uint64_t TimeSeriesStore::rejected_capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_capacity_;
+}
+
+std::size_t TimeSeriesStore::memory_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = series_.capacity() * sizeof(Series);
+  for (const Series& s : series_) {
+    bytes += s.name.capacity() + s.ring.capacity() * sizeof(TsPoint);
+    for (const auto& [k, v] : s.labels) bytes += k.capacity() + v.capacity();
+  }
+  for (const auto& [key, id] : index_) {
+    bytes += key.capacity() + sizeof(id) + sizeof(void*) * 2;
+  }
+  return bytes;
+}
+
+}  // namespace ipd::obs

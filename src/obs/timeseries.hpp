@@ -1,0 +1,145 @@
+// Embedded fixed-memory time-series store (a tiny TSDB).
+//
+// Retains a windowed history of every metric at the runner's snapshot
+// cadence (5-minute output bins, §5.7) so that rule evaluation can tell
+// persistent shifts from churn — instantaneous counters cannot (the
+// elephant-flow stability literature makes the same point: windowed
+// history, not point samples, separates real change from noise).
+//
+// Storage model: one preallocated ring buffer of (timestamp, value)
+// points per series. open() allocates the ring once; append() after that
+// touches only the ring slots — no allocation, no rehashing on the data
+// path. When a ring is full the oldest point is overwritten, which *is*
+// the retention policy: points_per_series × ingest cadence = retention
+// window. Timestamps must be strictly increasing per series; out-of-order
+// appends are rejected and counted, never silently reordered.
+//
+// ingest() bridges a MetricsRegistry snapshot into the store: counters
+// and gauges become one series each, histograms become two (`_sum` and
+// `_count`, the Prometheus convention) so windowed rates and per-event
+// averages can be derived from deltas. Series identity is (name, sorted
+// label set), same as the registry.
+//
+// The store is internally synchronized; readers (the /timeseries endpoint,
+// the health engine) never block the engine mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace ipd::obs {
+
+struct TimeSeriesConfig {
+  /// Ring capacity per series. 288 points at the 5-minute cadence is a
+  /// 24-hour retention window.
+  std::size_t points_per_series = 288;
+  /// Hard cap on distinct series (fixed memory bound). open() beyond the
+  /// cap returns kInvalidSeries and counts the rejection.
+  std::size_t max_series = 4096;
+};
+
+struct TsPoint {
+  util::Timestamp ts = 0;
+  double value = 0.0;
+};
+
+/// Windowed aggregate over the newest points of one series.
+struct TsWindow {
+  std::size_t points = 0;  // points actually present (<= requested)
+  double first = 0.0;      // oldest value in the window
+  double last = 0.0;       // newest value
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  util::Timestamp first_ts = 0;
+  util::Timestamp last_ts = 0;
+};
+
+class TimeSeriesStore {
+ public:
+  using SeriesId = std::uint32_t;
+  static constexpr SeriesId kInvalidSeries = UINT32_MAX;
+
+  explicit TimeSeriesStore(TimeSeriesConfig config = {});
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  const TimeSeriesConfig& config() const noexcept { return config_; }
+
+  /// Get-or-create the series (name, labels). Allocates the ring on first
+  /// use; returns kInvalidSeries once max_series is reached.
+  SeriesId open(std::string_view name, Labels labels = {});
+
+  /// Find without creating.
+  SeriesId find(std::string_view name, const Labels& labels = {}) const;
+
+  /// Append one point. Returns false (and counts the rejection) when `id`
+  /// is invalid or `ts` is not strictly newer than the series tail.
+  bool append(SeriesId id, util::Timestamp ts, double value);
+
+  /// Snapshot `registry` into the store at time `ts`: every counter/gauge
+  /// sample appends one point, every histogram sample appends `<name>_sum`
+  /// and `<name>_count`. Returns the number of points appended.
+  std::size_t ingest(const MetricsRegistry& registry, util::Timestamp ts);
+
+  /// Points of one series with ts >= from, oldest first.
+  std::vector<TsPoint> points(SeriesId id, util::Timestamp from = 0) const;
+
+  /// Aggregate over the newest `window_points` of the series; nullopt when
+  /// the series is unknown or empty.
+  std::optional<TsWindow> window(SeriesId id, std::size_t window_points) const;
+
+  /// Descriptor of one live series (for /timeseries and listings).
+  struct SeriesInfo {
+    SeriesId id = kInvalidSeries;
+    std::string name;
+    Labels labels;
+    std::size_t points = 0;
+    util::Timestamp last_ts = 0;
+  };
+
+  /// All series sharing `name` (any labels), in creation order.
+  std::vector<SeriesInfo> series_named(std::string_view name) const;
+
+  /// Every live series, in creation order.
+  std::vector<SeriesInfo> list() const;
+
+  std::size_t series_count() const;
+  std::uint64_t points_appended() const;
+  std::uint64_t rejected_out_of_order() const;
+  std::uint64_t rejected_capacity() const;
+
+  /// Heap held by the store (rings + index); fixed after the series set
+  /// stabilizes.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::vector<TsPoint> ring;  // capacity points_per_series, preallocated
+    std::size_t head = 0;       // index of the oldest point
+    std::size_t size = 0;
+    util::Timestamp last_ts = INT64_MIN;
+  };
+
+  static std::string series_key(std::string_view name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  TimeSeriesConfig config_;
+  std::vector<Series> series_;
+  std::unordered_map<std::string, SeriesId> index_;
+  std::uint64_t points_appended_ = 0;
+  std::uint64_t rejected_out_of_order_ = 0;
+  std::uint64_t rejected_capacity_ = 0;
+};
+
+}  // namespace ipd::obs

@@ -1,0 +1,344 @@
+// HealthEngine: each built-in rule firing and resolving on synthetic
+// series, the ingress-shift raise/resolve lifecycle off CycleDeltaLog
+// transitions, clear_after hysteresis, the on_alert callback, and the
+// ipd_health_state / ipd_alerts_active gauges.
+#include "analysis/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/prefix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace ipd::analysis {
+namespace {
+
+core::RangeTransition transition(util::Timestamp ts,
+                                 core::RangeTransition::Kind kind,
+                                 const char* prefix, topology::LinkId link,
+                                 double share) {
+  core::RangeTransition t;
+  t.ts = ts;
+  t.kind = kind;
+  t.prefix = net::Prefix::from_string(prefix);
+  t.ingress = core::IngressId(link);
+  t.share = share;
+  t.samples = 100.0;
+  return t;
+}
+
+TEST(HealthEngine, ShiftAlertRaisesOnDemoteAndResolvesOnClassify) {
+  obs::TimeSeriesStore store;
+  HealthEngine health(store);
+  core::CycleDeltaLog deltas;
+  health.attach_cycle_deltas(deltas);
+
+  std::vector<Alert> fired;
+  health.on_alert = [&](const Alert& a) { fired.push_back(a); };
+
+  // The range classifies via R1.1 — remembered as its last known ingress.
+  deltas.push(transition(60, core::RangeTransition::Kind::Classify,
+                         "10.0.0.0/16", {1, 1}, 0.99));
+  health.evaluate(60);
+  EXPECT_TRUE(health.active_alerts().empty());
+  EXPECT_EQ(health.overall(), HealthState::Ok);
+
+  // Maintenance: the prevalent ingress share collapses, stage 2 demotes.
+  deltas.push(transition(120, core::RangeTransition::Kind::Demote,
+                         "10.0.0.0/16", {1, 1}, 0.82));
+  health.evaluate(120);
+
+  const auto active = health.active_alerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, "ingress-shift");
+  EXPECT_EQ(active[0].component, "ingress");
+  EXPECT_EQ(active[0].subject, "10.0.0.0/16");
+  EXPECT_DOUBLE_EQ(active[0].observed, 0.82);  // share at demote time
+  EXPECT_DOUBLE_EQ(active[0].threshold, 0.95); // vs. the q it had to hold
+  EXPECT_EQ(active[0].first_seen, 120);
+  EXPECT_EQ(active[0].resolved_at, 0);
+  EXPECT_EQ(active[0].detail, "was R1.1");
+  EXPECT_EQ(health.overall(), HealthState::Degraded);
+  ASSERT_EQ(fired.size(), 1u);
+
+  // The range re-classifies behind a different ingress: the alert resolves
+  // and the record names the shift.
+  deltas.push(transition(180, core::RangeTransition::Kind::Classify,
+                         "10.0.0.0/16", {2, 1}, 0.98));
+  health.evaluate(180);
+
+  EXPECT_TRUE(health.active_alerts().empty());
+  EXPECT_EQ(health.overall(), HealthState::Ok);
+  const auto recent = health.recent_alerts();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].resolved_at, 180);
+  EXPECT_EQ(recent[0].detail, "shifted R1.1 -> R2.1");
+  EXPECT_EQ(health.alerts_raised(), 1u);
+  EXPECT_EQ(health.alerts_resolved(), 1u);
+  // on_alert fired once for the raise and once for the resolution.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].resolved_at, 180);
+  EXPECT_EQ(fired[0].id, fired[1].id);
+}
+
+TEST(HealthEngine, ShiftAlertResolvesViaCoveringAggregate) {
+  obs::TimeSeriesStore store;
+  HealthEngine health(store);
+  core::CycleDeltaLog deltas;
+  health.attach_cycle_deltas(deltas);
+
+  // Two sibling /24s demote...
+  deltas.push(transition(60, core::RangeTransition::Kind::Demote,
+                         "10.0.0.0/24", {1, 1}, 0.80));
+  deltas.push(transition(60, core::RangeTransition::Kind::Demote,
+                         "10.0.1.0/24", {1, 1}, 0.78));
+  health.evaluate(60);
+  EXPECT_EQ(health.active_alerts().size(), 2u);
+
+  // ...and re-classification lands on the covering /23 (the joined
+  // aggregate, as in Fig. 13's endgame): both alerts resolve.
+  deltas.push(transition(120, core::RangeTransition::Kind::Classify,
+                         "10.0.0.0/23", {2, 1}, 0.97));
+  health.evaluate(120);
+  EXPECT_TRUE(health.active_alerts().empty());
+  EXPECT_EQ(health.alerts_resolved(), 2u);
+}
+
+TEST(HealthEngine, ThresholdRuleHysteresisNeedsCleanStreak) {
+  obs::TimeSeriesStore store;
+  const auto id = store.open("queue_depth");
+  HealthEngine health(store);
+
+  ThresholdRule rule;
+  rule.name = "deep-queue";
+  rule.component = "collector";
+  rule.series = "queue_depth";
+  rule.agg = ThresholdRule::Agg::Last;
+  rule.cmp = ThresholdRule::Cmp::GreaterThan;
+  rule.threshold = 10.0;
+  rule.window_points = 3;
+  rule.clear_after = 2;  // two clean evaluations before auto-resolve
+  health.add_rule(rule);
+
+  store.append(id, 60, 20.0);
+  health.evaluate(60);
+  ASSERT_EQ(health.active_alerts().size(), 1u);
+  EXPECT_DOUBLE_EQ(health.active_alerts()[0].observed, 20.0);
+  EXPECT_EQ(health.active_alerts()[0].subject, "");  // unlabeled series
+
+  // One clean pass is not enough...
+  store.append(id, 120, 5.0);
+  health.evaluate(120);
+  EXPECT_EQ(health.active_alerts().size(), 1u);
+
+  // ...a second one resolves.
+  store.append(id, 180, 5.0);
+  health.evaluate(180);
+  EXPECT_TRUE(health.active_alerts().empty());
+  ASSERT_EQ(health.recent_alerts().size(), 1u);
+  EXPECT_EQ(health.recent_alerts()[0].resolved_at, 180);
+
+  // A re-fire during the clean streak resets it.
+  store.append(id, 240, 30.0);
+  health.evaluate(240);
+  store.append(id, 300, 5.0);
+  health.evaluate(300);
+  store.append(id, 360, 30.0);  // streak back to zero
+  health.evaluate(360);
+  store.append(id, 420, 5.0);
+  health.evaluate(420);
+  EXPECT_EQ(health.active_alerts().size(), 1u);  // still live after one clean
+}
+
+TEST(HealthEngine, MassDemotionBurstFiresOnWindowDelta) {
+  obs::MetricsRegistry registry;
+  auto& drops =
+      registry.counter("ipd_cycle_events_total", "h", {{"event", "drop"}});
+  registry.counter("ipd_cycle_events_total", "h", {{"event", "classify"}})
+      .inc(1000);  // other event labels must not match the rule
+
+  obs::TimeSeriesStore store;
+  HealthEngine health(store);
+  health.install_default_rules(core::IpdParams{});
+
+  store.ingest(registry, 300);
+  health.evaluate(300);
+  EXPECT_TRUE(health.active_alerts().empty());
+
+  // 20 demotions in one bin: above the default burst threshold of 16.
+  drops.inc(20);
+  store.ingest(registry, 600);
+  health.evaluate(600);
+  const auto active = health.active_alerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, "mass-demotion-burst");
+  EXPECT_EQ(active[0].component, "classification");
+  EXPECT_EQ(active[0].subject, "event=drop");
+  EXPECT_DOUBLE_EQ(active[0].observed, 20.0);
+  EXPECT_DOUBLE_EQ(active[0].threshold, 16.0);
+}
+
+TEST(HealthEngine, CycleOverrunFiresOnMeanSecondsPerCycle) {
+  obs::MetricsRegistry registry;
+  auto& cycle = registry.histogram("ipd_cycle_seconds", "h", {1.0, 60.0, 600.0});
+
+  obs::TimeSeriesStore store;
+  HealthEngine health(store);
+  core::IpdParams params;  // t = 60 -> budget 60 s
+  health.install_default_rules(params);
+
+  cycle.observe(30.0);
+  store.ingest(registry, 300);
+  health.evaluate(300);
+  EXPECT_TRUE(health.active_alerts().empty());
+
+  // Two cycles totaling 130 s in the bin: mean 65 s/cycle > 60 s budget.
+  cycle.observe(65.0);
+  cycle.observe(65.0);
+  store.ingest(registry, 600);
+  health.evaluate(600);
+  const auto active = health.active_alerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, "stage2-cycle-overrun");
+  EXPECT_EQ(active[0].severity, AlertSeverity::Critical);
+  EXPECT_DOUBLE_EQ(active[0].observed, 65.0);
+  EXPECT_DOUBLE_EQ(active[0].threshold, 60.0);
+  // A critical alert makes its component — and the whole — unhealthy.
+  EXPECT_EQ(health.overall(), HealthState::Unhealthy);
+  bool saw_stage2 = false;
+  for (const auto& c : health.components()) {
+    if (c.name != "stage2") continue;
+    saw_stage2 = true;
+    EXPECT_EQ(c.state, HealthState::Unhealthy);
+    EXPECT_NE(c.reason.find("stage2-cycle-overrun"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_stage2);
+}
+
+TEST(HealthEngine, CollectorRingDropRuleCoversEverySource) {
+  obs::MetricsRegistry registry;
+  auto& nf = registry.counter("ipd_ring_dropped_total", "h", {{"source", "nf"}});
+  registry.counter("ipd_ring_dropped_total", "h", {{"source", "ipfix"}});
+
+  obs::TimeSeriesStore store;
+  HealthEngine health(store);
+  health.install_default_rules(core::IpdParams{});
+
+  store.ingest(registry, 300);
+  health.evaluate(300);
+  EXPECT_TRUE(health.active_alerts().empty());
+
+  nf.inc(3);  // only the netflow ring dropped
+  store.ingest(registry, 600);
+  health.evaluate(600);
+  const auto active = health.active_alerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, "collector-ring-drops");
+  EXPECT_EQ(active[0].subject, "source=nf");
+  EXPECT_DOUBLE_EQ(active[0].observed, 3.0);
+}
+
+TEST(HealthEngine, AccuracyRegressionComparesAgainstTrailingMean) {
+  obs::MetricsRegistry registry;
+  auto& accuracy = registry.gauge("ipd_validation_accuracy", "h");
+
+  obs::TimeSeriesStore store;
+  HealthEngine health(store);
+  health.install_default_rules(core::IpdParams{});
+
+  // Steady bins establish the trailing mean.
+  for (int bin = 1; bin <= 3; ++bin) {
+    accuracy.set(0.95);
+    store.ingest(registry, bin * 300);
+    health.evaluate(bin * 300);
+  }
+  EXPECT_TRUE(health.active_alerts().empty());
+
+  // One bin collapses: trailing mean 0.95, observed drop 0.15 > 0.05.
+  accuracy.set(0.80);
+  store.ingest(registry, 4 * 300);
+  health.evaluate(4 * 300);
+  const auto active = health.active_alerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rule, "accuracy-regression");
+  EXPECT_EQ(active[0].component, "validation");
+  EXPECT_NEAR(active[0].observed, 0.15, 1e-9);
+  EXPECT_DOUBLE_EQ(active[0].threshold, 0.05);
+}
+
+TEST(HealthEngine, PublishesHealthGauges) {
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesStore store;
+  HealthEngine health(store);
+  core::CycleDeltaLog deltas;
+  health.attach_cycle_deltas(deltas);
+  health.bind_metrics(registry);
+
+  health.evaluate(60);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("ipd_health_state", "", {{"component", "overall"}})
+          .value(),
+      0.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("ipd_alerts_active", "").value(), 0.0);
+
+  deltas.push(transition(120, core::RangeTransition::Kind::Demote,
+                         "10.0.0.0/16", {1, 1}, 0.5));
+  health.evaluate(120);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("ipd_health_state", "", {{"component", "overall"}})
+          .value(),
+      1.0);  // degraded
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("ipd_health_state", "", {{"component", "ingress"}})
+          .value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("ipd_alerts_active", "").value(), 1.0);
+}
+
+TEST(HealthEngine, AlertJsonCarriesTheComparedQuantities) {
+  Alert alert;
+  alert.id = 7;
+  alert.rule = "ingress-shift";
+  alert.component = "ingress";
+  alert.subject = "10.0.0.0/16";
+  alert.severity = AlertSeverity::Warning;
+  alert.observed = 0.82;
+  alert.threshold = 0.95;
+  alert.window_points = 1;
+  alert.first_seen = 120;
+  alert.last_seen = 120;
+  alert.reason = "classified range lost its prevalent ingress";
+  alert.detail = "was R1.1";
+
+  const std::string json = to_json(alert);
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"ingress-shift\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"subject\":\"10.0.0.0/16\""), std::string::npos);
+  EXPECT_NE(json.find("\"observed\":0.82"), std::string::npos);
+  EXPECT_NE(json.find("\"threshold\":0.95"), std::string::npos);
+  EXPECT_NE(json.find("\"resolved_at\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"was R1.1\""), std::string::npos);
+}
+
+TEST(CycleDeltaLog, BoundedDrainAndDropAccounting) {
+  core::CycleDeltaLog log(2);
+  core::RangeTransition t;
+  t.prefix = net::Prefix::from_string("10.0.0.0/8");
+  log.push(t);
+  log.push(t);
+  log.push(t);  // past capacity: dropped, counted
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.total_recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_EQ(log.drain().size(), 2u);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.drain().size(), 0u);
+}
+
+}  // namespace
+}  // namespace ipd::analysis

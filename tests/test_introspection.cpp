@@ -12,9 +12,11 @@
 #include <mutex>
 #include <string>
 
+#include "analysis/health.hpp"
 #include "core/decision_log.hpp"
 #include "json_check.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace ipd::analysis {
@@ -201,6 +203,105 @@ TEST_F(IntrospectionTest, TraceIsChromeTraceEventJson) {
   EXPECT_NE(body.find("stage2.cycle"), std::string::npos);
 }
 
+/// IntrospectionTest plus the PR-3 attachments: a TSDB fed from the
+/// registry and a health engine consuming the engine's cycle deltas.
+class HealthEndpointsTest : public IntrospectionTest {
+ protected:
+  HealthEndpointsTest() : health_(timeseries_) {}
+
+  void SetUp() override {
+    engine_.attach_cycle_deltas(cycle_deltas_);
+    health_.install_default_rules(make_params());
+    health_.attach_cycle_deltas(cycle_deltas_);
+    health_.bind_metrics(registry_);
+    server_.attach_health(health_);
+    server_.attach_timeseries(timeseries_);
+    IntrospectionTest::SetUp();  // seeds traffic, runs two cycles, starts
+    timeseries_.ingest(registry_, 120);
+    timeseries_.ingest(registry_, 240);
+    health_.evaluate(240);
+  }
+
+  obs::TimeSeriesStore timeseries_;
+  core::CycleDeltaLog cycle_deltas_;
+  HealthEngine health_;
+};
+
+TEST_F(HealthEndpointsTest, HealthReportsComponentStates) {
+  const std::string response = http_get(server_.port(), "/health");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"status\":"), std::string::npos);
+  EXPECT_NE(body.find("\"alerts_active\":"), std::string::npos);
+  EXPECT_NE(body.find("\"evaluations\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"components\":["), std::string::npos);
+  // Every default-rule component is listed with a state and a reason.
+  for (const char* component :
+       {"ingress", "stage2", "classification", "collector", "validation"}) {
+    EXPECT_NE(body.find(std::string("\"name\":\"") + component + "\""),
+              std::string::npos)
+        << component << " missing in " << body;
+  }
+  EXPECT_NE(body.find("\"state\":"), std::string::npos);
+  EXPECT_NE(body.find("\"reason\":"), std::string::npos);
+}
+
+TEST_F(HealthEndpointsTest, AlertsListsActiveAndRecent) {
+  const std::string body = body_of(http_get(server_.port(), "/alerts"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"raised\":"), std::string::npos);
+  EXPECT_NE(body.find("\"resolved\":"), std::string::npos);
+  EXPECT_NE(body.find("\"active\":["), std::string::npos);
+  EXPECT_NE(body.find("\"recent\":["), std::string::npos);
+
+  const std::string limited =
+      body_of(http_get(server_.port(), "/alerts?limit=1"));
+  EXPECT_TRUE(JsonChecker(limited).valid()) << limited;
+
+  // Malformed limit is a 400, not a crash.
+  EXPECT_NE(http_get(server_.port(), "/alerts?limit=pear")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST_F(HealthEndpointsTest, TimeseriesReturnsPointsAndFilters) {
+  // The registry ingests gave every engine metric two points.
+  const std::string body = body_of(
+      http_get(server_.port(), "/timeseries?name=ipd_cycles_total"));
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"name\":\"ipd_cycles_total\""), std::string::npos);
+  EXPECT_NE(body.find("\"series\":["), std::string::npos);
+  EXPECT_NE(body.find("\"points\":[[120,"), std::string::npos);
+
+  // `from` trims older points.
+  const std::string tail = body_of(http_get(
+      server_.port(), "/timeseries?name=ipd_cycles_total&from=240"));
+  EXPECT_TRUE(JsonChecker(tail).valid()) << tail;
+  EXPECT_EQ(tail.find("[[120,"), std::string::npos);
+  EXPECT_NE(tail.find("[[240,"), std::string::npos);
+}
+
+TEST_F(HealthEndpointsTest, TimeseriesRejectsBadQueries) {
+  // Missing name -> 400; unknown name -> 404; junk from -> 400.
+  EXPECT_NE(http_get(server_.port(), "/timeseries").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(server_.port(), "/timeseries?name=no_such_series")
+                .find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_get(server_.port(),
+                     "/timeseries?name=ipd_cycles_total&from=banana")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST_F(HealthEndpointsTest, HealthGaugesReachTheMetricsEndpoint) {
+  const std::string body = body_of(http_get(server_.port(), "/metrics"));
+  EXPECT_NE(body.find("ipd_health_state{component=\"overall\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("ipd_alerts_active"), std::string::npos);
+}
+
 TEST_F(IntrospectionTest, IndexListsEndpoints) {
   const std::string body = body_of(http_get(server_.port(), "/"));
   EXPECT_TRUE(JsonChecker(body).valid()) << body;
@@ -227,6 +328,13 @@ TEST(IntrospectionBare, MissingAttachmentsAre503) {
   EXPECT_NE(http_get(server.port(), "/trace").find("HTTP/1.1 503"),
             std::string::npos);
   EXPECT_NE(http_get(server.port(), "/metrics").find("HTTP/1.1 503"),
+            std::string::npos);
+  // Same for the health surfaces when nothing was attached.
+  EXPECT_NE(http_get(server.port(), "/health").find("HTTP/1.1 503"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/alerts").find("HTTP/1.1 503"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/timeseries?name=x").find("HTTP/1.1 503"),
             std::string::npos);
   // /healthz and /ranges work from the engine alone.
   EXPECT_NE(http_get(server.port(), "/healthz").find("HTTP/1.1 200"),

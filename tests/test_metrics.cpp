@@ -103,6 +103,54 @@ TEST(Histogram, QuantileEdgeCases) {
   EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 2.0);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZeroEverywhere) {
+  // With no observations there is no distribution to interpolate: every
+  // quantile — including the extremes — pins to exactly 0.0 rather than a
+  // bucket bound or NaN.
+  Histogram empty({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+  // Out-of-range q is clamped first, so the answer is still 0.0.
+  EXPECT_DOUBLE_EQ(empty.quantile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(2.0), 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleSampleInterpolatesItsBucket) {
+  // One observation of 3.0 lands in the (2, 4] bucket. The quantile is a
+  // linear walk across exactly that bucket: q=0 sits on the lower edge,
+  // q=1 on the upper, q in between interpolates — pinned values, not
+  // within-one-bucket approximations.
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileOfSingleSampleInFirstBucketUsesZeroFloor) {
+  // The first bucket has no lower bound; interpolation anchors at
+  // min(0, bound) so a positive-bounded histogram walks from 0.
+  Histogram h({4.0, 8.0});
+  h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileRankOnBucketBoundaryReturnsTheBound) {
+  // Two observations per bucket: rank q=0.5 lands exactly on the edge
+  // between the buckets and must return the shared bound, from either side.
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
 TEST(Registry, GetOrCreateReturnsStableInstruments) {
   MetricsRegistry registry;
   Counter& a = registry.counter("requests_total", "help");

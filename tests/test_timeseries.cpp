@@ -1,0 +1,189 @@
+// TimeSeriesStore: ring semantics (wrap = retention eviction), strictly
+// increasing timestamps, registry ingest (histogram -> _sum/_count),
+// windowed aggregates, the series-count cap, and the memory bound.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ipd::obs {
+namespace {
+
+TEST(TimeSeriesStore, OpenIsGetOrCreate) {
+  TimeSeriesStore store;
+  const auto a = store.open("ipd_cycles_total");
+  const auto b = store.open("ipd_cycles_total");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.series_count(), 1u);
+
+  // Distinct labels are distinct series; label order is normalized away.
+  const auto c = store.open("flows", {{"family", "v4"}, {"link", "1"}});
+  const auto d = store.open("flows", {{"link", "1"}, {"family", "v4"}});
+  EXPECT_EQ(c, d);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.series_count(), 2u);
+
+  EXPECT_EQ(store.find("flows", {{"family", "v4"}, {"link", "1"}}), c);
+  EXPECT_EQ(store.find("absent"), TimeSeriesStore::kInvalidSeries);
+}
+
+TEST(TimeSeriesStore, AppendAndReadBack) {
+  TimeSeriesStore store;
+  const auto id = store.open("g");
+  EXPECT_TRUE(store.append(id, 100, 1.0));
+  EXPECT_TRUE(store.append(id, 200, 2.0));
+  EXPECT_TRUE(store.append(id, 300, 3.0));
+
+  const auto points = store.points(id);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].ts, 100);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+  EXPECT_EQ(points[2].ts, 300);
+  EXPECT_DOUBLE_EQ(points[2].value, 3.0);
+
+  // `from` filters inclusively on the timestamp.
+  const auto tail = store.points(id, 200);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].ts, 200);
+}
+
+TEST(TimeSeriesStore, RingWrapEvictsOldestPoints) {
+  TimeSeriesConfig config;
+  config.points_per_series = 4;
+  TimeSeriesStore store(config);
+  const auto id = store.open("wrapped");
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(store.append(id, i * 60, static_cast<double>(i)));
+  }
+  // Only the newest 4 points survive: retention = capacity x cadence.
+  const auto points = store.points(id);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].ts, 7 * 60);
+  EXPECT_DOUBLE_EQ(points[0].value, 7.0);
+  EXPECT_EQ(points[3].ts, 10 * 60);
+  EXPECT_DOUBLE_EQ(points[3].value, 10.0);
+  EXPECT_EQ(store.points_appended(), 10u);
+}
+
+TEST(TimeSeriesStore, RejectsOutOfOrderAndInvalidAppends) {
+  TimeSeriesStore store;
+  const auto id = store.open("s");
+  EXPECT_TRUE(store.append(id, 100, 1.0));
+  // Equal and older timestamps are rejected, never reordered.
+  EXPECT_FALSE(store.append(id, 100, 2.0));
+  EXPECT_FALSE(store.append(id, 99, 3.0));
+  EXPECT_EQ(store.rejected_out_of_order(), 2u);
+  EXPECT_FALSE(store.append(TimeSeriesStore::kInvalidSeries, 200, 1.0));
+  ASSERT_EQ(store.points(id).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.points(id)[0].value, 1.0);
+  // The series still accepts strictly newer points afterwards.
+  EXPECT_TRUE(store.append(id, 101, 4.0));
+}
+
+TEST(TimeSeriesStore, SeriesCapRejectsAndCounts) {
+  TimeSeriesConfig config;
+  config.max_series = 2;
+  TimeSeriesStore store(config);
+  EXPECT_NE(store.open("a"), TimeSeriesStore::kInvalidSeries);
+  EXPECT_NE(store.open("b"), TimeSeriesStore::kInvalidSeries);
+  EXPECT_EQ(store.open("c"), TimeSeriesStore::kInvalidSeries);
+  EXPECT_EQ(store.series_count(), 2u);
+  EXPECT_EQ(store.rejected_capacity(), 1u);
+  // Existing series still resolve under the cap.
+  EXPECT_NE(store.open("a"), TimeSeriesStore::kInvalidSeries);
+}
+
+TEST(TimeSeriesStore, WindowAggregates) {
+  TimeSeriesStore store;
+  const auto id = store.open("w");
+  for (int i = 1; i <= 5; ++i) {
+    store.append(id, i * 10, static_cast<double>(i));  // 1..5
+  }
+  const auto window = store.window(id, 3);  // newest 3: {3, 4, 5}
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->points, 3u);
+  EXPECT_DOUBLE_EQ(window->first, 3.0);
+  EXPECT_DOUBLE_EQ(window->last, 5.0);
+  EXPECT_DOUBLE_EQ(window->min, 3.0);
+  EXPECT_DOUBLE_EQ(window->max, 5.0);
+  EXPECT_DOUBLE_EQ(window->mean, 4.0);
+  EXPECT_EQ(window->first_ts, 30);
+  EXPECT_EQ(window->last_ts, 50);
+
+  // Asking for more points than exist returns what is there.
+  const auto all = store.window(id, 100);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->points, 5u);
+  EXPECT_DOUBLE_EQ(all->mean, 3.0);
+
+  // Unknown or empty series yield nullopt.
+  EXPECT_FALSE(store.window(TimeSeriesStore::kInvalidSeries, 3).has_value());
+  const auto empty = store.open("empty");
+  EXPECT_FALSE(store.window(empty, 3).has_value());
+}
+
+TEST(TimeSeriesStore, IngestBridgesRegistrySnapshot) {
+  MetricsRegistry registry;
+  registry.counter("ipd_flows_total", "h", {{"source", "nf"}}).inc(10);
+  registry.gauge("ipd_ranges", "h").set(42.0);
+  auto& hist = registry.histogram("ipd_cycle_seconds", "h", {1.0, 2.0});
+  hist.observe(0.5);
+  hist.observe(1.5);
+
+  TimeSeriesStore store;
+  // counter + gauge + histogram _sum/_count = 4 points per ingest.
+  EXPECT_EQ(store.ingest(registry, 300), 4u);
+  EXPECT_EQ(store.series_count(), 4u);
+
+  const auto counter = store.find("ipd_flows_total", {{"source", "nf"}});
+  ASSERT_NE(counter, TimeSeriesStore::kInvalidSeries);
+  EXPECT_DOUBLE_EQ(store.points(counter)[0].value, 10.0);
+
+  const auto sum = store.find("ipd_cycle_seconds_sum");
+  const auto count = store.find("ipd_cycle_seconds_count");
+  ASSERT_NE(sum, TimeSeriesStore::kInvalidSeries);
+  ASSERT_NE(count, TimeSeriesStore::kInvalidSeries);
+  EXPECT_DOUBLE_EQ(store.points(sum)[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(store.points(count)[0].value, 2.0);
+
+  // A second ingest at a later instant extends every series.
+  registry.counter("ipd_flows_total", "h", {{"source", "nf"}}).inc(5);
+  EXPECT_EQ(store.ingest(registry, 600), 4u);
+  EXPECT_EQ(store.points(counter).size(), 2u);
+  EXPECT_DOUBLE_EQ(store.points(counter)[1].value, 15.0);
+
+  // Re-ingesting the same instant is an out-of-order append on every
+  // series: nothing lands.
+  EXPECT_EQ(store.ingest(registry, 600), 0u);
+  EXPECT_EQ(store.rejected_out_of_order(), 4u);
+}
+
+TEST(TimeSeriesStore, SeriesNamedAndList) {
+  TimeSeriesStore store;
+  store.open("flows", {{"source", "a"}});
+  store.open("flows", {{"source", "b"}});
+  store.open("other");
+  const auto flows = store.series_named("flows");
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].labels[0].second, "a");
+  EXPECT_EQ(flows[1].labels[0].second, "b");
+  EXPECT_EQ(store.list().size(), 3u);
+}
+
+TEST(TimeSeriesStore, MemoryIsBoundedAndStable) {
+  TimeSeriesConfig config;
+  config.points_per_series = 8;
+  TimeSeriesStore store(config);
+  const auto id = store.open("m");
+  const std::size_t after_open = store.memory_bytes();
+  EXPECT_GT(after_open, 0u);
+  // Appends never grow the footprint: rings are preallocated.
+  for (int i = 1; i <= 100; ++i) store.append(id, i, 1.0);
+  EXPECT_EQ(store.memory_bytes(), after_open);
+}
+
+}  // namespace
+}  // namespace ipd::obs

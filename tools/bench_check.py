@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh BENCH_*.json artifacts against
+committed baselines.
+
+Each baseline file in --baselines names one artifact and a list of checks
+over dot-separated paths into its JSON (numeric components index arrays):
+
+    {
+      "artifact": "BENCH_obs_overhead.json",
+      "checks": [
+        {"path": "overhead_pct.tsdb_health_e2e", "max": 3.0},
+        {"path": "throughput_flows_per_s.bare", "min": 100000},
+        {"path": "budget_pct", "equals": 3.0},
+        {"path": "rows", "len": 9}
+      ]
+    }
+
+Check kinds: "max" / "min" (inclusive numeric bounds), "equals" (numeric
+with optional "tol", default exact), "len" (container length). Thresholds
+are chosen to be machine-robust — ratios, budgets and generous structural
+floors rather than absolute wall-clock numbers.
+
+Exit status is non-zero when any check fails or an expected artifact is
+missing, so CI can gate on it directly.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def resolve(doc, path):
+    """Walk `doc` along a dot-separated path; numeric parts index arrays."""
+    node = doc
+    for part in path.split("."):
+        if isinstance(node, list):
+            node = node[int(part)]
+        elif isinstance(node, dict):
+            node = node[part]
+        else:
+            raise KeyError(part)
+    return node
+
+
+def run_check(doc, check):
+    """Returns (ok, message) for one check against one artifact."""
+    path = check["path"]
+    try:
+        value = resolve(doc, path)
+    except (KeyError, IndexError, ValueError):
+        return False, f"{path}: missing from artifact"
+
+    if "len" in check:
+        want = check["len"]
+        have = len(value)
+        ok = have == want
+        return ok, f"{path}: len {have} {'==' if ok else '!='} {want}"
+
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return False, f"{path}: not numeric ({value!r})"
+
+    if "equals" in check:
+        want = check["equals"]
+        tol = check.get("tol", 0.0)
+        ok = abs(value - want) <= tol
+        return ok, f"{path}: {value:g} == {want:g} (tol {tol:g})"
+
+    parts = []
+    ok = True
+    if "min" in check:
+        ok &= value >= check["min"]
+        parts.append(f">= {check['min']:g}")
+    if "max" in check:
+        ok &= value <= check["max"]
+        parts.append(f"<= {check['max']:g}")
+    if not parts:
+        return False, f"{path}: baseline check has no constraint"
+    return ok, f"{path}: {value:g} {' and '.join(parts)}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", required=True,
+                        help="directory of committed baseline JSON files")
+    parser.add_argument("--artifacts", required=True,
+                        help="directory holding fresh BENCH_*.json output")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baselines)
+    artifact_dir = pathlib.Path(args.artifacts)
+    baselines = sorted(baseline_dir.glob("*.json"))
+    if not baselines:
+        print(f"bench_check: no baselines under {baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for baseline_path in baselines:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        artifact_path = artifact_dir / baseline["artifact"]
+        if not artifact_path.exists():
+            print(f"FAIL {baseline_path.name}: artifact "
+                  f"{baseline['artifact']} not found in {artifact_dir}")
+            failures += 1
+            continue
+        with open(artifact_path) as f:
+            artifact = json.load(f)
+        for check in baseline["checks"]:
+            ok, message = run_check(artifact, check)
+            note = f"  [{check['note']}]" if "note" in check else ""
+            print(f"{'ok  ' if ok else 'FAIL'} "
+                  f"{baseline['artifact']}: {message}{note}")
+            failures += 0 if ok else 1
+
+    if failures:
+        print(f"bench_check: {failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("bench_check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,8 +16,15 @@
 //   --decision-log[=N]      record stage-2 decisions into a ring of N
 //                           events (default 8192); surfaced by /explain
 //                           and /decisions
+//   --alerts-out=<file>     append one JSON line per health-alert event
+//                           (raise and resolve) from the health engine
 //   --linger=<seconds>      keep serving HTTP for this long after the
 //                           replay finishes (for scrapes / smoke tests)
+//
+// A TimeSeriesStore + HealthEngine always ride along: every 5-minute bin
+// is ingested into the embedded TSDB and the default health rules
+// (ingress shift, demotion burst, cycle overrun, ring drops, accuracy
+// regression) are evaluated; /health /alerts /timeseries serve the state.
 //
 // Streams the trace through an IpdEngine with the standard 60 s cycle /
 // 5 min snapshot cadence and prints per-snapshot partition statistics plus
@@ -32,9 +39,11 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/health.hpp"
 #include "analysis/introspection.hpp"
 #include "analysis/runner.hpp"
 #include "core/decision_log.hpp"
+#include "obs/timeseries.hpp"
 #include "core/output.hpp"
 #include "netflow/codec.hpp"
 #include "obs/export.hpp"
@@ -51,7 +60,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics-out=<file>] [--metrics-jsonl=<file>] "
                "[--log-json] [--http-port=<port>] [--trace-out=<file>] "
-               "[--decision-log[=N]] [--linger=<seconds>] "
+               "[--decision-log[=N]] [--alerts-out=<file>] "
+               "[--linger=<seconds>] "
                "<in.trace> [ncidr_factor4=auto] [q=0.95]\n",
                argv0);
   return 2;
@@ -63,6 +73,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string metrics_jsonl;
   std::string trace_out;
+  std::string alerts_out;
   bool http_enabled = false;
   std::uint16_t http_port = 0;
   bool decision_log_enabled = false;
@@ -88,6 +99,8 @@ int main(int argc, char** argv) {
     } else if (util::starts_with(arg, "--decision-log=")) {
       decision_log_enabled = true;
       decision_log_capacity = util::parse_uint(arg.substr(15), SIZE_MAX / 2);
+    } else if (util::starts_with(arg, "--alerts-out=")) {
+      alerts_out = arg.substr(13);
     } else if (util::starts_with(arg, "--linger=")) {
       linger_s = static_cast<long>(util::parse_uint(arg.substr(9), 86400));
     } else if (util::starts_with(arg, "--")) {
@@ -154,11 +167,36 @@ int main(int argc, char** argv) {
     tracer.install_crash_handler(trace_out + ".crash");
   }
 
+  // Self-monitoring: embedded TSDB at the 5-minute cadence + the default
+  // health rules over it, fed by the engine's cycle deltas.
+  obs::TimeSeriesStore timeseries;
+  core::CycleDeltaLog cycle_deltas;
+  engine.attach_cycle_deltas(cycle_deltas);
+  analysis::HealthEngine health(timeseries);
+  health.install_default_rules(params);
+  health.attach_cycle_deltas(cycle_deltas);
+  health.bind_metrics(registry);
+
+  std::ofstream alerts_file;
+  if (!alerts_out.empty()) {
+    alerts_file.open(alerts_out, std::ios::app);
+    if (!alerts_file) {
+      std::fprintf(stderr, "cannot open %s\n", alerts_out.c_str());
+      return 1;
+    }
+    health.on_alert = [&alerts_file](const analysis::Alert& alert) {
+      alerts_file << analysis::to_json(alert) << '\n';
+      alerts_file.flush();
+    };
+  }
+
   // The introspection handlers and the replay loop share the engine under
   // this mutex; the loop takes it in batches so endpoint latency stays low
   // without a per-flow lock.
   std::mutex engine_mutex;
   analysis::IntrospectionServer introspection(engine, engine_mutex);
+  introspection.attach_health(health);
+  introspection.attach_timeseries(timeseries);
   if (http_enabled) {
     std::string error;
     if (!introspection.start(http_port, &error)) {
@@ -194,6 +232,8 @@ int main(int argc, char** argv) {
   };
   runner.on_metrics = [&](util::Timestamp ts,
                           const obs::MetricsRegistry& reg) {
+    timeseries.ingest(reg, ts);
+    health.evaluate(ts);
     if (jsonl.is_open()) jsonl << obs::to_json_line(reg, ts);
   };
   constexpr std::size_t kIngestBatch = 4096;
@@ -240,6 +280,15 @@ int main(int argc, char** argv) {
                     {"families", registry.family_count()},
                     {"instruments", registry.instrument_count()}});
   }
+
+  std::printf("health: %s, %zu active alerts (%llu raised, %llu resolved), "
+              "%zu series, %llu points\n",
+              analysis::to_string(health.overall()),
+              health.active_alerts().size(),
+              static_cast<unsigned long long>(health.alerts_raised()),
+              static_cast<unsigned long long>(health.alerts_resolved()),
+              timeseries.series_count(),
+              static_cast<unsigned long long>(timeseries.points_appended()));
 
   if (decision_log_enabled) {
     std::printf("decision log: %llu recorded, %zu held, %llu overwritten\n",
