@@ -8,6 +8,7 @@
 // ablation shows.
 #include "bench_common.hpp"
 
+#include "core/engine.hpp"
 #include "util/strings.hpp"
 
 using namespace ipd;

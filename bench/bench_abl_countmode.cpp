@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "analysis/stats.hpp"
+#include "core/engine.hpp"
 #include "util/strings.hpp"
 
 using namespace ipd;

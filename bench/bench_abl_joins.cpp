@@ -7,6 +7,7 @@
 // efficiency value of the join rule called out in DESIGN.md.
 #include "bench_common.hpp"
 
+#include "core/engine.hpp"
 #include "util/strings.hpp"
 
 using namespace ipd;

@@ -1,3 +1,4 @@
+#include "core/engine.hpp"
 #include "bench_common.hpp"
 
 #include <cstdio>

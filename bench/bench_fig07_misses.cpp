@@ -5,6 +5,7 @@
 // AS1 sees interface misses (bundle + router maintenance).
 #include "bench_common.hpp"
 
+#include "core/engine.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 

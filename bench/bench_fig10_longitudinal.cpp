@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 
 #include "analysis/stability.hpp"
+#include "core/engine.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 

@@ -8,6 +8,7 @@
 
 #include <map>
 
+#include "core/engine.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 

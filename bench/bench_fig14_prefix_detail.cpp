@@ -5,6 +5,7 @@
 // after.
 #include "bench_common.hpp"
 
+#include "core/engine.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 

@@ -8,6 +8,7 @@
 
 #include "analysis/rangestats.hpp"
 #include "bgp/generator.hpp"
+#include "core/engine.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 

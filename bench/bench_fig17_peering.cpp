@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 
 #include "analysis/rangestats.hpp"
+#include "core/engine.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 

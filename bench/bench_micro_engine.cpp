@@ -11,6 +11,7 @@
 #include <sstream>
 #include "collector/collector.hpp"
 #include "core/decision_log.hpp"
+#include "core/engine.hpp"
 #include "obs/trace.hpp"
 #include "core/lpm_table.hpp"
 #include "core/output.hpp"

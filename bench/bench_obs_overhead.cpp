@@ -15,6 +15,7 @@
 
 #include "analysis/health.hpp"
 #include "core/decision_log.hpp"
+#include "core/engine.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"

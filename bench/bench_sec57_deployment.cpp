@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "collector/collector.hpp"
+#include "core/engine.hpp"
 #include "netflow/v5.hpp"
 #include "util/strings.hpp"
 

@@ -11,6 +11,7 @@
 #include "analysis/accuracy.hpp"
 #include "analysis/rangestats.hpp"
 #include "analysis/runner.hpp"
+#include "core/engine.hpp"
 #include "core/output.hpp"
 #include "workload/generator.hpp"
 

@@ -12,6 +12,7 @@
 
 #include "analysis/accuracy.hpp"
 #include "analysis/runner.hpp"
+#include "core/engine.hpp"
 #include "core/output.hpp"
 #include "workload/generator.hpp"
 

@@ -49,7 +49,7 @@ obs::HttpResponse not_attached(const char* what) {
 
 }  // namespace
 
-IntrospectionServer::IntrospectionServer(core::IpdEngine& engine,
+IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
                                          std::mutex& engine_mutex,
                                          IntrospectionConfig config)
     : engine_(engine), engine_mutex_(engine_mutex), config_(config) {
@@ -118,7 +118,7 @@ obs::HttpResponse IntrospectionServer::handle_metrics(const obs::HttpRequest&) {
   std::string body;
   {
     const std::lock_guard<std::mutex> lock(engine_mutex_);
-    if (engine_.metrics() != nullptr) engine_.metrics()->flush_ingest();
+    engine_.flush_ingest_metrics();
     body = obs::to_prometheus(*registry);
   }
   obs::HttpResponse response;
@@ -176,7 +176,7 @@ obs::HttpResponse IntrospectionServer::handle_explain(
   std::string body;
   {
     const std::lock_guard<std::mutex> lock(engine_mutex_);
-    const core::RangeNode& leaf = engine_.trie(ip.family()).locate(ip);
+    const core::RangeNode& leaf = engine_.locate(ip);
     const core::IpdParams& params = engine_.params();
     const double n_cidr =
         params.n_cidr(ip.family(), leaf.prefix().length());

@@ -1,6 +1,6 @@
 // Live introspection endpoints over a running engine.
 //
-// Binds the embedded HTTP server (obs::HttpServer) to one IpdEngine and
+// Binds the embedded HTTP server (obs::HttpServer) to one engine (core::EngineBase) and
 // its attached observability surfaces:
 //
 //   GET /            endpoint index (JSON)
@@ -26,7 +26,7 @@
 #include <mutex>
 #include <string>
 
-#include "core/engine.hpp"
+#include "core/engine_base.hpp"
 #include "obs/http_server.hpp"
 #include "obs/timeseries.hpp"
 
@@ -46,7 +46,7 @@ class IntrospectionServer {
   /// registry, decision log and tracer are discovered through the engine's
   /// attachments at request time — attaching them before or after
   /// construction both work.
-  IntrospectionServer(core::IpdEngine& engine, std::mutex& engine_mutex,
+  IntrospectionServer(core::EngineBase& engine, std::mutex& engine_mutex,
                       IntrospectionConfig config = {});
 
   /// Serve /health and /alerts from `health` (must outlive the server;
@@ -82,7 +82,7 @@ class IntrospectionServer {
   obs::HttpResponse handle_alerts(const obs::HttpRequest& request);
   obs::HttpResponse handle_timeseries(const obs::HttpRequest& request);
 
-  core::IpdEngine& engine_;
+  core::EngineBase& engine_;
   std::mutex& engine_mutex_;
   IntrospectionConfig config_;
   const HealthEngine* health_ = nullptr;

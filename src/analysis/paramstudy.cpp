@@ -7,6 +7,7 @@
 #include "analysis/runner.hpp"
 #include "analysis/stability.hpp"
 #include "analysis/stats.hpp"
+#include "core/engine.hpp"
 #include "obs/metrics.hpp"
 
 namespace ipd::analysis {

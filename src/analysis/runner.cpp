@@ -2,15 +2,25 @@
 
 namespace ipd::analysis {
 
-BinnedRunner::BinnedRunner(core::IpdEngine& engine, ValidationRun* validation,
+BinnedRunner::BinnedRunner(core::EngineBase& engine, ValidationRun* validation,
                            RunnerConfig config)
-    : engine_(engine), validation_(validation), config_(config) {}
+    : engine_(engine), validation_(validation), config_(config) {
+  pending_.reserve(config_.ingest_batch);
+}
 
 std::uint64_t BinnedRunner::bin_buffer_bytes() const noexcept {
-  return bin_buffer_.capacity() * sizeof(netflow::FlowRecord);
+  return (bin_buffer_.capacity() + pending_.capacity()) *
+         sizeof(netflow::FlowRecord);
+}
+
+void BinnedRunner::flush_pending() {
+  if (pending_.empty()) return;
+  engine_.ingest_batch(pending_);
+  pending_.clear();
 }
 
 void BinnedRunner::run_one_cycle(util::Timestamp ts) {
+  flush_pending();
   // Close the stage-1 batch span before stage 2 runs: one span per cycle's
   // worth of ingest, never one per flow.
   if (obs::Tracer* tracer = engine_.tracer(); tracer && batch_flows_ > 0) {
@@ -87,16 +97,25 @@ void BinnedRunner::take_snapshot(util::Timestamp ts) {
 }
 
 void BinnedRunner::offer(const netflow::FlowRecord& record) {
-  advance_to(record.ts);
+  // Boundary crossings flush the pending batch first (every buffered
+  // record predates the boundary), so cycles fire over exactly the same
+  // ingest state as per-record operation — the original tie-break (cycle
+  // before the boundary-crossing record) is preserved.
+  if (!started_ || record.ts >= next_cycle_ || record.ts >= next_snapshot_) {
+    flush_pending();
+    advance_to(record.ts);
+  }
   if (engine_.tracer() != nullptr && batch_flows_++ == 0) {
     batch_start_us_ = engine_.tracer()->now_us();
   }
-  engine_.ingest(record);
+  pending_.push_back(record);
+  if (pending_.size() >= config_.ingest_batch) flush_pending();
   if (validation_) bin_buffer_.push_back(record);
 }
 
 void BinnedRunner::finish() {
   if (!started_) return;
+  flush_pending();
   // Run the trailing cycle and snapshot so the last bin is validated.
   run_one_cycle(next_cycle_);
   take_snapshot(next_snapshot_);

@@ -1,10 +1,18 @@
 // Binned engine runner: the deployment loop in reusable form.
 //
-// Streams flow records into an IpdEngine, fires stage-2 cycles every `t`
-// seconds of simulated time, and every `snapshot_len` (default 5 min, the
-// deployment's output cadence) takes a snapshot, rebuilds the LPM table and
-// validates the just-finished bin's flows against it — exactly the
-// validation methodology of §5.1.
+// Streams flow records into an engine (sequential IpdEngine or parallel
+// ShardedEngine — anything implementing core::EngineBase), fires stage-2
+// cycles every `t` seconds of simulated time, and every `snapshot_len`
+// (default 5 min, the deployment's output cadence) takes a snapshot,
+// rebuilds the LPM table and validates the just-finished bin's flows
+// against it — exactly the validation methodology of §5.1.
+//
+// Ingest is micro-batched: records accumulate in a pending buffer and are
+// handed to the engine via ingest_batch() in arrival order, flushed
+// whenever a record would cross a cycle/snapshot boundary (so every cycle
+// still observes exactly the records that precede it — byte-identical to
+// unbatched operation) or the buffer fills. This is what lets the sharded
+// engine amortize its per-shard locking to once per shard per batch.
 //
 // When the engine has a metrics registry attached, the runner fires the
 // `on_metrics` hook once per bin (right after `on_snapshot`), so callers
@@ -15,7 +23,7 @@
 #include <vector>
 
 #include "analysis/accuracy.hpp"
-#include "core/engine.hpp"
+#include "core/engine_base.hpp"
 #include "core/lpm_table.hpp"
 #include "core/output.hpp"
 #include "obs/metrics.hpp"
@@ -25,12 +33,15 @@ namespace ipd::analysis {
 struct RunnerConfig {
   util::Duration snapshot_len = 300;  // 5-minute output bins
   bool keep_cycle_stats = true;
+  // Records buffered before an ingest_batch() handoff (boundaries always
+  // flush first, so batching never reorders ingest across a cycle).
+  std::size_t ingest_batch = 4096;
 };
 
 class BinnedRunner {
  public:
   /// `validation` may be null (no accuracy evaluation).
-  BinnedRunner(core::IpdEngine& engine, ValidationRun* validation,
+  BinnedRunner(core::EngineBase& engine, ValidationRun* validation,
                RunnerConfig config = {});
 
   /// Offer one record (must arrive in non-decreasing bin order).
@@ -59,13 +70,15 @@ class BinnedRunner {
   void advance_to(util::Timestamp ts);
   void take_snapshot(util::Timestamp ts);
   void run_one_cycle(util::Timestamp ts);
+  void flush_pending();
   std::uint64_t bin_buffer_bytes() const noexcept;
 
-  core::IpdEngine& engine_;
+  core::EngineBase& engine_;
   ValidationRun* validation_;
   RunnerConfig config_;
   std::vector<core::CycleStats> cycles_;
   std::vector<netflow::FlowRecord> bin_buffer_;
+  std::vector<netflow::FlowRecord> pending_;  // not yet handed to the engine
   util::Timestamp next_cycle_ = 0;
   util::Timestamp next_snapshot_ = 0;
   bool started_ = false;

@@ -3,7 +3,24 @@
 #include <chrono>
 #include <string>
 
+#include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "util/logging.hpp"
+
+namespace {
+
+std::unique_ptr<ipd::core::EngineBase> make_engine(
+    const ipd::core::IpdParams& params, const ipd::collector::CollectorConfig& config) {
+  if (config.shard_bits < 0) {
+    return std::make_unique<ipd::core::IpdEngine>(params);
+  }
+  ipd::core::ShardedEngineConfig sharded;
+  sharded.shard_bits = config.shard_bits;
+  sharded.ingest_threads = config.ingest_threads;
+  return std::make_unique<ipd::core::ShardedEngine>(params, sharded);
+}
+
+}  // namespace
 
 namespace ipd::collector {
 
@@ -11,7 +28,7 @@ CollectorService::CollectorService(core::IpdParams params,
                                    CollectorConfig config,
                                    std::size_t n_sources)
     : config_(config),
-      engine_(std::make_unique<core::IpdEngine>(params)),
+      engine_(make_engine(params, config)),
       // Count-constructed in place: SourceMetrics holds atomics (LogSite)
       // and is therefore not movable, which rules out resize().
       source_metrics_(n_sources) {
@@ -52,7 +69,12 @@ CollectorService::CollectorService(core::IpdParams params,
   config_.stat_time.bucket_len = params.t;
   stat_time_ = std::make_unique<netflow::StatisticalTime>(
       config_.stat_time, [this](const netflow::FlowRecord& record) {
-        engine_->ingest(record);
+        // Batched ingest: the record joins the pending buffer, which is
+        // handed to the engine whenever a cycle/snapshot boundary fires
+        // (after buffering the record — the collector's tie-break is that
+        // the boundary-crossing record is ingested *before* the boundary)
+        // or the buffer fills.
+        engine_pending_.push_back(record);
         // Advance the data clock: stage 2 runs on data time, not wall time.
         if (!clock_started_) {
           next_cycle_ = util::bucket_start(record.ts, engine_->params().t) +
@@ -62,13 +84,18 @@ CollectorService::CollectorService(core::IpdParams params,
               config_.snapshot_len;
           clock_started_ = true;
         }
-        while (record.ts >= next_cycle_) {
-          engine_->run_cycle(next_cycle_);
-          next_cycle_ += engine_->params().t;
-        }
-        while (record.ts >= next_snapshot_) {
-          publish(next_snapshot_);
-          next_snapshot_ += config_.snapshot_len;
+        if (record.ts >= next_cycle_ || record.ts >= next_snapshot_) {
+          flush_engine_pending();
+          while (record.ts >= next_cycle_) {
+            engine_->run_cycle(next_cycle_);
+            next_cycle_ += engine_->params().t;
+          }
+          while (record.ts >= next_snapshot_) {
+            publish(next_snapshot_);
+            next_snapshot_ += config_.snapshot_len;
+          }
+        } else if (engine_pending_.size() >= config_.engine_batch) {
+          flush_engine_pending();
         }
       });
   table_ = std::make_shared<const core::LpmTable>();
@@ -161,8 +188,15 @@ void CollectorService::stop() {
     for (const auto& ring : rings_) any_left |= !ring->empty();
   }
   stat_time_->flush();
+  flush_engine_pending();
   update_ring_gauges();
   if (clock_started_) publish(next_snapshot_);
+}
+
+void CollectorService::flush_engine_pending() {
+  if (engine_pending_.empty()) return;
+  engine_->ingest_batch(engine_pending_);
+  engine_pending_.clear();
 }
 
 void CollectorService::drain_once() {

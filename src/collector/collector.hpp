@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "collector/spsc_ring.hpp"
-#include "core/engine.hpp"
+#include "core/engine_base.hpp"
 #include "core/lpm_table.hpp"
 #include "core/output.hpp"
 #include "netflow/ipfix.hpp"
@@ -48,6 +48,14 @@ struct CollectorConfig {
   // attached to it, and the collector adds per-source ring depth/drop
   // series plus datagram counters.
   obs::MetricsRegistry* metrics = nullptr;
+  // Engine selection: shard_bits < 0 runs the sequential IpdEngine;
+  // >= 0 runs a core::ShardedEngine with 2^shard_bits shards per family
+  // and `ingest_threads` stage-1/stage-2 workers.
+  int shard_bits = -1;
+  int ingest_threads = 1;
+  // Records buffered on the IPD thread before an ingest_batch() handoff.
+  // Boundaries always flush first, so cycle semantics are unchanged.
+  std::size_t engine_batch = 1024;
 };
 
 struct CollectorStats {
@@ -107,7 +115,7 @@ class CollectorService {
   /// dashboards, not for synchronization.
   CollectorStats stats() const;
 
-  const core::IpdEngine& engine() const noexcept { return *engine_; }
+  const core::EngineBase& engine() const noexcept { return *engine_; }
 
  private:
   /// Per-source metric handles (null when no registry is configured).
@@ -123,11 +131,13 @@ class CollectorService {
 
   void ipd_loop();
   void drain_once();
+  void flush_engine_pending();
   void publish(util::Timestamp ts);
   void update_ring_gauges();
 
   CollectorConfig config_;
-  std::unique_ptr<core::IpdEngine> engine_;
+  std::unique_ptr<core::EngineBase> engine_;
+  std::vector<netflow::FlowRecord> engine_pending_;  // batched ingest buffer
   std::vector<std::unique_ptr<SpscRing<netflow::FlowRecord>>> rings_;
   std::vector<SourceMetrics> source_metrics_;
   obs::Counter* datagrams_ok_metric_ = nullptr;

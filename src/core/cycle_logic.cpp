@@ -1,0 +1,265 @@
+#include "core/cycle_logic.hpp"
+
+namespace ipd::core {
+
+namespace {
+
+inline std::int64_t phase_now(bool enabled) noexcept {
+  return enabled ? obs::monotonic_ns() : 0;
+}
+
+void handle_leaf(IpdTrie& trie, RangeNode& node, const IpdParams& params,
+                 util::Timestamp now, CycleStats& out, PhaseAccum& phases,
+                 const CycleSinks& sinks) {
+  const net::Family family = trie.family();
+  const auto charge = [&phases](CyclePhase phase, std::int64_t t0) {
+    if (phases.enabled) {
+      phases.ns[static_cast<std::size_t>(phase)] += obs::monotonic_ns() - t0;
+    }
+  };
+
+  const auto record_decision = [&sinks, &params, &node, now](
+                                   DecisionKind kind, double samples,
+                                   double threshold, double share,
+                                   util::Duration age, const IngressId& ingress,
+                                   const char* reason) {
+    DecisionEvent event;
+    event.ts = now;
+    event.kind = kind;
+    event.prefix = node.prefix();
+    event.samples = samples;
+    event.threshold = threshold;
+    event.share = share;
+    event.q = params.q;
+    event.age = age;
+    event.ingress = ingress;
+    event.reason = reason;
+    sinks.decision_log->record(std::move(event));
+  };
+
+  const auto record_transition = [&sinks, &node, now](
+                                     RangeTransition::Kind kind,
+                                     const IngressId& ingress, double share,
+                                     double samples) {
+    RangeTransition t;
+    t.ts = now;
+    t.kind = kind;
+    t.prefix = node.prefix();
+    t.ingress = ingress;
+    t.share = share;
+    t.samples = samples;
+    sinks.cycle_deltas->push(std::move(t));
+  };
+
+  if (node.state() == RangeNode::State::Classified) {
+    // Quiet classified ranges decay; once the counters are negligible —
+    // or the range has been quiet for too long — it is dropped so stale
+    // mappings disappear quickly.
+    const std::int64_t t0 = phase_now(phases.enabled);
+    const util::Duration age = now - node.last_update();
+    if (age > params.e) {
+      node.counts().scale(params.decay_factor(age));
+      const double floor = std::max(
+          params.min_keep_samples,
+          params.drop_below_ncidr_fraction *
+              params.n_cidr(family, node.prefix().length()));
+      if (node.counts().total() < floor || age > params.drop_after) {
+        if (sinks.decision_log) {
+          record_decision(DecisionKind::Demote, node.counts().total(), floor,
+                          node.counts().share_of(node.ingress()), age,
+                          node.ingress(),
+                          node.counts().total() < floor
+                              ? "decayed counters fell below the drop floor"
+                              : "quiet longer than drop_after");
+        }
+        if (sinks.cycle_deltas) {
+          record_transition(RangeTransition::Kind::Demote, node.ingress(),
+                            node.counts().share_of(node.ingress()),
+                            node.counts().total());
+        }
+        node.reset_to_monitoring();
+        ++out.drops;
+        charge(CyclePhase::Expire, t0);
+        return;
+      }
+    }
+    // "if prevalent ingress still valid (s_ingress >= q) then keep".
+    if (node.counts().share_of(node.ingress()) < params.q) {
+      if (sinks.decision_log) {
+        record_decision(DecisionKind::Demote, node.counts().total(), 0.0,
+                        node.counts().share_of(node.ingress()), age,
+                        node.ingress(), "dominant-ingress share fell below q");
+      }
+      if (sinks.cycle_deltas) {
+        record_transition(RangeTransition::Kind::Demote, node.ingress(),
+                          node.counts().share_of(node.ingress()),
+                          node.counts().total());
+      }
+      node.reset_to_monitoring();
+      ++out.drops;
+    }
+    charge(CyclePhase::Expire, t0);
+    return;
+  }
+
+  // Monitoring leaf: expire per-IP state older than e seconds.
+  std::int64_t t0 = phase_now(phases.enabled);
+  const std::size_t ips_before = sinks.decision_log ? node.ips().size() : 0;
+  node.expire_before(now - params.e);
+  if (sinks.decision_log && ips_before > 0 && node.ips().empty()) {
+    record_decision(DecisionKind::Expire, 0.0, 0.0, 0.0, params.e,
+                    IngressId{}, "all per-IP state older than e; range empty");
+  }
+  charge(CyclePhase::Expire, t0);
+
+  const int len = node.prefix().length();
+  const double n_cidr = params.n_cidr(family, len);
+  if (node.counts().total() < n_cidr) return;  // not enough data yet
+
+  t0 = phase_now(phases.enabled);
+  if (const auto prevalent = find_prevalent(params, node.counts())) {
+    if (sinks.decision_log) {
+      record_decision(DecisionKind::Classify, node.counts().total(), n_cidr,
+                      node.counts().share_of(*prevalent), 0, *prevalent,
+                      "dominant-ingress share >= q with samples >= n_cidr");
+    }
+    if (sinks.cycle_deltas) {
+      record_transition(RangeTransition::Kind::Classify, *prevalent,
+                        node.counts().share_of(*prevalent),
+                        node.counts().total());
+    }
+    node.classify(*prevalent, now);
+    ++out.classifications;
+    charge(CyclePhase::Classify, t0);
+    return;
+  }
+  charge(CyclePhase::Classify, t0);
+
+  if (len < params.cidr_max(family)) {
+    t0 = phase_now(phases.enabled);
+    const double samples = node.counts().total();
+    const double top_share =
+        samples > 0.0
+            ? node.counts().count_for(node.counts().top_link()) / samples
+            : 0.0;
+    if (trie.split(node)) {
+      ++out.splits;
+      if (sinks.decision_log) {
+        record_decision(DecisionKind::Split, samples, n_cidr, top_share, 0,
+                        IngressId{},
+                        "samples >= n_cidr but no prevalent ingress");
+      }
+    }
+    charge(CyclePhase::Split, t0);
+    return;
+  }
+  // At cidr_max with no prevalent ingress ("try to join", Alg. 1 line 15):
+  // nothing to do here — the range keeps monitoring; the join/compaction
+  // pass above merges it with its sibling once either classifies or both
+  // drain empty.
+}
+
+}  // namespace
+
+std::optional<IngressId> find_prevalent(const IpdParams& params,
+                                        const IngressCounts& counts) {
+  const double total = counts.total();
+  if (total <= 0.0) return std::nullopt;
+
+  const topology::LinkId top = counts.top_link();
+  if (counts.count_for(top) / total >= params.q) return IngressId(top);
+
+  if (!params.enable_bundles) return std::nullopt;
+
+  // Bundle check: one router's interfaces jointly prevalent. The top link's
+  // router is the only candidate that can reach q if the top link alone
+  // cannot (any other router has an even smaller maximum share only when
+  // its aggregate is larger — so scan all routers to be exact).
+  for (const topology::RouterId router : counts.routers()) {
+    const double router_count = counts.count_for_router(router);
+    if (router_count / total < params.q) continue;
+    const auto ifaces = counts.router_interfaces(router);
+    std::vector<topology::InterfaceIndex> members;
+    for (const auto& [iface, c] : ifaces) {
+      if (c >= params.bundle_member_min_share * router_count) {
+        members.push_back(iface);
+      }
+    }
+    if (members.size() >= 2) return IngressId(router, std::move(members));
+    // A single qualifying member means the rest of the router's traffic is
+    // spread over below-threshold interfaces; treat as that single link.
+    if (members.size() == 1) {
+      return IngressId(topology::LinkId{router, members.front()});
+    }
+  }
+  return std::nullopt;
+}
+
+void join_or_compact(IpdTrie& trie, RangeNode& node, const IpdParams& params,
+                     util::Timestamp now, CycleStats& out, PhaseAccum& phases,
+                     const CycleSinks& sinks) {
+  // Children were processed first: join same-ingress classified siblings,
+  // fold away empty monitoring siblings.
+  std::int64_t t = phase_now(phases.enabled);
+  if (params.enable_joins && trie.join_children(node)) {
+    ++out.joins;
+    if (sinks.decision_log) {
+      DecisionEvent event;
+      event.ts = now;
+      event.kind = DecisionKind::Join;
+      event.prefix = node.prefix();
+      event.samples = node.counts().total();
+      event.share = node.counts().share_of(node.ingress());
+      event.q = params.q;
+      event.ingress = node.ingress();
+      event.reason = "sibling ranges classified to the same ingress";
+      sinks.decision_log->record(std::move(event));
+    }
+    if (phases.enabled) {
+      phases.ns[static_cast<std::size_t>(CyclePhase::Join)] +=
+          obs::monotonic_ns() - t;
+    }
+    return;
+  }
+  if (phases.enabled) {
+    const std::int64_t t2 = obs::monotonic_ns();
+    phases.ns[static_cast<std::size_t>(CyclePhase::Join)] += t2 - t;
+    t = t2;
+  }
+  if (trie.compact_children(node)) {
+    ++out.compactions;
+    if (sinks.decision_log) {
+      DecisionEvent event;
+      event.ts = now;
+      event.kind = DecisionKind::Compact;
+      event.prefix = node.prefix();
+      event.reason = "both monitoring children drained empty";
+      sinks.decision_log->record(std::move(event));
+    }
+  }
+  if (phases.enabled) {
+    phases.ns[static_cast<std::size_t>(CyclePhase::Compact)] +=
+        obs::monotonic_ns() - t;
+  }
+}
+
+void cycle_over_trie(IpdTrie& trie, const IpdParams& params,
+                     util::Timestamp now, CycleStats& out, PhaseAccum& phases,
+                     const CycleSinks& sinks) {
+  cycle_over_subtree(trie, trie.root(), params, now, out, phases, sinks);
+}
+
+void cycle_over_subtree(IpdTrie& trie, RangeNode& subtree_root,
+                        const IpdParams& params, util::Timestamp now,
+                        CycleStats& out, PhaseAccum& phases,
+                        const CycleSinks& sinks) {
+  trie.post_order_from(subtree_root, [&](RangeNode& node) {
+    if (node.state() == RangeNode::State::Internal) {
+      join_or_compact(trie, node, params, now, out, phases, sinks);
+      return;
+    }
+    handle_leaf(trie, node, params, now, out, phases, sinks);
+  });
+}
+
+}  // namespace ipd::core

@@ -1,0 +1,63 @@
+// Stage-2 cycle logic, factored out of the engines.
+//
+// One cycle over one trie is a pure function of (trie state, params, now):
+// the post-order walk that expires/decays, classifies, splits, drops,
+// joins and compacts exactly as Algorithm 1 describes. Both IpdEngine
+// (whole-family tries) and ShardedEngine (per-shard subtrees plus a spine
+// merge pass) call the same functions, which is what makes the
+// determinism-differential test meaningful: there is a single copy of the
+// decision logic, applied to identical per-node operation sequences.
+#pragma once
+
+#include <optional>
+
+#include "core/engine_base.hpp"
+#include "core/params.hpp"
+#include "core/trie.hpp"
+
+namespace ipd::core {
+
+/// Per-cycle phase-time accumulator (nanoseconds); timing is skipped
+/// entirely when `enabled` is false (neither metrics nor a tracer).
+struct PhaseAccum {
+  bool enabled = false;
+  std::array<std::int64_t, kNumCyclePhases> ns{};
+};
+
+/// Optional decision/transition sinks for one cycle pass. The sharded
+/// engine points these at per-shard buffers during the parallel section
+/// and drains them into the globally attached logs in shard order.
+struct CycleSinks {
+  DecisionLog* decision_log = nullptr;
+  CycleDeltaLog* cycle_deltas = nullptr;
+};
+
+/// Dominance test of stage 2: the classified ingress if `counts` has a
+/// single prevalent ingress point (share >= q), possibly a bundle of
+/// interfaces on one router.
+std::optional<IngressId> find_prevalent(const IpdParams& params,
+                                        const IngressCounts& counts);
+
+/// The join/compact step for one Internal node whose children are already
+/// final for this cycle. Used by cycle_over_trie on every internal node
+/// and by the sharded engine's cross-shard merge on spine nodes.
+void join_or_compact(IpdTrie& trie, RangeNode& node, const IpdParams& params,
+                     util::Timestamp now, CycleStats& out, PhaseAccum& phases,
+                     const CycleSinks& sinks);
+
+/// One full stage-2 pass over `trie` (Algorithm 1 stage 2): post-order
+/// walk doing expire/decay/drop, classify, split, join, compact. Event
+/// totals accumulate into `out`, per-phase wall time into `phases`.
+void cycle_over_trie(IpdTrie& trie, const IpdParams& params,
+                     util::Timestamp now, CycleStats& out, PhaseAccum& phases,
+                     const CycleSinks& sinks);
+
+/// The same pass restricted to the subtree rooted at `node`. All structural
+/// mutation stays inside the subtree, so the sharded engine runs this
+/// concurrently on the disjoint subtrees of its cut and follows up with
+/// join_or_compact over the spine above them.
+void cycle_over_subtree(IpdTrie& trie, RangeNode& node, const IpdParams& params,
+                        util::Timestamp now, CycleStats& out,
+                        PhaseAccum& phases, const CycleSinks& sinks);
+
+}  // namespace ipd::core

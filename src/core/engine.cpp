@@ -33,10 +33,6 @@ constexpr const char* family_label(int index) noexcept {
   return index == 0 ? "v4" : "v6";
 }
 
-inline std::int64_t phase_now(bool enabled) noexcept {
-  return enabled ? obs::monotonic_ns() : 0;
-}
-
 }  // namespace
 
 const char* to_string(CyclePhase phase) noexcept {
@@ -137,6 +133,13 @@ void EngineMetrics::flush_ingest() {
   link_overflow_.clear();
 }
 
+void EngineMetrics::add_ingest_deltas(net::Family family, std::uint64_t flows,
+                                      std::uint64_t weight) {
+  const int f = family == net::Family::V4 ? 0 : 1;
+  ingest_flows[f]->inc(flows);
+  ingest_weight[f]->inc(weight);
+}
+
 void CycleDeltaLog::push(RangeTransition transition) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++total_;
@@ -188,48 +191,15 @@ void IpdEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
   if (metrics_) metrics_->record_ingest(src_ip.family(), ingress, weight);
 }
 
-std::optional<IngressId> IpdEngine::find_prevalent(
-    const IngressCounts& counts) const {
-  const double total = counts.total();
-  if (total <= 0.0) return std::nullopt;
-
-  const topology::LinkId top = counts.top_link();
-  if (counts.count_for(top) / total >= params_.q) return IngressId(top);
-
-  if (!params_.enable_bundles) return std::nullopt;
-
-  // Bundle check: one router's interfaces jointly prevalent. The top link's
-  // router is the only candidate that can reach q if the top link alone
-  // cannot (any other router has an even smaller maximum share only when
-  // its aggregate is larger — so scan all routers to be exact).
-  for (const topology::RouterId router : counts.routers()) {
-    const double router_count = counts.count_for_router(router);
-    if (router_count / total < params_.q) continue;
-    const auto ifaces = counts.router_interfaces(router);
-    std::vector<topology::InterfaceIndex> members;
-    for (const auto& [iface, c] : ifaces) {
-      if (c >= params_.bundle_member_min_share * router_count) {
-        members.push_back(iface);
-      }
-    }
-    if (members.size() >= 2) return IngressId(router, std::move(members));
-    // A single qualifying member means the rest of the router's traffic is
-    // spread over below-threshold interfaces; treat as that single link.
-    if (members.size() == 1) {
-      return IngressId(topology::LinkId{router, members.front()});
-    }
-  }
-  return std::nullopt;
-}
-
 CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t trace_t0 = tracer_ ? tracer_->now_us() : 0;
   CycleStats out;
   out.now = now;
   PhaseAccum phases{metrics_ != nullptr || tracer_ != nullptr, {}};
-  cycle_family(trie4_, now, out, phases);
-  cycle_family(trie6_, now, out, phases);
+  const CycleSinks sinks{decision_log_, cycle_deltas_};
+  cycle_over_trie(trie4_, params_, now, out, phases, sinks);
+  cycle_over_trie(trie6_, params_, now, out, phases, sinks);
 
   // Partition census after all structural changes.
   for (const net::Family family : {net::Family::V4, net::Family::V6}) {
@@ -310,209 +280,6 @@ void IpdEngine::publish_cycle_metrics(const CycleStats& out,
   m.ranges_monitoring->set(static_cast<double>(out.ranges_monitoring));
   m.tracked_ips->set(static_cast<double>(out.tracked_ips));
   m.memory_bytes->set(static_cast<double>(out.memory_bytes));
-}
-
-void IpdEngine::cycle_family(IpdTrie& trie, util::Timestamp now,
-                             CycleStats& out, PhaseAccum& phases) {
-  trie.post_order([this, &trie, now, &out, &phases](RangeNode& node) {
-    if (node.state() == RangeNode::State::Internal) {
-      // Children were processed first: join same-ingress classified
-      // siblings, fold away empty monitoring siblings.
-      std::int64_t t = phase_now(phases.enabled);
-      if (params_.enable_joins && trie.join_children(node)) {
-        ++out.joins;
-        if (decision_log_) {
-          DecisionEvent event;
-          event.ts = now;
-          event.kind = DecisionKind::Join;
-          event.prefix = node.prefix();
-          event.samples = node.counts().total();
-          event.share = node.counts().share_of(node.ingress());
-          event.q = params_.q;
-          event.ingress = node.ingress();
-          event.reason = "sibling ranges classified to the same ingress";
-          decision_log_->record(std::move(event));
-        }
-        if (phases.enabled) {
-          phases.ns[static_cast<std::size_t>(CyclePhase::Join)] +=
-              obs::monotonic_ns() - t;
-        }
-        return;
-      }
-      if (phases.enabled) {
-        const std::int64_t t2 = obs::monotonic_ns();
-        phases.ns[static_cast<std::size_t>(CyclePhase::Join)] += t2 - t;
-        t = t2;
-      }
-      if (trie.compact_children(node)) {
-        ++out.compactions;
-        if (decision_log_) {
-          DecisionEvent event;
-          event.ts = now;
-          event.kind = DecisionKind::Compact;
-          event.prefix = node.prefix();
-          event.reason = "both monitoring children drained empty";
-          decision_log_->record(std::move(event));
-        }
-      }
-      if (phases.enabled) {
-        phases.ns[static_cast<std::size_t>(CyclePhase::Compact)] +=
-            obs::monotonic_ns() - t;
-      }
-      return;
-    }
-    handle_leaf(trie, node, now, out, phases);
-  });
-}
-
-void IpdEngine::handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
-                            CycleStats& out, PhaseAccum& phases) {
-  const net::Family family = trie.family();
-  const auto charge = [&phases](CyclePhase phase, std::int64_t t0) {
-    if (phases.enabled) {
-      phases.ns[static_cast<std::size_t>(phase)] += obs::monotonic_ns() - t0;
-    }
-  };
-
-  const auto record_decision = [this, &node, now](
-                                   DecisionKind kind, double samples,
-                                   double threshold, double share,
-                                   util::Duration age, const IngressId& ingress,
-                                   const char* reason) {
-    DecisionEvent event;
-    event.ts = now;
-    event.kind = kind;
-    event.prefix = node.prefix();
-    event.samples = samples;
-    event.threshold = threshold;
-    event.share = share;
-    event.q = params_.q;
-    event.age = age;
-    event.ingress = ingress;
-    event.reason = reason;
-    decision_log_->record(std::move(event));
-  };
-
-  const auto record_transition = [this, &node, now](
-                                     RangeTransition::Kind kind,
-                                     const IngressId& ingress, double share,
-                                     double samples) {
-    RangeTransition t;
-    t.ts = now;
-    t.kind = kind;
-    t.prefix = node.prefix();
-    t.ingress = ingress;
-    t.share = share;
-    t.samples = samples;
-    cycle_deltas_->push(std::move(t));
-  };
-
-  if (node.state() == RangeNode::State::Classified) {
-    // Quiet classified ranges decay; once the counters are negligible —
-    // or the range has been quiet for too long — it is dropped so stale
-    // mappings disappear quickly.
-    const std::int64_t t0 = phase_now(phases.enabled);
-    const util::Duration age = now - node.last_update();
-    if (age > params_.e) {
-      node.counts().scale(params_.decay_factor(age));
-      const double floor = std::max(
-          params_.min_keep_samples,
-          params_.drop_below_ncidr_fraction *
-              params_.n_cidr(family, node.prefix().length()));
-      if (node.counts().total() < floor || age > params_.drop_after) {
-        if (decision_log_) {
-          record_decision(DecisionKind::Demote, node.counts().total(), floor,
-                          node.counts().share_of(node.ingress()), age,
-                          node.ingress(),
-                          node.counts().total() < floor
-                              ? "decayed counters fell below the drop floor"
-                              : "quiet longer than drop_after");
-        }
-        if (cycle_deltas_) {
-          record_transition(RangeTransition::Kind::Demote, node.ingress(),
-                            node.counts().share_of(node.ingress()),
-                            node.counts().total());
-        }
-        node.reset_to_monitoring();
-        ++out.drops;
-        charge(CyclePhase::Expire, t0);
-        return;
-      }
-    }
-    // "if prevalent ingress still valid (s_ingress >= q) then keep".
-    if (node.counts().share_of(node.ingress()) < params_.q) {
-      if (decision_log_) {
-        record_decision(DecisionKind::Demote, node.counts().total(), 0.0,
-                        node.counts().share_of(node.ingress()), age,
-                        node.ingress(), "dominant-ingress share fell below q");
-      }
-      if (cycle_deltas_) {
-        record_transition(RangeTransition::Kind::Demote, node.ingress(),
-                          node.counts().share_of(node.ingress()),
-                          node.counts().total());
-      }
-      node.reset_to_monitoring();
-      ++out.drops;
-    }
-    charge(CyclePhase::Expire, t0);
-    return;
-  }
-
-  // Monitoring leaf: expire per-IP state older than e seconds.
-  std::int64_t t0 = phase_now(phases.enabled);
-  const std::size_t ips_before = decision_log_ ? node.ips().size() : 0;
-  node.expire_before(now - params_.e);
-  if (decision_log_ && ips_before > 0 && node.ips().empty()) {
-    record_decision(DecisionKind::Expire, 0.0, 0.0, 0.0, params_.e,
-                    IngressId{}, "all per-IP state older than e; range empty");
-  }
-  charge(CyclePhase::Expire, t0);
-
-  const int len = node.prefix().length();
-  const double n_cidr = params_.n_cidr(family, len);
-  if (node.counts().total() < n_cidr) return;  // not enough data yet
-
-  t0 = phase_now(phases.enabled);
-  if (const auto prevalent = find_prevalent(node.counts())) {
-    if (decision_log_) {
-      record_decision(DecisionKind::Classify, node.counts().total(), n_cidr,
-                      node.counts().share_of(*prevalent), 0, *prevalent,
-                      "dominant-ingress share >= q with samples >= n_cidr");
-    }
-    if (cycle_deltas_) {
-      record_transition(RangeTransition::Kind::Classify, *prevalent,
-                        node.counts().share_of(*prevalent),
-                        node.counts().total());
-    }
-    node.classify(*prevalent, now);
-    ++out.classifications;
-    charge(CyclePhase::Classify, t0);
-    return;
-  }
-  charge(CyclePhase::Classify, t0);
-
-  if (len < params_.cidr_max(family)) {
-    t0 = phase_now(phases.enabled);
-    const double samples = node.counts().total();
-    const double top_share =
-        samples > 0.0
-            ? node.counts().count_for(node.counts().top_link()) / samples
-            : 0.0;
-    if (trie.split(node)) {
-      ++out.splits;
-      if (decision_log_) {
-        record_decision(DecisionKind::Split, samples, n_cidr, top_share, 0,
-                        IngressId{},
-                        "samples >= n_cidr but no prevalent ingress");
-      }
-    }
-    charge(CyclePhase::Split, t0);
-    return;
-  }
-  // At cidr_max with no prevalent ingress ("try to join", Alg. 1 line 15):
-  // nothing to do here — the range keeps monitoring; the join/compaction
-  // pass above merges it with its sibling once either classifies or both
-  // drain empty.
 }
 
 }  // namespace ipd::core

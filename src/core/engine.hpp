@@ -1,4 +1,4 @@
-// The IPD engine: both stages of Algorithm 1.
+// The sequential IPD engine: both stages of Algorithm 1 on one thread.
 //
 // Stage 1 (ingest): every flow's source IP is masked to cidr_max and added,
 // with its ingress link, to the leaf range covering it.
@@ -12,6 +12,10 @@
 //     dropped,
 //   * sibling ranges classified to the same ingress are joined.
 //
+// The cycle logic itself lives in core/cycle_logic.hpp, shared verbatim
+// with the parallel ShardedEngine (core/sharded_engine.hpp); the common
+// API both implement is core/engine_base.hpp.
+//
 // Observability: attach_metrics() hooks the engine into an
 // obs::MetricsRegistry — per-family/per-ingress-link ingest counters,
 // per-phase stage-2 timing histograms, trie size/memory gauges. With no
@@ -24,106 +28,16 @@
 // ingest path never touches them.
 #pragma once
 
-#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
-#include <vector>
 
-#include "core/decision_log.hpp"
-#include "core/params.hpp"
-#include "core/trie.hpp"
-#include "netflow/flow_record.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "core/cycle_logic.hpp"
+#include "core/engine_base.hpp"
 
 namespace ipd::core {
-
-/// The distinct kinds of stage-2 work, timed separately per cycle.
-enum class CyclePhase : std::uint8_t {
-  Expire = 0,  // per-IP expiry + decay/drop of quiet classified ranges
-  Classify,    // dominance test + classification
-  Split,       // splitting undecided ranges
-  Join,        // joining same-ingress classified siblings
-  Compact,     // folding empty sibling pairs into their parent
-};
-inline constexpr std::size_t kNumCyclePhases = 5;
-
-const char* to_string(CyclePhase phase) noexcept;
-
-/// Counters describing one stage-2 cycle.
-struct CycleStats {
-  util::Timestamp now = 0;
-  std::uint64_t classifications = 0;  // monitoring -> classified
-  std::uint64_t splits = 0;
-  std::uint64_t joins = 0;
-  std::uint64_t drops = 0;        // classified -> dropped (invalid/decayed)
-  std::uint64_t compactions = 0;  // empty siblings folded into parent
-  std::uint64_t ranges_total = 0;
-  std::uint64_t ranges_classified = 0;
-  std::uint64_t ranges_monitoring = 0;
-  std::uint64_t tracked_ips = 0;      // per-IP entries held (stage-1 state)
-  std::uint64_t memory_bytes = 0;     // estimated heap: tries + metrics
-                                      // registry (+ bin buffer, see runner)
-  std::int64_t cycle_micros = 0;      // wall-clock stage-2 runtime
-  // Per-phase wall time, indexed by CyclePhase. Only populated while
-  // metrics are attached (timing every leaf visit is not free).
-  std::array<std::int64_t, kNumCyclePhases> phase_micros{};
-};
-
-/// One stage-2 structural transition relevant to ingress-shift detection:
-/// a classified range losing its prevalent ingress (Demote) or a range
-/// (re-)gaining one (Classify), with the quantities at decision time.
-struct RangeTransition {
-  enum class Kind : std::uint8_t { Demote, Classify };
-  util::Timestamp ts = 0;
-  Kind kind = Kind::Demote;
-  net::Prefix prefix;
-  IngressId ingress;     // Demote: the lost ingress; Classify: the new one
-  double share = 0.0;    // dominant-ingress share at decision time
-  double samples = 0.0;  // range sample total at decision time
-};
-
-/// Accumulating sink for per-cycle demotion/re-classification deltas.
-/// The engine appends while one is attached; a consumer (the health
-/// engine's shift rule) drains at its own cadence. Bounded: beyond
-/// `capacity` the newest transitions are dropped and counted, so a
-/// misbehaving cycle cannot grow the buffer without bound. Stage-2 only —
-/// the ingest path never touches it.
-class CycleDeltaLog {
- public:
-  explicit CycleDeltaLog(std::size_t capacity = 65536)
-      : capacity_(capacity) {}
-
-  void push(RangeTransition transition);
-
-  /// Consume-and-clear all buffered transitions, oldest first.
-  std::vector<RangeTransition> drain();
-
-  std::size_t size() const;
-  std::uint64_t total_recorded() const;
-  std::uint64_t dropped() const;
-
- private:
-  const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<RangeTransition> items_;
-  std::uint64_t total_ = 0;
-  std::uint64_t dropped_ = 0;
-};
-
-/// Lifetime counters.
-struct EngineStats {
-  std::uint64_t flows_ingested = 0;
-  std::uint64_t cycles_run = 0;
-  std::uint64_t total_classifications = 0;
-  std::uint64_t total_splits = 0;
-  std::uint64_t total_joins = 0;
-  std::uint64_t total_drops = 0;
-};
 
 /// Stable handles into a MetricsRegistry for everything the engine exports.
 /// Construction registers the full metric surface; updating is relaxed
@@ -135,7 +49,9 @@ struct EngineStats {
 /// direct-mapped per-link slot, and flush_ingest() publishes the deltas to
 /// the registry at every stage-2 cycle. This keeps the per-flow cost to a
 /// few adds, well inside the < 2% ingest budget; the registry trails live
-/// ingest by at most one cycle (t = 60 s of data time).
+/// ingest by at most one cycle (t = 60 s of data time). The sharded engine
+/// keeps its own per-shard delta buffers instead (one writer per shard)
+/// and publishes them through add_ingest_deltas()/link_counter().
 class EngineMetrics {
  public:
   explicit EngineMetrics(obs::MetricsRegistry& registry);
@@ -169,6 +85,11 @@ class EngineMetrics {
   /// Publish buffered ingest deltas into the registry (called from
   /// run_cycle; cheap enough to call ad hoc before scraping).
   void flush_ingest();
+
+  /// Publish pre-aggregated stage-1 deltas directly (the sharded engine's
+  /// per-shard buffers, flushed under its structure lock).
+  void add_ingest_deltas(net::Family family, std::uint64_t flows,
+                         std::uint64_t weight);
 
   /// Per-ingress-link ingest counter, created on first use.
   obs::Counter& link_counter(topology::LinkId link);
@@ -215,55 +136,46 @@ class EngineMetrics {
   std::unordered_map<std::uint64_t, std::uint64_t> link_overflow_;
 };
 
-class IpdEngine {
+class IpdEngine final : public EngineBase {
  public:
   explicit IpdEngine(IpdParams params);
 
-  const IpdParams& params() const noexcept { return params_; }
+  const IpdParams& params() const noexcept override { return params_; }
 
-  /// Export metrics into `registry` from now on (replaces any previous
-  /// attachment). The registry must outlive the engine.
-  void attach_metrics(obs::MetricsRegistry& registry);
+  void attach_metrics(obs::MetricsRegistry& registry) override;
 
   /// The attached registry, or nullptr.
-  obs::MetricsRegistry* metrics_registry() const noexcept {
+  obs::MetricsRegistry* metrics_registry() const noexcept override {
     return metrics_ ? &metrics_->registry() : nullptr;
   }
-  EngineMetrics* metrics() noexcept { return metrics_.get(); }
+  EngineMetrics* metrics() noexcept override { return metrics_.get(); }
+  void flush_ingest_metrics() override {
+    if (metrics_) metrics_->flush_ingest();
+  }
 
-  /// Record every stage-2 structural decision into `log` from now on (the
-  /// log must outlive the engine; pass by reference — detach by attaching
-  /// a different log or destroying the engine first).
-  void attach_decision_log(DecisionLog& log) noexcept { decision_log_ = &log; }
-  DecisionLog* decision_log() const noexcept { return decision_log_; }
+  void attach_decision_log(DecisionLog& log) noexcept override {
+    decision_log_ = &log;
+  }
+  DecisionLog* decision_log() const noexcept override { return decision_log_; }
 
-  /// Emit per-cycle/per-phase spans into `tracer` from now on (same
-  /// lifetime contract as the decision log).
-  void attach_tracer(obs::Tracer& tracer) noexcept { tracer_ = &tracer; }
-  obs::Tracer* tracer() const noexcept { return tracer_; }
+  void attach_tracer(obs::Tracer& tracer) noexcept override {
+    tracer_ = &tracer;
+  }
+  obs::Tracer* tracer() const noexcept override { return tracer_; }
 
-  /// Append every stage-2 demotion/classification transition into `log`
-  /// from now on (same lifetime contract as the decision log). Consumed by
-  /// the health engine's ingress-shift rule.
-  void attach_cycle_deltas(CycleDeltaLog& log) noexcept {
+  void attach_cycle_deltas(CycleDeltaLog& log) noexcept override {
     cycle_deltas_ = &log;
   }
-  CycleDeltaLog* cycle_deltas() const noexcept { return cycle_deltas_; }
-
-  /// Stage 1: add one sample of `weight` (1 flow, or its byte count when
-  /// count_mode is Bytes). Hot path.
-  void ingest(util::Timestamp ts, const net::IpAddress& src_ip,
-              topology::LinkId ingress, std::uint64_t weight = 1) noexcept;
-
-  void ingest(const netflow::FlowRecord& record) noexcept {
-    ingest(record.ts, record.src_ip, record.ingress,
-           params_.count_mode == CountMode::Bytes
-               ? std::max<std::uint64_t>(record.bytes, 1)
-               : 1);
+  CycleDeltaLog* cycle_deltas() const noexcept override {
+    return cycle_deltas_;
   }
 
-  /// Stage 2: one classification cycle at simulated time `now`.
-  CycleStats run_cycle(util::Timestamp now);
+  using EngineBase::ingest;
+  void ingest(util::Timestamp ts, const net::IpAddress& src_ip,
+              topology::LinkId ingress,
+              std::uint64_t weight = 1) noexcept override;
+
+  CycleStats run_cycle(util::Timestamp now) override;
 
   const IpdTrie& trie(net::Family family) const noexcept {
     return family == net::Family::V4 ? trie4_ : trie6_;
@@ -272,25 +184,26 @@ class IpdEngine {
     return family == net::Family::V4 ? trie4_ : trie6_;
   }
 
-  const EngineStats& stats() const noexcept { return stats_; }
+  EngineStats stats() const noexcept override { return stats_; }
+
+  void for_each_leaf(net::Family family,
+                     const std::function<void(const RangeNode&)>& fn)
+      const override {
+    trie(family).for_each_leaf(fn);
+  }
+
+  const RangeNode& locate(const net::IpAddress& ip) const override {
+    return const_cast<IpdEngine*>(this)->trie(ip.family()).locate(ip);
+  }
 
   /// Dominance test used by stage 2; exposed for tests. Returns the
   /// classified ingress if `counts` has a single prevalent ingress point
   /// (share >= q), possibly a bundle of interfaces on one router.
-  std::optional<IngressId> find_prevalent(const IngressCounts& counts) const;
+  std::optional<IngressId> find_prevalent(const IngressCounts& counts) const {
+    return core::find_prevalent(params_, counts);
+  }
 
  private:
-  /// Per-cycle phase-time accumulator (nanoseconds); timing is skipped
-  /// entirely when neither metrics nor a tracer are attached.
-  struct PhaseAccum {
-    bool enabled = false;
-    std::array<std::int64_t, kNumCyclePhases> ns{};
-  };
-
-  void cycle_family(IpdTrie& trie, util::Timestamp now, CycleStats& out,
-                    PhaseAccum& phases);
-  void handle_leaf(IpdTrie& trie, RangeNode& node, util::Timestamp now,
-                   CycleStats& out, PhaseAccum& phases);
   void publish_cycle_metrics(const CycleStats& out, const PhaseAccum& phases);
 
   IpdParams params_;

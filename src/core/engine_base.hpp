@@ -1,0 +1,193 @@
+// Common engine surface shared by the sequential IpdEngine and the
+// parallel ShardedEngine.
+//
+// Everything downstream of stage 1/2 — the binned runner, the snapshot
+// writer, the introspection server, the collector — programs against this
+// interface so the two engines are drop-in interchangeable (ipd_replay
+// selects one with --shards / --ingest-threads). The per-cycle and
+// lifetime counter types live here too, so both implementations report
+// through identical structures and the determinism-differential tests can
+// compare them field by field.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/decision_log.hpp"
+#include "core/params.hpp"
+#include "core/trie.hpp"
+#include "netflow/flow_record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ipd::core {
+
+/// The distinct kinds of stage-2 work, timed separately per cycle.
+enum class CyclePhase : std::uint8_t {
+  Expire = 0,  // per-IP expiry + decay/drop of quiet classified ranges
+  Classify,    // dominance test + classification
+  Split,       // splitting undecided ranges
+  Join,        // joining same-ingress classified siblings
+  Compact,     // folding empty sibling pairs into their parent
+};
+inline constexpr std::size_t kNumCyclePhases = 5;
+
+const char* to_string(CyclePhase phase) noexcept;
+
+/// Counters describing one stage-2 cycle.
+struct CycleStats {
+  util::Timestamp now = 0;
+  std::uint64_t classifications = 0;  // monitoring -> classified
+  std::uint64_t splits = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t drops = 0;        // classified -> dropped (invalid/decayed)
+  std::uint64_t compactions = 0;  // empty siblings folded into parent
+  std::uint64_t ranges_total = 0;
+  std::uint64_t ranges_classified = 0;
+  std::uint64_t ranges_monitoring = 0;
+  std::uint64_t tracked_ips = 0;      // per-IP entries held (stage-1 state)
+  std::uint64_t memory_bytes = 0;     // estimated heap: tries + metrics
+                                      // registry (+ bin buffer, see runner)
+  std::int64_t cycle_micros = 0;      // wall-clock stage-2 runtime
+  // Per-phase wall time, indexed by CyclePhase. Only populated while
+  // metrics are attached (timing every leaf visit is not free). For the
+  // sharded engine this is summed CPU time across worker threads, so it
+  // can exceed cycle_micros.
+  std::array<std::int64_t, kNumCyclePhases> phase_micros{};
+};
+
+/// One stage-2 structural transition relevant to ingress-shift detection:
+/// a classified range losing its prevalent ingress (Demote) or a range
+/// (re-)gaining one (Classify), with the quantities at decision time.
+struct RangeTransition {
+  enum class Kind : std::uint8_t { Demote, Classify };
+  util::Timestamp ts = 0;
+  Kind kind = Kind::Demote;
+  net::Prefix prefix;
+  IngressId ingress;     // Demote: the lost ingress; Classify: the new one
+  double share = 0.0;    // dominant-ingress share at decision time
+  double samples = 0.0;  // range sample total at decision time
+};
+
+/// Accumulating sink for per-cycle demotion/re-classification deltas.
+/// The engine appends while one is attached; a consumer (the health
+/// engine's shift rule) drains at its own cadence. Bounded: beyond
+/// `capacity` the newest transitions are dropped and counted, so a
+/// misbehaving cycle cannot grow the buffer without bound. Stage-2 only —
+/// the ingest path never touches it.
+class CycleDeltaLog {
+ public:
+  explicit CycleDeltaLog(std::size_t capacity = 65536)
+      : capacity_(capacity) {}
+
+  void push(RangeTransition transition);
+
+  /// Consume-and-clear all buffered transitions, oldest first.
+  std::vector<RangeTransition> drain();
+
+  std::size_t size() const;
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RangeTransition> items_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Lifetime counters.
+struct EngineStats {
+  std::uint64_t flows_ingested = 0;
+  std::uint64_t cycles_run = 0;
+  std::uint64_t total_classifications = 0;
+  std::uint64_t total_splits = 0;
+  std::uint64_t total_joins = 0;
+  std::uint64_t total_drops = 0;
+};
+
+class EngineMetrics;
+
+/// Abstract engine: Algorithm 1 behind a uniform surface.
+///
+/// Thread-safety is implementation-defined: IpdEngine is single-threaded
+/// (callers serialize externally, e.g. ipd_replay's engine mutex), while
+/// ShardedEngine synchronizes ingest/run_cycle/for_each_leaf internally.
+/// References returned by locate() are only stable while the caller keeps
+/// the engine quiescent (no run_cycle), which the introspection server
+/// guarantees via the shared engine mutex.
+class EngineBase {
+ public:
+  virtual ~EngineBase() = default;
+
+  virtual const IpdParams& params() const noexcept = 0;
+
+  /// Stage 1: add one sample of `weight` (1 flow, or its byte count when
+  /// count_mode is Bytes). Hot path.
+  virtual void ingest(util::Timestamp ts, const net::IpAddress& src_ip,
+                      topology::LinkId ingress,
+                      std::uint64_t weight = 1) noexcept = 0;
+
+  void ingest(const netflow::FlowRecord& record) noexcept {
+    ingest(record.ts, record.src_ip, record.ingress,
+           params().count_mode == CountMode::Bytes
+               ? std::max<std::uint64_t>(record.bytes, 1)
+               : 1);
+  }
+
+  /// Stage 1, amortized: ingest a batch of records in order. The sharded
+  /// engine buckets the batch per shard and fans it out to worker threads;
+  /// the default keeps the exact sequential per-record order.
+  virtual void ingest_batch(
+      std::span<const netflow::FlowRecord> records) noexcept {
+    for (const auto& record : records) ingest(record);
+  }
+
+  /// Stage 2: one classification cycle at simulated time `now`.
+  virtual CycleStats run_cycle(util::Timestamp now) = 0;
+
+  virtual EngineStats stats() const noexcept = 0;
+
+  /// Visit every leaf of one family's partition, in address order (the
+  /// order snapshots are written in — identical across implementations).
+  virtual void for_each_leaf(
+      net::Family family,
+      const std::function<void(const RangeNode&)>& fn) const = 0;
+
+  /// The leaf range currently covering `ip` (/explain routing).
+  virtual const RangeNode& locate(const net::IpAddress& ip) const = 0;
+
+  /// Export metrics into `registry` from now on (replaces any previous
+  /// attachment). The registry must outlive the engine.
+  virtual void attach_metrics(obs::MetricsRegistry& registry) = 0;
+  virtual obs::MetricsRegistry* metrics_registry() const noexcept = 0;
+  virtual EngineMetrics* metrics() noexcept = 0;
+
+  /// Publish any buffered stage-1 metric deltas into the registry (called
+  /// ad hoc before scraping; run_cycle flushes too).
+  virtual void flush_ingest_metrics() = 0;
+
+  /// Record every stage-2 structural decision into `log` from now on (the
+  /// log must outlive the engine; detach by attaching a different log or
+  /// destroying the engine first).
+  virtual void attach_decision_log(DecisionLog& log) noexcept = 0;
+  virtual DecisionLog* decision_log() const noexcept = 0;
+
+  /// Emit per-cycle/per-phase spans into `tracer` from now on (same
+  /// lifetime contract as the decision log).
+  virtual void attach_tracer(obs::Tracer& tracer) noexcept = 0;
+  virtual obs::Tracer* tracer() const noexcept = 0;
+
+  /// Append every stage-2 demotion/classification transition into `log`
+  /// from now on (same lifetime contract as the decision log).
+  virtual void attach_cycle_deltas(CycleDeltaLog& log) noexcept = 0;
+  virtual CycleDeltaLog* cycle_deltas() const noexcept = 0;
+};
+
+}  // namespace ipd::core

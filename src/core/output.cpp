@@ -3,17 +3,16 @@
 #include <cstdlib>
 #include <stdexcept>
 
-#include "core/engine.hpp"
+#include "core/engine_base.hpp"
 #include "util/strings.hpp"
 
 namespace ipd::core {
 
-Snapshot take_snapshot(const IpdEngine& engine, util::Timestamp ts,
+Snapshot take_snapshot(const EngineBase& engine, util::Timestamp ts,
                        bool classified_only) {
   Snapshot snapshot;
   for (const net::Family family : {net::Family::V4, net::Family::V6}) {
-    const IpdTrie& trie = engine.trie(family);
-    trie.for_each_leaf([&](const RangeNode& leaf) {
+    engine.for_each_leaf(family, [&](const RangeNode& leaf) {
       const bool classified = leaf.state() == RangeNode::State::Classified;
       if (classified_only && !classified) return;
       if (leaf.counts().empty() && !classified) return;  // idle monitoring

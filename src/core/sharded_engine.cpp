@@ -1,0 +1,502 @@
+#include "core/sharded_engine.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace ipd::core {
+
+namespace {
+
+/// Span names / lanes shared with the sequential engine (see engine.cpp).
+constexpr std::array<const char*, kNumCyclePhases> kPhaseSpan = {
+    "stage2.expire", "stage2.classify", "stage2.split", "stage2.join",
+    "stage2.compact"};
+constexpr std::uint32_t kStage2Lane = 2;
+
+constexpr int family_index(net::Family family) noexcept {
+  return family == net::Family::V4 ? 0 : 1;
+}
+
+/// Per-unit sink capacity during the parallel section. Generous: a cycle
+/// can't realistically produce a million decisions per subtree, so nothing
+/// is ever dropped before the in-order drain into the global logs.
+constexpr std::size_t kUnitSinkCapacity = std::size_t{1} << 20;
+
+topology::LinkId link_from_key(std::uint64_t key) noexcept {
+  return topology::LinkId{static_cast<topology::RouterId>(key >> 16),
+                          static_cast<topology::InterfaceIndex>(key & 0xffff)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+WorkerPool::WorkerPool(int workers) {
+  threads_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::execute(Job& job) {
+  std::size_t i;
+  while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) < job.n) {
+    (*job.fn)(i);
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      // Last item done: wake the caller. Taking the mutex orders the
+      // notify against the caller's wait, so the wakeup cannot be lost.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stop_ ||
+               (job_ && job_->next.load(std::memory_order_relaxed) < job_->n);
+      });
+      if (stop_) return;
+      job = job_;  // each worker holds its own reference: a stale worker
+                   // waking late only ever touches its (exhausted) old job
+    }
+    execute(*job);
+  }
+}
+
+void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+  }
+  work_cv_.notify_all();
+  execute(*job);  // the calling thread participates
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&job] {
+    return job->completed.load(std::memory_order_acquire) >= job->n;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine
+
+ShardedEngine::ShardedEngine(IpdParams params, ShardedEngineConfig config)
+    : params_(params),
+      config_(config),
+      shard_count_(std::size_t{1} << config.shard_bits),
+      v4_(net::Family::V4),
+      v6_(net::Family::V6) {
+  if (config_.shard_bits < 0 || config_.shard_bits > 16) {
+    throw std::invalid_argument("shard_bits must be in [0, 16]");
+  }
+  if (config_.ingest_threads < 1) {
+    throw std::invalid_argument("ingest_threads must be >= 1");
+  }
+  params_.validate();
+  for (FamilyState* state : {&v4_, &v6_}) {
+    state->slots.reserve(shard_count_);
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      state->slots.push_back(std::make_unique<Slot>());
+    }
+    state->owner.assign(shard_count_, 0);
+    rebuild_cut(*state);
+  }
+  pool_ = std::make_unique<WorkerPool>(config_.ingest_threads - 1);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+net::Prefix ShardedEngine::shard_prefix(net::Family family,
+                                        std::size_t index) const {
+  return net::Prefix::root(family).nth_subprefix(index, config_.shard_bits);
+}
+
+std::size_t ShardedEngine::parallel_units(net::Family family) const {
+  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  return family_state(family).cut.size();
+}
+
+void ShardedEngine::attach_metrics(obs::MetricsRegistry& registry) {
+  const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
+  metrics_ = std::make_unique<EngineMetrics>(registry);
+}
+
+void ShardedEngine::rebuild_cut(FamilyState& state) {
+  state.cut.clear();
+  std::uint32_t next_shard = 0;
+  // Depth-first in address order: a cut member at depth d covers the next
+  // 2^(k - d) shards, all owned by its first shard's slot.
+  const std::function<void(RangeNode&, int)> walk = [&](RangeNode& node,
+                                                        int depth) {
+    if (node.is_leaf() || depth >= config_.shard_bits) {
+      const std::uint32_t slot = next_shard;
+      const std::uint32_t span = static_cast<std::uint32_t>(
+          std::size_t{1} << (config_.shard_bits - depth));
+      for (std::uint32_t s = 0; s < span; ++s) state.owner[next_shard++] = slot;
+      state.cut.push_back(&node);
+      return;
+    }
+    walk(*node.child(0), depth + 1);
+    walk(*node.child(1), depth + 1);
+  };
+  walk(state.trie.root(), 0);
+  assert(next_shard == shard_count_);
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1
+
+void ShardedEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
+                           topology::LinkId ingress,
+                           std::uint64_t weight) noexcept {
+  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  FamilyState& state = family_state(src_ip.family());
+  const net::IpAddress masked =
+      src_ip.masked(params_.cidr_max(src_ip.family()));
+  Slot& slot = *state.slots[slot_index(state, masked)];
+  const std::lock_guard<std::mutex> guard(slot.mutex);
+  state.trie.locate(masked).add_sample(ts, masked, ingress, weight);
+  slot.flows.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_) slot.deltas.record(src_ip.family(), ingress, weight);
+}
+
+std::unique_ptr<ShardedEngine::Staging> ShardedEngine::acquire_staging() {
+  {
+    const std::lock_guard<std::mutex> lock(staging_mutex_);
+    if (!staging_pool_.empty()) {
+      auto staging = std::move(staging_pool_.back());
+      staging_pool_.pop_back();
+      return staging;
+    }
+  }
+  auto staging = std::make_unique<Staging>();
+  staging->buckets.resize(2 * shard_count_);
+  return staging;
+}
+
+void ShardedEngine::release_staging(std::unique_ptr<Staging> staging) {
+  for (const std::uint32_t b : staging->active) staging->buckets[b].clear();
+  staging->active.clear();
+  const std::lock_guard<std::mutex> lock(staging_mutex_);
+  staging_pool_.push_back(std::move(staging));
+}
+
+void ShardedEngine::ingest_bucket(std::size_t bucket,
+                                  std::vector<PreparedSample>& samples)
+    noexcept {
+  // Bucket layout: [v4 slots][v6 slots]; bucket == owning slot.
+  FamilyState& state = bucket < shard_count_ ? v4_ : v6_;
+  Slot& slot = *state.slots[bucket % shard_count_];
+  const std::lock_guard<std::mutex> guard(slot.mutex);
+  for (const PreparedSample& s : samples) {
+    state.trie.locate(s.ip).add_sample(s.ts, s.ip, s.link, s.weight);
+    if (metrics_) slot.deltas.record(state.family, s.link, s.weight);
+  }
+  slot.flows.fetch_add(samples.size(), std::memory_order_relaxed);
+}
+
+void ShardedEngine::ingest_batch(
+    std::span<const netflow::FlowRecord> records) noexcept {
+  if (records.empty()) return;
+  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  auto staging = acquire_staging();
+  // Bucket in record order, so each cut member sees its records in exactly
+  // the order a sequential engine would process them.
+  for (const netflow::FlowRecord& record : records) {
+    const net::Family family = record.src_ip.family();
+    const FamilyState& state = family_state(family);
+    const net::IpAddress masked =
+        record.src_ip.masked(params_.cidr_max(family));
+    const std::uint64_t weight =
+        params_.count_mode == CountMode::Bytes
+            ? std::max<std::uint64_t>(record.bytes, 1)
+            : 1;
+    const std::size_t bucket = bucket_of(state, masked);
+    std::vector<PreparedSample>& samples = staging->buckets[bucket];
+    if (samples.empty()) {
+      staging->active.push_back(static_cast<std::uint32_t>(bucket));
+    }
+    samples.push_back(PreparedSample{record.ts, masked, record.ingress, weight});
+  }
+  const std::vector<std::uint32_t>& active = staging->active;
+  pool_->run(active.size(), [this, staging = staging.get()](std::size_t i) {
+    const std::uint32_t bucket = staging->active[i];
+    ingest_bucket(bucket, staging->buckets[bucket]);
+  });
+  release_staging(std::move(staging));
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2
+
+void ShardedEngine::spine_pass(FamilyState& state, RangeNode& node, int depth,
+                               util::Timestamp now, CycleStats& out,
+                               PhaseAccum& phases, const CycleSinks& sinks) {
+  // Post-order over the spine only (internal nodes above the cut):
+  // everything at depth >= shard_bits, and every leaf, already ran inside
+  // its cut member's pass. This reproduces the tail of the sequential
+  // post-order walk, including same-cycle join cascades up the spine.
+  if (node.state() != RangeNode::State::Internal ||
+      depth >= config_.shard_bits) {
+    return;
+  }
+  spine_pass(state, *node.child(0), depth + 1, now, out, phases, sinks);
+  spine_pass(state, *node.child(1), depth + 1, now, out, phases, sinks);
+  join_or_compact(state.trie, node, params_, now, out, phases, sinks);
+}
+
+void ShardedEngine::cycle_family(FamilyState& state, util::Timestamp now,
+                                 CycleStats& out, PhaseAccum& phases) {
+  const CycleSinks global_sinks{decision_log_, cycle_deltas_};
+  const std::size_t units = state.cut.size();
+  if (units <= 1) {
+    // One unit means the cut is the root itself (unrefined family, or
+    // shard_bits == 0): the plain sequential pass, global sinks inline.
+    cycle_over_trie(state.trie, params_, now, out, phases, global_sinks);
+    rebuild_cut(state);
+    return;
+  }
+
+  // Parallel per-unit cycles. Decisions and transitions go to per-unit
+  // buffers so the parallel section never contends on the global logs,
+  // then drain in cut (address) order for a deterministic sequence.
+  struct UnitResult {
+    CycleStats stats;
+    PhaseAccum phases;
+    std::unique_ptr<DecisionLog> decisions;
+    std::unique_ptr<CycleDeltaLog> transitions;
+  };
+  std::vector<UnitResult> results(units);
+  for (UnitResult& r : results) {
+    r.phases.enabled = phases.enabled;
+    if (decision_log_) {
+      r.decisions = std::make_unique<DecisionLog>(kUnitSinkCapacity);
+    }
+    if (cycle_deltas_) {
+      r.transitions = std::make_unique<CycleDeltaLog>(kUnitSinkCapacity);
+    }
+  }
+  pool_->run(units, [&](std::size_t i) {
+    const CycleSinks sinks{results[i].decisions.get(),
+                           results[i].transitions.get()};
+    cycle_over_subtree(state.trie, *state.cut[i], params_, now,
+                       results[i].stats, results[i].phases, sinks);
+  });
+  for (UnitResult& r : results) {
+    out.classifications += r.stats.classifications;
+    out.splits += r.stats.splits;
+    out.joins += r.stats.joins;
+    out.drops += r.stats.drops;
+    out.compactions += r.stats.compactions;
+    for (std::size_t p = 0; p < kNumCyclePhases; ++p) {
+      phases.ns[p] += r.phases.ns[p];
+    }
+    if (r.decisions) {
+      for (DecisionEvent event : r.decisions->snapshot()) {
+        decision_log_->record(event);  // re-stamps the global sequence
+      }
+    }
+    if (r.transitions) {
+      for (RangeTransition& t : r.transitions->drain()) {
+        cycle_deltas_->push(std::move(t));
+      }
+    }
+  }
+
+  // Cross-unit merge: the sequential walk's spine tail (join/compact over
+  // internal nodes above the cut, post-order so joins cascade), then
+  // re-derive the cut from whatever the cycle did to the top k levels.
+  spine_pass(state, state.trie.root(), 0, now, out, phases, global_sinks);
+  rebuild_cut(state);
+}
+
+CycleStats ShardedEngine::run_cycle(util::Timestamp now) {
+  const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t trace_t0 = tracer_ ? tracer_->now_us() : 0;
+  CycleStats out;
+  out.now = now;
+  PhaseAccum phases{metrics_ != nullptr || tracer_ != nullptr, {}};
+  cycle_family(v4_, now, out, phases);
+  cycle_family(v6_, now, out, phases);
+
+  // Partition census after all structural changes. The public
+  // for_each_leaf would re-take the (non-reentrant) structure lock, so
+  // walk the tries directly.
+  for (const FamilyState* state : {&v4_, &v6_}) {
+    state->trie.for_each_leaf([&out](const RangeNode& leaf) {
+      ++out.ranges_total;
+      if (leaf.state() == RangeNode::State::Classified) {
+        ++out.ranges_classified;
+      } else {
+        ++out.ranges_monitoring;
+        out.tracked_ips += leaf.ips().size();
+      }
+    });
+    out.memory_bytes += state->trie.memory_bytes();
+  }
+  if (metrics_) out.memory_bytes += metrics_->registry().memory_bytes();
+  if (decision_log_) out.memory_bytes += decision_log_->memory_bytes();
+  if (tracer_) out.memory_bytes += tracer_->memory_bytes();
+
+  for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+    out.phase_micros[i] = phases.ns[i] / 1000;
+  }
+  out.cycle_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  cycles_run_.fetch_add(1, std::memory_order_relaxed);
+  total_classifications_.fetch_add(out.classifications,
+                                   std::memory_order_relaxed);
+  total_splits_.fetch_add(out.splits, std::memory_order_relaxed);
+  total_joins_.fetch_add(out.joins, std::memory_order_relaxed);
+  total_drops_.fetch_add(out.drops, std::memory_order_relaxed);
+  if (metrics_) publish_cycle_metrics(out, phases);
+  if (tracer_) {
+    std::int64_t cursor = trace_t0;
+    for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+      const std::int64_t dur = phases.ns[i] / 1000;
+      tracer_->span(kPhaseSpan[i], cursor, dur, {}, kStage2Lane);
+      cursor += dur;
+    }
+    tracer_->span("stage2.cycle", trace_t0, tracer_->now_us() - trace_t0,
+                  {{"classifications", static_cast<double>(out.classifications)},
+                   {"splits", static_cast<double>(out.splits)},
+                   {"joins", static_cast<double>(out.joins)},
+                   {"drops", static_cast<double>(out.drops)}},
+                  kStage2Lane);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Read surface
+
+EngineStats ShardedEngine::stats() const noexcept {
+  // Flow counters are cumulative per slot and slots never move, so the sum
+  // is the lifetime total without taking the structure lock.
+  EngineStats out;
+  for (const FamilyState* state : {&v4_, &v6_}) {
+    for (const auto& slot : state->slots) {
+      out.flows_ingested += slot->flows.load(std::memory_order_relaxed);
+    }
+  }
+  out.cycles_run = cycles_run_.load(std::memory_order_relaxed);
+  out.total_classifications =
+      total_classifications_.load(std::memory_order_relaxed);
+  out.total_splits = total_splits_.load(std::memory_order_relaxed);
+  out.total_joins = total_joins_.load(std::memory_order_relaxed);
+  out.total_drops = total_drops_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ShardedEngine::for_each_leaf(
+    net::Family family,
+    const std::function<void(const RangeNode&)>& fn) const {
+  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  const FamilyState& state = family_state(family);
+  // Cut order == address order, so concatenating the per-member in-order
+  // walks (each under its slot's mutex, shutting out that member's
+  // writers) yields exactly the sequential engine's leaf order.
+  for (RangeNode* member : state.cut) {
+    const std::size_t slot = shard_index(member->prefix().address());
+    const std::lock_guard<std::mutex> guard(state.slots[slot]->mutex);
+    state.trie.for_each_leaf_from(*member, fn);
+  }
+}
+
+const RangeNode& ShardedEngine::locate(const net::IpAddress& ip) const {
+  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  const FamilyState& state = family_state(ip.family());
+  const net::IpAddress masked = ip.masked(params_.cidr_max(ip.family()));
+  Slot& slot = *state.slots[slot_index(state, masked)];
+  const std::lock_guard<std::mutex> guard(slot.mutex);
+  return const_cast<IpdTrie&>(state.trie).locate(masked);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics plumbing
+
+void ShardedEngine::flush_one_delta(IngestDeltas& deltas) {
+  for (int f = 0; f < 2; ++f) {
+    if (deltas.flows[f] == 0) continue;
+    metrics_->add_ingest_deltas(f == 0 ? net::Family::V4 : net::Family::V6,
+                                deltas.flows[f], deltas.weight[f]);
+    deltas.flows[f] = 0;
+    deltas.weight[f] = 0;
+  }
+  for (const auto& [key, count] : deltas.link_flows) {
+    metrics_->link_counter(link_from_key(key)).inc(count);
+  }
+  deltas.link_flows.clear();
+}
+
+void ShardedEngine::flush_deltas_locked() {
+  // Caller holds the exclusive structure lock, so no slot mutexes are
+  // needed: no ingest can be in flight.
+  for (FamilyState* state : {&v4_, &v6_}) {
+    for (const auto& slot : state->slots) {
+      flush_one_delta(slot->deltas);
+    }
+  }
+}
+
+void ShardedEngine::flush_ingest_metrics() {
+  const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
+  if (!metrics_) return;
+  flush_deltas_locked();
+  metrics_->flush_ingest();
+}
+
+void ShardedEngine::publish_cycle_metrics(const CycleStats& out,
+                                          const PhaseAccum& phases) {
+  EngineMetrics& m = *metrics_;
+  flush_deltas_locked();
+  m.cycles_total->inc();
+  m.cycle_seconds->observe(static_cast<double>(out.cycle_micros) * 1e-6);
+  for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+    m.phase_seconds[i]->observe(static_cast<double>(phases.ns[i]) * 1e-9);
+  }
+  m.events[static_cast<std::size_t>(CyclePhase::Expire)]->inc(out.drops);
+  m.events[static_cast<std::size_t>(CyclePhase::Classify)]->inc(
+      out.classifications);
+  m.events[static_cast<std::size_t>(CyclePhase::Split)]->inc(out.splits);
+  m.events[static_cast<std::size_t>(CyclePhase::Join)]->inc(out.joins);
+  m.events[static_cast<std::size_t>(CyclePhase::Compact)]->inc(
+      out.compactions);
+  for (const FamilyState* state : {&v4_, &v6_}) {
+    const int f = family_index(state->family);
+    m.trie_nodes[f]->set(static_cast<double>(state->trie.node_count()));
+    m.trie_leaves[f]->set(static_cast<double>(state->trie.leaf_count()));
+    m.trie_memory[f]->set(static_cast<double>(state->trie.memory_bytes()));
+  }
+  m.ranges_classified->set(static_cast<double>(out.ranges_classified));
+  m.ranges_monitoring->set(static_cast<double>(out.ranges_monitoring));
+  m.tracked_ips->set(static_cast<double>(out.tracked_ips));
+  m.memory_bytes->set(static_cast<double>(out.memory_bytes));
+}
+
+}  // namespace ipd::core

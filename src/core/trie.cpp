@@ -93,8 +93,8 @@ bool IpdTrie::split(RangeNode& node) {
 
   node.child0_ = std::make_unique<RangeNode>(node.prefix_.child(0), &node);
   node.child1_ = std::make_unique<RangeNode>(node.prefix_.child(1), &node);
-  nodes_ += 2;
-  leaves_ += 1;  // one leaf becomes two
+  nodes_.fetch_add(2, std::memory_order_relaxed);
+  leaves_.fetch_add(1, std::memory_order_relaxed);  // one leaf becomes two
 
   for (auto& [ip, entry] : node.ips_) {
     RangeNode& child = ip.bit(len) ? *node.child1_ : *node.child0_;
@@ -130,8 +130,8 @@ bool IpdTrie::join_children(RangeNode& parent) {
   parent.classified_at_ = std::min(a->classified_at_, b->classified_at_);
   parent.child0_.reset();
   parent.child1_.reset();
-  nodes_ -= 2;
-  leaves_ -= 1;
+  nodes_.fetch_sub(2, std::memory_order_relaxed);
+  leaves_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -148,8 +148,8 @@ bool IpdTrie::compact_children(RangeNode& parent) {
   parent.last_update_ = 0;
   parent.child0_.reset();
   parent.child1_.reset();
-  nodes_ -= 2;
-  leaves_ -= 1;
+  nodes_.fetch_sub(2, std::memory_order_relaxed);
+  leaves_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -162,8 +162,21 @@ void IpdTrie::for_each_leaf(const std::function<void(const RangeNode&)>& fn) con
       *root_, [&fn](RangeNode& n) { fn(static_cast<const RangeNode&>(n)); });
 }
 
+void IpdTrie::for_each_leaf_from(
+    const RangeNode& node,
+    const std::function<void(const RangeNode&)>& fn) const {
+  const_cast<IpdTrie*>(this)->visit_leaves(
+      const_cast<RangeNode&>(node),
+      [&fn](RangeNode& n) { fn(static_cast<const RangeNode&>(n)); });
+}
+
 void IpdTrie::post_order(const std::function<void(RangeNode&)>& fn) {
   visit_post(*root_, fn);
+}
+
+void IpdTrie::post_order_from(RangeNode& node,
+                              const std::function<void(RangeNode&)>& fn) {
+  visit_post(node, fn);
 }
 
 void IpdTrie::visit_leaves(RangeNode& node,

@@ -8,8 +8,17 @@
 //   Classified  — a prevalent ingress was found; detail state is dropped
 //                 and only aggregate per-ingress counters remain.
 // Interior nodes carry no state.
+//
+// Concurrency: the trie itself is not synchronized — callers serialize
+// structural changes externally (the sharded engine holds an exclusive
+// lock during stage 2 and per-subtree mutexes during stage 1). The only
+// internal concession to parallel stage-2 passes are the node/leaf
+// counters, which are relaxed atomics so that disjoint subtrees can
+// split/join/compact concurrently; every other mutation stays confined to
+// the subtree it happens in.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -109,6 +118,23 @@ class IpdTrie {
  public:
   explicit IpdTrie(net::Family family);
 
+  // Movable (the counters are atomic only for concurrent stage-2 passes;
+  // moving a trie that is being cycled concurrently is a caller bug).
+  IpdTrie(IpdTrie&& other) noexcept
+      : family_(other.family_),
+        root_(std::move(other.root_)),
+        leaves_(other.leaves_.load(std::memory_order_relaxed)),
+        nodes_(other.nodes_.load(std::memory_order_relaxed)) {}
+  IpdTrie& operator=(IpdTrie&& other) noexcept {
+    family_ = other.family_;
+    root_ = std::move(other.root_);
+    leaves_.store(other.leaves_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    nodes_.store(other.nodes_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
   net::Family family() const noexcept { return family_; }
   const RangeNode& root() const noexcept { return *root_; }
   RangeNode& root() noexcept { return *root_; }
@@ -132,13 +158,31 @@ class IpdTrie {
   void for_each_leaf(const std::function<void(RangeNode&)>& fn);
   void for_each_leaf(const std::function<void(const RangeNode&)>& fn) const;
 
+  /// Visit every leaf under `node`, in address order. `node` must belong
+  /// to this trie (the sharded engine walks one cut subtree at a time
+  /// while holding that subtree's lock).
+  void for_each_leaf_from(
+      const RangeNode& node,
+      const std::function<void(const RangeNode&)>& fn) const;
+
   /// Post-order visit of every node (children before parents). The visitor
   /// may split the visited node; freshly created children are not visited
   /// in the same pass.
   void post_order(const std::function<void(RangeNode&)>& fn);
 
-  std::size_t leaf_count() const noexcept { return leaves_; }
-  std::size_t node_count() const noexcept { return nodes_; }
+  /// Post-order visit limited to the subtree rooted at `node` (the
+  /// sharded engine's per-cut stage-2 pass). Safe to run concurrently on
+  /// disjoint subtrees: all structural mutations stay inside the subtree
+  /// and the trie-wide counters are atomic.
+  void post_order_from(RangeNode& node,
+                       const std::function<void(RangeNode&)>& fn);
+
+  std::size_t leaf_count() const noexcept {
+    return leaves_.load(std::memory_order_relaxed);
+  }
+  std::size_t node_count() const noexcept {
+    return nodes_.load(std::memory_order_relaxed);
+  }
 
   /// Rough total heap usage in bytes.
   std::size_t memory_bytes() const noexcept;
@@ -149,8 +193,10 @@ class IpdTrie {
 
   net::Family family_;
   std::unique_ptr<RangeNode> root_;
-  std::size_t leaves_ = 1;
-  std::size_t nodes_ = 1;
+  // Relaxed atomics: adjusted from concurrent per-subtree stage-2 passes;
+  // increments/decrements commute, so totals stay exact and deterministic.
+  std::atomic<std::size_t> leaves_{1};
+  std::atomic<std::size_t> nodes_{1};
 };
 
 }  // namespace ipd::core

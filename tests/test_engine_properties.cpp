@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "util/rng.hpp"
 
 namespace ipd::core {
@@ -177,6 +178,161 @@ TEST_P(EngineSweep, DeterministicAcrossRuns) {
     return out;
   };
   EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Shard-routing invariants of the sharded parallel engine. The routing
+// function is pure address arithmetic, so these sweep shard widths and
+// random addresses rather than traffic.
+
+IpAddress random_addr(util::Rng& rng, Family family) {
+  if (family == Family::V4) {
+    return IpAddress::v4(static_cast<std::uint32_t>(rng.below(1ull << 32)));
+  }
+  const std::uint64_t hi =
+      (rng.below(1ull << 32) << 32) | rng.below(1ull << 32);
+  const std::uint64_t lo =
+      (rng.below(1ull << 32) << 32) | rng.below(1ull << 32);
+  return IpAddress::v6(hi, lo);
+}
+
+/// Every address lies in exactly one shard prefix, and shard_of agrees
+/// with the prefix arithmetic. The shard prefixes tile the family: each
+/// starts exactly where the previous one ends.
+TEST(ShardRouting, EveryAddressMapsToExactlyOneShard) {
+  for (const int bits : {0, 1, 4, 8}) {
+    SCOPED_TRACE("shard_bits=" + std::to_string(bits));
+    ShardedEngineConfig config;
+    config.shard_bits = bits;
+    ShardedEngine engine(IpdParams{}, config);
+    ASSERT_EQ(engine.shard_count(), std::size_t{1} << bits);
+
+    util::Rng rng(42);
+    for (const Family family : {Family::V4, Family::V6}) {
+      // Tiling: 2^bits prefixes of length `bits`, in address order — the
+      // i-th shard starts at i * 2^(width - bits), so together they cover
+      // the family exactly once.
+      for (std::size_t i = 0; i < engine.shard_count(); ++i) {
+        const Prefix shard = engine.shard_prefix(family, i);
+        EXPECT_EQ(shard.length(), bits);
+        const IpAddress expected_start =
+            family == Family::V4
+                ? IpAddress::v4(bits == 0 ? 0u
+                                          : static_cast<std::uint32_t>(
+                                                i << (32 - bits)))
+                : IpAddress::v6(bits == 0 ? 0ull : i << (64 - bits), 0);
+        EXPECT_EQ(shard.address(), expected_start);
+      }
+
+      for (int trial = 0; trial < 5000; ++trial) {
+        const IpAddress addr = random_addr(rng, family);
+        const std::size_t owner = engine.shard_of(addr);
+        ASSERT_LT(owner, engine.shard_count());
+        std::size_t containing = 0;
+        for (std::size_t i = 0; i < engine.shard_count(); ++i) {
+          if (engine.shard_prefix(family, i).contains(addr)) {
+            ++containing;
+            EXPECT_EQ(i, owner);
+          }
+        }
+        EXPECT_EQ(containing, 1u);
+      }
+    }
+  }
+}
+
+/// shard_of is invariant under masking to any length >= shard_bits — in
+/// particular to cidr_max, the mask stage 1 applies before routing. A flow
+/// and its masked representative always land in the same shard.
+TEST(ShardRouting, StableUnderMaskingToCidrMax) {
+  IpdParams params;
+  for (const int bits : {1, 4, 8}) {
+    SCOPED_TRACE("shard_bits=" + std::to_string(bits));
+    ShardedEngineConfig config;
+    config.shard_bits = bits;
+    ShardedEngine engine(params, config);
+    util::Rng rng(43);
+    for (const Family family : {Family::V4, Family::V6}) {
+      const int cidr_max = params.cidr_max(family);
+      ASSERT_GE(cidr_max, bits);
+      for (int trial = 0; trial < 5000; ++trial) {
+        const IpAddress addr = random_addr(rng, family);
+        const std::size_t owner = engine.shard_of(addr);
+        EXPECT_EQ(engine.shard_of(addr.masked(cidr_max)), owner);
+        for (int len = bits; len <= cidr_max; ++len) {
+          EXPECT_EQ(engine.shard_of(addr.masked(len)), owner);
+        }
+      }
+    }
+  }
+}
+
+/// No two parallel units can ever hold overlapping prefixes: across many
+/// cycles of live traffic, every leaf either lies entirely inside one
+/// shard (length >= shard_bits) or is shard-aligned and covers whole
+/// shards (length < shard_bits), and the concatenated per-unit walks still
+/// tile the address space with no gap or overlap.
+TEST(ShardRouting, ShardsNeverHoldOverlappingPrefixes) {
+  IpdParams params;
+  params.cidr_max4 = 24;
+  params.ncidr_factor4 = 0.002;
+  params.ncidr_factor6 = 1e-6;
+  params.q = 0.8;
+  ShardedEngineConfig config;
+  config.shard_bits = 3;
+  config.ingest_threads = 2;
+  ShardedEngine engine(params, config);
+
+  util::Rng rng(99);
+  util::Timestamp now = 0;
+  std::size_t max_units = 0;
+  for (int cycle = 1; cycle <= 25; ++cycle) {
+    for (int i = 0; i < 2000; ++i) {
+      // Hot /8 blocks spread across distinct top-3-bit shards (first
+      // octets 0, 43, 86, 129, 172, 215), each pinned to one ingress.
+      const auto block = static_cast<std::uint32_t>(rng.below(6));
+      const auto ip = IpAddress::v4(
+          ((block * 43u) << 24) |
+          static_cast<std::uint32_t>(rng.below(1u << 24)));
+      LinkId link{block % 3, static_cast<topology::InterfaceIndex>(block % 2)};
+      if (rng.chance(0.02)) link = LinkId{9, 0};
+      engine.ingest(now + static_cast<util::Timestamp>(rng.below(60)), ip,
+                    link);
+    }
+    now += 60;
+    engine.run_cycle(now);
+    max_units = std::max(max_units, engine.parallel_units(Family::V4));
+
+    std::uint64_t expected_start = 0;
+    double covered = 0.0;
+    engine.for_each_leaf(Family::V4, [&](const RangeNode& leaf) {
+      EXPECT_EQ(leaf.prefix().address().v4_value(), expected_start);
+      covered += leaf.prefix().address_count();
+      expected_start = leaf.prefix()
+                           .address()
+                           .offset(static_cast<std::uint64_t>(
+                               leaf.prefix().address_count()))
+                           .v4_value();
+      const IpAddress first = leaf.prefix().address();
+      const IpAddress last = first.offset(static_cast<std::uint64_t>(
+          leaf.prefix().address_count() - 1));
+      if (leaf.prefix().length() >= config.shard_bits) {
+        // Inside the cut: the leaf is contained in exactly one shard.
+        EXPECT_EQ(engine.shard_of(first), engine.shard_of(last));
+      } else {
+        // Above the cut: the leaf must cover whole shards, starting on a
+        // shard boundary — otherwise two units would overlap it.
+        const auto span = std::size_t{1}
+                          << (config.shard_bits - leaf.prefix().length());
+        EXPECT_EQ(engine.shard_of(first) % span, 0u);
+        EXPECT_EQ(engine.shard_of(last), engine.shard_of(first) + span - 1);
+      }
+    });
+    EXPECT_DOUBLE_EQ(covered, 4294967296.0);
+  }
+  // The sweep must actually refine into parallel units, or the invariants
+  // above were never exercised: the six hot shards must all be cut off.
+  EXPECT_GE(max_units, 6u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,6 +8,7 @@
 #include "analysis/runner.hpp"
 #include "analysis/stability.hpp"
 #include "bgp/generator.hpp"
+#include "core/engine.hpp"
 #include "workload/generator.hpp"
 
 namespace ipd {

@@ -14,6 +14,7 @@
 
 #include "analysis/health.hpp"
 #include "core/decision_log.hpp"
+#include "core/engine.hpp"
 #include "json_check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "collector/collector.hpp"
+#include "core/engine.hpp"
 #include "obs/export.hpp"
 #include "util/logging.hpp"
 

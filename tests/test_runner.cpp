@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "topology/builder.hpp"
 #include "workload/universe.hpp"
 

@@ -20,6 +20,12 @@
 //                           (raise and resolve) from the health engine
 //   --linger=<seconds>      keep serving HTTP for this long after the
 //                           replay finishes (for scrapes / smoke tests)
+//   --shards=<N>            run the sharded parallel engine with N shards
+//                           per family (power of two, 1..65536) instead of
+//                           the sequential engine
+//   --ingest-threads=<M>    worker threads for the sharded engine's
+//                           stage-1 fan-out and stage-2 shard cycles
+//                           (default 1; implies --shards=16 if not given)
 //
 // A TimeSeriesStore + HealthEngine always ride along: every 5-minute bin
 // is ingested into the embedded TSDB and the default health rules
@@ -43,6 +49,8 @@
 #include "analysis/introspection.hpp"
 #include "analysis/runner.hpp"
 #include "core/decision_log.hpp"
+#include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "obs/timeseries.hpp"
 #include "core/output.hpp"
 #include "netflow/codec.hpp"
@@ -61,7 +69,7 @@ int usage(const char* argv0) {
                "usage: %s [--metrics-out=<file>] [--metrics-jsonl=<file>] "
                "[--log-json] [--http-port=<port>] [--trace-out=<file>] "
                "[--decision-log[=N]] [--alerts-out=<file>] "
-               "[--linger=<seconds>] "
+               "[--linger=<seconds>] [--shards=<N>] [--ingest-threads=<M>] "
                "<in.trace> [ncidr_factor4=auto] [q=0.95]\n",
                argv0);
   return 2;
@@ -79,6 +87,8 @@ int main(int argc, char** argv) {
   bool decision_log_enabled = false;
   std::size_t decision_log_capacity = core::DecisionLog::kDefaultCapacity;
   long linger_s = 0;
+  int shards = -1;          // -1: sequential engine
+  int ingest_threads = -1;  // -1: default (1)
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -103,6 +113,10 @@ int main(int argc, char** argv) {
       alerts_out = arg.substr(13);
     } else if (util::starts_with(arg, "--linger=")) {
       linger_s = static_cast<long>(util::parse_uint(arg.substr(9), 86400));
+    } else if (util::starts_with(arg, "--shards=")) {
+      shards = static_cast<int>(util::parse_uint(arg.substr(9), 65536));
+    } else if (util::starts_with(arg, "--ingest-threads=")) {
+      ingest_threads = static_cast<int>(util::parse_uint(arg.substr(17), 256));
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "unknown flag %s\n", std::string(arg).c_str());
       return usage(argv[0]);
@@ -153,8 +167,28 @@ int main(int argc, char** argv) {
                   {"ncidr_factor4", params.ncidr_factor4},
                   {"q", params.q}});
 
+  // --ingest-threads without --shards implies the default shard count.
+  if (ingest_threads > 0 && shards < 0) shards = 16;
+  std::unique_ptr<core::EngineBase> engine_ptr;
+  if (shards < 0) {
+    engine_ptr = std::make_unique<core::IpdEngine>(params);
+  } else {
+    if (shards < 1 || (shards & (shards - 1)) != 0) {
+      std::fprintf(stderr, "--shards must be a power of two >= 1\n");
+      return 2;
+    }
+    core::ShardedEngineConfig sharded;
+    sharded.shard_bits = 0;
+    while ((1 << sharded.shard_bits) < shards) ++sharded.shard_bits;
+    sharded.ingest_threads = std::max(ingest_threads, 1);
+    engine_ptr = std::make_unique<core::ShardedEngine>(params, sharded);
+    util::log_info("sharded engine enabled",
+                   {{"shards", shards},
+                    {"ingest_threads", sharded.ingest_threads}});
+  }
+  core::EngineBase& engine = *engine_ptr;
+
   obs::MetricsRegistry registry;
-  core::IpdEngine engine(params);
   engine.attach_metrics(registry);
   obs::bind_log_drop_metrics(registry);
 
@@ -251,7 +285,7 @@ int main(int argc, char** argv) {
   for (const auto& row : last) {
     if (row.classified) std::cout << core::format_row(row) << '\n';
   }
-  const auto& stats = engine.stats();
+  const auto stats = engine.stats();
   std::printf("\n%llu flows ingested, %llu cycles, %llu classifications, "
               "%llu splits, %llu joins, %llu drops\n",
               static_cast<unsigned long long>(stats.flows_ingested),
