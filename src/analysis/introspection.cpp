@@ -193,11 +193,12 @@ obs::HttpResponse IntrospectionServer::handle_explain(
     }
     body = util::format(
         "{\"ip\":\"%s\",\"range\":\"%s\",\"state\":\"%s\",\"samples\":%.6g,"
-        "\"share\":%.6g,\"last_update\":%lld",
+        "\"share\":%.6g,\"last_update\":%lld,\"node_index\":%lu",
         ip.to_string().c_str(), leaf.prefix().to_string().c_str(),
         leaf.state() == core::RangeNode::State::Classified ? "classified"
                                                            : "monitoring",
-        total, share, static_cast<long long>(leaf.last_update()));
+        total, share, static_cast<long long>(leaf.last_update()),
+        static_cast<unsigned long>(leaf.index()));
     if (!ingress.empty()) {
       body += ",\"ingress\":\"" + util::json_escape(ingress) + "\"";
     }

@@ -60,7 +60,8 @@ EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
     trie_leaves[f] = &registry.gauge(
         "ipd_trie_leaves", "Leaves (current IPD ranges) in the trie", family);
     trie_memory[f] = &registry.gauge(
-        "ipd_trie_memory_bytes", "Estimated heap usage of the trie", family);
+        "ipd_trie_memory_bytes",
+        "Exact heap usage of the trie (node pool + per-node tables)", family);
   }
   // Cycle wall time spans sub-millisecond toy runs to multi-second
   // deployment cycles (paper Fig. 20): exponential buckets 100 µs .. ~27 min.
@@ -87,7 +88,7 @@ EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
       "ipd_tracked_ips", "Per-IP entries held by monitoring ranges");
   memory_bytes = &registry.gauge(
       "ipd_memory_bytes",
-      "Estimated total heap usage (tries + metrics registry)");
+      "Exact trie heap plus observability-layer heap usage");
 }
 
 obs::Counter& EngineMetrics::link_counter(topology::LinkId link) {

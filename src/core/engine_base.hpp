@@ -51,8 +51,9 @@ struct CycleStats {
   std::uint64_t ranges_classified = 0;
   std::uint64_t ranges_monitoring = 0;
   std::uint64_t tracked_ips = 0;      // per-IP entries held (stage-1 state)
-  std::uint64_t memory_bytes = 0;     // estimated heap: tries + metrics
-                                      // registry (+ bin buffer, see runner)
+  std::uint64_t memory_bytes = 0;     // exact trie heap (arena + per-node
+                                      // tables) + observability layers
+                                      // (+ bin buffer, see runner)
   std::int64_t cycle_micros = 0;      // wall-clock stage-2 runtime
   // Per-phase wall time, indexed by CyclePhase. Only populated while
   // metrics are attached (timing every leaf visit is not free). For the

@@ -1,0 +1,115 @@
+#include "core/flat_ip_table.hpp"
+
+#include <cassert>
+
+namespace ipd::core {
+
+std::size_t FlatIpTable::capacity_for(std::size_t n) noexcept {
+  if (n == 0) return 0;
+  std::size_t cap = kMinCapacity;
+  while (cap < 2 * n) cap <<= 1;
+  return cap;
+}
+
+IpEntry& FlatIpTable::find_or_insert(const net::IpAddress& key) {
+  if (4 * (size_ + 1) > 3 * capacity_) {
+    rehash(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+  }
+  std::size_t i = ideal_slot(key);
+  while (slots_[i].used) {
+    if (slots_[i].kv.first == key) return slots_[i].kv.second;
+    i = (i + 1) & (capacity_ - 1);
+  }
+  Slot& slot = slots_[i];
+  slot.kv.first = key;
+  slot.used = true;
+  ++size_;
+  return slot.kv.second;
+}
+
+const IpEntry* FlatIpTable::find(const net::IpAddress& key) const noexcept {
+  if (size_ == 0) return nullptr;
+  std::size_t i = ideal_slot(key);
+  while (slots_[i].used) {
+    if (slots_[i].kv.first == key) return &slots_[i].kv.second;
+    i = (i + 1) & (capacity_ - 1);
+  }
+  return nullptr;
+}
+
+void FlatIpTable::insert_moved(const net::IpAddress& key, IpEntry&& entry) {
+  IpEntry& dst = find_or_insert(key);
+  assert(dst.total == 0 && "insert_moved requires an absent key");
+  dst = std::move(entry);
+}
+
+void FlatIpTable::compact() {
+  // Hysteresis: only shrink when at least three quarters of the array
+  // would be reclaimed. Expiry trims a few entries per cycle, and a table
+  // that shrinks on every trim is regrown by the next minute of ingest —
+  // two full copies per leaf per cycle for no retained memory. Mass
+  // removals (classify, big expirations) still collapse the table.
+  const std::size_t target = capacity_for(size_);
+  if (target <= capacity_ / 4) rehash(target);
+}
+
+std::size_t FlatIpTable::memory_bytes() const noexcept {
+  std::size_t bytes = capacity_ * sizeof(Slot);
+  for (const auto& [ip, entry] : *this) {
+    (void)ip;
+    bytes += entry.counts.heap_bytes();
+  }
+  return bytes;
+}
+
+void FlatIpTable::rehash(std::size_t new_capacity) {
+  assert(new_capacity >= capacity_for(size_) || new_capacity == 0);
+  Slot* old_slots = slots_;
+  const std::size_t old_capacity = capacity_;
+  slots_ = new_capacity != 0 ? new Slot[new_capacity] : nullptr;
+  capacity_ = new_capacity;
+  for (std::size_t i = 0; i < old_capacity; ++i) {
+    Slot& src = old_slots[i];
+    if (!src.used) continue;
+    std::size_t j = ideal_slot(src.kv.first);
+    while (slots_[j].used) j = (j + 1) & (capacity_ - 1);
+    slots_[j].kv = std::move(src.kv);
+    slots_[j].used = true;
+  }
+  delete[] old_slots;
+}
+
+/// Backward-shift deletion at slot `i` (classic tombstone-free open
+/// addressing): walk the probe chain after the hole and move back every
+/// entry whose ideal slot does not lie cyclically within (hole, entry].
+/// The caller adjusts size_.
+void FlatIpTable::erase_slot(std::size_t i) noexcept {
+  const std::size_t mask = capacity_ - 1;
+  for (;;) {
+    slots_[i].kv = value_type{};  // releases the entry's spilled counters
+    slots_[i].used = false;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!slots_[j].used) return;
+      const std::size_t h = ideal_slot(slots_[j].kv.first);
+      const bool reachable =
+          i <= j ? (h > i && h <= j) : (h > i || h <= j);
+      if (!reachable) {
+        slots_[i].kv = std::move(slots_[j].kv);
+        slots_[i].used = true;
+        i = j;
+        break;
+      }
+    }
+  }
+}
+
+void FlatIpTable::destroy() noexcept {
+  delete[] slots_;
+  slots_ = nullptr;
+  capacity_ = 0;
+  size_ = 0;
+}
+
+}  // namespace ipd::core

@@ -1,0 +1,195 @@
+// Flat open-addressing table for per-IP detail state.
+//
+// Every Monitoring leaf keeps one of these instead of a node-based
+// std::unordered_map: all entries live in a single contiguous slot array
+// (linear probing, power-of-two capacity), so the stage-2 expire walk and
+// split redistribution stream through one allocation instead of chasing a
+// heap node per IP. Deletion uses backward-shift (no tombstones), so probe
+// chains never rot; compact() re-homes the survivors into the smallest
+// fitting array, which is what the cycle uses where the old code resorted
+// to `clear(); rehash(0)` hacks. An empty table owns no heap at all —
+// classify()/reset really do return the memory.
+//
+// Iteration order is slot order: a pure function of the insert/erase
+// sequence, identical between the sequential and sharded engines (both
+// apply the same per-leaf operation sequence), so the determinism
+// differential holds. Aggregate rebuilds feed IngressCounts, which is
+// canonically ordered anyway.
+//
+// memory_bytes() is exact: capacity * sizeof(Slot) plus every entry's
+// spilled counter storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "net/ip_address.hpp"
+#include "topology/ids.hpp"
+#include "util/small_vec.hpp"
+#include "util/time.hpp"
+
+namespace ipd::core {
+
+/// Per-masked-source-IP state inside a Monitoring range.
+struct IpEntry {
+  util::Timestamp last_seen = 0;
+  std::uint64_t total = 0;
+  // Per-ingress flow counts; nearly always one or two links (paper §3.2),
+  // so two pairs stay inline with the entry.
+  util::SmallVec<util::PodPair<topology::LinkId, std::uint64_t>, 2> counts;
+
+  void add(topology::LinkId link, std::uint64_t n = 1) {
+    total += n;
+    for (auto& [l, c] : counts) {
+      if (l == link) {
+        c += n;
+        return;
+      }
+    }
+    counts.emplace_back(link, n);
+  }
+};
+
+class FlatIpTable {
+ public:
+  using value_type = std::pair<net::IpAddress, IpEntry>;
+
+  FlatIpTable() noexcept = default;
+  FlatIpTable(FlatIpTable&& other) noexcept
+      : slots_(other.slots_), capacity_(other.capacity_), size_(other.size_) {
+    other.slots_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+  }
+  FlatIpTable& operator=(FlatIpTable&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      slots_ = other.slots_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.slots_ = nullptr;
+      other.capacity_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  FlatIpTable(const FlatIpTable&) = delete;
+  FlatIpTable& operator=(const FlatIpTable&) = delete;
+  ~FlatIpTable() { destroy(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// The entry for `key`, inserted default-initialized if absent.
+  IpEntry& find_or_insert(const net::IpAddress& key);
+
+  /// nullptr if absent.
+  const IpEntry* find(const net::IpAddress& key) const noexcept;
+
+  /// Move `entry` in under `key` (split redistribution). `key` must be
+  /// absent.
+  void insert_moved(const net::IpAddress& key, IpEntry&& entry);
+
+  /// Erase every entry for which `pred(key, entry)` holds; returns the
+  /// number removed. Backward-shift deletion, no tombstones.
+  template <class Pred>
+  std::size_t erase_if(Pred&& pred) {
+    if (size_ == 0) return 0;
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < capacity_;) {
+      Slot& slot = slots_[i];
+      if (slot.used && pred(static_cast<const net::IpAddress&>(slot.kv.first),
+                            static_cast<const IpEntry&>(slot.kv.second))) {
+        erase_slot(i);
+        ++removed;
+        // Backward shift may pull an unexamined entry into slot i;
+        // re-test it before advancing.
+        continue;
+      }
+      ++i;
+    }
+    size_ -= removed;
+    return removed;
+  }
+
+  /// Drop everything and release the slot array.
+  void clear() noexcept { destroy(); }
+
+  /// Shrink the slot array to the smallest capacity fitting the current
+  /// entries (releases everything when empty). The cycle calls this after
+  /// expiry so quiet ranges give memory back instead of holding their
+  /// high-water bucket count.
+  void compact();
+
+  /// Exact heap bytes owned by this table: the slot array plus spilled
+  /// per-entry counter storage.
+  std::size_t memory_bytes() const noexcept;
+
+  // Slot-order iteration over used entries.
+  template <class SlotT, class ValueT>
+  class Iter {
+   public:
+    Iter(SlotT* slot, SlotT* end) noexcept : slot_(slot), end_(end) {
+      skip();
+    }
+    ValueT& operator*() const noexcept { return slot_->kv; }
+    ValueT* operator->() const noexcept { return &slot_->kv; }
+    Iter& operator++() noexcept {
+      ++slot_;
+      skip();
+      return *this;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) noexcept {
+      return a.slot_ == b.slot_;
+    }
+
+   private:
+    void skip() noexcept {
+      while (slot_ != end_ && !slot_->used) ++slot_;
+    }
+    SlotT* slot_;
+    SlotT* end_;
+  };
+
+ private:
+  struct Slot {
+    value_type kv;
+    bool used = false;
+  };
+
+ public:
+  using iterator = Iter<Slot, value_type>;
+  using const_iterator = Iter<const Slot, const value_type>;
+
+  iterator begin() noexcept { return {slots_, slots_ + capacity_}; }
+  iterator end() noexcept { return {slots_ + capacity_, slots_ + capacity_}; }
+  const_iterator begin() const noexcept {
+    return {slots_, slots_ + capacity_};
+  }
+  const_iterator end() const noexcept {
+    return {slots_ + capacity_, slots_ + capacity_};
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  std::size_t ideal_slot(const net::IpAddress& key) const noexcept {
+    return static_cast<std::size_t>(key.hash()) & (capacity_ - 1);
+  }
+
+  /// Smallest power-of-two capacity holding `n` entries at <= 50% load
+  /// (grow-on-insert triggers at 75%, so compact leaves headroom).
+  static std::size_t capacity_for(std::size_t n) noexcept;
+
+  void rehash(std::size_t new_capacity);
+  void erase_slot(std::size_t i) noexcept;
+  void destroy() noexcept;
+
+  Slot* slots_ = nullptr;
+  std::size_t capacity_ = 0;  // 0 or a power of two
+  std::size_t size_ = 0;
+};
+
+}  // namespace ipd::core

@@ -19,13 +19,27 @@ std::string IngressId::to_string() const {
 
 void IngressCounts::add(topology::LinkId link, double n) noexcept {
   total_ += n;
-  for (auto& [l, c] : entries_) {
-    if (l == link) {
-      c += n;
-      return;
+  // Keep entries_ sorted ascending by link key: the canonical order makes
+  // every derived quantity (top link, breakdowns, summation order of
+  // totals) independent of the order in which samples arrived, which is
+  // what lets split/expire rebuild aggregates from hash-ordered per-IP
+  // state without perturbing engine output.
+  //
+  // A linear scan with early exit beats binary search here: ranges see a
+  // handful of links, the scan is contiguous and predictable, and the hit
+  // (one existing link getting another sample) is the per-flow hot path.
+  const std::uint64_t key = link.key();
+  auto* pos = entries_.begin();
+  for (const auto* end = entries_.end(); pos != end; ++pos) {
+    if (pos->first.key() >= key) {
+      if (pos->first == link) {
+        pos->second += n;
+        return;
+      }
+      break;
     }
   }
-  entries_.emplace_back(link, n);
+  entries_.insert(pos, {link, n});
 }
 
 double IngressCounts::count_for(topology::LinkId link) const noexcept {
@@ -44,6 +58,8 @@ double IngressCounts::count_for(const IngressId& ingress) const noexcept {
 }
 
 topology::LinkId IngressCounts::top_link() const noexcept {
+  // entries_ is ascending by key, so strict `>` breaks ties toward the
+  // lowest link key.
   topology::LinkId best{};
   double best_count = -1.0;
   for (const auto& [l, c] : entries_) {
@@ -85,8 +101,10 @@ IngressCounts::router_interfaces(topology::RouterId router) const {
   for (const auto& [l, c] : entries_) {
     if (l.router == router) out.emplace_back(l.iface, c);
   }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
   return out;
 }
 
@@ -101,7 +119,7 @@ void IngressCounts::scale(double factor) noexcept {
       total_ += entry.second;
     }
   }
-  entries_.resize(kept);
+  entries_.truncate(kept);
 }
 
 void IngressCounts::merge(const IngressCounts& other) noexcept {
@@ -110,9 +128,13 @@ void IngressCounts::merge(const IngressCounts& other) noexcept {
 
 std::vector<std::pair<topology::LinkId, double>> IngressCounts::sorted_entries()
     const {
-  auto out = entries_;
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::pair<topology::LinkId, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [l, c] : entries_) out.emplace_back(l, c);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first.key() < b.first.key();  // deterministic tie-break
+  });
   return out;
 }
 

@@ -9,9 +9,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "topology/ids.hpp"
+#include "util/small_vec.hpp"
 
 namespace ipd::core {
 
@@ -56,9 +58,17 @@ struct IngressId {
 ///
 /// Counts are doubles because the decay function shrinks them
 /// multiplicatively. The container is a flat vector: ranges see only a
-/// handful of distinct ingress links, so linear scans beat hashing.
+/// handful of distinct ingress links, so linear scans beat hashing. The
+/// vector is kept sorted ascending by link key at all times — the
+/// canonical order makes totals, top-link selection and breakdowns
+/// independent of sample arrival order, so rebuilding aggregates from
+/// hash-ordered per-IP detail is output-neutral.
 class IngressCounts {
  public:
+  /// Flat entry storage: two links inline (the overwhelmingly common
+  /// case), heap spill beyond.
+  using Entries = util::SmallVec<util::PodPair<topology::LinkId, double>, 2>;
+
   void add(topology::LinkId link, double n = 1.0) noexcept;
 
   double total() const noexcept { return total_; }
@@ -75,7 +85,8 @@ class IngressCounts {
     return total_ > 0.0 ? count_for(ingress) / total_ : 0.0;
   }
 
-  /// The link with the highest count. Precondition: !empty().
+  /// The link with the highest count; ties break to the lowest link key.
+  /// Precondition: !empty().
   topology::LinkId top_link() const noexcept;
 
   /// Distinct routers present.
@@ -102,17 +113,14 @@ class IngressCounts {
   /// Entries sorted descending by count (for output breakdowns).
   std::vector<std::pair<topology::LinkId, double>> sorted_entries() const;
 
-  const std::vector<std::pair<topology::LinkId, double>>& entries() const noexcept {
-    return entries_;
-  }
+  /// Raw entries, always sorted ascending by link key (canonical order).
+  const Entries& entries() const noexcept { return entries_; }
 
-  /// Rough heap footprint in bytes (for the resource-consumption metric).
-  std::size_t memory_bytes() const noexcept {
-    return entries_.capacity() * sizeof(entries_[0]);
-  }
+  /// Exact heap footprint in bytes: zero while the entries sit inline.
+  std::size_t memory_bytes() const noexcept { return entries_.heap_bytes(); }
 
  private:
-  std::vector<std::pair<topology::LinkId, double>> entries_;
+  Entries entries_;
   double total_ = 0.0;
 };
 

@@ -156,11 +156,11 @@ void ShardedEngine::rebuild_cut(FamilyState& state) {
       const std::uint32_t span = static_cast<std::uint32_t>(
           std::size_t{1} << (config_.shard_bits - depth));
       for (std::uint32_t s = 0; s < span; ++s) state.owner[next_shard++] = slot;
-      state.cut.push_back(&node);
+      state.cut.push_back(node.index());
       return;
     }
-    walk(*node.child(0), depth + 1);
-    walk(*node.child(1), depth + 1);
+    walk(*state.trie.child(node, 0), depth + 1);
+    walk(*state.trie.child(node, 1), depth + 1);
   };
   walk(state.trie.root(), 0);
   assert(next_shard == shard_count_);
@@ -263,8 +263,10 @@ void ShardedEngine::spine_pass(FamilyState& state, RangeNode& node, int depth,
       depth >= config_.shard_bits) {
     return;
   }
-  spine_pass(state, *node.child(0), depth + 1, now, out, phases, sinks);
-  spine_pass(state, *node.child(1), depth + 1, now, out, phases, sinks);
+  spine_pass(state, *state.trie.child(node, 0), depth + 1, now, out, phases,
+             sinks);
+  spine_pass(state, *state.trie.child(node, 1), depth + 1, now, out, phases,
+             sinks);
   join_or_compact(state.trie, node, params_, now, out, phases, sinks);
 }
 
@@ -302,7 +304,7 @@ void ShardedEngine::cycle_family(FamilyState& state, util::Timestamp now,
   pool_->run(units, [&](std::size_t i) {
     const CycleSinks sinks{results[i].decisions.get(),
                            results[i].transitions.get()};
-    cycle_over_subtree(state.trie, *state.cut[i], params_, now,
+    cycle_over_subtree(state.trie, state.trie.node(state.cut[i]), params_, now,
                        results[i].stats, results[i].phases, sinks);
   });
   for (UnitResult& r : results) {
@@ -421,10 +423,11 @@ void ShardedEngine::for_each_leaf(
   // Cut order == address order, so concatenating the per-member in-order
   // walks (each under its slot's mutex, shutting out that member's
   // writers) yields exactly the sequential engine's leaf order.
-  for (RangeNode* member : state.cut) {
-    const std::size_t slot = shard_index(member->prefix().address());
+  for (const NodeIndex index : state.cut) {
+    const RangeNode& member = state.trie.node(index);
+    const std::size_t slot = shard_index(member.prefix().address());
     const std::lock_guard<std::mutex> guard(state.slots[slot]->mutex);
-    state.trie.for_each_leaf_from(*member, fn);
+    state.trie.for_each_leaf_from(member, fn);
   }
 }
 

@@ -203,9 +203,12 @@ class ShardedEngine final : public EngineBase {
     net::Family family;
     IpdTrie trie;
     std::vector<std::unique_ptr<Slot>> slots;  // 2^k, fixed
-    // Cut members in address order. Rebuilt after every cycle under the
+    // Cut members in address order, as indices into the trie's node pool
+    // (indices are stable across splits; freed slots are only reused for
+    // nodes created under the exclusive lock, so a cut index can never
+    // silently re-point mid-cycle). Rebuilt after every cycle under the
     // exclusive structure lock; read under the shared lock.
-    std::vector<RangeNode*> cut;
+    std::vector<NodeIndex> cut;
     // shard index -> slot index of the cut member owning that shard.
     std::vector<std::uint32_t> owner;
   };

@@ -1,0 +1,165 @@
+// Chunked index-addressed object arena.
+//
+// Objects live in fixed-size blocks and are addressed by a dense 32-bit
+// index instead of a pointer: block = index >> kBlockShift, slot =
+// index & (block size - 1). Blocks are never freed or reallocated while
+// the arena lives, so both indices *and* object addresses stay stable
+// across any sequence of alloc/free — the property the range trie relies
+// on when concurrent stage-2 passes split disjoint subtrees while other
+// threads resolve indices.
+//
+// Freed slots go on an intrusive free list (the next-index is stored in
+// the slot's raw bytes) and are reused before any new block is mapped, so
+// join/compact churn does not grow the arena.
+//
+// Concurrency contract:
+//   * alloc()/free() are serialized by an internal mutex (they mutate the
+//     free list and may install a new block);
+//   * operator[] is lock-free and safe concurrently with alloc()/free()
+//     of *other* indices: the block pointer table is a fixed array of
+//     atomics (acquire/release pairs with block installation), and a
+//     slot's bytes are only touched by its owner.
+//
+// bytes() is exact by construction: the arena's heap usage is the block
+// table plus the mapped blocks, all of known size.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace ipd::util {
+
+template <class T, std::size_t BlockShift = 12, std::size_t MaxBlocks = 16384>
+class IndexArena {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kInvalid = 0xffffffffu;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << BlockShift;
+  static constexpr std::size_t kMaxObjects = kBlockSize * MaxBlocks;
+  static_assert(kMaxObjects <= 0xffffffffull, "indices must fit 32 bits");
+  static_assert(sizeof(T) >= sizeof(Index),
+                "free-list links are stored in freed slots");
+
+  IndexArena()
+      : blocks_(std::make_unique<std::atomic<std::byte*>[]>(MaxBlocks)) {
+    for (std::size_t b = 0; b < MaxBlocks; ++b) {
+      blocks_[b].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~IndexArena() {
+    // Owners destroy their objects before the arena goes away (the trie
+    // frees its whole tree in its destructor); here only raw blocks remain.
+    assert(live_ == 0 && "arena destroyed with live objects");
+    for (std::size_t b = 0; b < mapped_blocks_; ++b) {
+      ::operator delete[](blocks_[b].load(std::memory_order_relaxed),
+                          std::align_val_t{alignof(T)});
+    }
+  }
+
+  IndexArena(const IndexArena&) = delete;
+  IndexArena& operator=(const IndexArena&) = delete;
+
+  /// Construct a T in a reused or fresh slot; returns its index.
+  template <class... Args>
+  Index alloc(Args&&... args) {
+    Index index;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (free_head_ != kInvalid) {
+        index = free_head_;
+        std::memcpy(&free_head_, slot_bytes(index), sizeof(Index));
+      } else {
+        if (next_fresh_ >= kMaxObjects) {
+          throw std::length_error("IndexArena exhausted");
+        }
+        const std::size_t block = next_fresh_ >> BlockShift;
+        if (block >= mapped_blocks_) {
+          auto* bytes = static_cast<std::byte*>(::operator new[](
+              kBlockSize * sizeof(T), std::align_val_t{alignof(T)}));
+          // Release pairs with the acquire in slot_bytes(): any thread that
+          // learns `index` afterwards sees an initialized block pointer.
+          blocks_[block].store(bytes, std::memory_order_release);
+          mapped_blocks_ = block + 1;
+        }
+        index = static_cast<Index>(next_fresh_++);
+      }
+      ++live_;
+    }
+    // Construct outside the lock: the slot is exclusively ours now.
+    ::new (slot_bytes(index)) T(std::forward<Args>(args)...);
+    return index;
+  }
+
+  /// Destroy the object at `index` and put its slot on the free list.
+  void free(Index index) {
+    (*this)[index].~T();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::memcpy(slot_bytes(index), &free_head_, sizeof(Index));
+    free_head_ = index;
+    --live_;
+  }
+
+  T& operator[](Index index) noexcept {
+    return *std::launder(reinterpret_cast<T*>(slot_bytes(index)));
+  }
+
+  /// Base of an already-installed block, for callers that want to cache a
+  /// hot block's address and index it directly (skipping the atomic table
+  /// load on every resolution). The caller must have synchronized with the
+  /// alloc() that installed the block — e.g. the block was mapped before
+  /// the caller was created. Blocks never move, so the pointer stays valid
+  /// for the arena's lifetime.
+  T* block_base(std::size_t block) noexcept {
+    return std::launder(reinterpret_cast<T*>(
+        blocks_[block].load(std::memory_order_acquire)));
+  }
+  const T& operator[](Index index) const noexcept {
+    return *std::launder(reinterpret_cast<const T*>(slot_bytes(index)));
+  }
+
+  /// Objects currently constructed.
+  std::size_t live() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return live_;
+  }
+
+  /// Slots ever handed out (high-water mark; freed slots still count).
+  std::size_t high_water() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return next_fresh_;
+  }
+
+  /// Exact heap footprint of the arena itself: the block pointer table
+  /// plus every mapped block. Object-owned heap (spilled vectors etc.) is
+  /// the objects' business.
+  std::size_t bytes() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return MaxBlocks * sizeof(std::atomic<std::byte*>) +
+           mapped_blocks_ * kBlockSize * sizeof(T);
+  }
+
+ private:
+  std::byte* slot_bytes(Index index) const noexcept {
+    std::byte* base =
+        blocks_[index >> BlockShift].load(std::memory_order_acquire);
+    return base + (index & (kBlockSize - 1)) * sizeof(T);
+  }
+
+  std::unique_ptr<std::atomic<std::byte*>[]> blocks_;
+  mutable std::mutex mutex_;
+  std::size_t mapped_blocks_ = 0;
+  std::size_t next_fresh_ = 0;
+  std::size_t live_ = 0;
+  Index free_head_ = kInvalid;
+};
+
+}  // namespace ipd::util

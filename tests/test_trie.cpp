@@ -1,5 +1,8 @@
 #include "core/trie.hpp"
 
+#include <random>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace ipd::core {
@@ -92,8 +95,8 @@ TEST(IpdTrie, SplitRedistributesByBit) {
   EXPECT_EQ(trie.leaf_count(), 2u);
   EXPECT_EQ(trie.node_count(), 3u);
 
-  const auto& low = *root.child(0);
-  const auto& high = *root.child(1);
+  const auto& low = *trie.child(root, 0);
+  const auto& high = *trie.child(root, 1);
   EXPECT_EQ(low.prefix().to_string(), "0.0.0.0/1");
   EXPECT_EQ(high.prefix().to_string(), "128.0.0.0/1");
   EXPECT_EQ(low.ips().size(), 1u);
@@ -123,7 +126,7 @@ TEST(IpdTrie, SplitRejectsHostRoutes) {
   RangeNode* node = &trie.root();
   for (int i = 0; i < 32; ++i) {
     ASSERT_TRUE(trie.split(*node));
-    node = node->child(0);
+    node = trie.child(*node, 0);
   }
   EXPECT_FALSE(trie.split(*node));
   EXPECT_EQ(node->prefix().length(), 32);
@@ -133,8 +136,8 @@ TEST(IpdTrie, JoinMergesSameIngressSiblings) {
   IpdTrie trie(Family::V4);
   auto& root = trie.root();
   ASSERT_TRUE(trie.split(root));
-  auto& low = *root.child(0);
-  auto& high = *root.child(1);
+  auto& low = *trie.child(root, 0);
+  auto& high = *trie.child(root, 1);
   low.add_sample(50, IpAddress::from_string("1.0.0.0"), LinkId{1, 0});
   high.add_sample(60, IpAddress::from_string("200.0.0.0"), LinkId{1, 0});
   low.classify(IngressId(LinkId{1, 0}), 100);
@@ -152,8 +155,8 @@ TEST(IpdTrie, JoinRejectsDifferentIngress) {
   IpdTrie trie(Family::V4);
   auto& root = trie.root();
   ASSERT_TRUE(trie.split(root));
-  root.child(0)->classify(IngressId(LinkId{1, 0}), 100);
-  root.child(1)->classify(IngressId(LinkId{2, 0}), 100);
+  trie.child(root, 0)->classify(IngressId(LinkId{1, 0}), 100);
+  trie.child(root, 1)->classify(IngressId(LinkId{2, 0}), 100);
   EXPECT_FALSE(trie.join_children(root));
   EXPECT_EQ(root.state(), RangeNode::State::Internal);
 }
@@ -175,14 +178,14 @@ TEST(IpdTrie, CompactFoldsEmptyMonitoringSiblings) {
 TEST(IpdTrie, CompactRejectsNonEmptyChildren) {
   IpdTrie trie(Family::V4);
   ASSERT_TRUE(trie.split(trie.root()));
-  trie.root().child(0)->add_sample(1, IpAddress::v4(0), LinkId{1, 0});
+  trie.child(trie.root(), 0)->add_sample(1, IpAddress::v4(0), LinkId{1, 0});
   EXPECT_FALSE(trie.compact_children(trie.root()));
 }
 
 TEST(IpdTrie, ForEachLeafVisitsPartitionInAddressOrder) {
   IpdTrie trie(Family::V4);
   ASSERT_TRUE(trie.split(trie.root()));
-  ASSERT_TRUE(trie.split(*trie.root().child(0)));
+  ASSERT_TRUE(trie.split(*trie.child(trie.root(), 0)));
   std::vector<std::string> seen;
   trie.for_each_leaf([&seen](RangeNode& leaf) {
     seen.push_back(leaf.prefix().to_string());
@@ -212,6 +215,152 @@ TEST(IpdTrie, MemoryEstimateGrowsWithState) {
                            LinkId{1, 0});
   }
   EXPECT_GT(trie.memory_bytes(), empty_bytes + 1000 * sizeof(IpEntry));
+}
+
+TEST(IpdTrie, MemoryIsExactSumOfArenaAndNodeHeap) {
+  IpdTrie trie(Family::V4);
+  for (int i = 0; i < 5000; ++i) {
+    trie.root().add_sample(
+        1, IpAddress::v4(static_cast<std::uint32_t>(i * 2654435761u)),
+        LinkId{static_cast<topology::RouterId>(i % 7), 0});
+  }
+  ASSERT_TRUE(trie.split(trie.root()));
+  // Cross-check the one-call accounting against an independent walk:
+  // arena footprint plus every node's owned heap, nothing else.
+  std::size_t summed = trie.arena_bytes();
+  trie.post_order([&summed](RangeNode& node) {
+    summed += node.memory_bytes();
+  });
+  EXPECT_EQ(trie.memory_bytes(), summed);
+  EXPECT_GT(trie.memory_bytes(), trie.arena_bytes());
+}
+
+TEST(IpdTrie, MemoryDropsAfterExpiry) {
+  // Regression for the old `clear(); rehash(0)` non-shrink: once per-IP
+  // detail expires and the table compacts, the detail bytes (everything
+  // beyond the fixed arena block) must come back.
+  IpdTrie trie(Family::V4);
+  const auto detail = [&trie] {
+    return trie.memory_bytes() - trie.arena_bytes();
+  };
+  ASSERT_EQ(detail(), 0u);
+  for (int i = 0; i < 10000; ++i) {
+    trie.root().add_sample(
+        100, IpAddress::v4(static_cast<std::uint32_t>(i << 8)), LinkId{1, 0});
+  }
+  const auto loaded = detail();
+  ASSERT_GT(loaded, 10000 * sizeof(IpEntry));
+  trie.root().expire_before(200);
+  EXPECT_TRUE(trie.root().ips().empty());
+  EXPECT_LT(detail(), loaded / 100);
+}
+
+TEST(IpdTrie, MemoryDropsAfterClassify) {
+  IpdTrie trie(Family::V4);
+  const auto detail = [&trie] {
+    return trie.memory_bytes() - trie.arena_bytes();
+  };
+  for (int i = 0; i < 10000; ++i) {
+    trie.root().add_sample(
+        100, IpAddress::v4(static_cast<std::uint32_t>(i << 8)), LinkId{1, 0});
+  }
+  const auto loaded = detail();
+  trie.root().classify(IngressId(LinkId{1, 0}), 200);
+  // Detail state is gone; aggregates survive.
+  EXPECT_LT(detail(), loaded / 100);
+  EXPECT_DOUBLE_EQ(trie.root().counts().total(), 10000.0);
+}
+
+TEST(IpdTrie, PoolReusesFreedSlotsUnderChurn) {
+  // Split/compact steady state must not grow the arena: freed child slots
+  // are recycled through the free list.
+  IpdTrie trie(Family::V4);
+  ASSERT_TRUE(trie.split(trie.root()));
+  const auto high = trie.pool_high_water();
+  const auto bytes = trie.arena_bytes();
+  EXPECT_TRUE(trie.compact_children(trie.root()));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(trie.split(trie.root()));
+    ASSERT_TRUE(trie.compact_children(trie.root()));
+  }
+  EXPECT_EQ(trie.pool_high_water(), high);
+  EXPECT_EQ(trie.arena_bytes(), bytes);
+  EXPECT_EQ(trie.node_count(), 1u);
+}
+
+TEST(IpdTrie, PoolReusesSlotsAcrossJoin) {
+  IpdTrie trie(Family::V4);
+  ASSERT_TRUE(trie.split(trie.root()));
+  trie.child(trie.root(), 0)->classify(IngressId(LinkId{1, 0}), 100);
+  trie.child(trie.root(), 1)->classify(IngressId(LinkId{1, 0}), 100);
+  const auto high = trie.pool_high_water();
+  ASSERT_TRUE(trie.join_children(trie.root()));
+  trie.root().reset_to_monitoring();
+  // The next split must reuse the two just-freed slots.
+  ASSERT_TRUE(trie.split(trie.root()));
+  EXPECT_EQ(trie.pool_high_water(), high);
+}
+
+TEST(IpdTrie, RandomChurnKeepsPoolAndAccountingConsistent) {
+  // Model-based fuzz over the full structural op set: ingest, split,
+  // classify, expire, join, compact, reset. Invariants checked each round:
+  // the walked node/leaf counts match the counters, and memory_bytes()
+  // equals the independently summed arena + per-node heap.
+  std::mt19937 rng(0xabcdu);
+  IpdTrie trie(Family::V4);
+  for (int round = 0; round < 300; ++round) {
+    // Gather the current nodes.
+    std::vector<RangeNode*> leaves;
+    std::vector<RangeNode*> internals;
+    trie.post_order([&](RangeNode& node) {
+      (node.is_leaf() ? leaves : internals).push_back(&node);
+    });
+
+    const int op = static_cast<int>(rng() % 100);
+    RangeNode& leaf = *leaves[rng() % leaves.size()];
+    if (op < 40) {
+      for (int i = 0; i < 50; ++i) {
+        // Samples under the leaf's own prefix so they stay put on split.
+        const std::uint32_t within = rng();
+        const int len = leaf.prefix().length();
+        const std::uint32_t base = leaf.prefix().address().v4_value();
+        const std::uint32_t mask =
+            len == 0 ? 0u : ~0u << (32 - len);
+        leaf.add_sample(round, IpAddress::v4(base | (within & ~mask)),
+                        LinkId{static_cast<topology::RouterId>(rng() % 3), 0});
+      }
+    } else if (op < 60) {
+      trie.split(leaf);
+    } else if (op < 70) {
+      if (leaf.state() == RangeNode::State::Monitoring &&
+          !leaf.counts().empty()) {
+        leaf.classify(IngressId(leaf.counts().top_link()), round);
+      }
+    } else if (op < 80) {
+      if (leaf.state() == RangeNode::State::Monitoring) {
+        leaf.expire_before(round - static_cast<int>(rng() % 20));
+      }
+    } else if (op < 90 && !internals.empty()) {
+      RangeNode& parent = *internals[rng() % internals.size()];
+      if (!trie.join_children(parent)) trie.compact_children(parent);
+    } else if (op < 95) {
+      leaf.reset_to_monitoring();
+    }
+
+    // Invariants.
+    std::size_t walked_nodes = 0;
+    std::size_t walked_leaves = 0;
+    std::size_t summed = trie.arena_bytes();
+    trie.post_order([&](RangeNode& node) {
+      ++walked_nodes;
+      if (node.is_leaf()) ++walked_leaves;
+      summed += node.memory_bytes();
+    });
+    ASSERT_EQ(trie.node_count(), walked_nodes);
+    ASSERT_EQ(trie.leaf_count(), walked_leaves);
+    ASSERT_EQ(trie.memory_bytes(), summed);
+    ASSERT_LE(trie.node_count(), trie.pool_high_water());
+  }
 }
 
 TEST(IpdTrie, V6Works) {
