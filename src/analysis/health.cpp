@@ -167,6 +167,39 @@ void HealthEngine::install_default_rules(const core::IpdParams& params) {
   accuracy.window_points = config_.window_points;
   accuracy.reason = "per-bin accuracy fell below its trailing-window mean";
   add_rule(std::move(accuracy));
+
+  // Microarchitectural regressions in stage 2 (series exist only when perf
+  // counters are attached and the PMU is exposed; otherwise these rules
+  // never fire). IPC collapsing below its own trailing mean means the
+  // cycle is suddenly stalling — the classic symptom of a working set
+  // outgrowing a cache level.
+  ThresholdRule ipc;
+  ipc.name = "stage2-ipc-collapse";
+  ipc.component = "perf";
+  ipc.severity = AlertSeverity::Warning;
+  ipc.series = "ipd_perf_ipc";
+  ipc.labels = {{"phase", "stage2.cycle"}};
+  ipc.agg = ThresholdRule::Agg::DropVsTrailingMean;
+  ipc.cmp = ThresholdRule::Cmp::GreaterThan;
+  ipc.threshold = config_.perf_ipc_drop;
+  ipc.window_points = config_.window_points;
+  ipc.reason = "stage-2 IPC fell below its trailing-window mean";
+  add_rule(std::move(ipc));
+
+  // The same signal from the cache side: the LLC miss rate rising above
+  // its trailing mean (a negative "drop" beyond the spike threshold).
+  ThresholdRule llc;
+  llc.name = "stage2-llc-miss-spike";
+  llc.component = "perf";
+  llc.severity = AlertSeverity::Warning;
+  llc.series = "ipd_perf_llc_miss_rate";
+  llc.labels = {{"phase", "stage2.cycle"}};
+  llc.agg = ThresholdRule::Agg::DropVsTrailingMean;
+  llc.cmp = ThresholdRule::Cmp::LessThan;
+  llc.threshold = -config_.perf_llc_spike;
+  llc.window_points = config_.window_points;
+  llc.reason = "stage-2 LLC miss rate rose above its trailing-window mean";
+  add_rule(std::move(llc));
 }
 
 void HealthEngine::attach_cycle_deltas(core::CycleDeltaLog& log) {

@@ -103,6 +103,10 @@ struct HealthConfig {
   double demotion_burst = 16.0;       // demotes per window => burst
   double accuracy_drop = 0.05;        // absolute drop vs trailing mean
   std::size_t window_points = 6;      // default rule window
+  // Perf-counter rules (no-ops until ipd_perf_* series exist, i.e. a
+  // PerfCounters with live hardware events publishes into the TSDB).
+  double perf_ipc_drop = 0.5;    // absolute stage-2 IPC drop vs trailing mean
+  double perf_llc_spike = 0.2;   // absolute LLC miss-rate rise vs trailing mean
 };
 
 class HealthEngine {

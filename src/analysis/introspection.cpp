@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <chrono>
+#include <thread>
+
 #include "analysis/health.hpp"
 #include "core/decision_log.hpp"
 #include "core/output.hpp"
+#include "obs/cpu_profiler.hpp"
 #include "obs/export.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 
@@ -83,6 +88,12 @@ IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
   server_.handle("/timeseries", [this](const obs::HttpRequest& r) {
     return handle_timeseries(r);
   });
+  server_.handle("/perf", [this](const obs::HttpRequest& r) {
+    return handle_perf(r);
+  });
+  server_.handle("/profile", [this](const obs::HttpRequest& r) {
+    return handle_profile(r);
+  });
 }
 
 bool IntrospectionServer::start(std::uint16_t port, std::string* error) {
@@ -93,7 +104,8 @@ obs::HttpResponse IntrospectionServer::handle_index(const obs::HttpRequest&) {
   return obs::HttpResponse::json(
       "{\"endpoints\":[\"/healthz\",\"/metrics\",\"/ranges\","
       "\"/explain?ip=A.B.C.D\",\"/decisions\",\"/trace\",\"/health\","
-      "\"/alerts\",\"/timeseries?name=<metric>&from=<ts>\"]}");
+      "\"/alerts\",\"/timeseries?name=<metric>&from=<ts>\",\"/perf\","
+      "\"/profile?seconds=N&hz=N&clock=cpu|wall\"]}");
 }
 
 obs::HttpResponse IntrospectionServer::handle_healthz(const obs::HttpRequest&) {
@@ -355,6 +367,54 @@ obs::HttpResponse IntrospectionServer::handle_timeseries(
   }
   body += "]}";
   return obs::HttpResponse::json(std::move(body));
+}
+
+obs::HttpResponse IntrospectionServer::handle_perf(const obs::HttpRequest&) {
+  if (perf_ == nullptr) return not_attached("perf counters");
+  return obs::HttpResponse::json(perf_->to_json());
+}
+
+obs::HttpResponse IntrospectionServer::handle_profile(
+    const obs::HttpRequest& request) {
+  std::size_t seconds = 0;
+  std::size_t hz = 0;
+  obs::CpuProfilerConfig config;
+  try {
+    seconds = uint_param(request, "seconds", 1, config_.profile_max_seconds);
+    hz = uint_param(request, "hz",
+                    static_cast<std::size_t>(config_.profile_default_hz), 1000);
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  if (seconds == 0 || hz == 0) {
+    return bad_request("seconds and hz must be >= 1");
+  }
+  if (const auto clock = request.query_param("clock")) {
+    if (*clock == "cpu") {
+      config.clock = obs::CpuProfilerConfig::Clock::Cpu;
+    } else if (*clock == "wall") {
+      config.clock = obs::CpuProfilerConfig::Clock::Wall;
+    } else {
+      return bad_request("clock must be cpu or wall");
+    }
+  }
+  config.hz = static_cast<int>(hz);
+  if (obs::CpuProfiler::active() != nullptr) {
+    return obs::HttpResponse::json(
+        "{\"error\":\"another profiler is active\"}", 409);
+  }
+  // The profiler is process-global, so the sampled window covers every
+  // thread; this handler blocks the (single) serving thread meanwhile.
+  obs::CpuProfiler profiler(config);
+  std::string error;
+  if (!profiler.start(&error)) {
+    const bool busy = error == "another profiler is active";
+    return obs::HttpResponse::json(
+        "{\"error\":\"" + util::json_escape(error) + "\"}", busy ? 409 : 503);
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  profiler.stop();
+  return obs::HttpResponse::text(200, profiler.folded());
 }
 
 }  // namespace ipd::analysis

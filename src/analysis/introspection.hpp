@@ -13,6 +13,9 @@
 //   GET /health      component states + reasons from the health engine
 //   GET /alerts      active alerts + recent resolved ring
 //   GET /timeseries  ?name=&from= — TSDB series as JSON for dashboards
+//   GET /perf        perf-counter phase totals (IPC, LLC miss rates)
+//   GET /profile     ?seconds=&hz=&clock=cpu|wall — sample the process for
+//                    `seconds`, return folded flamegraph stacks (text)
 //
 // The engine is shared with the ingest thread: every handler takes
 // `engine_mutex` around engine access, and the ingest side must hold the
@@ -38,6 +41,11 @@ struct IntrospectionConfig {
   std::size_t default_page = 100;  // /ranges rows per page by default
   std::size_t max_page = 1000;     // /ranges hard cap on `limit`
   std::size_t trace_tail = 4096;   // /trace events by default
+  // /profile bounds: the handler blocks the (single) serving thread for
+  // the sampled duration, so cap it; hz defaults prime to avoid
+  // phase-locking with periodic work.
+  std::size_t profile_max_seconds = 30;
+  int profile_default_hz = 97;
 };
 
 class IntrospectionServer {
@@ -60,6 +68,10 @@ class IntrospectionServer {
     timeseries_ = &store;
   }
 
+  /// Serve /perf from `perf` (internally synchronized; must outlive the
+  /// server). /profile needs no attachment — it samples the process.
+  void attach_perf(const obs::PerfCounters& perf) noexcept { perf_ = &perf; }
+
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and serve until stop().
   bool start(std::uint16_t port, std::string* error = nullptr);
   void stop() { server_.stop(); }
@@ -81,12 +93,15 @@ class IntrospectionServer {
   obs::HttpResponse handle_health(const obs::HttpRequest& request);
   obs::HttpResponse handle_alerts(const obs::HttpRequest& request);
   obs::HttpResponse handle_timeseries(const obs::HttpRequest& request);
+  obs::HttpResponse handle_perf(const obs::HttpRequest& request);
+  obs::HttpResponse handle_profile(const obs::HttpRequest& request);
 
   core::EngineBase& engine_;
   std::mutex& engine_mutex_;
   IntrospectionConfig config_;
   const HealthEngine* health_ = nullptr;
   const obs::TimeSeriesStore* timeseries_ = nullptr;
+  const obs::PerfCounters* perf_ = nullptr;
   obs::HttpServer server_;
 };
 

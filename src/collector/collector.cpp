@@ -5,7 +5,9 @@
 
 #include "core/engine.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/perf_counters.hpp"
 #include "util/logging.hpp"
+#include "util/thread.hpp"
 
 namespace {
 
@@ -62,6 +64,10 @@ CollectorService::CollectorService(core::IpdParams params,
                           {{"result", "malformed"}});
     snapshots_metric_ = &registry.counter("ipd_snapshots_published_total",
                                           "LPM tables published");
+  }
+  if (config_.perf != nullptr) {
+    engine_->attach_perf(*config_.perf);
+    perf_drain_phase_ = config_.perf->phase("collector.drain");
   }
   // Statistical time sits between the rings and the engine: drifted or
   // implausible router timestamps are normalized/discarded before they can
@@ -215,7 +221,14 @@ void CollectorService::update_ring_gauges() {
 }
 
 void CollectorService::ipd_loop() {
+  util::set_current_thread_name("ipd-collect");
+  // Charge only busy rounds (the previous round moved records): scoping
+  // idle polls would be almost all syscall overhead, and the sleep below
+  // contributes no task-clock anyway.
+  bool was_busy = true;
   while (running_.load(std::memory_order_relaxed)) {
+    obs::PerfScope perf_scope(was_busy ? config_.perf : nullptr,
+                              perf_drain_phase_);
     bool any = false;
     for (auto& ring : rings_) {
       const std::size_t n = ring->consume(
@@ -224,6 +237,8 @@ void CollectorService::ipd_loop() {
       any |= n > 0;
     }
     update_ring_gauges();
+    perf_scope.close();
+    was_busy = any;
     if (!any) {
       // Idle: yield briefly rather than spin at 100 %.
       std::this_thread::sleep_for(std::chrono::microseconds(200));

@@ -48,6 +48,10 @@ struct CollectorConfig {
   // attached to it, and the collector adds per-source ring depth/drop
   // series plus datagram counters.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional perf-counter sink (must outlive the service). The engine is
+  // attached to it (stage-1/stage-2 phases), and the IPD thread charges
+  // busy drain rounds to a "collector.drain" phase.
+  obs::PerfCounters* perf = nullptr;
   // Engine selection: shard_bits < 0 runs the sequential IpdEngine;
   // >= 0 runs a core::ShardedEngine with 2^shard_bits shards per family
   // and `ingest_threads` stage-1/stage-2 workers.
@@ -148,6 +152,7 @@ class CollectorService {
 
   std::thread ipd_thread_;
   std::atomic<bool> running_{false};
+  int perf_drain_phase_ = -1;
 
   // Published results (RCU-style: swap a shared_ptr under a light mutex).
   mutable std::mutex publish_mutex_;

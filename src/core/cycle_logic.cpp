@@ -4,18 +4,47 @@ namespace ipd::core {
 
 namespace {
 
-inline std::int64_t phase_now(bool enabled) noexcept {
-  return enabled ? obs::monotonic_ns() : 0;
+/// A phase boundary: wall clock plus (when a sampler is wired) an rdpmc
+/// counter snapshot, so phase attribution costs two userspace reads — no
+/// syscalls — per boundary.
+struct Mark {
+  std::int64_t ns = 0;
+  obs::PerfPoint perf{};
+  bool perf_ok = false;
+};
+
+inline Mark mark_now(const PhaseAccum& phases) noexcept {
+  Mark mark;
+  if (phases.enabled) {
+    mark.ns = obs::monotonic_ns();
+    if (phases.sampler != nullptr) {
+      mark.perf_ok = phases.sampler->read(mark.perf);
+    }
+  }
+  return mark;
+}
+
+inline void charge_to(PhaseAccum& phases, CyclePhase phase,
+                      const Mark& from) noexcept {
+  if (!phases.enabled) return;
+  const auto i = static_cast<std::size_t>(phase);
+  phases.ns[i] += obs::monotonic_ns() - from.ns;
+  if (from.perf_ok) {
+    obs::PerfPoint now{};
+    if (phases.sampler->read(now)) {
+      phases.perf[i].cycles += now.cycles - from.perf.cycles;
+      phases.perf[i].instructions += now.instructions - from.perf.instructions;
+      phases.perf[i].llc_misses += now.llc_misses - from.perf.llc_misses;
+    }
+  }
 }
 
 void handle_leaf(IpdTrie& trie, RangeNode& node, const IpdParams& params,
                  util::Timestamp now, CycleStats& out, PhaseAccum& phases,
                  const CycleSinks& sinks) {
   const net::Family family = trie.family();
-  const auto charge = [&phases](CyclePhase phase, std::int64_t t0) {
-    if (phases.enabled) {
-      phases.ns[static_cast<std::size_t>(phase)] += obs::monotonic_ns() - t0;
-    }
+  const auto charge = [&phases](CyclePhase phase, const Mark& from) {
+    charge_to(phases, phase, from);
   };
 
   const auto record_decision = [&sinks, &params, &node, now](
@@ -55,7 +84,7 @@ void handle_leaf(IpdTrie& trie, RangeNode& node, const IpdParams& params,
     // Quiet classified ranges decay; once the counters are negligible —
     // or the range has been quiet for too long — it is dropped so stale
     // mappings disappear quickly.
-    const std::int64_t t0 = phase_now(phases.enabled);
+    const Mark t0 = mark_now(phases);
     const util::Duration age = now - node.last_update();
     if (age > params.e) {
       node.counts().scale(params.decay_factor(age));
@@ -103,7 +132,7 @@ void handle_leaf(IpdTrie& trie, RangeNode& node, const IpdParams& params,
   }
 
   // Monitoring leaf: expire per-IP state older than e seconds.
-  std::int64_t t0 = phase_now(phases.enabled);
+  Mark t0 = mark_now(phases);
   const std::size_t ips_before = sinks.decision_log ? node.ips().size() : 0;
   node.expire_before(now - params.e);
   if (sinks.decision_log && ips_before > 0 && node.ips().empty()) {
@@ -116,7 +145,7 @@ void handle_leaf(IpdTrie& trie, RangeNode& node, const IpdParams& params,
   const double n_cidr = params.n_cidr(family, len);
   if (node.counts().total() < n_cidr) return;  // not enough data yet
 
-  t0 = phase_now(phases.enabled);
+  t0 = mark_now(phases);
   if (const auto prevalent = find_prevalent(params, node.counts())) {
     if (sinks.decision_log) {
       record_decision(DecisionKind::Classify, node.counts().total(), n_cidr,
@@ -136,7 +165,7 @@ void handle_leaf(IpdTrie& trie, RangeNode& node, const IpdParams& params,
   charge(CyclePhase::Classify, t0);
 
   if (len < params.cidr_max(family)) {
-    t0 = phase_now(phases.enabled);
+    t0 = mark_now(phases);
     const double samples = node.counts().total();
     const double top_share =
         samples > 0.0
@@ -200,7 +229,7 @@ void join_or_compact(IpdTrie& trie, RangeNode& node, const IpdParams& params,
                      const CycleSinks& sinks) {
   // Children were processed first: join same-ingress classified siblings,
   // fold away empty monitoring siblings.
-  std::int64_t t = phase_now(phases.enabled);
+  Mark t = mark_now(phases);
   if (params.enable_joins && trie.join_children(node)) {
     ++out.joins;
     if (sinks.decision_log) {
@@ -215,16 +244,12 @@ void join_or_compact(IpdTrie& trie, RangeNode& node, const IpdParams& params,
       event.reason = "sibling ranges classified to the same ingress";
       sinks.decision_log->record(std::move(event));
     }
-    if (phases.enabled) {
-      phases.ns[static_cast<std::size_t>(CyclePhase::Join)] +=
-          obs::monotonic_ns() - t;
-    }
+    charge_to(phases, CyclePhase::Join, t);
     return;
   }
   if (phases.enabled) {
-    const std::int64_t t2 = obs::monotonic_ns();
-    phases.ns[static_cast<std::size_t>(CyclePhase::Join)] += t2 - t;
-    t = t2;
+    charge_to(phases, CyclePhase::Join, t);
+    t = mark_now(phases);
   }
   if (trie.compact_children(node)) {
     ++out.compactions;
@@ -237,10 +262,7 @@ void join_or_compact(IpdTrie& trie, RangeNode& node, const IpdParams& params,
       sinks.decision_log->record(std::move(event));
     }
   }
-  if (phases.enabled) {
-    phases.ns[static_cast<std::size_t>(CyclePhase::Compact)] +=
-        obs::monotonic_ns() - t;
-  }
+  charge_to(phases, CyclePhase::Compact, t);
 }
 
 void cycle_over_trie(IpdTrie& trie, const IpdParams& params,

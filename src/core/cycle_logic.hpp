@@ -14,6 +14,7 @@
 #include "core/engine_base.hpp"
 #include "core/params.hpp"
 #include "core/trie.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace ipd::core {
 
@@ -22,6 +23,12 @@ namespace ipd::core {
 struct PhaseAccum {
   bool enabled = false;
   std::array<std::int64_t, kNumCyclePhases> ns{};
+  /// Optional userspace (rdpmc) counter sampler for per-phase attribution
+  /// of cycles/instructions/LLC misses. Thread-affine: the engine sets it
+  /// on the thread that runs the walk (each sharded worker points at its
+  /// own). Null — the common case — skips counter sampling entirely.
+  const obs::PerfThreadSampler* sampler = nullptr;
+  std::array<obs::PerfPoint, kNumCyclePhases> perf{};
 };
 
 /// Optional decision/transition sinks for one cycle pass. The sharded

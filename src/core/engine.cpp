@@ -182,6 +182,20 @@ void IpdEngine::attach_metrics(obs::MetricsRegistry& registry) {
   metrics_ = std::make_unique<EngineMetrics>(registry);
 }
 
+void IpdEngine::on_attach_perf() {
+  perf_stage1_ = perf_->phase("stage1.ingest");
+  perf_stage2_ = perf_->phase("stage2.cycle");
+  for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+    perf_phase_ids_[i] = perf_->phase(kPhaseSpan[i]);
+  }
+}
+
+void IpdEngine::ingest_batch(
+    std::span<const netflow::FlowRecord> records) noexcept {
+  const obs::PerfScope scope(perf_, perf_stage1_);
+  EngineBase::ingest_batch(records);
+}
+
 void IpdEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
                        topology::LinkId ingress, std::uint64_t weight) noexcept {
   if (metrics_) metrics_->prefetch_ingest(ingress);
@@ -195,9 +209,14 @@ void IpdEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
 CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t trace_t0 = tracer_ ? tracer_->now_us() : 0;
+  obs::PerfScope perf_scope(perf_, perf_stage2_);
   CycleStats out;
   out.now = now;
   PhaseAccum phases{metrics_ != nullptr || tracer_ != nullptr, {}};
+  if (perf_ != nullptr) {
+    phases.sampler = perf_->thread_sampler();
+    if (phases.sampler != nullptr) phases.enabled = true;
+  }
   const CycleSinks sinks{decision_log_, cycle_deltas_};
   cycle_over_trie(trie4_, params_, now, out, phases, sinks);
   cycle_over_trie(trie6_, params_, now, out, phases, sinks);
@@ -221,6 +240,7 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   if (metrics_) out.memory_bytes += metrics_->registry().memory_bytes();
   if (decision_log_) out.memory_bytes += decision_log_->memory_bytes();
   if (tracer_) out.memory_bytes += tracer_->memory_bytes();
+  if (perf_) out.memory_bytes += perf_->memory_bytes();
 
   for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
     out.phase_micros[i] = phases.ns[i] / 1000;
@@ -234,6 +254,13 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
   stats_.total_joins += out.joins;
   stats_.total_drops += out.drops;
   if (metrics_) publish_cycle_metrics(out, phases);
+  if (perf_ != nullptr && phases.sampler != nullptr) {
+    for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+      perf_->add_phase_point(perf_phase_ids_[i], phases.perf[i]);
+    }
+  }
+  const bool perf_active = perf_scope.active();
+  const obs::PerfReading perf_delta = perf_scope.close();
   if (tracer_) {
     // Phase time is accumulated across the whole tree walk, not contiguous
     // intervals — lay the accumulated durations end to end from the cycle
@@ -250,6 +277,22 @@ CycleStats IpdEngine::run_cycle(util::Timestamp now) {
                    {"joins", static_cast<double>(out.joins)},
                    {"drops", static_cast<double>(out.drops)}},
                   kStage2Lane);
+    // Counter deltas ride a companion span (stage2.cycle already carries
+    // its four structural-event args).
+    if (perf_active) {
+      const auto cycles =
+          static_cast<double>(perf_delta[obs::PerfEvent::Cycles]);
+      const auto instructions =
+          static_cast<double>(perf_delta[obs::PerfEvent::Instructions]);
+      tracer_->span(
+          "stage2.perf", trace_t0, tracer_->now_us() - trace_t0,
+          {{"cycles", cycles},
+           {"instructions", instructions},
+           {"llc_misses",
+            static_cast<double>(perf_delta[obs::PerfEvent::LlcMisses])},
+           {"ipc", cycles > 0.0 ? instructions / cycles : 0.0}},
+          kStage2Lane);
+    }
   }
   return out;
 }

@@ -25,6 +25,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+namespace ipd::obs {
+class PerfCounters;
+}
+
 namespace ipd::core {
 
 /// The distinct kinds of stage-2 work, timed separately per cycle.
@@ -189,6 +193,21 @@ class EngineBase {
   /// from now on (same lifetime contract as the decision log).
   virtual void attach_cycle_deltas(CycleDeltaLog& log) noexcept = 0;
   virtual CycleDeltaLog* cycle_deltas() const noexcept = 0;
+
+  /// Charge stage-1 batches and stage-2 cycles to `perf` phases from now
+  /// on (same lifetime contract as the decision log). Unlike the other
+  /// attach_* hooks this one is implemented here — both engines share the
+  /// pointer — with a virtual hook for caching phase ids.
+  void attach_perf(obs::PerfCounters& perf) noexcept {
+    perf_ = &perf;
+    on_attach_perf();
+  }
+  obs::PerfCounters* perf() const noexcept { return perf_; }
+
+ protected:
+  virtual void on_attach_perf() {}
+
+  obs::PerfCounters* perf_ = nullptr;
 };
 
 }  // namespace ipd::core

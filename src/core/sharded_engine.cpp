@@ -4,6 +4,9 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+#include "util/thread.hpp"
+
 namespace ipd::core {
 
 namespace {
@@ -36,7 +39,10 @@ topology::LinkId link_from_key(std::uint64_t key) noexcept {
 WorkerPool::WorkerPool(int workers) {
   threads_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
   for (int i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      util::set_current_thread_name(util::format("ipd-shard-%d", i));
+      worker_loop();
+    });
   }
 }
 
@@ -144,6 +150,14 @@ void ShardedEngine::attach_metrics(obs::MetricsRegistry& registry) {
   metrics_ = std::make_unique<EngineMetrics>(registry);
 }
 
+void ShardedEngine::on_attach_perf() {
+  perf_stage1_ = perf_->phase("stage1.ingest");
+  perf_stage2_ = perf_->phase("stage2.cycle");
+  for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+    perf_phase_ids_[i] = perf_->phase(kPhaseSpan[i]);
+  }
+}
+
 void ShardedEngine::rebuild_cut(FamilyState& state) {
   state.cut.clear();
   std::uint32_t next_shard = 0;
@@ -221,6 +235,11 @@ void ShardedEngine::ingest_bucket(std::size_t bucket,
 void ShardedEngine::ingest_batch(
     std::span<const netflow::FlowRecord> records) noexcept {
   if (records.empty()) return;
+  // Scope covers the submitting thread only: bucketing plus its share of
+  // the fan-out (it participates in pool_->run). Per-bucket scopes would
+  // cost two syscalls per cut member per batch — too much; true per-worker
+  // attribution comes from the rdpmc samplers during stage 2 instead.
+  const obs::PerfScope perf_scope(perf_, perf_stage1_);
   const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
   auto staging = acquire_staging();
   // Bucket in record order, so each cut member sees its records in exactly
@@ -302,6 +321,14 @@ void ShardedEngine::cycle_family(FamilyState& state, util::Timestamp now,
     }
   }
   pool_->run(units, [&](std::size_t i) {
+    // thread_sampler() binds to the *executing* thread (worker or caller),
+    // so each unit's rdpmc reads hit that thread's own counter group.
+    if (perf_ != nullptr) {
+      results[i].phases.sampler = perf_->thread_sampler();
+      if (results[i].phases.sampler != nullptr) {
+        results[i].phases.enabled = true;
+      }
+    }
     const CycleSinks sinks{results[i].decisions.get(),
                            results[i].transitions.get()};
     cycle_over_subtree(state.trie, state.trie.node(state.cut[i]), params_, now,
@@ -315,6 +342,9 @@ void ShardedEngine::cycle_family(FamilyState& state, util::Timestamp now,
     out.compactions += r.stats.compactions;
     for (std::size_t p = 0; p < kNumCyclePhases; ++p) {
       phases.ns[p] += r.phases.ns[p];
+      phases.perf[p].cycles += r.phases.perf[p].cycles;
+      phases.perf[p].instructions += r.phases.perf[p].instructions;
+      phases.perf[p].llc_misses += r.phases.perf[p].llc_misses;
     }
     if (r.decisions) {
       for (DecisionEvent event : r.decisions->snapshot()) {
@@ -339,9 +369,16 @@ CycleStats ShardedEngine::run_cycle(util::Timestamp now) {
   const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t trace_t0 = tracer_ ? tracer_->now_us() : 0;
+  obs::PerfScope perf_scope(perf_, perf_stage2_);
   CycleStats out;
   out.now = now;
   PhaseAccum phases{metrics_ != nullptr || tracer_ != nullptr, {}};
+  if (perf_ != nullptr) {
+    // Calling-thread sampler covers the single-unit path and spine passes;
+    // workers pick up their own inside cycle_family.
+    phases.sampler = perf_->thread_sampler();
+    if (phases.sampler != nullptr) phases.enabled = true;
+  }
   cycle_family(v4_, now, out, phases);
   cycle_family(v6_, now, out, phases);
 
@@ -363,6 +400,7 @@ CycleStats ShardedEngine::run_cycle(util::Timestamp now) {
   if (metrics_) out.memory_bytes += metrics_->registry().memory_bytes();
   if (decision_log_) out.memory_bytes += decision_log_->memory_bytes();
   if (tracer_) out.memory_bytes += tracer_->memory_bytes();
+  if (perf_) out.memory_bytes += perf_->memory_bytes();
 
   for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
     out.phase_micros[i] = phases.ns[i] / 1000;
@@ -377,6 +415,13 @@ CycleStats ShardedEngine::run_cycle(util::Timestamp now) {
   total_joins_.fetch_add(out.joins, std::memory_order_relaxed);
   total_drops_.fetch_add(out.drops, std::memory_order_relaxed);
   if (metrics_) publish_cycle_metrics(out, phases);
+  if (perf_ != nullptr) {
+    for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
+      perf_->add_phase_point(perf_phase_ids_[i], phases.perf[i]);
+    }
+  }
+  const bool perf_active = perf_scope.active();
+  const obs::PerfReading perf_delta = perf_scope.close();
   if (tracer_) {
     std::int64_t cursor = trace_t0;
     for (std::size_t i = 0; i < kNumCyclePhases; ++i) {
@@ -390,6 +435,23 @@ CycleStats ShardedEngine::run_cycle(util::Timestamp now) {
                    {"joins", static_cast<double>(out.joins)},
                    {"drops", static_cast<double>(out.drops)}},
                   kStage2Lane);
+    // Counter deltas ride a companion span (stage2.cycle already carries
+    // its four structural-event args). Calling-thread counters only — the
+    // per-worker share shows up in the rdpmc per-phase totals.
+    if (perf_active) {
+      const auto cycles =
+          static_cast<double>(perf_delta[obs::PerfEvent::Cycles]);
+      const auto instructions =
+          static_cast<double>(perf_delta[obs::PerfEvent::Instructions]);
+      tracer_->span(
+          "stage2.perf", trace_t0, tracer_->now_us() - trace_t0,
+          {{"cycles", cycles},
+           {"instructions", instructions},
+           {"llc_misses",
+            static_cast<double>(perf_delta[obs::PerfEvent::LlcMisses])},
+           {"ipc", cycles > 0.0 ? instructions / cycles : 0.0}},
+          kStage2Lane);
+    }
   }
   return out;
 }

@@ -275,6 +275,7 @@ class ShardedEngine final : public EngineBase {
   void flush_deltas_locked();
   void flush_one_delta(IngestDeltas& deltas);
   void publish_cycle_metrics(const CycleStats& out, const PhaseAccum& phases);
+  void on_attach_perf() override;
 
   IpdParams params_;
   ShardedEngineConfig config_;
@@ -305,6 +306,10 @@ class ShardedEngine final : public EngineBase {
   DecisionLog* decision_log_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   CycleDeltaLog* cycle_deltas_ = nullptr;
+  // Perf phase ids, cached at attach_perf (phase() takes a mutex).
+  int perf_stage1_ = -1;
+  int perf_stage2_ = -1;
+  std::array<int, kNumCyclePhases> perf_phase_ids_{-1, -1, -1, -1, -1};
 };
 
 }  // namespace ipd::core

@@ -1,0 +1,269 @@
+#include "obs/cpu_profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sched.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+#include "util/thread.hpp"
+
+namespace ipd::obs {
+
+void profiler_capture_sample(CpuProfiler& profiler) noexcept;
+
+namespace {
+
+// One profiler per process: the signal disposition is process-global.
+// g_inflight counts handlers between entry and exit so stop() can quiesce
+// before tearing anything down.
+std::atomic<CpuProfiler*> g_active{nullptr};
+std::atomic<int> g_inflight{0};
+
+int clock_signal(CpuProfilerConfig::Clock clock) noexcept {
+  return clock == CpuProfilerConfig::Clock::Cpu ? SIGPROF : SIGALRM;
+}
+
+int clock_timer(CpuProfilerConfig::Clock clock) noexcept {
+  return clock == CpuProfilerConfig::Clock::Cpu ? ITIMER_PROF : ITIMER_REAL;
+}
+
+}  // namespace
+
+// Async-signal-safe: atomics, backtrace() (primed at start), memcpy.
+// extern "C" so dladdr resolves a stable name for frame trimming.
+extern "C" void ipd_profiler_signal_entry(int) {
+  const int saved_errno = errno;
+  g_inflight.fetch_add(1, std::memory_order_acquire);
+  CpuProfiler* profiler = g_active.load(std::memory_order_acquire);
+  if (profiler != nullptr) profiler_capture_sample(*profiler);
+  g_inflight.fetch_sub(1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+struct CpuProfiler::Slot {
+  std::atomic<bool> ready{false};
+  Sample sample;
+};
+
+void profiler_capture_sample(CpuProfiler& profiler) noexcept {
+  const std::uint64_t idx =
+      profiler.next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= profiler.config_.capacity) {
+    profiler.dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  CpuProfiler::Slot& slot = profiler.ring_[idx];
+  CpuProfiler::Sample& sample = slot.sample;
+  const int depth = ::backtrace(
+      sample.pcs.data(), static_cast<int>(CpuProfilerConfig::kMaxDepth));
+  sample.depth = depth > 0 ? static_cast<std::uint32_t>(depth) : 0;
+  const char* name = util::current_thread_name();
+  std::size_t n = 0;
+  while (n < sizeof(sample.thread_name) - 1 && name[n] != '\0') {
+    sample.thread_name[n] = name[n];
+    ++n;
+  }
+  sample.thread_name[n] = '\0';
+  slot.ready.store(true, std::memory_order_release);
+}
+
+CpuProfiler::CpuProfiler(CpuProfilerConfig config) : config_(config) {
+  config_.hz = std::clamp(config_.hz, 1, 1000);
+  config_.capacity = std::max<std::size_t>(config_.capacity, 16);
+  ring_ = std::make_unique<Slot[]>(config_.capacity);
+}
+
+CpuProfiler::~CpuProfiler() { stop(); }
+
+CpuProfiler* CpuProfiler::active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+bool CpuProfiler::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint64_t CpuProfiler::samples_captured() const noexcept {
+  return std::min<std::uint64_t>(next_.load(std::memory_order_acquire),
+                                 config_.capacity);
+}
+
+std::uint64_t CpuProfiler::samples_dropped() const noexcept {
+  return dropped_.load(std::memory_order_acquire);
+}
+
+bool CpuProfiler::start(std::string* error) {
+  CpuProfiler* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this,
+                                        std::memory_order_acq_rel)) {
+    if (error != nullptr) *error = "another profiler is active";
+    return false;
+  }
+
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < config_.capacity; ++i) {
+    ring_[i].ready.store(false, std::memory_order_relaxed);
+  }
+  // Prime backtrace outside signal context: the first call may load
+  // libgcc (malloc, dlopen — not async-signal-safe).
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  const int sig = clock_signal(config_.clock);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = ipd_profiler_signal_entry;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(sig, &action, nullptr) != 0) {
+    g_active.store(nullptr, std::memory_order_release);
+    if (error != nullptr) *error = "sigaction failed";
+    return false;
+  }
+
+  const long interval_us = std::max(1000000L / config_.hz, 1L);
+  itimerval timer{};
+  timer.it_interval.tv_sec = interval_us / 1000000;
+  timer.it_interval.tv_usec = interval_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(clock_timer(config_.clock), &timer, nullptr) != 0) {
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = SIG_IGN;
+    ::sigaction(sig, &action, nullptr);
+    g_active.store(nullptr, std::memory_order_release);
+    if (error != nullptr) *error = "setitimer failed";
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  return true;
+}
+
+void CpuProfiler::stop() {
+  CpuProfiler* expected = this;
+  if (!g_active.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+    return;  // not (or no longer) the active profiler
+  }
+  itimerval zero{};
+  ::setitimer(clock_timer(config_.clock), &zero, nullptr);
+  // Handlers that loaded g_active before the clear may still be sampling;
+  // wait them out before the caller may destroy this object.
+  while (g_inflight.load(std::memory_order_acquire) != 0) {
+    ::sched_yield();
+  }
+  // Move the disposition to SIG_IGN (not the previous handler): a signal
+  // left pending between the disarm and here must be discarded, never hit
+  // the default action (terminate). Our handler stays valid meanwhile and
+  // no-ops on g_active == nullptr.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SIG_IGN;
+  ::sigaction(clock_signal(config_.clock), &action, nullptr);
+  running_.store(false, std::memory_order_release);
+}
+
+std::vector<CpuProfiler::Sample> CpuProfiler::raw_samples() const {
+  std::vector<Sample> out;
+  const std::uint64_t n = samples_captured();
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!ring_[i].ready.load(std::memory_order_acquire)) continue;
+    out.push_back(ring_[i].sample);
+  }
+  return out;
+}
+
+namespace {
+
+/// Symbolize one pc: demangled function name, else "[0xADDR]". dladdr
+/// only sees dynamic symbols — executables link with ENABLE_EXPORTS
+/// (-rdynamic) where names matter.
+std::string symbolize(void* pc) {
+  Dl_info info;
+  if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);
+      return out;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+  return util::format("[%p]", pc);
+}
+
+bool is_handler_frame(const std::string& symbol) noexcept {
+  return symbol == "ipd_profiler_signal_entry" ||
+         symbol == "__restore_rt" ||
+         symbol.find("profiler_capture_sample") != std::string::npos ||
+         symbol.find("backtrace") != std::string::npos;
+}
+
+}  // namespace
+
+std::string CpuProfiler::folded() const {
+  std::unordered_map<void*, std::string> symbols;
+  const auto symbol_of = [&symbols](void* pc) -> const std::string& {
+    auto it = symbols.find(pc);
+    if (it == symbols.end()) it = symbols.emplace(pc, symbolize(pc)).first;
+    return it->second;
+  };
+
+  std::map<std::string, std::uint64_t> fold;
+  const std::uint64_t n = samples_captured();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!ring_[i].ready.load(std::memory_order_acquire)) continue;
+    const Sample& sample = ring_[i].sample;
+    if (sample.depth == 0) continue;
+    // Trim the capture machinery (handler, signal trampoline) off the
+    // innermost end. Only the first few frames can be machinery.
+    std::size_t begin = 0;
+    const std::size_t scan = std::min<std::size_t>(sample.depth, 5);
+    for (std::size_t j = 0; j < scan; ++j) {
+      if (is_handler_frame(symbol_of(sample.pcs[j]))) begin = j + 1;
+    }
+    if (begin >= sample.depth) begin = sample.depth - 1;
+
+    std::string line = sample.thread_name[0] != '\0'
+                           ? std::string(sample.thread_name)
+                           : std::string("unnamed");
+    // backtrace() is innermost-first; folded format is outermost-first.
+    for (std::size_t j = sample.depth; j-- > begin;) {
+      line += ';';
+      line += symbol_of(sample.pcs[j]);
+    }
+    ++fold[line];
+  }
+
+  std::vector<std::pair<std::string, std::uint64_t>> rows(fold.begin(),
+                                                          fold.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::string out;
+  for (const auto& [stack, count] : rows) {
+    out += stack;
+    out += util::format(" %llu\n", static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+std::size_t CpuProfiler::memory_bytes() const noexcept {
+  return sizeof(*this) + config_.capacity * sizeof(Slot);
+}
+
+}  // namespace ipd::obs

@@ -12,6 +12,7 @@
 
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/thread.hpp"
 
 namespace ipd::obs {
 
@@ -269,6 +270,7 @@ void HttpServer::stop() {
 }
 
 void HttpServer::serve_loop() {
+  util::set_current_thread_name("ipd-http");
   while (running_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     // Short poll timeout so stop() is honored promptly.

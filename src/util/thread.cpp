@@ -1,0 +1,29 @@
+#include "util/thread.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace ipd::util {
+
+namespace {
+
+// Zero-initialized TLS is allocated with the thread itself (PT_TLS), so
+// reading it from a signal handler never triggers lazy allocation.
+thread_local char t_thread_name[kThreadNameBytes] = {};
+
+}  // namespace
+
+void set_current_thread_name(std::string_view name) noexcept {
+  const std::size_t n = std::min(name.size(), kThreadNameBytes - 1);
+  std::memcpy(t_thread_name, name.data(), n);
+  t_thread_name[n] = '\0';
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), t_thread_name);
+#endif
+}
+
+const char* current_thread_name() noexcept { return t_thread_name; }
+
+}  // namespace ipd::util

@@ -1,0 +1,29 @@
+// Thread naming.
+//
+// Every long-lived thread the system spawns (shard workers, the collector
+// IPD thread, the HTTP serving thread) names itself on startup so that
+// profiler samples, Chrome traces, TSan reports and `top -H` attribute
+// work to `ipd-shard-3` / `ipd-collect` instead of an anonymous TID.
+//
+// Two copies of the name are kept: the kernel one (pthread_setname_np,
+// what external tools see) and a TLS buffer that the sampling profiler's
+// signal handler can read without any syscall or allocation
+// (pthread_getname_np reads /proc and is not async-signal-safe).
+#pragma once
+
+#include <string_view>
+
+namespace ipd::util {
+
+/// Max name length including the terminating NUL (the kernel's TASK_COMM
+/// limit); longer names are truncated.
+inline constexpr std::size_t kThreadNameBytes = 16;
+
+/// Name the calling thread in both the kernel and the TLS buffer.
+void set_current_thread_name(std::string_view name) noexcept;
+
+/// The TLS copy of the calling thread's name ("" if never set).
+/// Async-signal-safe: returns a pointer to a pre-allocated TLS buffer.
+const char* current_thread_name() noexcept;
+
+}  // namespace ipd::util

@@ -1,6 +1,6 @@
 // Introspection endpoints against a live engine: /healthz, /metrics,
 // /ranges pagination, /explain (covering range + decision history +
-// thresholds), /decisions, /trace, and the 4xx paths.
+// thresholds), /decisions, /trace, /perf, /profile, and the 4xx paths.
 #include "analysis/introspection.hpp"
 
 #include <arpa/inet.h>
@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <mutex>
 #include <string>
 
@@ -16,9 +17,19 @@
 #include "core/decision_log.hpp"
 #include "core/engine.hpp"
 #include "json_check.hpp"
+#include "obs/cpu_profiler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define IPD_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IPD_TSAN 1
+#endif
+#endif
 
 namespace ipd::analysis {
 namespace {
@@ -303,6 +314,76 @@ TEST_F(HealthEndpointsTest, HealthGaugesReachTheMetricsEndpoint) {
   EXPECT_NE(body.find("ipd_alerts_active"), std::string::npos);
 }
 
+TEST_F(IntrospectionTest, PerfEndpointServesCounterSnapshot) {
+  obs::PerfCounters perf;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    engine_.attach_perf(perf);  // registers the engine's phase names
+  }
+  server_.attach_perf(perf);
+  const std::string response = http_get(server_.port(), "/perf");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  // The document is complete whether or not counters are live here.
+  EXPECT_NE(body.find("\"available\":"), std::string::npos);
+  EXPECT_NE(body.find("\"events\":"), std::string::npos);
+  EXPECT_NE(body.find("\"phases\":["), std::string::npos);
+  EXPECT_NE(body.find("stage2.cycle"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, ProfileRejectsBadParameters) {
+  // Zero / junk / over-cap durations, junk hz, unknown clock: 400s, and
+  // none of them may arm a timer (the request returns immediately).
+  for (const char* target :
+       {"/profile?seconds=0", "/profile?seconds=banana",
+        "/profile?seconds=31", "/profile?hz=0", "/profile?hz=5000",
+        "/profile?seconds=1&clock=lunar"}) {
+    EXPECT_NE(http_get(server_.port(), target).find("HTTP/1.1 400"),
+              std::string::npos)
+        << target;
+  }
+}
+
+TEST_F(IntrospectionTest, ProfileReturnsFoldedStacks) {
+#if defined(IPD_TSAN)
+  GTEST_SKIP() << "signal-handler unwind not TSan-clean";
+#else
+  // Wall clock: the server thread blocks for the sampled second while the
+  // timer fires regardless of CPU activity — the smoke-test configuration.
+  const std::string response =
+      http_get(server_.port(), "/profile?seconds=1&hz=199&clock=wall");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  const std::string body = body_of(response);
+  ASSERT_FALSE(body.empty());
+  // Folded lines: frames joined by ';', then a space and the count.
+  // Symbolized frames may themselves contain spaces (template arguments),
+  // so the count is whatever follows the line's LAST space.
+  const std::string first_line = body.substr(0, body.find('\n'));
+  const std::size_t space = first_line.rfind(' ');
+  ASSERT_NE(space, std::string::npos) << first_line;
+  EXPECT_NE(first_line.find(';'), std::string::npos) << first_line;
+  EXPECT_TRUE(
+      std::isdigit(static_cast<unsigned char>(first_line[space + 1])))
+      << first_line;
+#endif
+}
+
+TEST_F(IntrospectionTest, ProfileIsBusyWhileAnotherProfilerRuns) {
+#if defined(IPD_TSAN)
+  GTEST_SKIP() << "signal-handler unwind not TSan-clean";
+#else
+  obs::CpuProfiler profiler;
+  std::string error;
+  ASSERT_TRUE(profiler.start(&error)) << error;
+  // The endpoint refuses rather than queueing behind the running session.
+  EXPECT_NE(http_get(server_.port(), "/profile?seconds=1")
+                .find("HTTP/1.1 409"),
+            std::string::npos);
+  profiler.stop();
+#endif
+}
+
 TEST_F(IntrospectionTest, IndexListsEndpoints) {
   const std::string body = body_of(http_get(server_.port(), "/"));
   EXPECT_TRUE(JsonChecker(body).valid()) << body;
@@ -336,6 +417,8 @@ TEST(IntrospectionBare, MissingAttachmentsAre503) {
   EXPECT_NE(http_get(server.port(), "/alerts").find("HTTP/1.1 503"),
             std::string::npos);
   EXPECT_NE(http_get(server.port(), "/timeseries?name=x").find("HTTP/1.1 503"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/perf").find("HTTP/1.1 503"),
             std::string::npos);
   // /healthz and /ranges work from the engine alone.
   EXPECT_NE(http_get(server.port(), "/healthz").find("HTTP/1.1 200"),

@@ -21,7 +21,11 @@ are chosen to be machine-robust — ratios, budgets and generous structural
 floors rather than absolute wall-clock numbers.
 
 Exit status is non-zero when any check fails or an expected artifact is
-missing, so CI can gate on it directly.
+missing, so CI can gate on it directly. With --allow-missing, a missing
+artifact file or a missing path inside one downgrades to "skip" instead of
+failing: benches emit hardware-counter keys (cycles_per_op, ipc, ...) only
+on machines whose PMU is exposed, and CI containers typically run without
+one. Malformed checks (bad bounds, wrong types) still fail either way.
 """
 
 import argparse
@@ -43,28 +47,35 @@ def resolve(doc, path):
     return node
 
 
-def run_check(doc, check):
-    """Returns (ok, message) for one check against one artifact."""
+def run_check(doc, check, allow_missing=False):
+    """Returns (status, message) for one check against one artifact.
+    Status is "ok", "FAIL", or "skip" (missing path under --allow-missing).
+    """
     path = check["path"]
     try:
         value = resolve(doc, path)
     except (KeyError, IndexError, ValueError):
-        return False, f"{path}: missing from artifact"
+        if allow_missing:
+            return "skip", f"{path}: missing from artifact (allowed)"
+        return "FAIL", (f"{path}: missing from artifact "
+                        f"(re-run with --allow-missing to skip new keys)")
 
     if "len" in check:
         want = check["len"]
         have = len(value)
         ok = have == want
-        return ok, f"{path}: len {have} {'==' if ok else '!='} {want}"
+        return ("ok" if ok else "FAIL",
+                f"{path}: len {have} {'==' if ok else '!='} {want}")
 
     if not isinstance(value, (int, float)) or isinstance(value, bool):
-        return False, f"{path}: not numeric ({value!r})"
+        return "FAIL", f"{path}: not numeric ({value!r})"
 
     if "equals" in check:
         want = check["equals"]
         tol = check.get("tol", 0.0)
         ok = abs(value - want) <= tol
-        return ok, f"{path}: {value:g} == {want:g} (tol {tol:g})"
+        return ("ok" if ok else "FAIL",
+                f"{path}: {value:g} == {want:g} (tol {tol:g})")
 
     parts = []
     ok = True
@@ -75,8 +86,9 @@ def run_check(doc, check):
         ok &= value <= check["max"]
         parts.append(f"<= {check['max']:g}")
     if not parts:
-        return False, f"{path}: baseline check has no constraint"
-    return ok, f"{path}: {value:g} {' and '.join(parts)}"
+        return "FAIL", f"{path}: baseline check has no constraint"
+    return ("ok" if ok else "FAIL",
+            f"{path}: {value:g} {' and '.join(parts)}")
 
 
 def main():
@@ -85,6 +97,10 @@ def main():
                         help="directory of committed baseline JSON files")
     parser.add_argument("--artifacts", required=True,
                         help="directory holding fresh BENCH_*.json output")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="skip (instead of fail) missing artifacts and "
+                             "missing paths, e.g. hardware-counter keys on "
+                             "machines without an exposed PMU")
     args = parser.parse_args()
 
     baseline_dir = pathlib.Path(args.baselines)
@@ -96,28 +112,50 @@ def main():
         return 2
 
     failures = 0
+    skipped = 0
     for baseline_path in baselines:
         with open(baseline_path) as f:
             baseline = json.load(f)
+        for key in ("artifact", "checks"):
+            if key not in baseline:
+                print(f"FAIL {baseline_path.name}: baseline is missing "
+                      f"required key {key!r}")
+                failures += 1
+                baseline = None
+                break
+        if baseline is None:
+            continue
         artifact_path = artifact_dir / baseline["artifact"]
         if not artifact_path.exists():
-            print(f"FAIL {baseline_path.name}: artifact "
-                  f"{baseline['artifact']} not found in {artifact_dir}")
-            failures += 1
+            if args.allow_missing:
+                print(f"skip {baseline_path.name}: artifact "
+                      f"{baseline['artifact']} not found in {artifact_dir} "
+                      f"(allowed)")
+                skipped += 1
+            else:
+                print(f"FAIL {baseline_path.name}: artifact "
+                      f"{baseline['artifact']} not found in {artifact_dir}")
+                failures += 1
             continue
         with open(artifact_path) as f:
             artifact = json.load(f)
         for check in baseline["checks"]:
-            ok, message = run_check(artifact, check)
+            if "path" not in check:
+                print(f"FAIL {baseline['artifact']}: check {check!r} has "
+                      f"no 'path' key")
+                failures += 1
+                continue
+            status, message = run_check(artifact, check, args.allow_missing)
             note = f"  [{check['note']}]" if "note" in check else ""
-            print(f"{'ok  ' if ok else 'FAIL'} "
-                  f"{baseline['artifact']}: {message}{note}")
-            failures += 0 if ok else 1
+            print(f"{status:4} {baseline['artifact']}: {message}{note}")
+            failures += 1 if status == "FAIL" else 0
+            skipped += 1 if status == "skip" else 0
 
     if failures:
         print(f"bench_check: {failures} check(s) failed", file=sys.stderr)
         return 1
-    print("bench_check: all checks passed")
+    tail = f" ({skipped} skipped)" if skipped else ""
+    print(f"bench_check: all checks passed{tail}")
     return 0
 
 

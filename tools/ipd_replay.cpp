@@ -26,6 +26,19 @@
 //   --ingest-threads=<M>    worker threads for the sharded engine's
 //                           stage-1 fan-out and stage-2 shard cycles
 //                           (default 1; implies --shards=16 if not given)
+//   --perf-counters[=phases]
+//                           attach hardware perf counters (cycles,
+//                           instructions, LLC, branch misses) charged per
+//                           engine phase; served at /perf and published as
+//                           ipd_perf_* gauges. "=phases" additionally
+//                           samples per-stage-2-phase counters via rdpmc
+//                           where supported. Degrades gracefully (software
+//                           task-clock only, or fully inert) where
+//                           perf_event_open is restricted.
+//   --profile-out=<file>    run the sampling CPU profiler across the whole
+//                           replay and write folded flamegraph stacks to
+//                           <file> (feed to flamegraph.pl / speedscope)
+//   --profile-hz=<N>        profiler sampling rate (default 97)
 //
 // A TimeSeriesStore + HealthEngine always ride along: every 5-minute bin
 // is ingested into the embedded TSDB and the default health rules
@@ -54,11 +67,14 @@
 #include "obs/timeseries.hpp"
 #include "core/output.hpp"
 #include "netflow/codec.hpp"
+#include "obs/cpu_profiler.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/thread.hpp"
 
 using namespace ipd;
 
@@ -70,6 +86,8 @@ int usage(const char* argv0) {
                "[--log-json] [--http-port=<port>] [--trace-out=<file>] "
                "[--decision-log[=N]] [--alerts-out=<file>] "
                "[--linger=<seconds>] [--shards=<N>] [--ingest-threads=<M>] "
+               "[--perf-counters[=phases]] [--profile-out=<file>] "
+               "[--profile-hz=<N>] "
                "<in.trace> [ncidr_factor4=auto] [q=0.95]\n",
                argv0);
   return 2;
@@ -89,7 +107,12 @@ int main(int argc, char** argv) {
   long linger_s = 0;
   int shards = -1;          // -1: sequential engine
   int ingest_threads = -1;  // -1: default (1)
+  bool perf_enabled = false;
+  bool perf_per_phase = false;
+  std::string profile_out;
+  int profile_hz = 97;
   std::vector<std::string> positional;
+  util::set_current_thread_name("ipd-main");
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (util::starts_with(arg, "--metrics-out=")) {
@@ -117,6 +140,15 @@ int main(int argc, char** argv) {
       shards = static_cast<int>(util::parse_uint(arg.substr(9), 65536));
     } else if (util::starts_with(arg, "--ingest-threads=")) {
       ingest_threads = static_cast<int>(util::parse_uint(arg.substr(17), 256));
+    } else if (arg == "--perf-counters") {
+      perf_enabled = true;
+    } else if (arg == "--perf-counters=phases") {
+      perf_enabled = true;
+      perf_per_phase = true;
+    } else if (util::starts_with(arg, "--profile-out=")) {
+      profile_out = arg.substr(14);
+    } else if (util::starts_with(arg, "--profile-hz=")) {
+      profile_hz = static_cast<int>(util::parse_uint(arg.substr(13), 1000));
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "unknown flag %s\n", std::string(arg).c_str());
       return usage(argv[0]);
@@ -192,6 +224,18 @@ int main(int argc, char** argv) {
   engine.attach_metrics(registry);
   obs::bind_log_drop_metrics(registry);
 
+  std::unique_ptr<obs::PerfCounters> perf;
+  if (perf_enabled) {
+    obs::PerfCountersConfig perf_config;
+    perf_config.per_phase = perf_per_phase;
+    perf = std::make_unique<obs::PerfCounters>(perf_config);
+    engine.attach_perf(*perf);
+    util::log_info("perf counters attached",
+                   {{"available", perf->available()},
+                    {"per_phase", perf_per_phase},
+                    {"errno", perf->open_errno()}});
+  }
+
   core::DecisionLog decision_log(decision_log_capacity);
   if (decision_log_enabled) engine.attach_decision_log(decision_log);
 
@@ -231,6 +275,7 @@ int main(int argc, char** argv) {
   analysis::IntrospectionServer introspection(engine, engine_mutex);
   introspection.attach_health(health);
   introspection.attach_timeseries(timeseries);
+  if (perf) introspection.attach_perf(*perf);
   if (http_enabled) {
     std::string error;
     if (!introspection.start(http_port, &error)) {
@@ -266,10 +311,21 @@ int main(int argc, char** argv) {
   };
   runner.on_metrics = [&](util::Timestamp ts,
                           const obs::MetricsRegistry& reg) {
+    // Publish perf gauges first so the same TSDB bin carries them (the
+    // health rules read ipd_perf_* from the store).
+    if (perf) perf->publish(registry);
     timeseries.ingest(reg, ts);
     health.evaluate(ts);
     if (jsonl.is_open()) jsonl << obs::to_json_line(reg, ts);
   };
+  obs::CpuProfiler profiler(obs::CpuProfilerConfig{.hz = profile_hz});
+  if (!profile_out.empty()) {
+    std::string error;
+    if (!profiler.start(&error)) {
+      std::fprintf(stderr, "cannot start profiler: %s\n", error.c_str());
+      return 1;
+    }
+  }
   constexpr std::size_t kIngestBatch = 4096;
   for (std::size_t i = 0; i < records.size(); i += kIngestBatch) {
     const std::size_t end = std::min(i + kIngestBatch, records.size());
@@ -279,6 +335,23 @@ int main(int argc, char** argv) {
   {
     const std::lock_guard<std::mutex> lock(engine_mutex);
     runner.finish();
+  }
+
+  if (!profile_out.empty()) {
+    // Stop and write before any linger: smoke tests wait for this file,
+    // and stopping frees the process-global profiler slot so a lingering
+    // /profile request is not refused with 409.
+    profiler.stop();
+    std::ofstream out(profile_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", profile_out.c_str());
+      return 1;
+    }
+    out << profiler.folded();
+    std::printf("profile: %llu samples (%llu dropped) at %d Hz -> %s\n",
+                static_cast<unsigned long long>(profiler.samples_captured()),
+                static_cast<unsigned long long>(profiler.samples_dropped()),
+                profile_hz, profile_out.c_str());
   }
 
   std::printf("\nfinal classified ranges (Table-3 format):\n");
@@ -324,6 +397,17 @@ int main(int argc, char** argv) {
               timeseries.series_count(),
               static_cast<unsigned long long>(timeseries.points_appended()));
 
+  if (perf) {
+    std::printf("perf counters: available=%d (errno=%d)\n",
+                perf->available() ? 1 : 0, perf->open_errno());
+    for (const auto& phase : perf->snapshot()) {
+      std::printf(
+          "  %-16s scopes=%llu task_clock=%.3f ms ipc=%.3f llc_miss=%.4f\n",
+          phase.name.c_str(), static_cast<unsigned long long>(phase.scopes),
+          static_cast<double>(phase[obs::PerfEvent::TaskClock]) * 1e-6,
+          phase.ipc(), phase.llc_miss_rate());
+    }
+  }
   if (decision_log_enabled) {
     std::printf("decision log: %llu recorded, %zu held, %llu overwritten\n",
                 static_cast<unsigned long long>(decision_log.total_recorded()),
