@@ -200,6 +200,38 @@ void HealthEngine::install_default_rules(const core::IpdParams& params) {
   llc.window_points = config_.window_points;
   llc.reason = "stage-2 LLC miss rate rose above its trailing-window mean";
   add_rule(std::move(llc));
+
+  // Pipeline-freshness SLO: the answer the published LPM table would give
+  // is older than the SLO allows (collector fell behind, or snapshots
+  // stopped publishing). Data-time lag, so it works in replay too.
+  ThresholdRule freshness;
+  freshness.name = "freshness-slo-breach";
+  freshness.component = "pipeline";
+  freshness.severity = AlertSeverity::Critical;
+  freshness.series = "ipd_freshness_seconds";
+  freshness.agg = ThresholdRule::Agg::Last;
+  freshness.cmp = ThresholdRule::Cmp::GreaterThan;
+  freshness.threshold = config_.freshness_slo_s;
+  freshness.window_points = config_.window_points;
+  freshness.clear_after = 2;
+  freshness.reason =
+      "published table lags the newest decoded flow beyond the SLO";
+  add_rule(std::move(freshness));
+
+  // Ring-residency p99 spike: queueing delay inside the reader rings.
+  // Watches the gauge form (histograms bridge into the TSDB as
+  // _sum/_count only, which cannot express a tail quantile).
+  ThresholdRule residency;
+  residency.name = "ring-residency-p99-spike";
+  residency.component = "collector";
+  residency.severity = AlertSeverity::Warning;
+  residency.series = "ipd_ring_residency_p99_seconds";
+  residency.agg = ThresholdRule::Agg::Max;
+  residency.cmp = ThresholdRule::Cmp::GreaterThan;
+  residency.threshold = config_.ring_residency_p99_s;
+  residency.window_points = config_.window_points;
+  residency.reason = "ring-residency p99 spiked: IPD thread behind ingest";
+  add_rule(std::move(residency));
 }
 
 void HealthEngine::attach_cycle_deltas(core::CycleDeltaLog& log) {

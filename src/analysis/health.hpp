@@ -107,6 +107,13 @@ struct HealthConfig {
   // PerfCounters with live hardware events publishes into the TSDB).
   double perf_ipc_drop = 0.5;    // absolute stage-2 IPC drop vs trailing mean
   double perf_llc_spike = 0.2;   // absolute LLC miss-rate rise vs trailing mean
+  // Pipeline-freshness SLO: how far the newest decoded record's data time
+  // may run ahead of the last published table. Two snapshot bins of slack
+  // on the 5-minute publish cadence.
+  double freshness_slo_s = 600.0;
+  // Ring-residency p99 spike: records sitting in a reader ring for more
+  // than this long mean the IPD thread is not keeping up with ingest.
+  double ring_residency_p99_s = 1.0;
 };
 
 class HealthEngine {

@@ -54,6 +54,55 @@ obs::HttpResponse not_attached(const char* what) {
 
 }  // namespace
 
+std::string flow_journey_json(const obs::FlowJourney& journey,
+                              const core::DecisionLog* log) {
+  std::string decisions;
+  if (log != nullptr) {
+    for (const auto& event : log->events_covering(journey.ip)) {
+      if (event.ts < journey.first_ts) continue;
+      if (!decisions.empty()) decisions += ',';
+      decisions += core::to_json(event);
+    }
+  }
+  return obs::to_json(journey, decisions);
+}
+
+std::string flow_journey_text(const obs::FlowJourney& journey,
+                              const core::DecisionLog* log) {
+  std::string out = util::format(
+      "%016llx ip=%s link=%u/%u ts=%lld hops=",
+      static_cast<unsigned long long>(journey.id),
+      journey.ip.to_string().c_str(),
+      static_cast<unsigned>(journey.link.router),
+      static_cast<unsigned>(journey.link.iface),
+      static_cast<long long>(journey.first_ts));
+  std::int64_t decode_ns = 0;
+  std::int64_t apply_ns = 0;
+  bool first = true;
+  for (const obs::FlowHop& hop : journey.hops) {
+    if (!first) out += '>';
+    first = false;
+    out += obs::to_string(hop.kind);
+    if (hop.kind == obs::FlowHopKind::Decode && decode_ns == 0) {
+      decode_ns = hop.mono_ns;
+    } else if (hop.kind == obs::FlowHopKind::TrieApply) {
+      apply_ns = hop.mono_ns;
+    }
+  }
+  if (decode_ns != 0 && apply_ns >= decode_ns) {
+    out += util::format(" lat_ms=%.3f",
+                        static_cast<double>(apply_ns - decode_ns) * 1e-6);
+  }
+  std::size_t decided = 0;
+  if (log != nullptr) {
+    for (const auto& event : log->events_covering(journey.ip)) {
+      if (event.ts >= journey.first_ts) ++decided;
+    }
+  }
+  out += util::format(" decisions=%zu", decided);
+  return out;
+}
+
 IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
                                          std::mutex& engine_mutex,
                                          IntrospectionConfig config)
@@ -94,6 +143,9 @@ IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
   server_.handle("/profile", [this](const obs::HttpRequest& r) {
     return handle_profile(r);
   });
+  server_.handle("/flows", [this](const obs::HttpRequest& r) {
+    return handle_flows(r);
+  });
 }
 
 bool IntrospectionServer::start(std::uint16_t port, std::string* error) {
@@ -105,7 +157,8 @@ obs::HttpResponse IntrospectionServer::handle_index(const obs::HttpRequest&) {
       "{\"endpoints\":[\"/healthz\",\"/metrics\",\"/ranges\","
       "\"/explain?ip=A.B.C.D\",\"/decisions\",\"/trace\",\"/health\","
       "\"/alerts\",\"/timeseries?name=<metric>&from=<ts>\",\"/perf\","
-      "\"/profile?seconds=N&hz=N&clock=cpu|wall\"]}");
+      "\"/profile?seconds=N&hz=N&clock=cpu|wall\","
+      "\"/flows?limit=N&format=json|text\"]}");
 }
 
 obs::HttpResponse IntrospectionServer::handle_healthz(const obs::HttpRequest&) {
@@ -339,34 +392,48 @@ obs::HttpResponse IntrospectionServer::handle_timeseries(
   } catch (const std::exception& e) {
     return bad_request(e.what());
   }
-  const auto series = timeseries_->series_named(*name);
+  auto series = timeseries_->series_named(*name);
   if (series.empty()) {
     return obs::HttpResponse::json(
         "{\"error\":\"no such series: " + util::json_escape(*name) + "\"}",
         404);
   }
-  std::string body = util::format("{\"name\":\"%s\",\"series\":[",
-                                  util::json_escape(*name).c_str());
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    if (i != 0) body += ',';
-    body += "{\"labels\":{";
-    for (std::size_t j = 0; j < series[i].labels.size(); ++j) {
-      if (j != 0) body += ',';
-      body += "\"" + util::json_escape(series[i].labels[j].first) +
-              "\":\"" + util::json_escape(series[i].labels[j].second) + "\"";
-    }
-    body += "},\"points\":[";
-    const auto points = timeseries_->points(series[i].id, from);
-    for (std::size_t j = 0; j < points.size(); ++j) {
-      if (j != 0) body += ',';
-      body += util::format("[%lld,%.9g]",
-                           static_cast<long long>(points[j].ts),
-                           points[j].value);
-    }
-    body += "]}";
-  }
-  body += "]}";
-  return obs::HttpResponse::json(std::move(body));
+  // Streamed: a long-running deployment holds hours of points per label
+  // set, and one contiguous response body would scale with that history.
+  // One chunk per series bounds the resident rendering to a single
+  // series' points. The producer runs synchronously on the serving
+  // thread, so the captured store pointer outlives the request.
+  const obs::TimeSeriesStore* store = timeseries_;
+  return obs::HttpResponse::stream(
+      "application/json",
+      [store, series = std::move(series), name = *name,
+       from](const obs::HttpResponse::ChunkWriter& write) {
+        write(util::format("{\"name\":\"%s\",\"series\":[",
+                           util::json_escape(name).c_str()));
+        for (std::size_t i = 0; i < series.size(); ++i) {
+          std::string chunk = i != 0 ? "," : "";
+          chunk += "{\"labels\":{";
+          for (std::size_t j = 0; j < series[i].labels.size(); ++j) {
+            if (j != 0) chunk += ',';
+            chunk += '"';
+            chunk += util::json_escape(series[i].labels[j].first);
+            chunk += "\":\"";
+            chunk += util::json_escape(series[i].labels[j].second);
+            chunk += '"';
+          }
+          chunk += "},\"points\":[";
+          const auto points = store->points(series[i].id, from);
+          for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j != 0) chunk += ',';
+            chunk += util::format("[%lld,%.9g]",
+                                  static_cast<long long>(points[j].ts),
+                                  points[j].value);
+          }
+          chunk += "]}";
+          if (!write(chunk)) return;  // peer gone; stop rendering
+        }
+        write("]}");
+      });
 }
 
 obs::HttpResponse IntrospectionServer::handle_perf(const obs::HttpRequest&) {
@@ -414,7 +481,76 @@ obs::HttpResponse IntrospectionServer::handle_profile(
   }
   std::this_thread::sleep_for(std::chrono::seconds(seconds));
   profiler.stop();
-  return obs::HttpResponse::text(200, profiler.folded());
+  // Streamed: folded stacks from a busy multi-thread process routinely
+  // exceed tens of KiB; ship line batches instead of one giant string
+  // copy through the response object.
+  std::string folded = profiler.folded();
+  return obs::HttpResponse::stream(
+      "text/plain; charset=utf-8",
+      [folded = std::move(folded)](const obs::HttpResponse::ChunkWriter& write) {
+        constexpr std::size_t kChunk = 16 * 1024;
+        for (std::size_t off = 0; off < folded.size(); off += kChunk) {
+          if (!write(std::string_view(folded).substr(off, kChunk))) return;
+        }
+      });
+}
+
+obs::HttpResponse IntrospectionServer::handle_flows(
+    const obs::HttpRequest& request) {
+  if (flow_trace_ == nullptr) return not_attached("flow tracer");
+  std::size_t limit = 0;
+  try {
+    limit = uint_param(request, "limit", 0, SIZE_MAX / 2);
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  bool text = false;
+  if (const auto format = request.query_param("format")) {
+    if (*format == "text") {
+      text = true;
+    } else if (*format != "json") {
+      return bad_request("format must be json or text");
+    }
+  }
+
+  auto journeys = flow_trace_->journeys(limit);
+  // The decision log is internally synchronized, so correlation happens
+  // here without the engine mutex — /flows never stalls ingest.
+  const core::DecisionLog* log = engine_.decision_log();
+
+  if (text) {
+    return obs::HttpResponse::stream(
+        "text/plain; charset=utf-8",
+        [journeys = std::move(journeys),
+         log](const obs::HttpResponse::ChunkWriter& write) {
+          for (const obs::FlowJourney& journey : journeys) {
+            if (!write(flow_journey_text(journey, log) + "\n")) return;
+          }
+        });
+  }
+
+  const std::string head = util::format(
+      "{\"sample_period\":%llu,\"flows_sampled\":%llu,\"hops_recorded\":%llu,"
+      "\"evicted\":%llu,\"returned\":%zu,\"flows\":[",
+      static_cast<unsigned long long>(flow_trace_->sample_period()),
+      static_cast<unsigned long long>(flow_trace_->flows_sampled()),
+      static_cast<unsigned long long>(flow_trace_->hops_recorded()),
+      static_cast<unsigned long long>(flow_trace_->journeys_evicted()),
+      journeys.size());
+  // Streamed one journey per chunk: each journey with its correlated
+  // decisions can run to a few KiB, and the ring holds hundreds.
+  return obs::HttpResponse::stream(
+      "application/json",
+      [head, journeys = std::move(journeys),
+       log](const obs::HttpResponse::ChunkWriter& write) {
+        if (!write(head)) return;
+        for (std::size_t i = 0; i < journeys.size(); ++i) {
+          std::string chunk = i != 0 ? "," : "";
+          chunk += flow_journey_json(journeys[i], log);
+          if (!write(chunk)) return;
+        }
+        write("]}");
+      });
 }
 
 }  // namespace ipd::analysis

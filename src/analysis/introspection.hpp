@@ -16,6 +16,8 @@
 //   GET /perf        perf-counter phase totals (IPC, LLC miss rates)
 //   GET /profile     ?seconds=&hz=&clock=cpu|wall — sample the process for
 //                    `seconds`, return folded flamegraph stacks (text)
+//   GET /flows       ?limit=&format=json|text — sampled flow journeys with
+//                    per-hop timestamps and correlated stage-2 decisions
 //
 // The engine is shared with the ingest thread: every handler takes
 // `engine_mutex` around engine access, and the ingest side must hold the
@@ -30,12 +32,26 @@
 #include <string>
 
 #include "core/engine_base.hpp"
+#include "obs/flow_trace.hpp"
 #include "obs/http_server.hpp"
 #include "obs/timeseries.hpp"
 
 namespace ipd::analysis {
 
 class HealthEngine;
+
+/// Render one sampled flow journey as JSON with its stage-2 decisions
+/// correlated through the decision log: every event covering the flow's IP
+/// at or after the flow's data time, i.e. the classify/split/demote
+/// decisions its range went through after this flow touched it. Shared by
+/// the /flows endpoint and `ipd_replay --flow-trace-out` (JSONL).
+std::string flow_journey_json(const obs::FlowJourney& journey,
+                              const core::DecisionLog* log);
+
+/// One-line operator-readable form (the /flows?format=text surface that
+/// ipd_top renders verbatim).
+std::string flow_journey_text(const obs::FlowJourney& journey,
+                              const core::DecisionLog* log);
 
 struct IntrospectionConfig {
   std::size_t default_page = 100;  // /ranges rows per page by default
@@ -72,6 +88,13 @@ class IntrospectionServer {
   /// server). /profile needs no attachment — it samples the process.
   void attach_perf(const obs::PerfCounters& perf) noexcept { perf_ = &perf; }
 
+  /// Serve /flows from `tracer` (internally synchronized; must outlive
+  /// the server). Stage-2 correlation uses the engine's decision log when
+  /// one is attached.
+  void attach_flow_trace(const obs::FlowTracer& tracer) noexcept {
+    flow_trace_ = &tracer;
+  }
+
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and serve until stop().
   bool start(std::uint16_t port, std::string* error = nullptr);
   void stop() { server_.stop(); }
@@ -95,6 +118,7 @@ class IntrospectionServer {
   obs::HttpResponse handle_timeseries(const obs::HttpRequest& request);
   obs::HttpResponse handle_perf(const obs::HttpRequest& request);
   obs::HttpResponse handle_profile(const obs::HttpRequest& request);
+  obs::HttpResponse handle_flows(const obs::HttpRequest& request);
 
   core::EngineBase& engine_;
   std::mutex& engine_mutex_;
@@ -102,6 +126,7 @@ class IntrospectionServer {
   const HealthEngine* health_ = nullptr;
   const obs::TimeSeriesStore* timeseries_ = nullptr;
   const obs::PerfCounters* perf_ = nullptr;
+  const obs::FlowTracer* flow_trace_ = nullptr;
   obs::HttpServer server_;
 };
 

@@ -1,11 +1,18 @@
 #include "analysis/runner.hpp"
 
+#include "obs/flow_trace.hpp"
+
 namespace ipd::analysis {
 
 BinnedRunner::BinnedRunner(core::EngineBase& engine, ValidationRun* validation,
                            RunnerConfig config)
     : engine_(engine), validation_(validation), config_(config) {
   pending_.reserve(config_.ingest_batch);
+  // The replay loop is this pipeline's "datagram decode": there is no
+  // collector in front to tag sampled flows, so have the engine
+  // synthesize the Decode hop as records enter stage 1 — journeys still
+  // begin with a decode hop, at no extra hash on the unsampled hot path.
+  engine.set_flow_trace_synth_decode(true);
 }
 
 std::uint64_t BinnedRunner::bin_buffer_bytes() const noexcept {
@@ -68,6 +75,16 @@ void BinnedRunner::take_snapshot(util::Timestamp ts) {
   if (on_snapshot) on_snapshot(ts, snapshot, table);
   ++snapshots_;
   if (obs::MetricsRegistry* registry = engine_.metrics_registry()) {
+    // Data-time freshness at the publish boundary: how far the newest
+    // offered record has run ahead of the table just published. Wall-clock
+    // lag is meaningless in replay (timestamps are simulated), so the
+    // gauge is defined in data time on both the collector and this path.
+    registry
+        ->gauge("ipd_freshness_seconds",
+                "Pipeline freshness in data time: newest decoded flow "
+                "timestamp minus the data time of the last published LPM "
+                "table")
+        .set(static_cast<double>(newest_ts_ > ts ? newest_ts_ - ts : 0));
     registry
         ->gauge("ipd_runner_bin_buffer_bytes",
                 "Heap held by the runner's per-bin validation buffer")
@@ -105,6 +122,7 @@ void BinnedRunner::offer(const netflow::FlowRecord& record) {
     flush_pending();
     advance_to(record.ts);
   }
+  if (record.ts > newest_ts_) newest_ts_ = record.ts;
   if (engine_.tracer() != nullptr && batch_flows_++ == 0) {
     batch_start_us_ = engine_.tracer()->now_us();
   }

@@ -81,6 +81,7 @@ class BinnedRunner {
   std::vector<netflow::FlowRecord> pending_;  // not yet handed to the engine
   util::Timestamp next_cycle_ = 0;
   util::Timestamp next_snapshot_ = 0;
+  util::Timestamp newest_ts_ = 0;  // newest record offered (freshness gauge)
   bool started_ = false;
   std::uint64_t snapshots_ = 0;
   // Stage-1 batch span state (only maintained while a tracer is attached).

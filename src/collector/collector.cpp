@@ -5,6 +5,7 @@
 
 #include "core/engine.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/flow_trace.hpp"
 #include "obs/perf_counters.hpp"
 #include "util/logging.hpp"
 #include "util/thread.hpp"
@@ -40,7 +41,7 @@ CollectorService::CollectorService(core::IpdParams params,
   rings_.reserve(n_sources);
   for (std::size_t i = 0; i < n_sources; ++i) {
     rings_.push_back(
-        std::make_unique<SpscRing<netflow::FlowRecord>>(config_.ring_capacity));
+        std::make_unique<SpscRing<TimedRecord>>(config_.ring_capacity));
   }
   ipfix_parsers_.resize(n_sources);
   if (config_.metrics != nullptr) {
@@ -64,10 +65,28 @@ CollectorService::CollectorService(core::IpdParams params,
                           {{"result", "malformed"}});
     snapshots_metric_ = &registry.counter("ipd_snapshots_published_total",
                                           "LPM tables published");
+    ring_residency_ = &registry.histogram(
+        "ipd_ring_residency_seconds",
+        "Wall time a flow record spends queued in a reader ring",
+        obs::Histogram::exponential_bounds(1e-6, 4.0, 12));
+    ring_residency_p99_ = &registry.gauge(
+        "ipd_ring_residency_p99_seconds",
+        "p99 of ring residency (gauge form so the TSDB and health rules "
+        "can window it; histograms bridge as _sum/_count only)");
+    freshness_metric_ = &registry.gauge(
+        "ipd_freshness_seconds",
+        "Pipeline freshness in data time: newest decoded flow timestamp "
+        "minus the data time of the last published LPM table");
   }
   if (config_.perf != nullptr) {
     engine_->attach_perf(*config_.perf);
     perf_drain_phase_ = config_.perf->phase("collector.drain");
+  }
+  if (config_.flow_trace != nullptr) {
+    engine_->attach_flow_trace(*config_.flow_trace);
+    if (config_.metrics != nullptr) {
+      config_.flow_trace->bind_metrics(config_.metrics);
+    }
   }
   // Statistical time sits between the rings and the engine: drifted or
   // implausible router timestamps are normalized/discarded before they can
@@ -155,12 +174,36 @@ std::size_t CollectorService::submit_records(
   SourceMetrics& sm = source_metrics_.at(source);
   std::size_t accepted = 0;
   std::size_t dropped = 0;
+  // One clock read per datagram's worth of records: residency resolution
+  // finer than a submit call is meaningless anyway.
+  const std::int64_t now_ns = obs::monotonic_ns();
+  obs::FlowTracer* tracer = config_.flow_trace;
+  const std::uint32_t source_detail = static_cast<std::uint32_t>(source);
+  util::Timestamp newest = 0;
   for (const auto& record : records) {
-    if (ring.try_push(record)) {
+    if (record.ts > newest) newest = record.ts;
+    std::uint64_t flow_id = 0;
+    net::IpAddress masked;
+    if (tracer != nullptr) {
+      masked = record.src_ip.masked(
+          engine_->params().cidr_max(record.src_ip.family()));
+      flow_id = tracer->observe(obs::FlowHopKind::Decode, record.ts, masked,
+                                record.ingress, source_detail);
+    }
+    if (ring.try_push(TimedRecord{record, now_ns})) {
       ++accepted;
+      if (flow_id != 0) {
+        tracer->record(flow_id, obs::FlowHopKind::RingEnqueue, record.ts,
+                       masked, record.ingress, source_detail);
+      }
     } else {
       ++dropped;
     }
+  }
+  // Advance the newest-decoded watermark (readers race; keep the max).
+  util::Timestamp seen = newest_decoded_ts_.load(std::memory_order_relaxed);
+  while (newest > seen && !newest_decoded_ts_.compare_exchange_weak(
+                              seen, newest, std::memory_order_relaxed)) {
   }
   if (dropped > 0) {
     flows_dropped_.fetch_add(dropped, std::memory_order_relaxed);
@@ -205,12 +248,34 @@ void CollectorService::flush_engine_pending() {
   engine_pending_.clear();
 }
 
-void CollectorService::drain_once() {
-  for (auto& ring : rings_) {
-    ring->consume(
-        [this](netflow::FlowRecord& record) { stat_time_->offer(record); },
+bool CollectorService::drain_once() {
+  bool any = false;
+  // One clock read per drain round: residency error is bounded by the
+  // round's own duration, which the histogram's microsecond buckets absorb.
+  const std::int64_t now_ns =
+      (ring_residency_ != nullptr || config_.flow_trace != nullptr)
+          ? obs::monotonic_ns()
+          : 0;
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    const std::size_t n = rings_[i]->consume(
+        [this, now_ns, i](TimedRecord& timed) {
+          if (ring_residency_ != nullptr) {
+            ring_residency_->observe(
+                static_cast<double>(now_ns - timed.enq_ns) * 1e-9);
+          }
+          if (obs::FlowTracer* tracer = config_.flow_trace) {
+            const netflow::FlowRecord& r = timed.record;
+            tracer->observe(
+                obs::FlowHopKind::RingDequeue, r.ts,
+                r.src_ip.masked(engine_->params().cidr_max(r.src_ip.family())),
+                r.ingress, static_cast<std::uint32_t>(i));
+          }
+          stat_time_->offer(timed.record);
+        },
         config_.drain_batch);
+    any |= n > 0;
   }
+  return any;
 }
 
 void CollectorService::update_ring_gauges() {
@@ -218,6 +283,18 @@ void CollectorService::update_ring_gauges() {
   for (std::size_t i = 0; i < rings_.size(); ++i) {
     source_metrics_[i].ring_depth->set(static_cast<double>(rings_[i]->size()));
   }
+  ring_residency_p99_->set(ring_residency_->quantile(0.99));
+  freshness_metric_->set(static_cast<double>(freshness_seconds()));
+}
+
+util::Duration CollectorService::freshness_seconds() const noexcept {
+  const util::Timestamp newest =
+      newest_decoded_ts_.load(std::memory_order_relaxed);
+  const util::Timestamp published =
+      published_ts_.load(std::memory_order_relaxed);
+  // Before the first publish (or decode) there is no lag to report yet.
+  if (published == 0 || newest <= published) return 0;
+  return newest - published;
 }
 
 void CollectorService::ipd_loop() {
@@ -229,13 +306,7 @@ void CollectorService::ipd_loop() {
   while (running_.load(std::memory_order_relaxed)) {
     obs::PerfScope perf_scope(was_busy ? config_.perf : nullptr,
                               perf_drain_phase_);
-    bool any = false;
-    for (auto& ring : rings_) {
-      const std::size_t n = ring->consume(
-          [this](netflow::FlowRecord& record) { stat_time_->offer(record); },
-          config_.drain_batch);
-      any |= n > 0;
-    }
+    const bool any = drain_once();
     update_ring_gauges();
     perf_scope.close();
     was_busy = any;
@@ -257,6 +328,10 @@ void CollectorService::publish(util::Timestamp ts) {
   }
   snapshots_.fetch_add(1, std::memory_order_relaxed);
   if (snapshots_metric_) snapshots_metric_->inc();
+  published_ts_.store(ts, std::memory_order_relaxed);
+  if (freshness_metric_ != nullptr) {
+    freshness_metric_->set(static_cast<double>(freshness_seconds()));
+  }
 }
 
 std::shared_ptr<const core::LpmTable> CollectorService::current_table() const {

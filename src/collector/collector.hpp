@@ -34,6 +34,10 @@
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
+namespace ipd::obs {
+class FlowTracer;
+}
+
 namespace ipd::collector {
 
 struct CollectorConfig {
@@ -52,6 +56,11 @@ struct CollectorConfig {
   // attached to it (stage-1/stage-2 phases), and the IPD thread charges
   // busy drain rounds to a "collector.drain" phase.
   obs::PerfCounters* perf = nullptr;
+  // Optional flow-provenance tracer (must outlive the service). Readers
+  // record decode + ring-enqueue hops for hash-sampled flows, the IPD
+  // thread records ring-dequeue, and the engine is attached for shard
+  // routing / trie-apply hops.
+  obs::FlowTracer* flow_trace = nullptr;
   // Engine selection: shard_bits < 0 runs the sequential IpdEngine;
   // >= 0 runs a core::ShardedEngine with 2^shard_bits shards per family
   // and `ingest_threads` stage-1/stage-2 workers.
@@ -121,7 +130,18 @@ class CollectorService {
 
   const core::EngineBase& engine() const noexcept { return *engine_; }
 
+  /// Pipeline freshness in data-time seconds: newest decoded flow
+  /// timestamp minus the data time of the last published table (0 before
+  /// the first publish/decode). This is what ipd_freshness_seconds reports.
+  util::Duration freshness_seconds() const noexcept;
+
  private:
+  /// Ring payload: the record plus its enqueue stamp, so the dequeue side
+  /// can histogram ring residency without a sidecar queue.
+  struct TimedRecord {
+    netflow::FlowRecord record;
+    std::int64_t enq_ns = 0;
+  };
   /// Per-source metric handles (null when no registry is configured).
   struct SourceMetrics {
     obs::Gauge* ring_depth = nullptr;
@@ -134,7 +154,7 @@ class CollectorService {
   };
 
   void ipd_loop();
-  void drain_once();
+  bool drain_once();  // returns whether any ring yielded records
   void flush_engine_pending();
   void publish(util::Timestamp ts);
   void update_ring_gauges();
@@ -142,11 +162,14 @@ class CollectorService {
   CollectorConfig config_;
   std::unique_ptr<core::EngineBase> engine_;
   std::vector<netflow::FlowRecord> engine_pending_;  // batched ingest buffer
-  std::vector<std::unique_ptr<SpscRing<netflow::FlowRecord>>> rings_;
+  std::vector<std::unique_ptr<SpscRing<TimedRecord>>> rings_;
   std::vector<SourceMetrics> source_metrics_;
   obs::Counter* datagrams_ok_metric_ = nullptr;
   obs::Counter* datagrams_malformed_metric_ = nullptr;
   obs::Counter* snapshots_metric_ = nullptr;
+  obs::Histogram* ring_residency_ = nullptr;
+  obs::Gauge* ring_residency_p99_ = nullptr;
+  obs::Gauge* freshness_metric_ = nullptr;
   std::vector<netflow::ipfix::Parser> ipfix_parsers_;  // one per source
   std::unique_ptr<netflow::StatisticalTime> stat_time_;
 
@@ -165,6 +188,10 @@ class CollectorService {
   std::atomic<std::uint64_t> flows_enqueued_{0};
   std::atomic<std::uint64_t> flows_dropped_{0};
   std::atomic<std::uint64_t> snapshots_{0};
+  // Freshness endpoints: readers advance the newest decoded data time,
+  // publish() records the data time of the last published table.
+  std::atomic<util::Timestamp> newest_decoded_ts_{0};
+  std::atomic<util::Timestamp> published_ts_{0};
 
   util::Timestamp next_cycle_ = 0;
   util::Timestamp next_snapshot_ = 0;

@@ -4,10 +4,18 @@
 // mirroring the deployment's process layout (§5.7: per-router reader
 // processes around a single-core IPD mapper). Lock-free: one atomic index
 // per side, acquire/release pairing, power-of-two capacity.
+//
+// Indices are free-running 64-bit sequence numbers (slot = seq & mask)
+// rather than pre-masked positions: occupancy is the exact difference
+// head - tail, every power-of-two slot is usable, and unsigned wrap-around
+// at 2^64 is harmless because only differences are ever interpreted (the
+// dedicated wrap tests start the sequence just below the overflow point to
+// prove it).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -16,32 +24,41 @@ namespace ipd::collector {
 template <typename T>
 class SpscRing {
  public:
-  /// Capacity is rounded up to a power of two; usable slots = capacity - 1.
-  explicit SpscRing(std::size_t capacity) {
+  /// Capacity is rounded up to a power of two; all slots are usable.
+  explicit SpscRing(std::size_t capacity) : SpscRing(capacity, 0) {}
+
+  /// Test seam: start both sequence numbers at `start_index` so the
+  /// wrap-around behaviour near 2^64 is reachable without 2^64 pushes.
+  SpscRing(std::size_t capacity, std::uint64_t start_index) {
     if (capacity < 2) throw std::invalid_argument("SpscRing: capacity < 2");
     std::size_t cap = 1;
     while (cap < capacity) cap <<= 1;
     buffer_.resize(cap);
     mask_ = cap - 1;
+    start_ = start_index;
+    head_.store(start_index, std::memory_order_relaxed);
+    tail_.store(start_index, std::memory_order_relaxed);
   }
 
   /// Producer side. Returns false when full (caller counts the drop or
   /// retries; flow export is lossy by nature).
   bool try_push(const T& value) noexcept {
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t next = (head + 1) & mask_;
-    if (next == tail_.load(std::memory_order_acquire)) return false;
-    buffer_[head] = value;
-    head_.store(next, std::memory_order_release);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // head - tail is exact occupancy even across index wrap (unsigned
+    // subtraction); the producer only ever over-estimates fullness if the
+    // consumer races ahead, never under-estimates.
+    if (head - tail_.load(std::memory_order_acquire) > mask_) return false;
+    buffer_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. Returns false when empty.
   bool try_pop(T& out) noexcept {
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) return false;
-    out = buffer_[tail];
-    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    out = buffer_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
@@ -63,19 +80,33 @@ class SpscRing {
   }
 
   /// Approximate occupancy (racy by nature; for monitoring gauges).
+  /// Reading head before tail means a concurrent pop can make the raw
+  /// difference negative — clamp both ends so callers always see a value
+  /// in [0, capacity].
   std::size_t size() const noexcept {
-    const std::size_t head = head_.load(std::memory_order_acquire);
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
-    return (head - tail) & mask_;
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t diff = head - tail;
+    if (diff > mask_ + 1) return 0;  // underflowed: pop raced between loads
+    return static_cast<std::size_t>(diff);
   }
 
-  std::size_t capacity() const noexcept { return mask_; }
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Lifetime totals (exact on the owning side, racy cross-thread).
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_acquire) - start_;
+  }
+  std::uint64_t popped() const noexcept {
+    return tail_.load(std::memory_order_acquire) - start_;
+  }
 
  private:
   std::vector<T> buffer_;
   std::size_t mask_ = 0;
-  alignas(64) std::atomic<std::size_t> head_{0};
-  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::uint64_t start_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
 };
 
 }  // namespace ipd::collector

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <string>
 
+#include "obs/flow_trace.hpp"
+
 namespace ipd::core {
 
 namespace {
@@ -204,6 +206,16 @@ void IpdEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
   trie.locate(masked).add_sample(ts, masked, ingress, weight);
   ++stats_.flows_ingested;
   if (metrics_) metrics_->record_ingest(src_ip.family(), ingress, weight);
+  if (flow_trace_) {
+    const std::uint64_t id = obs::FlowTracer::flow_id(ts, masked, ingress);
+    if (flow_trace_->sampled(id)) {
+      if (flow_trace_synth_decode_) {
+        flow_trace_->record(id, obs::FlowHopKind::Decode, ts, masked, ingress);
+      }
+      flow_trace_->record(id, obs::FlowHopKind::TrieApply, ts, masked,
+                          ingress);
+    }
+  }
 }
 
 CycleStats IpdEngine::run_cycle(util::Timestamp now) {

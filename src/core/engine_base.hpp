@@ -27,6 +27,7 @@
 
 namespace ipd::obs {
 class PerfCounters;
+class FlowTracer;
 }
 
 namespace ipd::core {
@@ -204,10 +205,33 @@ class EngineBase {
   }
   obs::PerfCounters* perf() const noexcept { return perf_; }
 
+  /// Record stage-1 provenance hops (shard routing, trie apply) for
+  /// hash-sampled flows into `tracer` from now on (same lifetime contract
+  /// as the decision log). Shared-pointer pattern as attach_perf.
+  void attach_flow_trace(obs::FlowTracer& tracer) noexcept {
+    flow_trace_ = &tracer;
+  }
+  obs::FlowTracer* flow_trace() const noexcept { return flow_trace_; }
+
+  /// When set, the engine also records a Decode hop for sampled flows as
+  /// they enter stage 1. Drivers without a real decode stage in front
+  /// (the replay BinnedRunner) enable this so journeys still begin with a
+  /// decode hop at zero extra hot-path cost — the sampling hash is
+  /// computed once either way. The collector leaves it off and records
+  /// Decode itself at datagram-decode time.
+  void set_flow_trace_synth_decode(bool on) noexcept {
+    flow_trace_synth_decode_ = on;
+  }
+  bool flow_trace_synth_decode() const noexcept {
+    return flow_trace_synth_decode_;
+  }
+
  protected:
   virtual void on_attach_perf() {}
 
   obs::PerfCounters* perf_ = nullptr;
+  obs::FlowTracer* flow_trace_ = nullptr;
+  bool flow_trace_synth_decode_ = false;
 };
 
 }  // namespace ipd::core

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/flow_trace.hpp"
 #include "util/strings.hpp"
 #include "util/thread.hpp"
 
@@ -148,6 +149,32 @@ std::size_t ShardedEngine::parallel_units(net::Family family) const {
 void ShardedEngine::attach_metrics(obs::MetricsRegistry& registry) {
   const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
   metrics_ = std::make_unique<EngineMetrics>(registry);
+  // Per-shard stage-1 instruments. Beyond 64 shards the label cardinality
+  // stops paying for itself: fall back to one aggregate series.
+  shard_queue_delay_.clear();
+  shard_flows_.clear();
+  const bool per_shard = shard_count_ <= 64;
+  const std::size_t slots = per_shard ? shard_count_ : 1;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const obs::Labels labels{
+        {"shard", per_shard ? std::to_string(i) : std::string("all")}};
+    shard_queue_delay_.push_back(&registry.histogram(
+        "ipd_shard_queue_delay_seconds",
+        "Stage-1 fan-out delay: batch bucketing start to the worker "
+        "beginning the shard's bucket",
+        obs::Histogram::exponential_bounds(1e-6, 4.0, 12), labels));
+  }
+  if (per_shard) {
+    for (const FamilyState* state : {&v4_, &v6_}) {
+      const char* fam = state->family == net::Family::V4 ? "v4" : "v6";
+      for (std::size_t i = 0; i < shard_count_; ++i) {
+        shard_flows_.push_back(&registry.gauge(
+            "ipd_shard_flows",
+            "Lifetime flows ingested per shard slot (occupancy skew)",
+            obs::Labels{{"family", fam}, {"shard", std::to_string(i)}}));
+      }
+    }
+  }
 }
 
 void ShardedEngine::on_attach_perf() {
@@ -190,11 +217,25 @@ void ShardedEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
   FamilyState& state = family_state(src_ip.family());
   const net::IpAddress masked =
       src_ip.masked(params_.cidr_max(src_ip.family()));
-  Slot& slot = *state.slots[slot_index(state, masked)];
+  const std::size_t slot_idx = slot_index(state, masked);
+  Slot& slot = *state.slots[slot_idx];
   const std::lock_guard<std::mutex> guard(slot.mutex);
   state.trie.locate(masked).add_sample(ts, masked, ingress, weight);
   slot.flows.fetch_add(1, std::memory_order_relaxed);
   if (metrics_) slot.deltas.record(src_ip.family(), ingress, weight);
+  if (flow_trace_) {
+    const std::uint64_t id = obs::FlowTracer::flow_id(ts, masked, ingress);
+    if (flow_trace_->sampled(id)) {
+      const auto shard = static_cast<std::uint32_t>(slot_idx);
+      if (flow_trace_synth_decode_) {
+        flow_trace_->record(id, obs::FlowHopKind::Decode, ts, masked, ingress);
+      }
+      flow_trace_->record(id, obs::FlowHopKind::ShardRoute, ts, masked,
+                          ingress, shard);
+      flow_trace_->record(id, obs::FlowHopKind::TrieApply, ts, masked,
+                          ingress, shard);
+    }
+  }
 }
 
 std::unique_ptr<ShardedEngine::Staging> ShardedEngine::acquire_staging() {
@@ -223,11 +264,16 @@ void ShardedEngine::ingest_bucket(std::size_t bucket,
     noexcept {
   // Bucket layout: [v4 slots][v6 slots]; bucket == owning slot.
   FamilyState& state = bucket < shard_count_ ? v4_ : v6_;
-  Slot& slot = *state.slots[bucket % shard_count_];
+  const std::size_t slot_idx = bucket % shard_count_;
+  Slot& slot = *state.slots[slot_idx];
   const std::lock_guard<std::mutex> guard(slot.mutex);
   for (const PreparedSample& s : samples) {
     state.trie.locate(s.ip).add_sample(s.ts, s.ip, s.link, s.weight);
     if (metrics_) slot.deltas.record(state.family, s.link, s.weight);
+    if (s.flow_id != 0 && flow_trace_ != nullptr) {
+      flow_trace_->record(s.flow_id, obs::FlowHopKind::TrieApply, s.ts, s.ip,
+                          s.link, static_cast<std::uint32_t>(slot_idx));
+    }
   }
   slot.flows.fetch_add(samples.size(), std::memory_order_relaxed);
 }
@@ -258,11 +304,39 @@ void ShardedEngine::ingest_batch(
     if (samples.empty()) {
       staging->active.push_back(static_cast<std::uint32_t>(bucket));
     }
-    samples.push_back(PreparedSample{record.ts, masked, record.ingress, weight});
+    std::uint64_t flow_id = 0;
+    if (flow_trace_ != nullptr) {
+      const std::uint64_t id =
+          obs::FlowTracer::flow_id(record.ts, masked, record.ingress);
+      if (flow_trace_->sampled(id)) {
+        flow_id = id;
+        if (flow_trace_synth_decode_) {
+          flow_trace_->record(id, obs::FlowHopKind::Decode, record.ts, masked,
+                              record.ingress);
+        }
+        flow_trace_->record(
+            id, obs::FlowHopKind::ShardRoute, record.ts, masked,
+            record.ingress, static_cast<std::uint32_t>(bucket % shard_count_));
+      }
+    }
+    samples.push_back(
+        PreparedSample{record.ts, masked, record.ingress, weight, flow_id});
   }
+  // Queue-delay baseline: the fan-out hand-off point. Workers subtract it
+  // when they pick a bucket up, so the histogram captures pool scheduling
+  // latency, not the bucket's own trie work.
+  const std::int64_t fanout_ns =
+      shard_queue_delay_.empty() ? 0 : obs::monotonic_ns();
   const std::vector<std::uint32_t>& active = staging->active;
-  pool_->run(active.size(), [this, staging = staging.get()](std::size_t i) {
+  pool_->run(active.size(),
+             [this, staging = staging.get(), fanout_ns](std::size_t i) {
     const std::uint32_t bucket = staging->active[i];
+    if (fanout_ns != 0) {
+      if (obs::Histogram* hist = queue_delay_hist(bucket % shard_count_)) {
+        hist->observe(
+            static_cast<double>(obs::monotonic_ns() - fanout_ns) * 1e-9);
+      }
+    }
     ingest_bucket(bucket, staging->buckets[bucket]);
   });
   release_staging(std::move(staging));
@@ -522,9 +596,15 @@ void ShardedEngine::flush_one_delta(IngestDeltas& deltas) {
 void ShardedEngine::flush_deltas_locked() {
   // Caller holds the exclusive structure lock, so no slot mutexes are
   // needed: no ingest can be in flight.
+  std::size_t gauge = 0;
   for (FamilyState* state : {&v4_, &v6_}) {
     for (const auto& slot : state->slots) {
       flush_one_delta(slot->deltas);
+      if (gauge < shard_flows_.size()) {
+        shard_flows_[gauge]->set(static_cast<double>(
+            slot->flows.load(std::memory_order_relaxed)));
+      }
+      ++gauge;
     }
   }
 }

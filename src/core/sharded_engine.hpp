@@ -219,6 +219,10 @@ class ShardedEngine final : public EngineBase {
     net::IpAddress ip;  // masked to cidr_max
     topology::LinkId link;
     std::uint64_t weight;
+    // Provenance id when the flow is hash-sampled (0 otherwise): computed
+    // once at routing time so the worker's trie-apply hop reuses it
+    // instead of re-hashing.
+    std::uint64_t flow_id = 0;
   };
 
   /// Reusable per-batch bucket storage (pooled so concurrent ingest_batch
@@ -302,7 +306,20 @@ class ShardedEngine final : public EngineBase {
   std::atomic<std::uint64_t> total_joins_{0};
   std::atomic<std::uint64_t> total_drops_{0};
 
+  /// Stage-1 queue-delay histogram for `slot` (nullptr before
+  /// attach_metrics). Per-slot instruments up to 64 shards, one aggregate
+  /// "all" instrument beyond that to bound the series count.
+  obs::Histogram* queue_delay_hist(std::size_t slot) const noexcept {
+    if (shard_queue_delay_.empty()) return nullptr;
+    return shard_queue_delay_.size() == 1 ? shard_queue_delay_[0]
+                                          : shard_queue_delay_[slot];
+  }
+
   std::unique_ptr<EngineMetrics> metrics_;
+  // Per-shard instruments (created at attach_metrics, same slot layout as
+  // FamilyState::slots; empty while metrics are detached).
+  std::vector<obs::Histogram*> shard_queue_delay_;
+  std::vector<obs::Gauge*> shard_flows_;  // [v4 slots][v6 slots]
   DecisionLog* decision_log_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   CycleDeltaLog* cycle_deltas_ = nullptr;

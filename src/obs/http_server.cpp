@@ -184,6 +184,15 @@ HttpResponse HttpResponse::text(int status, std::string body) {
   return out;
 }
 
+HttpResponse HttpResponse::stream(
+    std::string content_type,
+    std::function<void(const ChunkWriter&)> produce) {
+  HttpResponse out;
+  out.content_type = std::move(content_type);
+  out.body_stream = std::move(produce);
+  return out;
+}
+
 const char* http_status_text(int status) noexcept {
   switch (status) {
     case 200: return "OK";
@@ -203,9 +212,21 @@ std::string render_http_response(const HttpResponse& response) {
   std::string out = util::format("HTTP/1.1 %d %s\r\n", response.status,
                                  http_status_text(response.status));
   out += "Content-Type: " + response.content_type + "\r\n";
+  if (response.body_stream) {
+    out += "Transfer-Encoding: chunked\r\n";
+    out += "Connection: close\r\n\r\n";
+    return out;
+  }
   out += util::format("Content-Length: %zu\r\n", response.body.size());
   out += "Connection: close\r\n\r\n";
   out += response.body;
+  return out;
+}
+
+std::string encode_http_chunk(std::string_view chunk) {
+  std::string out = util::format("%zx\r\n", chunk.size());
+  out += chunk;
+  out += "\r\n";
   return out;
 }
 
@@ -323,14 +344,38 @@ void HttpServer::handle_connection(int fd) {
       break;
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
-  const std::string wire = render_http_response(response);
-  std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
+  const auto send_all = [fd](std::string_view data) -> bool {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  if (response.body_stream) {
+    // Chunked transfer: the head commits to no Content-Length, then the
+    // producer pushes arbitrarily large payloads piecewise. A dead peer
+    // flips `alive` and the producer sees false from then on.
+    bool alive = send_all(render_http_response(response));
+    const HttpResponse::ChunkWriter writer =
+        [&alive, &send_all](std::string_view chunk) -> bool {
+      if (!alive || chunk.empty()) return alive;
+      alive = send_all(encode_http_chunk(chunk));
+      return alive;
+    };
+    try {
+      response.body_stream(writer);
+    } catch (...) {
+      // Mid-stream failure: nothing sane to send — the truncated chunked
+      // body (no terminator) is the wire-visible error signal.
+      return;
+    }
+    if (alive) send_all("0\r\n\r\n");
+    return;
   }
+  send_all(render_http_response(response));
 }
 
 }  // namespace ipd::obs

@@ -60,18 +60,39 @@ std::vector<std::pair<std::string, std::string>> parse_query(
     std::string_view query_string);
 
 struct HttpResponse {
+  /// Sink a streaming body writes chunks through. Returns false once the
+  /// peer is gone; producers may stop early (the connection is closed
+  /// either way). Empty chunks are ignored (an empty chunk would be the
+  /// wire-level terminator).
+  using ChunkWriter = std::function<bool(std::string_view)>;
+
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// When set, `body` is ignored and the response is sent with
+  /// Transfer-Encoding: chunked, one chunk per writer call. This is how
+  /// large payloads (/flows, /profile, /timeseries) avoid materializing
+  /// one giant contiguous string per request: the producer renders and
+  /// ships piecewise, bounded by its own increment size.
+  std::function<void(const ChunkWriter&)> body_stream;
 
   static HttpResponse json(std::string body, int status = 200);
   static HttpResponse text(int status, std::string body);
+  /// Chunked-streaming response; `produce` is invoked on the serving
+  /// thread with the connection's writer.
+  static HttpResponse stream(std::string content_type,
+                             std::function<void(const ChunkWriter&)> produce);
 };
 
 const char* http_status_text(int status) noexcept;
 
-/// Serialize status line + headers + body (what goes on the wire).
+/// Serialize status line + headers + body (what goes on the wire). For a
+/// streaming response this is the head only (chunks follow separately).
 std::string render_http_response(const HttpResponse& response);
+
+/// Wire framing of one chunk of a chunked response (hex length + CRLFs).
+/// The terminating zero-chunk is "0\r\n\r\n".
+std::string encode_http_chunk(std::string_view chunk);
 
 class HttpServer {
  public:

@@ -21,7 +21,7 @@ TEST(SpscRing, PushPopOrder) {
 }
 
 TEST(SpscRing, FullRingRejects) {
-  SpscRing<int> ring(4);  // usable slots: capacity-1 after rounding
+  SpscRing<int> ring(4);  // free-running indices: all slots usable
   std::size_t pushed = 0;
   while (ring.try_push(1)) ++pushed;
   EXPECT_EQ(pushed, ring.capacity());
@@ -32,7 +32,7 @@ TEST(SpscRing, FullRingRejects) {
 
 TEST(SpscRing, CapacityRoundsUp) {
   SpscRing<int> ring(5);
-  EXPECT_EQ(ring.capacity(), 7u);  // 8 slots, 7 usable
+  EXPECT_EQ(ring.capacity(), 8u);  // rounded up; every slot usable
   EXPECT_THROW(SpscRing<int>(1), std::invalid_argument);
 }
 

@@ -99,6 +99,23 @@ TEST(HttpParseTest, ParseQuery) {
   EXPECT_EQ(q[3].second, "v&al");
 }
 
+TEST(HttpResponseTest, ChunkEncoding) {
+  EXPECT_EQ(encode_http_chunk("hello"), "5\r\nhello\r\n");
+  std::string big(0x2a0, 'x');
+  EXPECT_EQ(encode_http_chunk(big), "2a0\r\n" + big + "\r\n");
+}
+
+TEST(HttpResponseTest, StreamRendersChunkedHeadWithoutBody) {
+  const HttpResponse response = HttpResponse::stream(
+      "application/json", [](const HttpResponse::ChunkWriter&) {});
+  const std::string wire = render_http_response(response);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length:"), std::string::npos);
+  // Head only: the chunks follow through the writer, not the renderer.
+  EXPECT_EQ(wire.substr(wire.size() - 4), "\r\n\r\n");
+}
+
 TEST(HttpResponseTest, RenderIncludesStatusHeadersAndBody) {
   const std::string wire =
       render_http_response(HttpResponse::json("{\"ok\":true}"));
@@ -157,6 +174,30 @@ class HttpServerTest : public ::testing::Test {
     });
     server_.handle("/boom", [](const HttpRequest&) -> HttpResponse {
       throw std::runtime_error("handler exploded");
+    });
+    server_.handle("/big", [](const HttpRequest&) {
+      // Well past the historical 16 KiB buffer: 64 KiB in uneven chunks.
+      return HttpResponse::stream(
+          "text/plain; charset=utf-8",
+          [](const HttpResponse::ChunkWriter& write) {
+            std::string payload;
+            char c = 'a';
+            while (payload.size() < 64 * 1024) {
+              payload.append(1000 + static_cast<std::size_t>(c % 7), c);
+              c = c == 'z' ? 'a' : static_cast<char>(c + 1);
+            }
+            for (std::size_t off = 0; off < payload.size(); off += 3000) {
+              if (!write(payload.substr(off, 3000))) return;
+            }
+          });
+    });
+    server_.handle("/stream-throws", [](const HttpRequest&) {
+      return HttpResponse::stream(
+          "text/plain; charset=utf-8",
+          [](const HttpResponse::ChunkWriter& write) {
+            write("partial");
+            throw std::runtime_error("producer died mid-stream");
+          });
     });
     std::string error;
     ASSERT_TRUE(server_.start(0, &error)) << error;  // ephemeral port
@@ -218,6 +259,62 @@ TEST_F(HttpServerTest, HandlerExceptionIs500AndServerSurvives) {
   const std::string response =
       roundtrip(server_.port(), "GET /boom HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos);
+  const std::string after =
+      roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+}
+
+/// De-chunk a chunked body; returns false on malformed/truncated framing.
+bool decode_chunked(std::string_view raw, std::string& out) {
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string_view::npos) return false;
+    char* end = nullptr;
+    const std::string size_text(raw.substr(pos, eol - pos));
+    const unsigned long long len = std::strtoull(size_text.c_str(), &end, 16);
+    if (end == size_text.c_str()) return false;
+    pos = eol + 2;
+    if (len == 0) return true;
+    if (pos + len + 2 > raw.size()) return false;  // truncated
+    out.append(raw.substr(pos, static_cast<std::size_t>(len)));
+    pos += static_cast<std::size_t>(len) + 2;
+  }
+}
+
+TEST_F(HttpServerTest, StreamsBodiesLargerThanTheRequestCap) {
+  // Regression: responses used to be effectively bounded by the same
+  // 16 KiB buffer as request heads; chunked streaming lifts that.
+  const std::string response =
+      roundtrip(server_.port(), "GET /big HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  ASSERT_NE(response.find("Transfer-Encoding: chunked\r\n"),
+            std::string::npos);
+  EXPECT_EQ(response.find("Content-Length:"), std::string::npos);
+
+  const std::size_t head_end = response.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  std::string body;
+  ASSERT_TRUE(decode_chunked(
+      std::string_view(response).substr(head_end + 4), body))
+      << "chunked framing malformed or missing terminator";
+  EXPECT_GE(body.size(), 64u * 1024u);
+  EXPECT_GT(body.size(), kMaxHttpRequestBytes);
+  // Spot-check content integrity at both ends.
+  EXPECT_EQ(body.substr(0, 4), "aaaa");
+  EXPECT_EQ(body.back(), body[body.size() - 2]);
+}
+
+TEST_F(HttpServerTest, StreamProducerExceptionTruncatesButServerSurvives) {
+  const std::string response = roundtrip(
+      server_.port(), "GET /stream-throws HTTP/1.1\r\nHost: x\r\n\r\n");
+  // The head and the first chunk went out before the throw; the missing
+  // zero-chunk terminator is the client-visible error signal.
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  std::string body;
+  EXPECT_FALSE(decode_chunked(
+      std::string_view(response).substr(response.find("\r\n\r\n") + 4),
+      body));
   const std::string after =
       roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(after.find("200 OK"), std::string::npos);

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
@@ -68,10 +69,26 @@ std::string http_get(std::uint16_t port, const std::string& target) {
   return response;
 }
 
-/// The response body (after the blank line).
+/// The response body (after the blank line), with chunked
+/// transfer-encoding framing removed when the head announces it —
+/// streamed endpoints (/timeseries, /profile, /flows) use it.
 std::string body_of(const std::string& response) {
   const std::size_t at = response.find("\r\n\r\n");
-  return at == std::string::npos ? std::string() : response.substr(at + 4);
+  if (at == std::string::npos) return {};
+  const std::string head = response.substr(0, at);
+  std::string raw = response.substr(at + 4);
+  if (head.find("Transfer-Encoding: chunked") == std::string::npos) return raw;
+  std::string body;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos) break;
+    const std::size_t len = std::strtoull(raw.c_str() + pos, nullptr, 16);
+    if (len == 0) break;
+    body += raw.substr(eol + 2, len);
+    pos = eol + 2 + len + 2;  // skip chunk data and trailing CRLF
+  }
+  return body;
 }
 
 class IntrospectionTest : public ::testing::Test {

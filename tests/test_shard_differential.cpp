@@ -13,6 +13,7 @@
 // as a diff here.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/engine.hpp"
 #include "core/output.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/flow_trace.hpp"
 #include "workload/generator.hpp"
 
 namespace ipd {
@@ -218,6 +220,50 @@ TEST_F(ShardDifferential, FamilyActuallyParallelizes) {
   EXPECT_EQ(engine.shard_count(), 4u);
   EXPECT_LT(engine.shard_of(net::IpAddress::v4(0x00000001)), 4u);
   EXPECT_EQ(engine.shard_of(net::IpAddress::v4(0xC0000000)), 3u);
+}
+
+/// Replay with a flow tracer attached and return the set of sampled flow
+/// ids. `max_flows` is sized far above the expected sample count so the
+/// FIFO ring never evicts and the set is complete.
+std::set<std::uint64_t> sampled_ids(
+    core::EngineBase& engine, const std::vector<netflow::FlowRecord>& records) {
+  obs::FlowTracer tracer(obs::FlowTracerConfig{
+      .sample_period = 16, .max_flows = std::size_t{1} << 20,
+      .max_hops_per_flow = 8});
+  engine.attach_flow_trace(tracer);
+  analysis::BinnedRunner runner(engine, nullptr);
+  for (const auto& record : records) runner.offer(record);
+  runner.finish();
+  std::set<std::uint64_t> ids;
+  for (const auto& journey : tracer.journeys()) ids.insert(journey.id);
+  EXPECT_EQ(tracer.journeys_evicted(), 0u);
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(tracer.flows_sampled()));
+  return ids;
+}
+
+/// Flow sampling is a pure function of the input: the hash is recomputed
+/// from (ts, masked src, link) at every stage, so the *set* of sampled
+/// flows must be identical across shard counts, thread counts, and the
+/// sequential engine — otherwise a journey seen on the 16-shard deployment
+/// could be unreproducible on a single-shard repro run.
+TEST_F(ShardDifferential, SamplingDeterminism) {
+  core::IpdEngine sequential(*params_);
+  const std::set<std::uint64_t> reference_ids =
+      sampled_ids(sequential, *records_);
+  ASSERT_GT(reference_ids.size(), 100u);  // 1/16 of a 250k-record workload
+
+  for (const int shard_bits : {0, 2, 4}) {
+    for (const int threads : {1, 8}) {
+      core::ShardedEngineConfig config;
+      config.shard_bits = shard_bits;
+      config.ingest_threads = threads;
+      core::ShardedEngine engine(*params_, config);
+      const std::set<std::uint64_t> ids = sampled_ids(engine, *records_);
+      EXPECT_EQ(ids, reference_ids)
+          << "sampled set diverged at shards=" << (1 << shard_bits)
+          << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -39,6 +39,13 @@
 //                           replay and write folded flamegraph stacks to
 //                           <file> (feed to flamegraph.pl / speedscope)
 //   --profile-hz=<N>        profiler sampling rate (default 97)
+//   --flow-trace-out=<file> enable flow provenance tracing and write one
+//                           JSON line per sampled flow journey (hops +
+//                           correlated stage-2 decisions) at exit. The
+//                           sampling period defaults to 1/65536 and is
+//                           overridden by IPD_FLOW_SAMPLE=<n>. Tracing is
+//                           also enabled by --http-port (the /flows
+//                           endpoint serves the same journeys live).
 //
 // A TimeSeriesStore + HealthEngine always ride along: every 5-minute bin
 // is ingested into the embedded TSDB and the default health rules
@@ -69,6 +76,7 @@
 #include "netflow/codec.hpp"
 #include "obs/cpu_profiler.hpp"
 #include "obs/export.hpp"
+#include "obs/flow_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
@@ -87,7 +95,7 @@ int usage(const char* argv0) {
                "[--decision-log[=N]] [--alerts-out=<file>] "
                "[--linger=<seconds>] [--shards=<N>] [--ingest-threads=<M>] "
                "[--perf-counters[=phases]] [--profile-out=<file>] "
-               "[--profile-hz=<N>] "
+               "[--profile-hz=<N>] [--flow-trace-out=<file>] "
                "<in.trace> [ncidr_factor4=auto] [q=0.95]\n",
                argv0);
   return 2;
@@ -111,6 +119,7 @@ int main(int argc, char** argv) {
   bool perf_per_phase = false;
   std::string profile_out;
   int profile_hz = 97;
+  std::string flow_trace_out;
   std::vector<std::string> positional;
   util::set_current_thread_name("ipd-main");
   for (int i = 1; i < argc; ++i) {
@@ -149,6 +158,8 @@ int main(int argc, char** argv) {
       profile_out = arg.substr(14);
     } else if (util::starts_with(arg, "--profile-hz=")) {
       profile_hz = static_cast<int>(util::parse_uint(arg.substr(13), 1000));
+    } else if (util::starts_with(arg, "--flow-trace-out=")) {
+      flow_trace_out = arg.substr(17);
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "unknown flag %s\n", std::string(arg).c_str());
       return usage(argv[0]);
@@ -245,6 +256,20 @@ int main(int argc, char** argv) {
     tracer.install_crash_handler(trace_out + ".crash");
   }
 
+  // Flow provenance tracing rides along whenever the journeys have
+  // somewhere to go: a JSONL file, or the live /flows endpoint.
+  obs::FlowTracer flow_trace(obs::FlowTracerConfig{
+      .sample_period = obs::FlowTracer::sample_period_from_env()});
+  const bool flow_trace_enabled = http_enabled || !flow_trace_out.empty();
+  if (flow_trace_enabled) {
+    engine.attach_flow_trace(flow_trace);
+    flow_trace.bind_metrics(&registry);
+    util::log_info(
+        "flow tracing enabled",
+        {{"sample_period", flow_trace.sample_period()},
+         {"max_flows", obs::FlowTracerConfig{}.max_flows}});
+  }
+
   // Self-monitoring: embedded TSDB at the 5-minute cadence + the default
   // health rules over it, fed by the engine's cycle deltas.
   obs::TimeSeriesStore timeseries;
@@ -276,6 +301,7 @@ int main(int argc, char** argv) {
   introspection.attach_health(health);
   introspection.attach_timeseries(timeseries);
   if (perf) introspection.attach_perf(*perf);
+  if (flow_trace_enabled) introspection.attach_flow_trace(flow_trace);
   if (http_enabled) {
     std::string error;
     if (!introspection.start(http_port, &error)) {
@@ -425,6 +451,30 @@ int main(int argc, char** argv) {
                    {{"file", trace_out},
                     {"events", tracer.size()},
                     {"overwritten", tracer.dropped()}});
+  }
+
+  if (!flow_trace_out.empty()) {
+    std::ofstream out(flow_trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flow_trace_out.c_str());
+      return 1;
+    }
+    const core::DecisionLog* dlog = engine.decision_log();
+    const auto journeys = flow_trace.journeys();
+    for (const auto& journey : journeys) {
+      out << analysis::flow_journey_json(journey, dlog) << '\n';
+    }
+    std::printf("flow trace: %zu journeys (%llu sampled, %llu evicted, "
+                "period 1/%llu) -> %s\n",
+                journeys.size(),
+                static_cast<unsigned long long>(flow_trace.flows_sampled()),
+                static_cast<unsigned long long>(flow_trace.journeys_evicted()),
+                static_cast<unsigned long long>(flow_trace.sample_period()),
+                flow_trace_out.c_str());
+    util::log_info("wrote flow journeys",
+                   {{"file", flow_trace_out},
+                    {"journeys", journeys.size()},
+                    {"hops", flow_trace.hops_recorded()}});
   }
 
   if (http_enabled && linger_s > 0) {

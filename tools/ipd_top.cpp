@@ -1,0 +1,363 @@
+// ipd_top — live terminal dashboard over a running IPD process.
+//
+// Usage: ipd_top --port=<port> [--host=127.0.0.1] [--interval=2] [--once]
+//
+// Polls the introspection endpoints (/metrics, /health, /alerts,
+// /flows?format=text) of an engine started with --http-port and renders:
+//
+//   * ingest rate (flows/s, from the ipd_ingest_flows_total delta between
+//     polls) and cumulative totals,
+//   * range partition counts, trie memory, tracked IPs,
+//   * pipeline freshness and ring-residency p99 against their SLOs,
+//   * per-shard flow occupancy (sharded engine only),
+//   * health state per component and the active alert list,
+//   * the most recent sampled flow journeys, one line each.
+//
+// Dependency-free by design: raw POSIX sockets, HTTP/1.1 with chunked
+// decoding (the /flows and /timeseries endpoints stream), ANSI escapes for
+// the redraw. `--once` prints a single frame and exits (CI smoke tests).
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port=<port> [--host=<addr>] "
+               "[--interval=<seconds>] [--once]\n",
+               argv0);
+  return 2;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// De-chunk a Transfer-Encoding: chunked body. Returns nullopt on
+/// malformed framing (truncated response — the server signals errors by
+/// closing before the terminating zero chunk).
+std::optional<std::string> decode_chunked(std::string_view raw) {
+  std::string out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string_view::npos) return std::nullopt;
+    std::size_t len = 0;
+    const std::string size_text(raw.substr(pos, eol - pos));
+    char* end = nullptr;
+    len = static_cast<std::size_t>(std::strtoull(size_text.c_str(), &end, 16));
+    if (end == size_text.c_str()) return std::nullopt;
+    pos = eol + 2;
+    if (len == 0) return out;  // terminating zero chunk
+    if (pos + len + 2 > raw.size()) return std::nullopt;
+    out.append(raw.substr(pos, len));
+    pos += len + 2;  // skip chunk + trailing CRLF
+  }
+}
+
+/// One blocking HTTP/1.1 GET; handles Content-Length and chunked bodies.
+std::optional<std::string> http_get(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& path) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  if (getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res) != 0) {
+    return std::nullopt;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) return std::nullopt;
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  const std::string_view head(raw.data(), head_end);
+  if (head.find(" 200 ") == std::string_view::npos) return std::nullopt;
+  const std::string_view body(raw.data() + head_end + 4,
+                              raw.size() - head_end - 4);
+  // Header keys are matched case-insensitively in spirit; this server
+  // emits exactly this casing.
+  if (head.find("Transfer-Encoding: chunked") != std::string_view::npos) {
+    return decode_chunked(body);
+  }
+  return std::string(body);
+}
+
+/// Parse Prometheus text exposition into {"name{labels}" -> value} plus a
+/// bare-name entry per family (last sample wins — fine for singletons).
+std::map<std::string, double> parse_metrics(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos) continue;
+    const std::string key(line.substr(0, sp));
+    const double value = std::atof(std::string(line.substr(sp + 1)).c_str());
+    out[key] = value;
+    const std::size_t brace = key.find('{');
+    if (brace != std::string::npos) out[key.substr(0, brace)] = value;
+  }
+  return out;
+}
+
+double metric_or(const std::map<std::string, double>& m,
+                 const std::string& key, double fallback) {
+  const auto it = m.find(key);
+  return it == m.end() ? fallback : it->second;
+}
+
+/// Pull every string field value named `field` out of a flat JSON blob
+/// (no nesting awareness needed for the shapes we read).
+std::vector<std::string> json_string_fields(const std::string& body,
+                                            const std::string& field) {
+  std::vector<std::string> out;
+  const std::string needle = "\"" + field + "\":\"";
+  std::size_t pos = 0;
+  while ((pos = body.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    const std::size_t end = body.find('"', pos);
+    if (end == std::string::npos) break;
+    out.push_back(body.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string fmt_quantity(double v) {
+  char buf[32];
+  if (v >= 1e9) std::snprintf(buf, sizeof(buf), "%.2fG", v * 1e-9);
+  else if (v >= 1e6) std::snprintf(buf, sizeof(buf), "%.2fM", v * 1e-6);
+  else if (v >= 1e3) std::snprintf(buf, sizeof(buf), "%.1fk", v * 1e-3);
+  else std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+const char* state_color(const std::string& state) {
+  if (state == "ok") return "\x1b[32m";         // green
+  if (state == "degraded") return "\x1b[33m";   // yellow
+  return "\x1b[31m";                            // red
+}
+
+struct Frame {
+  std::map<std::string, double> metrics;
+  std::string health;
+  std::string alerts;
+  std::string flows;
+  bool metrics_ok = false;
+};
+
+Frame fetch(const std::string& host, std::uint16_t port) {
+  Frame f;
+  if (auto m = http_get(host, port, "/metrics")) {
+    f.metrics = parse_metrics(*m);
+    f.metrics_ok = true;
+  }
+  if (auto h = http_get(host, port, "/health")) f.health = *h;
+  if (auto a = http_get(host, port, "/alerts")) f.alerts = *a;
+  if (auto j = http_get(host, port, "/flows?format=text&limit=8")) {
+    f.flows = *j;
+  }
+  return f;
+}
+
+void render(const Frame& f, const std::string& host, std::uint16_t port,
+            double rate, bool ansi) {
+  if (ansi) std::fputs("\x1b[2J\x1b[H", stdout);
+  std::printf("ipd_top — %s:%u\n", host.c_str(), port);
+  if (!f.metrics_ok) {
+    std::printf("  (no /metrics — is the process up with --http-port?)\n");
+    std::fflush(stdout);
+    return;
+  }
+  const auto& m = f.metrics;
+  std::printf(
+      "ingest   %s flows/s | total %s flows, %s weight | cycles %s\n",
+      fmt_quantity(rate < 0 ? 0 : rate).c_str(),
+      fmt_quantity(metric_or(m, "ipd_ingest_flows_total", 0)).c_str(),
+      fmt_quantity(metric_or(m, "ipd_ingest_weight_total", 0)).c_str(),
+      fmt_quantity(metric_or(m, "ipd_cycles_total", 0)).c_str());
+  std::printf(
+      "ranges   %.0f classified / %.0f monitoring | tracked IPs %s | "
+      "trie %s B\n",
+      metric_or(m, "ipd_ranges{state=\"classified\"}", 0),
+      metric_or(m, "ipd_ranges{state=\"monitoring\"}", 0),
+      fmt_quantity(metric_or(m, "ipd_tracked_ips", 0)).c_str(),
+      fmt_quantity(metric_or(m, "ipd_memory_bytes",
+                             metric_or(m, "ipd_trie_memory_bytes", 0)))
+          .c_str());
+  std::printf(
+      "fresh    %.1f s behind publish | ring residency p99 %.4f s | "
+      "ring depth %.0f\n",
+      metric_or(m, "ipd_freshness_seconds", 0),
+      metric_or(m, "ipd_ring_residency_p99_seconds", 0),
+      metric_or(m, "ipd_ring_depth", 0));
+  std::printf(
+      "flows    %s sampled, %s hops | decode->apply observations %s\n",
+      fmt_quantity(metric_or(m, "ipd_flows_sampled_total", 0)).c_str(),
+      fmt_quantity(metric_or(m, "ipd_flow_hops_total", 0)).c_str(),
+      fmt_quantity(
+          metric_or(m, "ipd_flow_decode_to_apply_seconds_count", 0))
+          .c_str());
+
+  // Per-shard occupancy (sharded engine only; keys carry family + shard).
+  for (const char* family : {"v4", "v6"}) {
+    std::string row;
+    for (int shard = 0; shard < 64; ++shard) {
+      char key[64];
+      std::snprintf(key, sizeof(key),
+                    "ipd_shard_flows{family=\"%s\",shard=\"%d\"}", family,
+                    shard);
+      const auto it = m.find(key);
+      if (it == m.end()) {
+        std::snprintf(key, sizeof(key),
+                      "ipd_shard_flows{shard=\"%d\",family=\"%s\"}", shard,
+                      family);
+        const auto it2 = m.find(key);
+        if (it2 == m.end()) break;
+        row += ' ';
+        row += fmt_quantity(it2->second);
+        continue;
+      }
+      row += ' ';
+      row += fmt_quantity(it->second);
+    }
+    if (!row.empty()) std::printf("shards   %s:%s\n", family, row.c_str());
+  }
+
+  const auto statuses = json_string_fields(f.health, "status");
+  const std::string overall = statuses.empty() ? "unknown" : statuses[0];
+  std::printf("\nhealth   %s%s\x1b[0m (%.0f active alerts)\n",
+              ansi ? state_color(overall) : "", overall.c_str(),
+              metric_or(m, "ipd_alerts_active", 0));
+  const auto names = json_string_fields(f.health, "name");
+  const auto states = json_string_fields(f.health, "state");
+  for (std::size_t i = 0; i < names.size() && i < states.size(); ++i) {
+    std::printf("  %-12s %s%s\x1b[0m\n", names[i].c_str(),
+                ansi ? state_color(states[i]) : "", states[i].c_str());
+  }
+  // Active alert rules: everything before the resolved ring in /alerts.
+  // The same rule fires once per offending label set (e.g. one
+  // ingress-shift alert per range), so collapse duplicates into a count.
+  const std::size_t recent = f.alerts.find("\"recent\":");
+  const auto rules = json_string_fields(
+      recent == std::string::npos ? f.alerts : f.alerts.substr(0, recent),
+      "rule");
+  std::map<std::string, int> rule_counts;
+  for (const auto& rule : rules) ++rule_counts[rule];
+  for (const auto& [rule, count] : rule_counts) {
+    if (count == 1) {
+      std::printf("  ! %s\n", rule.c_str());
+    } else {
+      std::printf("  ! %s (x%d)\n", rule.c_str(), count);
+    }
+  }
+
+  std::printf("\nsampled flow journeys (newest %d):\n", 8);
+  if (f.flows.empty()) {
+    std::printf("  (none yet — sampling period may be high; set "
+                "IPD_FLOW_SAMPLE)\n");
+  } else {
+    std::fputs(f.flows.c_str(), stdout);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double interval_s = 2.0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (starts_with(arg, "--host=")) {
+      host = std::string(arg.substr(7));
+    } else if (starts_with(arg, "--port=")) {
+      port = static_cast<std::uint16_t>(
+          std::atoi(std::string(arg.substr(7)).c_str()));
+    } else if (starts_with(arg, "--interval=")) {
+      interval_s = std::atof(std::string(arg.substr(11)).c_str());
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (port == 0) return usage(argv[0]);
+  if (interval_s <= 0.0) interval_s = 2.0;
+
+  double last_total = -1.0;
+  auto last_time = std::chrono::steady_clock::now();
+  for (;;) {
+    const Frame frame = fetch(host, port);
+    const auto now = std::chrono::steady_clock::now();
+    double rate = -1.0;
+    if (frame.metrics_ok) {
+      const double total =
+          metric_or(frame.metrics, "ipd_ingest_flows_total", 0);
+      const double dt =
+          std::chrono::duration<double>(now - last_time).count();
+      if (last_total >= 0.0 && dt > 0.0) rate = (total - last_total) / dt;
+      last_total = total;
+      last_time = now;
+    }
+    render(frame, host, port, rate, !once);
+    if (once) return frame.metrics_ok ? 0 : 1;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_s));
+  }
+}
