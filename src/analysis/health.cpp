@@ -232,6 +232,56 @@ void HealthEngine::install_default_rules(const core::IpdParams& params) {
   residency.window_points = config_.window_points;
   residency.reason = "ring-residency p99 spiked: IPD thread behind ingest";
   add_rule(std::move(residency));
+
+  // Execution-observability rules (series exist when lock/thread/watchdog
+  // telemetry publishes into the TSDB; otherwise they never fire).
+
+  // Lock-wait p99 spike: one rule covers every instrumented site — a
+  // site's tail wait blowing past the threshold means some path is
+  // serializing behind it (e.g. introspection snapshots pinning the slot
+  // locks while ingest waits).
+  ThresholdRule lock_wait;
+  lock_wait.name = "lock-wait-p99-spike";
+  lock_wait.component = "execution";
+  lock_wait.severity = AlertSeverity::Warning;
+  lock_wait.series = "ipd_lock_wait_p99_seconds";
+  lock_wait.agg = ThresholdRule::Agg::Max;
+  lock_wait.cmp = ThresholdRule::Cmp::GreaterThan;
+  lock_wait.threshold = config_.lock_wait_p99_s;
+  lock_wait.window_points = config_.window_points;
+  lock_wait.reason = "lock-wait p99 spiked at an instrumented site";
+  add_rule(std::move(lock_wait));
+
+  // Involuntary context-switch burst: threads being preempted en masse
+  // means the process is fighting for CPU (noisy neighbor, wrong pinning,
+  // or a runaway thread) — latency follows even before any queue grows.
+  ThresholdRule preempt;
+  preempt.name = "involuntary-ctx-switch-burst";
+  preempt.component = "execution";
+  preempt.severity = AlertSeverity::Warning;
+  preempt.series = "ipd_thread_ctx_switches_total";
+  preempt.labels = {{"kind", "involuntary"}};
+  preempt.agg = ThresholdRule::Agg::Delta;
+  preempt.cmp = ThresholdRule::Cmp::GreaterThan;
+  preempt.threshold = config_.involuntary_ctx_burst;
+  preempt.window_points = config_.window_points;
+  preempt.reason = "involuntary context switches burst above the threshold";
+  add_rule(std::move(preempt));
+
+  // Watchdog stall: any increase is a missed heartbeat with a captured
+  // stack waiting in /threads — always worth a page.
+  ThresholdRule stall;
+  stall.name = "watchdog-stall";
+  stall.component = "execution";
+  stall.severity = AlertSeverity::Critical;
+  stall.series = "ipd_watchdog_stalls_total";
+  stall.agg = ThresholdRule::Agg::Delta;
+  stall.cmp = ThresholdRule::Cmp::GreaterThan;
+  stall.threshold = 0.0;
+  stall.window_points = config_.window_points;
+  stall.clear_after = 2;
+  stall.reason = "a registered task missed its heartbeat deadline";
+  add_rule(std::move(stall));
 }
 
 void HealthEngine::attach_cycle_deltas(core::CycleDeltaLog& log) {

@@ -114,6 +114,10 @@ struct HealthConfig {
   // Ring-residency p99 spike: records sitting in a reader ring for more
   // than this long mean the IPD thread is not keeping up with ingest.
   double ring_residency_p99_s = 1.0;
+  // Execution-observability rules (no-ops until ipd_lock_* /
+  // ipd_thread_* / ipd_watchdog_* series are published into the TSDB).
+  double lock_wait_p99_s = 0.010;       // tail wait at any instrumented site
+  double involuntary_ctx_burst = 1000;  // preemptions per window across threads
 };
 
 class HealthEngine {

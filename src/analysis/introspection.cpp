@@ -12,6 +12,7 @@
 #include "obs/cpu_profiler.hpp"
 #include "obs/export.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 
@@ -104,7 +105,7 @@ std::string flow_journey_text(const obs::FlowJourney& journey,
 }
 
 IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
-                                         std::mutex& engine_mutex,
+                                         obs::InstrumentedMutex& engine_mutex,
                                          IntrospectionConfig config)
     : engine_(engine), engine_mutex_(engine_mutex), config_(config) {
   server_.handle("/", [this](const obs::HttpRequest& r) {
@@ -146,6 +147,20 @@ IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
   server_.handle("/flows", [this](const obs::HttpRequest& r) {
     return handle_flows(r);
   });
+  server_.handle("/threads", [this](const obs::HttpRequest& r) {
+    return handle_threads(r);
+  });
+  server_.handle("/locks", [this](const obs::HttpRequest& r) {
+    return handle_locks(r);
+  });
+}
+
+void IntrospectionServer::register_heartbeat(obs::Watchdog& watchdog,
+                                             std::int64_t budget_ms) {
+  const obs::Watchdog::TaskId task =
+      watchdog.register_task("http.serve", budget_ms);
+  obs::Watchdog* wd = &watchdog;
+  server_.set_loop_tick([wd, task] { wd->beat(task); });
 }
 
 bool IntrospectionServer::start(std::uint16_t port, std::string* error) {
@@ -158,13 +173,15 @@ obs::HttpResponse IntrospectionServer::handle_index(const obs::HttpRequest&) {
       "\"/explain?ip=A.B.C.D\",\"/decisions\",\"/trace\",\"/health\","
       "\"/alerts\",\"/timeseries?name=<metric>&from=<ts>\",\"/perf\","
       "\"/profile?seconds=N&hz=N&clock=cpu|wall\","
-      "\"/flows?limit=N&format=json|text\"]}");
+      "\"/flows?limit=N&format=json|text\","
+      "\"/threads?format=json|text\","
+      "\"/locks?limit=N&format=json|text\"]}");
 }
 
 obs::HttpResponse IntrospectionServer::handle_healthz(const obs::HttpRequest&) {
   core::EngineStats stats;
   {
-    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex_);
     stats = engine_.stats();
   }
   return obs::HttpResponse::json(util::format(
@@ -182,7 +199,7 @@ obs::HttpResponse IntrospectionServer::handle_metrics(const obs::HttpRequest&) {
   // scrape between cycles is not up to one cycle stale.
   std::string body;
   {
-    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex_);
     engine_.flush_ingest_metrics();
     body = obs::to_prometheus(*registry);
   }
@@ -209,7 +226,7 @@ obs::HttpResponse IntrospectionServer::handle_ranges(
 
   core::Snapshot snapshot;
   {
-    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex_);
     snapshot = core::take_snapshot(engine_, 0, classified_only);
   }
   const std::size_t total = snapshot.size();
@@ -240,7 +257,7 @@ obs::HttpResponse IntrospectionServer::handle_explain(
 
   std::string body;
   {
-    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex_);
     const core::RangeNode& leaf = engine_.locate(ip);
     const core::IpdParams& params = engine_.params();
     const double n_cidr =
@@ -550,6 +567,80 @@ obs::HttpResponse IntrospectionServer::handle_flows(
           if (!write(chunk)) return;
         }
         write("]}");
+      });
+}
+
+obs::HttpResponse IntrospectionServer::handle_threads(
+    const obs::HttpRequest& request) {
+  bool text = false;
+  if (const auto format = request.query_param("format")) {
+    if (*format == "text") {
+      text = true;
+    } else if (*format != "json") {
+      return bad_request("format must be json or text");
+    }
+  }
+  // Sampling reads /proc only — no engine mutex, never stalls ingest.
+  auto threads = obs::sample_process_threads();
+
+  if (text) {
+    std::string body = obs::threads_text(threads);
+    if (watchdog_ != nullptr) {
+      body += "\nwatchdog tasks:\n";
+      for (const obs::Watchdog::TaskView& task : watchdog_->tasks()) {
+        body += util::format(
+            "  %-16s budget_ms=%lld %s%s\n", task.name.c_str(),
+            static_cast<long long>(task.budget_ms),
+            task.armed ? "armed" : "disarmed", task.stalled ? " STALLED" : "");
+      }
+    }
+    return obs::HttpResponse::stream(
+        "text/plain; charset=utf-8",
+        [body = std::move(body)](const obs::HttpResponse::ChunkWriter& write) {
+          write(body);
+        });
+  }
+
+  // The watchdog state (tasks + recent stall reports, each carrying a
+  // captured stack) rides along so one curl answers "what is every thread
+  // doing and is anything stuck".
+  std::string body = util::format("{\"count\":%zu,\"threads\":",
+                                  threads.size());
+  body += obs::threads_json(threads);
+  body += ",\"watchdog\":";
+  body += watchdog_ != nullptr ? watchdog_->to_json() : "null";
+  body += '}';
+  return obs::HttpResponse::stream(
+      "application/json",
+      [body = std::move(body)](const obs::HttpResponse::ChunkWriter& write) {
+        write(body);
+      });
+}
+
+obs::HttpResponse IntrospectionServer::handle_locks(
+    const obs::HttpRequest& request) {
+  std::size_t limit = 0;
+  try {
+    limit = uint_param(request, "limit", 0, SIZE_MAX / 2);
+  } catch (const std::exception& e) {
+    return bad_request(e.what());
+  }
+  bool text = false;
+  if (const auto format = request.query_param("format")) {
+    if (*format == "text") {
+      text = true;
+    } else if (*format != "json") {
+      return bad_request("format must be json or text");
+    }
+  }
+  // The lock registry is process-global and internally synchronized; site
+  // snapshots are relaxed reads, so /locks itself perturbs nothing.
+  std::string body = text ? obs::lock_sites_text(limit)
+                          : obs::lock_sites_json();
+  return obs::HttpResponse::stream(
+      text ? "text/plain; charset=utf-8" : "application/json",
+      [body = std::move(body)](const obs::HttpResponse::ChunkWriter& write) {
+        write(body);
       });
 }
 

@@ -18,13 +18,19 @@
 //                    `seconds`, return folded flamegraph stacks (text)
 //   GET /flows       ?limit=&format=json|text — sampled flow journeys with
 //                    per-hop timestamps and correlated stage-2 decisions
+//   GET /threads     ?format=json|text — per-thread scheduler stats from
+//                    /proc/self/task plus watchdog task/stall state
+//   GET /locks       ?limit=&format=json|text — per-site lock contention
+//                    (wait/hold p50/p99/max, contention ratio)
 //
 // The engine is shared with the ingest thread: every handler takes
 // `engine_mutex` around engine access, and the ingest side must hold the
-// same mutex around offer()/run_cycle() batches. The decision log, tracer,
-// time-series store and health engine are internally synchronized and are
-// read without the engine mutex, so /trace /decisions /health /alerts
-// /timeseries never stall ingest.
+// same mutex around offer()/run_cycle() batches. The mutex is an
+// obs::InstrumentedMutex — introspection-vs-ingest contention shows up in
+// /locks like every other site. The decision log, tracer, time-series
+// store and health engine are internally synchronized and are read without
+// the engine mutex, so /trace /decisions /health /alerts /timeseries
+// /threads /locks never stall ingest.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +40,9 @@
 #include "core/engine_base.hpp"
 #include "obs/flow_trace.hpp"
 #include "obs/http_server.hpp"
+#include "obs/lock_stats.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 
 namespace ipd::analysis {
 
@@ -70,7 +78,8 @@ class IntrospectionServer {
   /// registry, decision log and tracer are discovered through the engine's
   /// attachments at request time — attaching them before or after
   /// construction both work.
-  IntrospectionServer(core::EngineBase& engine, std::mutex& engine_mutex,
+  IntrospectionServer(core::EngineBase& engine,
+                      obs::InstrumentedMutex& engine_mutex,
                       IntrospectionConfig config = {});
 
   /// Serve /health and /alerts from `health` (must outlive the server;
@@ -94,6 +103,19 @@ class IntrospectionServer {
   void attach_flow_trace(const obs::FlowTracer& tracer) noexcept {
     flow_trace_ = &tracer;
   }
+
+  /// Fold `watchdog` task/stall state into /threads (internally
+  /// synchronized; must outlive the server). /threads and /locks work
+  /// without any attachment — they read /proc and the process-global lock
+  /// registry directly.
+  void attach_watchdog(const obs::Watchdog& watchdog) noexcept {
+    watchdog_ = &watchdog;
+  }
+
+  /// Register a "http.serve" heartbeat on `watchdog` and beat it from the
+  /// serve loop. The budget must exceed the longest legitimate handler
+  /// (/profile blocks up to profile_max_seconds), so default generously.
+  void register_heartbeat(obs::Watchdog& watchdog, std::int64_t budget_ms);
 
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and serve until stop().
   bool start(std::uint16_t port, std::string* error = nullptr);
@@ -119,14 +141,17 @@ class IntrospectionServer {
   obs::HttpResponse handle_perf(const obs::HttpRequest& request);
   obs::HttpResponse handle_profile(const obs::HttpRequest& request);
   obs::HttpResponse handle_flows(const obs::HttpRequest& request);
+  obs::HttpResponse handle_threads(const obs::HttpRequest& request);
+  obs::HttpResponse handle_locks(const obs::HttpRequest& request);
 
   core::EngineBase& engine_;
-  std::mutex& engine_mutex_;
+  obs::InstrumentedMutex& engine_mutex_;
   IntrospectionConfig config_;
   const HealthEngine* health_ = nullptr;
   const obs::TimeSeriesStore* timeseries_ = nullptr;
   const obs::PerfCounters* perf_ = nullptr;
   const obs::FlowTracer* flow_trace_ = nullptr;
+  const obs::Watchdog* watchdog_ = nullptr;
   obs::HttpServer server_;
 };
 

@@ -5,8 +5,10 @@
 
 #include "core/engine.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/build_info.hpp"
 #include "obs/flow_trace.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/thread_stats.hpp"
 #include "util/logging.hpp"
 #include "util/thread.hpp"
 
@@ -46,6 +48,7 @@ CollectorService::CollectorService(core::IpdParams params,
   ipfix_parsers_.resize(n_sources);
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& registry = *config_.metrics;
+    obs::register_build_info(registry);
     engine_->attach_metrics(registry);
     for (std::size_t i = 0; i < n_sources; ++i) {
       const obs::Labels source{{"source", std::to_string(i)}};
@@ -82,6 +85,12 @@ CollectorService::CollectorService(core::IpdParams params,
     engine_->attach_perf(*config_.perf);
     perf_drain_phase_ = config_.perf->phase("collector.drain");
   }
+  if (config_.watchdog != nullptr) {
+    wd_drain_task_ = config_.watchdog->register_task("collector.drain",
+                                                     config_.drain_budget_ms);
+    wd_cycle_task_ = config_.watchdog->register_task("engine.cycle",
+                                                     config_.cycle_budget_ms);
+  }
   if (config_.flow_trace != nullptr) {
     engine_->attach_flow_trace(*config_.flow_trace);
     if (config_.metrics != nullptr) {
@@ -112,6 +121,8 @@ CollectorService::CollectorService(core::IpdParams params,
         if (record.ts >= next_cycle_ || record.ts >= next_snapshot_) {
           flush_engine_pending();
           while (record.ts >= next_cycle_) {
+            const obs::WatchdogScope cycle_scope(config_.watchdog,
+                                                 wd_cycle_task_);
             engine_->run_cycle(next_cycle_);
             next_cycle_ += engine_->params().t;
           }
@@ -304,6 +315,7 @@ void CollectorService::ipd_loop() {
   // contributes no task-clock anyway.
   bool was_busy = true;
   while (running_.load(std::memory_order_relaxed)) {
+    if (config_.watchdog != nullptr) config_.watchdog->beat(wd_drain_task_);
     obs::PerfScope perf_scope(was_busy ? config_.perf : nullptr,
                               perf_drain_phase_);
     const bool any = drain_once();
@@ -315,6 +327,8 @@ void CollectorService::ipd_loop() {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
+  // A stopped loop is not a stalled one.
+  if (config_.watchdog != nullptr) config_.watchdog->disarm(wd_drain_task_);
 }
 
 void CollectorService::publish(util::Timestamp ts) {
@@ -322,7 +336,7 @@ void CollectorService::publish(util::Timestamp ts) {
   auto table = std::make_shared<const core::LpmTable>(
       core::LpmTable::from_snapshot(snapshot));
   {
-    const std::lock_guard<std::mutex> lock(publish_mutex_);
+    const std::lock_guard<obs::InstrumentedMutex> lock(publish_mutex_);
     table_ = std::move(table);
     snapshot_ = std::move(snapshot);
   }
@@ -332,15 +346,23 @@ void CollectorService::publish(util::Timestamp ts) {
   if (freshness_metric_ != nullptr) {
     freshness_metric_->set(static_cast<double>(freshness_seconds()));
   }
+  // Snapshot cadence is the right rate for the execution-observability
+  // gauges too: lock sites are a handful of relaxed loads, thread stats a
+  // few small /proc reads.
+  if (config_.metrics != nullptr) {
+    obs::publish_lock_metrics(*config_.metrics);
+    obs::publish_thread_metrics(obs::sample_process_threads(),
+                                *config_.metrics);
+  }
 }
 
 std::shared_ptr<const core::LpmTable> CollectorService::current_table() const {
-  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(publish_mutex_);
   return table_;
 }
 
 core::Snapshot CollectorService::latest_snapshot() const {
-  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(publish_mutex_);
   return snapshot_;
 }
 

@@ -31,7 +31,9 @@
 #include "netflow/ipfix.hpp"
 #include "netflow/statistical_time.hpp"
 #include "netflow/v5.hpp"
+#include "obs/lock_stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
 #include "util/logging.hpp"
 
 namespace ipd::obs {
@@ -61,6 +63,15 @@ struct CollectorConfig {
   // thread records ring-dequeue, and the engine is attached for shard
   // routing / trie-apply hops.
   obs::FlowTracer* flow_trace = nullptr;
+  // Optional stall watchdog (must outlive the service). The collector
+  // registers two tasks: "collector.drain", beaten every IPD-loop round
+  // (budget drain_budget_ms — generous vs the sub-ms round so sanitizer
+  // hosts never false-positive), and "engine.cycle", armed/disarmed around
+  // each stage-2 run_cycle (budget cycle_budget_ms vs the paper's 60 s
+  // cycle budget).
+  obs::Watchdog* watchdog = nullptr;
+  std::int64_t drain_budget_ms = 30000;
+  std::int64_t cycle_budget_ms = 120000;
   // Engine selection: shard_bits < 0 runs the sequential IpdEngine;
   // >= 0 runs a core::ShardedEngine with 2^shard_bits shards per family
   // and `ingest_threads` stage-1/stage-2 workers.
@@ -176,9 +187,11 @@ class CollectorService {
   std::thread ipd_thread_;
   std::atomic<bool> running_{false};
   int perf_drain_phase_ = -1;
+  obs::Watchdog::TaskId wd_drain_task_ = 0;  // valid iff config_.watchdog
+  obs::Watchdog::TaskId wd_cycle_task_ = 0;
 
   // Published results (RCU-style: swap a shared_ptr under a light mutex).
-  mutable std::mutex publish_mutex_;
+  mutable obs::InstrumentedMutex publish_mutex_{"collector.publish"};
   std::shared_ptr<const core::LpmTable> table_;
   core::Snapshot snapshot_;
 

@@ -41,7 +41,7 @@ DecisionLog::DecisionLog(std::size_t capacity)
 }
 
 void DecisionLog::record(DecisionEvent event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   event.seq = next_seq_++;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -51,17 +51,17 @@ void DecisionLog::record(DecisionEvent event) {
 }
 
 std::size_t DecisionLog::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   return ring_.size();
 }
 
 std::uint64_t DecisionLog::total_recorded() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   return next_seq_;
 }
 
 std::uint64_t DecisionLog::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   return next_seq_ - ring_.size();
 }
 
@@ -69,7 +69,7 @@ template <typename Pred>
 std::vector<DecisionEvent> DecisionLog::filtered(Pred&& pred) const {
   std::vector<DecisionEvent> out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
     for (const DecisionEvent& event : ring_) {
       if (pred(event)) out.push_back(event);
     }
@@ -101,7 +101,7 @@ std::vector<DecisionEvent> DecisionLog::events_within(
 }
 
 std::size_t DecisionLog::memory_bytes() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   std::size_t bytes = sizeof(DecisionLog) + ring_.capacity() * sizeof(DecisionEvent);
   for (const DecisionEvent& event : ring_) {
     bytes += event.ingress.ifaces.capacity() * sizeof(topology::InterfaceIndex);
@@ -110,7 +110,7 @@ std::size_t DecisionLog::memory_bytes() const {
 }
 
 void DecisionLog::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   ring_.clear();
 }
 

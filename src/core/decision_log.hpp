@@ -23,6 +23,7 @@
 
 #include "core/ingress.hpp"
 #include "net/prefix.hpp"
+#include "obs/lock_stats.hpp"
 #include "util/time.hpp"
 
 namespace ipd::core {
@@ -108,7 +109,7 @@ class DecisionLog {
   std::vector<DecisionEvent> filtered(Pred&& pred) const;
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable obs::InstrumentedMutex mutex_{"decision.log"};
   std::vector<DecisionEvent> ring_;  // capacity_ slots once saturated
   std::uint64_t next_seq_ = 0;       // == total recorded
 };

@@ -144,7 +144,7 @@ void EngineMetrics::add_ingest_deltas(net::Family family, std::uint64_t flows,
 }
 
 void CycleDeltaLog::push(RangeTransition transition) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   ++total_;
   if (items_.size() >= capacity_) {
     ++dropped_;
@@ -154,24 +154,24 @@ void CycleDeltaLog::push(RangeTransition transition) {
 }
 
 std::vector<RangeTransition> CycleDeltaLog::drain() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   std::vector<RangeTransition> out;
   out.swap(items_);
   return out;
 }
 
 std::size_t CycleDeltaLog::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   return items_.size();
 }
 
 std::uint64_t CycleDeltaLog::total_recorded() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   return total_;
 }
 
 std::uint64_t CycleDeltaLog::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
   return dropped_;
 }
 

@@ -22,6 +22,7 @@
 #include "core/params.hpp"
 #include "core/trie.hpp"
 #include "netflow/flow_record.hpp"
+#include "obs/lock_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -102,7 +103,7 @@ class CycleDeltaLog {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable obs::InstrumentedMutex mutex_{"engine.cycle_deltas"};
   std::vector<RangeTransition> items_;
   std::uint64_t total_ = 0;
   std::uint64_t dropped_ = 0;

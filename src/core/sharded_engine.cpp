@@ -142,12 +142,12 @@ net::Prefix ShardedEngine::shard_prefix(net::Family family,
 }
 
 std::size_t ShardedEngine::parallel_units(net::Family family) const {
-  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   return family_state(family).cut.size();
 }
 
 void ShardedEngine::attach_metrics(obs::MetricsRegistry& registry) {
-  const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::unique_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   metrics_ = std::make_unique<EngineMetrics>(registry);
   // Per-shard stage-1 instruments. Beyond 64 shards the label cardinality
   // stops paying for itself: fall back to one aggregate series.
@@ -213,13 +213,13 @@ void ShardedEngine::rebuild_cut(FamilyState& state) {
 void ShardedEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
                            topology::LinkId ingress,
                            std::uint64_t weight) noexcept {
-  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   FamilyState& state = family_state(src_ip.family());
   const net::IpAddress masked =
       src_ip.masked(params_.cidr_max(src_ip.family()));
   const std::size_t slot_idx = slot_index(state, masked);
   Slot& slot = *state.slots[slot_idx];
-  const std::lock_guard<std::mutex> guard(slot.mutex);
+  const std::lock_guard<obs::InstrumentedMutex> guard(slot.mutex);
   state.trie.locate(masked).add_sample(ts, masked, ingress, weight);
   slot.flows.fetch_add(1, std::memory_order_relaxed);
   if (metrics_) slot.deltas.record(src_ip.family(), ingress, weight);
@@ -240,7 +240,7 @@ void ShardedEngine::ingest(util::Timestamp ts, const net::IpAddress& src_ip,
 
 std::unique_ptr<ShardedEngine::Staging> ShardedEngine::acquire_staging() {
   {
-    const std::lock_guard<std::mutex> lock(staging_mutex_);
+    const std::lock_guard<obs::InstrumentedMutex> lock(staging_mutex_);
     if (!staging_pool_.empty()) {
       auto staging = std::move(staging_pool_.back());
       staging_pool_.pop_back();
@@ -255,7 +255,7 @@ std::unique_ptr<ShardedEngine::Staging> ShardedEngine::acquire_staging() {
 void ShardedEngine::release_staging(std::unique_ptr<Staging> staging) {
   for (const std::uint32_t b : staging->active) staging->buckets[b].clear();
   staging->active.clear();
-  const std::lock_guard<std::mutex> lock(staging_mutex_);
+  const std::lock_guard<obs::InstrumentedMutex> lock(staging_mutex_);
   staging_pool_.push_back(std::move(staging));
 }
 
@@ -266,7 +266,7 @@ void ShardedEngine::ingest_bucket(std::size_t bucket,
   FamilyState& state = bucket < shard_count_ ? v4_ : v6_;
   const std::size_t slot_idx = bucket % shard_count_;
   Slot& slot = *state.slots[slot_idx];
-  const std::lock_guard<std::mutex> guard(slot.mutex);
+  const std::lock_guard<obs::InstrumentedMutex> guard(slot.mutex);
   for (const PreparedSample& s : samples) {
     state.trie.locate(s.ip).add_sample(s.ts, s.ip, s.link, s.weight);
     if (metrics_) slot.deltas.record(state.family, s.link, s.weight);
@@ -286,7 +286,7 @@ void ShardedEngine::ingest_batch(
   // cost two syscalls per cut member per batch — too much; true per-worker
   // attribution comes from the rdpmc samplers during stage 2 instead.
   const obs::PerfScope perf_scope(perf_, perf_stage1_);
-  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   auto staging = acquire_staging();
   // Bucket in record order, so each cut member sees its records in exactly
   // the order a sequential engine would process them.
@@ -440,7 +440,7 @@ void ShardedEngine::cycle_family(FamilyState& state, util::Timestamp now,
 }
 
 CycleStats ShardedEngine::run_cycle(util::Timestamp now) {
-  const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::unique_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t trace_t0 = tracer_ ? tracer_->now_us() : 0;
   obs::PerfScope perf_scope(perf_, perf_stage2_);
@@ -554,7 +554,7 @@ EngineStats ShardedEngine::stats() const noexcept {
 void ShardedEngine::for_each_leaf(
     net::Family family,
     const std::function<void(const RangeNode&)>& fn) const {
-  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   const FamilyState& state = family_state(family);
   // Cut order == address order, so concatenating the per-member in-order
   // walks (each under its slot's mutex, shutting out that member's
@@ -562,17 +562,17 @@ void ShardedEngine::for_each_leaf(
   for (const NodeIndex index : state.cut) {
     const RangeNode& member = state.trie.node(index);
     const std::size_t slot = shard_index(member.prefix().address());
-    const std::lock_guard<std::mutex> guard(state.slots[slot]->mutex);
+    const std::lock_guard<obs::InstrumentedMutex> guard(state.slots[slot]->mutex);
     state.trie.for_each_leaf_from(member, fn);
   }
 }
 
 const RangeNode& ShardedEngine::locate(const net::IpAddress& ip) const {
-  const std::shared_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   const FamilyState& state = family_state(ip.family());
   const net::IpAddress masked = ip.masked(params_.cidr_max(ip.family()));
   Slot& slot = *state.slots[slot_index(state, masked)];
-  const std::lock_guard<std::mutex> guard(slot.mutex);
+  const std::lock_guard<obs::InstrumentedMutex> guard(slot.mutex);
   return const_cast<IpdTrie&>(state.trie).locate(masked);
 }
 
@@ -610,7 +610,7 @@ void ShardedEngine::flush_deltas_locked() {
 }
 
 void ShardedEngine::flush_ingest_metrics() {
-  const std::unique_lock<std::shared_mutex> lock(structure_mutex_);
+  const std::unique_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   if (!metrics_) return;
   flush_deltas_locked();
   metrics_->flush_ingest();

@@ -192,7 +192,9 @@ class ShardedEngine final : public EngineBase {
   /// the 2^k slots are active at any moment. Flow counters accumulate in
   /// the slot forever (slots never move), so stats() needs no lock.
   struct Slot {
-    mutable std::mutex mutex;
+    // All slot mutexes report to one "engine.slot" lock site — per-slot
+    // sites would scale series cardinality with 2^shard_bits.
+    mutable obs::InstrumentedMutex mutex{"engine.slot"};
     std::atomic<std::uint64_t> flows{0};
     IngestDeltas deltas;
   };
@@ -288,14 +290,14 @@ class ShardedEngine final : public EngineBase {
   // Structure lock: ingest/snapshot/locate take it shared (the per-slot
   // mutexes serialize access within a cut member); run_cycle — the only
   // structural mutator — takes it exclusive.
-  mutable std::shared_mutex structure_mutex_;
+  mutable obs::InstrumentedSharedMutex structure_mutex_{"engine.structure"};
 
   FamilyState v4_;
   FamilyState v6_;
 
   std::unique_ptr<WorkerPool> pool_;
 
-  std::mutex staging_mutex_;
+  obs::InstrumentedMutex staging_mutex_{"engine.staging"};
   std::vector<std::unique_ptr<Staging>> staging_pool_;
 
   // Lifetime counters (stage 2 writes under the exclusive lock; stats()

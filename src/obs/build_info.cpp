@@ -1,0 +1,45 @@
+#include "obs/build_info.hpp"
+
+// The IPD_BUILD_* macros are injected by src/obs/CMakeLists.txt onto this
+// translation unit only (see set_source_files_properties there); the
+// fallbacks keep non-CMake compiles (clangd, quick checks) working.
+#ifndef IPD_BUILD_GIT_SHA
+#define IPD_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef IPD_BUILD_TYPE
+#define IPD_BUILD_TYPE "unspecified"
+#endif
+#ifndef IPD_BUILD_COMPILER
+#define IPD_BUILD_COMPILER "unknown"
+#endif
+#ifndef IPD_BUILD_SANITIZE
+#define IPD_BUILD_SANITIZE "none"
+#endif
+
+namespace ipd::obs {
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{IPD_BUILD_GIT_SHA, IPD_BUILD_TYPE,
+                              IPD_BUILD_COMPILER, IPD_BUILD_SANITIZE};
+  return info;
+}
+
+void register_build_info(MetricsRegistry& registry) {
+  const BuildInfo& info = build_info();
+  registry
+      .gauge("ipd_build_info",
+             "Build identity; constant 1, the labels carry the data",
+             Labels{{"build", info.build_type},
+                    {"compiler", info.compiler},
+                    {"sanitizer", info.sanitizer},
+                    {"sha", info.git_sha}})
+      .set(1.0);
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  return "sha=" + info.git_sha + " build=" + info.build_type +
+         " cc=" + info.compiler + " sanitizer=" + info.sanitizer;
+}
+
+}  // namespace ipd::obs

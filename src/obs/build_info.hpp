@@ -1,0 +1,29 @@
+// Build identity, stamped at configure time (git sha, build type,
+// compiler, sanitizer flags) and exported as the conventional
+// ipd_build_info gauge: constant value 1, identity in the labels.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ipd::obs {
+
+struct BuildInfo {
+  std::string git_sha;    ///< short sha, "unknown" outside a checkout
+  std::string build_type; ///< CMAKE_BUILD_TYPE, "unspecified" when empty
+  std::string compiler;   ///< id + version, e.g. "GNU 13.2.0"
+  std::string sanitizer;  ///< IPD_SANITIZE value, "none" when off
+};
+
+/// The values baked into this binary.
+const BuildInfo& build_info() noexcept;
+
+/// Register ipd_build_info{sha,build,compiler,sanitizer} = 1 in `registry`.
+void register_build_info(MetricsRegistry& registry);
+
+/// One-line human rendering, e.g. "sha=1a2b3c4 build=Release cc=GNU 13.2.0
+/// sanitizer=none" — used by ipd_top's header and --version-ish output.
+std::string build_info_line();
+
+}  // namespace ipd::obs

@@ -11,7 +11,9 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 
 #include "util/strings.hpp"
@@ -208,7 +210,7 @@ std::string symbolize(void* pc) {
 
 bool is_handler_frame(const std::string& symbol) noexcept {
   return symbol == "ipd_profiler_signal_entry" ||
-         symbol == "__restore_rt" ||
+         symbol == "ipd_stack_capture_entry" || symbol == "__restore_rt" ||
          symbol.find("profiler_capture_sample") != std::string::npos ||
          symbol.find("backtrace") != std::string::npos;
 }
@@ -264,6 +266,109 @@ std::string CpuProfiler::folded() const {
 
 std::size_t CpuProfiler::memory_bytes() const noexcept {
   return sizeof(*this) + config_.capacity * sizeof(Slot);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread stack capture (watchdog stall forensics).
+//
+// The target thread is interrupted with SIGURG; the handler backtrace()s
+// into a static buffer and flips g_stack_done. SIGURG's default disposition
+// is ignore, so even a signal that outlives the handler installation (or
+// races a concurrent sigaction) is harmless. g_stack_armed makes the
+// handler one-shot: a stray second SIGURG (e.g. from the kernel on OOB TCP
+// data) finds armed == false and does nothing.
+
+namespace {
+
+std::mutex g_stack_mutex;                 // one capture at a time
+std::atomic<bool> g_stack_armed{false};   // handler may write the buffer
+std::atomic<bool> g_stack_done{false};    // handler finished writing
+CpuProfiler::Sample g_stack_sample;       // handler-owned while armed
+
+}  // namespace
+
+extern "C" void ipd_stack_capture_entry(int) {
+  const int saved_errno = errno;
+  bool expected = true;
+  if (g_stack_armed.compare_exchange_strong(expected, false,
+                                            std::memory_order_acq_rel)) {
+    CpuProfiler::Sample& sample = g_stack_sample;
+    const int depth = ::backtrace(
+        sample.pcs.data(), static_cast<int>(CpuProfilerConfig::kMaxDepth));
+    sample.depth = depth > 0 ? static_cast<std::uint32_t>(depth) : 0;
+    const char* name = util::current_thread_name();
+    std::size_t n = 0;
+    while (n < sizeof(sample.thread_name) - 1 && name[n] != '\0') {
+      sample.thread_name[n] = name[n];
+      ++n;
+    }
+    sample.thread_name[n] = '\0';
+    g_stack_done.store(true, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+
+bool capture_thread_stack(pthread_t thread, CpuProfiler::Sample& out,
+                          int timeout_ms) {
+  std::lock_guard<std::mutex> guard(g_stack_mutex);
+
+  // Prime backtrace outside signal context (first call may dlopen libgcc).
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = ipd_stack_capture_entry;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(SIGURG, &action, nullptr) != 0) return false;
+
+  g_stack_done.store(false, std::memory_order_relaxed);
+  g_stack_sample.depth = 0;
+  g_stack_armed.store(true, std::memory_order_release);
+
+  if (::pthread_kill(thread, SIGURG) != 0) {
+    g_stack_armed.store(false, std::memory_order_release);
+    return false;  // thread already gone (ESRCH)
+  }
+
+  const std::int64_t deadline_us =
+      static_cast<std::int64_t>(timeout_ms) * 1000;
+  bool done = false;
+  for (std::int64_t waited_us = 0; waited_us < deadline_us;
+       waited_us += 200) {
+    if (g_stack_done.load(std::memory_order_acquire)) {
+      done = true;
+      break;
+    }
+    timespec nap{0, 200 * 1000};
+    ::nanosleep(&nap, nullptr);
+  }
+  done = done || g_stack_done.load(std::memory_order_acquire);
+  g_stack_armed.store(false, std::memory_order_release);
+  if (!done) return false;
+  out = g_stack_sample;
+  return true;
+}
+
+std::string folded_stack_line(const CpuProfiler::Sample& sample) {
+  std::string line = sample.thread_name[0] != '\0'
+                         ? std::string(sample.thread_name)
+                         : std::string("unnamed");
+  if (sample.depth == 0) return line;
+  std::size_t begin = 0;
+  const std::size_t scan = std::min<std::size_t>(sample.depth, 5);
+  std::vector<std::string> inner(scan);
+  for (std::size_t j = 0; j < scan; ++j) {
+    inner[j] = symbolize(sample.pcs[j]);
+    if (is_handler_frame(inner[j])) begin = j + 1;
+  }
+  if (begin >= sample.depth) begin = sample.depth - 1;
+  for (std::size_t j = sample.depth; j-- > begin;) {
+    line += ';';
+    line += j < scan ? inner[j] : symbolize(sample.pcs[j]);
+  }
+  return line;
 }
 
 }  // namespace ipd::obs

@@ -21,6 +21,8 @@
 // and profiler together (bench_obs_overhead gates it).
 #pragma once
 
+#include <pthread.h>
+
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -96,5 +98,23 @@ class CpuProfiler {
   std::atomic<std::uint64_t> dropped_{0};  // claims past capacity
   std::atomic<bool> running_{false};
 };
+
+/// Synchronously capture the current stack of another live thread of this
+/// process (the watchdog's stall forensics). Sends SIGURG — whose default
+/// disposition is *ignore*, so a stray late signal can never kill the
+/// process — with a one-shot async-signal-safe handler that backtrace()s
+/// into a static buffer; the caller spin-waits up to `timeout_ms` for the
+/// handler to finish. Serialized process-wide (one capture at a time);
+/// independent of the setitimer profiler, so it works while a CpuProfiler
+/// session is running. Returns false on timeout or when the thread is
+/// gone; `out` is only written on success.
+bool capture_thread_stack(pthread_t thread, CpuProfiler::Sample& out,
+                          int timeout_ms = 500);
+
+/// Render one captured sample as a folded stack line (no trailing count):
+/// "thread;outermost;...;innermost". Same symbolization and
+/// capture-machinery trimming as CpuProfiler::folded(). Offline — calls
+/// dladdr/demangle, not signal-safe.
+std::string folded_stack_line(const CpuProfiler::Sample& sample);
 
 }  // namespace ipd::obs

@@ -208,18 +208,22 @@ const char* http_status_text(int status) noexcept {
   }
 }
 
-std::string render_http_response(const HttpResponse& response) {
+std::string render_http_head(const HttpResponse& response) {
   std::string out = util::format("HTTP/1.1 %d %s\r\n", response.status,
                                  http_status_text(response.status));
   out += "Content-Type: " + response.content_type + "\r\n";
   if (response.body_stream) {
     out += "Transfer-Encoding: chunked\r\n";
-    out += "Connection: close\r\n\r\n";
-    return out;
+  } else {
+    out += util::format("Content-Length: %zu\r\n", response.body.size());
   }
-  out += util::format("Content-Length: %zu\r\n", response.body.size());
   out += "Connection: close\r\n\r\n";
-  out += response.body;
+  return out;
+}
+
+std::string render_http_response(const HttpResponse& response) {
+  std::string out = render_http_head(response);
+  if (!response.body_stream) out += response.body;
   return out;
 }
 
@@ -293,6 +297,7 @@ void HttpServer::stop() {
 void HttpServer::serve_loop() {
   util::set_current_thread_name("ipd-http");
   while (running_.load()) {
+    if (loop_tick_) loop_tick_();
     pollfd pfd{listen_fd_, POLLIN, 0};
     // Short poll timeout so stop() is honored promptly.
     const int ready = ::poll(&pfd, 1, 100);
@@ -306,8 +311,8 @@ void HttpServer::serve_loop() {
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
-  if (request.method != "GET") {
-    return HttpResponse::text(405, "only GET is supported\n");
+  if (request.method != "GET" && request.method != "HEAD") {
+    return HttpResponse::text(405, "only GET and HEAD are supported\n");
   }
   for (const auto& [path, handler] : handlers_) {
     if (path == request.path) {
@@ -354,6 +359,13 @@ void HttpServer::handle_connection(int fd) {
     }
     return true;
   };
+  if (parsed == HttpParse::Ok && request.method == "HEAD") {
+    // HEAD: the handler already ran (same status/headers as GET would
+    // produce) but only the head goes on the wire — no body bytes, and a
+    // streaming producer is never invoked.
+    send_all(render_http_head(response));
+    return;
+  }
   if (response.body_stream) {
     // Chunked transfer: the head commits to no Content-Length, then the
     // producer pushes arbitrarily large payloads piecewise. A dead peer

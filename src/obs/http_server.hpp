@@ -1,10 +1,12 @@
 // Minimal embedded HTTP/1.1 server (dependency-free, POSIX sockets).
 //
-// Purpose-built for the live introspection endpoints: GET-only, exact-path
-// routing, bounded request size, one response per connection (Connection:
-// close). One background thread accepts and serves connections serially —
-// scrapes and operator curls are rare and cheap, and serial handling keeps
-// every handler data race impossible to cause from the network side.
+// Purpose-built for the live introspection endpoints: GET and HEAD only
+// (HEAD runs the handler and sends the head without the body; other
+// methods get 405), exact-path routing, bounded request size, one response
+// per connection (Connection: close). One background thread accepts and
+// serves connections serially — scrapes and operator curls are rare and
+// cheap, and serial handling keeps every handler data race impossible to
+// cause from the network side.
 //
 // The request parser and response renderer are exposed as pure functions
 // so tests can cover the protocol edge cases (malformed request lines,
@@ -27,7 +29,7 @@ namespace ipd::obs {
 inline constexpr std::size_t kMaxHttpRequestBytes = 16 * 1024;
 
 struct HttpRequest {
-  std::string method;        // "GET"
+  std::string method;        // "GET" / "HEAD"
   std::string path;          // percent-decoded, e.g. "/explain"
   std::string query_string;  // raw, e.g. "ip=1.2.3.4&limit=10"
   std::string version;       // "HTTP/1.1"
@@ -48,7 +50,7 @@ enum class HttpParse : std::uint8_t {
 };
 
 /// Parse one request head (request line + headers, terminated by an empty
-/// line). Request bodies are not supported (GET-only server).
+/// line). Request bodies are not supported (GET/HEAD-only server).
 HttpParse parse_http_request(std::string_view data, HttpRequest& out,
                              std::size_t max_bytes = kMaxHttpRequestBytes);
 
@@ -90,6 +92,12 @@ const char* http_status_text(int status) noexcept;
 /// streaming response this is the head only (chunks follow separately).
 std::string render_http_response(const HttpResponse& response);
 
+/// Status line + headers only — what a HEAD request receives. Identical to
+/// the GET head: Content-Length of the suppressed body, or
+/// Transfer-Encoding: chunked for a streaming response (whose producer is
+/// never run).
+std::string render_http_head(const HttpResponse& response);
+
 /// Wire framing of one chunk of a chunked response (hex length + CRLFs).
 /// The terminating zero-chunk is "0\r\n\r\n".
 std::string encode_http_chunk(std::string_view chunk);
@@ -107,6 +115,13 @@ class HttpServer {
   /// Register the handler for an exact path. Must be called before
   /// start(). Handler exceptions become 500 responses.
   void handle(std::string path, Handler handler);
+
+  /// Invoked once per serve-loop iteration (~every poll timeout and after
+  /// every connection) from the serving thread — the watchdog-heartbeat
+  /// hook. Must be set before start(). Keep it trivially cheap.
+  void set_loop_tick(std::function<void()> tick) {
+    loop_tick_ = std::move(tick);
+  }
 
   /// Bind 127.0.0.1:`port` (0 = ephemeral, see port()) and start the
   /// serving thread. Returns false with `*error` set on failure.
@@ -127,6 +142,7 @@ class HttpServer {
   HttpResponse dispatch(const HttpRequest& request) const;
 
   std::vector<std::pair<std::string, Handler>> handlers_;
+  std::function<void()> loop_tick_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::uint16_t port_ = 0;

@@ -1,0 +1,258 @@
+#include "obs/lock_stats.hpp"
+
+#include <algorithm>
+#include <ctime>
+
+#include "util/strings.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace ipd::obs {
+
+namespace {
+
+std::int64_t raw_monotonic_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// ns per TSC tick, calibrated once by pairing the clocks across a ~1ms
+/// spin. The TSC on any x86_64 we care about is invariant (constant-rate,
+/// never stops), so one calibration holds for the process lifetime.
+double tsc_ns_per_tick() noexcept {
+  static const double ns_per_tick = [] {
+    const std::int64_t ns0 = raw_monotonic_ns();
+    const std::uint64_t t0 = __rdtsc();
+    std::int64_t ns1 = ns0;
+    while (ns1 - ns0 < 1000000) ns1 = raw_monotonic_ns();
+    const std::uint64_t t1 = __rdtsc();
+    if (t1 <= t0) return 1.0;  // broken TSC: treat ticks as ns
+    return static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0);
+  }();
+  return ns_per_tick;
+}
+#endif
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// 100ns .. ~1.7s in 24 exponential buckets — covers a sampled uncontended
+// acquire through a reader stalled behind a full stage-2 rebuild.
+std::vector<double> lock_time_bounds() {
+  return Histogram::exponential_bounds(100e-9, 2.0, 24);
+}
+
+}  // namespace
+
+std::uint64_t lock_ticks() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(raw_monotonic_ns());
+#endif
+}
+
+std::int64_t lock_ticks_to_ns(std::uint64_t ticks) noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return static_cast<std::int64_t>(static_cast<double>(ticks) *
+                                   tsc_ns_per_tick());
+#else
+  return static_cast<std::int64_t>(ticks);
+#endif
+}
+
+LockSite::LockSite(std::string name)
+    : name_(std::move(name)),
+      wait_hist_(lock_time_bounds()),
+      hold_hist_(lock_time_bounds()) {}
+
+void LockSite::on_contended(std::int64_t wait_ns) noexcept {
+  if (wait_ns < 0) wait_ns = 0;
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  wait_ns_total_.fetch_add(static_cast<std::uint64_t>(wait_ns),
+                           std::memory_order_relaxed);
+  atomic_max(wait_max_ns_, static_cast<std::uint64_t>(wait_ns));
+  wait_hist_.observe(static_cast<double>(wait_ns) * 1e-9);
+}
+
+void LockSite::on_sampled_wait(std::int64_t wait_ns) noexcept {
+  if (wait_ns < 0) wait_ns = 0;
+  wait_ns_total_.fetch_add(static_cast<std::uint64_t>(wait_ns),
+                           std::memory_order_relaxed);
+  atomic_max(wait_max_ns_, static_cast<std::uint64_t>(wait_ns));
+  wait_hist_.observe(static_cast<double>(wait_ns) * 1e-9);
+}
+
+void LockSite::on_hold(std::int64_t hold_ns) noexcept {
+  if (hold_ns < 0) hold_ns = 0;
+  hold_ns_total_.fetch_add(static_cast<std::uint64_t>(hold_ns),
+                           std::memory_order_relaxed);
+  atomic_max(hold_max_ns_, static_cast<std::uint64_t>(hold_ns));
+  hold_hist_.observe(static_cast<double>(hold_ns) * 1e-9);
+}
+
+LockSite::Snapshot LockSite::snapshot() const {
+  Snapshot s;
+  s.name = name_;
+  s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  s.contended = contended_.load(std::memory_order_relaxed);
+  s.wait_samples = wait_hist_.count();
+  s.hold_samples = hold_hist_.count();
+  s.wait_seconds_total =
+      static_cast<double>(wait_ns_total_.load(std::memory_order_relaxed)) *
+      1e-9;
+  s.hold_seconds_total =
+      static_cast<double>(hold_ns_total_.load(std::memory_order_relaxed)) *
+      1e-9;
+  s.wait_p50_s = wait_hist_.quantile(0.5);
+  s.wait_p99_s = wait_hist_.quantile(0.99);
+  s.hold_p50_s = hold_hist_.quantile(0.5);
+  s.hold_p99_s = hold_hist_.quantile(0.99);
+  s.wait_max_s =
+      static_cast<double>(wait_max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.hold_max_s =
+      static_cast<double>(hold_max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+LockRegistry& LockRegistry::instance() {
+  static LockRegistry* registry = new LockRegistry();  // never destroyed
+  return *registry;
+}
+
+LockSite* LockRegistry::site(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (const auto& s : sites_) {
+    if (s->name() == name) return s.get();
+  }
+  sites_.push_back(std::make_unique<LockSite>(std::string(name)));
+  return sites_.back().get();
+}
+
+std::vector<LockSite::Snapshot> LockRegistry::snapshot() const {
+  std::vector<LockSite*> sites;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    sites.reserve(sites_.size());
+    for (const auto& s : sites_) sites.push_back(s.get());
+  }
+  std::vector<LockSite::Snapshot> out;
+  out.reserve(sites.size());
+  for (LockSite* s : sites) out.push_back(s->snapshot());
+  return out;
+}
+
+std::size_t LockRegistry::site_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return sites_.size();
+}
+
+void publish_lock_metrics(MetricsRegistry& registry) {
+  for (const auto& s : LockRegistry::instance().snapshot()) {
+    const Labels labels{{"site", s.name}};
+    registry
+        .gauge("ipd_lock_acquisitions_total",
+               "Lock acquisitions per named site (shared+exclusive)", labels)
+        .set(static_cast<double>(s.acquisitions));
+    registry
+        .gauge("ipd_lock_contended_total",
+               "Acquisitions that had to block per named site", labels)
+        .set(static_cast<double>(s.contended));
+    registry
+        .gauge("ipd_lock_wait_seconds_total",
+               "Total measured lock-wait time per site (contended + sampled)",
+               labels)
+        .set(s.wait_seconds_total);
+    registry
+        .gauge("ipd_lock_hold_seconds_total",
+               "Total sampled critical-section time per site", labels)
+        .set(s.hold_seconds_total);
+    registry
+        .gauge("ipd_lock_wait_p99_seconds",
+               "p99 of measured lock-wait time per site", labels)
+        .set(s.wait_p99_s);
+    registry
+        .gauge("ipd_lock_hold_p99_seconds",
+               "p99 of sampled critical-section time per site", labels)
+        .set(s.hold_p99_s);
+  }
+}
+
+namespace {
+
+std::vector<LockSite::Snapshot> sorted_sites() {
+  auto sites = LockRegistry::instance().snapshot();
+  std::sort(sites.begin(), sites.end(),
+            [](const LockSite::Snapshot& a, const LockSite::Snapshot& b) {
+              if (a.wait_seconds_total != b.wait_seconds_total)
+                return a.wait_seconds_total > b.wait_seconds_total;
+              return a.acquisitions > b.acquisitions;
+            });
+  return sites;
+}
+
+}  // namespace
+
+std::string lock_sites_json() {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& s : sorted_sites()) {
+    if (!first) out += ",";
+    first = false;
+    const double contention_pct =
+        s.acquisitions == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(s.contended) /
+                  static_cast<double>(s.acquisitions);
+    out += util::format(
+        "{\"site\":\"%s\",\"acquisitions\":%llu,\"contended\":%llu,"
+        "\"contention_pct\":%.4f,"
+        "\"wait_samples\":%llu,\"hold_samples\":%llu,"
+        "\"wait_seconds_total\":%.9f,\"hold_seconds_total\":%.9f,"
+        "\"wait_p50_us\":%.3f,\"wait_p99_us\":%.3f,\"wait_max_us\":%.3f,"
+        "\"hold_p50_us\":%.3f,\"hold_p99_us\":%.3f,\"hold_max_us\":%.3f}",
+        util::json_escape(s.name).c_str(),
+        static_cast<unsigned long long>(s.acquisitions),
+        static_cast<unsigned long long>(s.contended), contention_pct,
+        static_cast<unsigned long long>(s.wait_samples),
+        static_cast<unsigned long long>(s.hold_samples), s.wait_seconds_total,
+        s.hold_seconds_total, s.wait_p50_s * 1e6, s.wait_p99_s * 1e6,
+        s.wait_max_s * 1e6, s.hold_p50_s * 1e6, s.hold_p99_s * 1e6,
+        s.hold_max_s * 1e6);
+  }
+  out += "]";
+  return out;
+}
+
+std::string lock_sites_text(std::size_t max_rows) {
+  std::string out = util::format(
+      "%-22s %12s %10s %7s %11s %11s %11s %11s\n", "SITE", "ACQUIRES",
+      "CONTENDED", "CONT%", "WAIT-P99us", "WAIT-MAXus", "HOLD-P99us",
+      "WAIT-TOTs");
+  std::size_t rows = 0;
+  for (const auto& s : sorted_sites()) {
+    if (max_rows != 0 && rows++ >= max_rows) break;
+    const double contention_pct =
+        s.acquisitions == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(s.contended) /
+                  static_cast<double>(s.acquisitions);
+    out += util::format(
+        "%-22s %12llu %10llu %6.2f%% %11.1f %11.1f %11.1f %11.4f\n",
+        s.name.c_str(), static_cast<unsigned long long>(s.acquisitions),
+        static_cast<unsigned long long>(s.contended), contention_pct,
+        s.wait_p99_s * 1e6, s.wait_max_s * 1e6, s.hold_p99_s * 1e6,
+        s.wait_seconds_total);
+  }
+  return out;
+}
+
+}  // namespace ipd::obs

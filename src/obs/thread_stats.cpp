@@ -1,0 +1,276 @@
+#include "obs/thread_stats.hpp"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace ipd::obs {
+
+namespace {
+
+/// Parse a decimal u64 at the front of `s`, advancing it past the number
+/// and any leading whitespace. Returns false if no digits are present.
+bool eat_u64(std::string_view& s, std::uint64_t& out) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  std::size_t start = i;
+  std::uint64_t v = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    ++i;
+  }
+  if (i == start) return false;
+  out = v;
+  s.remove_prefix(i);
+  return true;
+}
+
+double ticks_to_seconds(std::uint64_t ticks) {
+  static const double hz = [] {
+    const long v = sysconf(_SC_CLK_TCK);
+    return v > 0 ? static_cast<double>(v) : 100.0;
+  }();
+  return static_cast<double>(ticks) / hz;
+}
+
+/// Read a small /proc file fully; returns false on open/read error.
+bool slurp(const char* path, std::string& out) {
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+bool parse_proc_stat(std::string_view text, ProcStat& out) {
+  // "<tid> (<comm>) <state> field4 ... field14=utime field15=stime ..."
+  // comm may contain spaces and parens, so split on the LAST ')'.
+  std::uint64_t tid = 0;
+  std::string_view rest = text;
+  if (!eat_u64(rest, tid)) return false;
+  const std::size_t open = rest.find('(');
+  const std::size_t close = rest.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  const std::string_view comm = rest.substr(open + 1, close - open - 1);
+  std::string_view fields = rest.substr(close + 1);
+  // fields now starts at field 3 (state). utime/stime are stat fields
+  // 14/15, i.e. the 11th and 12th tokens after the comm.
+  while (!fields.empty() &&
+         std::isspace(static_cast<unsigned char>(fields.front()))) {
+    fields.remove_prefix(1);
+  }
+  if (fields.empty()) return false;
+  const char state = fields.front();
+  fields.remove_prefix(1);
+  std::uint64_t skip = 0;
+  for (int field = 4; field <= 13; ++field) {
+    // fields 4..13 are numeric, but tpgid (field 8) is -1 for processes
+    // without a controlling terminal — tolerate a leading sign on the
+    // skipped fields. utime/stime themselves are unsigned.
+    while (!fields.empty() &&
+           std::isspace(static_cast<unsigned char>(fields.front()))) {
+      fields.remove_prefix(1);
+    }
+    if (!fields.empty() && fields.front() == '-') fields.remove_prefix(1);
+    if (!eat_u64(fields, skip)) return false;
+  }
+  ProcStat parsed;
+  if (!eat_u64(fields, parsed.utime_ticks)) return false;
+  if (!eat_u64(fields, parsed.stime_ticks)) return false;
+  parsed.tid = static_cast<int>(tid);
+  parsed.comm = std::string(comm);
+  parsed.state = state;
+  out = parsed;
+  return true;
+}
+
+bool parse_proc_schedstat(std::string_view text, ProcSchedstat& out) {
+  ProcSchedstat parsed;
+  std::string_view rest = text;
+  if (!eat_u64(rest, parsed.cpu_time_ns)) return false;
+  if (!eat_u64(rest, parsed.runqueue_wait_ns)) return false;
+  if (!eat_u64(rest, parsed.timeslices)) return false;
+  out = parsed;
+  return true;
+}
+
+bool parse_proc_status_ctx(std::string_view text, ProcCtxSwitches& out) {
+  ProcCtxSwitches parsed;
+  bool have_voluntary = false;
+  bool have_involuntary = false;
+  for (std::string_view line : util::split(text, '\n')) {
+    if (util::starts_with(line, "voluntary_ctxt_switches:")) {
+      std::string_view v = line.substr(line.find(':') + 1);
+      if (!eat_u64(v, parsed.voluntary)) return false;
+      have_voluntary = true;
+    } else if (util::starts_with(line, "nonvoluntary_ctxt_switches:")) {
+      std::string_view v = line.substr(line.find(':') + 1);
+      if (!eat_u64(v, parsed.involuntary)) return false;
+      have_involuntary = true;
+    }
+  }
+  if (!have_voluntary || !have_involuntary) return false;
+  out = parsed;
+  return true;
+}
+
+std::vector<ThreadStats> sample_process_threads() {
+  std::vector<ThreadStats> threads;
+  DIR* dir = opendir("/proc/self/task");
+  if (dir == nullptr) return threads;
+  std::string contents;
+  char path[320];  // "/proc/self/task/" + d_name (<=255) + suffix
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] < '0' || entry->d_name[0] > '9') continue;
+    std::snprintf(path, sizeof(path), "/proc/self/task/%s/stat",
+                  entry->d_name);
+    ProcStat stat;
+    if (!slurp(path, contents) || !parse_proc_stat(contents, stat)) {
+      continue;  // thread exited mid-walk
+    }
+    ThreadStats t;
+    t.tid = stat.tid;
+    t.name = stat.comm;
+    t.state = stat.state;
+    t.utime_s = ticks_to_seconds(stat.utime_ticks);
+    t.stime_s = ticks_to_seconds(stat.stime_ticks);
+
+    std::snprintf(path, sizeof(path), "/proc/self/task/%s/schedstat",
+                  entry->d_name);
+    ProcSchedstat sched;
+    if (slurp(path, contents) && parse_proc_schedstat(contents, sched)) {
+      t.has_schedstat = true;
+      t.cpu_s = static_cast<double>(sched.cpu_time_ns) * 1e-9;
+      t.runqueue_wait_s = static_cast<double>(sched.runqueue_wait_ns) * 1e-9;
+      t.timeslices = sched.timeslices;
+    }
+
+    std::snprintf(path, sizeof(path), "/proc/self/task/%s/status",
+                  entry->d_name);
+    ProcCtxSwitches ctx;
+    if (slurp(path, contents) && parse_proc_status_ctx(contents, ctx)) {
+      t.voluntary_ctx = ctx.voluntary;
+      t.involuntary_ctx = ctx.involuntary;
+    }
+    threads.push_back(std::move(t));
+  }
+  closedir(dir);
+  std::sort(threads.begin(), threads.end(),
+            [](const ThreadStats& a, const ThreadStats& b) {
+              return a.tid < b.tid;
+            });
+  return threads;
+}
+
+void publish_thread_metrics(const std::vector<ThreadStats>& threads,
+                            MetricsRegistry& registry) {
+  struct Agg {
+    double utime_s = 0, stime_s = 0, cpu_s = 0, runqueue_wait_s = 0;
+    double voluntary = 0, involuntary = 0, count = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const auto& t : threads) {
+    Agg& a = by_name[t.name];
+    a.utime_s += t.utime_s;
+    a.stime_s += t.stime_s;
+    a.cpu_s += t.cpu_s;
+    a.runqueue_wait_s += t.runqueue_wait_s;
+    a.voluntary += static_cast<double>(t.voluntary_ctx);
+    a.involuntary += static_cast<double>(t.involuntary_ctx);
+    a.count += 1;
+  }
+  for (const auto& [name, a] : by_name) {
+    const Labels labels{{"thread", name}};
+    registry
+        .gauge("ipd_thread_count", "Live threads sharing this name", labels)
+        .set(a.count);
+    registry
+        .gauge("ipd_thread_utime_seconds", "User CPU time (proc stat utime)",
+               labels)
+        .set(a.utime_s);
+    registry
+        .gauge("ipd_thread_stime_seconds",
+               "System CPU time (proc stat stime)", labels)
+        .set(a.stime_s);
+    registry
+        .gauge("ipd_thread_runqueue_wait_seconds",
+               "Time runnable but waiting for a CPU (schedstat)", labels)
+        .set(a.runqueue_wait_s);
+    registry
+        .gauge("ipd_thread_ctx_switches_total",
+               "Context switches by kind (proc status)",
+               Labels{{"kind", "voluntary"}, {"thread", name}})
+        .set(a.voluntary);
+    registry
+        .gauge("ipd_thread_ctx_switches_total",
+               "Context switches by kind (proc status)",
+               Labels{{"kind", "involuntary"}, {"thread", name}})
+        .set(a.involuntary);
+  }
+}
+
+std::string threads_json(const std::vector<ThreadStats>& threads) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& t : threads) {
+    if (!first) out += ",";
+    first = false;
+    out += util::format(
+        "{\"tid\":%d,\"name\":\"%s\",\"state\":\"%c\","
+        "\"utime_s\":%.3f,\"stime_s\":%.3f,"
+        "\"cpu_s\":%.6f,\"runqueue_wait_s\":%.6f,\"timeslices\":%llu,"
+        "\"voluntary_ctx\":%llu,\"involuntary_ctx\":%llu,"
+        "\"has_schedstat\":%s}",
+        t.tid, util::json_escape(t.name).c_str(), t.state, t.utime_s,
+        t.stime_s, t.cpu_s, t.runqueue_wait_s,
+        static_cast<unsigned long long>(t.timeslices),
+        static_cast<unsigned long long>(t.voluntary_ctx),
+        static_cast<unsigned long long>(t.involuntary_ctx),
+        t.has_schedstat ? "true" : "false");
+  }
+  out += "]";
+  return out;
+}
+
+std::string threads_text(const std::vector<ThreadStats>& threads,
+                         std::size_t max_rows) {
+  std::vector<ThreadStats> sorted = threads;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ThreadStats& a, const ThreadStats& b) {
+              const double ca = a.has_schedstat ? a.cpu_s : a.utime_s + a.stime_s;
+              const double cb = b.has_schedstat ? b.cpu_s : b.utime_s + b.stime_s;
+              if (ca != cb) return ca > cb;
+              return a.tid < b.tid;
+            });
+  std::string out = util::format("%7s %-16s %2s %9s %9s %10s %10s %9s %9s\n",
+                                 "TID", "NAME", "ST", "UTIME-s", "STIME-s",
+                                 "CPU-s", "RQWAIT-s", "VCTX", "IVCTX");
+  std::size_t rows = 0;
+  for (const auto& t : sorted) {
+    if (max_rows != 0 && rows++ >= max_rows) break;
+    out += util::format(
+        "%7d %-16s %2c %9.2f %9.2f %10.3f %10.3f %9llu %9llu\n", t.tid,
+        t.name.c_str(), t.state, t.utime_s, t.stime_s, t.cpu_s,
+        t.runqueue_wait_s, static_cast<unsigned long long>(t.voluntary_ctx),
+        static_cast<unsigned long long>(t.involuntary_ctx));
+  }
+  return out;
+}
+
+}  // namespace ipd::obs

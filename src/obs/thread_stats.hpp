@@ -1,0 +1,92 @@
+// Per-thread scheduler telemetry from /proc/self/task.
+//
+// Three pure parsers (fixture-testable, no filesystem access) plus a
+// sampler that walks /proc/self/task/<tid>/{stat,schedstat,status} and
+// reports one ThreadStats per live thread, keyed by the comm name that
+// util::set_current_thread_name wrote (ipd-shard-N, ipd-collect, ipd-http,
+// ipd-main, ...).
+//
+// Field sources:
+//   stat      — state, utime, stime (fields 3/14/15; comm is parsed from
+//               the *last* ')' because it may itself contain parens/spaces)
+//   schedstat — cpu_time_ns, runqueue_wait_ns, timeslices (CFS accounting;
+//               absent when the kernel lacks CONFIG_SCHED_INFO)
+//   status    — voluntary_ctxt_switches, nonvoluntary_ctxt_switches
+//
+// Sampling is scrape-cadence work (a handful of small file reads per
+// thread); never call it from a per-flow path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ipd::obs {
+
+/// Parsed subset of /proc/<pid>/task/<tid>/stat.
+struct ProcStat {
+  int tid = 0;
+  std::string comm;  ///< without the surrounding parens
+  char state = '?';
+  std::uint64_t utime_ticks = 0;  ///< field 14, in sysconf(_SC_CLK_TCK)
+  std::uint64_t stime_ticks = 0;  ///< field 15
+};
+
+/// Parsed /proc/<pid>/task/<tid>/schedstat (three numbers).
+struct ProcSchedstat {
+  std::uint64_t cpu_time_ns = 0;       ///< time on CPU
+  std::uint64_t runqueue_wait_ns = 0;  ///< runnable but waiting for a CPU
+  std::uint64_t timeslices = 0;        ///< times scheduled on a CPU
+};
+
+/// Context-switch counters from /proc/<pid>/task/<tid>/status.
+struct ProcCtxSwitches {
+  std::uint64_t voluntary = 0;
+  std::uint64_t involuntary = 0;
+};
+
+/// Strict parsers: return false (leaving `out` untouched) on malformed
+/// input rather than guessing. Input is the full file contents.
+bool parse_proc_stat(std::string_view text, ProcStat& out);
+bool parse_proc_schedstat(std::string_view text, ProcSchedstat& out);
+bool parse_proc_status_ctx(std::string_view text, ProcCtxSwitches& out);
+
+/// One live thread, merged from the three files above.
+struct ThreadStats {
+  int tid = 0;
+  std::string name;  ///< comm, e.g. "ipd-shard-3"
+  char state = '?';
+  double utime_s = 0.0;
+  double stime_s = 0.0;
+  bool has_schedstat = false;
+  double cpu_s = 0.0;            ///< schedstat on-CPU time
+  double runqueue_wait_s = 0.0;  ///< schedstat run-queue wait
+  std::uint64_t timeslices = 0;
+  std::uint64_t voluntary_ctx = 0;
+  std::uint64_t involuntary_ctx = 0;
+};
+
+/// Sample every thread of the current process. Threads that exit mid-walk
+/// are skipped silently. Sorted by tid.
+std::vector<ThreadStats> sample_process_threads();
+
+/// Publish per-thread gauges into `registry`, labeled {thread=<name>}.
+/// Threads sharing a name (e.g. several unnamed ones) are summed so series
+/// cardinality tracks the stable util/thread names, not tids. Context
+/// switches are published as
+/// ipd_thread_ctx_switches_total{thread=...,kind=voluntary|involuntary}.
+void publish_thread_metrics(const std::vector<ThreadStats>& threads,
+                            MetricsRegistry& registry);
+
+/// JSON array for /threads.
+std::string threads_json(const std::vector<ThreadStats>& threads);
+
+/// Fixed-width table for /threads?format=text and ipd_top; at most
+/// `max_rows` rows (0 = all), sorted by on-CPU time descending.
+std::string threads_text(const std::vector<ThreadStats>& threads,
+                         std::size_t max_rows = 0);
+
+}  // namespace ipd::obs

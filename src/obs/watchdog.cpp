@@ -1,0 +1,265 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/cpu_profiler.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "util/thread.hpp"
+
+namespace ipd::obs {
+
+// Task state machine, all lock-free after registration:
+//
+//   armed_until_ns == 0                     disarmed — can never stall
+//   armed_until_ns  > now                   healthy
+//   armed_until_ns <= now && !stalled       -> emit report, set stalled
+//   stalled && beat()                       -> clear stalled, re-arm
+//
+// The beating thread's identity (pthread_t + name) is recorded on its
+// first beat, guarded by an acquire/release flag: pthread_t is not
+// atomically writable, so readers (the monitor) only look after the flag
+// says the slot is complete. A task is assumed to be beaten by one thread;
+// if ownership ever migrates, the stack would be captured on the original
+// thread — acceptable for a diagnostics tool, documented here.
+struct Watchdog::Task {
+  explicit Task(std::string task_name, std::int64_t budget)
+      : name(std::move(task_name)), budget_ms(budget) {}
+
+  const std::string name;
+  const std::int64_t budget_ms;
+  std::atomic<std::int64_t> armed_until_ns{0};
+  std::atomic<std::int64_t> last_beat_ns{0};
+  std::atomic<bool> stalled{false};
+  std::atomic<bool> thread_known{false};
+  pthread_t thread{};           // valid once thread_known
+  char thread_name[16] = {};    // valid once thread_known
+};
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {
+  config_.poll_interval_ms = std::max<std::int64_t>(config_.poll_interval_ms, 10);
+  config_.report_capacity = std::max<std::size_t>(config_.report_capacity, 1);
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+Watchdog::TaskId Watchdog::register_task(std::string name,
+                                         std::int64_t budget_ms) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  tasks_.push_back(
+      std::make_unique<Task>(std::move(name), std::max<std::int64_t>(budget_ms, 1)));
+  if (task_gauge_ != nullptr) {
+    task_gauge_->set(static_cast<double>(tasks_.size()));
+  }
+  return tasks_.size() - 1;
+}
+
+void Watchdog::beat(TaskId id) noexcept {
+  Task* task = nullptr;
+  {
+    // Registration only appends; ids are stable. The lock is only needed
+    // to read the vector while another thread may be growing it.
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (id >= tasks_.size()) return;
+    task = tasks_[id].get();
+  }
+  const std::int64_t now = monotonic_ns();
+  if (!task->thread_known.load(std::memory_order_acquire)) {
+    task->thread = pthread_self();
+    const char* name = util::current_thread_name();
+    std::size_t n = 0;
+    while (n < sizeof(task->thread_name) - 1 && name[n] != '\0') {
+      task->thread_name[n] = name[n];
+      ++n;
+    }
+    task->thread_name[n] = '\0';
+    task->thread_known.store(true, std::memory_order_release);
+  }
+  task->last_beat_ns.store(now, std::memory_order_relaxed);
+  task->stalled.store(false, std::memory_order_relaxed);
+  task->armed_until_ns.store(now + task->budget_ms * 1000000,
+                             std::memory_order_release);
+}
+
+void Watchdog::disarm(TaskId id) noexcept {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (id >= tasks_.size()) return;
+  tasks_[id]->armed_until_ns.store(0, std::memory_order_release);
+  tasks_[id]->stalled.store(false, std::memory_order_relaxed);
+}
+
+void Watchdog::start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  thread_ = std::make_unique<std::thread>([this] { monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  if (!running_.exchange(false)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_ && thread_->joinable()) thread_->join();
+  thread_.reset();
+}
+
+bool Watchdog::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+void Watchdog::monitor_loop() {
+  util::set_current_thread_name("ipd-watchdog");
+  // Sleep in small slices so stop() never waits a full poll period.
+  const std::int64_t poll_ns = config_.poll_interval_ms * 1000000;
+  std::int64_t next_check = monotonic_ns();
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const std::int64_t now = monotonic_ns();
+    if (now >= next_check) {
+      check_tasks(now);
+      next_check = now + poll_ns;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void Watchdog::check_tasks(std::int64_t now_ns) {
+  std::vector<Task*> tasks;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    tasks.reserve(tasks_.size());
+    for (const auto& t : tasks_) tasks.push_back(t.get());
+  }
+  for (Task* task : tasks) {
+    const std::int64_t deadline =
+        task->armed_until_ns.load(std::memory_order_acquire);
+    if (deadline == 0 || now_ns <= deadline) continue;
+    if (task->stalled.exchange(true, std::memory_order_acq_rel)) {
+      continue;  // already reported this episode
+    }
+
+    StallReport report;
+    report.task = task->name;
+    report.detected_ns = now_ns;
+    report.budget_ms = task->budget_ms;
+    report.overdue_ms = (now_ns - deadline) / 1000000;
+    if (task->thread_known.load(std::memory_order_acquire)) {
+      report.thread_name = task->thread_name;
+      CpuProfiler::Sample sample;
+      if (capture_thread_stack(task->thread, sample,
+                               config_.capture_timeout_ms)) {
+        report.stack = folded_stack_line(sample);
+        report.stack_captured = true;
+      }
+    }
+
+    stalls_total_.fetch_add(1, std::memory_order_relaxed);
+    if (stall_counter_ != nullptr) stall_counter_->inc();
+    util::log_error("watchdog stall",
+                    {{"task", report.task},
+                     {"thread", report.thread_name},
+                     {"budget_ms", util::format("%lld", static_cast<long long>(
+                                                            report.budget_ms))},
+                     {"overdue_ms", util::format("%lld", static_cast<long long>(
+                                                             report.overdue_ms))},
+                     {"stack", report.stack_captured ? report.stack
+                                                     : "<not captured>"}});
+
+    std::function<void(const StallReport&)> sink;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      reports_.push_back(report);
+      if (reports_.size() > config_.report_capacity) {
+        reports_.erase(reports_.begin());
+      }
+      sink = on_stall_;
+    }
+    if (sink) sink(report);
+  }
+}
+
+std::vector<Watchdog::StallReport> Watchdog::reports() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return reports_;
+}
+
+std::uint64_t Watchdog::stalls_total() const noexcept {
+  return stalls_total_.load(std::memory_order_relaxed);
+}
+
+void Watchdog::set_on_stall(std::function<void(const StallReport&)> fn) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  on_stall_ = std::move(fn);
+}
+
+void Watchdog::bind_metrics(MetricsRegistry& registry) {
+  Counter& counter = registry.counter(
+      "ipd_watchdog_stalls_total", "Missed heartbeat deadlines detected");
+  Gauge& gauge =
+      registry.gauge("ipd_watchdog_tasks", "Tasks registered with the watchdog");
+  std::lock_guard<std::mutex> guard(mutex_);
+  stall_counter_ = &counter;
+  task_gauge_ = &gauge;
+  task_gauge_->set(static_cast<double>(tasks_.size()));
+}
+
+std::vector<Watchdog::TaskView> Watchdog::tasks() const {
+  std::vector<Task*> tasks;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    tasks.reserve(tasks_.size());
+    for (const auto& t : tasks_) tasks.push_back(t.get());
+  }
+  const std::int64_t now = monotonic_ns();
+  std::vector<TaskView> out;
+  out.reserve(tasks.size());
+  for (const Task* task : tasks) {
+    TaskView view;
+    view.name = task->name;
+    view.budget_ms = task->budget_ms;
+    view.armed = task->armed_until_ns.load(std::memory_order_acquire) != 0;
+    view.stalled = task->stalled.load(std::memory_order_relaxed);
+    const std::int64_t beat = task->last_beat_ns.load(std::memory_order_relaxed);
+    view.last_beat_ms_ago = beat == 0 ? -1 : (now - beat) / 1000000;
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+std::string Watchdog::to_json() const {
+  std::string out = "{\"tasks\":[";
+  bool first = true;
+  for (const auto& t : tasks()) {
+    if (!first) out += ",";
+    first = false;
+    out += util::format(
+        "{\"task\":\"%s\",\"budget_ms\":%lld,\"armed\":%s,\"stalled\":%s,"
+        "\"last_beat_ms_ago\":%lld}",
+        util::json_escape(t.name).c_str(),
+        static_cast<long long>(t.budget_ms), t.armed ? "true" : "false",
+        t.stalled ? "true" : "false",
+        static_cast<long long>(t.last_beat_ms_ago));
+  }
+  out += util::format("],\"stalls_total\":%llu,\"reports\":[",
+                      static_cast<unsigned long long>(stalls_total()));
+  first = true;
+  for (const auto& r : reports()) {
+    if (!first) out += ",";
+    first = false;
+    out += report_json(r);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Watchdog::report_json(const StallReport& report) {
+  return util::format(
+      "{\"task\":\"%s\",\"thread\":\"%s\",\"budget_ms\":%lld,"
+      "\"overdue_ms\":%lld,\"stack_captured\":%s,\"stack\":\"%s\"}",
+      util::json_escape(report.task).c_str(),
+      util::json_escape(report.thread_name).c_str(),
+      static_cast<long long>(report.budget_ms),
+      static_cast<long long>(report.overdue_ms),
+      report.stack_captured ? "true" : "false",
+      util::json_escape(report.stack).c_str());
+}
+
+}  // namespace ipd::obs

@@ -1,0 +1,148 @@
+// Stall watchdog with heartbeat registration.
+//
+// Long-running loops (collector drain, the HTTP serve loop) and bounded
+// stages (a stage-2 cycle) register a named task with a deadline budget and
+// then either beat it every iteration or arm/disarm it around the bounded
+// section (WatchdogScope). A monitor thread ("ipd-watchdog") polls the
+// armed deadlines; when one is missed it captures the delinquent thread's
+// stack via obs::capture_thread_stack (SIGURG + the CpuProfiler backtrace
+// machinery) and emits a structured StallReport — once per stall episode,
+// re-arming on the next beat.
+//
+// Beat cost is one relaxed atomic store (plus a one-time thread identity
+// registration on the first beat from a given thread), so beating from a
+// sub-millisecond drain loop is free. Deadlines are *budgets chosen by the
+// registrant*: a slow sanitizer host does not false-positive as long as the
+// budget covers the worst honest iteration — production wiring uses tens of
+// seconds against sub-second loops (see DESIGN.md §6g).
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ipd::obs {
+
+struct WatchdogConfig {
+  /// Deadline poll cadence. Detection latency is one poll period.
+  std::int64_t poll_interval_ms = 250;
+  /// Stall reports kept (FIFO, oldest dropped).
+  std::size_t report_capacity = 32;
+  /// How long the monitor waits for the stalled thread's signal handler
+  /// to deliver a stack (a thread wedged in uninterruptible sleep never
+  /// answers; the report then says so instead of showing frames).
+  int capture_timeout_ms = 500;
+};
+
+class Watchdog {
+ public:
+  using TaskId = std::size_t;
+
+  explicit Watchdog(WatchdogConfig config = {});
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register a named task with its deadline budget. Tasks are never
+  /// unregistered (they are a handful of static pipeline stages); a task
+  /// with no beat yet is disarmed and can never stall.
+  TaskId register_task(std::string name, std::int64_t budget_ms);
+
+  /// Heartbeat: push the deadline `budget_ms` into the future and (first
+  /// time only) record the calling thread's identity for stack capture.
+  /// One relaxed store on the steady-state path.
+  void beat(TaskId id) noexcept;
+
+  /// Disarm: no deadline until the next beat. Used by scoped stages.
+  void disarm(TaskId id) noexcept;
+
+  void start();
+  void stop();
+  bool running() const noexcept;
+
+  struct StallReport {
+    std::string task;
+    std::string thread_name;  ///< name of the thread that last beat
+    std::int64_t detected_ns = 0;  ///< monotonic_ns at detection
+    std::int64_t budget_ms = 0;
+    std::int64_t overdue_ms = 0;  ///< how far past the deadline
+    std::string stack;  ///< folded stack, or "" when capture failed
+    bool stack_captured = false;
+  };
+
+  /// All retained reports, oldest first.
+  std::vector<StallReport> reports() const;
+  std::uint64_t stalls_total() const noexcept;
+
+  /// Optional sink invoked (from the watchdog thread) on each stall.
+  void set_on_stall(std::function<void(const StallReport&)> fn);
+
+  /// Register ipd_watchdog_stalls_total / ipd_watchdog_tasks in
+  /// `registry`; the counter is bumped at detection time so the TSDB and
+  /// the watchdog-stall health rule see it on the next ingest.
+  void bind_metrics(MetricsRegistry& registry);
+
+  struct TaskView {
+    std::string name;
+    std::int64_t budget_ms = 0;
+    bool armed = false;
+    bool stalled = false;  ///< currently past deadline, report emitted
+    std::int64_t last_beat_ms_ago = -1;  ///< -1: never beat
+  };
+  std::vector<TaskView> tasks() const;
+
+  /// {"tasks":[...],"stalls_total":N,"reports":[...]} for /threads.
+  std::string to_json() const;
+
+  /// One report as a JSON object — the shape /threads embeds and
+  /// `ipd_replay --stall-report-out` writes one-per-line.
+  static std::string report_json(const StallReport& report);
+
+ private:
+  struct Task;
+  void monitor_loop();
+  void check_tasks(std::int64_t now_ns);
+
+  WatchdogConfig config_;
+  mutable std::mutex mutex_;  // tasks_ vector growth + reports_
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<StallReport> reports_;
+  std::atomic<std::uint64_t> stalls_total_{0};
+  std::function<void(const StallReport&)> on_stall_;
+  Counter* stall_counter_ = nullptr;
+  Gauge* task_gauge_ = nullptr;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::unique_ptr<std::thread> thread_;
+};
+
+/// Arms `task` on entry (deadline = now + its budget), disarms on exit —
+/// the shape for bounded stages like one stage-2 cycle. A null watchdog
+/// disables it without branching at call sites.
+class WatchdogScope {
+ public:
+  WatchdogScope(Watchdog* watchdog, Watchdog::TaskId task) noexcept
+      : watchdog_(watchdog), task_(task) {
+    if (watchdog_ != nullptr) watchdog_->beat(task_);
+  }
+  ~WatchdogScope() {
+    if (watchdog_ != nullptr) watchdog_->disarm(task_);
+  }
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+ private:
+  Watchdog* watchdog_;
+  Watchdog::TaskId task_;
+};
+
+}  // namespace ipd::obs

@@ -130,6 +130,16 @@ TEST(HttpResponseTest, RenderIncludesStatusHeadersAndBody) {
   EXPECT_NE(err.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
 }
 
+TEST(HttpResponseTest, HeadIsPrefixOfFullResponse) {
+  const HttpResponse response = HttpResponse::json("{\"ok\":true}");
+  const std::string head = render_http_head(response);
+  const std::string full = render_http_response(response);
+  // HEAD must advertise exactly the headers a GET would send.
+  EXPECT_EQ(full.substr(0, head.size()), head);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+  EXPECT_EQ(full, head + "{\"ok\":true}");
+}
+
 // ------------------------------------------------------------- live socket
 
 /// Connect to 127.0.0.1:port, send `request` raw, read the full response.
@@ -232,6 +242,48 @@ TEST_F(HttpServerTest, NonGetIs405) {
   const std::string response = roundtrip(
       server_.port(), "POST /ping HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+  const std::string put = roundtrip(
+      server_.port(), "PUT /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(put.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, HeadReturnsHeadersWithoutBody) {
+  const std::string response =
+      roundtrip(server_.port(), "HEAD /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Content-Length advertises the suppressed body: {"pong":true} = 13.
+  EXPECT_NE(response.find("Content-Length: 13\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  // The response ends at the blank line — no body bytes on the wire.
+  const std::size_t head_end = response.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(response.size(), head_end + 4);
+}
+
+TEST_F(HttpServerTest, HeadOnUnknownPathIs404WithoutBody) {
+  const std::string response =
+      roundtrip(server_.port(), "HEAD /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  const std::size_t head_end = response.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(response.size(), head_end + 4);
+}
+
+TEST_F(HttpServerTest, HeadOnStreamingPathSendsChunkedHeadButNoChunks) {
+  const std::string response =
+      roundtrip(server_.port(), "HEAD /big HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Transfer-Encoding: chunked\r\n"),
+            std::string::npos);
+  // The producer must never run for HEAD: head only, no chunk framing.
+  const std::size_t head_end = response.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(response.size(), head_end + 4);
+  // And the server still answers GETs afterwards.
+  const std::string after =
+      roundtrip(server_.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
 }
 
 TEST_F(HttpServerTest, MalformedRequestIs400AndServerSurvives) {

@@ -19,6 +19,7 @@
 #include "core/engine.hpp"
 #include "json_check.hpp"
 #include "obs/cpu_profiler.hpp"
+#include "obs/lock_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/timeseries.hpp"
@@ -113,7 +114,7 @@ class IntrospectionTest : public ::testing::Test {
     feed("10.0.0.2", {1, 1}, 60);
     feed("200.0.0.1", {2, 1}, 60);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
       engine_.run_cycle(60);
       engine_.run_cycle(120);
     }
@@ -125,7 +126,7 @@ class IntrospectionTest : public ::testing::Test {
 
   void feed(const char* ip, topology::LinkId link, int n) {
     const net::IpAddress addr = net::IpAddress::from_string(ip);
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
     for (int i = 0; i < n; ++i) engine_.ingest(30, addr, link, 1);
   }
 
@@ -133,7 +134,7 @@ class IntrospectionTest : public ::testing::Test {
   core::DecisionLog decision_log_;
   obs::Tracer tracer_;
   core::IpdEngine engine_;
-  std::mutex mutex_;
+  obs::InstrumentedMutex mutex_{"test.engine"};
   IntrospectionServer server_;
 };
 
@@ -334,7 +335,7 @@ TEST_F(HealthEndpointsTest, HealthGaugesReachTheMetricsEndpoint) {
 TEST_F(IntrospectionTest, PerfEndpointServesCounterSnapshot) {
   obs::PerfCounters perf;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<obs::InstrumentedMutex> lock(mutex_);
     engine_.attach_perf(perf);  // registers the engine's phase names
   }
   server_.attach_perf(perf);
@@ -401,11 +402,55 @@ TEST_F(IntrospectionTest, ProfileIsBusyWhileAnotherProfilerRuns) {
 #endif
 }
 
+TEST_F(IntrospectionTest, ThreadsReportsLiveThreads) {
+  const std::string response = http_get(server_.port(), "/threads");
+  ASSERT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"count\":"), std::string::npos);
+  EXPECT_NE(body.find("\"threads\":["), std::string::npos);
+  // No watchdog attached in this fixture — explicit null, not absent.
+  EXPECT_NE(body.find("\"watchdog\":null"), std::string::npos);
+  // The serving thread itself must show up by name.
+  EXPECT_NE(body.find("ipd-http"), std::string::npos);
+
+  const std::string text =
+      body_of(http_get(server_.port(), "/threads?format=text"));
+  EXPECT_NE(text.find("TID"), std::string::npos);
+  EXPECT_NE(text.find("ipd-http"), std::string::npos);
+
+  EXPECT_NE(http_get(server_.port(), "/threads?format=xml")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST_F(IntrospectionTest, LocksReportsInstrumentedSites) {
+  const std::string response = http_get(server_.port(), "/locks");
+  ASSERT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  // The fixture's engine mutex feeds the "test.engine" site.
+  EXPECT_NE(body.find("\"test.engine\""), std::string::npos);
+
+  const std::string text =
+      body_of(http_get(server_.port(), "/locks?format=text&limit=5"));
+  EXPECT_NE(text.find("test.engine"), std::string::npos);
+
+  EXPECT_NE(http_get(server_.port(), "/locks?format=xml")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_get(server_.port(), "/locks?limit=bogus")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
 TEST_F(IntrospectionTest, IndexListsEndpoints) {
   const std::string body = body_of(http_get(server_.port(), "/"));
   EXPECT_TRUE(JsonChecker(body).valid()) << body;
   EXPECT_NE(body.find("/explain"), std::string::npos);
   EXPECT_NE(body.find("/metrics"), std::string::npos);
+  EXPECT_NE(body.find("/threads"), std::string::npos);
+  EXPECT_NE(body.find("/locks"), std::string::npos);
 }
 
 TEST_F(IntrospectionTest, UnknownPathIs404) {
@@ -418,7 +463,7 @@ TEST_F(IntrospectionTest, UnknownPathIs404) {
 TEST(IntrospectionBare, MissingAttachmentsAre503) {
   core::IpdParams params;
   core::IpdEngine engine(params);
-  std::mutex mutex;
+  obs::InstrumentedMutex mutex{"test.engine"};
   IntrospectionServer server(engine, mutex);
   std::string error;
   ASSERT_TRUE(server.start(0, &error)) << error;

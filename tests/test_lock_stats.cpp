@@ -1,0 +1,151 @@
+// Tests for obs/lock_stats.hpp: site sharing, uncontended sampling
+// arithmetic, deterministic contention, shared-mutex semantics, and the
+// metrics/JSON/text surfaces.
+//
+// The LockRegistry is process-global and never forgets a site, so every
+// test uses its own unique site name to keep counts deterministic.
+
+#include "obs/lock_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using ipd::obs::InstrumentedMutex;
+using ipd::obs::InstrumentedSharedMutex;
+using ipd::obs::kLockSamplePeriod;
+using ipd::obs::LockRegistry;
+using ipd::obs::LockSite;
+
+LockSite::Snapshot snapshot_of(const std::string& name) {
+  for (const auto& site : LockRegistry::instance().snapshot()) {
+    if (site.name == name) return site;
+  }
+  ADD_FAILURE() << "no lock site named " << name;
+  return {};
+}
+
+TEST(LockStats, SitesAreSharedByName) {
+  InstrumentedMutex a{"lt.shared-site"};
+  InstrumentedMutex b{"lt.shared-site"};
+  InstrumentedMutex other{"lt.other-site"};
+  EXPECT_EQ(a.site(), b.site());
+  EXPECT_NE(a.site(), other.site());
+
+  {
+    std::lock_guard<InstrumentedMutex> la(a);
+  }
+  {
+    std::lock_guard<InstrumentedMutex> lb(b);
+  }
+  EXPECT_EQ(snapshot_of("lt.shared-site").acquisitions, 2u);
+}
+
+TEST(LockStats, UncontendedSamplingArithmetic) {
+  InstrumentedMutex m{"lt.uncontended"};
+  constexpr std::uint64_t kIters = 4 * kLockSamplePeriod;  // 1024
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    std::lock_guard<InstrumentedMutex> lock(m);
+  }
+  const auto snap = snapshot_of("lt.uncontended");
+  EXPECT_EQ(snap.acquisitions, kIters);
+  EXPECT_EQ(snap.contended, 0u);
+  // Every kLockSamplePeriod-th acquire is timed: exactly 4 of each.
+  EXPECT_EQ(snap.wait_samples, kIters / kLockSamplePeriod);
+  EXPECT_EQ(snap.hold_samples, kIters / kLockSamplePeriod);
+  EXPECT_GE(snap.hold_max_s, 0.0);
+}
+
+TEST(LockStats, ContendedAcquireIsAlwaysTimed) {
+  InstrumentedMutex m{"lt.contended"};
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    m.lock();
+    held.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    m.unlock();
+  });
+  while (!held.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  m.lock();  // blocks behind holder's 30ms critical section
+  m.unlock();
+  holder.join();
+
+  const auto snap = snapshot_of("lt.contended");
+  EXPECT_EQ(snap.acquisitions, 2u);
+  EXPECT_EQ(snap.contended, 1u);
+  EXPECT_EQ(snap.wait_samples, 1u);  // contended acquires are always timed
+  // We slept 30ms while blocked; allow generous scheduler slack.
+  EXPECT_GE(snap.wait_max_s, 0.005);
+  EXPECT_GT(snap.wait_seconds_total, 0.0);
+  EXPECT_GT(snap.wait_p99_s, 0.0);
+}
+
+TEST(LockStats, FailedTryLockDoesNotCount) {
+  InstrumentedMutex m{"lt.trylock"};
+  m.lock();
+  std::thread prober([&] { EXPECT_FALSE(m.try_lock()); });
+  prober.join();
+  m.unlock();
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+  // Only the successful lock() and try_lock() count.
+  EXPECT_EQ(snapshot_of("lt.trylock").acquisitions, 2u);
+}
+
+TEST(LockStats, SharedAcquisitionsCountButNeverHold) {
+  InstrumentedSharedMutex m{"lt.shared-mutex"};
+  constexpr std::uint64_t kReads = 2 * kLockSamplePeriod;  // 512
+  for (std::uint64_t i = 0; i < kReads; ++i) {
+    std::shared_lock<InstrumentedSharedMutex> lock(m);
+  }
+  {
+    std::unique_lock<InstrumentedSharedMutex> lock(m);
+  }
+  const auto snap = snapshot_of("lt.shared-mutex");
+  EXPECT_EQ(snap.acquisitions, kReads + 1);
+  EXPECT_EQ(snap.contended, 0u);
+  // Reader acquires sample wait but never hold; the lone exclusive acquire
+  // (n = 513) is not on a sampling boundary, so hold_samples stays 0.
+  EXPECT_EQ(snap.wait_samples, kReads / kLockSamplePeriod);
+  EXPECT_EQ(snap.hold_samples, 0u);
+}
+
+TEST(LockStats, SurfacesExposeSites) {
+  InstrumentedMutex m{"lt.surfaces"};
+  {
+    std::lock_guard<InstrumentedMutex> lock(m);
+  }
+
+  ipd::obs::MetricsRegistry registry;
+  ipd::obs::publish_lock_metrics(registry);
+  const std::string prom = ipd::obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("ipd_lock_acquisitions_total"), std::string::npos);
+  EXPECT_NE(prom.find("ipd_lock_wait_p99_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("site=\"lt.surfaces\""), std::string::npos);
+
+  const std::string json = ipd::obs::lock_sites_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"lt.surfaces\""), std::string::npos);
+
+  const std::string text = ipd::obs::lock_sites_text();
+  EXPECT_NE(text.find("lt.surfaces"), std::string::npos);
+
+  // max_rows limits output: header plus at most one site row.
+  const std::string one = ipd::obs::lock_sites_text(1);
+  std::size_t newlines = 0;
+  for (char c : one) newlines += (c == '\n');
+  EXPECT_LE(newlines, 2u);
+}
+
+}  // namespace

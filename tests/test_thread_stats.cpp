@@ -1,0 +1,158 @@
+// Tests for obs/thread_stats.hpp: fixture-file-driven parser tests for the
+// /proc stat, schedstat, and status formats, plus live-process sampling and
+// the metrics/JSON/text surfaces.
+
+#include "obs/thread_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread.hpp"
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(IPD_FIXTURE_DIR) + "/proc/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ProcStatParse, FixtureShardLine) {
+  ipd::obs::ProcStat stat{};
+  ASSERT_TRUE(ipd::obs::parse_proc_stat(read_fixture("stat_shard.txt"), stat));
+  EXPECT_EQ(stat.tid, 4242);
+  EXPECT_EQ(stat.comm, "ipd-shard-3");
+  EXPECT_EQ(stat.state, 'R');
+  EXPECT_EQ(stat.utime_ticks, 777u);
+  EXPECT_EQ(stat.stime_ticks, 333u);
+}
+
+TEST(ProcStatParse, CommWithNestedParensUsesLastClose) {
+  // The kernel does not escape ')' in comm, so the parser must split on the
+  // LAST ')' of the comm field, not the first.
+  ipd::obs::ProcStat stat{};
+  ASSERT_TRUE(ipd::obs::parse_proc_stat(read_fixture("stat_parens.txt"), stat));
+  EXPECT_EQ(stat.tid, 77);
+  EXPECT_EQ(stat.comm, "watch) dog (v2)");
+  EXPECT_EQ(stat.state, 'S');
+  EXPECT_EQ(stat.utime_ticks, 55u);
+  EXPECT_EQ(stat.stime_ticks, 44u);
+}
+
+TEST(ProcStatParse, TruncatedLineFailsAndLeavesOutputUntouched) {
+  ipd::obs::ProcStat stat{};
+  stat.tid = -1;
+  stat.comm = "sentinel";
+  EXPECT_FALSE(ipd::obs::parse_proc_stat(read_fixture("stat_truncated.txt"), stat));
+  EXPECT_EQ(stat.tid, -1);
+  EXPECT_EQ(stat.comm, "sentinel");
+}
+
+TEST(ProcStatParse, EmptyAndGarbageFail) {
+  ipd::obs::ProcStat stat{};
+  EXPECT_FALSE(ipd::obs::parse_proc_stat("", stat));
+  EXPECT_FALSE(ipd::obs::parse_proc_stat("not a stat line", stat));
+  EXPECT_FALSE(ipd::obs::parse_proc_stat("123 no-parens R 1 2 3", stat));
+}
+
+TEST(ProcSchedstatParse, Fixture) {
+  ipd::obs::ProcSchedstat sched{};
+  ASSERT_TRUE(ipd::obs::parse_proc_schedstat(read_fixture("schedstat.txt"), sched));
+  EXPECT_EQ(sched.cpu_time_ns, 123456789u);
+  EXPECT_EQ(sched.runqueue_wait_ns, 55555555u);
+  EXPECT_EQ(sched.timeslices, 4242u);
+}
+
+TEST(ProcSchedstatParse, MalformedFailsAndLeavesOutputUntouched) {
+  ipd::obs::ProcSchedstat sched{};
+  sched.cpu_time_ns = 7;
+  EXPECT_FALSE(ipd::obs::parse_proc_schedstat(read_fixture("schedstat_malformed.txt"), sched));
+  EXPECT_FALSE(ipd::obs::parse_proc_schedstat("", sched));
+  EXPECT_FALSE(ipd::obs::parse_proc_schedstat("1 2", sched));
+  EXPECT_EQ(sched.cpu_time_ns, 7u);
+}
+
+TEST(ProcStatusParse, FixtureCtxSwitches) {
+  ipd::obs::ProcCtxSwitches ctx{};
+  ASSERT_TRUE(ipd::obs::parse_proc_status_ctx(read_fixture("status.txt"), ctx));
+  EXPECT_EQ(ctx.voluntary, 98765u);
+  EXPECT_EQ(ctx.involuntary, 432u);
+}
+
+TEST(ProcStatusParse, MissingCtxLinesFails) {
+  ipd::obs::ProcCtxSwitches ctx{};
+  ctx.voluntary = 11;
+  ctx.involuntary = 22;
+  EXPECT_FALSE(ipd::obs::parse_proc_status_ctx(read_fixture("status_no_ctx.txt"), ctx));
+  EXPECT_FALSE(ipd::obs::parse_proc_status_ctx("", ctx));
+  EXPECT_EQ(ctx.voluntary, 11u);
+  EXPECT_EQ(ctx.involuntary, 22u);
+}
+
+TEST(SampleProcessThreads, FindsNamedThread) {
+  std::thread worker([] {
+    ipd::util::set_current_thread_name("ipd-ut-worker");
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto threads = ipd::obs::sample_process_threads();
+  ASSERT_FALSE(threads.empty());
+  bool found = false;
+  int last_tid = -1;
+  for (const auto& t : threads) {
+    EXPECT_GT(t.tid, last_tid) << "threads must be sorted by tid";
+    last_tid = t.tid;
+    if (t.name == "ipd-ut-worker") found = true;
+  }
+  EXPECT_TRUE(found) << "sample_process_threads did not report the named thread";
+  worker.join();
+}
+
+TEST(ThreadStatsSurfaces, PublishJsonAndText) {
+  ipd::obs::ThreadStats a{};
+  a.tid = 10;
+  a.name = "alpha";
+  a.state = 'R';
+  a.utime_s = 1.5;
+  a.stime_s = 0.5;
+  a.has_schedstat = true;
+  a.cpu_s = 2.0;
+  a.runqueue_wait_s = 0.25;
+  a.timeslices = 100;
+  a.voluntary_ctx = 40;
+  a.involuntary_ctx = 4;
+  ipd::obs::ThreadStats b = a;
+  b.tid = 11;
+  b.name = "beta";
+  b.involuntary_ctx = 6;
+
+  ipd::obs::MetricsRegistry registry;
+  ipd::obs::publish_thread_metrics({a, b}, registry);
+  const std::string prom = ipd::obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("ipd_thread_ctx_switches_total"), std::string::npos);
+  EXPECT_NE(prom.find("thread=\"alpha\""), std::string::npos);
+  EXPECT_NE(prom.find("kind=\"involuntary\""), std::string::npos);
+  EXPECT_NE(prom.find("kind=\"voluntary\""), std::string::npos);
+
+  const std::string json = ipd::obs::threads_json({a, b});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+
+  const std::string text = ipd::obs::threads_text({a, b});
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+}  // namespace

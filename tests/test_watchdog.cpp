@@ -1,0 +1,170 @@
+// Tests for obs/watchdog.hpp: no false positives under generous budgets,
+// stall detection with thread-name + stack capture on a wedged heartbeat,
+// once-per-episode reporting with re-arm on the next beat, WatchdogScope
+// disarm semantics, and the JSON/metrics surfaces.
+//
+// Budgets here are deliberately asymmetric: "must not stall" tasks get
+// multi-second budgets (a sanitizer host being slow is not a stall) while
+// "must stall" tasks get ~50ms budgets against a 20ms poll so detection is
+// fast but never racy.
+
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread.hpp"
+
+namespace {
+
+using ipd::obs::Watchdog;
+using ipd::obs::WatchdogConfig;
+using ipd::obs::WatchdogScope;
+
+WatchdogConfig fast_config() {
+  WatchdogConfig config;
+  config.poll_interval_ms = 20;
+  config.capture_timeout_ms = 1000;
+  return config;
+}
+
+/// Spin until `pred` holds or `ms` elapse; returns the final value.
+template <typename Pred>
+bool wait_for(Pred pred, int ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+TEST(Watchdog, HealthyHeartbeatNeverStalls) {
+  Watchdog watchdog(fast_config());
+  const auto task = watchdog.register_task("ut.healthy", /*budget_ms=*/5000);
+  watchdog.start();
+  for (int i = 0; i < 20; ++i) {
+    watchdog.beat(task);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_total(), 0u);
+  EXPECT_TRUE(watchdog.reports().empty());
+}
+
+TEST(Watchdog, UnbeatTaskIsDisarmedAndCannotStall) {
+  Watchdog watchdog(fast_config());
+  watchdog.register_task("ut.never-beat", /*budget_ms=*/1);
+  watchdog.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_total(), 0u);
+
+  const auto tasks = watchdog.tasks();
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].name, "ut.never-beat");
+  EXPECT_FALSE(tasks[0].armed);
+  EXPECT_EQ(tasks[0].last_beat_ms_ago, -1);
+}
+
+TEST(Watchdog, WedgedHeartbeatProducesReportWithNameAndStack) {
+  Watchdog watchdog(fast_config());
+  const auto task = watchdog.register_task("ut.wedged", /*budget_ms=*/50);
+  watchdog.start();
+
+  std::atomic<bool> release{false};
+  std::thread wedged([&] {
+    ipd::util::set_current_thread_name("ipd-ut-wedged");
+    watchdog.beat(task);  // arm, then never beat again
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  ASSERT_TRUE(wait_for([&] { return watchdog.stalls_total() >= 1; }, 5000))
+      << "watchdog never noticed the wedged heartbeat";
+  release.store(true, std::memory_order_release);
+  wedged.join();
+  watchdog.stop();
+
+  const auto reports = watchdog.reports();
+  ASSERT_FALSE(reports.empty());
+  const auto& report = reports.front();
+  EXPECT_EQ(report.task, "ut.wedged");
+  EXPECT_EQ(report.thread_name, "ipd-ut-wedged");
+  EXPECT_EQ(report.budget_ms, 50);
+  EXPECT_GE(report.overdue_ms, 0);
+  if (report.stack_captured) {
+    EXPECT_FALSE(report.stack.empty());
+  }
+
+  const std::string json = Watchdog::report_json(report);
+  EXPECT_NE(json.find("\"task\":\"ut.wedged\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread\":\"ipd-ut-wedged\""), std::string::npos);
+}
+
+TEST(Watchdog, StallReportedOncePerEpisodeAndRearmsOnBeat) {
+  Watchdog watchdog(fast_config());
+  const auto task = watchdog.register_task("ut.episodic", /*budget_ms=*/40);
+  watchdog.start();
+
+  watchdog.beat(task);
+  ASSERT_TRUE(wait_for([&] { return watchdog.stalls_total() >= 1; }, 5000));
+  // Staying wedged must not generate further reports for the same episode.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(watchdog.stalls_total(), 1u);
+
+  // A beat ends the episode; a second wedge is a new stall.
+  watchdog.beat(task);
+  ASSERT_TRUE(wait_for([&] { return watchdog.stalls_total() >= 2; }, 5000));
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_total(), 2u);
+}
+
+TEST(Watchdog, ScopeDisarmsOnExit) {
+  Watchdog watchdog(fast_config());
+  const auto task = watchdog.register_task("ut.scoped", /*budget_ms=*/40);
+  watchdog.start();
+  {
+    WatchdogScope scope(&watchdog, task);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // The scope disarmed on exit, so blowing way past the budget afterwards
+  // must not count as a stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_total(), 0u);
+
+  // Null watchdog: construction and destruction are no-ops.
+  { WatchdogScope null_scope(nullptr, task); }
+}
+
+TEST(Watchdog, MetricsAndJsonSurfaces) {
+  ipd::obs::MetricsRegistry registry;
+  Watchdog watchdog(fast_config());
+  watchdog.bind_metrics(registry);
+  const auto task = watchdog.register_task("ut.surfaces", /*budget_ms=*/30);
+  watchdog.start();
+  watchdog.beat(task);
+  ASSERT_TRUE(wait_for([&] { return watchdog.stalls_total() >= 1; }, 5000));
+  watchdog.stop();
+
+  const std::string prom = ipd::obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("ipd_watchdog_stalls_total"), std::string::npos);
+  EXPECT_NE(prom.find("ipd_watchdog_tasks"), std::string::npos);
+
+  const std::string json = watchdog.to_json();
+  EXPECT_NE(json.find("\"tasks\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stalls_total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ut.surfaces\""), std::string::npos);
+  EXPECT_NE(json.find("\"reports\":"), std::string::npos);
+}
+
+}  // namespace

@@ -46,6 +46,17 @@
 //                           overridden by IPD_FLOW_SAMPLE=<n>. Tracing is
 //                           also enabled by --http-port (the /flows
 //                           endpoint serves the same journeys live).
+//   --force-stall=<ms>      deliberately wedge a watchdog heartbeat for
+//                           <ms> after the replay: the stall watchdog must
+//                           detect it and capture this thread's stack — the
+//                           end-to-end smoke test for stall reporting
+//   --stall-report-out=<file>
+//                           append one JSON line per watchdog stall report
+//
+// With --http-port the stall watchdog also runs: collector-style tasks are
+// not present here, but the HTTP serve loop registers a heartbeat, /locks
+// serves per-site lock contention, and /threads serves per-thread scheduler
+// stats plus watchdog state.
 //
 // A TimeSeriesStore + HealthEngine always ride along: every 5-minute bin
 // is ingested into the embedded TSDB and the default health rules
@@ -74,12 +85,16 @@
 #include "obs/timeseries.hpp"
 #include "core/output.hpp"
 #include "netflow/codec.hpp"
+#include "obs/build_info.hpp"
 #include "obs/cpu_profiler.hpp"
 #include "obs/export.hpp"
 #include "obs/flow_trace.hpp"
+#include "obs/lock_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/thread_stats.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/thread.hpp"
@@ -96,6 +111,7 @@ int usage(const char* argv0) {
                "[--linger=<seconds>] [--shards=<N>] [--ingest-threads=<M>] "
                "[--perf-counters[=phases]] [--profile-out=<file>] "
                "[--profile-hz=<N>] [--flow-trace-out=<file>] "
+               "[--force-stall=<ms>] [--stall-report-out=<file>] "
                "<in.trace> [ncidr_factor4=auto] [q=0.95]\n",
                argv0);
   return 2;
@@ -120,6 +136,8 @@ int main(int argc, char** argv) {
   std::string profile_out;
   int profile_hz = 97;
   std::string flow_trace_out;
+  long force_stall_ms = 0;
+  std::string stall_report_out;
   std::vector<std::string> positional;
   util::set_current_thread_name("ipd-main");
   for (int i = 1; i < argc; ++i) {
@@ -160,6 +178,11 @@ int main(int argc, char** argv) {
       profile_hz = static_cast<int>(util::parse_uint(arg.substr(13), 1000));
     } else if (util::starts_with(arg, "--flow-trace-out=")) {
       flow_trace_out = arg.substr(17);
+    } else if (util::starts_with(arg, "--force-stall=")) {
+      force_stall_ms = static_cast<long>(
+          util::parse_uint(arg.substr(14), 600000));
+    } else if (util::starts_with(arg, "--stall-report-out=")) {
+      stall_report_out = arg.substr(19);
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "unknown flag %s\n", std::string(arg).c_str());
       return usage(argv[0]);
@@ -234,6 +257,8 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   engine.attach_metrics(registry);
   obs::bind_log_drop_metrics(registry);
+  obs::register_build_info(registry);
+  util::log_info("build", {{"info", obs::build_info_line()}});
 
   std::unique_ptr<obs::PerfCounters> perf;
   if (perf_enabled) {
@@ -293,15 +318,49 @@ int main(int argc, char** argv) {
     };
   }
 
+  // The stall watchdog runs whenever anything can consume its output: the
+  // live endpoints, a forced-stall smoke run, or a stall-report file.
+  // `stall_file` is declared first so it outlives the watchdog thread that
+  // writes to it through on_stall.
+  std::ofstream stall_file;
+  obs::Watchdog watchdog;
+  const bool watchdog_enabled =
+      http_enabled || force_stall_ms > 0 || !stall_report_out.empty();
+  if (watchdog_enabled) {
+    watchdog.bind_metrics(registry);
+    if (!stall_report_out.empty()) {
+      stall_file.open(stall_report_out, std::ios::app);
+      if (!stall_file) {
+        std::fprintf(stderr, "cannot open %s\n", stall_report_out.c_str());
+        return 1;
+      }
+      // Called from the watchdog thread only; the stream has no other
+      // writer once the callback is installed.
+      watchdog.set_on_stall([&stall_file](
+                                const obs::Watchdog::StallReport& report) {
+        stall_file << obs::Watchdog::report_json(report) << '\n';
+        stall_file.flush();
+      });
+    }
+    watchdog.start();
+  }
+
   // The introspection handlers and the replay loop share the engine under
   // this mutex; the loop takes it in batches so endpoint latency stays low
-  // without a per-flow lock.
-  std::mutex engine_mutex;
+  // without a per-flow lock. Instrumented: introspection-vs-replay
+  // contention shows up in /locks as "replay.engine".
+  obs::InstrumentedMutex engine_mutex{"replay.engine"};
   analysis::IntrospectionServer introspection(engine, engine_mutex);
   introspection.attach_health(health);
   introspection.attach_timeseries(timeseries);
   if (perf) introspection.attach_perf(*perf);
   if (flow_trace_enabled) introspection.attach_flow_trace(flow_trace);
+  if (watchdog_enabled) {
+    introspection.attach_watchdog(watchdog);
+    // Budget must exceed the longest legitimate handler: /profile blocks
+    // the serving thread for up to profile_max_seconds (30 s).
+    introspection.register_heartbeat(watchdog, /*budget_ms=*/120000);
+  }
   if (http_enabled) {
     std::string error;
     if (!introspection.start(http_port, &error)) {
@@ -337,9 +396,12 @@ int main(int argc, char** argv) {
   };
   runner.on_metrics = [&](util::Timestamp ts,
                           const obs::MetricsRegistry& reg) {
-    // Publish perf gauges first so the same TSDB bin carries them (the
-    // health rules read ipd_perf_* from the store).
+    // Publish perf/lock/thread gauges first so the same TSDB bin carries
+    // them (the health rules read ipd_perf_* / ipd_lock_* / ipd_thread_*
+    // from the store).
     if (perf) perf->publish(registry);
+    obs::publish_lock_metrics(registry);
+    obs::publish_thread_metrics(obs::sample_process_threads(), registry);
     timeseries.ingest(reg, ts);
     health.evaluate(ts);
     if (jsonl.is_open()) jsonl << obs::to_json_line(reg, ts);
@@ -355,12 +417,37 @@ int main(int argc, char** argv) {
   constexpr std::size_t kIngestBatch = 4096;
   for (std::size_t i = 0; i < records.size(); i += kIngestBatch) {
     const std::size_t end = std::min(i + kIngestBatch, records.size());
-    const std::lock_guard<std::mutex> lock(engine_mutex);
+    const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex);
     for (std::size_t j = i; j < end; ++j) runner.offer(records[j]);
   }
   {
-    const std::lock_guard<std::mutex> lock(engine_mutex);
+    const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex);
     runner.finish();
+  }
+
+  if (force_stall_ms > 0) {
+    // Deliberately wedge a heartbeat: beat once, then go quiet past the
+    // budget. The watchdog must detect the miss and capture this thread's
+    // stack — the end-to-end proof the stall path works.
+    const obs::Watchdog::TaskId wedged =
+        watchdog.register_task("forced.stall", force_stall_ms);
+    watchdog.beat(wedged);
+    const std::uint64_t before = watchdog.stalls_total();
+    // Wait for detection (budget + a few poll periods), then a grace loop
+    // for slow sanitizer hosts.
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(force_stall_ms + 10000);
+    while (watchdog.stalls_total() == before &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    watchdog.disarm(wedged);
+    if (watchdog.stalls_total() == before) {
+      std::fprintf(stderr, "forced stall was not detected\n");
+      return 1;
+    }
+    std::printf("forced stall detected (%llu total)\n",
+                static_cast<unsigned long long>(watchdog.stalls_total()));
   }
 
   if (!profile_out.empty()) {

@@ -3,25 +3,33 @@
 // Usage: ipd_top --port=<port> [--host=127.0.0.1] [--interval=2] [--once]
 //
 // Polls the introspection endpoints (/metrics, /health, /alerts,
-// /flows?format=text) of an engine started with --http-port and renders:
+// /flows?format=text, /locks?format=text, /threads?format=text) of an
+// engine started with --http-port and renders:
 //
+//   * the build identity (sha, build type, compiler) from ipd_build_info,
 //   * ingest rate (flows/s, from the ipd_ingest_flows_total delta between
 //     polls) and cumulative totals,
 //   * range partition counts, trie memory, tracked IPs,
 //   * pipeline freshness and ring-residency p99 against their SLOs,
 //   * per-shard flow occupancy (sharded engine only),
 //   * health state per component and the active alert list,
+//   * lock contention by site and per-thread scheduler stats,
 //   * the most recent sampled flow journeys, one line each.
+//
+// The terminal size is re-queried on SIGWINCH; panel row budgets and line
+// clipping follow the current window.
 //
 // Dependency-free by design: raw POSIX sockets, HTTP/1.1 with chunked
 // decoding (the /flows and /timeseries endpoints stream), ANSI escapes for
 // the redraw. `--once` prints a single frame and exits (CI smoke tests).
 #include <arpa/inet.h>
 #include <netdb.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +53,45 @@ int usage(const char* argv0) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+// Terminal geometry, refreshed lazily when SIGWINCH flags a resize. The
+// handler only sets the flag; the ioctl happens on the render path.
+volatile std::sig_atomic_t g_resized = 1;  // start dirty: query first frame
+
+void on_sigwinch(int) { g_resized = 1; }
+
+struct TermSize {
+  int rows = 24;
+  int cols = 80;
+};
+TermSize g_term;
+
+void refresh_term_size() {
+  winsize ws{};
+  if (ioctl(STDOUT_FILENO, TIOCGWINSZ, &ws) == 0 && ws.ws_row > 0 &&
+      ws.ws_col > 0) {
+    g_term.rows = ws.ws_row;
+    g_term.cols = ws.ws_col;
+  }
+}
+
+/// Print a multi-line blob with every line clipped to the terminal width
+/// and an optional row budget (0 = unlimited), two-space indented.
+void print_clipped(const std::string& text, int max_rows) {
+  const std::size_t width =
+      g_term.cols > 4 ? static_cast<std::size_t>(g_term.cols) - 3 : 77;
+  int rows = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (max_rows > 0 && rows >= max_rows) return;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::size_t len = std::min(eol - pos, width);
+    std::printf("  %.*s\n", static_cast<int>(len), text.data() + pos);
+    pos = eol + 1;
+    ++rows;
+  }
 }
 
 /// De-chunk a Transfer-Encoding: chunked body. Returns nullopt on
@@ -159,6 +206,31 @@ double metric_or(const std::map<std::string, double>& m,
   return it == m.end() ? fallback : it->second;
 }
 
+/// Value of `label` on the first sample line of `family` in the raw
+/// Prometheus text ("" when absent) — how the ipd_build_info labels (sha,
+/// build, compiler) reach the header without a JSON endpoint.
+std::string metric_label(const std::string& text, const std::string& family,
+                         const std::string& label) {
+  std::size_t pos = 0;
+  while ((pos = text.find(family + "{", pos)) != std::string::npos) {
+    if (pos != 0 && text[pos - 1] != '\n') {  // mid-line hit, e.g. HELP text
+      pos += family.size();
+      continue;
+    }
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    const std::string needle = label + "=\"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) return "";
+    const std::size_t begin = at + needle.size();
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string::npos) return "";
+    return line.substr(begin, end - begin);
+  }
+  return "";
+}
+
 /// Pull every string field value named `field` out of a flat JSON blob
 /// (no nesting awareness needed for the shapes we read).
 std::vector<std::string> json_string_fields(const std::string& body,
@@ -193,16 +265,21 @@ const char* state_color(const std::string& state) {
 
 struct Frame {
   std::map<std::string, double> metrics;
+  std::string metrics_raw;  // for label-valued families (ipd_build_info)
   std::string health;
   std::string alerts;
   std::string flows;
+  std::string locks;
+  std::string threads;
   bool metrics_ok = false;
 };
 
-Frame fetch(const std::string& host, std::uint16_t port) {
+Frame fetch(const std::string& host, std::uint16_t port,
+            std::size_t locks_limit) {
   Frame f;
   if (auto m = http_get(host, port, "/metrics")) {
     f.metrics = parse_metrics(*m);
+    f.metrics_raw = std::move(*m);
     f.metrics_ok = true;
   }
   if (auto h = http_get(host, port, "/health")) f.health = *h;
@@ -210,13 +287,28 @@ Frame fetch(const std::string& host, std::uint16_t port) {
   if (auto j = http_get(host, port, "/flows?format=text&limit=8")) {
     f.flows = *j;
   }
+  if (auto l = http_get(host, port, "/locks?format=text&limit=" +
+                                        std::to_string(locks_limit))) {
+    f.locks = *l;
+  }
+  if (auto t = http_get(host, port, "/threads?format=text")) f.threads = *t;
   return f;
 }
 
 void render(const Frame& f, const std::string& host, std::uint16_t port,
             double rate, bool ansi) {
   if (ansi) std::fputs("\x1b[2J\x1b[H", stdout);
-  std::printf("ipd_top — %s:%u\n", host.c_str(), port);
+  const std::string sha = metric_label(f.metrics_raw, "ipd_build_info", "sha");
+  const std::string build =
+      metric_label(f.metrics_raw, "ipd_build_info", "build");
+  const std::string compiler =
+      metric_label(f.metrics_raw, "ipd_build_info", "compiler");
+  if (sha.empty()) {
+    std::printf("ipd_top — %s:%u\n", host.c_str(), port);
+  } else {
+    std::printf("ipd_top — %s:%u | %s %s %s\n", host.c_str(), port,
+                sha.c_str(), build.c_str(), compiler.c_str());
+  }
   if (!f.metrics_ok) {
     std::printf("  (no /metrics — is the process up with --http-port?)\n");
     std::fflush(stdout);
@@ -305,12 +397,25 @@ void render(const Frame& f, const std::string& host, std::uint16_t port,
     }
   }
 
+  // Lock/thread panels: clipped to the terminal, budgeted so the whole
+  // frame still fits a small window.
+  const int panel_rows =
+      g_term.rows > 30 ? (g_term.rows - 22) / 2 : 4;
+  if (!f.locks.empty()) {
+    std::printf("\nlock contention by site:\n");
+    print_clipped(f.locks, panel_rows + 1);  // +1: header row
+  }
+  if (!f.threads.empty()) {
+    std::printf("\nthreads:\n");
+    print_clipped(f.threads, panel_rows + 1);
+  }
+
   std::printf("\nsampled flow journeys (newest %d):\n", 8);
   if (f.flows.empty()) {
     std::printf("  (none yet — sampling period may be high; set "
                 "IPD_FLOW_SAMPLE)\n");
   } else {
-    std::fputs(f.flows.c_str(), stdout);
+    print_clipped(f.flows, panel_rows + 1);
   }
   std::fflush(stdout);
 }
@@ -330,7 +435,18 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(
           std::atoi(std::string(arg.substr(7)).c_str()));
     } else if (starts_with(arg, "--interval=")) {
-      interval_s = std::atof(std::string(arg.substr(11)).c_str());
+      // Validate instead of silently coercing garbage to 0: the value must
+      // parse in full and land in a sane range.
+      const std::string text(arg.substr(11));
+      char* end = nullptr;
+      interval_s = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0' || !(interval_s > 0.0) ||
+          interval_s > 3600.0) {
+        std::fprintf(stderr,
+                     "--interval must be seconds in (0, 3600], got \"%s\"\n",
+                     text.c_str());
+        return 2;
+      }
     } else if (arg == "--once") {
       once = true;
     } else {
@@ -338,12 +454,27 @@ int main(int argc, char** argv) {
     }
   }
   if (port == 0) return usage(argv[0]);
-  if (interval_s <= 0.0) interval_s = 2.0;
+
+  // Track terminal resizes; SA_RESTART so a mid-recv resize does not
+  // surface as a spurious fetch failure.
+  struct sigaction sa{};
+  sa.sa_handler = on_sigwinch;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGWINCH, &sa, nullptr);
 
   double last_total = -1.0;
   auto last_time = std::chrono::steady_clock::now();
   for (;;) {
-    const Frame frame = fetch(host, port);
+    if (g_resized) {
+      g_resized = 0;
+      refresh_term_size();
+    }
+    const std::size_t locks_limit = g_term.rows > 30
+                                        ? static_cast<std::size_t>(
+                                              (g_term.rows - 22) / 2)
+                                        : 4;
+    const Frame frame = fetch(host, port, locks_limit);
     const auto now = std::chrono::steady_clock::now();
     double rate = -1.0;
     if (frame.metrics_ok) {
