@@ -233,6 +233,24 @@ void HealthEngine::install_default_rules(const core::IpdParams& params) {
   residency.reason = "ring-residency p99 spiked: IPD thread behind ingest";
   add_rule(std::move(residency));
 
+  // Warm-restart snapshot staleness: the on-disk snapshot's data-time age
+  // exceeding the budget means a crash now would replay more history than
+  // the operator signed up for. No-op until a snapshot-taking process
+  // publishes ipd_snapshot_age_seconds (the gauge is -1 before the first
+  // save, which never trips a GreaterThan rule with a positive threshold).
+  ThresholdRule stale;
+  stale.name = "snapshot-stale";
+  stale.component = "snapshot";
+  stale.severity = AlertSeverity::Warning;
+  stale.series = "ipd_snapshot_age_seconds";
+  stale.agg = ThresholdRule::Agg::Last;
+  stale.cmp = ThresholdRule::Cmp::GreaterThan;
+  stale.threshold = config_.snapshot_age_s;
+  stale.window_points = config_.window_points;
+  stale.clear_after = 2;
+  stale.reason = "newest warm-restart snapshot is older than the age budget";
+  add_rule(std::move(stale));
+
   // Execution-observability rules (series exist when lock/thread/watchdog
   // telemetry publishes into the TSDB; otherwise they never fire).
 

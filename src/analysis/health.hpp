@@ -114,6 +114,11 @@ struct HealthConfig {
   // Ring-residency p99 spike: records sitting in a reader ring for more
   // than this long mean the IPD thread is not keeping up with ingest.
   double ring_residency_p99_s = 1.0;
+  // Warm-restart snapshot staleness: how old (in data time) the newest
+  // on-disk snapshot may grow before a crash would lose too much state.
+  // Six 5-minute bins of slack; the rule is a no-op until a process that
+  // takes snapshots publishes ipd_snapshot_age_seconds.
+  double snapshot_age_s = 1800.0;
   // Execution-observability rules (no-ops until ipd_lock_* /
   // ipd_thread_* / ipd_watchdog_* series are published into the TSDB).
   double lock_wait_p99_s = 0.010;       // tail wait at any instrumented site

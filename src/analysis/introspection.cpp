@@ -147,6 +147,9 @@ IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
   server_.handle("/flows", [this](const obs::HttpRequest& r) {
     return handle_flows(r);
   });
+  server_.handle("/snapshot", [this](const obs::HttpRequest& r) {
+    return handle_snapshot(r);
+  });
   server_.handle("/threads", [this](const obs::HttpRequest& r) {
     return handle_threads(r);
   });
@@ -175,7 +178,7 @@ obs::HttpResponse IntrospectionServer::handle_index(const obs::HttpRequest&) {
       "\"/profile?seconds=N&hz=N&clock=cpu|wall\","
       "\"/flows?limit=N&format=json|text\","
       "\"/threads?format=json|text\","
-      "\"/locks?limit=N&format=json|text\"]}");
+      "\"/locks?limit=N&format=json|text\",\"/snapshot\"]}");
 }
 
 obs::HttpResponse IntrospectionServer::handle_healthz(const obs::HttpRequest&) {
@@ -456,6 +459,23 @@ obs::HttpResponse IntrospectionServer::handle_timeseries(
 obs::HttpResponse IntrospectionServer::handle_perf(const obs::HttpRequest&) {
   if (perf_ == nullptr) return not_attached("perf counters");
   return obs::HttpResponse::json(perf_->to_json());
+}
+
+obs::HttpResponse IntrospectionServer::handle_snapshot(const obs::HttpRequest&) {
+  if (snapshots_ == nullptr) return not_attached("snapshot telemetry");
+  const core::SnapshotTelemetry::State s = snapshots_->state();
+  return obs::HttpResponse::json(util::format(
+      "{\"saves\":%llu,\"restores\":%llu,\"errors\":%llu,"
+      "\"last_bytes\":%llu,\"last_save_seconds\":%.6f,"
+      "\"last_restore_seconds\":%.6f,\"last_saved_at\":%lld,"
+      "\"age_seconds\":%.1f,\"path\":\"%s\",\"last_error\":\"%s\"}",
+      static_cast<unsigned long long>(s.saves),
+      static_cast<unsigned long long>(s.restores),
+      static_cast<unsigned long long>(s.errors),
+      static_cast<unsigned long long>(s.last_bytes), s.last_save_seconds,
+      s.last_restore_seconds, static_cast<long long>(s.last_saved_at),
+      s.age_seconds, util::json_escape(s.path).c_str(),
+      util::json_escape(s.last_error).c_str()));
 }
 
 obs::HttpResponse IntrospectionServer::handle_profile(

@@ -22,6 +22,8 @@
 //                    /proc/self/task plus watchdog task/stall state
 //   GET /locks       ?limit=&format=json|text — per-site lock contention
 //                    (wait/hold p50/p99/max, contention ratio)
+//   GET /snapshot    warm-restart snapshot state: last save/restore,
+//                    bytes, data-time age, configured path
 //
 // The engine is shared with the ingest thread: every handler takes
 // `engine_mutex` around engine access, and the ingest side must hold the
@@ -38,6 +40,7 @@
 #include <string>
 
 #include "core/engine_base.hpp"
+#include "core/snapshot.hpp"
 #include "obs/flow_trace.hpp"
 #include "obs/http_server.hpp"
 #include "obs/lock_stats.hpp"
@@ -104,6 +107,13 @@ class IntrospectionServer {
     flow_trace_ = &tracer;
   }
 
+  /// Serve /snapshot from `telemetry` (internally synchronized; must
+  /// outlive the server): last save/restore, bytes, data-time age, and
+  /// the configured snapshot path.
+  void attach_snapshots(const core::SnapshotTelemetry& telemetry) noexcept {
+    snapshots_ = &telemetry;
+  }
+
   /// Fold `watchdog` task/stall state into /threads (internally
   /// synchronized; must outlive the server). /threads and /locks work
   /// without any attachment — they read /proc and the process-global lock
@@ -142,6 +152,7 @@ class IntrospectionServer {
   obs::HttpResponse handle_profile(const obs::HttpRequest& request);
   obs::HttpResponse handle_flows(const obs::HttpRequest& request);
   obs::HttpResponse handle_threads(const obs::HttpRequest& request);
+  obs::HttpResponse handle_snapshot(const obs::HttpRequest& request);
   obs::HttpResponse handle_locks(const obs::HttpRequest& request);
 
   core::EngineBase& engine_;
@@ -152,6 +163,7 @@ class IntrospectionServer {
   const obs::PerfCounters* perf_ = nullptr;
   const obs::FlowTracer* flow_trace_ = nullptr;
   const obs::Watchdog* watchdog_ = nullptr;
+  const core::SnapshotTelemetry* snapshots_ = nullptr;
   obs::HttpServer server_;
 };
 

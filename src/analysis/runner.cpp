@@ -123,6 +123,7 @@ void BinnedRunner::offer(const netflow::FlowRecord& record) {
     advance_to(record.ts);
   }
   if (record.ts > newest_ts_) newest_ts_ = record.ts;
+  resumed_idle_ = false;
   if (engine_.tracer() != nullptr && batch_flows_++ == 0) {
     batch_start_us_ = engine_.tracer()->now_us();
   }
@@ -133,9 +134,17 @@ void BinnedRunner::offer(const netflow::FlowRecord& record) {
 
 void BinnedRunner::finish() {
   if (!started_) return;
+  // A resumed runner that ingested nothing must leave the engine exactly
+  // as the snapshot left it: the donor already ran the trailing cycle
+  // before that snapshot was cut, so running another here would
+  // synthesize a cycle the donor never saw (restore-at-end-of-trace).
+  if (resumed_idle_) return;
   flush_pending();
   // Run the trailing cycle and snapshot so the last bin is validated.
   run_one_cycle(next_cycle_);
+  // Keep the "next un-run cycle" invariant so a snapshot_clock() taken in
+  // the final on_snapshot still describes a valid continuation point.
+  next_cycle_ += engine_.params().t;
   take_snapshot(next_snapshot_);
   if (validation_) validation_->finish();
 }

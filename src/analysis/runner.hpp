@@ -26,6 +26,7 @@
 #include "core/engine_base.hpp"
 #include "core/lpm_table.hpp"
 #include "core/output.hpp"
+#include "core/snapshot.hpp"
 #include "obs/metrics.hpp"
 
 namespace ipd::analysis {
@@ -66,6 +67,26 @@ class BinnedRunner {
 
   std::uint64_t snapshots_taken() const noexcept { return snapshots_; }
 
+  /// The engine-snapshot clock as of the bin boundary `ts`. Only
+  /// meaningful from inside a mid-run on_snapshot callback: at that point
+  /// the cycle at `ts` has run, the validation bin buffer is empty, and
+  /// the pending batch holds nothing older than `ts` — so an engine
+  /// snapshot cut here plus this clock is a complete warm-restart point.
+  core::SnapshotClock snapshot_clock(util::Timestamp ts) const noexcept {
+    return {ts, next_cycle_, ts + config_.snapshot_len};
+  }
+
+  /// Continue a run from a restored engine: preset the cycle/snapshot
+  /// schedule from the donor's clock instead of deriving it from the
+  /// first offered record. Call before the first offer().
+  void resume(const core::SnapshotClock& clock) noexcept {
+    next_cycle_ = clock.next_cycle;
+    next_snapshot_ = clock.next_snapshot;
+    newest_ts_ = clock.saved_at;
+    started_ = true;
+    resumed_idle_ = true;
+  }
+
  private:
   void advance_to(util::Timestamp ts);
   void take_snapshot(util::Timestamp ts);
@@ -83,6 +104,7 @@ class BinnedRunner {
   util::Timestamp next_snapshot_ = 0;
   util::Timestamp newest_ts_ = 0;  // newest record offered (freshness gauge)
   bool started_ = false;
+  bool resumed_idle_ = false;  // resumed and no record offered since
   std::uint64_t snapshots_ = 0;
   // Stage-1 batch span state (only maintained while a tracer is attached).
   std::int64_t batch_start_us_ = 0;

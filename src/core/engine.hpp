@@ -210,6 +210,8 @@ class IpdEngine final : public EngineBase {
   }
 
  private:
+  friend struct SnapshotAccess;
+
   void publish_cycle_metrics(const CycleStats& out, const PhaseAccum& phases);
   void on_attach_perf() override;
 

@@ -31,6 +31,8 @@
 
 namespace ipd::core {
 
+struct SnapshotAccess;  // snapshot serializer; see trie.hpp
+
 /// Per-masked-source-IP state inside a Monitoring range.
 struct IpEntry {
   util::Timestamp last_seen = 0;
@@ -173,6 +175,8 @@ class FlatIpTable {
   }
 
  private:
+  friend struct SnapshotAccess;
+
   static constexpr std::size_t kMinCapacity = 8;
 
   std::size_t ideal_slot(const net::IpAddress& key) const noexcept {

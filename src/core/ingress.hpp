@@ -17,6 +17,8 @@
 
 namespace ipd::core {
 
+struct SnapshotAccess;  // snapshot serializer; see trie.hpp
+
 /// A classified ingress point: one router plus one or more interfaces.
 struct IngressId {
   topology::RouterId router = topology::kInvalidRouter;
@@ -120,6 +122,8 @@ class IngressCounts {
   std::size_t memory_bytes() const noexcept { return entries_.heap_bytes(); }
 
  private:
+  friend struct SnapshotAccess;
+
   Entries entries_;
   double total_ = 0.0;
 };

@@ -170,6 +170,8 @@ class ShardedEngine final : public EngineBase {
   std::size_t parallel_units(net::Family family) const;
 
  private:
+  friend struct SnapshotAccess;
+
   /// Per-slot buffered stage-1 metric deltas; flushed into the
   /// EngineMetrics registry handles in slot order under the exclusive
   /// structure lock. One writer at a time (the slot's mutex holder).

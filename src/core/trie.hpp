@@ -48,6 +48,12 @@ namespace ipd::core {
 class IpdTrie;
 class RangeNode;
 
+/// Snapshot serializer (core/snapshot.cpp). Friended into the engine's
+/// state-bearing types so warm-restart save/restore can reproduce private
+/// layout (slot placement, free chains, exact capacities) bit-for-bit
+/// without widening the public API.
+struct SnapshotAccess;
+
 /// Node handle within one trie's pool.
 using NodeIndex = std::uint32_t;
 inline constexpr NodeIndex kInvalidNode = 0xffffffffu;
@@ -105,6 +111,7 @@ class alignas(64) RangeNode {
 
  private:
   friend class IpdTrie;
+  friend struct SnapshotAccess;
 
   /// Sentinel for child_off_: leaf, or a child outside the arena's first
   /// block (locate() then falls back to index resolution).
@@ -249,6 +256,8 @@ class IpdTrie {
   std::size_t pool_high_water() const noexcept { return pool_->high_water(); }
 
  private:
+  friend struct SnapshotAccess;
+
   /// Index resolution with a fast path through block 0 (installed by the
   /// constructor, never moved): one predictable branch and a direct index
   /// off a cached base instead of the arena's atomic block-table load.

@@ -34,6 +34,7 @@
 #include <new>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace ipd::util {
 
@@ -145,6 +146,76 @@ class IndexArena {
     const std::lock_guard<std::mutex> lock(mutex_);
     return MaxBlocks * sizeof(std::atomic<std::byte*>) +
            mapped_blocks_ * kBlockSize * sizeof(T);
+  }
+
+  // --- Snapshot support -----------------------------------------------
+  //
+  // A warm restart must reproduce not just the live objects but the
+  // arena's *shape*: the high-water mark (which fixes mapped blocks and
+  // bytes()) and the free chain in pop order (which fixes the index
+  // sequence future alloc() calls return — split/join behaviour after a
+  // restore only matches the uninterrupted run if slot reuse does).
+
+  /// Free-list indices in pop order (head first).
+  std::vector<Index> free_chain() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Index> chain;
+    Index cur = free_head_;
+    while (cur != kInvalid) {
+      assert(chain.size() < next_fresh_ && "corrupt free chain");
+      chain.push_back(cur);
+      Index next;
+      std::memcpy(&next, slot_bytes(cur), sizeof(Index));
+      cur = next;
+    }
+    return chain;
+  }
+
+  /// Shape a freshly constructed arena to a donor layout: map blocks for
+  /// `high_water` slots, mark them all handed out, and thread `chain`
+  /// (pop order, every index < high_water) as the free list. Live objects
+  /// are then placed with construct_at(); the caller guarantees live and
+  /// free indices partition [0, high_water).
+  void restore_layout(std::size_t high_water, const std::vector<Index>& chain) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (next_fresh_ != 0 || live_ != 0 || free_head_ != kInvalid) {
+      throw std::logic_error("IndexArena::restore_layout: arena not empty");
+    }
+    if (high_water > kMaxObjects) {
+      throw std::length_error("IndexArena::restore_layout: beyond capacity");
+    }
+    const std::size_t blocks = (high_water + kBlockSize - 1) >> BlockShift;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      auto* bytes = static_cast<std::byte*>(::operator new[](
+          kBlockSize * sizeof(T), std::align_val_t{alignof(T)}));
+      blocks_[b].store(bytes, std::memory_order_release);
+    }
+    mapped_blocks_ = blocks;
+    next_fresh_ = high_water;
+    Index head = kInvalid;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      if (chain[i] >= high_water) {
+        throw std::out_of_range(
+            "IndexArena::restore_layout: free index beyond high water");
+      }
+      std::memcpy(slot_bytes(chain[i]), &head, sizeof(Index));
+      head = chain[i];
+    }
+    free_head_ = head;
+  }
+
+  /// Construct a T at an exact slot of an arena shaped by restore_layout().
+  template <class... Args>
+  void construct_at(Index index, Args&&... args) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (index >= next_fresh_) {
+        throw std::out_of_range(
+            "IndexArena::construct_at: index beyond high water");
+      }
+      ++live_;
+    }
+    ::new (slot_bytes(index)) T(std::forward<Args>(args)...);
   }
 
  private:

@@ -117,6 +117,11 @@ class SmallVec {
     return is_inline() ? 0 : capacity_ * sizeof(T);
   }
 
+  /// Grow capacity to at least `cap` without changing contents. Snapshot
+  /// restore uses this to reproduce a donor vector's exact capacity (and
+  /// therefore heap_bytes()) before replaying its elements.
+  void reserve(std::size_t cap) { reserve_for(cap); }
+
  private:
   void reserve_for(std::size_t needed) {
     if (needed <= capacity_) return;

@@ -1,0 +1,210 @@
+#include "util/snapshot_io.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ipd::util {
+
+const char* to_string(SnapshotErrc code) noexcept {
+  switch (code) {
+    case SnapshotErrc::kBadMagic:
+      return "snapshot bad-magic";
+    case SnapshotErrc::kBadVersion:
+      return "snapshot bad-version";
+    case SnapshotErrc::kTruncated:
+      return "snapshot truncated";
+    case SnapshotErrc::kChecksum:
+      return "snapshot checksum-mismatch";
+    case SnapshotErrc::kBadSection:
+      return "snapshot bad-section";
+    case SnapshotErrc::kBadValue:
+      return "snapshot bad-value";
+    case SnapshotErrc::kParamsMismatch:
+      return "snapshot params-mismatch";
+    case SnapshotErrc::kIo:
+      return "snapshot io-error";
+  }
+  return "snapshot unknown-error";
+}
+
+namespace {
+
+// CRC-64/XZ: reflected ECMA-182 polynomial, init/xorout = ~0.
+constexpr std::uint64_t kCrc64Poly = 0xc96c5795d7870f42ull;
+
+std::array<std::uint64_t, 256> make_crc64_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc64Poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint64_t, 256>& crc64_table() {
+  static const std::array<std::uint64_t, 256> table = make_crc64_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t crc64(const void* data, std::size_t len,
+                    std::uint64_t seed) noexcept {
+  const auto& table = crc64_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+SnapshotBuilder::SnapshotBuilder(std::uint32_t format_version) {
+  out_.bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out_.u32(format_version);
+}
+
+void SnapshotBuilder::add_section(std::uint32_t id, std::string payload) {
+  if (id == 0) {
+    throw SnapshotError(SnapshotErrc::kBadSection,
+                        "section id 0 is reserved for the end marker");
+  }
+  for (const std::uint32_t seen : ids_) {
+    if (seen == id) {
+      throw SnapshotError(SnapshotErrc::kBadSection,
+                          "duplicate section id " + std::to_string(id));
+    }
+  }
+  ids_.push_back(id);
+  out_.u32(id);
+  out_.u64(payload.size());
+  out_.bytes(payload.data(), payload.size());
+  out_.u64(crc64(payload.data(), payload.size()));
+}
+
+std::string SnapshotBuilder::finish() && {
+  out_.u32(0);
+  const std::uint64_t file_crc = crc64(out_.view().data(), out_.view().size());
+  out_.u64(file_crc);
+  return std::move(out_).take();
+}
+
+SnapshotParser::SnapshotParser(std::string_view data) {
+  // The file CRC covers everything before the trailing 8 bytes; check it
+  // first so every later framing error is a format bug, not bit rot.
+  if (data.size() < sizeof(kSnapshotMagic)) {
+    throw SnapshotError(SnapshotErrc::kBadMagic,
+                        "file too short for magic (" +
+                            std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    throw SnapshotError(SnapshotErrc::kBadMagic, "magic bytes mismatch");
+  }
+  if (data.size() < sizeof(kSnapshotMagic) + sizeof(std::uint32_t) +
+                        sizeof(std::uint32_t) + sizeof(std::uint64_t)) {
+    throw SnapshotError(SnapshotErrc::kTruncated,
+                        "file too short for header + trailer");
+  }
+  const std::string_view body = data.substr(0, data.size() - 8);
+  ByteReader trailer(data.substr(data.size() - 8));
+  const std::uint64_t stored_crc = trailer.u64();
+  const std::uint64_t actual_crc = crc64(body.data(), body.size());
+  if (stored_crc != actual_crc) {
+    throw SnapshotError(SnapshotErrc::kChecksum, "whole-file CRC mismatch");
+  }
+
+  ByteReader in(body);
+  in.raw(sizeof(kSnapshotMagic));
+  version_ = in.u32();
+
+  for (;;) {
+    const std::uint32_t id = in.u32();
+    if (id == 0) break;
+    const std::uint64_t len = in.u64();
+    if (len > in.remaining()) {
+      throw SnapshotError(SnapshotErrc::kTruncated,
+                          "section " + std::to_string(id) + " claims " +
+                              std::to_string(len) + " bytes, have " +
+                              std::to_string(in.remaining()));
+    }
+    const std::string_view payload = in.raw(static_cast<std::size_t>(len));
+    const std::uint64_t stored = in.u64();
+    if (stored != crc64(payload.data(), payload.size())) {
+      throw SnapshotError(SnapshotErrc::kChecksum,
+                          "section " + std::to_string(id) + " CRC mismatch");
+    }
+    if (has_section(id)) {
+      throw SnapshotError(SnapshotErrc::kBadSection,
+                          "duplicate section id " + std::to_string(id));
+    }
+    sections_.emplace_back(id, payload);
+  }
+  in.expect_done();
+}
+
+bool SnapshotParser::has_section(std::uint32_t id) const noexcept {
+  for (const auto& [sid, payload] : sections_) {
+    if (sid == id) return true;
+  }
+  return false;
+}
+
+std::string_view SnapshotParser::section(std::uint32_t id) const {
+  for (const auto& [sid, payload] : sections_) {
+    if (sid == id) return payload;
+  }
+  throw SnapshotError(SnapshotErrc::kBadSection,
+                      "missing section id " + std::to_string(id));
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SnapshotError(SnapshotErrc::kIo,
+                        "open '" + path + "': " + std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    throw SnapshotError(SnapshotErrc::kIo, "read '" + path + "' failed");
+  }
+  return out;
+}
+
+void write_file_atomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw SnapshotError(SnapshotErrc::kIo,
+                        "open '" + tmp + "': " + std::strerror(errno));
+  }
+  const bool wrote = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  const bool flushed = std::fflush(f) == 0;
+  const bool synced = ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed || !synced) {
+    std::remove(tmp.c_str());
+    throw SnapshotError(SnapshotErrc::kIo, "write '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError(SnapshotErrc::kIo,
+                        "rename '" + tmp + "' -> '" + path +
+                            "': " + std::strerror(errno));
+  }
+}
+
+}  // namespace ipd::util

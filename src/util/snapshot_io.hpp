@@ -1,0 +1,215 @@
+// Versioned, checksummed binary container for engine snapshots.
+//
+// This layer knows nothing about tries or engines — it provides the byte
+// discipline the snapshot format is built on:
+//
+//   * little-endian primitive encode/decode (ByteWriter / ByteReader) with
+//     hard bounds checks — a truncated or hostile buffer raises a typed
+//     SnapshotError, never UB,
+//   * a sectioned file container with a magic, a format version, a per-
+//     section CRC-64 and a whole-file CRC-64 trailer
+//     (SnapshotBuilder / SnapshotParser),
+//   * atomic file replacement (write to `path.tmp`, fsync, rename) so a
+//     crash mid-save never leaves a half-written snapshot at the published
+//     path.
+//
+// Fail-closed contract: SnapshotParser validates the magic, the section
+// framing and every checksum in its constructor, before the caller decodes
+// a single field — a reader that constructs successfully is working on a
+// bit-exact copy of what the writer produced.
+//
+// File layout (all integers little-endian):
+//
+//   magic[8] = "IPDSNAP0"
+//   u32 format_version            (meaning owned by the caller)
+//   repeated sections:
+//     u32 id   (non-zero)
+//     u64 payload_len
+//     payload bytes
+//     u64 crc64(payload)
+//   u32 0                         (end-of-sections marker)
+//   u64 crc64(everything above)   (whole-file integrity)
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ipd::util {
+
+enum class SnapshotErrc : std::uint8_t {
+  kBadMagic,        // not a snapshot file
+  kBadVersion,      // unsupported format version
+  kTruncated,       // ran out of bytes mid-structure
+  kChecksum,        // a section or file CRC mismatched
+  kBadSection,      // unknown/duplicate/missing section id
+  kBadValue,        // a decoded field violates an invariant
+  kParamsMismatch,  // snapshot params != restoring engine's params
+  kIo,              // filesystem error
+};
+
+const char* to_string(SnapshotErrc code) noexcept;
+
+/// Typed snapshot failure. Restore paths throw this before mutating any
+/// engine state (fail closed); callers branch on code() for telemetry.
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(SnapshotErrc code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+
+  SnapshotErrc code() const noexcept { return code_; }
+
+ private:
+  SnapshotErrc code_;
+};
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected). Chainable via `seed`.
+std::uint64_t crc64(const void* data, std::size_t len,
+                    std::uint64_t seed = 0) noexcept;
+
+/// Little-endian append-only encoder over a growable byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  /// Bit-exact double transport: the restored value is the same IEEE-754
+  /// object, not a round-tripped decimal approximation.
+  void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::string& view() const noexcept { return buf_; }
+  std::string take() && { return std::move(buf_); }
+
+ private:
+  template <class T>
+  void put_le(T v) {
+    char out[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    buf_.append(out, sizeof(T));
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder. Every read validates remaining
+/// length first and throws SnapshotError(kTruncated) on shortfall, so a
+/// corrupted length field can never walk past the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string_view raw(std::size_t len) { return take(len); }
+  std::string_view str() {
+    const std::uint32_t len = u32();
+    return take(len);
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+  /// Assert the payload was fully consumed (catches format drift where a
+  /// decoder silently ignores trailing bytes).
+  void expect_done() const {
+    if (!done()) {
+      throw SnapshotError(SnapshotErrc::kBadValue,
+                          std::to_string(remaining()) +
+                              " unconsumed bytes at end of section");
+    }
+  }
+
+ private:
+  std::string_view take(std::size_t len) {
+    if (len > remaining()) {
+      throw SnapshotError(SnapshotErrc::kTruncated,
+                          "need " + std::to_string(len) + " bytes, have " +
+                              std::to_string(remaining()));
+    }
+    const std::string_view out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  template <class T>
+  T get_le() {
+    const std::string_view in = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(in[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+inline constexpr char kSnapshotMagic[8] = {'I', 'P', 'D', 'S',
+                                           'N', 'A', 'P', '0'};
+
+/// Assembles a snapshot file from checksummed sections.
+class SnapshotBuilder {
+ public:
+  explicit SnapshotBuilder(std::uint32_t format_version);
+
+  /// Append one section. Ids must be non-zero and unique per file.
+  void add_section(std::uint32_t id, std::string payload);
+
+  /// Seal with the end marker and whole-file CRC; the builder is spent.
+  std::string finish() &&;
+
+ private:
+  ByteWriter out_;
+  std::vector<std::uint32_t> ids_;
+};
+
+/// Validates an entire snapshot file up front: magic, version readability,
+/// section framing, per-section CRCs, end marker and file CRC all pass
+/// before the constructor returns. Section payload views alias the input
+/// buffer, which must outlive the parser.
+class SnapshotParser {
+ public:
+  explicit SnapshotParser(std::string_view data);
+
+  std::uint32_t format_version() const noexcept { return version_; }
+
+  bool has_section(std::uint32_t id) const noexcept;
+
+  /// Payload of section `id`; throws kBadSection if absent.
+  std::string_view section(std::uint32_t id) const;
+
+ private:
+  std::uint32_t version_ = 0;
+  std::vector<std::pair<std::uint32_t, std::string_view>> sections_;
+};
+
+/// Whole-file slurp; throws SnapshotError(kIo) on any failure.
+std::string read_file(const std::string& path);
+
+/// Crash-safe publish: write `path`.tmp, fsync, rename over `path`.
+void write_file_atomic(const std::string& path, std::string_view data);
+
+}  // namespace ipd::util

@@ -1,0 +1,102 @@
+// Hostile scenario: BGP flap storm. Six short maintenance windows cycle
+// across three border routers in rapid alternation, shifting each
+// router's traffic between its interfaces every couple of minutes — the
+// flow-level shadow of a route-flap storm. The kill-and-restore cut
+// lands in the middle of the storm, so the snapshot captures ranges
+// whose ingress evidence is actively churning.
+//
+// Asserted on top of the harness's byte-identity contract: the storm
+// produces interface misses that a calm window does not, accuracy dips
+// while the storm runs, and the engine keeps reorganizing (splits and
+// demotions continue post-restore rather than freezing).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "scenario_harness.hpp"
+#include "workload/scenario.hpp"
+
+namespace ipd {
+namespace {
+
+using scenario_test::run_kill_restore;
+using scenario_test::scenario_scale;
+using scenario_test::window_accuracy;
+
+// Cold start is ~25 simulated minutes (see test_integration); the storm
+// and the kill both land in the warm second half of the run.
+constexpr util::Timestamp kStart = 18 * 3600;
+constexpr util::Timestamp kEnd = kStart + 100 * 60;
+constexpr util::Timestamp kStormStart = kStart + 55 * 60;
+constexpr util::Timestamp kStormEnd = kStart + 73 * 60;
+constexpr std::size_t kCaptureBin = 12;  // cut at kStart + 65 min, mid-storm
+
+TEST(ScenarioBgpFlap, FlapStormStraddlesKillRestore) {
+  workload::ScenarioConfig config = workload::small_test();
+  config.flows_per_minute =
+      static_cast<std::uint64_t>(8000 * scenario_scale());
+  config.seed = 2302;
+  // The storm: 2-minute maintenance windows alternating across three
+  // routers with 1-minute gaps, covering [18 min, 36 min) of the run.
+  for (int i = 0; i < 6; ++i) {
+    config.maintenances.push_back(workload::MaintenanceEvent{
+        .router = static_cast<topology::RouterId>(2 + 3 * (i % 3)),
+        .start = kStormStart + i * 3 * 60,
+        .end = kStormStart + i * 3 * 60 + 2 * 60});
+  }
+
+  workload::FlowGenerator gen(config);
+  const core::IpdParams params = workload::scaled_params(config);
+  std::vector<netflow::FlowRecord> records;
+  gen.run(kStart, kEnd, [&records](const netflow::FlowRecord& record) {
+    records.push_back(record);
+  });
+  ASSERT_FALSE(records.empty());
+
+  scenario_test::KillRestoreOutcome outcome;
+  run_kill_restore(gen, records, params, kCaptureBin, outcome);
+  ASSERT_FALSE(testing::Test::HasFatalFailure());
+
+  EXPECT_EQ(outcome.cut, kStart + 65 * 60);
+  EXPECT_GT(outcome.snapshot_lpm_rows, 0u);
+
+  // The storm shows up as interface misses (same router, wrong
+  // interface) that the calm warm window does not produce at this rate.
+  std::uint64_t calm_if_miss = 0, calm_total = 0;
+  std::uint64_t storm_if_miss = 0, storm_total = 0;
+  for (const auto& bin : outcome.donor_bins) {
+    if (bin.bin_start >= kStart + 35 * 60 && bin.bin_start < kStormStart) {
+      calm_if_miss += bin.all.miss_interface;
+      calm_total += bin.all.total;
+    } else if (bin.bin_start >= kStormStart && bin.bin_start < kStormEnd) {
+      storm_if_miss += bin.all.miss_interface;
+      storm_total += bin.all.total;
+    }
+  }
+  ASSERT_GT(calm_total, 0u);
+  ASSERT_GT(storm_total, 0u);
+  const double calm_rate =
+      static_cast<double>(calm_if_miss) / static_cast<double>(calm_total);
+  const double storm_rate =
+      static_cast<double>(storm_if_miss) / static_cast<double>(storm_total);
+  EXPECT_GT(storm_rate, calm_rate);
+  EXPECT_GT(storm_if_miss, 0u);
+
+  // Accuracy dips while the storm runs.
+  const double calm = window_accuracy(outcome, kStart + 35 * 60, kStormStart);
+  const double storm = window_accuracy(outcome, kStormStart, kStormEnd);
+  EXPECT_GT(calm, 0.5);
+  EXPECT_LT(storm, calm);
+
+  // The engine keeps reorganizing through the storm and the restore —
+  // the restored run inherits live churn, not a frozen partition.
+  EXPECT_GT(outcome.stats.total_splits, 0u);
+  EXPECT_GT(outcome.stats.total_classifications, 0u);
+  EXPECT_GT(outcome.restored_evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace ipd

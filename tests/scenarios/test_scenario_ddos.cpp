@@ -1,0 +1,120 @@
+// Hostile scenario: spoofed-source DDoS flood arriving while a router
+// maintenance window remaps legitimate traffic — the worst case for the
+// warm-restart cut, which lands in the middle of both events.
+//
+// A 10-minute flood injects spoofed copies of in-window flows (same
+// source ranges, wrong ingress links) at 2x the legitimate rate while a
+// maintenance window shifts a router's real traffic across interfaces.
+// The kill-and-restore drill cuts the snapshot at the flood's midpoint.
+// Asserted on top of the harness's byte-identity contract: accuracy
+// craters during the flood and recovers after it, the donor's health
+// stack raises the accuracy-regression alert, and the snapshot cut
+// mid-flood still carries a usable classified table.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "scenario_harness.hpp"
+#include "topology/ids.hpp"
+#include "workload/scenario.hpp"
+
+namespace ipd {
+namespace {
+
+using scenario_test::run_kill_restore;
+using scenario_test::scenario_scale;
+using scenario_test::window_accuracy;
+
+// The top-down partition needs ~25 simulated minutes of cold start
+// before accuracy is meaningful (see test_integration), so the hostile
+// window and the kill both land in the warm second half of the run.
+constexpr util::Timestamp kStart = 18 * 3600;
+constexpr util::Timestamp kEnd = kStart + 100 * 60;
+constexpr util::Timestamp kFloodStart = kStart + 60 * 60;
+constexpr util::Timestamp kFloodEnd = kStart + 70 * 60;
+constexpr std::size_t kCaptureBin = 12;  // cut at kStart + 65 min, mid-flood
+
+TEST(ScenarioDdos, SpoofedFloodDuringRemapSurvivesKillRestore) {
+  workload::ScenarioConfig config = workload::small_test();
+  config.flows_per_minute =
+      static_cast<std::uint64_t>(8000 * scenario_scale());
+  config.seed = 1301;
+  // The remap: a router under maintenance for most of the flood window.
+  config.maintenances.push_back(workload::MaintenanceEvent{
+      .router = 5, .start = kStart + 62 * 60, .end = kStart + 68 * 60});
+
+  workload::FlowGenerator gen(config);
+  const core::IpdParams params = workload::scaled_params(config);
+  std::vector<netflow::FlowRecord> records;
+  gen.run(kStart, kEnd, [&records](const netflow::FlowRecord& record) {
+    records.push_back(record);
+  });
+  ASSERT_FALSE(records.empty());
+
+  // Every distinct real ingress link doubles as a spoof target.
+  std::vector<topology::LinkId> links;
+  for (const netflow::FlowRecord& record : records) {
+    if (std::find(links.begin(), links.end(), record.ingress) == links.end()) {
+      links.push_back(record.ingress);
+    }
+  }
+  ASSERT_GT(links.size(), 2u);
+
+  // The flood: two spoofed copies of every legitimate in-window flow,
+  // same source ranges but rotated (wrong) ingress links — the signature
+  // of a spoofed-source volumetric attack as IPD sees it.
+  std::vector<netflow::FlowRecord> flood;
+  std::size_t rotate = 0;
+  for (const netflow::FlowRecord& record : records) {
+    if (record.ts < kFloodStart || record.ts >= kFloodEnd) continue;
+    for (int copy = 0; copy < 2; ++copy) {
+      netflow::FlowRecord spoof = record;
+      spoof.ingress = links[rotate++ % links.size()];
+      if (spoof.ingress == record.ingress) {
+        spoof.ingress = links[rotate++ % links.size()];
+      }
+      spoof.packets = 1;
+      spoof.bytes = 64;
+      flood.push_back(spoof);
+    }
+  }
+  ASSERT_FALSE(flood.empty());
+  records.insert(records.end(), flood.begin(), flood.end());
+  std::stable_sort(records.begin(), records.end(),
+                   [](const netflow::FlowRecord& a,
+                      const netflow::FlowRecord& b) { return a.ts < b.ts; });
+
+  scenario_test::KillRestoreOutcome outcome;
+  run_kill_restore(gen, records, params, kCaptureBin, outcome);
+  ASSERT_FALSE(testing::Test::HasFatalFailure());
+
+  // The kill really happened mid-flood. A cut there may legitimately
+  // carry an empty classified table (a strong spoofed flood demotes
+  // everything — that is the hostility), but the snapshot still holds the
+  // monitoring state the restored engine reclassifies from: the engine
+  // classified before the flood and ends the run with a live partition.
+  EXPECT_EQ(outcome.cut, kStart + 65 * 60);
+  EXPECT_GT(outcome.stats.total_classifications, 0u);
+  EXPECT_GT(outcome.v4_leaves, 1u);
+
+  // Accuracy craters under the flood and recovers after it (windows all
+  // sit past the ~25-minute cold start).
+  const double clean = window_accuracy(outcome, kStart + 40 * 60, kFloodStart);
+  const double flooded = window_accuracy(outcome, kFloodStart, kFloodEnd);
+  const double after = window_accuracy(outcome, kStart + 75 * 60, kEnd);
+  EXPECT_GT(clean, 0.5);
+  EXPECT_LT(flooded, clean - 0.2);
+  EXPECT_GT(after, flooded + 0.1);
+
+  // The donor's health stack noticed: accuracy regressed against its own
+  // trailing window while the flood ran.
+  EXPECT_TRUE(outcome.donor_alert_rules.count("accuracy-regression"))
+      << "rules raised: " << outcome.donor_alert_rules.size();
+  EXPECT_GT(outcome.restored_evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace ipd

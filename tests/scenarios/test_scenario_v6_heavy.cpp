@@ -1,0 +1,78 @@
+// Hostile scenario: /48-heavy IPv6. Nearly half of the AS traffic is
+// IPv6 over /48 mapping units (the universe's unit_len6 default), so the
+// snapshot's v6 trie section and the 128-bit key paths carry real weight
+// instead of the usual ~6% sliver. The kill-and-restore cut lands while
+// both families are still partitioning.
+//
+// Asserted on top of the harness's byte-identity contract (which here
+// exercises v6 arena layout, FlatIpTable slots, and LPM rows through the
+// restore): the restored engine holds a populated v6 partition, the
+// snapshot's LPM section carries classified rows of both families, and
+// accuracy holds up despite the family shift.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario_harness.hpp"
+#include "workload/scenario.hpp"
+
+namespace ipd {
+namespace {
+
+using scenario_test::run_kill_restore;
+using scenario_test::scenario_scale;
+using scenario_test::window_accuracy;
+
+// Cold start is ~25 simulated minutes (see test_integration); the kill
+// lands in the warm second half of the run.
+constexpr util::Timestamp kStart = 18 * 3600;
+constexpr util::Timestamp kEnd = kStart + 100 * 60;
+constexpr std::size_t kCaptureBin = 12;  // cut at kStart + 65 min
+
+TEST(ScenarioV6Heavy, HeavyV6ShareSurvivesKillRestore) {
+  workload::ScenarioConfig config = workload::small_test();
+  config.flows_per_minute =
+      static_cast<std::uint64_t>(8000 * scenario_scale());
+  config.v6_share = 0.45;
+  config.seed = 4504;
+
+  workload::FlowGenerator gen(config);
+  // scaled_params rescales the v6 n_cidr factors to the boosted share, so
+  // the v6 tree classifies at simulation scale rather than starving.
+  const core::IpdParams params = workload::scaled_params(config);
+  std::vector<netflow::FlowRecord> records;
+  std::uint64_t v6_flows = 0;
+  gen.run(kStart, kEnd, [&](const netflow::FlowRecord& record) {
+    records.push_back(record);
+    if (record.src_ip.family() == net::Family::V6) ++v6_flows;
+  });
+  ASSERT_FALSE(records.empty());
+  // The stream really is v6-heavy.
+  const double v6_rate =
+      static_cast<double>(v6_flows) / static_cast<double>(records.size());
+  ASSERT_GT(v6_rate, 0.30);
+
+  scenario_test::KillRestoreOutcome outcome;
+  run_kill_restore(gen, records, params, kCaptureBin, outcome);
+  ASSERT_FALSE(testing::Test::HasFatalFailure());
+
+  EXPECT_EQ(outcome.cut, kStart + 65 * 60);
+
+  // The snapshot cut mid-run carries classified ranges of both families,
+  // and the restored engine ends the run with a live v6 partition.
+  EXPECT_GT(outcome.snapshot_lpm_v4, 0u);
+  EXPECT_GT(outcome.snapshot_lpm_v6, 0u);
+  EXPECT_GT(outcome.v6_leaves, 1u);
+  EXPECT_GT(outcome.v4_leaves, 1u);
+
+  // Accuracy holds up despite the family shift (measured past cold start).
+  const double overall = window_accuracy(outcome, kStart + 50 * 60, kEnd);
+  EXPECT_GT(overall, 0.5);
+  EXPECT_GT(outcome.stats.total_classifications, 0u);
+  EXPECT_GT(outcome.restored_evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace ipd

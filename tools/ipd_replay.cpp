@@ -46,6 +46,18 @@
 //                           overridden by IPD_FLOW_SAMPLE=<n>. Tracing is
 //                           also enabled by --http-port (the /flows
 //                           endpoint serves the same journeys live).
+//   --snapshot-out=<file>   write a versioned warm-restart snapshot of the
+//                           full engine state (atomic tmp+rename) at the
+//                           5-minute bin cadence; served at /snapshot and
+//                           published as ipd_snapshot_* metrics
+//   --snapshot-every=<N>    take the snapshot every N bins instead of
+//                           every bin (default 1; requires --snapshot-out)
+//   --restore=<file>        restore engine state from a snapshot before
+//                           replaying: the runner resumes the donor's
+//                           cycle/snapshot clock and records older than
+//                           the snapshot's data time are skipped, so the
+//                           run continues byte-identically to a process
+//                           that never died
 //   --force-stall=<ms>      deliberately wedge a watchdog heartbeat for
 //                           <ms> after the replay: the stall watchdog must
 //                           detect it and capture this thread's stack — the
@@ -82,6 +94,7 @@
 #include "core/decision_log.hpp"
 #include "core/engine.hpp"
 #include "core/sharded_engine.hpp"
+#include "core/snapshot.hpp"
 #include "obs/timeseries.hpp"
 #include "core/output.hpp"
 #include "netflow/codec.hpp"
@@ -111,6 +124,8 @@ int usage(const char* argv0) {
                "[--linger=<seconds>] [--shards=<N>] [--ingest-threads=<M>] "
                "[--perf-counters[=phases]] [--profile-out=<file>] "
                "[--profile-hz=<N>] [--flow-trace-out=<file>] "
+               "[--snapshot-out=<file>] [--snapshot-every=<N>] "
+               "[--restore=<file>] "
                "[--force-stall=<ms>] [--stall-report-out=<file>] "
                "<in.trace> [ncidr_factor4=auto] [q=0.95]\n",
                argv0);
@@ -136,6 +151,9 @@ int main(int argc, char** argv) {
   std::string profile_out;
   int profile_hz = 97;
   std::string flow_trace_out;
+  std::string snapshot_out;
+  std::size_t snapshot_every = 1;
+  std::string restore_path;
   long force_stall_ms = 0;
   std::string stall_report_out;
   std::vector<std::string> positional;
@@ -178,6 +196,12 @@ int main(int argc, char** argv) {
       profile_hz = static_cast<int>(util::parse_uint(arg.substr(13), 1000));
     } else if (util::starts_with(arg, "--flow-trace-out=")) {
       flow_trace_out = arg.substr(17);
+    } else if (util::starts_with(arg, "--snapshot-out=")) {
+      snapshot_out = arg.substr(15);
+    } else if (util::starts_with(arg, "--snapshot-every=")) {
+      snapshot_every = util::parse_uint(arg.substr(17), 1 << 20);
+    } else if (util::starts_with(arg, "--restore=")) {
+      restore_path = arg.substr(10);
     } else if (util::starts_with(arg, "--force-stall=")) {
       force_stall_ms = static_cast<long>(
           util::parse_uint(arg.substr(14), 600000));
@@ -305,6 +329,12 @@ int main(int argc, char** argv) {
   health.attach_cycle_deltas(cycle_deltas);
   health.bind_metrics(registry);
 
+  // Warm-restart snapshot lifecycle: ipd_snapshot_* metrics feed the TSDB
+  // (and the snapshot-stale health rule); /snapshot serves the same state.
+  core::SnapshotTelemetry snapshots;
+  snapshots.bind(registry);
+  if (!snapshot_out.empty()) snapshots.set_path(snapshot_out);
+
   std::ofstream alerts_file;
   if (!alerts_out.empty()) {
     alerts_file.open(alerts_out, std::ios::app);
@@ -353,6 +383,7 @@ int main(int argc, char** argv) {
   analysis::IntrospectionServer introspection(engine, engine_mutex);
   introspection.attach_health(health);
   introspection.attach_timeseries(timeseries);
+  introspection.attach_snapshots(snapshots);
   if (perf) introspection.attach_perf(*perf);
   if (flow_trace_enabled) introspection.attach_flow_trace(flow_trace);
   if (watchdog_enabled) {
@@ -385,6 +416,7 @@ int main(int argc, char** argv) {
 
   analysis::BinnedRunner runner(engine, nullptr);
   core::Snapshot last;
+  std::uint64_t bins_seen = 0;
   runner.on_snapshot = [&](util::Timestamp ts, const core::Snapshot& snap,
                            const core::LpmTable& table) {
     std::uint64_t classified = 0;
@@ -393,6 +425,30 @@ int main(int argc, char** argv) {
                 util::format_sim_time(ts).c_str(), snap.size(),
                 static_cast<unsigned long long>(classified), table.size());
     last = snap;
+    // Engine snapshot at the bin cadence: the callback runs with the
+    // engine quiescent at the bin boundary, exactly the warm-restart cut
+    // point the runner's snapshot_clock() describes.
+    if (!snapshot_out.empty() && ++bins_seen % snapshot_every == 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        const std::string data =
+            core::save_snapshot(engine, runner.snapshot_clock(ts));
+        util::write_file_atomic(snapshot_out, data);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        snapshots.record_save(data.size(), secs, ts);
+        util::log_info("wrote engine snapshot",
+                       {{"file", snapshot_out},
+                        {"bytes", data.size()},
+                        {"seconds", secs}});
+      } catch (const util::SnapshotError& e) {
+        snapshots.record_error(e.what());
+        util::log_error("snapshot save failed",
+                        {{"file", snapshot_out}, {"error", e.what()}});
+      }
+    }
   };
   runner.on_metrics = [&](util::Timestamp ts,
                           const obs::MetricsRegistry& reg) {
@@ -402,10 +458,60 @@ int main(int argc, char** argv) {
     if (perf) perf->publish(registry);
     obs::publish_lock_metrics(registry);
     obs::publish_thread_metrics(obs::sample_process_threads(), registry);
+    snapshots.update_age(ts);
     timeseries.ingest(reg, ts);
     health.evaluate(ts);
     if (jsonl.is_open()) jsonl << obs::to_json_line(reg, ts);
   };
+  // Warm restart: swap in the snapshot's engine state, resume the donor's
+  // cycle/snapshot clock, and skip records the donor had already ingested
+  // (everything older than the snapshot's bin boundary). Fail-closed: any
+  // snapshot defect aborts the run with the engine untouched.
+  std::size_t first_record = 0;
+  if (!restore_path.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::SnapshotClock clock;
+    std::size_t snapshot_bytes = 0;
+    try {
+      const std::string data = util::read_file(restore_path);
+      snapshot_bytes = data.size();
+      const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex);
+      clock = core::restore_snapshot(engine, data);
+    } catch (const util::SnapshotError& e) {
+      snapshots.record_error(e.what());
+      std::fprintf(stderr, "cannot restore %s: %s\n", restore_path.c_str(),
+                   e.what());
+      return 1;
+    }
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    runner.resume(clock);
+    // Seed the final Table-3 dump from the restored engine so a run that
+    // replays nothing new (restore at end-of-trace) still reports the
+    // snapshot's classified ranges rather than an empty table.
+    last = core::take_snapshot(engine, clock.saved_at);
+    while (first_record < records.size() &&
+           records[first_record].ts < clock.saved_at) {
+      ++first_record;
+    }
+    const auto restored = engine.stats();
+    snapshots.record_restore(snapshot_bytes, secs, clock.saved_at);
+    util::log_info("restored engine snapshot",
+                   {{"file", restore_path},
+                    {"saved_at", clock.saved_at},
+                    {"next_cycle", clock.next_cycle},
+                    {"flows_restored", restored.flows_ingested},
+                    {"records_skipped", first_record},
+                    {"seconds", secs}});
+    std::printf("restored snapshot %s at %s (%llu flows, skipping %zu "
+                "already-ingested records)\n",
+                restore_path.c_str(),
+                util::format_sim_time(clock.saved_at).c_str(),
+                static_cast<unsigned long long>(restored.flows_ingested),
+                first_record);
+  }
+
   obs::CpuProfiler profiler(obs::CpuProfilerConfig{.hz = profile_hz});
   if (!profile_out.empty()) {
     std::string error;
@@ -415,7 +521,7 @@ int main(int argc, char** argv) {
     }
   }
   constexpr std::size_t kIngestBatch = 4096;
-  for (std::size_t i = 0; i < records.size(); i += kIngestBatch) {
+  for (std::size_t i = first_record; i < records.size(); i += kIngestBatch) {
     const std::size_t end = std::min(i + kIngestBatch, records.size());
     const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex);
     for (std::size_t j = i; j < end; ++j) runner.offer(records[j]);
