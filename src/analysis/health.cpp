@@ -300,6 +300,24 @@ void HealthEngine::install_default_rules(const core::IpdParams& params) {
   stall.clear_after = 2;
   stall.reason = "a registered task missed its heartbeat deadline";
   add_rule(std::move(stall));
+
+  // Shard-load imbalance: the max/mean flow ratio across stage-2 shard
+  // slots staying high means one slot serializes the parallel cycle
+  // (Amdahl bound) — the operator should enable --rebalance-cut or raise
+  // shard_bits. No-op on the sequential engine (series never published).
+  ThresholdRule imbalance;
+  imbalance.name = "shard-imbalance";
+  imbalance.component = "stage2";
+  imbalance.severity = AlertSeverity::Warning;
+  imbalance.series = "ipd_shard_imbalance_ratio";
+  imbalance.agg = ThresholdRule::Agg::Mean;
+  imbalance.cmp = ThresholdRule::Cmp::GreaterThan;
+  imbalance.threshold = config_.shard_imbalance_ratio;
+  imbalance.window_points = config_.window_points;
+  imbalance.clear_after = 2;
+  imbalance.reason =
+      "shard flow load is skewed: hottest slot far above the mean";
+  add_rule(std::move(imbalance));
 }
 
 void HealthEngine::attach_cycle_deltas(core::CycleDeltaLog& log) {

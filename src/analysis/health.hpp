@@ -123,6 +123,10 @@ struct HealthConfig {
   // ipd_thread_* / ipd_watchdog_* series are published into the TSDB).
   double lock_wait_p99_s = 0.010;       // tail wait at any instrumented site
   double involuntary_ctx_burst = 1000;  // preemptions per window across threads
+  // Stage-2 shard load skew: hottest slot vs. mean flows per slot
+  // (ipd_shard_imbalance_ratio; sharded engine only). 1.0 = perfectly
+  // balanced; sustained values above this mean one slot gates the cycle.
+  double shard_imbalance_ratio = 4.0;
 };
 
 class HealthEngine {

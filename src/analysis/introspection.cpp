@@ -9,6 +9,7 @@
 #include "analysis/health.hpp"
 #include "core/decision_log.hpp"
 #include "core/output.hpp"
+#include "core/sharded_engine.hpp"
 #include "obs/cpu_profiler.hpp"
 #include "obs/export.hpp"
 #include "obs/perf_counters.hpp"
@@ -156,6 +157,9 @@ IntrospectionServer::IntrospectionServer(core::EngineBase& engine,
   server_.handle("/locks", [this](const obs::HttpRequest& r) {
     return handle_locks(r);
   });
+  server_.handle("/shards", [this](const obs::HttpRequest& r) {
+    return handle_shards(r);
+  });
 }
 
 void IntrospectionServer::register_heartbeat(obs::Watchdog& watchdog,
@@ -178,7 +182,7 @@ obs::HttpResponse IntrospectionServer::handle_index(const obs::HttpRequest&) {
       "\"/profile?seconds=N&hz=N&clock=cpu|wall\","
       "\"/flows?limit=N&format=json|text\","
       "\"/threads?format=json|text\","
-      "\"/locks?limit=N&format=json|text\",\"/snapshot\"]}");
+      "\"/locks?limit=N&format=json|text\",\"/snapshot\",\"/shards\"]}");
 }
 
 obs::HttpResponse IntrospectionServer::handle_healthz(const obs::HttpRequest&) {
@@ -662,6 +666,20 @@ obs::HttpResponse IntrospectionServer::handle_locks(
       [body = std::move(body)](const obs::HttpResponse::ChunkWriter& write) {
         write(body);
       });
+}
+
+obs::HttpResponse IntrospectionServer::handle_shards(const obs::HttpRequest&) {
+  const auto* sharded = dynamic_cast<const core::ShardedEngine*>(&engine_);
+  if (sharded == nullptr) return not_attached("sharded engine");
+  // shards_json() takes the engine's internal publish lock; the engine
+  // mutex on top keeps the cut/load view consistent with the other
+  // engine-reading handlers.
+  std::string body;
+  {
+    const std::lock_guard<obs::InstrumentedMutex> lock(engine_mutex_);
+    body = sharded->shards_json();
+  }
+  return obs::HttpResponse::json(std::move(body));
 }
 
 }  // namespace ipd::analysis

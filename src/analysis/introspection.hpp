@@ -22,6 +22,8 @@
 //                    /proc/self/task plus watchdog task/stall state
 //   GET /locks       ?limit=&format=json|text — per-site lock contention
 //                    (wait/hold p50/p99/max, contention ratio)
+//   GET /shards      stage-2 cut + per-shard flow load / imbalance ratio
+//                    (503 unless the engine is a core::ShardedEngine)
 //   GET /snapshot    warm-restart snapshot state: last save/restore,
 //                    bytes, data-time age, configured path
 //
@@ -154,6 +156,7 @@ class IntrospectionServer {
   obs::HttpResponse handle_threads(const obs::HttpRequest& request);
   obs::HttpResponse handle_snapshot(const obs::HttpRequest& request);
   obs::HttpResponse handle_locks(const obs::HttpRequest& request);
+  obs::HttpResponse handle_shards(const obs::HttpRequest& request);
 
   core::EngineBase& engine_;
   obs::InstrumentedMutex& engine_mutex_;

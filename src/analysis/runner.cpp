@@ -16,13 +16,13 @@ BinnedRunner::BinnedRunner(core::EngineBase& engine, ValidationRun* validation,
 }
 
 std::uint64_t BinnedRunner::bin_buffer_bytes() const noexcept {
-  return (bin_buffer_.capacity() + pending_.capacity()) *
-         sizeof(netflow::FlowRecord);
+  return bin_buffer_.capacity() * sizeof(netflow::FlowRecord) +
+         pending_.memory_bytes();
 }
 
 void BinnedRunner::flush_pending() {
   if (pending_.empty()) return;
-  engine_.ingest_batch(pending_);
+  engine_.apply_batch(pending_);
   pending_.clear();
 }
 

@@ -7,12 +7,13 @@
 // rebuilds the LPM table and validates the just-finished bin's flows
 // against it — exactly the validation methodology of §5.1.
 //
-// Ingest is micro-batched: records accumulate in a pending buffer and are
-// handed to the engine via ingest_batch() in arrival order, flushed
+// Ingest is micro-batched: records accumulate in a pending SoA FlowBatch
+// and are handed to the engine via apply_batch() in arrival order, flushed
 // whenever a record would cross a cycle/snapshot boundary (so every cycle
 // still observes exactly the records that precede it — byte-identical to
-// unbatched operation) or the buffer fills. This is what lets the sharded
-// engine amortize its per-shard locking to once per shard per batch.
+// unbatched operation) or the buffer fills. This is what lets the
+// sequential engine interleave its trie descents and the sharded engine
+// amortize its per-shard locking to once per shard per batch.
 //
 // When the engine has a metrics registry attached, the runner fires the
 // `on_metrics` hook once per bin (right after `on_snapshot`), so callers
@@ -34,7 +35,7 @@ namespace ipd::analysis {
 struct RunnerConfig {
   util::Duration snapshot_len = 300;  // 5-minute output bins
   bool keep_cycle_stats = true;
-  // Records buffered before an ingest_batch() handoff (boundaries always
+  // Records buffered before an apply_batch() handoff (boundaries always
   // flush first, so batching never reorders ingest across a cycle).
   std::size_t ingest_batch = 4096;
 };
@@ -99,7 +100,7 @@ class BinnedRunner {
   RunnerConfig config_;
   std::vector<core::CycleStats> cycles_;
   std::vector<netflow::FlowRecord> bin_buffer_;
-  std::vector<netflow::FlowRecord> pending_;  // not yet handed to the engine
+  netflow::FlowBatch pending_;  // not yet handed to the engine (SoA)
   util::Timestamp next_cycle_ = 0;
   util::Timestamp next_snapshot_ = 0;
   util::Timestamp newest_ts_ = 0;  // newest record offered (freshness gauge)

@@ -22,6 +22,7 @@ std::unique_ptr<ipd::core::EngineBase> make_engine(
   ipd::core::ShardedEngineConfig sharded;
   sharded.shard_bits = config.shard_bits;
   sharded.ingest_threads = config.ingest_threads;
+  sharded.rebalance_cut = config.rebalance_cut;
   return std::make_unique<ipd::core::ShardedEngine>(params, sharded);
 }
 
@@ -42,8 +43,11 @@ CollectorService::CollectorService(core::IpdParams params,
   }
   rings_.reserve(n_sources);
   for (std::size_t i = 0; i < n_sources; ++i) {
+    // Handle ring: every admitted batch holds >= 1 record and the record
+    // budget caps in-flight records at the ring's (power-of-two rounded)
+    // capacity, so a slot is always free whenever the budget admits.
     rings_.push_back(
-        std::make_unique<SpscRing<TimedRecord>>(config_.ring_capacity));
+        std::make_unique<SpscRing<TimedBatch>>(config_.ring_capacity));
   }
   ipfix_parsers_.resize(n_sources);
   if (config_.metrics != nullptr) {
@@ -147,8 +151,8 @@ std::size_t CollectorService::submit_datagram(
     const std::uint16_t version =
         static_cast<std::uint16_t>((bytes[0] << 8) | bytes[1]);
     if (version == netflow::ipfix::kVersion) {
-      std::vector<netflow::FlowRecord> records;
-      if (!ipfix_parsers_.at(source).parse(bytes, exporter, records)) {
+      netflow::FlowBatch batch;
+      if (!ipfix_parsers_.at(source).parse_batch(bytes, exporter, batch)) {
         datagrams_malformed_.fetch_add(1, std::memory_order_relaxed);
         if (datagrams_malformed_metric_) datagrams_malformed_metric_->inc();
         util::log_limited(source_metrics_.at(source).malformed_warn_site, 1,
@@ -160,13 +164,13 @@ std::size_t CollectorService::submit_datagram(
         return 0;
       }
       if (datagrams_ok_metric_) datagrams_ok_metric_->inc();
-      return submit_records(source, records);
+      return enqueue_batch(source, std::move(batch));
     }
     if (version == netflow::v5::kVersion) {
-      if (const auto packet = netflow::v5::decode(bytes)) {
+      netflow::FlowBatch batch;
+      if (netflow::v5::decode_batch(bytes, exporter, batch)) {
         if (datagrams_ok_metric_) datagrams_ok_metric_->inc();
-        return submit_records(source,
-                              netflow::v5::to_flow_records(*packet, exporter));
+        return enqueue_batch(source, std::move(batch));
       }
     }
   }
@@ -181,34 +185,44 @@ std::size_t CollectorService::submit_datagram(
 
 std::size_t CollectorService::submit_records(
     std::size_t source, std::span<const netflow::FlowRecord> records) {
+  netflow::FlowBatch batch;
+  netflow::append_records(batch, records);
+  return enqueue_batch(source, std::move(batch));
+}
+
+std::size_t CollectorService::enqueue_batch(std::size_t source,
+                                            netflow::FlowBatch&& batch) {
   auto& ring = *rings_.at(source);
   SourceMetrics& sm = source_metrics_.at(source);
-  std::size_t accepted = 0;
-  std::size_t dropped = 0;
+  const std::size_t n = batch.size();
   // One clock read per datagram's worth of records: residency resolution
   // finer than a submit call is meaningless anyway.
   const std::int64_t now_ns = obs::monotonic_ns();
   obs::FlowTracer* tracer = config_.flow_trace;
   const std::uint32_t source_detail = static_cast<std::uint32_t>(source);
+
+  // Admission: the record budget bounds in-flight records at the ring's
+  // rounded capacity, exactly the record-ring semantics. The prefix that
+  // fits is admitted as one batch handle; the tail is dropped per record.
+  const std::size_t budget = ring.capacity();
+  const std::uint64_t queued = sm.records_queued.load(std::memory_order_acquire);
+  const std::size_t remaining =
+      budget > queued ? budget - static_cast<std::size_t>(queued) : 0;
+  const std::size_t accept = std::min(n, remaining);
+
   util::Timestamp newest = 0;
-  for (const auto& record : records) {
-    if (record.ts > newest) newest = record.ts;
-    std::uint64_t flow_id = 0;
-    net::IpAddress masked;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (batch.ts[k] > newest) newest = batch.ts[k];
     if (tracer != nullptr) {
-      masked = record.src_ip.masked(
-          engine_->params().cidr_max(record.src_ip.family()));
-      flow_id = tracer->observe(obs::FlowHopKind::Decode, record.ts, masked,
-                                record.ingress, source_detail);
-    }
-    if (ring.try_push(TimedRecord{record, now_ns})) {
-      ++accepted;
-      if (flow_id != 0) {
-        tracer->record(flow_id, obs::FlowHopKind::RingEnqueue, record.ts,
-                       masked, record.ingress, source_detail);
+      const net::IpAddress masked = batch.src_ip[k].masked(
+          engine_->params().cidr_max(batch.src_ip[k].family()));
+      const std::uint64_t flow_id =
+          tracer->observe(obs::FlowHopKind::Decode, batch.ts[k], masked,
+                          batch.ingress[k], source_detail);
+      if (flow_id != 0 && k < accept) {
+        tracer->record(flow_id, obs::FlowHopKind::RingEnqueue, batch.ts[k],
+                       masked, batch.ingress[k], source_detail);
       }
-    } else {
-      ++dropped;
     }
   }
   // Advance the newest-decoded watermark (readers race; keep the max).
@@ -216,6 +230,29 @@ std::size_t CollectorService::submit_records(
   while (newest > seen && !newest_decoded_ts_.compare_exchange_weak(
                               seen, newest, std::memory_order_relaxed)) {
   }
+
+  std::size_t accepted = 0;
+  if (accept > 0) {
+    auto payload = std::make_shared<netflow::FlowBatch>();
+    if (accept == n) {
+      *payload = std::move(batch);
+    } else {
+      payload->reserve(accept);
+      for (std::size_t k = 0; k < accept; ++k) {
+        payload->push_back(batch.ts[k], batch.src_ip[k], batch.dst_ip[k],
+                           batch.packets[k], batch.bytes[k], batch.ingress[k]);
+      }
+    }
+    sm.records_queued.fetch_add(accept, std::memory_order_release);
+    if (ring.try_push(TimedBatch{std::move(payload), now_ns})) {
+      accepted = accept;
+    } else {
+      // Unreachable by the budget invariant; keep the accounting honest
+      // anyway.
+      sm.records_queued.fetch_sub(accept, std::memory_order_release);
+    }
+  }
+  const std::size_t dropped = n - accepted;
   if (dropped > 0) {
     flows_dropped_.fetch_add(dropped, std::memory_order_relaxed);
     if (sm.ring_dropped) sm.ring_dropped->inc(dropped);
@@ -255,7 +292,7 @@ void CollectorService::stop() {
 
 void CollectorService::flush_engine_pending() {
   if (engine_pending_.empty()) return;
-  engine_->ingest_batch(engine_pending_);
+  engine_->apply_batch(engine_pending_);
   engine_pending_.clear();
 }
 
@@ -268,23 +305,38 @@ bool CollectorService::drain_once() {
           ? obs::monotonic_ns()
           : 0;
   for (std::size_t i = 0; i < rings_.size(); ++i) {
-    const std::size_t n = rings_[i]->consume(
-        [this, now_ns, i](TimedRecord& timed) {
-          if (ring_residency_ != nullptr) {
-            ring_residency_->observe(
-                static_cast<double>(now_ns - timed.enq_ns) * 1e-9);
-          }
-          if (obs::FlowTracer* tracer = config_.flow_trace) {
-            const netflow::FlowRecord& r = timed.record;
-            tracer->observe(
-                obs::FlowHopKind::RingDequeue, r.ts,
-                r.src_ip.masked(engine_->params().cidr_max(r.src_ip.family())),
-                r.ingress, static_cast<std::uint32_t>(i));
-          }
-          stat_time_->offer(timed.record);
-        },
-        config_.drain_batch);
-    any |= n > 0;
+    // Drain whole batches until this ring's record share of the round is
+    // met (drain_batch stays denominated in records; rounding to batch
+    // granularity keeps no source minutes ahead of the others).
+    std::size_t drained = 0;
+    TimedBatch timed;
+    while (drained < config_.drain_batch && rings_[i]->try_pop(timed)) {
+      const netflow::FlowBatch& batch = *timed.batch;
+      if (ring_residency_ != nullptr) {
+        const double residency =
+            static_cast<double>(now_ns - timed.enq_ns) * 1e-9;
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+          ring_residency_->observe(residency);
+        }
+      }
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        if (obs::FlowTracer* tracer = config_.flow_trace) {
+          tracer->observe(obs::FlowHopKind::RingDequeue, batch.ts[k],
+                          batch.src_ip[k].masked(engine_->params().cidr_max(
+                              batch.src_ip[k].family())),
+                          batch.ingress[k], static_cast<std::uint32_t>(i));
+        }
+        stat_time_->offer(batch.record(k));
+      }
+      drained += batch.size();
+      // Subtract from the budget only after the batch is fully handed to
+      // statistical time — until then the records still occupy pipeline
+      // memory, and the producer may not overwrite it.
+      source_metrics_[i].records_queued.fetch_sub(batch.size(),
+                                                  std::memory_order_release);
+      timed.batch.reset();
+    }
+    any |= drained > 0;
   }
   return any;
 }
@@ -292,7 +344,9 @@ bool CollectorService::drain_once() {
 void CollectorService::update_ring_gauges() {
   if (config_.metrics == nullptr) return;
   for (std::size_t i = 0; i < rings_.size(); ++i) {
-    source_metrics_[i].ring_depth->set(static_cast<double>(rings_[i]->size()));
+    // Depth in records (not batch handles): the per-source budget counter.
+    source_metrics_[i].ring_depth->set(static_cast<double>(
+        source_metrics_[i].records_queued.load(std::memory_order_relaxed)));
   }
   ring_residency_p99_->set(ring_residency_->quantile(0.99));
   freshness_metric_->set(static_cast<double>(freshness_seconds()));

@@ -6,11 +6,14 @@
 // central part of the IPD". Here:
 //
 //   reader threads (one per configured source)
-//     -> parse NetFlow v5 datagrams, stamp the exporter router
-//     -> per-reader SPSC ring
+//     -> decode NetFlow v5 / IPFIX datagrams straight into SoA FlowBatches
+//        (SWAR fixed-layout fast paths), stamp the exporter router
+//     -> per-reader SPSC ring of batch handles (capacity still counted in
+//        flow records via a per-source record budget)
 //   IPD thread
-//     -> drains all rings, runs statistical-time pre-processing,
-//        ingests into the engine, fires stage-2 cycles on data time
+//     -> drains all rings batch-wise, runs statistical-time
+//        pre-processing, ingests via the engine's batched apply path,
+//        fires stage-2 cycles on data time
 //
 // Datagram loss (full rings, malformed packets) is counted, never blocks:
 // flow export is lossy by design.
@@ -28,6 +31,7 @@
 #include "core/engine_base.hpp"
 #include "core/lpm_table.hpp"
 #include "core/output.hpp"
+#include "netflow/flow_batch.hpp"
 #include "netflow/ipfix.hpp"
 #include "netflow/statistical_time.hpp"
 #include "netflow/v5.hpp"
@@ -43,7 +47,10 @@ class FlowTracer;
 namespace ipd::collector {
 
 struct CollectorConfig {
-  std::size_t ring_capacity = 1 << 16;  // per reader, in flow records
+  // Per reader, in flow records. The rings themselves carry decoded SoA
+  // batch handles; a per-source record budget keeps this denominated in
+  // records regardless of how the records are grouped into batches.
+  std::size_t ring_capacity = 1 << 16;
   netflow::StatisticalTimeConfig stat_time;
   util::Duration snapshot_len = 300;  // publish an LPM table every 5 min
   // Records per ring per drain round. Small enough that no source can race
@@ -77,7 +84,10 @@ struct CollectorConfig {
   // and `ingest_threads` stage-1/stage-2 workers.
   int shard_bits = -1;
   int ingest_threads = 1;
-  // Records buffered on the IPD thread before an ingest_batch() handoff.
+  // Load-aware stage-2 cut rebalancing (sharded engine only; see
+  // ShardedEngineConfig::rebalance_cut — never affects engine output).
+  bool rebalance_cut = false;
+  // Records buffered on the IPD thread before an apply_batch() handoff.
   // Boundaries always flush first, so cycle semantics are unchanged.
   std::size_t engine_batch = 1024;
 };
@@ -147,17 +157,26 @@ class CollectorService {
   util::Duration freshness_seconds() const noexcept;
 
  private:
-  /// Ring payload: the record plus its enqueue stamp, so the dequeue side
-  /// can histogram ring residency without a sidecar queue.
-  struct TimedRecord {
-    netflow::FlowRecord record;
+  /// Ring payload: one decoded SoA batch (a datagram's worth of records)
+  /// plus its enqueue stamp, so the dequeue side can histogram ring
+  /// residency without a sidecar queue. shared_ptr because the SPSC ring
+  /// copies its payload type.
+  struct TimedBatch {
+    std::shared_ptr<netflow::FlowBatch> batch;
     std::int64_t enq_ns = 0;
   };
-  /// Per-source metric handles (null when no registry is configured).
+  /// Per-source metric handles (null when no registry is configured) plus
+  /// per-source hot state.
   struct SourceMetrics {
     obs::Gauge* ring_depth = nullptr;
     obs::Counter* ring_dropped = nullptr;
     obs::Counter* flows_enqueued = nullptr;
+    // Flow records admitted to this source's ring and not yet drained by
+    // the IPD thread. The ring carries batch handles; this budget keeps
+    // ring_capacity denominated in records (the producer adds on
+    // admission, the consumer subtracts after a batch is processed), so
+    // overflow/drop accounting is per record exactly as before.
+    std::atomic<std::uint64_t> records_queued{0};
     // Warn once per source, thread-safely; further records count into
     // log_dropped_total / ipd_log_dropped_total instead of vanishing.
     util::LogSite drop_warn_site;
@@ -166,14 +185,15 @@ class CollectorService {
 
   void ipd_loop();
   bool drain_once();  // returns whether any ring yielded records
+  std::size_t enqueue_batch(std::size_t source, netflow::FlowBatch&& batch);
   void flush_engine_pending();
   void publish(util::Timestamp ts);
   void update_ring_gauges();
 
   CollectorConfig config_;
   std::unique_ptr<core::EngineBase> engine_;
-  std::vector<netflow::FlowRecord> engine_pending_;  // batched ingest buffer
-  std::vector<std::unique_ptr<SpscRing<TimedRecord>>> rings_;
+  netflow::FlowBatch engine_pending_;  // batched ingest buffer (SoA)
+  std::vector<std::unique_ptr<SpscRing<TimedBatch>>> rings_;
   std::vector<SourceMetrics> source_metrics_;
   obs::Counter* datagrams_ok_metric_ = nullptr;
   obs::Counter* datagrams_malformed_metric_ = nullptr;

@@ -21,6 +21,7 @@
 #include "core/decision_log.hpp"
 #include "core/params.hpp"
 #include "core/trie.hpp"
+#include "netflow/flow_batch.hpp"
 #include "netflow/flow_record.hpp"
 #include "obs/lock_stats.hpp"
 #include "obs/metrics.hpp"
@@ -154,6 +155,21 @@ class EngineBase {
   virtual void ingest_batch(
       std::span<const netflow::FlowRecord> records) noexcept {
     for (const auto& record : records) ingest(record);
+  }
+
+  /// Stage 1 from a structure-of-arrays batch — the decode path's native
+  /// currency. Effect is defined to be byte-identical to ingesting the
+  /// batch's rows one at a time in order (`ingest(batch.record(i))` for
+  /// i = 0..n-1), which is what this default does. IpdEngine overrides
+  /// with interleaved prefetched trie descents; ShardedEngine buckets the
+  /// whole batch per cut member before fanning out.
+  virtual void apply_batch(const netflow::FlowBatch& batch) noexcept {
+    const bool bytes_mode = params().count_mode == CountMode::Bytes;
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      ingest(batch.ts[i], batch.src_ip[i], batch.ingress[i],
+             bytes_mode ? std::max<std::uint64_t>(batch.bytes[i], 1) : 1);
+    }
   }
 
   /// Stage 2: one classification cycle at simulated time `now`.

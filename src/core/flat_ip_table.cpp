@@ -1,6 +1,14 @@
 #include "core/flat_ip_table.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
+#include <new>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 namespace ipd::core {
 
@@ -9,6 +17,118 @@ std::size_t FlatIpTable::capacity_for(std::size_t n) noexcept {
   std::size_t cap = kMinCapacity;
   while (cap < 2 * n) cap <<= 1;
   return cap;
+}
+
+namespace {
+
+/// Sequential reference semantics for one op (also the tail/fallback path).
+void apply_one(const FlatIpTable::ApplyOp& op) {
+  IpEntry& entry = op.table->find_or_insert(*op.key);
+  if (op.ts > entry.last_seen) entry.last_seen = op.ts;
+  entry.add(op.link, op.n);
+}
+
+}  // namespace
+
+void FlatIpTable::apply_many(std::span<const ApplyOp> ops) {
+  // Chains the out-of-order window can't span: keep this many probe walks
+  // in flight. Each visit touches one slot and prefetches the next, so a
+  // walk gets (kProbeWalks - 1) other visits' worth of time for its line
+  // to arrive.
+  constexpr std::size_t kProbeWalks = 16;
+  if (ops.size() < 2 * kProbeWalks) {
+    for (const ApplyOp& op : ops) apply_one(op);
+    return;
+  }
+  struct Walk {
+    FlatIpTable* table;
+    const net::IpAddress* key;
+    std::size_t slot;
+    std::uint32_t op;
+  };
+  // Misses insert, and insertion order fixes slot placement, growth
+  // points, and future chain shapes — so misses are deferred and replayed
+  // in span order below. Walk completion order is arbitrary, hence the
+  // sort. Steady-state batches are nearly all hits, so this stays empty.
+  std::vector<std::uint32_t> deferred;
+  Walk walks[kProbeWalks];
+  std::size_t next = 0;
+  std::size_t active = 0;
+  const auto prefetch_slot = [](const Walk& w) {
+    const char* p =
+        reinterpret_cast<const char*>(&w.table->slots_[w.slot]);
+    __builtin_prefetch(p, 1, 3);
+    __builtin_prefetch(p + 64, 1, 3);
+  };
+  // Start the next op's walk in `w`; returns false once ops are drained.
+  // Empty tables miss without a walk.
+  const auto start = [&](Walk& w) {
+    while (next < ops.size()) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(next++);
+      const ApplyOp& op = ops[idx];
+      if (op.table->capacity_ == 0) {
+        deferred.push_back(idx);
+        continue;
+      }
+      w.table = op.table;
+      w.key = op.key;
+      w.slot = op.table->ideal_slot(*op.key);
+      w.op = idx;
+      prefetch_slot(w);
+      return true;
+    }
+    return false;
+  };
+  while (active < kProbeWalks && start(walks[active])) ++active;
+  while (active > 0) {
+    for (std::size_t s = 0; s < active;) {
+      Walk& w = walks[s];
+      Slot& slot = w.table->slots_[w.slot];
+      if (!slot.used) {
+        deferred.push_back(w.op);
+      } else if (slot.kv.first == *w.key) {
+        const ApplyOp& op = ops[w.op];
+        IpEntry& entry = slot.kv.second;
+        if (op.ts > entry.last_seen) entry.last_seen = op.ts;
+        entry.add(op.link, op.n);
+      } else {
+        w.slot = (w.slot + 1) & (w.table->capacity_ - 1);
+        prefetch_slot(w);
+        ++s;
+        continue;
+      }
+      if (start(w)) {
+        ++s;
+      } else {
+        walks[s] = walks[--active];  // re-examine the moved walk at s
+      }
+    }
+  }
+  std::sort(deferred.begin(), deferred.end());
+  for (const std::uint32_t idx : deferred) apply_one(ops[idx]);
+}
+
+FlatIpTable::Slot* FlatIpTable::allocate_slots(std::size_t n) {
+  const std::size_t bytes = n * sizeof(Slot);
+  if (bytes < kHugePageBytes) return new Slot[n];
+  void* raw = ::operator new(bytes, std::align_val_t{kHugePageBytes});
+#if defined(__linux__)
+  // Advisory only: without THP the array just stays on base pages.
+  madvise(raw, bytes, MADV_HUGEPAGE);
+#endif
+  Slot* slots = static_cast<Slot*>(raw);
+  std::uninitialized_default_construct_n(slots, n);
+  return slots;
+}
+
+void FlatIpTable::free_slots(Slot* slots, std::size_t n) noexcept {
+  if (slots == nullptr) return;
+  if (n * sizeof(Slot) < kHugePageBytes) {
+    delete[] slots;
+    return;
+  }
+  std::destroy_n(slots, n);
+  ::operator delete(slots, std::align_val_t{kHugePageBytes});
 }
 
 IpEntry& FlatIpTable::find_or_insert(const net::IpAddress& key) {
@@ -66,7 +186,7 @@ void FlatIpTable::rehash(std::size_t new_capacity) {
   assert(new_capacity >= capacity_for(size_) || new_capacity == 0);
   Slot* old_slots = slots_;
   const std::size_t old_capacity = capacity_;
-  slots_ = new_capacity != 0 ? new Slot[new_capacity] : nullptr;
+  slots_ = new_capacity != 0 ? allocate_slots(new_capacity) : nullptr;
   capacity_ = new_capacity;
   for (std::size_t i = 0; i < old_capacity; ++i) {
     Slot& src = old_slots[i];
@@ -76,7 +196,7 @@ void FlatIpTable::rehash(std::size_t new_capacity) {
     slots_[j].kv = std::move(src.kv);
     slots_[j].used = true;
   }
-  delete[] old_slots;
+  free_slots(old_slots, old_capacity);
 }
 
 /// Backward-shift deletion at slot `i` (classic tombstone-free open
@@ -106,7 +226,7 @@ void FlatIpTable::erase_slot(std::size_t i) noexcept {
 }
 
 void FlatIpTable::destroy() noexcept {
-  delete[] slots_;
+  free_slots(slots_, capacity_);
   slots_ = nullptr;
   capacity_ = 0;
   size_ = 0;

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "net/ip_address.hpp"
@@ -86,6 +87,52 @@ class FlatIpTable {
 
   /// The entry for `key`, inserted default-initialized if absent.
   IpEntry& find_or_insert(const net::IpAddress& key);
+
+  /// One per-IP sample application against a specific table; the unit of
+  /// apply_many().
+  struct ApplyOp {
+    FlatIpTable* table;
+    const net::IpAddress* key;
+    util::Timestamp ts;
+    topology::LinkId link;
+    std::uint64_t n;
+  };
+
+  /// Apply every op exactly as the sequential loop
+  ///   `IpEntry& e = op.table->find_or_insert(*op.key);
+  ///    if (op.ts > e.last_seen) e.last_seen = op.ts;
+  ///    e.add(op.link, op.n);`
+  /// would in span order, but with the probe chains software-interleaved:
+  /// ~16 independent walks stay in flight round-robin, each visit advances
+  /// one chain a slot and prefetches the next, so dependent slot loads
+  /// from many records overlap instead of serializing. Out-of-order
+  /// hardware only spans a couple of records' chains; this is the same
+  /// trick IpdTrie::locate_many plays for descents, applied to the
+  /// open-addressing probe.
+  ///
+  /// Byte-identity with the sequential loop holds because hits only do
+  /// commutative updates (max on timestamps, exact integer-valued sums,
+  /// first-appearance link order is per-key and keys are walked to
+  /// completion), while misses — which would insert and therefore fix
+  /// slot placement, growth points, and probe-chain shape — are deferred
+  /// and replayed through find_or_insert in span order.
+  static void apply_many(std::span<const ApplyOp> ops);
+
+  /// Prefetch the start of the probe chain for `key`. The batched ingest
+  /// path issues this a few records ahead of the matching find_or_insert
+  /// so the (usually LLC-missing) slot lines are in flight while other
+  /// records are applied. A Slot spans more than one cache line and linear
+  /// probing often reads into the next slot, so fetch the two lines the
+  /// probe touches first plus the line the chain continues into. Write
+  /// hint: the probe ends in a counter bump or an insert either way.
+  void prefetch(const net::IpAddress& key) const noexcept {
+    if (capacity_ == 0) return;
+    const char* p =
+        reinterpret_cast<const char*>(&slots_[ideal_slot(key)]);
+    __builtin_prefetch(p, 1, 3);
+    __builtin_prefetch(p + 64, 1, 3);
+    __builtin_prefetch(p + 128, 1, 3);
+  }
 
   /// nullptr if absent.
   const IpEntry* find(const net::IpAddress& key) const noexcept;
@@ -178,6 +225,23 @@ class FlatIpTable {
   friend struct SnapshotAccess;
 
   static constexpr std::size_t kMinCapacity = 8;
+
+  /// Slot arrays at least this large are allocated 2 MiB-aligned and
+  /// advised onto transparent huge pages. Busy Monitoring leaves hold
+  /// multi-MB arrays probed at random offsets; on 4 KiB pages every probe
+  /// is a dTLB miss whose page walk both serializes the lookup and gets
+  /// the look-ahead software prefetches dropped (prefetches do not take
+  /// TLB misses). Huge pages collapse the array to a handful of TLB
+  /// entries, which is what lets the batched ingest pipeline actually
+  /// hide the slot fetch.
+  static constexpr std::size_t kHugePageBytes = std::size_t{2} << 20;
+
+  /// Paired allocate/release for the slot array (default-initialized).
+  /// The allocation strategy is a pure function of the element count, so
+  /// callers only need to pass the same count to both. Snapshot restore
+  /// allocates through this too.
+  static Slot* allocate_slots(std::size_t n);
+  static void free_slots(Slot* slots, std::size_t n) noexcept;
 
   std::size_t ideal_slot(const net::IpAddress& key) const noexcept {
     return static_cast<std::size_t>(key.hash()) & (capacity_ - 1);

@@ -175,6 +175,24 @@ void ShardedEngine::attach_metrics(obs::MetricsRegistry& registry) {
       }
     }
   }
+  // Occupancy distribution and balance summary (both families share the
+  // histogram; the imbalance/cut gauges are per family). These read the
+  // per-interval deltas measured at every cut republish.
+  shard_occupancy_ = &registry.histogram(
+      "ipd_shard_occupancy",
+      "Flow records routed to one shard slot during one stage-2 interval",
+      obs::Histogram::exponential_bounds(1.0, 4.0, 16));
+  for (const FamilyState* state : {&v4_, &v6_}) {
+    const int f = family_index(state->family);
+    const obs::Labels labels{
+        {"family", state->family == net::Family::V4 ? "v4" : "v6"}};
+    shard_imbalance_[f] = &registry.gauge(
+        "ipd_shard_imbalance_ratio",
+        "Max over mean per-shard flow delta of the last stage-2 interval",
+        labels);
+    cut_members_[f] = &registry.gauge(
+        "ipd_cut_members", "Cut members (stage-2 parallel units)", labels);
+  }
 }
 
 void ShardedEngine::on_attach_perf() {
@@ -186,18 +204,63 @@ void ShardedEngine::on_attach_perf() {
 }
 
 void ShardedEngine::rebuild_cut(FamilyState& state) {
+  // Measure the interval's per-slot load (flows since the previous
+  // republish): the occupancy signal behind the load-aware chooser, the
+  // ipd_shard_occupancy metrics, and /shards. Flow counts are a pure
+  // function of the workload, so the chosen cut — and with it the parallel
+  // decomposition — is reproducible run to run.
+  if (state.last_flows.size() != shard_count_) {
+    state.last_flows.assign(shard_count_, 0);
+    state.last_deltas.assign(shard_count_, 0);
+  }
+  std::uint64_t total_delta = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::uint64_t flows =
+        state.slots[i]->flows.load(std::memory_order_relaxed);
+    state.last_deltas[i] = flows - state.last_flows[i];
+    state.last_flows[i] = flows;
+    total_delta += state.last_deltas[i];
+  }
+  const bool rebalance = config_.rebalance_cut && total_delta > 0 &&
+                         config_.rebalance_depth > 0;
+
   state.cut.clear();
+  state.cut_set.clear();
   std::uint32_t next_shard = 0;
-  // Depth-first in address order: a cut member at depth d covers the next
-  // 2^(k - d) shards, all owned by its first shard's slot.
+  // A member is hot when its slots carried more than rebalance_factor
+  // times the fair per-shard share of the family's flows last interval;
+  // hot members are expanded below the shard depth so their stage-2 work
+  // splits into more parallel units.
+  const std::function<void(RangeNode&, int, bool)> emit_member =
+      [&](RangeNode& node, int depth, bool hot) {
+        if (hot && !node.is_leaf() &&
+            depth < config_.shard_bits + config_.rebalance_depth) {
+          emit_member(*state.trie.child(node, 0), depth + 1, true);
+          emit_member(*state.trie.child(node, 1), depth + 1, true);
+          return;
+        }
+        state.cut.push_back(node.index());
+        state.cut_set.insert(node.index());
+      };
+  // Depth-first in address order: a cut member at depth d <= k covers the
+  // next 2^(k - d) shards, all owned by its first shard's slot.
   const std::function<void(RangeNode&, int)> walk = [&](RangeNode& node,
                                                         int depth) {
     if (node.is_leaf() || depth >= config_.shard_bits) {
       const std::uint32_t slot = next_shard;
       const std::uint32_t span = static_cast<std::uint32_t>(
           std::size_t{1} << (config_.shard_bits - depth));
-      for (std::uint32_t s = 0; s < span; ++s) state.owner[next_shard++] = slot;
-      state.cut.push_back(node.index());
+      std::uint64_t member_delta = 0;
+      for (std::uint32_t s = 0; s < span; ++s) {
+        member_delta += state.last_deltas[next_shard];
+        state.owner[next_shard++] = slot;
+      }
+      const bool hot =
+          rebalance && static_cast<double>(member_delta) *
+                               static_cast<double>(shard_count_) >
+                           config_.rebalance_factor *
+                               static_cast<double>(total_delta);
+      emit_member(node, depth, hot);
       return;
     }
     walk(*state.trie.child(node, 0), depth + 1);
@@ -249,6 +312,7 @@ std::unique_ptr<ShardedEngine::Staging> ShardedEngine::acquire_staging() {
   }
   auto staging = std::make_unique<Staging>();
   staging->buckets.resize(2 * shard_count_);
+  staging->leaves.resize(2 * shard_count_);
   return staging;
 }
 
@@ -260,15 +324,29 @@ void ShardedEngine::release_staging(std::unique_ptr<Staging> staging) {
 }
 
 void ShardedEngine::ingest_bucket(std::size_t bucket,
-                                  std::vector<PreparedSample>& samples)
-    noexcept {
+                                  Staging& staging) noexcept {
   // Bucket layout: [v4 slots][v6 slots]; bucket == owning slot.
   FamilyState& state = bucket < shard_count_ ? v4_ : v6_;
   const std::size_t slot_idx = bucket % shard_count_;
   Slot& slot = *state.slots[slot_idx];
+  const std::vector<PreparedSample>& samples = staging.buckets[bucket];
+  std::vector<RangeNode*>& leaves = staging.leaves[bucket];
   const std::lock_guard<obs::InstrumentedMutex> guard(slot.mutex);
-  for (const PreparedSample& s : samples) {
-    state.trie.locate(s.ip).add_sample(s.ts, s.ip, s.link, s.weight);
+  // Locate first (read-only, interleaved descents hide each other's
+  // misses — stage 1 never splits, so leaves match a sequential walk),
+  // then apply in arrival order with the per-IP probe prefetched ahead.
+  leaves.resize(samples.size());
+  state.trie.locate_many(
+      samples.size(),
+      [&](std::size_t k) -> const net::IpAddress& { return samples[k].ip; },
+      [&](std::size_t k, RangeNode& leaf) { leaves[k] = &leaf; });
+  constexpr std::size_t kApplyAhead = 8;
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    if (k + kApplyAhead < samples.size()) {
+      leaves[k + kApplyAhead]->ips().prefetch(samples[k + kApplyAhead].ip);
+    }
+    const PreparedSample& s = samples[k];
+    leaves[k]->add_sample(s.ts, s.ip, s.link, s.weight);
     if (metrics_) slot.deltas.record(state.family, s.link, s.weight);
     if (s.flow_id != 0 && flow_trace_ != nullptr) {
       flow_trace_->record(s.flow_id, obs::FlowHopKind::TrieApply, s.ts, s.ip,
@@ -322,6 +400,53 @@ void ShardedEngine::ingest_batch(
     samples.push_back(
         PreparedSample{record.ts, masked, record.ingress, weight, flow_id});
   }
+  fan_out(std::move(staging));
+}
+
+void ShardedEngine::apply_batch(const netflow::FlowBatch& batch) noexcept {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  // Same routing as ingest_batch, reading the SoA columns directly: rows
+  // are bucketed per lock slot in arrival order, so each cut member sees
+  // its records in exactly the sequential order.
+  const obs::PerfScope perf_scope(perf_, perf_stage1_);
+  const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
+  auto staging = acquire_staging();
+  const bool bytes_mode = params_.count_mode == CountMode::Bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::IpAddress& src = batch.src_ip[i];
+    const net::Family family = src.family();
+    const FamilyState& state = family_state(family);
+    const net::IpAddress masked = src.masked(params_.cidr_max(family));
+    const std::uint64_t weight =
+        bytes_mode ? std::max<std::uint64_t>(batch.bytes[i], 1) : 1;
+    const std::size_t bucket = bucket_of(state, masked);
+    std::vector<PreparedSample>& samples = staging->buckets[bucket];
+    if (samples.empty()) {
+      staging->active.push_back(static_cast<std::uint32_t>(bucket));
+    }
+    const util::Timestamp ts = batch.ts[i];
+    const topology::LinkId ingress = batch.ingress[i];
+    std::uint64_t flow_id = 0;
+    if (flow_trace_ != nullptr) {
+      const std::uint64_t id = obs::FlowTracer::flow_id(ts, masked, ingress);
+      if (flow_trace_->sampled(id)) {
+        flow_id = id;
+        if (flow_trace_synth_decode_) {
+          flow_trace_->record(id, obs::FlowHopKind::Decode, ts, masked,
+                              ingress);
+        }
+        flow_trace_->record(
+            id, obs::FlowHopKind::ShardRoute, ts, masked, ingress,
+            static_cast<std::uint32_t>(bucket % shard_count_));
+      }
+    }
+    samples.push_back(PreparedSample{ts, masked, ingress, weight, flow_id});
+  }
+  fan_out(std::move(staging));
+}
+
+void ShardedEngine::fan_out(std::unique_ptr<Staging> staging) noexcept {
   // Queue-delay baseline: the fan-out hand-off point. Workers subtract it
   // when they pick a bucket up, so the histogram captures pool scheduling
   // latency, not the bucket's own trie work.
@@ -337,7 +462,7 @@ void ShardedEngine::ingest_batch(
             static_cast<double>(obs::monotonic_ns() - fanout_ns) * 1e-9);
       }
     }
-    ingest_bucket(bucket, staging->buckets[bucket]);
+    ingest_bucket(bucket, *staging);
   });
   release_staging(std::move(staging));
 }
@@ -345,21 +470,21 @@ void ShardedEngine::ingest_batch(
 // ---------------------------------------------------------------------------
 // Stage 2
 
-void ShardedEngine::spine_pass(FamilyState& state, RangeNode& node, int depth,
+void ShardedEngine::spine_pass(FamilyState& state, RangeNode& node,
                                util::Timestamp now, CycleStats& out,
                                PhaseAccum& phases, const CycleSinks& sinks) {
-  // Post-order over the spine only (internal nodes above the cut):
-  // everything at depth >= shard_bits, and every leaf, already ran inside
-  // its cut member's pass. This reproduces the tail of the sequential
-  // post-order walk, including same-cycle join cascades up the spine.
+  // Post-order over the spine only (internal nodes above the cut): every
+  // cut member's subtree, and every leaf, already ran inside its member's
+  // pass. Membership is tested against the cut itself rather than a fixed
+  // depth — the load-aware rebalancer can hold members below the shard
+  // depth. This reproduces the tail of the sequential post-order walk,
+  // including same-cycle join cascades up the spine.
   if (node.state() != RangeNode::State::Internal ||
-      depth >= config_.shard_bits) {
+      state.cut_set.count(node.index()) != 0) {
     return;
   }
-  spine_pass(state, *state.trie.child(node, 0), depth + 1, now, out, phases,
-             sinks);
-  spine_pass(state, *state.trie.child(node, 1), depth + 1, now, out, phases,
-             sinks);
+  spine_pass(state, *state.trie.child(node, 0), now, out, phases, sinks);
+  spine_pass(state, *state.trie.child(node, 1), now, out, phases, sinks);
   join_or_compact(state.trie, node, params_, now, out, phases, sinks);
 }
 
@@ -435,7 +560,7 @@ void ShardedEngine::cycle_family(FamilyState& state, util::Timestamp now,
   // Cross-unit merge: the sequential walk's spine tail (join/compact over
   // internal nodes above the cut, post-order so joins cascade), then
   // re-derive the cut from whatever the cycle did to the top k levels.
-  spine_pass(state, state.trie.root(), 0, now, out, phases, global_sinks);
+  spine_pass(state, state.trie.root(), now, out, phases, global_sinks);
   rebuild_cut(state);
 }
 
@@ -567,6 +692,65 @@ void ShardedEngine::for_each_leaf(
   }
 }
 
+std::string ShardedEngine::shards_json() const {
+  const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
+  std::string out = "{";
+  out += util::format("\"shard_bits\":%d,", config_.shard_bits);
+  out += util::format("\"shard_count\":%zu,", shard_count_);
+  out += util::format("\"rebalance_cut\":%s,",
+                      config_.rebalance_cut ? "true" : "false");
+  out += util::format("\"rebalance_factor\":%g,", config_.rebalance_factor);
+  out += util::format("\"rebalance_depth\":%d,", config_.rebalance_depth);
+  out += "\"families\":[";
+  bool first_family = true;
+  for (const FamilyState* state : {&v4_, &v6_}) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += util::format(
+        "{\"family\":\"%s\",",
+        state->family == net::Family::V4 ? "v4" : "v6");
+    std::uint64_t total = 0;
+    std::uint64_t max_delta = 0;
+    out += "\"slots\":[";
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      const std::uint64_t delta =
+          i < state->last_deltas.size() ? state->last_deltas[i] : 0;
+      total += delta;
+      max_delta = std::max(max_delta, delta);
+      out += util::format(
+          "%s{\"slot\":%zu,\"flows\":%llu,\"interval_flows\":%llu}",
+          i == 0 ? "" : ",", i,
+          static_cast<unsigned long long>(
+              state->slots[i]->flows.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(delta));
+    }
+    out += "],";
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(shard_count_);
+    out += util::format(
+        "\"imbalance_ratio\":%g,",
+        mean > 0.0 ? static_cast<double>(max_delta) / mean : 1.0);
+    out += "\"cut_members\":[";
+    for (std::size_t i = 0; i < state->cut.size(); ++i) {
+      const RangeNode& member = state->trie.node(state->cut[i]);
+      const std::size_t slot = state->owner.empty()
+                                   ? 0
+                                   : state->owner[shard_index(
+                                         member.prefix().address())];
+      out += util::format(
+          "%s{\"prefix\":\"%s\",\"depth\":%d,\"slot\":%zu,"
+          "\"leaf\":%s}",
+          i == 0 ? "" : ",",
+          util::json_escape(member.prefix().to_string()).c_str(),
+          member.prefix().length(), slot,
+          member.is_leaf() ? "true" : "false");
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
 const RangeNode& ShardedEngine::locate(const net::IpAddress& ip) const {
   const std::shared_lock<obs::InstrumentedSharedMutex> lock(structure_mutex_);
   const FamilyState& state = family_state(ip.family());
@@ -637,6 +821,21 @@ void ShardedEngine::publish_cycle_metrics(const CycleStats& out,
     m.trie_nodes[f]->set(static_cast<double>(state->trie.node_count()));
     m.trie_leaves[f]->set(static_cast<double>(state->trie.leaf_count()));
     m.trie_memory[f]->set(static_cast<double>(state->trie.memory_bytes()));
+    // Occupancy + balance from the deltas measured at this cycle's cut
+    // republish.
+    std::uint64_t total = 0;
+    std::uint64_t max_delta = 0;
+    for (const std::uint64_t d : state->last_deltas) {
+      shard_occupancy_->observe(static_cast<double>(d));
+      total += d;
+      max_delta = std::max(max_delta, d);
+    }
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(std::max<std::size_t>(
+                            state->last_deltas.size(), 1));
+    shard_imbalance_[f]->set(mean > 0.0 ? static_cast<double>(max_delta) / mean
+                                        : 1.0);
+    cut_members_[f]->set(static_cast<double>(state->cut.size()));
   }
   m.ranges_classified->set(static_cast<double>(out.ranges_classified));
   m.ranges_monitoring->set(static_cast<double>(out.ranges_monitoring));

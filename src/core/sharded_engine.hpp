@@ -44,7 +44,9 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/cycle_logic.hpp"
@@ -62,6 +64,17 @@ struct ShardedEngineConfig {
   /// Worker threads for stage-1 fan-out and stage-2 subtree cycles. 1 runs
   /// everything inline on the calling thread (still sharded, no pool).
   int ingest_threads = 1;
+  /// Load-aware cut rebalancing. When a shard slot carried more than
+  /// `rebalance_factor` times the fair per-shard share of its family's
+  /// flows over the last stage-2 interval, the cut member covering it is
+  /// expanded up to `rebalance_depth` levels below the shard depth on the
+  /// next cut republish, splitting that hot region's stage-2 work into
+  /// more parallel units. The cut only shapes the parallel decomposition —
+  /// never which operations run or in what per-leaf order — so rebalancing
+  /// cannot change engine output and is safe to enable anywhere.
+  bool rebalance_cut = false;
+  double rebalance_factor = 2.0;
+  int rebalance_depth = 2;
 };
 
 /// Blocking parallel-for over a persistent worker pool. run() executes
@@ -117,6 +130,13 @@ class ShardedEngine final : public EngineBase {
   void ingest_batch(
       std::span<const netflow::FlowRecord> records) noexcept override;
 
+  /// Batched stage 1 from a SoA batch: rows are masked, weighted and
+  /// bucketed per lock slot in arrival order (same routing as
+  /// ingest_batch), then fanned out to the pool; each bucket runs
+  /// interleaved prefetched trie descents before applying samples in
+  /// order.
+  void apply_batch(const netflow::FlowBatch& batch) noexcept override;
+
   CycleStats run_cycle(util::Timestamp now) override;
 
   EngineStats stats() const noexcept override;
@@ -166,8 +186,14 @@ class ShardedEngine final : public EngineBase {
 
   /// Current number of independently lockable / parallelizable subtrees in
   /// the family's cut (1 = the whole family is one unit, up to 2^k once
-  /// the partition refines to the shard depth).
+  /// the partition refines to the shard depth — beyond 2^k while the
+  /// load-aware rebalancer holds hot members expanded).
   std::size_t parallel_units(net::Family family) const;
+
+  /// JSON document for the /shards introspection endpoint: per-family
+  /// shard-slot load (lifetime flows + last-interval deltas) and the
+  /// current cut members with their prefixes and owning slots.
+  std::string shards_json() const;
 
  private:
   friend struct SnapshotAccess;
@@ -213,8 +239,17 @@ class ShardedEngine final : public EngineBase {
     // silently re-point mid-cycle). Rebuilt after every cycle under the
     // exclusive structure lock; read under the shared lock.
     std::vector<NodeIndex> cut;
-    // shard index -> slot index of the cut member owning that shard.
+    // Same members as a set, for the spine walk's "stop at the cut" test
+    // (with rebalancing the cut is no longer a fixed-depth frontier).
+    std::unordered_set<NodeIndex> cut_set;
+    // shard index -> slot index of the cut member owning that shard. Cut
+    // members deeper than shard_bits all share their shard's slot.
     std::vector<std::uint32_t> owner;
+    // Per-slot lifetime flow counts at the last cut republish, and the
+    // delta accumulated over the last stage-2 interval — the occupancy
+    // signal driving the load-aware cut chooser and /shards.
+    std::vector<std::uint64_t> last_flows;
+    std::vector<std::uint64_t> last_deltas;
   };
 
   /// Pre-masked sample, bucketed per cut member during batch fan-out.
@@ -234,6 +269,9 @@ class ShardedEngine final : public EngineBase {
   struct Staging {
     std::vector<std::vector<PreparedSample>> buckets;
     std::vector<std::uint32_t> active;  // non-empty bucket indices
+    // Per-bucket leaf-pointer scratch for the interleaved descents (kept
+    // alongside the buckets so workers never allocate on the hot path).
+    std::vector<std::vector<RangeNode*>> leaves;
   };
 
   FamilyState& family_state(net::Family f) noexcept {
@@ -267,17 +305,21 @@ class ShardedEngine final : public EngineBase {
 
   std::unique_ptr<Staging> acquire_staging();
   void release_staging(std::unique_ptr<Staging> staging);
-  void ingest_bucket(std::size_t bucket,
-                     std::vector<PreparedSample>& samples) noexcept;
+  void ingest_bucket(std::size_t bucket, Staging& staging) noexcept;
+  /// Shared tail of ingest_batch/apply_batch: fan the staged buckets out
+  /// to the pool and return the staging to its free list.
+  void fan_out(std::unique_ptr<Staging> staging) noexcept;
 
   /// Re-derive the cut and the shard->slot ownership map from the trie's
-  /// current top k levels. Exclusive structure lock required.
+  /// current top k levels, measuring per-slot occupancy since the last
+  /// republish and (when rebalance_cut is set) expanding hot members
+  /// below the shard depth. Exclusive structure lock required.
   void rebuild_cut(FamilyState& state);
 
   void cycle_family(FamilyState& state, util::Timestamp now, CycleStats& out,
                     PhaseAccum& phases);
-  void spine_pass(FamilyState& state, RangeNode& node, int depth,
-                  util::Timestamp now, CycleStats& out, PhaseAccum& phases,
+  void spine_pass(FamilyState& state, RangeNode& node, util::Timestamp now,
+                  CycleStats& out, PhaseAccum& phases,
                   const CycleSinks& sinks);
 
   void flush_deltas_locked();
@@ -324,6 +366,10 @@ class ShardedEngine final : public EngineBase {
   // FamilyState::slots; empty while metrics are detached).
   std::vector<obs::Histogram*> shard_queue_delay_;
   std::vector<obs::Gauge*> shard_flows_;  // [v4 slots][v6 slots]
+  // Occupancy/balance instruments (nullptr while metrics are detached).
+  obs::Histogram* shard_occupancy_ = nullptr;
+  std::array<obs::Gauge*, 2> shard_imbalance_{};  // by family
+  std::array<obs::Gauge*, 2> cut_members_{};      // by family
   DecisionLog* decision_log_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   CycleDeltaLog* cycle_deltas_ = nullptr;

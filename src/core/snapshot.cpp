@@ -368,7 +368,7 @@ struct SnapshotAccess {
       bad("ip-table capacity not a power of two >= 8");
     }
     if (4 * size > 3 * capacity) bad("ip-table over load factor");
-    table.slots_ = new FlatIpTable::Slot[capacity];
+    table.slots_ = FlatIpTable::allocate_slots(capacity);
     table.capacity_ = static_cast<std::size_t>(capacity);
     table.size_ = static_cast<std::size_t>(size);
     for (std::uint64_t i = 0; i < size; ++i) {

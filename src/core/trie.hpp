@@ -31,9 +31,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "core/flat_ip_table.hpp"
@@ -88,10 +90,22 @@ class alignas(64) RangeNode {
   util::Timestamp classified_at() const noexcept { return classified_at_; }
 
   const FlatIpTable& ips() const noexcept { return ips_; }
+  FlatIpTable& ips() noexcept { return ips_; }
 
   /// Record one sample (stage 1). Leaf only.
   void add_sample(util::Timestamp ts, const net::IpAddress& masked_ip,
                   topology::LinkId link, std::uint64_t n = 1);
+
+  /// The aggregate half of add_sample (per-ingress counters + freshness),
+  /// without the Monitoring per-IP table probe. The batched ingest path
+  /// applies aggregates row by row through this and batches the probes
+  /// into FlatIpTable::apply_many; add_aggregate + (Monitoring ?
+  /// apply_many op : nothing) == add_sample. Leaf only.
+  void add_aggregate(util::Timestamp ts, topology::LinkId link,
+                     std::uint64_t n) noexcept {
+    counts_.add(link, static_cast<double>(n));
+    if (ts > last_update_) last_update_ = ts;
+  }
 
   /// Remove per-IP entries older than `cutoff`, rebuild the aggregate
   /// counters from what survives, and compact the detail table.
@@ -199,6 +213,78 @@ class IpdTrie {
 
   /// The leaf range currently covering `ip` (always exists).
   RangeNode& locate(const net::IpAddress& ip) noexcept;
+
+  /// Interleaved descents a single walk cannot: locate() is one dependent
+  /// load per level, so a cold descent stalls for a full cache miss at
+  /// every level. locate_many keeps kLocateWalks independent descents in
+  /// flight round-robin; each visit advances a walk by one level and
+  /// prefetches the next node, which then has (kLocateWalks - 1) other
+  /// visits' worth of time to arrive before that walk is serviced again.
+  /// `get_ip(i)` supplies address i (0..n-1, each read exactly once, in
+  /// order); `emit(i, leaf)` receives the covering leaf. Emission order is
+  /// unspecified — callers needing arrival order buffer by index. The trie
+  /// must not be structurally mutated during the call (same contract as
+  /// locate(); stage 1 never splits).
+  static constexpr std::size_t kLocateWalks = 8;
+
+  template <class GetIp, class Emit>
+  void locate_many(std::size_t n, const GetIp& get_ip,
+                   const Emit& emit) noexcept {
+    if (n < 2) {
+      if (n == 1) emit(std::size_t{0}, locate(get_ip(0)));
+      return;
+    }
+    std::byte* const base = reinterpret_cast<std::byte*>(block0_);
+    struct Walk {
+      RangeNode* node;
+      std::uint64_t word;  // top-aligned remaining address bits
+      std::uint64_t rest;  // v6 bits 64..127 (crossover at depth 64)
+      std::uint32_t depth;
+      std::size_t idx;
+    };
+    Walk walks[kLocateWalks];
+    std::size_t next = 0;
+    const auto start = [&](Walk& w) {
+      const net::IpAddress& ip = get_ip(next);
+      w.idx = next++;
+      w.node = &resolve(root_);
+      w.word = ip.is_v4() ? ip.lo() << 32 : ip.hi();
+      w.rest = ip.lo();
+      w.depth = 0;
+    };
+    std::size_t active = n < kLocateWalks ? n : kLocateWalks;
+    for (std::size_t i = 0; i < active; ++i) start(walks[i]);
+    while (active > 0) {
+      for (std::size_t s = 0; s < active;) {
+        Walk& w = walks[s];
+        RangeNode* const node = w.node;
+        // The state load is this walk's first touch of the node prefetched
+        // on its previous visit — the interleave exists to give that line
+        // time to land.
+        if (node->state_ != RangeNode::State::Internal) {
+          emit(w.idx, *node);
+          if (next < n) {
+            start(w);
+            ++s;
+          } else {
+            walks[s] = walks[--active];  // re-examine the moved walk at s
+          }
+          continue;
+        }
+        const bool one = static_cast<std::int64_t>(w.word) < 0;
+        const std::uint32_t off = node->child_off_[one];
+        w.word <<= 1;
+        if (++w.depth == 64) w.word = w.rest;
+        RangeNode* const child =
+            off != RangeNode::kNoOffset
+                ? std::launder(reinterpret_cast<RangeNode*>(base + off))
+                : &resolve(one ? node->child1_ : node->child0_);
+        __builtin_prefetch(child, 0, 3);
+        w.node = child;
+        ++s;
+      }
+    }
+  }
 
   /// Split a Monitoring leaf into its two children, redistributing the
   /// per-IP detail by the next address bit. Returns false if the node is

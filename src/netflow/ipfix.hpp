@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netflow/flow_batch.hpp"
 #include "netflow/flow_record.hpp"
 
 namespace ipd::netflow::ipfix {
@@ -102,6 +103,21 @@ class Parser {
   bool parse(std::span<const std::uint8_t> bytes,
              topology::RouterId exporter_router, std::vector<FlowRecord>& out);
 
+  /// Parse one message straight into a SoA batch. Data sets whose template
+  /// matches a built-in fixed flow layout (v4_flow_template /
+  /// v6_flow_template) take a SWAR fixed-offset decode when the process's
+  /// simd level allows; any other template falls back to the generic
+  /// per-field walk (via parse_data_set) and is appended row-wise.
+  /// Semantics — admitted records, stats, template learning — are
+  /// identical to parse().
+  bool parse_batch(std::span<const std::uint8_t> bytes,
+                   topology::RouterId exporter_router, FlowBatch& out);
+
+  /// Test knob: pin parse_batch to the generic scalar walk regardless of
+  /// the process simd level (the decode differential compares both paths
+  /// inside one process).
+  void set_force_scalar(bool force) noexcept { force_scalar_ = force; }
+
   const ParserStats& stats() const noexcept { return stats_; }
 
   /// Template lookup (exposed for tests).
@@ -113,9 +129,16 @@ class Parser {
                       std::uint16_t set_id, std::uint32_t export_time,
                       topology::RouterId exporter_router,
                       std::vector<FlowRecord>& out);
+  bool parse_data_set_batch(std::span<const std::uint8_t> body,
+                            std::uint32_t domain, std::uint16_t set_id,
+                            std::uint32_t export_time,
+                            topology::RouterId exporter_router,
+                            FlowBatch& out);
 
   std::unordered_map<std::uint64_t, Template> templates_;
   ParserStats stats_;
+  bool force_scalar_ = false;
+  std::vector<FlowRecord> scratch_;  // generic-template fallback rows
 };
 
 }  // namespace ipd::netflow::ipfix

@@ -1,0 +1,35 @@
+#include "netflow/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ipd::netflow::simd {
+
+namespace {
+
+Level resolve_level() noexcept {
+  const char* env = std::getenv("IPD_NO_SIMD");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    return Level::Scalar;
+  }
+  return Level::Swar;
+}
+
+}  // namespace
+
+Level active_level() noexcept {
+  static const Level level = resolve_level();
+  return level;
+}
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::Scalar:
+      return "scalar";
+    case Level::Swar:
+      return "swar";
+  }
+  return "unknown";
+}
+
+}  // namespace ipd::netflow::simd

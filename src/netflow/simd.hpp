@@ -1,0 +1,33 @@
+// Runtime dispatch for the SWAR/SIMD decode fast paths.
+//
+// The wire-format decoders keep two implementations: a scalar reference
+// path (byte-at-a-time shifts, the original code, kept as the
+// differential-fuzz oracle) and a SWAR path that loads whole 64-bit words
+// and byte-swaps them in one instruction. Which one runs is decided once
+// per process from the environment:
+//
+//   IPD_NO_SIMD=1  force the scalar reference path everywhere
+//
+// The SWAR path is plain portable C++ (memcpy loads + __builtin_bswap),
+// so unlike ISA-specific SIMD there is no capability probe — the knob
+// exists for differential testing and for ruling the fast path in or out
+// when chasing a miscompare in the field.
+#pragma once
+
+namespace ipd::netflow::simd {
+
+enum class Level {
+  Scalar,  // reference byte-at-a-time path
+  Swar,    // 64-bit word loads + bswap
+};
+
+/// Process-wide decode level, resolved once from IPD_NO_SIMD.
+Level active_level() noexcept;
+
+inline bool swar_enabled() noexcept {
+  return active_level() == Level::Swar;
+}
+
+const char* to_string(Level level) noexcept;
+
+}  // namespace ipd::netflow::simd

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "netflow/simd.hpp"
+
 namespace ipd::netflow::v5 {
 
 namespace {
@@ -29,6 +31,19 @@ std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t at) {
          (static_cast<std::uint32_t>(in[at + 1]) << 16) |
          (static_cast<std::uint32_t>(in[at + 2]) << 8) |
          static_cast<std::uint32_t>(in[at + 3]);
+}
+
+/// SWAR word load: 8 big-endian wire bytes as one host-order uint64. The
+/// memcpy is the strict-aliasing-safe unaligned load; it and the bswap
+/// both compile to single instructions.
+std::uint64_t load64be(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#else
+  return __builtin_bswap64(v);
+#endif
 }
 
 }  // namespace
@@ -141,6 +156,57 @@ std::vector<FlowRecord> to_flow_records(const Packet& packet,
     out.push_back(flow);
   }
   return out;
+}
+
+std::optional<std::size_t> decode_batch_swar(
+    std::span<const std::uint8_t> bytes, topology::RouterId exporter_router,
+    FlowBatch& out) {
+  // Same admission rules as decode(): any malformation rejects the whole
+  // datagram before a single row is appended.
+  if (bytes.size() < kHeaderBytes) return std::nullopt;
+  if (get16(bytes, 0) != kVersion) return std::nullopt;
+  const std::uint16_t count = get16(bytes, 2);
+  if (count == 0 || count > kMaxRecordsPerPacket) return std::nullopt;
+  if (bytes.size() != kHeaderBytes + count * kRecordBytes) return std::nullopt;
+  const auto ts = static_cast<util::Timestamp>(get32(bytes, 8));
+
+  out.reserve(out.size() + count);
+  const std::uint8_t* p = bytes.data() + kHeaderBytes;
+  for (std::size_t i = 0; i < count; ++i, p += kRecordBytes) {
+    // Record layout: src(4) dst(4) next_hop(4) input(2) output(2)
+    //                packets(4) octets(4) ...
+    // Three 64-bit big-endian loads cover every field IPD consumes.
+    const std::uint64_t w0 = load64be(p);       // src | dst
+    const std::uint64_t w1 = load64be(p + 8);   // next_hop | input | output
+    const std::uint64_t w2 = load64be(p + 16);  // packets | octets
+    out.push_back(
+        ts, net::IpAddress::v4(static_cast<std::uint32_t>(w0 >> 32)),
+        net::IpAddress::v4(static_cast<std::uint32_t>(w0)),
+        static_cast<std::uint32_t>(w2 >> 32),
+        static_cast<std::uint32_t>(w2),
+        topology::LinkId{exporter_router, static_cast<topology::InterfaceIndex>(
+                                              (w1 >> 16) & 0xFFFFu)});
+  }
+  return count;
+}
+
+std::optional<std::size_t> decode_batch_scalar(
+    std::span<const std::uint8_t> bytes, topology::RouterId exporter_router,
+    FlowBatch& out) {
+  const std::optional<Packet> packet = decode(bytes);
+  if (!packet) return std::nullopt;
+  const std::vector<FlowRecord> records =
+      to_flow_records(*packet, exporter_router);
+  append_records(out, records);
+  return records.size();
+}
+
+std::optional<std::size_t> decode_batch(std::span<const std::uint8_t> bytes,
+                                        topology::RouterId exporter_router,
+                                        FlowBatch& out) {
+  return simd::swar_enabled() ? decode_batch_swar(bytes, exporter_router, out)
+                              : decode_batch_scalar(bytes, exporter_router,
+                                                    out);
 }
 
 std::vector<Packet> from_flow_records(std::span<const FlowRecord> records,

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "netflow/flow_batch.hpp"
 #include "netflow/flow_record.hpp"
 
 namespace ipd::netflow::v5 {
@@ -86,5 +87,25 @@ std::vector<FlowRecord> to_flow_records(const Packet& packet,
 /// into v5 packets of at most kMaxRecordsPerPacket records.
 std::vector<Packet> from_flow_records(std::span<const FlowRecord> records,
                                       std::uint32_t first_sequence = 0);
+
+/// Decode a datagram straight into `out` (one SoA row appended per flow
+/// record) at the process's active simd::Level. Returns the number of
+/// records appended, or nullopt for a malformed packet — in which case
+/// `out` is untouched. Equivalent to decode() + to_flow_records() +
+/// append, without materializing the intermediate Packet.
+std::optional<std::size_t> decode_batch(std::span<const std::uint8_t> bytes,
+                                        topology::RouterId exporter_router,
+                                        FlowBatch& out);
+
+/// Fixed-level implementations of decode_batch, public so the decode
+/// differential fuzz test can compare them on the same bytes regardless
+/// of IPD_NO_SIMD. decode_batch_scalar is the reference: it routes
+/// through the original decode()/to_flow_records() byte-at-a-time path.
+std::optional<std::size_t> decode_batch_swar(
+    std::span<const std::uint8_t> bytes, topology::RouterId exporter_router,
+    FlowBatch& out);
+std::optional<std::size_t> decode_batch_scalar(
+    std::span<const std::uint8_t> bytes, topology::RouterId exporter_router,
+    FlowBatch& out);
 
 }  // namespace ipd::netflow::v5

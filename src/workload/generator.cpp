@@ -161,6 +161,22 @@ void FlowGenerator::run(util::Timestamp t_start, util::Timestamp t_end,
   }
 }
 
+void FlowGenerator::run_batched(
+    util::Timestamp t_start, util::Timestamp t_end, std::size_t batch_size,
+    const std::function<void(const netflow::FlowBatch&)>& sink) {
+  if (batch_size == 0) batch_size = 1;
+  netflow::FlowBatch batch;
+  batch.reserve(batch_size);
+  run(t_start, t_end, [&](const netflow::FlowRecord& record) {
+    batch.push_back(record);
+    if (batch.size() >= batch_size) {
+      sink(batch);
+      batch.clear();
+    }
+  });
+  if (!batch.empty()) sink(batch);
+}
+
 void FlowGenerator::generate_minute(util::Timestamp minute_start,
                                     const Sink& sink) {
   advance_to(minute_start);

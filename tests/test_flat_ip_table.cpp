@@ -304,6 +304,67 @@ TEST(FlatIpTable, EraseKeepsProbeChainsIntact) {
   }
 }
 
+/// apply_many is specified as byte-identical to the sequential
+/// find_or_insert loop — not just same entry values but same slot
+/// placement and same growth points, both observable through capacity and
+/// slot-order iteration. Fuzz it across hits, misses, in-batch duplicate
+/// keys, growth triggers, initially-empty tables, and span sizes on both
+/// sides of the interleave threshold.
+TEST(FlatIpTable, ApplyManyMatchesSequentialLoop) {
+  std::mt19937 rng(0xbadc0deu);
+  for (int trial = 0; trial < 12; ++trial) {
+    constexpr int kTables = 3;
+    FlatIpTable batched[kTables];
+    FlatIpTable reference[kTables];
+    // Tables 0/1 pre-seeded (table 1 close to its growth trigger so the
+    // batch pushes it over); table 2 starts at capacity 0.
+    for (int t = 0; t < 2; ++t) {
+      const int seeds = t == 0 ? 100 : 190;  // 190/256 is just under 75%
+      for (int s = 0; s < seeds; ++s) {
+        const std::uint32_t key = rng() % 2048;
+        batched[t].find_or_insert(ip_of(key)).total += 1;
+        reference[t].find_or_insert(ip_of(key)).total += 1;
+      }
+    }
+    // Small trials exercise the sequential fallback, large ones the
+    // interleaved walks (threshold is twice the walk count).
+    const std::size_t n_ops = trial < 4 ? 1 + trial * 9 : 500;
+    std::vector<std::uint32_t> table_of(n_ops);
+    std::vector<IpAddress> keys(n_ops);
+    std::vector<FlatIpTable::ApplyOp> ops(n_ops);
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      table_of[i] = rng() % kTables;
+      keys[i] = ip_of(rng() % 2048);  // small domain: in-batch duplicates
+      ops[i] = {&batched[table_of[i]], &keys[i],
+                static_cast<util::Timestamp>(rng() % 1000),
+                LinkId{static_cast<std::uint16_t>(rng() % 4), 0},
+                1 + rng() % 3};
+    }
+    FlatIpTable::apply_many(ops);
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      IpEntry& entry = reference[table_of[i]].find_or_insert(keys[i]);
+      if (ops[i].ts > entry.last_seen) entry.last_seen = ops[i].ts;
+      entry.add(ops[i].link, ops[i].n);
+    }
+    for (int t = 0; t < kTables; ++t) {
+      ASSERT_EQ(batched[t].capacity(), reference[t].capacity());
+      ASSERT_EQ(batched[t].size(), reference[t].size());
+      auto it = reference[t].begin();
+      for (const auto& [ip, entry] : batched[t]) {
+        ASSERT_EQ(ip, it->first);  // identical slot order == placement
+        EXPECT_EQ(entry.last_seen, it->second.last_seen);
+        EXPECT_EQ(entry.total, it->second.total);
+        ASSERT_EQ(entry.counts.size(), it->second.counts.size());
+        for (std::size_t c = 0; c < entry.counts.size(); ++c) {
+          EXPECT_EQ(entry.counts[c].first, it->second.counts[c].first);
+          EXPECT_EQ(entry.counts[c].second, it->second.counts[c].second);
+        }
+        ++it;
+      }
+    }
+  }
+}
+
 TEST(FlatIpTable, InsertMovedCarriesSpilledCounters) {
   FlatIpTable src;
   auto& entry = src.find_or_insert(ip_of(42));

@@ -17,6 +17,7 @@
 #include "analysis/health.hpp"
 #include "core/decision_log.hpp"
 #include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "json_check.hpp"
 #include "obs/cpu_profiler.hpp"
 #include "obs/lock_stats.hpp"
@@ -451,6 +452,43 @@ TEST_F(IntrospectionTest, IndexListsEndpoints) {
   EXPECT_NE(body.find("/metrics"), std::string::npos);
   EXPECT_NE(body.find("/threads"), std::string::npos);
   EXPECT_NE(body.find("/locks"), std::string::npos);
+}
+
+// /shards degrades to 503 on a sequential engine (there is no cut to
+// report) and serves the measured occupancy histogram + cut members on a
+// sharded one.
+TEST_F(IntrospectionTest, ShardsRequiresShardedEngine) {
+  EXPECT_NE(http_get(server_.port(), "/shards").find("HTTP/1.1 503"),
+            std::string::npos);
+}
+
+TEST(IntrospectionSharded, ShardsReportsOccupancyAndCut) {
+  core::IpdParams params;
+  params.ncidr_factor4 = 0.001;
+  core::ShardedEngineConfig config;
+  config.shard_bits = 2;
+  config.rebalance_cut = true;
+  core::ShardedEngine engine(params, config);
+  obs::InstrumentedMutex mutex{"test.engine"};
+  // Spread flows across the top bits so every shard slot sees traffic.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    engine.ingest(30, net::IpAddress::v4((i << 26) | 0x0A0001u),
+                  topology::LinkId{1, 1}, 1);
+  }
+  engine.run_cycle(60);
+  IntrospectionServer server(engine, mutex);
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;
+  const std::string response = http_get(server.port(), "/shards");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(JsonChecker(body).valid()) << body;
+  EXPECT_NE(body.find("\"shard_count\":4"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"rebalance_cut\":true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"imbalance_ratio\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"cut_members\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"interval_flows\""), std::string::npos) << body;
+  server.stop();
 }
 
 TEST_F(IntrospectionTest, UnknownPathIs404) {

@@ -26,6 +26,14 @@
 //   --ingest-threads=<M>    worker threads for the sharded engine's
 //                           stage-1 fan-out and stage-2 shard cycles
 //                           (default 1; implies --shards=16 if not given)
+//   --batch-size=<N>        records buffered per apply_batch() handoff to
+//                           the engine (default 4096; boundaries always
+//                           flush first, so output is byte-identical for
+//                           any N >= 1)
+//   --rebalance-cut         sharded engine only: re-choose the stage-2 cut
+//                           from measured per-shard flow load at each
+//                           publish (expands hot members; never changes
+//                           the engine's output, only its parallelism)
 //   --perf-counters[=phases]
 //                           attach hardware perf counters (cycles,
 //                           instructions, LLC, branch misses) charged per
@@ -122,6 +130,7 @@ int usage(const char* argv0) {
                "[--log-json] [--http-port=<port>] [--trace-out=<file>] "
                "[--decision-log[=N]] [--alerts-out=<file>] "
                "[--linger=<seconds>] [--shards=<N>] [--ingest-threads=<M>] "
+               "[--batch-size=<N>] [--rebalance-cut] "
                "[--perf-counters[=phases]] [--profile-out=<file>] "
                "[--profile-hz=<N>] [--flow-trace-out=<file>] "
                "[--snapshot-out=<file>] [--snapshot-every=<N>] "
@@ -146,6 +155,8 @@ int main(int argc, char** argv) {
   long linger_s = 0;
   int shards = -1;          // -1: sequential engine
   int ingest_threads = -1;  // -1: default (1)
+  std::size_t batch_size = 0;  // 0: RunnerConfig default
+  bool rebalance_cut = false;
   bool perf_enabled = false;
   bool perf_per_phase = false;
   std::string profile_out;
@@ -185,6 +196,11 @@ int main(int argc, char** argv) {
       shards = static_cast<int>(util::parse_uint(arg.substr(9), 65536));
     } else if (util::starts_with(arg, "--ingest-threads=")) {
       ingest_threads = static_cast<int>(util::parse_uint(arg.substr(17), 256));
+    } else if (util::starts_with(arg, "--batch-size=")) {
+      batch_size = std::max<std::size_t>(
+          1, util::parse_uint(arg.substr(13), 1 << 24));
+    } else if (arg == "--rebalance-cut") {
+      rebalance_cut = true;
     } else if (arg == "--perf-counters") {
       perf_enabled = true;
     } else if (arg == "--perf-counters=phases") {
@@ -271,10 +287,12 @@ int main(int argc, char** argv) {
     sharded.shard_bits = 0;
     while ((1 << sharded.shard_bits) < shards) ++sharded.shard_bits;
     sharded.ingest_threads = std::max(ingest_threads, 1);
+    sharded.rebalance_cut = rebalance_cut;
     engine_ptr = std::make_unique<core::ShardedEngine>(params, sharded);
     util::log_info("sharded engine enabled",
                    {{"shards", shards},
-                    {"ingest_threads", sharded.ingest_threads}});
+                    {"ingest_threads", sharded.ingest_threads},
+                    {"rebalance_cut", rebalance_cut}});
   }
   core::EngineBase& engine = *engine_ptr;
 
@@ -414,7 +432,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  analysis::BinnedRunner runner(engine, nullptr);
+  analysis::RunnerConfig runner_config;
+  if (batch_size > 0) runner_config.ingest_batch = batch_size;
+  analysis::BinnedRunner runner(engine, nullptr, runner_config);
   core::Snapshot last;
   std::uint64_t bins_seen = 0;
   runner.on_snapshot = [&](util::Timestamp ts, const core::Snapshot& snap,

@@ -11,7 +11,8 @@
 //     polls) and cumulative totals,
 //   * range partition counts, trie memory, tracked IPs,
 //   * pipeline freshness and ring-residency p99 against their SLOs,
-//   * per-shard flow occupancy (sharded engine only),
+//   * per-shard flow occupancy plus the balance line (max/mean skew and
+//     stage-2 cut width; sharded engine only),
 //   * health state per component and the active alert list,
 //   * lock contention by site and per-thread scheduler stats,
 //   * the most recent sampled flow journeys, one line each.
@@ -367,6 +368,25 @@ void render(const Frame& f, const std::string& host, std::uint16_t port,
       row += fmt_quantity(it->second);
     }
     if (!row.empty()) std::printf("shards   %s:%s\n", family, row.c_str());
+  }
+
+  // Shard balance (sharded engine only): max/mean flow skew over the last
+  // stage-2 interval and the cut width the load-aware chooser settled on.
+  {
+    std::string row;
+    for (const char* family : {"v4", "v6"}) {
+      const std::string ratio_key =
+          std::string("ipd_shard_imbalance_ratio{family=\"") + family + "\"}";
+      const auto it = m.find(ratio_key);
+      if (it == m.end()) continue;
+      const double cut = metric_or(
+          m, std::string("ipd_cut_members{family=\"") + family + "\"}", 0);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s%s max/mean %.2f, cut %.0f",
+                    row.empty() ? "" : " | ", family, it->second, cut);
+      row += buf;
+    }
+    if (!row.empty()) std::printf("balance  %s\n", row.c_str());
   }
 
   const auto statuses = json_string_fields(f.health, "status");
